@@ -1,0 +1,871 @@
+//! A text front-end for the assembler: parse assembly source into a
+//! [`Program`].
+//!
+//! Supports the full instruction set of the [`crate::Asm`] builder
+//! (RV64IMA + Zicsr + privileged + ISA-Grid custom instructions), the
+//! common pseudo-instructions, labels, and data directives. The accepted
+//! syntax round-trips with `isa-sim`'s disassembler.
+//!
+//! ```
+//! let prog = isa_asm::parse_source(0x8000_0000, r#"
+//!     start:
+//!         li   a0, 10
+//!         li   t0, 0
+//!     loop:
+//!         add  t0, t0, a0
+//!         addi a0, a0, -1
+//!         bnez a0, loop
+//!         ret
+//! "#)?;
+//! assert_eq!(prog.symbol("loop") - prog.symbol("start"), 8); // two `li`s
+//! # Ok::<(), isa_asm::ParseError>(())
+//! ```
+
+use std::fmt;
+
+use crate::builder::{Asm, AsmError, Program};
+use crate::Reg;
+
+/// A parse failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Well-known CSR names (two-way; the `isa-sim` disassembler uses the
+/// same table through [`csr_name`]).
+const CSR_NAMES: [(&str, u16); 40] = [
+    ("sstatus", 0x100),
+    ("sie", 0x104),
+    ("stvec", 0x105),
+    ("sscratch", 0x140),
+    ("sepc", 0x141),
+    ("scause", 0x142),
+    ("stval", 0x143),
+    ("sip", 0x144),
+    ("satp", 0x180),
+    ("mstatus", 0x300),
+    ("misa", 0x301),
+    ("medeleg", 0x302),
+    ("mideleg", 0x303),
+    ("mie", 0x304),
+    ("mtvec", 0x305),
+    ("mscratch", 0x340),
+    ("mepc", 0x341),
+    ("mcause", 0x342),
+    ("mtval", 0x343),
+    ("mip", 0x344),
+    ("cycle", 0xC00),
+    ("time", 0xC01),
+    ("instret", 0xC02),
+    ("domain", 0x5C0),
+    ("pdomain", 0x5C1),
+    ("domain-nr", 0x5C2),
+    ("csr-cap", 0x5C3),
+    ("csr-bit-mask", 0x5C4),
+    ("inst-cap", 0x5C5),
+    ("gate-addr", 0x5C6),
+    ("gate-nr", 0x5C7),
+    ("hcsp", 0x5C8),
+    ("hcsb", 0x5C9),
+    ("hcsl", 0x5CA),
+    ("tmemb", 0x5CB),
+    ("tmeml", 0x5CC),
+    ("wpctl", 0x5D0),
+    ("vfctl", 0x5D3),
+    ("pkr", 0x5D4),
+    ("btbctl", 0x5D9),
+];
+
+/// CSR address for a well-known name.
+pub fn csr_addr(name: &str) -> Option<u16> {
+    CSR_NAMES.iter().find(|(n, _)| *n == name).map(|(_, a)| *a)
+}
+
+/// Well-known name for a CSR address.
+pub fn csr_name(addr: u16) -> Option<&'static str> {
+    CSR_NAMES.iter().find(|(_, a)| *a == addr).map(|(n, _)| *n)
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let names: [(&str, u32); 33] = [
+        ("zero", 0),
+        ("ra", 1),
+        ("sp", 2),
+        ("gp", 3),
+        ("tp", 4),
+        ("t0", 5),
+        ("t1", 6),
+        ("t2", 7),
+        ("s0", 8),
+        ("fp", 8),
+        ("s1", 9),
+        ("a0", 10),
+        ("a1", 11),
+        ("a2", 12),
+        ("a3", 13),
+        ("a4", 14),
+        ("a5", 15),
+        ("a6", 16),
+        ("a7", 17),
+        ("s2", 18),
+        ("s3", 19),
+        ("s4", 20),
+        ("s5", 21),
+        ("s6", 22),
+        ("s7", 23),
+        ("s8", 24),
+        ("s9", 25),
+        ("s10", 26),
+        ("s11", 27),
+        ("t3", 28),
+        ("t4", 29),
+        ("t5", 30),
+        ("t6", 31),
+    ];
+    if let Some((_, n)) = names.iter().find(|(n, _)| *n == tok) {
+        return Ok(Reg::from_num(*n));
+    }
+    if let Some(rest) = tok.strip_prefix('x') {
+        if let Ok(n) = rest.parse::<u32>() {
+            if n < 32 {
+                return Ok(Reg::from_num(n));
+            }
+        }
+    }
+    Err(err(line, format!("unknown register `{tok}`")))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok.strip_prefix('+').unwrap_or(tok)),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        u64::from_str_radix(&bin.replace('_', ""), 2)
+    } else {
+        body.replace('_', "").parse::<u64>()
+    }
+    .map_err(|_| err(line, format!("bad integer `{tok}`")))?;
+    Ok(if neg { (value as i64).wrapping_neg() } else { value as i64 })
+}
+
+fn parse_csr(tok: &str, line: usize) -> Result<u32, ParseError> {
+    if let Some(a) = csr_addr(tok) {
+        return Ok(a as u32);
+    }
+    let v = parse_int(tok, line)?;
+    if (0..4096).contains(&v) {
+        Ok(v as u32)
+    } else {
+        Err(err(line, format!("CSR `{tok}` out of range")))
+    }
+}
+
+/// `imm(reg)` operands.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), ParseError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected imm(reg), got `{tok}`")))?;
+    let close = tok
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let imm_part = &tok[..open];
+    let reg_part = &close[open + 1..];
+    let imm = if imm_part.is_empty() { 0 } else { parse_int(imm_part, line)? };
+    Ok((imm, parse_reg(reg_part, line)?))
+}
+
+fn check_imm12(v: i64, line: usize) -> Result<i32, ParseError> {
+    if (-2048..=2047).contains(&v) {
+        Ok(v as i32)
+    } else {
+        Err(err(line, format!("immediate {v} out of 12-bit range")))
+    }
+}
+
+/// Split `rest` on commas, trimming whitespace.
+fn operands(rest: &str) -> Vec<&str> {
+    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+/// Is this token a label reference (vs a number)?
+fn is_label(tok: &str) -> bool {
+    !tok.starts_with(|c: char| c.is_ascii_digit() || c == '-' || c == '+')
+}
+
+/// Parse assembly `src` into a program loaded at `base`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for syntax errors; label-resolution failures
+/// surface as a [`ParseError`] on line 0 wrapping the [`AsmError`].
+pub fn parse_source(base: u64, src: &str) -> Result<Program, ParseError> {
+    let mut a = Asm::new(base);
+    for (i, raw_line) in src.lines().enumerate() {
+        let line_no = i + 1;
+        // Strip comments.
+        let mut line = raw_line;
+        for marker in ["#", "//", ";"] {
+            if let Some(p) = line.find(marker) {
+                line = &line[..p];
+            }
+        }
+        let mut line = line.trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = line.find(':') {
+            let (label, rest) = line.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+            {
+                return Err(err(line_no, format!("bad label `{label}`")));
+            }
+            a.label(label);
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(p) => (&line[..p], line[p..].trim()),
+            None => (line, ""),
+        };
+        emit(&mut a, mnemonic, rest, line_no)?;
+    }
+    a.assemble()
+        .map_err(|e: AsmError| err(0, format!("assembly failed: {e}")))
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit(a: &mut Asm, m: &str, rest: &str, line: usize) -> Result<(), ParseError> {
+    use crate::encode;
+    let ops = operands(rest);
+    let need = |n: usize| -> Result<(), ParseError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("`{m}` expects {n} operands, got {}", ops.len())))
+        }
+    };
+
+    // Directives.
+    match m {
+        ".word" => {
+            need(1)?;
+            a.d32(parse_int(ops[0], line)? as u32);
+            return Ok(());
+        }
+        ".dword" | ".quad" => {
+            need(1)?;
+            if is_label(ops[0]) {
+                a.d64_label(ops[0]);
+            } else {
+                a.d64(parse_int(ops[0], line)? as u64);
+            }
+            return Ok(());
+        }
+        ".byte" => {
+            need(1)?;
+            a.d8(parse_int(ops[0], line)? as u8);
+            return Ok(());
+        }
+        ".zero" | ".skip" => {
+            need(1)?;
+            a.zero(parse_int(ops[0], line)? as usize);
+            return Ok(());
+        }
+        ".align" => {
+            need(1)?;
+            let n = parse_int(ops[0], line)?;
+            if n <= 0 || !(n as u64).is_power_of_two() {
+                return Err(err(line, ".align needs a power of two"));
+            }
+            a.align(n as u64);
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    macro_rules! r3 {
+        ($f:ident) => {{
+            need(3)?;
+            let (rd, rs1, rs2) =
+                (parse_reg(ops[0], line)?, parse_reg(ops[1], line)?, parse_reg(ops[2], line)?);
+            a.$f(rd, rs1, rs2);
+            Ok(())
+        }};
+    }
+    macro_rules! i12 {
+        ($f:ident) => {{
+            need(3)?;
+            let (rd, rs1) = (parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
+            let imm = check_imm12(parse_int(ops[2], line)?, line)?;
+            a.$f(rd, rs1, imm);
+            Ok(())
+        }};
+    }
+    macro_rules! shift {
+        ($f:ident, $max:expr) => {{
+            need(3)?;
+            let (rd, rs1) = (parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
+            let sh = parse_int(ops[2], line)?;
+            if !(0..=$max).contains(&sh) {
+                return Err(err(line, format!("shift amount {sh} out of range")));
+            }
+            a.$f(rd, rs1, sh as u32);
+            Ok(())
+        }};
+    }
+    macro_rules! load {
+        ($f:ident) => {{
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let (imm, rs1) = parse_mem(ops[1], line)?;
+            a.$f(rd, rs1, check_imm12(imm, line)?);
+            Ok(())
+        }};
+    }
+    macro_rules! store {
+        ($f:ident) => {{
+            need(2)?;
+            let rs2 = parse_reg(ops[0], line)?;
+            let (imm, rs1) = parse_mem(ops[1], line)?;
+            a.$f(rs2, rs1, check_imm12(imm, line)?);
+            Ok(())
+        }};
+    }
+    macro_rules! branch {
+        ($f:ident, $enc:ident) => {{
+            need(3)?;
+            let (rs1, rs2) = (parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
+            if is_label(ops[2]) {
+                a.$f(rs1, rs2, ops[2]);
+            } else {
+                let off = parse_int(ops[2], line)?;
+                a.word(encode::$enc(rs1, rs2, off as i32));
+            }
+            Ok(())
+        }};
+    }
+    macro_rules! csr_reg {
+        ($f:ident) => {{
+            need(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let csr = parse_csr(ops[1], line)?;
+            let rs1 = parse_reg(ops[2], line)?;
+            a.$f(rd, csr, rs1);
+            Ok(())
+        }};
+    }
+    macro_rules! csr_imm {
+        ($f:ident) => {{
+            need(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let csr = parse_csr(ops[1], line)?;
+            let uimm = parse_int(ops[2], line)?;
+            if !(0..32).contains(&uimm) {
+                return Err(err(line, format!("uimm {uimm} out of 5-bit range")));
+            }
+            a.$f(rd, csr, uimm as u32);
+            Ok(())
+        }};
+    }
+    macro_rules! amo {
+        ($f:ident) => {{
+            need(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs2 = parse_reg(ops[1], line)?;
+            let (off, rs1) = parse_mem(ops[2], line)?;
+            if off != 0 {
+                return Err(err(line, "atomics take a (reg) operand with no offset"));
+            }
+            a.$f(rd, rs1, rs2);
+            Ok(())
+        }};
+    }
+    macro_rules! grid1 {
+        ($f:ident) => {{
+            need(1)?;
+            let rs1 = parse_reg(ops[0], line)?;
+            a.$f(rs1);
+            Ok(())
+        }};
+    }
+
+    match m {
+        // R-type ALU.
+        "add" => r3!(add),
+        "sub" => r3!(sub),
+        "sll" => r3!(sll),
+        "slt" => r3!(slt),
+        "sltu" => r3!(sltu),
+        "xor" => r3!(xor),
+        "srl" => r3!(srl),
+        "sra" => r3!(sra),
+        "or" => r3!(or),
+        "and" => r3!(and),
+        "addw" => r3!(addw),
+        "subw" => r3!(subw),
+        "sllw" => r3!(sllw),
+        "srlw" => r3!(srlw),
+        "sraw" => r3!(sraw),
+        "mul" => r3!(mul),
+        "mulh" => r3!(mulh),
+        "mulhsu" => r3!(mulhsu),
+        "mulhu" => r3!(mulhu),
+        "div" => r3!(div),
+        "divu" => r3!(divu),
+        "rem" => r3!(rem),
+        "remu" => r3!(remu),
+        "mulw" => r3!(mulw),
+        "divw" => r3!(divw),
+        "divuw" => r3!(divuw),
+        "remw" => r3!(remw),
+        "remuw" => r3!(remuw),
+        // I-type ALU.
+        "addi" => i12!(addi),
+        "addiw" => i12!(addiw),
+        "slti" => i12!(slti),
+        "sltiu" => i12!(sltiu),
+        "xori" => i12!(xori),
+        "ori" => i12!(ori),
+        "andi" => i12!(andi),
+        // Shifts.
+        "slli" => shift!(slli, 63),
+        "srli" => shift!(srli, 63),
+        "srai" => shift!(srai, 63),
+        "slliw" => shift!(slliw, 31),
+        "srliw" => shift!(srliw, 31),
+        "sraiw" => shift!(sraiw, 31),
+        // Loads/stores.
+        "lb" => load!(lb),
+        "lh" => load!(lh),
+        "lw" => load!(lw),
+        "ld" => load!(ld),
+        "lbu" => load!(lbu),
+        "lhu" => load!(lhu),
+        "lwu" => load!(lwu),
+        "sb" => store!(sb),
+        "sh" => store!(sh),
+        "sw" => store!(sw),
+        "sd" => store!(sd),
+        // U-type.
+        "lui" | "auipc" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let imm = parse_int(ops[1], line)? as i32;
+            if m == "lui" {
+                a.lui(rd, imm);
+            } else {
+                a.auipc(rd, imm);
+            }
+            Ok(())
+        }
+        // Branches.
+        "beq" => branch!(beq, beq),
+        "bne" => branch!(bne, bne),
+        "blt" => branch!(blt, blt),
+        "bge" => branch!(bge, bge),
+        "bltu" => branch!(bltu, bltu),
+        "bgeu" => branch!(bgeu, bgeu),
+        "beqz" => {
+            need(2)?;
+            let rs = parse_reg(ops[0], line)?;
+            if is_label(ops[1]) {
+                a.beqz(rs, ops[1]);
+            } else {
+                a.word(encode::beq(rs, Reg::Zero, parse_int(ops[1], line)? as i32));
+            }
+            Ok(())
+        }
+        "bnez" => {
+            need(2)?;
+            let rs = parse_reg(ops[0], line)?;
+            if is_label(ops[1]) {
+                a.bnez(rs, ops[1]);
+            } else {
+                a.word(encode::bne(rs, Reg::Zero, parse_int(ops[1], line)? as i32));
+            }
+            Ok(())
+        }
+        // Jumps.
+        "jal" => match ops.len() {
+            1 => {
+                if is_label(ops[0]) {
+                    a.jal(Reg::Ra, ops[0]);
+                } else {
+                    a.word(encode::jal(Reg::Ra, parse_int(ops[0], line)? as i32));
+                }
+                Ok(())
+            }
+            2 => {
+                let rd = parse_reg(ops[0], line)?;
+                if is_label(ops[1]) {
+                    a.jal(rd, ops[1]);
+                } else {
+                    a.word(encode::jal(rd, parse_int(ops[1], line)? as i32));
+                }
+                Ok(())
+            }
+            n => Err(err(line, format!("`jal` expects 1-2 operands, got {n}"))),
+        },
+        "jalr" => match ops.len() {
+            1 => {
+                let rs1 = parse_reg(ops[0], line)?;
+                a.jalr(Reg::Ra, rs1, 0);
+                Ok(())
+            }
+            2 => {
+                let rd = parse_reg(ops[0], line)?;
+                let (imm, rs1) = parse_mem(ops[1], line)?;
+                a.jalr(rd, rs1, check_imm12(imm, line)?);
+                Ok(())
+            }
+            n => Err(err(line, format!("`jalr` expects 1-2 operands, got {n}"))),
+        },
+        "j" => {
+            need(1)?;
+            if is_label(ops[0]) {
+                a.j(ops[0]);
+            } else {
+                a.word(encode::jal(Reg::Zero, parse_int(ops[0], line)? as i32));
+            }
+            Ok(())
+        }
+        "call" => {
+            need(1)?;
+            a.call(ops[0]);
+            Ok(())
+        }
+        // CSR.
+        "csrrw" => csr_reg!(csrrw),
+        "csrrs" => csr_reg!(csrrs),
+        "csrrc" => csr_reg!(csrrc),
+        "csrrwi" => csr_imm!(csrrwi),
+        "csrrsi" => csr_imm!(csrrsi),
+        "csrrci" => csr_imm!(csrrci),
+        "csrr" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let csr = parse_csr(ops[1], line)?;
+            a.csrr(rd, csr);
+            Ok(())
+        }
+        "csrw" => {
+            need(2)?;
+            let csr = parse_csr(ops[0], line)?;
+            let rs = parse_reg(ops[1], line)?;
+            a.csrw(csr, rs);
+            Ok(())
+        }
+        "rdcycle" => {
+            need(1)?;
+            let rd = parse_reg(ops[0], line)?;
+            a.rdcycle(rd);
+            Ok(())
+        }
+        // Atomics.
+        "lr.w" | "lr.d" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let (off, rs1) = parse_mem(ops[1], line)?;
+            if off != 0 {
+                return Err(err(line, "lr takes a (reg) operand with no offset"));
+            }
+            if m == "lr.w" {
+                a.word(crate::encode::lr_w(rd, rs1));
+            } else {
+                a.lr_d(rd, rs1);
+            }
+            Ok(())
+        }
+        "sc.w" => {
+            need(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs2 = parse_reg(ops[1], line)?;
+            let (off, rs1) = parse_mem(ops[2], line)?;
+            if off != 0 {
+                return Err(err(line, "sc takes a (reg) operand with no offset"));
+            }
+            a.word(crate::encode::sc_w(rd, rs1, rs2));
+            Ok(())
+        }
+        "sc.d" => amo!(sc_d),
+        "amoswap.d" => amo!(amoswap_d),
+        "amoadd.d" => amo!(amoadd_d),
+        "amoadd.w" => amo!(amoadd_w),
+        "amoand.d" => {
+            need(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs2 = parse_reg(ops[1], line)?;
+            let (off, rs1) = parse_mem(ops[2], line)?;
+            if off != 0 {
+                return Err(err(line, "atomics take a (reg) operand with no offset"));
+            }
+            a.word(crate::encode::amoand_d(rd, rs1, rs2));
+            Ok(())
+        }
+        "amoor.d" => {
+            need(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs2 = parse_reg(ops[1], line)?;
+            let (off, rs1) = parse_mem(ops[2], line)?;
+            if off != 0 {
+                return Err(err(line, "atomics take a (reg) operand with no offset"));
+            }
+            a.word(crate::encode::amoor_d(rd, rs1, rs2));
+            Ok(())
+        }
+        "amoxor.d" => {
+            need(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs2 = parse_reg(ops[1], line)?;
+            let (off, rs1) = parse_mem(ops[2], line)?;
+            if off != 0 {
+                return Err(err(line, "atomics take a (reg) operand with no offset"));
+            }
+            a.word(crate::encode::amoxor_d(rd, rs1, rs2));
+            Ok(())
+        }
+        // System.
+        "ecall" | "ebreak" | "mret" | "sret" | "wfi" | "fence" | "fence.i" | "nop" | "ret"
+        | "hcrets" => {
+            need(0)?;
+            match m {
+                "ecall" => a.ecall(),
+                "ebreak" => a.ebreak(),
+                "mret" => a.mret(),
+                "sret" => a.sret(),
+                "wfi" => a.wfi(),
+                "fence" => a.fence(),
+                "fence.i" => a.fence_i(),
+                "nop" => a.nop(),
+                "ret" => a.ret(),
+                _ => a.hcrets(),
+            };
+            Ok(())
+        }
+        "sfence.vma" => {
+            match ops.len() {
+                0 => a.sfence_vma(Reg::Zero, Reg::Zero),
+                2 => {
+                    let rs1 = parse_reg(ops[0], line)?;
+                    let rs2 = parse_reg(ops[1], line)?;
+                    a.sfence_vma(rs1, rs2)
+                }
+                n => return Err(err(line, format!("`sfence.vma` expects 0 or 2 operands, got {n}"))),
+            };
+            Ok(())
+        }
+        // ISA-Grid customs.
+        "hccall" => grid1!(hccall),
+        "hccalls" => grid1!(hccalls),
+        "pfch" => grid1!(pfch),
+        "pflh" => grid1!(pflh),
+        // Pseudos with two regs.
+        "mv" | "not" | "neg" | "seqz" | "snez" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs = parse_reg(ops[1], line)?;
+            match m {
+                "mv" => a.mv(rd, rs),
+                "not" => a.not(rd, rs),
+                "neg" => a.neg(rd, rs),
+                "seqz" => a.seqz(rd, rs),
+                _ => a.snez(rd, rs),
+            };
+            Ok(())
+        }
+        "li" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let v = parse_int(ops[1], line)?;
+            a.li(rd, v as u64);
+            Ok(())
+        }
+        "la" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            if !is_label(ops[1]) {
+                return Err(err(line, "`la` takes a label"));
+            }
+            a.la(rd, ops[1]);
+            Ok(())
+        }
+        _ => Err(err(line, format!("unknown mnemonic `{m}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_simple_loop_identically_to_the_builder() {
+        let text = parse_source(
+            0x8000_0000,
+            r"
+            start:
+                li   t0, 0
+                li   a0, 5
+            loop:
+                add  t0, t0, a0
+                addi a0, a0, -1
+                bnez a0, loop
+                mv   a0, t0
+                ret
+            ",
+        )
+        .unwrap();
+        let mut b = Asm::new(0x8000_0000);
+        b.label("start");
+        b.li(Reg::T0, 0);
+        b.li(Reg::A0, 5);
+        b.label("loop");
+        b.add(Reg::T0, Reg::T0, Reg::A0);
+        b.addi(Reg::A0, Reg::A0, -1);
+        b.bnez(Reg::A0, "loop");
+        b.mv(Reg::A0, Reg::T0);
+        b.ret();
+        let built = b.assemble().unwrap();
+        assert_eq!(text.bytes, built.bytes);
+        assert_eq!(text.symbols, built.symbols);
+    }
+
+    #[test]
+    fn parses_memory_and_csr_forms() {
+        let p = parse_source(
+            0,
+            r"
+                ld   a0, 16(sp)
+                sd   a1, -8(s0)
+                csrrw zero, satp, a0
+                csrr  t0, mcause
+                csrw  sscratch, t1
+                csrrsi zero, sstatus, 2
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.bytes.len(), 6 * 4);
+        let w = |i: usize| u32::from_le_bytes(p.bytes[i * 4..i * 4 + 4].try_into().unwrap());
+        assert_eq!(w(0), crate::encode::ld(Reg::A0, Reg::Sp, 16));
+        assert_eq!(w(1), crate::encode::sd(Reg::A1, Reg::S0, -8));
+        assert_eq!(w(2), crate::encode::csrrw(Reg::Zero, 0x180, Reg::A0));
+        assert_eq!(w(3), crate::encode::csrrs(Reg::T0, 0x342, Reg::Zero));
+        assert_eq!(w(4), crate::encode::csrrw(Reg::Zero, 0x140, Reg::T1));
+        assert_eq!(w(5), crate::encode::csrrsi(Reg::Zero, 0x100, 2));
+    }
+
+    #[test]
+    fn parses_grid_instructions() {
+        let p = parse_source(
+            0,
+            r"
+                hccall a0
+                hccalls t4
+                hcrets
+                pfch a1
+                pflh a2
+            ",
+        )
+        .unwrap();
+        let w = |i: usize| u32::from_le_bytes(p.bytes[i * 4..i * 4 + 4].try_into().unwrap());
+        assert_eq!(w(0), crate::encode::hccall(Reg::A0));
+        assert_eq!(w(1), crate::encode::hccalls(Reg::T4));
+        assert_eq!(w(2), crate::encode::hcrets());
+        assert_eq!(w(3), crate::encode::pfch(Reg::A1));
+        assert_eq!(w(4), crate::encode::pflh(Reg::A2));
+    }
+
+    #[test]
+    fn parses_directives_and_comments() {
+        let p = parse_source(
+            0x1000,
+            r"
+                # a jump table
+                .align 8
+            table:
+                .dword fn0      // entry 0
+                .dword 0xdeadbeef ; raw value
+            fn0:
+                ret
+                .zero 4
+                .byte 0x7f
+            ",
+        )
+        .unwrap();
+        let t = (p.symbol("table") - p.base) as usize;
+        let e0 = u64::from_le_bytes(p.bytes[t..t + 8].try_into().unwrap());
+        assert_eq!(e0, p.symbol("fn0"));
+        let e1 = u64::from_le_bytes(p.bytes[t + 8..t + 16].try_into().unwrap());
+        assert_eq!(e1, 0xdead_beef);
+    }
+
+    #[test]
+    fn numeric_branch_and_jump_offsets() {
+        let p = parse_source(0, "beq a0, a1, +16\njal ra, -8\nj 4").unwrap();
+        let w = |i: usize| u32::from_le_bytes(p.bytes[i * 4..i * 4 + 4].try_into().unwrap());
+        assert_eq!(w(0), crate::encode::beq(Reg::A0, Reg::A1, 16));
+        assert_eq!(w(1), crate::encode::jal(Reg::Ra, -8));
+        assert_eq!(w(2), crate::encode::jal(Reg::Zero, 4));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_source(0, "nop\nfrobnicate a0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = parse_source(0, "addi a0, a1, 99999").unwrap_err();
+        assert!(e.message.contains("12-bit"));
+
+        let e = parse_source(0, "ld a0, a1").unwrap_err();
+        assert!(e.message.contains("imm(reg)"));
+
+        let e = parse_source(0, "add a0, a1").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn undefined_label_surfaces_as_parse_error() {
+        let e = parse_source(0, "j nowhere").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn csr_name_table_is_bijective() {
+        for (name, addr) in CSR_NAMES {
+            assert_eq!(csr_addr(name), Some(addr));
+            assert_eq!(csr_name(addr), Some(name));
+        }
+        assert_eq!(csr_addr("nonsense"), None);
+        assert_eq!(csr_name(0xfff), None);
+    }
+
+    #[test]
+    fn x_register_names_accepted() {
+        let p = parse_source(0, "add x10, x11, x31").unwrap();
+        let w = u32::from_le_bytes(p.bytes[0..4].try_into().unwrap());
+        assert_eq!(w, crate::encode::add(Reg::A0, Reg::A1, Reg::T6));
+    }
+}

@@ -1,0 +1,198 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// A RISC-V general-purpose register (`x0`–`x31`).
+///
+/// Variants use the standard ABI mnemonics. `Reg::Zero` is hard-wired to
+/// zero by the CPU.
+///
+/// ```
+/// use isa_asm::Reg;
+/// assert_eq!(Reg::A0.num(), 10);
+/// assert_eq!(Reg::from_num(2), Reg::Sp);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// `x0`: hard-wired zero.
+    Zero = 0,
+    /// `x1`: return address.
+    Ra = 1,
+    /// `x2`: stack pointer.
+    Sp = 2,
+    /// `x3`: global pointer.
+    Gp = 3,
+    /// `x4`: thread pointer.
+    Tp = 4,
+    /// `x5`: temporary.
+    T0 = 5,
+    /// `x6`: temporary.
+    T1 = 6,
+    /// `x7`: temporary.
+    T2 = 7,
+    /// `x8`: saved / frame pointer.
+    S0 = 8,
+    /// `x9`: saved.
+    S1 = 9,
+    /// `x10`: argument / return value.
+    A0 = 10,
+    /// `x11`: argument / return value.
+    A1 = 11,
+    /// `x12`: argument.
+    A2 = 12,
+    /// `x13`: argument.
+    A3 = 13,
+    /// `x14`: argument.
+    A4 = 14,
+    /// `x15`: argument.
+    A5 = 15,
+    /// `x16`: argument.
+    A6 = 16,
+    /// `x17`: argument (syscall number by convention).
+    A7 = 17,
+    /// `x18`: saved.
+    S2 = 18,
+    /// `x19`: saved.
+    S3 = 19,
+    /// `x20`: saved.
+    S4 = 20,
+    /// `x21`: saved.
+    S5 = 21,
+    /// `x22`: saved.
+    S6 = 22,
+    /// `x23`: saved.
+    S7 = 23,
+    /// `x24`: saved.
+    S8 = 24,
+    /// `x25`: saved.
+    S9 = 25,
+    /// `x26`: saved.
+    S10 = 26,
+    /// `x27`: saved.
+    S11 = 27,
+    /// `x28`: temporary.
+    T3 = 28,
+    /// `x29`: temporary.
+    T4 = 29,
+    /// `x30`: temporary.
+    T5 = 30,
+    /// `x31`: temporary.
+    T6 = 31,
+}
+
+impl Reg {
+    /// All 32 registers in index order.
+    pub const ALL: [Reg; 32] = [
+        Reg::Zero,
+        Reg::Ra,
+        Reg::Sp,
+        Reg::Gp,
+        Reg::Tp,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::S0,
+        Reg::S1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::A4,
+        Reg::A5,
+        Reg::A6,
+        Reg::A7,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::S8,
+        Reg::S9,
+        Reg::S10,
+        Reg::S11,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+    ];
+
+    /// The architectural register number (0–31).
+    #[inline]
+    pub const fn num(self) -> u32 {
+        self as u32
+    }
+
+    /// The register with architectural number `n & 31`.
+    #[inline]
+    pub const fn from_num(n: u32) -> Reg {
+        Reg::ALL[(n & 31) as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Reg::Zero => "zero",
+            Reg::Ra => "ra",
+            Reg::Sp => "sp",
+            Reg::Gp => "gp",
+            Reg::Tp => "tp",
+            Reg::T0 => "t0",
+            Reg::T1 => "t1",
+            Reg::T2 => "t2",
+            Reg::S0 => "s0",
+            Reg::S1 => "s1",
+            Reg::A0 => "a0",
+            Reg::A1 => "a1",
+            Reg::A2 => "a2",
+            Reg::A3 => "a3",
+            Reg::A4 => "a4",
+            Reg::A5 => "a5",
+            Reg::A6 => "a6",
+            Reg::A7 => "a7",
+            Reg::S2 => "s2",
+            Reg::S3 => "s3",
+            Reg::S4 => "s4",
+            Reg::S5 => "s5",
+            Reg::S6 => "s6",
+            Reg::S7 => "s7",
+            Reg::S8 => "s8",
+            Reg::S9 => "s9",
+            Reg::S10 => "s10",
+            Reg::S11 => "s11",
+            Reg::T3 => "t3",
+            Reg::T4 => "t4",
+            Reg::T5 => "t5",
+            Reg::T6 => "t6",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_registers() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.num() as usize, i);
+            assert_eq!(Reg::from_num(i as u32), *r);
+        }
+    }
+
+    #[test]
+    fn from_num_masks_high_bits() {
+        assert_eq!(Reg::from_num(32), Reg::Zero);
+        assert_eq!(Reg::from_num(33), Reg::Ra);
+    }
+
+    #[test]
+    fn display_uses_abi_names() {
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(Reg::Zero.to_string(), "zero");
+        assert_eq!(Reg::T6.to_string(), "t6");
+    }
+}

@@ -1,0 +1,28 @@
+//! Criterion: simulation cost of ISA-Grid's domain-switch instructions
+//! (guest-cycle results for Table 4 come from the `table4` binary; this
+//! bench tracks host-side simulator performance of the same paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isa_grid_bench::gatebench;
+use simkernel::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("domain_switch");
+    g.sample_size(10);
+    g.bench_function("hccall_pingpong_rocket", |b| {
+        b.iter(|| gatebench::hccall_latency(Platform::Rocket, 64))
+    });
+    g.bench_function("hccall_pingpong_o3", |b| {
+        b.iter(|| gatebench::hccall_latency(Platform::O3, 64))
+    });
+    g.bench_function("extended_gates_rocket", |b| {
+        b.iter(|| gatebench::extended_gate_latency(Platform::Rocket, 64))
+    });
+    g.bench_function("xdomain_call_rocket", |b| {
+        b.iter(|| gatebench::xdomain_call_latency(Platform::Rocket, 64, false))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

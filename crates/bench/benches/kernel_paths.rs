@@ -1,0 +1,32 @@
+//! Criterion: full kernel syscall paths under the three kernel
+//! configurations (host-side simulation cost; guest-cycle overheads come
+//! from the fig5/fig6 binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isa_grid::PcuConfig;
+use simkernel::{KernelConfig, Platform};
+use workloads::{measure, LmBench};
+
+fn run(cfg: KernelConfig) {
+    let prog = LmBench::NullCall.program(100);
+    measure::run(cfg, Platform::Rocket, PcuConfig::eight_e(), &prog, None, 50_000_000);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_paths");
+    g.sample_size(10);
+    g.bench_function("null_syscall_x100_native", |b| b.iter(|| run(KernelConfig::native())));
+    g.bench_function("null_syscall_x100_decomposed", |b| {
+        b.iter(|| run(KernelConfig::decomposed()))
+    });
+    g.bench_function("null_syscall_x100_native_pti", |b| {
+        b.iter(|| run(KernelConfig::native().with_pti()))
+    });
+    g.bench_function("null_syscall_x100_nested", |b| {
+        b.iter(|| run(KernelConfig::nested(true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion: the domain-privilege-cache data structure in isolation
+//! (lookup/insert/churn behaviour at the paper's 8- and 16-entry sizes).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use isa_grid::PrivCache;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pcu_cache");
+    g.bench_function("hot_lookup_8e", |b| {
+        let mut cache = PrivCache::new(8);
+        for t in 0..8 {
+            cache.insert(t, [t; 4]);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in 0..8 {
+                acc ^= cache.lookup(t).unwrap()[0];
+            }
+            acc
+        })
+    });
+    g.bench_function("thrash_16_tags_in_8e", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = PrivCache::new(8);
+                for t in 0..8 {
+                    cache.insert(t, [t; 4]);
+                }
+                cache
+            },
+            |mut cache| {
+                for t in 0..16 {
+                    if cache.lookup(t).is_none() {
+                        cache.insert(t, [t; 4]);
+                    }
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("insert_evict_16e", |b| {
+        b.iter_batched(
+            || PrivCache::new(16),
+            |mut cache| {
+                for t in 0..256u64 {
+                    cache.insert(t, [t; 4]);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion: per-instruction privilege-check cost in the simulator —
+//! the same compute program executed in domain-0 (checks skipped) versus
+//! a restricted domain (every instruction checked via the bypass
+//! register).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isa_asm::{Asm, Reg::*};
+use isa_grid::{DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig};
+use isa_sim::{mmio, Exit, Machine, DEFAULT_RAM_BASE as RAM};
+
+fn compute_program(restricted: bool) -> isa_asm::Program {
+    let mut a = Asm::new(RAM);
+    // Drop to S-mode so the PCU is active outside domain-0.
+    a.la(T0, "mtrap");
+    a.csrw(0x305, T0);
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, 0x300, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, 0x300, T1);
+    a.la(T0, "kernel");
+    a.csrw(0x341, T0);
+    a.mret();
+    a.label("kernel");
+    if restricted {
+        a.li(T4, 0);
+        a.label("gate");
+        a.hccall(T4);
+    }
+    a.label("work");
+    a.li(T0, 20_000);
+    a.label("loop");
+    a.addi(T1, T1, 3);
+    a.xor(T2, T1, T0);
+    a.sltu(T3, T2, T1);
+    a.addi(T0, T0, -1);
+    a.bnez(T0, "loop");
+    a.li(T6, mmio::HALT);
+    a.sd(Zero, T6, 0);
+    a.label("mtrap");
+    a.j("mtrap");
+    a.assemble().unwrap()
+}
+
+fn run(restricted: bool) {
+    let prog = compute_program(restricted);
+    let mut m = Machine::new(Pcu::new(PcuConfig::eight_e()));
+    m.ext.install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
+    if restricted {
+        let d = m.ext.add_domain(&mut m.bus, &DomainSpec::compute_only());
+        m.ext.add_gate(&mut m.bus, GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("work"),
+            dest_domain: d,
+        });
+    }
+    m.load_program(&prog);
+    assert_eq!(m.run(1_000_000), Exit::Halted(0));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("privilege_check");
+    g.sample_size(20);
+    g.bench_function("100k_insts_domain0_unchecked", |b| b.iter(|| run(false)));
+    g.bench_function("100k_insts_restricted_checked", |b| b.iter(|| run(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Ablations of the PCU design choices DESIGN.md calls out: cache
+//! sizing (16E/8E/8E.N), the instruction-privilege-register bypass
+//! (§4.3), the unified-vs-split HPT cache (§4.3), and the Draco-style
+//! legal-instruction cache (§8).
+
+use isa_grid::PcuConfig;
+use simkernel::{KernelConfig, Platform, SimBuilder};
+use workloads::App;
+
+use crate::report;
+
+/// One ablation data point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Configuration label.
+    pub name: &'static str,
+    /// Total guest cycles for the workload.
+    pub cycles: u64,
+    /// HPT+SGT misses (trusted-memory reads by the PCU).
+    pub pcu_misses: u64,
+    /// HPT+SGT lookups.
+    pub pcu_lookups: u64,
+    /// Legal-cache hits (Draco config only).
+    pub legal_hits: u64,
+}
+
+/// Rough dynamic energy per fully-associative CAM lookup, in picojoules
+/// (order-of-magnitude constant for a small CAM in a 28 nm-class FPGA
+/// fabric; only the *relative* energies across configs matter — §4.3's
+/// bypass-register argument).
+pub const PJ_PER_CAM_LOOKUP: f64 = 2.0;
+
+impl Point {
+    /// Estimated dynamic lookup energy in nanojoules.
+    pub fn lookup_energy_nj(&self) -> f64 {
+        (self.pcu_lookups + self.legal_hits) as f64 * PJ_PER_CAM_LOOKUP / 1000.0
+    }
+}
+
+/// The configurations swept.
+pub fn configs() -> Vec<(&'static str, PcuConfig)> {
+    vec![
+        ("16E (paper)", PcuConfig::sixteen_e()),
+        ("8E (paper)", PcuConfig::eight_e()),
+        ("8E.N (paper, no SGT cache)", PcuConfig::eight_e_n()),
+        ("8E no bypass register", PcuConfig::eight_e_no_bypass()),
+        ("unified 24E HPT", PcuConfig::unified_24e()),
+        ("8E + Draco legal cache", PcuConfig::eight_e_draco(64)),
+    ]
+}
+
+/// Run the sweep on a gate-heavy workload (the sqlite app with service
+/// churn so domain switches and CSR checks actually exercise the
+/// caches).
+pub fn run(scale_div: u64) -> Vec<Point> {
+    let app = App::Sqlite;
+    let mut p = app.bench_params();
+    p.scale = (p.scale / scale_div).max(32);
+    p = p.with_svc_every((app.loop_iterations(p) / 256).max(2));
+    let prog = app.program(p);
+
+    configs()
+        .into_iter()
+        .map(|(name, pcu)| {
+            let mut sim = SimBuilder::new(KernelConfig::decomposed())
+                .platform(Platform::Rocket)
+                .pcu(pcu)
+                .boot(&prog, None);
+            let code = sim.run_to_halt(2_000_000_000);
+            assert_eq!(code, 0, "{name}");
+            let c = sim.machine.ext.cache_stats();
+            let misses = c.inst.misses + c.reg.misses + c.mask.misses + c.sgt.misses;
+            let lookups = misses + c.inst.hits + c.reg.hits + c.mask.hits + c.sgt.hits;
+            Point {
+                name,
+                cycles: sim.values()[0],
+                pcu_misses: misses,
+                pcu_lookups: lookups,
+                legal_hits: sim.machine.ext.stats.legal_hits,
+            }
+        })
+        .collect()
+}
+
+/// Render the sweep.
+pub fn render(points: &[Point]) -> String {
+    let base = points[0].cycles as f64;
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                p.cycles.to_string(),
+                format!("{:.4}", p.cycles as f64 / base),
+                p.pcu_misses.to_string(),
+                p.pcu_lookups.to_string(),
+                p.legal_hits.to_string(),
+                format!("{:.1}", p.lookup_energy_nj()),
+            ]
+        })
+        .collect();
+    report::table(
+        "Ablation: PCU design choices (decomposed kernel + service churn, rocket)",
+        &["configuration", "cycles", "vs 16E", "PCU misses", "PCU lookups", "legal hits",
+            "est. lookup energy (nJ)"],
+        &rows,
+    )
+}

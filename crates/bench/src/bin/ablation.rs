@@ -1,0 +1,7 @@
+//! Sweep the PCU design choices (cache sizes, bypass register, unified
+//! HPT cache, Draco legal cache).
+use isa_grid_bench::ablation;
+fn main() {
+    let pts = ablation::run(1);
+    print!("{}", ablation::render(&pts));
+}

@@ -1,0 +1,8 @@
+//! Print the stall-cycle breakdown and the monitor mediation micro-cost.
+use isa_grid_bench::breakdown;
+fn main() {
+    let rows = breakdown::run(1);
+    print!("{}", breakdown::render(&rows));
+    let micro = breakdown::monitor_micro(256);
+    print!("{}", breakdown::render_monitor(&micro));
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 5 (LMbench, Linux decomposition, RISC-V).
+use isa_grid_bench::figs;
+fn main() {
+    let bars = figs::fig5(2000);
+    print!(
+        "{}",
+        figs::render("Figure 5: normalized LMbench time (decomposed vs native, rocket)", &bars)
+    );
+    println!("geomean normalized: {:.4}", figs::geomean(&bars, 0));
+}

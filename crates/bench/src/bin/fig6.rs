@@ -1,0 +1,11 @@
+//! Regenerate Figure 6 (applications, Linux decomposition, RISC-V).
+use isa_grid_bench::figs;
+use simkernel::Platform;
+fn main() {
+    let bars = figs::fig67(Platform::Rocket, 1);
+    print!(
+        "{}",
+        figs::render("Figure 6: normalized app time (decomposed vs native, rocket)", &bars)
+    );
+    println!("geomean normalized: {:.4}", figs::geomean(&bars, 0));
+}

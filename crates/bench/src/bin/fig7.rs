@@ -1,0 +1,11 @@
+//! Regenerate Figure 7 (applications, Linux decomposition, x86-like O3).
+use isa_grid_bench::figs;
+use simkernel::Platform;
+fn main() {
+    let bars = figs::fig67(Platform::O3, 1);
+    print!(
+        "{}",
+        figs::render("Figure 7: normalized app time (decomposed vs native, x86-like O3)", &bars)
+    );
+    println!("geomean normalized: {:.4}", figs::geomean(&bars, 0));
+}

@@ -1,0 +1,14 @@
+//! Regenerate Figure 8 (applications on the nested-monitor kernel).
+use isa_grid_bench::figs;
+fn main() {
+    let bars = figs::fig8(1);
+    print!(
+        "{}",
+        figs::render("Figure 8: normalized app time (nested kernel vs native, x86-like O3)", &bars)
+    );
+    println!(
+        "geomean normalized: Nest.Mon {:.4}, Nest.Mon.Log {:.4}",
+        figs::geomean(&bars, 0),
+        figs::geomean(&bars, 1)
+    );
+}

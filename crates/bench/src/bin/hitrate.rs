@@ -1,0 +1,6 @@
+//! Regenerate the §7.1 privilege-cache hit-rate measurement.
+use isa_grid_bench::hitrate;
+fn main() {
+    let rows = hitrate::run(1);
+    print!("{}", hitrate::render(&rows));
+}

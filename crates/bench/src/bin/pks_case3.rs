@@ -1,0 +1,6 @@
+//! Regenerate the §7.2 case-3 PKS estimate.
+use isa_grid_bench::pks;
+fn main() {
+    let c = pks::run(512);
+    print!("{}", pks::render(&c));
+}

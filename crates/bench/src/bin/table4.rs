@@ -1,0 +1,5 @@
+//! Regenerate Table 4 (domain switching latency).
+fn main() {
+    let t = isa_grid_bench::table4::run(512);
+    print!("{}", isa_grid_bench::table4::render(&t));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 5 (multi-service protection latency).
+use isa_grid_bench::table5;
+fn main() {
+    let rows = table5::run(512);
+    print!("{}", table5::render(&rows));
+}

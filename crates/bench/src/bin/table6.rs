@@ -1,0 +1,4 @@
+//! Regenerate Table 6 (hardware resource cost).
+fn main() {
+    print!("{}", isa_grid_bench::render_table6());
+}

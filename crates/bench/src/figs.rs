@@ -1,0 +1,171 @@
+//! Figures 5–8: normalized execution time of workloads under the
+//! ISA-Grid kernels.
+
+use isa_grid::PcuConfig;
+use simkernel::{KernelConfig, Platform};
+use workloads::measure;
+use workloads::{App, LmBench};
+
+use crate::report;
+
+const MAX_STEPS: u64 = 2_000_000_000;
+
+/// One bar of a figure.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Workload name.
+    pub name: String,
+    /// Baseline (native kernel) cycles.
+    pub native: u64,
+    /// Cycles under the ISA-Grid kernel(s); one entry per variant.
+    pub grid: Vec<(String, u64)>,
+}
+
+impl Bar {
+    /// Normalized execution time of variant `i`.
+    pub fn normalized(&self, i: usize) -> f64 {
+        self.grid[i].1 as f64 / self.native as f64
+    }
+}
+
+/// Figure 5: LMbench micro-benchmarks, Linux-decomposition case, RISC-V
+/// (rocket) platform.
+pub fn fig5(iters: u64) -> Vec<Bar> {
+    LmBench::ALL
+        .iter()
+        .map(|b| {
+            let prog = b.program(iters);
+            let native = measure::run(
+                KernelConfig::native(),
+                Platform::Rocket,
+                PcuConfig::eight_e(),
+                &prog,
+                b.task2(),
+                MAX_STEPS,
+            );
+            let grid = measure::run(
+                KernelConfig::decomposed(),
+                Platform::Rocket,
+                PcuConfig::eight_e(),
+                &prog,
+                b.task2(),
+                MAX_STEPS,
+            );
+            Bar {
+                name: b.name().into(),
+                native: native.cycles(),
+                grid: vec![("ISA-Grid".into(), grid.cycles())],
+            }
+        })
+        .collect()
+}
+
+/// Figures 6 and 7: applications under the decomposed kernel on the
+/// given platform.
+pub fn fig67(platform: Platform, scale_div: u64) -> Vec<Bar> {
+    App::ALL
+        .iter()
+        .map(|app| {
+            let mut p = app.bench_params();
+            p.scale = (p.scale / scale_div).max(8);
+            let prog = app.program(p);
+            let native = measure::run(
+                KernelConfig::native(),
+                platform,
+                PcuConfig::eight_e(),
+                &prog,
+                None,
+                MAX_STEPS,
+            );
+            let grid = measure::run(
+                KernelConfig::decomposed(),
+                platform,
+                PcuConfig::eight_e(),
+                &prog,
+                None,
+                MAX_STEPS,
+            );
+            Bar {
+                name: app.name().into(),
+                native: native.cycles(),
+                grid: vec![("ISA-Grid".into(), grid.cycles())],
+            }
+        })
+        .collect()
+}
+
+/// Figure 8: applications under the nested-monitor kernel (x86-like O3
+/// platform), with page-mapping churn so the monitor actually mediates.
+pub fn fig8(scale_div: u64) -> Vec<Bar> {
+    App::ALL
+        .iter()
+        .map(|app| {
+            let mut p = app.bench_params();
+            p.scale = (p.scale / scale_div).max(8);
+            // ~16 mapping updates per run, like occasional mmap/brk.
+            p = p.with_map_every((app.loop_iterations(p) / 16).max(1));
+            let prog = app.program(p);
+            let native = measure::run(
+                KernelConfig::native(),
+                Platform::O3,
+                PcuConfig::eight_e(),
+                &prog,
+                None,
+                MAX_STEPS,
+            );
+            let mon = measure::run(
+                KernelConfig::nested(false),
+                Platform::O3,
+                PcuConfig::eight_e(),
+                &prog,
+                None,
+                MAX_STEPS,
+            );
+            let mon_log = measure::run(
+                KernelConfig::nested(true),
+                Platform::O3,
+                PcuConfig::eight_e(),
+                &prog,
+                None,
+                MAX_STEPS,
+            );
+            Bar {
+                name: app.name().into(),
+                native: native.cycles(),
+                grid: vec![
+                    ("Nest.Mon.".into(), mon.cycles()),
+                    ("Nest.Mon.Log".into(), mon_log.cycles()),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Render a figure as a table of normalized execution times.
+pub fn render(title: &str, bars: &[Bar]) -> String {
+    let mut headers: Vec<&str> = vec!["workload", "native (cycles)"];
+    let variant_names: Vec<String> = bars
+        .first()
+        .map(|b| b.grid.iter().map(|(n, _)| format!("{n} (norm.)")).collect())
+        .unwrap_or_default();
+    for v in &variant_names {
+        headers.push(v);
+    }
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            let mut cells = vec![b.name.clone(), b.native.to_string()];
+            for i in 0..b.grid.len() {
+                cells.push(report::norm(b.normalized(i)));
+            }
+            cells
+        })
+        .collect();
+    report::table(title, &headers, &rows)
+}
+
+/// Geometric-mean normalized time across a figure's bars (variant `i`).
+pub fn geomean(bars: &[Bar], i: usize) -> f64 {
+    let sum: f64 = bars.iter().map(|b| b.normalized(i).ln()).sum();
+    (sum / bars.len() as f64).exp()
+}

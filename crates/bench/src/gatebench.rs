@@ -1,0 +1,357 @@
+//! Bare-metal gate-latency measurements (Table 4's microbenchmarks).
+//!
+//! These run without the kernel: a flat S-mode environment with two ISA
+//! domains and ping-pong gates, measuring single instructions with
+//! bracketing `rdcycle` reads. The first loop iteration takes all the
+//! cold cache misses, so every accumulator is reset after lap one and
+//! averages are taken over the remaining warm laps — mirroring how the
+//! paper measures steady-state latencies.
+
+use isa_asm::{Asm, Reg, Reg::*};
+use isa_grid::{DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig};
+use isa_sim::csr::addr;
+use isa_sim::{mmio, Exit, Kind, Machine, DEFAULT_RAM_BASE as RAM};
+use isa_timing::PipelineModel;
+use simkernel::Platform;
+
+const TMEM: u64 = 0x8380_0000;
+
+fn machine(platform: Platform) -> Machine<Pcu> {
+    let mut m = Machine::new(Pcu::new(PcuConfig::eight_e()));
+    if let Some(cfg) = platform.timing() {
+        m = m.with_timing(Box::new(PipelineModel::new(cfg)));
+    }
+    m.ext.install(&mut m.bus, GridLayout::new(TMEM, 1 << 20));
+    m
+}
+
+fn kernelish() -> DomainSpec {
+    let mut d = DomainSpec::compute_only();
+    d.allow_insts([Kind::Csrrw, Kind::Csrrs, Kind::Csrrc]);
+    d.allow_csr_read(addr::CYCLE);
+    d
+}
+
+/// Boot prologue: M-mode trap vector + drop to S at `kernel`.
+fn prologue(a: &mut Asm) {
+    a.la(T0, "mtrap");
+    a.csrw(addr::MTVEC as u32, T0);
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, addr::MSTATUS as u32, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, addr::MSTATUS as u32, T1);
+    a.la(T0, "kernel");
+    a.csrw(addr::MEPC as u32, T0);
+    a.mret();
+}
+
+fn epilogue(a: &mut Asm) {
+    a.label("mtrap");
+    a.csrr(A0, addr::MCAUSE as u32);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.label("mhang");
+    a.j("mhang");
+}
+
+fn run(m: &mut Machine<Pcu>, prog: &isa_asm::Program) -> Vec<u64> {
+    m.load_program(prog);
+    match m.run(100_000_000) {
+        Exit::Halted(0xAA) => m.bus.value_log.clone(),
+        Exit::Halted(c) => panic!("gate bench trapped: {c:#x}"),
+        Exit::StepLimit => panic!("gate bench hung at {:#x}", m.cpu.pc),
+    }
+}
+
+fn report_and_halt(a: &mut Asm, regs: &[Reg]) {
+    a.li(T6, mmio::VALUE_LOG);
+    for r in regs {
+        a.sd(*r, T6, 0);
+    }
+    a.li(T6, mmio::HALT);
+    a.li(T5, 0xAA);
+    a.sd(T5, T6, 0);
+    a.nop();
+}
+
+/// Loop epilogue that discards the cold lap: counting down from
+/// `iters + 1`, zero the accumulators once the counter reaches `iters`
+/// (i.e. right after lap one), then loop while non-zero.
+fn lap_end(a: &mut Asm, iters: u64, prefix: &str, accs: &[Reg], loop_label: &str) {
+    let nores = format!("{prefix}_nores");
+    a.addi(S11, S11, -1);
+    a.li(T0, iters);
+    a.bne(S11, T0, &nores);
+    for acc in accs {
+        a.li(*acc, 0);
+    }
+    a.label(&nores);
+    a.bnez(S11, loop_label);
+}
+
+/// Cost of one `rdcycle` (the measurement overhead to subtract): the
+/// average delta of back-to-back reads, cold lap discarded.
+fn emit_rdcycle_baseline(a: &mut Asm, iters: u64, acc: Reg) {
+    a.li(acc, 0);
+    a.li(S11, iters + 1);
+    a.label("rb_loop");
+    a.rdcycle(S2);
+    a.rdcycle(S3);
+    a.sub(T1, S3, S2);
+    a.add(acc, acc, T1);
+    lap_end(a, iters, "rb", &[acc], "rb_loop");
+}
+
+/// Measure the basic gate instruction: average cycles of one `hccall`
+/// (Table 4: 5 on Rocket, 34 on the O3 core).
+pub fn hccall_latency(platform: Platform, iters: u64) -> f64 {
+    let mut m = machine(platform);
+    let mut a = Asm::new(RAM);
+    prologue(&mut a);
+    a.label("kernel");
+    // Leave domain-0 first (and warm gates 0/1).
+    a.li(T4, 0);
+    a.label("warm0");
+    a.hccall(T4);
+    a.label("warm_b");
+    a.li(T4, 1);
+    a.label("warm1");
+    a.hccall(T4);
+    a.label("warm_back");
+    // Measured loop: rdcycle / hccall / rdcycle.
+    a.li(S5, 0);
+    a.li(S11, iters + 1);
+    a.label("m_loop");
+    a.li(T4, 2);
+    a.rdcycle(S2);
+    a.label("g0");
+    a.hccall(T4);
+    a.label("d0");
+    a.rdcycle(S3);
+    a.sub(T1, S3, S2);
+    a.add(S5, S5, T1);
+    a.li(T4, 3);
+    a.label("g1");
+    a.hccall(T4); // back, unmeasured
+    a.label("d1");
+    lap_end(&mut a, iters, "m", &[S5], "m_loop");
+    emit_rdcycle_baseline(&mut a, iters, S6);
+    report_and_halt(&mut a, &[S5, S6]);
+    epilogue(&mut a);
+    let prog = a.assemble().unwrap();
+
+    let da = m.ext.add_domain(&mut m.bus, &kernelish());
+    let db = m.ext.add_domain(&mut m.bus, &kernelish());
+    for (site, dest, dom) in [
+        ("warm0", "warm_b", db),
+        ("warm1", "warm_back", da),
+        ("g0", "d0", db),
+        ("g1", "d1", da),
+    ] {
+        m.ext.add_gate(&mut m.bus, GateSpec {
+            gate_addr: prog.symbol(site),
+            dest_addr: prog.symbol(dest),
+            dest_domain: dom,
+        });
+    }
+    let vals = run(&mut m, &prog);
+    (vals[0] as f64 - vals[1] as f64) / iters as f64
+}
+
+/// Measure the extended gate pair: returns (hccalls, hcrets) average
+/// cycles (Table 4: 12/12 on Rocket, 52/44 on the O3 core).
+pub fn extended_gate_latency(platform: Platform, iters: u64) -> (f64, f64) {
+    let mut m = machine(platform);
+    let mut a = Asm::new(RAM);
+    prologue(&mut a);
+    a.label("kernel");
+    // Leave domain-0 (hcrets may never return to it, §4.4).
+    a.li(T4, 1);
+    a.label("setup_gate");
+    a.hccall(T4);
+    a.label("in_domain_a");
+    a.li(S5, 0); // hccalls accumulator
+    a.li(S7, 0); // hcrets accumulator
+    a.li(S11, iters + 1);
+    a.label("m_loop");
+    a.li(T4, 0);
+    a.rdcycle(S2);
+    a.label("g0");
+    a.hccalls(T4);
+    // hcrets lands here:
+    a.rdcycle(T1);
+    a.sub(T2, T1, S8);
+    a.add(S7, S7, T2);
+    lap_end(&mut a, iters, "m", &[S5, S7], "m_loop");
+    a.j("mdone");
+    // Target block (domain B):
+    a.label("b0");
+    a.rdcycle(S3);
+    a.sub(T2, S3, S2);
+    a.add(S5, S5, T2);
+    a.rdcycle(S8);
+    a.hcrets();
+    a.label("mdone");
+    emit_rdcycle_baseline(&mut a, iters, S6);
+    report_and_halt(&mut a, &[S5, S7, S6]);
+    epilogue(&mut a);
+    let prog = a.assemble().unwrap();
+
+    let da = m.ext.add_domain(&mut m.bus, &kernelish());
+    let db = m.ext.add_domain(&mut m.bus, &kernelish());
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("g0"),
+        dest_addr: prog.symbol("b0"),
+        dest_domain: db,
+    });
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("setup_gate"),
+        dest_addr: prog.symbol("in_domain_a"),
+        dest_domain: da,
+    });
+    let l = m.ext.layout();
+    m.ext.set_trusted_stack(l.tstack_base(), l.tstack_base() + 0x1_0000);
+    let vals = run(&mut m, &prog);
+    let rd = vals[2] as f64 / iters as f64;
+    (
+        vals[0] as f64 / iters as f64 - rd,
+        vals[1] as f64 / iters as f64 - rd,
+    )
+}
+
+/// Measure an empty cross-domain call: out and back. `extended` selects
+/// `hccalls`+`hcrets` (vs two `hccall`s). Table 4's "X-domain call".
+pub fn xdomain_call_latency(platform: Platform, iters: u64, extended: bool) -> f64 {
+    let mut m = machine(platform);
+    let mut a = Asm::new(RAM);
+    prologue(&mut a);
+    a.label("kernel");
+    a.li(T4, if extended { 1 } else { 2 });
+    a.label("setup_gate");
+    a.hccall(T4);
+    a.label("in_domain_a");
+    a.li(S5, 0);
+    a.li(S11, iters + 1);
+    a.label("m_loop");
+    a.li(T4, 0);
+    a.rdcycle(S2);
+    a.label("g0");
+    if extended {
+        a.hccalls(T4);
+    } else {
+        a.hccall(T4);
+    }
+    a.label("after_call");
+    a.rdcycle(S3);
+    a.sub(T1, S3, S2);
+    a.add(S5, S5, T1);
+    lap_end(&mut a, iters, "m", &[S5], "m_loop");
+    a.j("mdone");
+    // The empty cross-domain function.
+    a.label("fnentry");
+    if extended {
+        a.hcrets();
+    } else {
+        a.li(T4, 1);
+        a.label("g1");
+        a.hccall(T4);
+    }
+    a.label("mdone");
+    emit_rdcycle_baseline(&mut a, iters, S6);
+    report_and_halt(&mut a, &[S5, S6]);
+    epilogue(&mut a);
+    let prog = a.assemble().unwrap();
+
+    let da = m.ext.add_domain(&mut m.bus, &kernelish());
+    let db = m.ext.add_domain(&mut m.bus, &kernelish());
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("g0"),
+        dest_addr: prog.symbol("fnentry"),
+        dest_domain: db,
+    });
+    if extended {
+        m.ext.add_gate(&mut m.bus, GateSpec {
+            gate_addr: prog.symbol("setup_gate"),
+            dest_addr: prog.symbol("in_domain_a"),
+            dest_domain: da,
+        });
+    } else {
+        m.ext.add_gate(&mut m.bus, GateSpec {
+            gate_addr: prog.symbol("g1"),
+            dest_addr: prog.symbol("after_call"),
+            dest_domain: da,
+        });
+        m.ext.add_gate(&mut m.bus, GateSpec {
+            gate_addr: prog.symbol("setup_gate"),
+            dest_addr: prog.symbol("in_domain_a"),
+            dest_domain: da,
+        });
+    }
+    let l = m.ext.layout();
+    m.ext.set_trusted_stack(l.tstack_base(), l.tstack_base() + 0x1_0000);
+    let vals = run(&mut m, &prog);
+    let rd = vals[1] as f64 / iters as f64;
+    vals[0] as f64 / iters as f64 - rd
+}
+
+/// Average latency of a cache-missing load (Table 4's baseline row):
+/// strided far beyond every cache level. Runs in M-mode (pure memory
+/// system measurement).
+pub fn load_miss_latency(platform: Platform, iters: u64) -> f64 {
+    let mut m = machine(platform);
+    let mut a = Asm::new(RAM);
+    a.li(S5, 0);
+    a.li(S11, iters + 1);
+    a.li(S9, RAM + 0x100_0000); // walk fresh lines from +16 MiB
+    a.label("m_loop");
+    a.rdcycle(S2);
+    a.ld(T1, S9, 0);
+    a.rdcycle(S3);
+    a.sub(T1, S3, S2);
+    a.add(S5, S5, T1);
+    a.li(T1, 4096 + 64); // page-and-a-line stride: misses everywhere
+    a.add(S9, S9, T1);
+    lap_end(&mut a, iters, "m", &[S5], "m_loop");
+    emit_rdcycle_baseline(&mut a, iters, S6);
+    report_and_halt(&mut a, &[S5, S6]);
+    let prog = a.assemble().unwrap();
+    let vals = run(&mut m, &prog);
+    (vals[0] as f64 - vals[1] as f64) / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hccall_matches_table4_on_both_platforms() {
+        let rocket = hccall_latency(Platform::Rocket, 64);
+        assert!((4.0..=7.0).contains(&rocket), "rocket hccall = {rocket}");
+        let o3 = hccall_latency(Platform::O3, 64);
+        assert!((30.0..=40.0).contains(&o3), "o3 hccall = {o3}");
+    }
+
+    #[test]
+    fn extended_gates_near_table4() {
+        let (calls, rets) = extended_gate_latency(Platform::Rocket, 64);
+        assert!((9.0..=16.0).contains(&calls), "rocket hccalls = {calls}");
+        assert!((9.0..=16.0).contains(&rets), "rocket hcrets = {rets}");
+        let (calls, rets) = extended_gate_latency(Platform::O3, 64);
+        assert!((45.0..=60.0).contains(&calls), "o3 hccalls = {calls}");
+        assert!((38.0..=52.0).contains(&rets), "o3 hcrets = {rets}");
+    }
+
+    #[test]
+    fn load_miss_exceeds_floors() {
+        assert!(load_miss_latency(Platform::Rocket, 64) > 120.0);
+        assert!(load_miss_latency(Platform::O3, 64) > 200.0);
+    }
+
+    #[test]
+    fn xdomain_call_is_cheap() {
+        let two_hccall = xdomain_call_latency(Platform::Rocket, 64, false);
+        assert!((8.0..=20.0).contains(&two_hccall), "{two_hccall}");
+        let extended = xdomain_call_latency(Platform::Rocket, 64, true);
+        assert!(extended > two_hccall, "extended {extended} vs {two_hccall}");
+    }
+}

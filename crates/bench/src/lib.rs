@@ -1,0 +1,52 @@
+//! # isa-grid-bench — harnesses regenerating the paper's tables and figures
+//!
+//! Each module regenerates one evaluation artifact; the `src/bin/`
+//! binaries are thin wrappers that run a module at full scale and print
+//! the result. `EXPERIMENTS.md` records the outputs next to the paper's
+//! numbers.
+//!
+//! | artifact | module | binary |
+//! |---|---|---|
+//! | Table 4 (domain-switch latency) | [`table4`] | `table4` |
+//! | §7.1 cache hit rates | [`hitrate`] | `hitrate` |
+//! | Figure 5 (LMbench, RISC-V) | [`figs::fig5`] | `fig5` |
+//! | Figure 6 (apps, RISC-V) | [`figs::fig67`] | `fig6` |
+//! | Figure 7 (apps, x86-like) | [`figs::fig67`] | `fig7` |
+//! | Figure 8 (nested kernel) | [`figs::fig8`] | `fig8` |
+//! | Table 5 (service latency) | [`table5`] | `table5` |
+//! | Table 6 (hardware cost) | `hwcost` crate | `table6` |
+//! | §7.2 case 3 (PKS estimate) | [`pks`] | `pks_case3` |
+//! | PCU design ablations | [`ablation`] | `ablation` |
+//! | cycle breakdown & monitor micro-cost | [`breakdown`] | `breakdown` |
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod breakdown;
+pub mod figs;
+pub mod gatebench;
+pub mod hitrate;
+pub mod pks;
+pub mod report;
+pub mod table4;
+pub mod table5;
+
+/// Render Table 6 from the `hwcost` model.
+pub fn render_table6() -> String {
+    let rows = hwcost::table6_rows();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, base, cells)| {
+            let mut v = vec![name.to_string(), format!("{base:.0}")];
+            for (abs, pct) in cells {
+                v.push(format!("{abs:.0} ({pct:.2}%)"));
+            }
+            v
+        })
+        .collect();
+    report::table(
+        "Table 6: hardware cost of ISA-Grid (analytical model calibrated to Vivado report)",
+        &["Resource", "Rocket Core", "16E.", "8E.", "8E.N"],
+        &body,
+    )
+}

@@ -1,0 +1,67 @@
+//! §7.2 Case 3 — protecting the PKS/MPK write instruction with ISA-Grid.
+//!
+//! The paper estimates the combined cost of an MPK-style memory-domain
+//! switch *plus* an ISA-Grid domain switch that confines `wrpkru`/`wrpkrs`
+//! to a trampoline, and compares it against other ways of changing memory
+//! permissions (page-table switch with/without PTI, `vmfunc`). The
+//! non-ISA-Grid numbers are Hodor's published measurements; ours is
+//! measured on the O3 model, exactly mirroring the paper's methodology.
+
+use simkernel::Platform;
+
+use crate::gatebench;
+use crate::report;
+
+/// Hodor's published cycle costs (cited constants, see §7.2).
+pub mod cited {
+    /// `wrpkru` itself.
+    pub const WRPKRU: f64 = 26.0;
+    /// A full MPK trampoline (permission switch + call).
+    pub const MPK_TRAMPOLINE: f64 = 105.0;
+    /// Changing the extended page table with `vmfunc`.
+    pub const VMFUNC: f64 = 268.0;
+    /// Page-table switch without PTI.
+    pub const PT_SWITCH: f64 = 577.0;
+    /// Page-table switch with PTI.
+    pub const PT_SWITCH_PTI: f64 = 938.0;
+}
+
+/// The case-3 estimate.
+#[derive(Debug, Clone)]
+pub struct Case3 {
+    /// Our measured round trip into a `wrpkrs`-enabled ISA domain and
+    /// back (two `hccall`, O3 model). Paper: 70 cycles.
+    pub two_hccall: f64,
+    /// The combined estimate: MPK trampoline + ISA-Grid switch.
+    pub combined: f64,
+}
+
+/// Measure the estimate.
+pub fn run(iters: u64) -> Case3 {
+    let two_hccall = gatebench::xdomain_call_latency(Platform::O3, iters, false);
+    Case3 { two_hccall, combined: cited::MPK_TRAMPOLINE + two_hccall }
+}
+
+/// Render the comparison.
+pub fn render(c: &Case3) -> String {
+    let rows = vec![
+        vec!["wrpkru alone (cited, Hodor)".into(), report::cyc(cited::WRPKRU)],
+        vec!["MPK trampoline (cited, Hodor)".into(), report::cyc(cited::MPK_TRAMPOLINE)],
+        vec![
+            "ISA-domain switch, 2x hccall (measured)".into(),
+            report::cyc(c.two_hccall),
+        ],
+        vec![
+            "PKS + ISA-Grid trampoline (= 105 + measured)".into(),
+            report::cyc(c.combined),
+        ],
+        vec!["vmfunc EPT switch (cited)".into(), report::cyc(cited::VMFUNC)],
+        vec!["page-table switch (cited)".into(), report::cyc(cited::PT_SWITCH)],
+        vec!["page-table switch w/ PTI (cited)".into(), report::cyc(cited::PT_SWITCH_PTI)],
+    ];
+    report::table(
+        "Case 3: protecting PKS with ISA-Grid (cycles, x86-like O3)",
+        &["mechanism", "cycles"],
+        &rows,
+    )
+}

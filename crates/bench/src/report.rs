@@ -1,0 +1,72 @@
+//! Plain-text table rendering for the harness binaries.
+
+/// Render an aligned table with a title.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n=== {title} ===\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a cycle count with one decimal.
+pub fn cyc(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a normalized-time value.
+pub fn norm(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = table(
+            "T",
+            &["a", "long-header"],
+            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "2".into()]],
+        );
+        assert!(s.contains("=== T ==="));
+        assert!(s.contains("long-header"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(cyc(5.04), "5.0");
+        assert_eq!(norm(1.00444), "1.0044");
+        assert_eq!(pct(0.5), "+0.50%");
+        assert_eq!(pct(-1.25), "-1.25%");
+    }
+}

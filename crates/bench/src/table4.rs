@@ -1,0 +1,155 @@
+//! Table 4 — domain switching latency.
+
+use simkernel::{KernelConfig, Platform};
+use workloads::measure;
+use workloads::LmBench;
+
+use crate::gatebench;
+use crate::report;
+
+/// One row of the table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Platform / CPU column.
+    pub cpu: String,
+    /// Instruction or scheme.
+    pub name: String,
+    /// Measured (or cited) cycles, preformatted.
+    pub cycles: String,
+    /// Explanation column.
+    pub explanation: String,
+    /// Raw measured value when this row was measured here (None for
+    /// cited rows).
+    pub measured: Option<f64>,
+}
+
+/// The regenerated table.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// All rows, paper order.
+    pub rows: Vec<Row>,
+}
+
+fn row(cpu: &str, name: &str, cycles: String, expl: &str, measured: Option<f64>) -> Row {
+    Row {
+        cpu: cpu.into(),
+        name: name.into(),
+        cycles,
+        explanation: expl.into(),
+        measured,
+    }
+}
+
+/// Per-syscall latency of an empty call on a kernel configuration.
+fn syscall_latency(cfg: KernelConfig, platform: Platform, iters: u64) -> f64 {
+    let prog = LmBench::NullCall.program(iters);
+    let r = measure::run(
+        cfg,
+        platform,
+        isa_grid::PcuConfig::eight_e(),
+        &prog,
+        None,
+        400_000_000,
+    );
+    r.cycles() as f64 / iters as f64
+}
+
+/// Run every measurement (`iters` per micro-measurement).
+pub fn run(iters: u64) -> Table4 {
+    let mut rows = Vec::new();
+
+    // --- instruction-latency block ---
+    for (platform, cpu) in [(Platform::Rocket, "RISC-V Rocket"), (Platform::O3, "x86-like O3")] {
+        let miss = gatebench::load_miss_latency(platform, iters);
+        rows.push(row(
+            cpu,
+            "load/store",
+            format!(">{:.0}", miss.floor()),
+            "Cache miss latency.",
+            Some(miss),
+        ));
+        let hccall = gatebench::hccall_latency(platform, iters);
+        rows.push(row(
+            &format!("* {cpu}"),
+            "hccall",
+            report::cyc(hccall),
+            "Gate instruction.",
+            Some(hccall),
+        ));
+        let (calls, rets) = gatebench::extended_gate_latency(platform, iters);
+        rows.push(row(
+            &format!("* {cpu}"),
+            "hccalls/hcrets",
+            format!("{} / {}", report::cyc(calls), report::cyc(rets)),
+            "Extended gate/return inst.",
+            Some(calls),
+        ));
+    }
+
+    // --- scheme block (cited comparisons + our calls) ---
+    rows.push(row("CHERI MIPS", "CHERI [71]", ">400 (cited)".into(),
+        "Change capability for memory.", None));
+    rows.push(row("RISC-V Ariane", "Donky [59]", "2136 (cited)".into(),
+        "Change memory permission.", None));
+
+    let pti = syscall_latency(KernelConfig::native().with_pti(), Platform::Rocket, iters);
+    rows.push(row(
+        "RISC-V Rocket",
+        "System call",
+        report::cyc(pti),
+        "Empty call w/ PTI.",
+        Some(pti),
+    ));
+    let sup = syscall_latency(KernelConfig::native(), Platform::Rocket, iters);
+    rows.push(row(
+        "RISC-V Rocket",
+        "Supervisor call",
+        report::cyc(sup),
+        "Empty supervisor call.",
+        Some(sup),
+    ));
+    let x2 = gatebench::xdomain_call_latency(Platform::Rocket, iters, false);
+    let xe = gatebench::xdomain_call_latency(Platform::Rocket, iters, true);
+    rows.push(row(
+        "* RISC-V Rocket",
+        "X-domain call",
+        format!("{} / {}", report::cyc(x2), report::cyc(xe)),
+        "Empty call (hccall / hccalls).",
+        Some(x2),
+    ));
+    let sbc = syscall_latency(KernelConfig::native().with_pti(), Platform::Rocket, iters) * 1.0;
+    rows.push(row(
+        "RISC-V Rocket",
+        "Syscall-based call",
+        report::cyc(sbc),
+        "Empty call using syscall (w/ PTI).",
+        Some(sbc),
+    ));
+    let x2_o3 = gatebench::xdomain_call_latency(Platform::O3, iters, false);
+    let xe_o3 = gatebench::xdomain_call_latency(Platform::O3, iters, true);
+    rows.push(row(
+        "* x86-like O3",
+        "X-domain call",
+        format!("{} / {}", report::cyc(x2_o3), report::cyc(xe_o3)),
+        "Empty call (2x hccall / hccalls+hcrets).",
+        Some(x2_o3),
+    ));
+    rows.push(row("x86 KVM", "VM call", "~1700 (cited)".into(),
+        "Empty VM call [29].", None));
+
+    Table4 { rows }
+}
+
+/// Render the table.
+pub fn render(t: &Table4) -> String {
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| vec![r.cpu.clone(), r.name.clone(), r.cycles.clone(), r.explanation.clone()])
+        .collect();
+    report::table(
+        "Table 4: domain switching latency (* = ISA-Grid; cycles)",
+        &["CPU", "Instruction/Scheme", "Cycles", "Explanation"],
+        &rows,
+    )
+}

@@ -1,0 +1,109 @@
+//! Table 5 — latency of the four protected kernel services.
+
+use isa_asm::{Program, Reg::*};
+use isa_grid::PcuConfig;
+use simkernel::layout::sys;
+use simkernel::{usr, KernelConfig, Platform};
+use workloads::measure;
+
+use crate::report;
+
+/// One service row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Service name.
+    pub name: &'static str,
+    /// Instruction/register column.
+    pub resource: &'static str,
+    /// Purpose column.
+    pub purpose: &'static str,
+    /// Per-call cycles under the decomposed (ISA-Grid) kernel.
+    pub grid: f64,
+    /// Per-call cycles under the native kernel.
+    pub native: f64,
+}
+
+impl Row {
+    /// Overhead percentage.
+    pub fn overhead(&self) -> f64 {
+        (self.grid - self.native) / self.native * 100.0
+    }
+}
+
+fn ioctl_program(service: u64, iters: u64) -> Program {
+    let mut a = usr::program();
+    // Warmup.
+    a.li(A0, service);
+    a.li(A1, 0);
+    usr::syscall(&mut a, sys::IOCTL);
+    usr::measure_start(&mut a);
+    usr::repeat(&mut a, iters, "m", |a| {
+        a.li(A0, service);
+        a.li(A1, 0);
+        usr::syscall(a, sys::IOCTL);
+    });
+    usr::measure_end_report(&mut a);
+    usr::exit_code(&mut a, 0);
+    a.assemble().expect("ioctl bench assembles")
+}
+
+/// Measure all four services (`iters` calls each) on the O3 platform.
+pub fn run(iters: u64) -> Vec<Row> {
+    let meta: [(&str, &str, &str); 4] = [
+        ("Service-1", "CPUID", "Get CPU information."),
+        ("Service-2", "MTRR", "Get memory type."),
+        ("Service-3", "PMC", "Get number of traps."),
+        ("Service-4", "PMC", "Get number of page walks."),
+    ];
+    meta.iter()
+        .enumerate()
+        .map(|(i, (name, resource, purpose))| {
+            let prog = ioctl_program(i as u64, iters);
+            let native = measure::run(
+                KernelConfig::native(),
+                Platform::O3,
+                PcuConfig::eight_e(),
+                &prog,
+                None,
+                400_000_000,
+            );
+            let grid = measure::run(
+                KernelConfig::decomposed(),
+                Platform::O3,
+                PcuConfig::eight_e(),
+                &prog,
+                None,
+                400_000_000,
+            );
+            Row {
+                name,
+                resource,
+                purpose,
+                grid: grid.cycles() as f64 / iters as f64,
+                native: native.cycles() as f64 / iters as f64,
+            }
+        })
+        .collect()
+}
+
+/// Render Table 5.
+pub fn render(rows: &[Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.resource.to_string(),
+                r.purpose.to_string(),
+                report::cyc(r.grid),
+                report::cyc(r.native),
+                report::pct(r.overhead()),
+            ]
+        })
+        .collect();
+    report::table(
+        "Table 5: latency for different services (cycles, x86-like O3)",
+        &["Service", "Inst./Reg.", "Purpose", "ISA-Grid", "Native", "Overhead"],
+        &body,
+    )
+}

@@ -1,0 +1,205 @@
+//! The domain privilege cache (§4.3): small fully-associative LRU caches
+//! for HPT entries and SGT entries.
+
+/// Hit/miss/flush counters for one cache.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the tag.
+    pub hits: u64,
+    /// Lookups that missed (and caused a trusted-memory read).
+    pub misses: u64,
+    /// Entries discarded by explicit flushes.
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 1.0 when the cache was never used.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tag: u64,
+    payload: [u64; 4],
+    stamp: u64,
+}
+
+/// A fully-associative LRU cache with 256-bit payloads.
+///
+/// The prototype implements the HPT cache as three separate caches plus
+/// one SGT cache (§7 "Configuration"); all four are instances of this
+/// structure. A capacity of zero models the `8E.N` configuration's
+/// missing SGT cache: every lookup misses.
+#[derive(Debug, Clone)]
+pub struct PrivCache {
+    entries: Vec<Entry>,
+    capacity: usize,
+    tick: u64,
+    /// Counters for the evaluation (§7.1 reports hit rates).
+    pub stats: CacheStats,
+}
+
+impl PrivCache {
+    /// A cache with room for `capacity` entries (0 = always miss).
+    pub fn new(capacity: usize) -> PrivCache {
+        PrivCache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of entries the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `tag`, updating LRU order and statistics.
+    pub fn lookup(&mut self, tag: u64) -> Option<[u64; 4]> {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.tag == tag) {
+            e.stamp = self.tick;
+            self.stats.hits += 1;
+            return Some(e.payload);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Probe without touching LRU order or statistics (prefetch checks).
+    pub fn contains(&self, tag: u64) -> bool {
+        self.entries.iter().any(|e| e.tag == tag)
+    }
+
+    /// Insert `tag` → `payload`, evicting the least-recently-used entry
+    /// if full. No-op for zero-capacity caches.
+    pub fn insert(&mut self, tag: u64, payload: [u64; 4]) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.tag == tag) {
+            e.payload = payload;
+            e.stamp = self.tick;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("cache is non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push(Entry { tag, payload, stamp: self.tick });
+    }
+
+    /// Drop every entry (the `pflh` instruction).
+    pub fn flush(&mut self) {
+        self.stats.flushes += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    /// Current number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = PrivCache::new(4);
+        assert_eq!(c.lookup(7), None);
+        c.insert(7, [1, 2, 3, 4]);
+        assert_eq!(c.lookup(7), Some([1, 2, 3, 4]));
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PrivCache::new(2);
+        c.insert(1, [1; 4]);
+        c.insert(2, [2; 4]);
+        c.lookup(1); // 1 is now more recent than 2
+        c.insert(3, [3; 4]); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn reinsert_updates_payload_without_eviction() {
+        let mut c = PrivCache::new(2);
+        c.insert(1, [1; 4]);
+        c.insert(2, [2; 4]);
+        c.insert(1, [9; 4]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(1), Some([9; 4]));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let mut c = PrivCache::new(0);
+        c.insert(1, [1; 4]);
+        assert_eq!(c.lookup(1), None);
+        assert_eq!(c.stats.hits, 0);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn flush_empties_and_counts() {
+        let mut c = PrivCache::new(4);
+        c.insert(1, [0; 4]);
+        c.insert(2, [0; 4]);
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(c.stats.flushes, 2);
+        assert_eq!(c.lookup(1), None);
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut c = PrivCache::new(4);
+        assert_eq!(c.stats.hit_rate(), 1.0);
+        c.lookup(1);
+        c.insert(1, [0; 4]);
+        for _ in 0..99 {
+            c.lookup(1);
+        }
+        assert!((c.stats.hit_rate() - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_is_respected_under_churn() {
+        let mut c = PrivCache::new(8);
+        for i in 0..1000 {
+            c.insert(i, [i; 4]);
+            assert!(c.len() <= 8);
+        }
+        // The most recent 8 tags must all be present.
+        for i in 992..1000 {
+            assert!(c.contains(i), "tag {i}");
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Domain privilege specifications and gate descriptors — the values
+//! domain-0 software writes into the HPT and SGT.
+
+use std::fmt;
+
+use isa_sim::Kind;
+
+use crate::layout::{mask_slot, INST_BITMAP_WORDS, MASK_SLOTS, REG_BITMAP_STRIDE};
+
+/// Identifier of an ISA domain. Domain 0 is the all-privileged
+/// initialization domain (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DomainId(pub u64);
+
+impl DomainId {
+    /// The special initialization domain.
+    pub const INIT: DomainId = DomainId(0);
+
+    /// Whether this is domain-0.
+    pub fn is_init(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "domain-{}", self.0)
+    }
+}
+
+/// Identifier of a registered switching gate (its SGT index, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub u64);
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gate-{}", self.0)
+    }
+}
+
+/// A registered gate: "each entry in the SGT contains the gate address,
+/// the destination address, and the destination domain of a gate" (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateSpec {
+    /// The only address the gate instruction may execute at.
+    pub gate_addr: u64,
+    /// Where control transfers on a successful gate call.
+    pub dest_addr: u64,
+    /// The ISA domain the CPU switches to.
+    pub dest_domain: DomainId,
+}
+
+/// A functional group of instruction classes, for the coarse-grained
+/// privilege simplification discussed in §8: "it is possible to simplify
+/// the implementation of ISA-Grid by using one bit to control the
+/// privilege for a small group of instructions".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstGroup {
+    /// Integer ALU operations (register and immediate forms).
+    IntAlu,
+    /// Multiply/divide unit.
+    MulDiv,
+    /// Loads and stores.
+    LoadStore,
+    /// Branches, jumps and calls.
+    ControlFlow,
+    /// LR/SC and AMOs.
+    Atomic,
+    /// Fences (`fence`, `fence.i`).
+    Fence,
+    /// Explicit CSR accessors (`csrr*`).
+    CsrAccess,
+    /// Trap entry/return and privileged maintenance
+    /// (`ecall`/`ebreak`/`mret`/`sret`/`wfi`/`sfence.vma`).
+    Privileged,
+}
+
+impl InstGroup {
+    /// Every group.
+    pub const ALL: [InstGroup; 8] = [
+        InstGroup::IntAlu,
+        InstGroup::MulDiv,
+        InstGroup::LoadStore,
+        InstGroup::ControlFlow,
+        InstGroup::Atomic,
+        InstGroup::Fence,
+        InstGroup::CsrAccess,
+        InstGroup::Privileged,
+    ];
+
+    /// The classes belonging to this group.
+    pub fn kinds(self) -> impl Iterator<Item = Kind> {
+        Kind::all().filter(move |k| self.contains(*k))
+    }
+
+    /// Whether class `k` belongs to this group.
+    pub fn contains(self, k: Kind) -> bool {
+        if k.is_grid_custom() {
+            return false; // gates/cache ops are outside the bitmap scheme
+        }
+        match self {
+            InstGroup::MulDiv => k.is_muldiv(),
+            InstGroup::Atomic => k.is_amo() || matches!(k, Kind::LrW | Kind::ScW | Kind::LrD | Kind::ScD),
+            InstGroup::LoadStore => {
+                (k.is_load() || k.is_store())
+                    && !k.is_amo()
+                    && !matches!(k, Kind::LrW | Kind::ScW | Kind::LrD | Kind::ScD)
+            }
+            InstGroup::ControlFlow => {
+                k.is_branch() || matches!(k, Kind::Jal | Kind::Jalr)
+            }
+            InstGroup::Fence => matches!(k, Kind::Fence | Kind::FenceI),
+            InstGroup::CsrAccess => k.is_csr_access(),
+            InstGroup::Privileged => matches!(
+                k,
+                Kind::Ecall | Kind::Ebreak | Kind::Mret | Kind::Sret | Kind::Wfi | Kind::SfenceVma
+            ),
+            InstGroup::IntAlu => {
+                // Everything not claimed by another group.
+                !k.is_muldiv()
+                    && !k.is_load()
+                    && !k.is_store()
+                    && !k.is_branch()
+                    && !matches!(
+                        k,
+                        Kind::Jal
+                            | Kind::Jalr
+                            | Kind::Fence
+                            | Kind::FenceI
+                            | Kind::Ecall
+                            | Kind::Ebreak
+                            | Kind::Mret
+                            | Kind::Sret
+                            | Kind::Wfi
+                            | Kind::SfenceVma
+                    )
+                    && !k.is_csr_access()
+            }
+        }
+    }
+}
+
+/// The privileges of one ISA domain: an instruction bitmap, a register
+/// double-bitmap (read/write bit per CSR), and per-slot write bit-masks
+/// (§4.1's hybrid-grained privilege structure).
+///
+/// Build one with the fluent API and register it with
+/// [`crate::Pcu::add_domain`]:
+///
+/// ```
+/// use isa_grid::DomainSpec;
+/// use isa_sim::{csr::addr, Kind};
+///
+/// let mut spec = DomainSpec::compute_only();
+/// spec.allow_inst(Kind::Csrrs)
+///     .allow_csr_read(addr::CYCLE)
+///     .allow_csr_write_masked(addr::SSTATUS, 0b10); // SIE bit only
+/// assert!(spec.inst_allowed(Kind::Csrrs));
+/// assert!(!spec.inst_allowed(Kind::SfenceVma));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainSpec {
+    pub(crate) inst_bitmap: [u64; INST_BITMAP_WORDS],
+    pub(crate) reg_bits: Vec<u8>,
+    pub(crate) masks: [u64; MASK_SLOTS],
+}
+
+impl DomainSpec {
+    /// A domain that may execute nothing (gates excepted: those are
+    /// executable from every domain by construction).
+    pub fn deny_all() -> DomainSpec {
+        DomainSpec {
+            inst_bitmap: [0; INST_BITMAP_WORDS],
+            reg_bits: vec![0; REG_BITMAP_STRIDE as usize],
+            masks: [0; MASK_SLOTS],
+        }
+    }
+
+    /// A domain with every privilege (what domain-0 has implicitly).
+    pub fn allow_all() -> DomainSpec {
+        let mut d = DomainSpec::deny_all();
+        for k in Kind::all() {
+            d.allow_inst(k);
+        }
+        d.reg_bits.fill(0xff);
+        d.masks = [u64::MAX; MASK_SLOTS];
+        d
+    }
+
+    /// The de-privileged baseline of the paper's kernel decomposition:
+    /// all general computing instructions (ALU, memory, control flow,
+    /// atomics, fences) but no CSR access, no privileged instructions.
+    pub fn compute_only() -> DomainSpec {
+        let mut d = DomainSpec::deny_all();
+        for k in Kind::all() {
+            let privileged = k.is_csr_access()
+                || matches!(k, Kind::Mret | Kind::Sret | Kind::Wfi | Kind::SfenceVma)
+                || k.is_grid_custom();
+            if !privileged {
+                d.allow_inst(k);
+            }
+        }
+        d
+    }
+
+    // ---- instruction privileges ----
+
+    /// Permit a whole functional group of instruction classes — the §8
+    /// "Possible Simplification": when instructions are always used
+    /// together, one decision can cover the group.
+    pub fn allow_group(&mut self, g: InstGroup) -> &mut Self {
+        self.allow_insts(g.kinds())
+    }
+
+    /// Revoke a whole functional group.
+    pub fn deny_group(&mut self, g: InstGroup) -> &mut Self {
+        for k in g.kinds() {
+            self.deny_inst(k);
+        }
+        self
+    }
+
+    /// Whether *every* class of the group is allowed.
+    pub fn group_allowed(&self, g: InstGroup) -> bool {
+        g.kinds().all(|k| self.inst_allowed(k))
+    }
+
+    /// Permit executing instruction class `k`.
+    pub fn allow_inst(&mut self, k: Kind) -> &mut Self {
+        let i = k.class_index();
+        self.inst_bitmap[i / 64] |= 1 << (i % 64);
+        self
+    }
+
+    /// Forbid executing instruction class `k`.
+    pub fn deny_inst(&mut self, k: Kind) -> &mut Self {
+        let i = k.class_index();
+        self.inst_bitmap[i / 64] &= !(1 << (i % 64));
+        self
+    }
+
+    /// Permit every class in `kinds`.
+    pub fn allow_insts(&mut self, kinds: impl IntoIterator<Item = Kind>) -> &mut Self {
+        for k in kinds {
+            self.allow_inst(k);
+        }
+        self
+    }
+
+    /// Whether class `k` is allowed by this spec.
+    pub fn inst_allowed(&self, k: Kind) -> bool {
+        let i = k.class_index();
+        self.inst_bitmap[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    // ---- register privileges ----
+
+    fn set_reg_bit(&mut self, csr: u16, write: bool, value: bool) {
+        let bit = (csr as usize) * 2 + write as usize;
+        let (byte, shift) = (bit / 8, bit % 8);
+        if value {
+            self.reg_bits[byte] |= 1 << shift;
+        } else {
+            self.reg_bits[byte] &= !(1 << shift);
+        }
+    }
+
+    fn reg_bit(&self, csr: u16, write: bool) -> bool {
+        let bit = (csr as usize) * 2 + write as usize;
+        self.reg_bits[bit / 8] & (1 << (bit % 8)) != 0
+    }
+
+    /// Permit reading CSR `csr`.
+    pub fn allow_csr_read(&mut self, csr: u16) -> &mut Self {
+        self.set_reg_bit(csr, false, true);
+        self
+    }
+
+    /// Permit writing CSR `csr`. For a CSR with bitwise control this also
+    /// sets its bit-mask to all-ones (every bit writable).
+    pub fn allow_csr_write(&mut self, csr: u16) -> &mut Self {
+        self.set_reg_bit(csr, true, true);
+        if let Some(slot) = mask_slot(csr) {
+            self.masks[slot] = u64::MAX;
+        }
+        self
+    }
+
+    /// Permit reading and writing CSR `csr`.
+    pub fn allow_csr_rw(&mut self, csr: u16) -> &mut Self {
+        self.allow_csr_read(csr);
+        self.allow_csr_write(csr)
+    }
+
+    /// Permit writing only the bits of `csr` that are set in `mask` —
+    /// ISA-Grid's bit-level access control. Reading is not affected
+    /// ("the bit-masks are only used for CSR writing", §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `csr` has no bit-mask slot (see
+    /// [`crate::layout::MASKED_CSRS`]); coarse CSRs use
+    /// [`DomainSpec::allow_csr_write`].
+    pub fn allow_csr_write_masked(&mut self, csr: u16, mask: u64) -> &mut Self {
+        let slot = mask_slot(csr)
+            .unwrap_or_else(|| panic!("CSR {csr:#x} has no bitwise-control slot"));
+        self.set_reg_bit(csr, true, true);
+        self.masks[slot] = mask;
+        self
+    }
+
+    /// Revoke all access to `csr`.
+    pub fn deny_csr(&mut self, csr: u16) -> &mut Self {
+        self.set_reg_bit(csr, false, false);
+        self.set_reg_bit(csr, true, false);
+        if let Some(slot) = mask_slot(csr) {
+            self.masks[slot] = 0;
+        }
+        self
+    }
+
+    /// Whether reads of `csr` are allowed.
+    pub fn csr_readable(&self, csr: u16) -> bool {
+        self.reg_bit(csr, false)
+    }
+
+    /// Whether writes of `csr` are allowed at all (for masked CSRs: any
+    /// non-zero mask).
+    pub fn csr_writable(&self, csr: u16) -> bool {
+        self.reg_bit(csr, true)
+    }
+
+    /// The write bit-mask for `csr` (all-ones when unmasked).
+    pub fn csr_write_mask(&self, csr: u16) -> u64 {
+        match mask_slot(csr) {
+            Some(slot) => self.masks[slot],
+            None => u64::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa_sim::csr::addr;
+
+    #[test]
+    fn deny_all_denies_everything() {
+        let d = DomainSpec::deny_all();
+        for k in Kind::all() {
+            assert!(!d.inst_allowed(k));
+        }
+        assert!(!d.csr_readable(addr::SATP));
+        assert!(!d.csr_writable(addr::SATP));
+    }
+
+    #[test]
+    fn allow_all_allows_everything() {
+        let d = DomainSpec::allow_all();
+        for k in Kind::all() {
+            assert!(d.inst_allowed(k));
+        }
+        assert!(d.csr_readable(addr::MSTATUS));
+        assert!(d.csr_writable(addr::SSTATUS));
+        assert_eq!(d.csr_write_mask(addr::SSTATUS), u64::MAX);
+    }
+
+    #[test]
+    fn compute_only_excludes_privileged_classes() {
+        let d = DomainSpec::compute_only();
+        assert!(d.inst_allowed(Kind::Add));
+        assert!(d.inst_allowed(Kind::Ld));
+        assert!(d.inst_allowed(Kind::Jal));
+        assert!(d.inst_allowed(Kind::AmoaddD));
+        assert!(d.inst_allowed(Kind::Ecall), "syscalls must work");
+        assert!(!d.inst_allowed(Kind::Csrrw));
+        assert!(!d.inst_allowed(Kind::Csrrs));
+        assert!(!d.inst_allowed(Kind::SfenceVma));
+        assert!(!d.inst_allowed(Kind::Mret));
+        assert!(!d.inst_allowed(Kind::Sret));
+    }
+
+    #[test]
+    fn inst_allow_deny_roundtrip() {
+        let mut d = DomainSpec::deny_all();
+        d.allow_inst(Kind::Csrrw);
+        assert!(d.inst_allowed(Kind::Csrrw));
+        // Neighbouring classes stay untouched.
+        assert!(!d.inst_allowed(Kind::Csrrs));
+        d.deny_inst(Kind::Csrrw);
+        assert!(!d.inst_allowed(Kind::Csrrw));
+    }
+
+    #[test]
+    fn csr_read_write_bits_are_independent() {
+        let mut d = DomainSpec::deny_all();
+        d.allow_csr_read(addr::SATP);
+        assert!(d.csr_readable(addr::SATP));
+        assert!(!d.csr_writable(addr::SATP));
+        d.allow_csr_write(addr::SATP);
+        assert!(d.csr_writable(addr::SATP));
+        // Adjacent CSRs unaffected.
+        assert!(!d.csr_readable(addr::SATP + 1));
+        assert!(!d.csr_readable(addr::SATP - 1));
+    }
+
+    #[test]
+    fn masked_write_sets_partial_mask() {
+        let mut d = DomainSpec::deny_all();
+        d.allow_csr_write_masked(addr::SSTATUS, 0b10);
+        assert!(d.csr_writable(addr::SSTATUS));
+        assert_eq!(d.csr_write_mask(addr::SSTATUS), 0b10);
+        // Unmasked CSRs report a full mask.
+        assert_eq!(d.csr_write_mask(addr::SEPC), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "no bitwise-control slot")]
+    fn masked_write_requires_a_slot() {
+        DomainSpec::deny_all().allow_csr_write_masked(addr::SEPC, 1);
+    }
+
+    #[test]
+    fn deny_csr_clears_everything() {
+        let mut d = DomainSpec::allow_all();
+        d.deny_csr(addr::SSTATUS);
+        assert!(!d.csr_readable(addr::SSTATUS));
+        assert!(!d.csr_writable(addr::SSTATUS));
+        assert_eq!(d.csr_write_mask(addr::SSTATUS), 0);
+    }
+
+    #[test]
+    fn domain_id_display() {
+        assert_eq!(DomainId(3).to_string(), "domain-3");
+        assert!(DomainId::INIT.is_init());
+        assert!(!DomainId(1).is_init());
+        assert_eq!(GateId(2).to_string(), "gate-2");
+    }
+}

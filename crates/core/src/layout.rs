@@ -1,0 +1,251 @@
+//! Trusted-memory layout of the hybrid privilege table (HPT) and the
+//! switching gate table (SGT).
+//!
+//! ISA-Grid stores all privilege structures in a reserved, power-of-two
+//! sized region of physical memory (§4.5). Four base-address registers
+//! (`inst-cap`, `csr-cap`, `csr-bit-mask`, `gate-addr`, Table 2) point at
+//! the individual structures; this module fixes their packing so the PCU
+//! and domain-0 software agree on it — the "hardware parameters of
+//! ISA-Grid \[that\] should be known by software developers" (§4.1).
+
+use isa_sim::csr::addr;
+use isa_sim::Kind;
+
+/// 64-bit words per instruction bitmap (covers [`Kind::COUNT`] classes).
+pub const INST_BITMAP_WORDS: usize = Kind::COUNT.div_ceil(64);
+
+/// Bytes per domain in the instruction-bitmap array.
+pub const INST_BITMAP_STRIDE: u64 = (INST_BITMAP_WORDS * 8) as u64;
+
+/// Number of CSR addresses covered by the register bitmap (the full
+/// 12-bit space).
+pub const CSR_SPACE: usize = 4096;
+
+/// Bytes per domain in the register-bitmap array: 2 bits (read/write)
+/// per CSR.
+pub const REG_BITMAP_STRIDE: u64 = (CSR_SPACE * 2 / 8) as u64;
+
+/// CSRs covered by one register-bitmap cache entry. 128 CSRs × 2 bits =
+/// 256 bits = one 4×u64 cache payload ("a register bitmap for a domain
+/// can be divided into several entries", §4.3).
+pub const REG_GROUP_CSRS: usize = 128;
+
+/// Register-bitmap groups per domain.
+pub const REG_GROUPS: usize = CSR_SPACE / REG_GROUP_CSRS;
+
+/// Number of bit-mask slots per domain (CSRs with bitwise control).
+pub const MASK_SLOTS: usize = 8;
+
+/// Bytes per domain in the bit-mask array.
+pub const MASK_STRIDE: u64 = (MASK_SLOTS * 8) as u64;
+
+/// Bytes per SGT entry: gate address, destination address, destination
+/// domain, flags.
+pub const SGT_ENTRY_BYTES: u64 = 32;
+
+/// SGT entry flag: entry is valid.
+pub const SGT_FLAG_VALID: u64 = 1;
+
+/// The fixed hardware mapping from CSR address to bit-mask-array slot
+/// ("the three mappings ... are hardware parameters", §4.1).
+///
+/// The chosen CSRs mirror the paper's prototypes: `sstatus` needs bitwise
+/// control on RISC-V; `CR0`/`CR4` do on x86 — our x86-analogue control
+/// registers (`wpctl` ≈ CR0.WP, `vfctl` ≈ MSR 0x150, `pkr` ≈ PKRU,
+/// `btbctl` ≈ MSR 0x48/0x49) take their place.
+pub const MASKED_CSRS: [(u16, usize); 5] = [
+    (addr::SSTATUS, 0),
+    (addr::WPCTL, 1),
+    (addr::VFCTL, 2),
+    (addr::PKR, 3),
+    (addr::BTBCTL, 4),
+];
+
+/// The bit-mask-array slot for `csr`, if it has bitwise control.
+pub fn mask_slot(csr: u16) -> Option<usize> {
+    MASKED_CSRS.iter().find(|(c, _)| *c == csr).map(|(_, s)| *s)
+}
+
+/// Placement of every ISA-Grid structure inside the trusted memory
+/// region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridLayout {
+    /// Trusted-memory base (power-of-two aligned).
+    pub tmem_base: u64,
+    /// Trusted-memory size in bytes (power of two).
+    pub tmem_size: u64,
+    /// Maximum number of domains the tables can describe.
+    pub max_domains: u64,
+    /// Maximum number of gates the SGT can hold.
+    pub max_gates: u64,
+}
+
+impl GridLayout {
+    /// A layout with the given trusted region and defaults of 64 domains
+    /// and 64 gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the region is power-of-two sized and aligned (the
+    /// paper minimizes bound-check cost this way, §4.5) and large enough
+    /// for the tables.
+    pub fn new(tmem_base: u64, tmem_size: u64) -> GridLayout {
+        let l = GridLayout { tmem_base, tmem_size, max_domains: 64, max_gates: 64 };
+        l.validate();
+        l
+    }
+
+    /// Override table capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables no longer fit.
+    pub fn with_capacity(mut self, max_domains: u64, max_gates: u64) -> GridLayout {
+        self.max_domains = max_domains;
+        self.max_gates = max_gates;
+        self.validate();
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.tmem_size.is_power_of_two(), "trusted memory size must be a power of two");
+        assert_eq!(
+            self.tmem_base % self.tmem_size,
+            0,
+            "trusted memory must be naturally aligned"
+        );
+        assert!(
+            self.tstack_base() + 4096 <= self.tmem_end(),
+            "trusted memory too small for the configured table sizes"
+        );
+    }
+
+    /// One past the last trusted byte (`tmeml`).
+    pub fn tmem_end(&self) -> u64 {
+        self.tmem_base + self.tmem_size
+    }
+
+    /// Base of the instruction bitmaps (`inst-cap`).
+    pub fn inst_cap(&self) -> u64 {
+        self.tmem_base
+    }
+
+    /// Base of the register bitmaps (`csr-cap`).
+    pub fn csr_cap(&self) -> u64 {
+        self.inst_cap() + self.max_domains * INST_BITMAP_STRIDE
+    }
+
+    /// Base of the bit-mask arrays (`csr-bit-mask`).
+    pub fn csr_mask(&self) -> u64 {
+        self.csr_cap() + self.max_domains * REG_BITMAP_STRIDE
+    }
+
+    /// Base of the switching gate table (`gate-addr`).
+    pub fn gate_addr(&self) -> u64 {
+        self.csr_mask() + self.max_domains * MASK_STRIDE
+    }
+
+    /// Base of the trusted-stack area (everything after the tables).
+    pub fn tstack_base(&self) -> u64 {
+        self.gate_addr() + self.max_gates * SGT_ENTRY_BYTES
+    }
+
+    /// Address of word `w` of domain `d`'s instruction bitmap.
+    pub fn inst_word_addr(&self, d: u64, w: usize) -> u64 {
+        self.inst_cap() + d * INST_BITMAP_STRIDE + (w * 8) as u64
+    }
+
+    /// Address of the 32-byte register-bitmap group `g` of domain `d`.
+    pub fn reg_group_addr(&self, d: u64, g: usize) -> u64 {
+        self.csr_cap() + d * REG_BITMAP_STRIDE + (g * REG_GROUP_CSRS * 2 / 8) as u64
+    }
+
+    /// Address of mask slot `s` of domain `d`.
+    pub fn mask_addr(&self, d: u64, s: usize) -> u64 {
+        self.csr_mask() + d * MASK_STRIDE + (s * 8) as u64
+    }
+
+    /// Address of SGT entry `g`.
+    pub fn sgt_entry_addr(&self, g: u64) -> u64 {
+        self.gate_addr() + g * SGT_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> GridLayout {
+        GridLayout::new(0x8380_0000, 1 << 20)
+    }
+
+    #[test]
+    fn bitmap_width_covers_every_class() {
+        const { assert!(INST_BITMAP_WORDS * 64 >= Kind::COUNT) };
+        const { assert!(INST_BITMAP_WORDS <= 2, "classes fit two words today") };
+    }
+
+    #[test]
+    fn structures_do_not_overlap() {
+        let l = layout();
+        assert!(l.inst_cap() < l.csr_cap());
+        assert!(l.csr_cap() + l.max_domains * REG_BITMAP_STRIDE <= l.csr_mask());
+        assert!(l.csr_mask() + l.max_domains * MASK_STRIDE <= l.gate_addr());
+        assert!(l.gate_addr() + l.max_gates * SGT_ENTRY_BYTES <= l.tstack_base());
+        assert!(l.tstack_base() < l.tmem_end());
+    }
+
+    #[test]
+    fn addressing_is_strided() {
+        let l = layout();
+        assert_eq!(
+            l.inst_word_addr(3, 1) - l.inst_word_addr(3, 0),
+            8
+        );
+        assert_eq!(
+            l.inst_word_addr(4, 0) - l.inst_word_addr(3, 0),
+            INST_BITMAP_STRIDE
+        );
+        assert_eq!(l.reg_group_addr(0, 1) - l.reg_group_addr(0, 0), 32);
+        assert_eq!(l.sgt_entry_addr(2) - l.sgt_entry_addr(1), SGT_ENTRY_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_size_rejected() {
+        GridLayout::new(0x8380_0000, 3 << 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_base_rejected() {
+        GridLayout::new(0x8380_1000, 1 << 20);
+    }
+
+    #[test]
+    fn mask_slot_mapping() {
+        use isa_sim::csr::addr;
+        assert_eq!(mask_slot(addr::SSTATUS), Some(0));
+        assert_eq!(mask_slot(addr::WPCTL), Some(1));
+        assert_eq!(mask_slot(addr::SATP), None);
+        // All slots are distinct and within range.
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, s) in MASKED_CSRS {
+            assert!(s < MASK_SLOTS);
+            assert!(seen.insert(s), "duplicate slot {s}");
+        }
+    }
+
+    #[test]
+    fn capacity_override_checks_fit() {
+        let l = GridLayout::new(0x8380_0000, 1 << 20).with_capacity(128, 256);
+        assert!(l.tstack_base() < l.tmem_end());
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn oversized_tables_rejected() {
+        // 1024 domains × 1 KiB register bitmaps exceed 1 MiB.
+        GridLayout::new(0x8380_0000, 1 << 20).with_capacity(1024, 64);
+    }
+}

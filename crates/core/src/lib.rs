@@ -1,0 +1,92 @@
+//! # isa-grid — fine-grained privilege control for instructions and registers
+//!
+//! A reproduction of **ISA-Grid** (Fan, Hua, Xia, Chen, Zang — ISCA 2023):
+//! a hardware extension that lets software create multiple *ISA domains*,
+//! each with different privileges over instructions and control/status
+//! registers, down to individual register bits.
+//!
+//! The crate implements the paper's Privilege Check Unit (PCU) against the
+//! [`isa_sim::Extension`] seam:
+//!
+//! * **Hybrid-grained privilege check engine** (§4.1) — per-domain
+//!   instruction bitmaps, register double-bitmaps (read/write bit per
+//!   CSR), and bit-mask arrays enforcing the write-legality equation
+//!   `(V_csr ⊕ V_write) ∧ ¬M == 0`.
+//! * **Unforgeable domain switching** (§4.2) — `hccall`, the extended
+//!   `hccalls`/`hcrets` pair with a trusted stack, and the switching gate
+//!   table (SGT) that pins every gate to a registered address,
+//!   destination, and target domain.
+//! * **Domain privilege cache** (§4.3) — three HPT caches plus an SGT
+//!   cache (fully associative, LRU; `16E`/`8E`/`8E.N` configurations), an
+//!   instruction-privilege register for cache bypass, and the
+//!   `pfch`/`pflh` software cache-management instructions.
+//! * **Domain-0 & trusted memory** (§4.4–4.5) — the all-privileged reset
+//!   domain, and a reserved physical region holding the HPT, SGT and
+//!   trusted stacks that ordinary loads/stores can touch only from
+//!   domain-0.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use isa_asm::{Asm, Reg::*};
+//! use isa_grid::{DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig};
+//! use isa_sim::{Machine, Exit, mmio, Exception};
+//!
+//! // A guest kernel that enters a de-privileged domain through a gate
+//! // and then tries to write `satp` (the CR3 analogue) — which must trap.
+//! // The PCU guards S/U-mode code; M-mode is domain-0 firmware territory.
+//! let mut a = Asm::new(0x8000_0000);
+//! a.la(T0, "grid_trap");
+//! a.csrw(0x305, T0);            // mtvec
+//! // Drop from M to S mode (MPP <- S).
+//! a.li(T1, 0b11 << 11);
+//! a.csrrc(Zero, 0x300, T1);
+//! a.li(T1, 0b01 << 11);
+//! a.csrrs(Zero, 0x300, T1);
+//! a.la(T0, "kernel");
+//! a.csrw(0x341, T0);            // mepc
+//! a.mret();
+//! a.label("kernel");
+//! a.li(A0, 0);                  // gate id 0
+//! a.label("gate");
+//! a.hccall(A0);                 // switch to the restricted domain
+//! a.label("restricted");
+//! a.csrw(0x180, Zero);          // satp write -> ISA-Grid CSR fault
+//! a.label("grid_trap");
+//! a.csrr(A0, 0x342);            // mcause
+//! a.li(T6, mmio::HALT);
+//! a.sd(A0, T6, 0);
+//! let prog = a.assemble().unwrap();
+//!
+//! let mut m = Machine::new(Pcu::new(PcuConfig::eight_e()));
+//! m.load_program(&prog);
+//! m.ext.install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
+//!
+//! // Domain-0 software: one restricted domain, one gate into it.
+//! let mut spec = DomainSpec::compute_only();
+//! spec.allow_inst(isa_sim::Kind::Csrrw)
+//!     .allow_inst(isa_sim::Kind::Csrrs);   // classes allowed...
+//! let d = m.ext.add_domain(&mut m.bus, &spec); // ...but no CSR perms
+//! m.ext.add_gate(&mut m.bus, GateSpec {
+//!     gate_addr: prog.symbol("gate"),
+//!     dest_addr: prog.symbol("restricted"),
+//!     dest_domain: d,
+//! });
+//!
+//! let exit = m.run(10_000);
+//! assert_eq!(exit, Exit::Halted(Exception::CAUSE_GRID_CSR));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod domain;
+pub mod layout;
+mod pcu;
+mod policy;
+
+pub use cache::{CacheStats, PrivCache};
+pub use domain::{DomainId, DomainSpec, GateId, GateSpec, InstGroup};
+pub use layout::GridLayout;
+pub use pcu::{GridCacheStats, Pcu, PcuConfig, PcuStats};
+pub use policy::{ExclusivePolicy, PolicyViolation};

@@ -1,0 +1,818 @@
+//! The Privilege Check Unit (PCU) — ISA-Grid's hardware extension
+//! (§3.3, §4), implemented against the `isa-sim` [`Extension`] seam.
+
+use isa_sim::csr::addr;
+use isa_sim::{Bus, CpuState, Decoded, Exception, ExtEvents, Extension, Flow, Kind, Priv};
+
+use crate::cache::{CacheStats, PrivCache};
+use crate::domain::{DomainId, DomainSpec, GateId, GateSpec};
+use crate::layout::{
+    mask_slot, GridLayout, INST_BITMAP_WORDS, MASK_SLOTS, REG_GROUPS, REG_GROUP_CSRS,
+    SGT_FLAG_VALID,
+};
+
+/// Sizing of the domain privilege cache (§4.3, §7 "Configuration").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcuConfig {
+    /// Entries in the instruction-bitmap HPT cache.
+    pub inst_cache: usize,
+    /// Entries in the register-bitmap HPT cache.
+    pub reg_cache: usize,
+    /// Entries in the bit-mask-array HPT cache.
+    pub mask_cache: usize,
+    /// Entries in the SGT cache (0 = no SGT cache, the `8E.N` config).
+    pub sgt_cache: usize,
+    /// Enable the instruction-privilege register cache bypass (§4.3
+    /// "Cache Bypass For Saving Energy").
+    pub bypass: bool,
+    /// Implement the three HPT caches as one unified cache with typed
+    /// tags (§4.3: "may improve the overall hit rate but incur increased
+    /// hardware complexity"). Entry count = `inst_cache`.
+    pub unified_hpt: bool,
+    /// Entries in the Draco-style legal-instruction cache (§8 "Cache
+    /// Optimization"): caches (domain, instruction bytes) pairs whose
+    /// check already passed, skipping the check logic entirely on a hit.
+    /// 0 disables it. Value-dependent checks (CSR writes under a
+    /// bit-mask) are never short-circuited.
+    pub legal_cache: usize,
+}
+
+impl PcuConfig {
+    /// The paper's `16E.` configuration: 16 entries per cache.
+    pub fn sixteen_e() -> PcuConfig {
+        PcuConfig {
+            inst_cache: 16,
+            reg_cache: 16,
+            mask_cache: 16,
+            sgt_cache: 16,
+            bypass: true,
+            unified_hpt: false,
+            legal_cache: 0,
+        }
+    }
+
+    /// The paper's `8E.` configuration: 8 entries per cache.
+    pub fn eight_e() -> PcuConfig {
+        PcuConfig { inst_cache: 8, reg_cache: 8, mask_cache: 8, sgt_cache: 8, ..Self::sixteen_e() }
+    }
+
+    /// The paper's `8E.N` configuration: 8-entry HPT caches, no SGT cache.
+    pub fn eight_e_n() -> PcuConfig {
+        PcuConfig { sgt_cache: 0, ..Self::eight_e() }
+    }
+
+    /// `8E.` with the cache bypass disabled (energy ablation of §4.3).
+    pub fn eight_e_no_bypass() -> PcuConfig {
+        PcuConfig { bypass: false, ..Self::eight_e() }
+    }
+
+    /// `8E.` with a unified HPT cache of 24 entries (same total storage
+    /// as three 8-entry caches).
+    pub fn unified_24e() -> PcuConfig {
+        PcuConfig { inst_cache: 24, unified_hpt: true, ..Self::eight_e() }
+    }
+
+    /// `8E.` plus a Draco-style legal-instruction cache (§8).
+    pub fn eight_e_draco(entries: usize) -> PcuConfig {
+        PcuConfig { legal_cache: entries, ..Self::eight_e() }
+    }
+}
+
+impl Default for PcuConfig {
+    fn default() -> Self {
+        PcuConfig::eight_e()
+    }
+}
+
+/// The ISA-Grid register file of Table 2.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct GridRegs {
+    domain: u64,
+    pdomain: u64,
+    domain_nr: u64,
+    csr_cap: u64,
+    csr_mask: u64,
+    inst_cap: u64,
+    gate_addr: u64,
+    gate_nr: u64,
+    hcsp: u64,
+    hcsb: u64,
+    hcsl: u64,
+    tmemb: u64,
+    tmeml: u64,
+}
+
+/// Aggregate PCU event counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PcuStats {
+    /// Instruction privilege checks performed (active domains only).
+    pub inst_checks: u64,
+    /// Explicit CSR privilege checks performed.
+    pub csr_checks: u64,
+    /// `hccall`/`hccalls` executed.
+    pub gate_calls: u64,
+    /// `hcrets` executed.
+    pub gate_returns: u64,
+    /// Privilege violations raised.
+    pub faults: u64,
+    /// `pfch` instructions executed.
+    pub prefetches: u64,
+    /// `pflh` instructions executed.
+    pub flushes: u64,
+    /// Legal-instruction-cache hits (checks skipped entirely).
+    pub legal_hits: u64,
+}
+
+/// Per-cache statistics snapshot.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GridCacheStats {
+    /// Instruction-bitmap HPT cache.
+    pub inst: CacheStats,
+    /// Register-bitmap HPT cache.
+    pub reg: CacheStats,
+    /// Bit-mask-array HPT cache.
+    pub mask: CacheStats,
+    /// SGT cache.
+    pub sgt: CacheStats,
+}
+
+/// Tag-space prefixes when the three HPT caches share one storage.
+const UTAG_INST: u64 = 1 << 60;
+const UTAG_REG: u64 = 2 << 60;
+const UTAG_MASK: u64 = 3 << 60;
+
+/// The instruction-privilege register: the cache-bypass latch holding the
+/// current domain's instruction bitmap (§4.3).
+#[derive(Debug, Default, Clone, Copy)]
+struct InstPrivReg {
+    domain: u64,
+    words: [u64; INST_BITMAP_WORDS],
+    valid: bool,
+}
+
+/// The Privilege Check Unit.
+///
+/// Plug it into a [`isa_sim::Machine`] and configure domains and gates
+/// through the host-side API (which plays the role of domain-0 software
+/// writing the in-memory structures):
+///
+/// ```
+/// use isa_grid::{GridLayout, Pcu, PcuConfig, DomainSpec, GateSpec, DomainId};
+/// use isa_sim::{Machine, Bus};
+///
+/// let mut m = Machine::new(Pcu::new(PcuConfig::eight_e()));
+/// let layout = GridLayout::new(0x8380_0000, 1 << 20);
+/// m.ext.install(&mut m.bus, layout);
+/// let d = m.ext.add_domain(&mut m.bus, &DomainSpec::compute_only());
+/// let g = m.ext.add_gate(&mut m.bus, GateSpec {
+///     gate_addr: 0x8000_0000,
+///     dest_addr: 0x8000_1000,
+///     dest_domain: d,
+/// });
+/// assert_eq!(d, DomainId(1));
+/// assert_eq!(m.ext.current_domain(), DomainId::INIT);
+/// ```
+#[derive(Debug)]
+pub struct Pcu {
+    cfg: PcuConfig,
+    layout: Option<GridLayout>,
+    regs: GridRegs,
+    inst_cache: PrivCache,
+    reg_cache: PrivCache,
+    mask_cache: PrivCache,
+    sgt_cache: PrivCache,
+    legal_cache: PrivCache,
+    ipr: InstPrivReg,
+    ev: ExtEvents,
+    /// Aggregate counters for the evaluation harnesses.
+    pub stats: PcuStats,
+}
+
+impl Pcu {
+    /// A PCU with the given cache configuration. Until
+    /// [`Pcu::install`] runs, the CPU is in domain-0 and nothing is
+    /// restricted — exactly the paper's reset state (§4.4).
+    pub fn new(cfg: PcuConfig) -> Pcu {
+        Pcu {
+            cfg,
+            layout: None,
+            regs: GridRegs { domain_nr: 1, ..GridRegs::default() },
+            inst_cache: PrivCache::new(cfg.inst_cache),
+            reg_cache: PrivCache::new(cfg.reg_cache),
+            mask_cache: PrivCache::new(cfg.mask_cache),
+            sgt_cache: PrivCache::new(cfg.sgt_cache),
+            legal_cache: PrivCache::new(cfg.legal_cache),
+            ipr: InstPrivReg::default(),
+            ev: ExtEvents::default(),
+            stats: PcuStats::default(),
+        }
+    }
+
+    /// Initialize the in-memory privilege structures: zero the tables and
+    /// point the Table 2 base registers at them. This is what domain-0
+    /// firmware does right after reset.
+    pub fn install(&mut self, bus: &mut Bus, layout: GridLayout) {
+        let zero = vec![0u8; (layout.tstack_base() - layout.tmem_base) as usize];
+        bus.write_bytes(layout.tmem_base, &zero);
+        self.regs = GridRegs {
+            domain: 0,
+            pdomain: 0,
+            domain_nr: 1, // domain-0 exists implicitly
+            csr_cap: layout.csr_cap(),
+            csr_mask: layout.csr_mask(),
+            inst_cap: layout.inst_cap(),
+            gate_addr: layout.gate_addr(),
+            gate_nr: 0,
+            hcsp: layout.tstack_base(),
+            hcsb: layout.tstack_base(),
+            hcsl: layout.tmem_end(),
+            tmemb: layout.tmem_base,
+            tmeml: layout.tmem_end(),
+        };
+        self.layout = Some(layout);
+        self.inst_cache.flush();
+        self.reg_cache.flush();
+        self.mask_cache.flush();
+        self.sgt_cache.flush();
+        self.legal_cache.flush();
+        self.ipr.valid = false;
+    }
+
+    /// The active layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Pcu::install`] has not run.
+    pub fn layout(&self) -> GridLayout {
+        self.layout.expect("PCU not installed")
+    }
+
+    /// Register a new ISA domain by writing its bitmaps and masks into
+    /// the HPT (what the domain-0 registration function does at runtime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PCU is not installed or the domain table is full.
+    pub fn add_domain(&mut self, bus: &mut Bus, spec: &DomainSpec) -> DomainId {
+        let layout = self.layout();
+        let id = self.regs.domain_nr;
+        assert!(id < layout.max_domains, "domain table full");
+        self.regs.domain_nr += 1;
+        for (w, word) in spec.inst_bitmap.iter().enumerate() {
+            bus.write_u64(layout.inst_word_addr(id, w), *word);
+        }
+        bus.write_bytes(layout.reg_group_addr(id, 0), &spec.reg_bits);
+        for (s, m) in spec.masks.iter().enumerate() {
+            bus.write_u64(layout.mask_addr(id, s), *m);
+        }
+        DomainId(id)
+    }
+
+    /// Re-write the privileges of an existing domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unregistered domains or domain-0.
+    pub fn update_domain(&mut self, bus: &mut Bus, id: DomainId, spec: &DomainSpec) {
+        let layout = self.layout();
+        assert!(id.0 != 0 && id.0 < self.regs.domain_nr, "unknown {id}");
+        for (w, word) in spec.inst_bitmap.iter().enumerate() {
+            bus.write_u64(layout.inst_word_addr(id.0, w), *word);
+        }
+        bus.write_bytes(layout.reg_group_addr(id.0, 0), &spec.reg_bits);
+        for (s, m) in spec.masks.iter().enumerate() {
+            bus.write_u64(layout.mask_addr(id.0, s), *m);
+        }
+        // Stale privileges may be cached; domain-0 flushes after updates.
+        self.inst_cache.flush();
+        self.reg_cache.flush();
+        self.mask_cache.flush();
+        self.legal_cache.flush();
+        self.ipr.valid = false;
+    }
+
+    /// Register an unforgeable switching gate in the SGT (§4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PCU is not installed, the SGT is full, or the
+    /// destination domain does not exist.
+    pub fn add_gate(&mut self, bus: &mut Bus, spec: GateSpec) -> GateId {
+        let layout = self.layout();
+        let id = self.regs.gate_nr;
+        assert!(id < layout.max_gates, "SGT full");
+        assert!(
+            spec.dest_domain.0 < self.regs.domain_nr,
+            "gate destination {} not registered",
+            spec.dest_domain
+        );
+        self.regs.gate_nr += 1;
+        let e = layout.sgt_entry_addr(id);
+        bus.write_u64(e, spec.gate_addr);
+        bus.write_u64(e + 8, spec.dest_addr);
+        bus.write_u64(e + 16, spec.dest_domain.0);
+        bus.write_u64(e + 24, SGT_FLAG_VALID);
+        GateId(id)
+    }
+
+    /// Allocate a trusted stack for extended gates (`hccalls`/`hcrets`).
+    /// `base`/`limit` must lie in trusted memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a range outside trusted memory.
+    pub fn set_trusted_stack(&mut self, base: u64, limit: u64) {
+        assert!(
+            base >= self.regs.tmemb && limit <= self.regs.tmeml && base <= limit,
+            "trusted stack must lie inside trusted memory"
+        );
+        self.regs.hcsb = base;
+        self.regs.hcsp = base;
+        self.regs.hcsl = limit;
+    }
+
+    /// Save the trusted-stack registers of the current thread (domain-0's
+    /// context-switch support, §5.2).
+    pub fn save_trusted_stack(&self) -> (u64, u64, u64) {
+        (self.regs.hcsp, self.regs.hcsb, self.regs.hcsl)
+    }
+
+    /// Restore previously saved trusted-stack registers.
+    pub fn restore_trusted_stack(&mut self, sp: u64, sb: u64, sl: u64) {
+        self.regs.hcsp = sp;
+        self.regs.hcsb = sb;
+        self.regs.hcsl = sl;
+    }
+
+    /// The domain the core currently runs in.
+    pub fn current_domain(&self) -> DomainId {
+        DomainId(self.regs.domain)
+    }
+
+    /// Force the current domain (testing / reset support only — real
+    /// switches go through gates).
+    #[doc(hidden)]
+    pub fn force_domain(&mut self, d: DomainId) {
+        self.regs.pdomain = self.regs.domain;
+        self.regs.domain = d.0;
+        self.ipr.valid = false;
+    }
+
+    /// Legal-instruction-cache statistics (Draco ablation).
+    pub fn legal_cache_stats(&self) -> CacheStats {
+        self.legal_cache.stats
+    }
+
+    /// Snapshot the privilege-cache statistics.
+    pub fn cache_stats(&self) -> GridCacheStats {
+        GridCacheStats {
+            inst: self.inst_cache.stats,
+            reg: self.reg_cache.stats,
+            mask: self.mask_cache.stats,
+            sgt: self.sgt_cache.stats,
+        }
+    }
+
+    /// Reset cache and check statistics (not the caches themselves).
+    pub fn reset_stats(&mut self) {
+        self.inst_cache.stats = CacheStats::default();
+        self.reg_cache.stats = CacheStats::default();
+        self.mask_cache.stats = CacheStats::default();
+        self.sgt_cache.stats = CacheStats::default();
+        self.legal_cache.stats = CacheStats::default();
+        self.stats = PcuStats::default();
+    }
+
+    // ---- internals ----
+
+    /// Whether checks apply: M-mode is domain-0 firmware territory, and
+    /// domain-0 itself "is given all the privileges by default" (§4.4).
+    fn active(&self, cpu: &CpuState) -> bool {
+        cpu.priv_level != Priv::M && self.regs.domain != 0
+    }
+
+    fn tmem_read(&self, bus: &mut Bus, a: u64) -> u64 {
+        bus.load(a, 8).unwrap_or(0)
+    }
+
+    /// Fetch (through the HPT cache) one word of the instruction bitmap.
+    fn inst_word(&mut self, bus: &mut Bus, domain: u64, w: usize) -> u64 {
+        let mut tag = domain * INST_BITMAP_WORDS as u64 + w as u64;
+        if self.cfg.unified_hpt {
+            tag |= UTAG_INST;
+        }
+        if let Some(p) = self.inst_cache.lookup(tag) {
+            return p[0];
+        }
+        self.ev.hpt_inst_miss += 1;
+        let word = self.tmem_read(bus, self.layout_inst_addr(domain, w));
+        self.inst_cache.insert(tag, [word, 0, 0, 0]);
+        word
+    }
+
+    fn layout_inst_addr(&self, domain: u64, w: usize) -> u64 {
+        self.regs.inst_cap + domain * crate::layout::INST_BITMAP_STRIDE + (w * 8) as u64
+    }
+
+    fn layout_reg_group_addr(&self, domain: u64, g: usize) -> u64 {
+        self.regs.csr_cap
+            + domain * crate::layout::REG_BITMAP_STRIDE
+            + (g * REG_GROUP_CSRS * 2 / 8) as u64
+    }
+
+    fn layout_mask_addr(&self, domain: u64, s: usize) -> u64 {
+        self.regs.csr_mask + domain * crate::layout::MASK_STRIDE + (s * 8) as u64
+    }
+
+    /// The current domain's instruction bitmap, via the bypass register
+    /// when enabled.
+    fn ipr_words(&mut self, bus: &mut Bus) -> [u64; INST_BITMAP_WORDS] {
+        let domain = self.regs.domain;
+        if self.cfg.bypass && self.ipr.valid && self.ipr.domain == domain {
+            return self.ipr.words;
+        }
+        let mut words = [0u64; INST_BITMAP_WORDS];
+        for (w, slot) in words.iter_mut().enumerate() {
+            *slot = self.inst_word(bus, domain, w);
+        }
+        if self.cfg.bypass {
+            self.ipr = InstPrivReg { domain, words, valid: true };
+        }
+        words
+    }
+
+    /// Fetch (through the HPT cache) the register-bitmap bits for `csr`:
+    /// returns (readable, writable).
+    fn reg_bits(&mut self, bus: &mut Bus, domain: u64, csr: u16) -> (bool, bool) {
+        let group = csr as usize / REG_GROUP_CSRS;
+        let unified = self.cfg.unified_hpt;
+        let tag = (domain * REG_GROUPS as u64 + group as u64) | if unified { UTAG_REG } else { 0 };
+        let cache = if unified { &mut self.inst_cache } else { &mut self.reg_cache };
+        let payload = match cache.lookup(tag) {
+            Some(p) => p,
+            None => {
+                self.ev.hpt_reg_miss += 1;
+                let base = self.layout_reg_group_addr(domain, group);
+                let mut p = [0u64; 4];
+                for (i, slot) in p.iter_mut().enumerate() {
+                    *slot = self.tmem_read(bus, base + (i * 8) as u64);
+                }
+                let cache = if unified { &mut self.inst_cache } else { &mut self.reg_cache };
+                cache.insert(tag, p);
+                p
+            }
+        };
+        let bit = (csr as usize % REG_GROUP_CSRS) * 2;
+        let word = payload[bit / 64];
+        let r = word >> (bit % 64) & 1 != 0;
+        let w = word >> (bit % 64 + 1) & 1 != 0;
+        (r, w)
+    }
+
+    /// Fetch (through the HPT cache) the write bit-mask for `slot`.
+    fn mask_for(&mut self, bus: &mut Bus, domain: u64, slot: usize) -> u64 {
+        let unified = self.cfg.unified_hpt;
+        let tag = (domain * MASK_SLOTS as u64 + slot as u64) | if unified { UTAG_MASK } else { 0 };
+        let cache = if unified { &mut self.inst_cache } else { &mut self.mask_cache };
+        if let Some(p) = cache.lookup(tag) {
+            return p[0];
+        }
+        self.ev.hpt_mask_miss += 1;
+        let m = self.tmem_read(bus, self.layout_mask_addr(domain, slot));
+        let cache = if unified { &mut self.inst_cache } else { &mut self.mask_cache };
+        cache.insert(tag, [m, 0, 0, 0]);
+        m
+    }
+
+    /// Fetch (through the SGT cache) gate entry `gid`:
+    /// `[gate_addr, dest_addr, dest_domain, flags]`.
+    fn sgt_entry(&mut self, bus: &mut Bus, gid: u64) -> [u64; 4] {
+        if let Some(p) = self.sgt_cache.lookup(gid) {
+            return p;
+        }
+        self.ev.sgt_miss += 1;
+        let base = self.regs.gate_addr + gid * crate::layout::SGT_ENTRY_BYTES;
+        let mut p = [0u64; 4];
+        for (i, slot) in p.iter_mut().enumerate() {
+            *slot = self.tmem_read(bus, base + (i * 8) as u64);
+        }
+        self.sgt_cache.insert(gid, p);
+        p
+    }
+
+    fn fault(&mut self, e: Exception) -> Exception {
+        self.stats.faults += 1;
+        e
+    }
+
+    fn gate_call(
+        &mut self,
+        cpu: &mut CpuState,
+        bus: &mut Bus,
+        d: &Decoded,
+        extended: bool,
+    ) -> Result<Flow, Exception> {
+        self.stats.gate_calls += 1;
+        let gid = cpu.reg(d.rs1);
+        if gid >= self.regs.gate_nr {
+            return Err(self.fault(Exception::GridGateFault(gid)));
+        }
+        let [gate_addr, dest_addr, dest_domain, flags] = self.sgt_entry(bus, gid);
+        if flags & SGT_FLAG_VALID == 0 {
+            return Err(self.fault(Exception::GridGateFault(gid)));
+        }
+        // Property (i): each gate can only be called at its registered
+        // address — defeats injected and ROP-constructed gates (§4.2).
+        if gate_addr != cpu.pc {
+            return Err(self.fault(Exception::GridGateFault(cpu.pc)));
+        }
+        if extended {
+            let sp = self.regs.hcsp;
+            if sp < self.regs.hcsb || sp + 16 > self.regs.hcsl {
+                return Err(self.fault(Exception::GridGateFault(sp)));
+            }
+            // The trusted stack lives in trusted memory; the PCU writes it
+            // directly (software cannot, outside domain-0).
+            bus.store(sp, 8, cpu.pc.wrapping_add(4))
+                .ok_or(Exception::GridGateFault(sp))?;
+            bus.store(sp + 8, 8, self.regs.domain)
+                .ok_or(Exception::GridGateFault(sp))?;
+            self.regs.hcsp = sp + 16;
+            self.ev.tstack_ops += 2;
+        }
+        self.regs.pdomain = self.regs.domain;
+        self.regs.domain = dest_domain;
+        self.ipr.valid = false;
+        self.ev.gate_switch = true;
+        Ok(Flow::Jump(dest_addr))
+    }
+
+    fn gate_return(&mut self, bus: &mut Bus) -> Result<Flow, Exception> {
+        self.stats.gate_returns += 1;
+        let sp = self.regs.hcsp;
+        if sp < self.regs.hcsb + 16 {
+            return Err(self.fault(Exception::GridGateFault(sp)));
+        }
+        let ret = self.tmem_read(bus, sp - 16);
+        let dom = self.tmem_read(bus, sp - 8);
+        self.ev.tstack_ops += 2;
+        // "The extended return instruction is not allowed to return to
+        // domain-0" (§4.4).
+        if dom == 0 {
+            return Err(self.fault(Exception::GridGateFault(sp)));
+        }
+        self.regs.hcsp = sp - 16;
+        self.regs.pdomain = self.regs.domain;
+        self.regs.domain = dom;
+        self.ipr.valid = false;
+        self.ev.gate_switch = true;
+        Ok(Flow::Jump(ret))
+    }
+
+    fn prefetch(&mut self, bus: &mut Bus, sel: u64) {
+        self.stats.prefetches += 1;
+        let domain = self.regs.domain;
+        let fetch_group = |pcu: &mut Pcu, bus: &mut Bus, g: usize| {
+            let tag = domain * REG_GROUPS as u64 + g as u64;
+            if pcu.reg_cache.contains(tag) {
+                return;
+            }
+            let base = pcu.layout_reg_group_addr(domain, g);
+            let mut p = [0u64; 4];
+            for (i, slot) in p.iter_mut().enumerate() {
+                *slot = pcu.tmem_read(bus, base + (i * 8) as u64);
+            }
+            pcu.reg_cache.insert(tag, p);
+            pcu.ev.prefetch_reads += 1;
+        };
+        let fetch_mask = |pcu: &mut Pcu, bus: &mut Bus, s: usize| {
+            let tag = domain * MASK_SLOTS as u64 + s as u64;
+            if pcu.mask_cache.contains(tag) {
+                return;
+            }
+            let m = pcu.tmem_read(bus, pcu.layout_mask_addr(domain, s));
+            pcu.mask_cache.insert(tag, [m, 0, 0, 0]);
+            pcu.ev.prefetch_reads += 1;
+        };
+        if sel == 0 {
+            // "The pfch can fetch entries of all the CSRs" (§5.1) — bounded
+            // by what the caches can actually hold.
+            for g in 0..REG_GROUPS.min(self.reg_cache.capacity()) {
+                fetch_group(self, bus, g);
+            }
+            for s in 0..MASK_SLOTS.min(self.mask_cache.capacity()) {
+                fetch_mask(self, bus, s);
+            }
+        } else {
+            let csr = (sel & 0xfff) as u16;
+            fetch_group(self, bus, csr as usize / REG_GROUP_CSRS);
+            if let Some(s) = mask_slot(csr) {
+                fetch_mask(self, bus, s);
+            }
+        }
+    }
+
+    fn flush_caches(&mut self, sel: u64) {
+        self.stats.flushes += 1;
+        match sel {
+            0 => {
+                self.inst_cache.flush();
+                self.reg_cache.flush();
+                self.mask_cache.flush();
+                self.sgt_cache.flush();
+                self.legal_cache.flush();
+                self.ipr.valid = false;
+            }
+            1 => {
+                self.inst_cache.flush();
+                self.legal_cache.flush();
+                self.ipr.valid = false;
+            }
+            2 => self.reg_cache.flush(),
+            3 => self.mask_cache.flush(),
+            4 => self.sgt_cache.flush(),
+            _ => {}
+        }
+    }
+}
+
+impl Extension for Pcu {
+    fn check_inst(&mut self, cpu: &CpuState, bus: &mut Bus, d: &Decoded) -> Result<(), Exception> {
+        if !self.active(cpu) {
+            return Ok(());
+        }
+        // Gate and cache-management instructions are executable from every
+        // domain; gates are validated against the SGT instead (§4.2).
+        if d.kind.is_grid_custom() {
+            return Ok(());
+        }
+        self.stats.inst_checks += 1;
+        // Draco-style legal-instruction cache (§8): a (domain, bytes)
+        // pair that already passed needs no re-check. CSR accesses stay
+        // excluded — their legality can depend on the written value.
+        let legal_tag = (self.regs.domain << 32) ^ d.raw as u64;
+        let cacheable = self.cfg.legal_cache > 0 && !d.kind.is_csr_access();
+        if cacheable && self.legal_cache.lookup(legal_tag).is_some() {
+            self.stats.legal_hits += 1;
+            return Ok(());
+        }
+        let idx = d.kind.class_index();
+        let words = self.ipr_words(bus);
+        if words[idx / 64] >> (idx % 64) & 1 == 0 {
+            return Err(self.fault(Exception::GridInstFault(idx as u64)));
+        }
+        if cacheable {
+            self.legal_cache.insert(legal_tag, [0; 4]);
+        }
+        Ok(())
+    }
+
+    fn check_csr(
+        &mut self,
+        cpu: &CpuState,
+        bus: &mut Bus,
+        csr: u16,
+        read: bool,
+        write: bool,
+        old: u64,
+        new: u64,
+    ) -> Result<(), Exception> {
+        if !self.active(cpu) || self.csr_owned(csr) {
+            return Ok(());
+        }
+        self.stats.csr_checks += 1;
+        let domain = self.regs.domain;
+        let (r_bit, w_bit) = self.reg_bits(bus, domain, csr);
+        if read && !r_bit {
+            return Err(self.fault(Exception::GridCsrFault(csr as u64)));
+        }
+        if write {
+            match mask_slot(csr) {
+                Some(slot) => {
+                    // Bit-level control: V_csr ⊕ V_write ∧ ¬M == 0 (§4.1).
+                    let mask = self.mask_for(bus, domain, slot);
+                    if (old ^ new) & !mask != 0 {
+                        return Err(self.fault(Exception::GridCsrFault(csr as u64)));
+                    }
+                }
+                None => {
+                    if !w_bit {
+                        return Err(self.fault(Exception::GridCsrFault(csr as u64)));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_phys(
+        &mut self,
+        cpu: &CpuState,
+        paddr: u64,
+        len: u8,
+        _write: bool,
+    ) -> Result<(), Exception> {
+        // "The load and store instructions can access the trusted memory
+        // region only in domain-0" (§4.5).
+        if cpu.priv_level == Priv::M || self.regs.domain == 0 {
+            return Ok(());
+        }
+        let (b, l) = (self.regs.tmemb, self.regs.tmeml);
+        if l > b && paddr + len as u64 > b && paddr < l {
+            return Err(self.fault(Exception::GridTmemFault(paddr)));
+        }
+        Ok(())
+    }
+
+    fn csr_owned(&self, csr: u16) -> bool {
+        (addr::GRID_DOMAIN..=addr::GRID_TMEML).contains(&csr)
+    }
+
+    fn read_csr(&mut self, cpu: &CpuState, csr: u16) -> Result<u64, Exception> {
+        let r = &self.regs;
+        let restricted = self.active(cpu);
+        let value = match csr {
+            addr::GRID_DOMAIN => return Ok(r.domain),
+            addr::GRID_PDOMAIN => return Ok(r.pdomain),
+            addr::GRID_DOMAIN_NR => return Ok(r.domain_nr),
+            addr::GRID_GATE_NR => return Ok(r.gate_nr),
+            addr::GRID_CSR_CAP => r.csr_cap,
+            addr::GRID_CSR_MASK => r.csr_mask,
+            addr::GRID_INST_CAP => r.inst_cap,
+            addr::GRID_GATE_ADDR => r.gate_addr,
+            addr::GRID_HCSP => r.hcsp,
+            addr::GRID_HCSB => r.hcsb,
+            addr::GRID_HCSL => r.hcsl,
+            addr::GRID_TMEMB => r.tmemb,
+            addr::GRID_TMEML => r.tmeml,
+            _ => return Err(Exception::IllegalInst(csr as u64)),
+        };
+        if restricted {
+            return Err(self.fault(Exception::GridCsrFault(csr as u64)));
+        }
+        Ok(value)
+    }
+
+    fn write_csr(
+        &mut self,
+        cpu: &mut CpuState,
+        _bus: &mut Bus,
+        csr: u16,
+        val: u64,
+    ) -> Result<(), Exception> {
+        // domain/pdomain can never be written; the rest only in domain-0
+        // ("R/W in domain-0", Table 2). domain-nr/gate-nr are written by
+        // domain-0 software when it registers domains and gates at
+        // runtime (§5.2).
+        if matches!(csr, addr::GRID_DOMAIN | addr::GRID_PDOMAIN) {
+            return Err(self.fault(Exception::GridCsrFault(csr as u64)));
+        }
+        if self.active(cpu) {
+            return Err(self.fault(Exception::GridCsrFault(csr as u64)));
+        }
+        let r = &mut self.regs;
+        match csr {
+            addr::GRID_DOMAIN_NR => r.domain_nr = val,
+            addr::GRID_GATE_NR => r.gate_nr = val,
+            addr::GRID_CSR_CAP => r.csr_cap = val,
+            addr::GRID_CSR_MASK => r.csr_mask = val,
+            addr::GRID_INST_CAP => r.inst_cap = val,
+            addr::GRID_GATE_ADDR => r.gate_addr = val,
+            addr::GRID_HCSP => r.hcsp = val,
+            addr::GRID_HCSB => r.hcsb = val,
+            addr::GRID_HCSL => r.hcsl = val,
+            addr::GRID_TMEMB => r.tmemb = val,
+            addr::GRID_TMEML => r.tmeml = val,
+            _ => return Err(Exception::IllegalInst(csr as u64)),
+        }
+        Ok(())
+    }
+
+    fn exec_custom(
+        &mut self,
+        cpu: &mut CpuState,
+        bus: &mut Bus,
+        d: &Decoded,
+    ) -> Result<Flow, Exception> {
+        match d.kind {
+            Kind::Hccall => self.gate_call(cpu, bus, d, false),
+            Kind::Hccalls => self.gate_call(cpu, bus, d, true),
+            Kind::Hcrets => self.gate_return(bus),
+            Kind::Pfch => {
+                let sel = cpu.reg(d.rs1);
+                self.prefetch(bus, sel);
+                Ok(Flow::Next)
+            }
+            Kind::Pflh => {
+                let sel = cpu.reg(d.rs1);
+                self.flush_caches(sel);
+                Ok(Flow::Next)
+            }
+            _ => Err(Exception::IllegalInst(d.raw as u64)),
+        }
+    }
+
+    fn drain_events(&mut self) -> ExtEvents {
+        std::mem::take(&mut self.ev)
+    }
+}

@@ -1,0 +1,221 @@
+//! Domain-0 registration policies.
+//!
+//! §5.2: "ISA-Grid does not force the privileges of different domains to
+//! be mutually exclusive. However, developers could implement a policy in
+//! domain-0 to reject creating domains with overlapping privileges."
+//! This module provides that policy as a reusable check.
+
+use std::fmt;
+
+use isa_sim::Kind;
+
+use crate::domain::DomainSpec;
+use crate::layout::MASKED_CSRS;
+
+/// Why a registration request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyViolation {
+    /// Both domains may execute this (privileged) instruction class.
+    SharedInstruction(Kind),
+    /// Both domains may write this CSR.
+    SharedCsrWrite(u16),
+    /// The domains' write bit-masks for this CSR overlap in these bits.
+    OverlappingMask {
+        /// The CSR with bitwise control.
+        csr: u16,
+        /// The bits both domains may change.
+        bits: u64,
+    },
+}
+
+impl fmt::Display for PolicyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyViolation::SharedInstruction(k) => {
+                write!(f, "both domains may execute {k:?}")
+            }
+            PolicyViolation::SharedCsrWrite(c) => {
+                write!(f, "both domains may write CSR {c:#x}")
+            }
+            PolicyViolation::OverlappingMask { csr, bits } => {
+                write!(f, "write masks for CSR {csr:#x} overlap in bits {bits:#x}")
+            }
+        }
+    }
+}
+
+/// A registration policy for new domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExclusivePolicy {
+    /// Also forbid sharing *unprivileged* compute classes. Off by
+    /// default: every domain needs ALU/branch/memory instructions; the
+    /// least-privilege concern is about privileged resources.
+    pub strict_instructions: bool,
+}
+
+impl ExclusivePolicy {
+    /// Check a candidate against one existing domain.
+    ///
+    /// Returns every conflict found (empty = compatible). Read
+    /// permissions never conflict: reading is not a capability the
+    /// paper's use cases treat as exclusive.
+    pub fn conflicts(&self, a: &DomainSpec, b: &DomainSpec) -> Vec<PolicyViolation> {
+        let mut out = Vec::new();
+        for k in Kind::all() {
+            if !a.inst_allowed(k) || !b.inst_allowed(k) {
+                continue;
+            }
+            let privileged = k.is_csr_access()
+                || matches!(k, Kind::Mret | Kind::Sret | Kind::Wfi | Kind::SfenceVma);
+            if privileged || self.strict_instructions {
+                // CSR-access classes are arbitrated per-register below;
+                // flagging the class itself would make any two CSR-using
+                // domains conflict.
+                if !k.is_csr_access() {
+                    out.push(PolicyViolation::SharedInstruction(k));
+                }
+            }
+        }
+        for csr in 0u16..4096 {
+            let masked = MASKED_CSRS.iter().any(|(c, _)| *c == csr);
+            if masked {
+                let bits = a.csr_write_mask(csr) & b.csr_write_mask(csr);
+                if a.csr_writable(csr) && b.csr_writable(csr) && bits != 0 {
+                    out.push(PolicyViolation::OverlappingMask { csr, bits });
+                }
+            } else if a.csr_writable(csr) && b.csr_writable(csr) {
+                out.push(PolicyViolation::SharedCsrWrite(csr));
+            }
+        }
+        out
+    }
+
+    /// Check a candidate against every already-registered domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first conflicting (domain index, violation) pair.
+    pub fn admit(
+        &self,
+        existing: &[DomainSpec],
+        candidate: &DomainSpec,
+    ) -> Result<(), (usize, PolicyViolation)> {
+        for (i, d) in existing.iter().enumerate() {
+            if let Some(v) = self.conflicts(d, candidate).into_iter().next() {
+                return Err((i, v));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa_sim::csr::addr;
+
+    fn kernelish() -> DomainSpec {
+        let mut d = DomainSpec::compute_only();
+        d.allow_insts([Kind::Csrrw, Kind::Csrrs]);
+        d.allow_csr_rw(addr::SEPC);
+        d
+    }
+
+    #[test]
+    fn disjoint_domains_are_admitted() {
+        let policy = ExclusivePolicy::default();
+        let a = kernelish();
+        let mut b = DomainSpec::compute_only();
+        b.allow_insts([Kind::Csrrw]);
+        b.allow_csr_rw(addr::SATP);
+        assert!(policy.conflicts(&a, &b).is_empty());
+        assert!(policy.admit(&[a], &b).is_ok());
+    }
+
+    #[test]
+    fn shared_csr_write_is_rejected() {
+        let policy = ExclusivePolicy::default();
+        let a = kernelish();
+        let mut b = DomainSpec::compute_only();
+        b.allow_insts([Kind::Csrrw]);
+        b.allow_csr_write(addr::SEPC); // same register as `a`
+        let c = policy.conflicts(&a, &b);
+        assert!(c.contains(&PolicyViolation::SharedCsrWrite(addr::SEPC)), "{c:?}");
+        assert!(policy.admit(&[a], &b).is_err());
+    }
+
+    #[test]
+    fn shared_reads_are_fine() {
+        let policy = ExclusivePolicy::default();
+        let mut a = DomainSpec::compute_only();
+        a.allow_insts([Kind::Csrrs]);
+        a.allow_csr_read(addr::CYCLE);
+        let b = a.clone();
+        assert!(policy.conflicts(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn overlapping_masks_are_rejected_disjoint_masks_pass() {
+        let policy = ExclusivePolicy::default();
+        let mut a = DomainSpec::compute_only();
+        a.allow_insts([Kind::Csrrw]);
+        a.allow_csr_write_masked(addr::SSTATUS, 0b0110);
+        let mut b = DomainSpec::compute_only();
+        b.allow_insts([Kind::Csrrw]);
+        b.allow_csr_write_masked(addr::SSTATUS, 0b1000);
+        assert!(policy.conflicts(&a, &b).is_empty(), "disjoint bits coexist");
+        let mut c = DomainSpec::compute_only();
+        c.allow_insts([Kind::Csrrw]);
+        c.allow_csr_write_masked(addr::SSTATUS, 0b0100);
+        let v = policy.conflicts(&a, &c);
+        assert_eq!(
+            v,
+            vec![PolicyViolation::OverlappingMask { csr: addr::SSTATUS, bits: 0b0100 }]
+        );
+    }
+
+    #[test]
+    fn shared_privileged_instruction_class_is_rejected() {
+        let policy = ExclusivePolicy::default();
+        let mut a = DomainSpec::compute_only();
+        a.allow_inst(Kind::SfenceVma);
+        let mut b = DomainSpec::compute_only();
+        b.allow_inst(Kind::SfenceVma);
+        let v = policy.conflicts(&a, &b);
+        assert!(v.contains(&PolicyViolation::SharedInstruction(Kind::SfenceVma)));
+    }
+
+    #[test]
+    fn compute_classes_conflict_only_in_strict_mode() {
+        let a = DomainSpec::compute_only();
+        let b = DomainSpec::compute_only();
+        assert!(ExclusivePolicy::default().conflicts(&a, &b).is_empty());
+        let strict = ExclusivePolicy { strict_instructions: true };
+        assert!(!strict.conflicts(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn kernel_decomposition_satisfies_the_policy() {
+        // The §6.1 domain split we boot the kernel with must itself be
+        // exclusive w.r.t. privileged resources. Reconstruct it here.
+        let policy = ExclusivePolicy::default();
+        let csr_classes =
+            [Kind::Csrrw, Kind::Csrrs, Kind::Csrrc, Kind::Csrrwi, Kind::Csrrsi, Kind::Csrrci];
+        let mut kern = DomainSpec::compute_only();
+        kern.allow_insts(csr_classes);
+        kern.allow_csr_write(addr::SEPC);
+        kern.allow_csr_write(addr::SSCRATCH);
+        kern.allow_csr_write_masked(addr::SSTATUS, 0b1_0010_0010);
+        let mut mm = DomainSpec::compute_only();
+        mm.allow_insts(csr_classes);
+        mm.allow_inst(Kind::SfenceVma);
+        mm.allow_csr_rw(addr::SATP);
+        let mut srv = DomainSpec::compute_only();
+        srv.allow_insts(csr_classes);
+        srv.allow_csr_read(addr::HPMCOUNTER3);
+        // sret is kernel-only, so add it only to kern.
+        kern.allow_inst(Kind::Sret);
+        assert!(policy.admit(&[kern.clone(), mm.clone()], &srv).is_ok());
+        assert!(policy.conflicts(&kern, &mm).is_empty());
+    }
+}

@@ -1,0 +1,504 @@
+//! Tests for the paper's §8 extensions: unified HPT cache, Draco-style
+//! legal-instruction cache, group-bit simplification, runtime
+//! registration by guest domain-0 software, and side-channel flushing.
+
+use isa_asm::{Asm, Program, Reg::*};
+use isa_grid::{DomainSpec, GateSpec, GridLayout, InstGroup, Pcu, PcuConfig};
+use isa_sim::csr::addr;
+use isa_sim::{mmio, Exception, Exit, Kind, Machine, DEFAULT_RAM_BASE as RAM};
+
+const TMEM: u64 = 0x8380_0000;
+
+fn machine(cfg: PcuConfig) -> Machine<Pcu> {
+    let mut m = Machine::new(Pcu::new(cfg));
+    m.ext.install(&mut m.bus, GridLayout::new(TMEM, 1 << 20));
+    m
+}
+
+fn boot_to_s(a: &mut Asm) {
+    a.la(T0, "mtrap");
+    a.csrw(addr::MTVEC as u32, T0);
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, addr::MSTATUS as u32, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, addr::MSTATUS as u32, T1);
+    a.la(T0, "kernel");
+    a.csrw(addr::MEPC as u32, T0);
+    a.mret();
+}
+
+fn mtrap_halts_with_cause(a: &mut Asm) {
+    a.label("mtrap");
+    a.csrr(A0, addr::MCAUSE as u32);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+}
+
+fn run(m: &mut Machine<Pcu>, prog: &Program) -> u64 {
+    m.load_program(prog);
+    match m.run(1_000_000) {
+        Exit::Halted(v) => v,
+        Exit::StepLimit => panic!("no halt; pc={:#x}", m.cpu.pc),
+    }
+}
+
+// ---- instruction groups (§8 "Possible Simplification") ----
+
+#[test]
+fn groups_partition_every_non_custom_class() {
+    for k in Kind::all().filter(|k| !k.is_grid_custom()) {
+        let owners: Vec<_> = InstGroup::ALL.iter().filter(|g| g.contains(k)).collect();
+        assert_eq!(owners.len(), 1, "{k:?} owned by {owners:?}");
+    }
+}
+
+#[test]
+fn customs_belong_to_no_group() {
+    for k in Kind::all().filter(|k| k.is_grid_custom()) {
+        assert!(InstGroup::ALL.iter().all(|g| !g.contains(k)), "{k:?}");
+    }
+}
+
+#[test]
+fn allow_group_equals_allowing_each_member() {
+    let mut by_group = DomainSpec::deny_all();
+    by_group.allow_group(InstGroup::MulDiv);
+    let mut by_kind = DomainSpec::deny_all();
+    for k in InstGroup::MulDiv.kinds() {
+        by_kind.allow_inst(k);
+    }
+    assert_eq!(by_group, by_kind);
+    assert!(by_group.group_allowed(InstGroup::MulDiv));
+    assert!(!by_group.group_allowed(InstGroup::IntAlu));
+}
+
+#[test]
+fn deny_group_revokes_every_member() {
+    let mut d = DomainSpec::allow_all();
+    d.deny_group(InstGroup::Atomic);
+    for k in InstGroup::Atomic.kinds() {
+        assert!(!d.inst_allowed(k), "{k:?}");
+    }
+    assert!(d.inst_allowed(Kind::Add), "other groups untouched");
+}
+
+#[test]
+fn group_built_domain_blocks_muldiv_at_runtime() {
+    let mut m = machine(PcuConfig::eight_e());
+    let mut a = Asm::new(RAM);
+    boot_to_s(&mut a);
+    a.label("kernel");
+    a.li(A0, 0);
+    a.label("gate");
+    a.hccall(A0);
+    a.label("restricted");
+    a.add(T0, T1, T2); // fine
+    a.mul(T0, T1, T2); // MulDiv group denied -> fault
+    a.li(T6, mmio::HALT);
+    a.sd(Zero, T6, 0);
+    mtrap_halts_with_cause(&mut a);
+    let prog = a.assemble().unwrap();
+    let mut spec = DomainSpec::compute_only();
+    spec.deny_group(InstGroup::MulDiv);
+    let d = m.ext.add_domain(&mut m.bus, &spec);
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("gate"),
+        dest_addr: prog.symbol("restricted"),
+        dest_domain: d,
+    });
+    assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_INST);
+}
+
+// ---- unified HPT cache (§4.3 alternative implementation) ----
+
+fn csr_loop_program() -> Program {
+    let mut a = Asm::new(RAM);
+    boot_to_s(&mut a);
+    a.label("kernel");
+    a.li(A0, 0);
+    a.label("gate");
+    a.hccall(A0);
+    a.label("restricted");
+    a.li(S0, 50);
+    a.label("loop");
+    a.csrr(T0, addr::SSTATUS as u32);
+    a.li(T1, 1 << 1); // SIE: inside the mask below
+    a.csrrs(Zero, addr::SSTATUS as u32, T1);
+    a.csrrc(Zero, addr::SSTATUS as u32, T1);
+    a.addi(S0, S0, -1);
+    a.bnez(S0, "loop");
+    a.li(T6, mmio::HALT);
+    a.li(T5, 0xAA);
+    a.sd(T5, T6, 0);
+    mtrap_halts_with_cause(&mut a);
+    a.assemble().unwrap()
+}
+
+fn spec_with_sstatus() -> DomainSpec {
+    let mut spec = DomainSpec::compute_only();
+    spec.allow_insts([Kind::Csrrw, Kind::Csrrs, Kind::Csrrc]);
+    spec.allow_csr_read(addr::SSTATUS);
+    spec.allow_csr_write_masked(addr::SSTATUS, 1 << 1);
+    spec
+}
+
+#[test]
+fn unified_cache_is_functionally_identical_to_split() {
+    let prog = csr_loop_program();
+    for cfg in [PcuConfig::eight_e(), PcuConfig::unified_24e()] {
+        let mut m = machine(cfg);
+        let d = m.ext.add_domain(&mut m.bus, &spec_with_sstatus());
+        m.ext.add_gate(&mut m.bus, GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        });
+        assert_eq!(run(&mut m, &prog), 0xAA, "{cfg:?}");
+    }
+}
+
+#[test]
+fn unified_cache_routes_all_hpt_traffic_through_one_storage() {
+    let prog = csr_loop_program();
+    let mut m = machine(PcuConfig::unified_24e());
+    let d = m.ext.add_domain(&mut m.bus, &spec_with_sstatus());
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("gate"),
+        dest_addr: prog.symbol("restricted"),
+        dest_domain: d,
+    });
+    run(&mut m, &prog);
+    let s = m.ext.cache_stats();
+    assert_eq!(s.reg.hits + s.reg.misses, 0, "split reg cache unused");
+    assert_eq!(s.mask.hits + s.mask.misses, 0, "split mask cache unused");
+    assert!(s.inst.hits > 100, "unified storage carries the traffic: {s:?}");
+    // All three entry types coexist without tag collisions.
+    assert!(s.inst.misses >= 3, "one cold miss per entry type at least");
+}
+
+// ---- Draco-style legal-instruction cache (§8 "Cache Optimization") ----
+
+#[test]
+fn legal_cache_short_circuits_hot_instructions() {
+    let prog = csr_loop_program();
+    let mut m = machine(PcuConfig::eight_e_draco(64));
+    let d = m.ext.add_domain(&mut m.bus, &spec_with_sstatus());
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("gate"),
+        dest_addr: prog.symbol("restricted"),
+        dest_domain: d,
+    });
+    assert_eq!(run(&mut m, &prog), 0xAA);
+    assert!(m.ext.stats.legal_hits > 100, "hits: {}", m.ext.stats.legal_hits);
+    let s = m.ext.legal_cache_stats();
+    assert!(s.hit_rate() > 0.5, "{s:?}");
+}
+
+#[test]
+fn legal_cache_never_admits_denied_instructions() {
+    // The denied mul never passes, so it can never enter the legal cache
+    // and must fault no matter how often it is attempted.
+    let mut m = machine(PcuConfig::eight_e_draco(64));
+    let mut a = Asm::new(RAM);
+    boot_to_s(&mut a);
+    a.label("kernel");
+    a.li(A0, 0);
+    a.label("gate");
+    a.hccall(A0);
+    a.label("restricted");
+    a.mul(T0, T1, T2);
+    a.li(T6, mmio::HALT);
+    a.sd(Zero, T6, 0);
+    mtrap_halts_with_cause(&mut a);
+    let prog = a.assemble().unwrap();
+    let mut spec = DomainSpec::compute_only();
+    spec.deny_group(InstGroup::MulDiv);
+    let d = m.ext.add_domain(&mut m.bus, &spec);
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("gate"),
+        dest_addr: prog.symbol("restricted"),
+        dest_domain: d,
+    });
+    assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_INST);
+    assert_eq!(m.ext.stats.legal_hits, 0, "nothing legal was cached for mul");
+}
+
+#[test]
+fn legal_cache_excludes_value_dependent_csr_writes() {
+    // A masked CSR write must be re-checked every time: the same
+    // instruction bytes are legal for one value and illegal for another.
+    let prog = csr_loop_program();
+    let mut m = machine(PcuConfig::eight_e_draco(64));
+    let d = m.ext.add_domain(&mut m.bus, &spec_with_sstatus());
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("gate"),
+        dest_addr: prog.symbol("restricted"),
+        dest_domain: d,
+    });
+    run(&mut m, &prog);
+    // The loop ran 50 CSR writes; each one performed a real csr check.
+    assert!(m.ext.stats.csr_checks >= 150, "{}", m.ext.stats.csr_checks);
+}
+
+// ---- runtime registration by guest domain-0 software (§5.2) ----
+
+#[test]
+fn guest_domain0_registers_a_gate_at_runtime() {
+    // S-mode code in domain-0 writes an SGT entry directly into trusted
+    // memory (allowed: loads/stores may touch trusted memory in
+    // domain-0), bumps gate-nr, and then takes the brand-new gate.
+    let mut m = machine(PcuConfig::eight_e());
+    let layout = m.ext.layout();
+    let sgt0 = layout.sgt_entry_addr(0);
+
+    let mut a = Asm::new(RAM);
+    boot_to_s(&mut a);
+    a.label("kernel");
+    // Build SGT entry 0 in trusted memory: {gate, dest, domain=1, valid}.
+    a.li(T0, sgt0);
+    a.la(T1, "gate");
+    a.sd(T1, T0, 0);
+    a.la(T1, "target");
+    a.sd(T1, T0, 8);
+    a.li(T1, 1);
+    a.sd(T1, T0, 16);
+    a.sd(T1, T0, 24); // SGT_FLAG_VALID
+    // Publish it: gate-nr = 1 (writable in domain-0 only).
+    a.li(T1, 1);
+    a.csrw(addr::GRID_GATE_NR as u32, T1);
+    // And use it.
+    a.li(A0, 0);
+    a.label("gate");
+    a.hccall(A0);
+    a.label("target");
+    a.csrr(A0, addr::GRID_DOMAIN as u32);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+    mtrap_halts_with_cause(&mut a);
+    let prog = a.assemble().unwrap();
+
+    // The destination domain is registered host-side beforehand (its id
+    // is 1); the gate itself is created *by the guest*.
+    let mut spec = DomainSpec::compute_only();
+    spec.allow_insts([Kind::Csrrw, Kind::Csrrs]);
+    spec.allow_csr_read(addr::GRID_DOMAIN);
+    m.ext.add_domain(&mut m.bus, &spec);
+    assert_eq!(run(&mut m, &prog), 1, "landed in domain-1 via the guest-made gate");
+}
+
+#[test]
+fn restricted_domain_cannot_publish_gates() {
+    // The same gate-nr write from a non-zero domain must fault: runtime
+    // registration is a domain-0 service.
+    let mut m = machine(PcuConfig::eight_e());
+    let mut a = Asm::new(RAM);
+    boot_to_s(&mut a);
+    a.label("kernel");
+    a.li(A0, 0);
+    a.label("gate");
+    a.hccall(A0);
+    a.label("restricted");
+    a.li(T1, 7);
+    a.csrw(addr::GRID_GATE_NR as u32, T1);
+    a.li(T6, mmio::HALT);
+    a.sd(Zero, T6, 0);
+    mtrap_halts_with_cause(&mut a);
+    let prog = a.assemble().unwrap();
+    let mut spec = DomainSpec::compute_only();
+    spec.allow_insts([Kind::Csrrw, Kind::Csrrs]);
+    let d = m.ext.add_domain(&mut m.bus, &spec);
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("gate"),
+        dest_addr: prog.symbol("restricted"),
+        dest_domain: d,
+    });
+    assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_CSR);
+}
+
+// ---- side-channel mitigation by flushing (§8 "Cache Optimization") ----
+
+#[test]
+fn flushing_before_switch_trades_misses_for_secrecy() {
+    // Run the CSR loop twice: once plainly, once flushing the privilege
+    // caches every iteration. The flushed run must show many more
+    // misses — the measurable cost of hiding the access pattern.
+    let build = |flush: bool| {
+        let mut a = Asm::new(RAM);
+        boot_to_s(&mut a);
+        a.label("kernel");
+        a.li(A0, 0);
+        a.label("gate");
+        a.hccall(A0);
+        a.label("restricted");
+        a.li(S0, 20);
+        a.label("loop");
+        a.csrr(T0, addr::SSTATUS as u32);
+        if flush {
+            a.li(T1, 0);
+            a.pflh(T1);
+        }
+        a.addi(S0, S0, -1);
+        a.bnez(S0, "loop");
+        a.li(T6, mmio::HALT);
+        a.li(T5, 0xAA);
+        a.sd(T5, T6, 0);
+        mtrap_halts_with_cause(&mut a);
+        a.assemble().unwrap()
+    };
+    let mut misses = Vec::new();
+    for flush in [false, true] {
+        let prog = build(flush);
+        let mut m = machine(PcuConfig::eight_e());
+        let d = m.ext.add_domain(&mut m.bus, &spec_with_sstatus());
+        m.ext.add_gate(&mut m.bus, GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        });
+        assert_eq!(run(&mut m, &prog), 0xAA);
+        misses.push(m.ext.cache_stats().reg.misses);
+    }
+    assert!(misses[1] >= misses[0] + 19, "flushing must force refetches: {misses:?}");
+}
+
+// ---- per-process SGTs (§8 "Extending to User Space") ----
+
+#[test]
+fn domain0_swaps_sgts_like_process_switching() {
+    // §8: domain-0 software can "maintain multiple SGTs for different
+    // processes and the kernel, and switch among them" by re-pointing
+    // gate-addr. The same gate id then resolves to a different gate.
+    let mut m = machine(PcuConfig::eight_e());
+    let layout = m.ext.layout();
+    // A second SGT lives elsewhere in trusted memory.
+    let sgt_b = layout.tstack_base() + 0x2000;
+
+    let mut a = Asm::new(RAM);
+    boot_to_s(&mut a);
+    a.label("kernel");
+    // Process A's view: gate 0 -> domain 1.
+    a.li(T4, 0);
+    a.label("site_a");
+    a.hccall(T4);
+    a.label("ta");
+    a.csrr(S5, addr::GRID_DOMAIN as u32);
+    a.li(T4, 1);
+    a.label("site_back");
+    a.hccall(T4); // registered gate back to domain-0
+    a.label("back_in_0");
+    // "Context switch": point gate-addr at process B's SGT and flush the
+    // SGT cache (stale entries belong to process A).
+    a.li(T0, sgt_b);
+    a.csrw(addr::GRID_GATE_ADDR as u32, T0);
+    a.li(T0, 4); // SGT cache id
+    a.pflh(T0);
+    // Same gate id 0, process B's view: -> domain 2.
+    a.li(T4, 0);
+    a.label("site_b");
+    a.hccall(T4);
+    a.label("tb");
+    a.csrr(T0, addr::GRID_DOMAIN as u32);
+    a.slli(T0, T0, 8);
+    a.or(A0, T0, S5);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+    mtrap_halts_with_cause(&mut a);
+    let prog = a.assemble().unwrap();
+
+    let mut spec = DomainSpec::compute_only();
+    spec.allow_insts([Kind::Csrrw, Kind::Csrrs]);
+    spec.allow_csr_read(addr::GRID_DOMAIN);
+    let d1 = m.ext.add_domain(&mut m.bus, &spec);
+    let d2 = m.ext.add_domain(&mut m.bus, &spec);
+    // Process A's SGT (the installed one).
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("site_a"),
+        dest_addr: prog.symbol("ta"),
+        dest_domain: d1,
+    });
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("site_back"),
+        dest_addr: prog.symbol("back_in_0"),
+        dest_domain: isa_grid::DomainId::INIT,
+    });
+    // Process B's SGT, written directly into trusted memory by "domain-0
+    // software" (the host here).
+    m.bus.write_u64(sgt_b, prog.symbol("site_b"));
+    m.bus.write_u64(sgt_b + 8, prog.symbol("tb"));
+    m.bus.write_u64(sgt_b + 16, d2.0);
+    m.bus.write_u64(sgt_b + 24, 1); // valid
+
+    // Domain 1 through table A (low byte), domain 2 through table B.
+    assert_eq!(run(&mut m, &prog), (d2.0 << 8) | d1.0);
+}
+
+// ---- per-thread trusted stacks (§5.2 context switching) ----
+
+#[test]
+fn trusted_stack_save_restore_preserves_pending_frames() {
+    // Enter a cross-domain call with hccalls, then have "domain-0
+    // software" switch to another thread's (empty) trusted stack and
+    // back; the pending frame must still return correctly.
+    let mut m = machine(PcuConfig::eight_e());
+    let mut a = Asm::new(RAM);
+    boot_to_s(&mut a);
+    a.label("kernel");
+    a.li(T4, 1);
+    a.label("setup");
+    a.hccall(T4); // leave domain-0
+    a.label("in_a");
+    a.li(T4, 0);
+    a.label("gate");
+    a.hccalls(T4);
+    // hcrets returns here:
+    a.li(T6, mmio::HALT);
+    a.li(T5, 0xAA);
+    a.sd(T5, T6, 0);
+    a.label("target");
+    // Ask the host to context switch (marker via value log), then return.
+    a.li(T6, mmio::VALUE_LOG);
+    a.li(T5, 1);
+    a.sd(T5, T6, 0);
+    a.hcrets();
+    mtrap_halts_with_cause(&mut a);
+    let prog = a.assemble().unwrap();
+    let da = m.ext.add_domain(&mut m.bus, &DomainSpec::compute_only());
+    let db = m.ext.add_domain(&mut m.bus, &DomainSpec::compute_only());
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("gate"),
+        dest_addr: prog.symbol("target"),
+        dest_domain: db,
+    });
+    m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("setup"),
+        dest_addr: prog.symbol("in_a"),
+        dest_domain: da,
+    });
+    let l = m.ext.layout();
+    m.ext.set_trusted_stack(l.tstack_base(), l.tstack_base() + 4096);
+    m.load_program(&prog);
+
+    // Step until the guest signals from inside the cross-domain call.
+    while m.bus.value_log.is_empty() {
+        m.step();
+        assert!(m.bus.halted.is_none(), "halted early: {:?}", m.bus.halted);
+    }
+    // Simulated thread switch: stash thread A's trusted stack, install
+    // thread B's, run nothing, switch back (what domain-0 does, §5.2).
+    let saved = m.ext.save_trusted_stack();
+    let (sp, _, _) = saved;
+    assert!(sp > l.tstack_base(), "a frame is pending");
+    m.ext.restore_trusted_stack(
+        l.tstack_base() + 8192,
+        l.tstack_base() + 8192,
+        l.tstack_base() + 12288,
+    );
+    m.ext.restore_trusted_stack(saved.0, saved.1, saved.2);
+    match m.run(10_000) {
+        Exit::Halted(v) => assert_eq!(v, 0xAA),
+        Exit::StepLimit => panic!("did not finish"),
+    }
+}

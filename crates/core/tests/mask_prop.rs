@@ -1,0 +1,242 @@
+//! Property tests for the hybrid privilege check (§4.1): the bit-mask
+//! write-legality equation and bitmap independence, driven directly
+//! against the PCU's `Extension` entry points.
+
+use isa_grid::{DomainSpec, GridLayout, Pcu, PcuConfig};
+use isa_sim::csr::addr;
+use isa_sim::{Bus, CpuState, Exception, Extension, Priv};
+use proptest::prelude::*;
+
+const TMEM: u64 = 0x8380_0000;
+
+fn setup(spec: &DomainSpec) -> (Pcu, Bus, CpuState) {
+    let mut bus = Bus::default();
+    let mut pcu = Pcu::new(PcuConfig::eight_e());
+    pcu.install(&mut bus, GridLayout::new(TMEM, 1 << 20));
+    let d = pcu.add_domain(&mut bus, spec);
+    pcu.force_domain(d);
+    let mut cpu = CpuState::new(0x8000_0000);
+    cpu.priv_level = Priv::S;
+    (pcu, bus, cpu)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A masked write is permitted iff (old ^ new) & !mask == 0 — the
+    /// paper's equation, for arbitrary old/new/mask.
+    #[test]
+    fn mask_equation_is_exact(old in any::<u64>(), new in any::<u64>(), mask in any::<u64>()) {
+        let mut spec = DomainSpec::compute_only();
+        spec.allow_csr_write_masked(addr::SSTATUS, mask);
+        let (mut pcu, mut bus, cpu) = setup(&spec);
+        let res = pcu.check_csr(&cpu, &mut bus, addr::SSTATUS, false, true, old, new);
+        let legal = (old ^ new) & !mask == 0;
+        prop_assert_eq!(res.is_ok(), legal, "old={:#x} new={:#x} mask={:#x}", old, new, mask);
+        if let Err(e) = res {
+            prop_assert_eq!(e, Exception::GridCsrFault(addr::SSTATUS as u64));
+        }
+    }
+
+    /// Writes that only change masked-in bits always pass; writes that
+    /// change any masked-out bit always fail.
+    #[test]
+    fn mask_soundness_and_completeness(old in any::<u64>(), delta in any::<u64>(), mask in any::<u64>()) {
+        let mut spec = DomainSpec::compute_only();
+        spec.allow_csr_write_masked(addr::PKR, mask);
+        let (mut pcu, mut bus, cpu) = setup(&spec);
+        // Construct a new value differing from old only inside the mask.
+        let inside = old ^ (delta & mask);
+        prop_assert!(pcu
+            .check_csr(&cpu, &mut bus, addr::PKR, false, true, old, inside)
+            .is_ok());
+        // And one differing outside, whenever that is possible.
+        if delta & !mask != 0 {
+            let outside = old ^ (delta & !mask);
+            prop_assert!(pcu
+                .check_csr(&cpu, &mut bus, addr::PKR, false, true, old, outside)
+                .is_err());
+        }
+    }
+
+    /// Read/write permission bits for different CSRs never interfere:
+    /// granting access to one CSR grants nothing else.
+    #[test]
+    fn register_bitmap_bit_isolation(csr in 0u16..4096, probe in 0u16..4096) {
+        // The ISA-Grid register block (Table 2) is PCU-owned: accesses
+        // are arbitrated by read_csr/write_csr, not the register bitmap.
+        let owned = addr::GRID_DOMAIN..=addr::GRID_TMEML;
+        prop_assume!(!owned.contains(&csr) && !owned.contains(&probe));
+        let mut spec = DomainSpec::compute_only();
+        spec.allow_csr_rw(csr);
+        let (mut pcu, mut bus, cpu) = setup(&spec);
+        let r = pcu.check_csr(&cpu, &mut bus, probe, true, false, 0, 0);
+        // Masked CSRs never consult the W bit; reads are what we probe.
+        prop_assert_eq!(r.is_ok(), probe == csr, "csr={} probe={}", csr, probe);
+    }
+
+    /// Instruction-bitmap isolation: allowing one class does not leak
+    /// permission to any other class.
+    #[test]
+    fn instruction_bitmap_bit_isolation(allow_idx in 0usize..isa_sim::Kind::COUNT) {
+        use isa_sim::Kind;
+        let kinds: Vec<Kind> = Kind::all().collect();
+        let allowed = kinds[allow_idx];
+        // Gates/cache-ops are always permitted by the PCU, skip as targets.
+        prop_assume!(!allowed.is_grid_custom());
+        let mut spec = DomainSpec::deny_all();
+        spec.allow_inst(allowed);
+        let (mut pcu, mut bus, cpu) = setup(&spec);
+        for probe in kinds.iter().copied().filter(|k| !k.is_grid_custom()) {
+            // Fabricate a decoded instruction of that class.
+            let d = fabricate(probe);
+            let ok = pcu.check_inst(&cpu, &mut bus, &d).is_ok();
+            prop_assert_eq!(ok, probe == allowed, "allowed={:?} probe={:?}", allowed, probe);
+        }
+    }
+}
+
+/// Build a `Decoded` of a given class via the encoder + decoder.
+fn fabricate(kind: isa_sim::Kind) -> isa_sim::Decoded {
+    use isa_asm::encode as e;
+    use isa_asm::Reg::*;
+    use isa_sim::Kind::*;
+    let raw = match kind {
+        Lui => e::lui(A0, 0),
+        Auipc => e::auipc(A0, 0),
+        Jal => e::jal(A0, 0),
+        Jalr => e::jalr(A0, A0, 0),
+        Beq => e::beq(A0, A0, 0),
+        Bne => e::bne(A0, A0, 0),
+        Blt => e::blt(A0, A0, 0),
+        Bge => e::bge(A0, A0, 0),
+        Bltu => e::bltu(A0, A0, 0),
+        Bgeu => e::bgeu(A0, A0, 0),
+        Lb => e::lb(A0, A0, 0),
+        Lh => e::lh(A0, A0, 0),
+        Lw => e::lw(A0, A0, 0),
+        Ld => e::ld(A0, A0, 0),
+        Lbu => e::lbu(A0, A0, 0),
+        Lhu => e::lhu(A0, A0, 0),
+        Lwu => e::lwu(A0, A0, 0),
+        Sb => e::sb(A0, A0, 0),
+        Sh => e::sh(A0, A0, 0),
+        Sw => e::sw(A0, A0, 0),
+        Sd => e::sd(A0, A0, 0),
+        Addi => e::addi(A0, A0, 0),
+        Slti => e::slti(A0, A0, 0),
+        Sltiu => e::sltiu(A0, A0, 0),
+        Xori => e::xori(A0, A0, 0),
+        Ori => e::ori(A0, A0, 0),
+        Andi => e::andi(A0, A0, 0),
+        Slli => e::slli(A0, A0, 0),
+        Srli => e::srli(A0, A0, 0),
+        Srai => e::srai(A0, A0, 0),
+        Add => e::add(A0, A0, A0),
+        Sub => e::sub(A0, A0, A0),
+        Sll => e::sll(A0, A0, A0),
+        Slt => e::slt(A0, A0, A0),
+        Sltu => e::sltu(A0, A0, A0),
+        Xor => e::xor(A0, A0, A0),
+        Srl => e::srl(A0, A0, A0),
+        Sra => e::sra(A0, A0, A0),
+        Or => e::or(A0, A0, A0),
+        And => e::and(A0, A0, A0),
+        Addiw => e::addiw(A0, A0, 0),
+        Slliw => e::slliw(A0, A0, 0),
+        Srliw => e::srliw(A0, A0, 0),
+        Sraiw => e::sraiw(A0, A0, 0),
+        Addw => e::addw(A0, A0, A0),
+        Subw => e::subw(A0, A0, A0),
+        Sllw => e::sllw(A0, A0, A0),
+        Srlw => e::srlw(A0, A0, A0),
+        Sraw => e::sraw(A0, A0, A0),
+        Mul => e::mul(A0, A0, A0),
+        Mulh => e::mulh(A0, A0, A0),
+        Mulhsu => e::mulhsu(A0, A0, A0),
+        Mulhu => e::mulhu(A0, A0, A0),
+        Div => e::div(A0, A0, A0),
+        Divu => e::divu(A0, A0, A0),
+        Rem => e::rem(A0, A0, A0),
+        Remu => e::remu(A0, A0, A0),
+        Mulw => e::mulw(A0, A0, A0),
+        Divw => e::divw(A0, A0, A0),
+        Divuw => e::divuw(A0, A0, A0),
+        Remw => e::remw(A0, A0, A0),
+        Remuw => e::remuw(A0, A0, A0),
+        LrW => e::lr_w(A0, A0),
+        ScW => e::sc_w(A0, A0, A0),
+        AmoswapW => e::amo(0b00001, 0b010, A0, A0, A0),
+        AmoaddW => e::amoadd_w(A0, A0, A0),
+        AmoxorW => e::amo(0b00100, 0b010, A0, A0, A0),
+        AmoandW => e::amo(0b01100, 0b010, A0, A0, A0),
+        AmoorW => e::amo(0b01000, 0b010, A0, A0, A0),
+        LrD => e::lr_d(A0, A0),
+        ScD => e::sc_d(A0, A0, A0),
+        AmoswapD => e::amoswap_d(A0, A0, A0),
+        AmoaddD => e::amoadd_d(A0, A0, A0),
+        AmoxorD => e::amoxor_d(A0, A0, A0),
+        AmoandD => e::amoand_d(A0, A0, A0),
+        AmoorD => e::amoor_d(A0, A0, A0),
+        Fence => e::fence(),
+        FenceI => e::fence_i(),
+        Ecall => e::ecall(),
+        Ebreak => e::ebreak(),
+        Csrrw => e::csrrw(A0, 0x100, A0),
+        Csrrs => e::csrrs(A0, 0x100, A0),
+        Csrrc => e::csrrc(A0, 0x100, A0),
+        Csrrwi => e::csrrwi(A0, 0x100, 0),
+        Csrrsi => e::csrrsi(A0, 0x100, 0),
+        Csrrci => e::csrrci(A0, 0x100, 0),
+        Mret => e::mret(),
+        Sret => e::sret(),
+        Wfi => e::wfi(),
+        SfenceVma => e::sfence_vma(A0, A0),
+        Hccall => e::hccall(A0),
+        Hccalls => e::hccalls(A0),
+        Hcrets => e::hcrets(),
+        Pfch => e::pfch(A0),
+        Pflh => e::pflh(A0),
+    };
+    isa_sim::decode(raw).expect("fabricated instruction decodes")
+}
+
+#[test]
+fn domain_zero_is_exempt_from_all_checks() {
+    let spec = DomainSpec::deny_all();
+    let (mut pcu, mut bus, cpu) = setup(&spec);
+    pcu.force_domain(isa_grid::DomainId::INIT);
+    for k in isa_sim::Kind::all().filter(|k| !k.is_grid_custom()) {
+        let d = fabricate(k);
+        assert!(pcu.check_inst(&cpu, &mut bus, &d).is_ok(), "{k:?}");
+    }
+    assert!(pcu.check_csr(&cpu, &mut bus, addr::SATP, true, true, 0, u64::MAX).is_ok());
+    assert!(pcu.check_phys(&cpu, TMEM, 8, true).is_ok());
+}
+
+#[test]
+fn machine_mode_is_exempt_from_all_checks() {
+    let spec = DomainSpec::deny_all();
+    let (mut pcu, mut bus, mut cpu) = setup(&spec);
+    cpu.priv_level = Priv::M;
+    for k in isa_sim::Kind::all().filter(|k| !k.is_grid_custom()) {
+        let d = fabricate(k);
+        assert!(pcu.check_inst(&cpu, &mut bus, &d).is_ok(), "{k:?}");
+    }
+    assert!(pcu.check_phys(&cpu, TMEM, 8, true).is_ok());
+}
+
+#[test]
+fn tmem_fence_covers_partial_overlaps() {
+    let spec = DomainSpec::compute_only();
+    let (mut pcu, _bus, cpu) = setup(&spec);
+    let end = TMEM + (1 << 20);
+    // Fully before / after: allowed.
+    assert!(pcu.check_phys(&cpu, TMEM - 8, 8, false).is_ok());
+    assert!(pcu.check_phys(&cpu, end, 8, false).is_ok());
+    // Straddling either edge: denied.
+    assert!(pcu.check_phys(&cpu, TMEM - 4, 8, false).is_err());
+    assert!(pcu.check_phys(&cpu, end - 4, 8, false).is_err());
+    // Inside: denied.
+    assert!(pcu.check_phys(&cpu, TMEM + 512, 1, false).is_err());
+}

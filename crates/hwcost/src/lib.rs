@@ -1,0 +1,216 @@
+//! # hwcost — analytical FPGA resource model for the PCU
+//!
+//! The paper synthesizes the modified Rocket core with Vivado and reports
+//! utilization (Table 6). We cannot run synthesis, so this crate models
+//! the PCU's cost analytically: a fixed checker-datapath cost plus a
+//! per-entry cost for each fully-associative cache, linear in the entry's
+//! tag+payload width (CAM comparators in LUTs, storage in registers).
+//!
+//! The two coefficients per structure are **calibrated against the
+//! paper's published deltas** (Table 6: +2284/+1548/+1130 LUTs and
+//! +2704/+1632/+1107 FFs for 16E/8E/8E.N), so the model reproduces the
+//! published table exactly and extrapolates to other configurations
+//! (e.g. the 32E ablation). Block RAM and DSP usage is unchanged by the
+//! PCU, as in the paper.
+
+#![warn(missing_docs)]
+
+use isa_grid::PcuConfig;
+
+/// FPGA resource utilization (Vivado report categories of Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Resources {
+    /// LUTs used as logic.
+    pub lut_logic: f64,
+    /// LUTs used as memory (distributed RAM).
+    pub lut_mem: f64,
+    /// Slice registers (flip-flops).
+    pub registers: f64,
+    /// 36 Kb block RAMs.
+    pub ramb36: f64,
+    /// 18 Kb block RAMs.
+    pub ramb18: f64,
+    /// DSP48E1 slices.
+    pub dsp: f64,
+}
+
+impl Resources {
+    /// Element-wise sum.
+    pub fn plus(self, o: Resources) -> Resources {
+        Resources {
+            lut_logic: self.lut_logic + o.lut_logic,
+            lut_mem: self.lut_mem + o.lut_mem,
+            registers: self.registers + o.registers,
+            ramb36: self.ramb36 + o.ramb36,
+            ramb18: self.ramb18 + o.ramb18,
+            dsp: self.dsp + o.dsp,
+        }
+    }
+
+    /// Percentage increase of each category relative to `base`.
+    pub fn pct_over(self, base: Resources) -> Resources {
+        let pct = |a: f64, b: f64| if b == 0.0 { 0.0 } else { (a - b) / b * 100.0 };
+        Resources {
+            lut_logic: pct(self.lut_logic, base.lut_logic),
+            lut_mem: pct(self.lut_mem, base.lut_mem),
+            registers: pct(self.registers, base.registers),
+            ramb36: pct(self.ramb36, base.ramb36),
+            ramb18: pct(self.ramb18, base.ramb18),
+            dsp: pct(self.dsp, base.dsp),
+        }
+    }
+}
+
+/// The unmodified Rocket core's utilization on the VC707 (Table 6, col 1).
+pub const ROCKET_BASE: Resources = Resources {
+    lut_logic: 51137.0,
+    lut_mem: 6420.0,
+    registers: 37576.0,
+    ramb36: 10.0,
+    ramb18: 10.0,
+    dsp: 15.0,
+};
+
+/// Cache-independent PCU cost: the privilege-check datapath, gate FSM,
+/// Table 2 register file, trusted-memory bound checks.
+const PCU_FIXED_LUT: f64 = 812.0;
+const PCU_FIXED_FF: f64 = 560.0;
+
+/// Bits per entry of each structure (tag + payload + valid).
+const INST_ENTRY_BITS: f64 = 18.0 + 64.0;
+const REG_ENTRY_BITS: f64 = 18.0 + 256.0;
+const MASK_ENTRY_BITS: f64 = 18.0 + 64.0;
+const SGT_ENTRY_BITS: f64 = 6.0 + 257.0;
+
+/// Calibrated cost coefficients (resources per entry-bit).
+const HPT_LUT_PER_BIT: f64 = 39.75 / (INST_ENTRY_BITS + REG_ENTRY_BITS + MASK_ENTRY_BITS);
+const HPT_FF_PER_BIT: f64 = 68.375 / (INST_ENTRY_BITS + REG_ENTRY_BITS + MASK_ENTRY_BITS);
+const SGT_LUT_PER_BIT: f64 = 52.25 / SGT_ENTRY_BITS;
+const SGT_FF_PER_BIT: f64 = 65.625 / SGT_ENTRY_BITS;
+
+/// Estimated PCU-only cost for a cache configuration.
+pub fn pcu_cost(cfg: PcuConfig) -> Resources {
+    let hpt_bits = cfg.inst_cache as f64 * INST_ENTRY_BITS
+        + cfg.reg_cache as f64 * REG_ENTRY_BITS
+        + cfg.mask_cache as f64 * MASK_ENTRY_BITS;
+    let sgt_bits = cfg.sgt_cache as f64 * SGT_ENTRY_BITS;
+    Resources {
+        lut_logic: PCU_FIXED_LUT + hpt_bits * HPT_LUT_PER_BIT + sgt_bits * SGT_LUT_PER_BIT,
+        lut_mem: 0.0,
+        registers: PCU_FIXED_FF + hpt_bits * HPT_FF_PER_BIT + sgt_bits * SGT_FF_PER_BIT,
+        ramb36: 0.0,
+        ramb18: 0.0,
+        dsp: 0.0,
+    }
+}
+
+/// Estimated utilization of the whole modified core.
+pub fn core_cost(cfg: PcuConfig) -> Resources {
+    ROCKET_BASE.plus(pcu_cost(cfg))
+}
+
+/// One Table 6 row: name, unmodified-core value, and per-configuration
+/// `(absolute, percent-increase)` cells for 16E/8E/8E.N.
+pub type Table6Row = (&'static str, f64, Vec<(f64, f64)>);
+
+/// The rows of Table 6 (category, base, per-config absolute + %).
+pub fn table6_rows() -> Vec<Table6Row> {
+    let configs = [PcuConfig::sixteen_e(), PcuConfig::eight_e(), PcuConfig::eight_e_n()];
+    let cols: Vec<Resources> = configs.iter().map(|c| core_cost(*c)).collect();
+    let row = |name: &'static str, get: fn(&Resources) -> f64| {
+        let base = get(&ROCKET_BASE);
+        let cells = cols
+            .iter()
+            .map(|r| {
+                let v = get(r);
+                (v, if base == 0.0 { 0.0 } else { (v - base) / base * 100.0 })
+            })
+            .collect();
+        (name, base, cells)
+    };
+    vec![
+        row("LUT as Logic", |r| r.lut_logic),
+        row("LUT as Memory", |r| r.lut_mem),
+        row("Slice Registers", |r| r.registers),
+        row("RAMB36", |r| r.ramb36),
+        row("RAMB18", |r| r.ramb18),
+        row("DSP48E1", |r| r.dsp),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn reproduces_published_16e() {
+        let r = core_cost(PcuConfig::sixteen_e());
+        assert!(close(r.lut_logic, 53421.0, 5.0), "{}", r.lut_logic);
+        assert!(close(r.registers, 40280.0, 5.0), "{}", r.registers);
+    }
+
+    #[test]
+    fn reproduces_published_8e() {
+        let r = core_cost(PcuConfig::eight_e());
+        assert!(close(r.lut_logic, 52685.0, 5.0), "{}", r.lut_logic);
+        assert!(close(r.registers, 39208.0, 5.0), "{}", r.registers);
+    }
+
+    #[test]
+    fn reproduces_published_8en() {
+        let r = core_cost(PcuConfig::eight_e_n());
+        assert!(close(r.lut_logic, 52267.0, 5.0), "{}", r.lut_logic);
+        assert!(close(r.registers, 38683.0, 5.0), "{}", r.registers);
+    }
+
+    #[test]
+    fn percentages_match_table6() {
+        let pct = core_cost(PcuConfig::sixteen_e()).pct_over(ROCKET_BASE);
+        assert!(close(pct.lut_logic, 4.47, 0.05), "{}", pct.lut_logic);
+        assert!(close(pct.registers, 7.20, 0.05), "{}", pct.registers);
+        let pct = core_cost(PcuConfig::eight_e_n()).pct_over(ROCKET_BASE);
+        assert!(close(pct.lut_logic, 2.21, 0.05), "{}", pct.lut_logic);
+        assert!(close(pct.registers, 2.95, 0.05), "{}", pct.registers);
+    }
+
+    #[test]
+    fn brams_and_dsps_unchanged() {
+        for cfg in [PcuConfig::sixteen_e(), PcuConfig::eight_e(), PcuConfig::eight_e_n()] {
+            let r = core_cost(cfg);
+            assert_eq!(r.ramb36, 10.0);
+            assert_eq!(r.ramb18, 10.0);
+            assert_eq!(r.dsp, 15.0);
+            assert_eq!(r.lut_mem, 6420.0);
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_in_entries() {
+        let small = pcu_cost(PcuConfig::eight_e());
+        let big = pcu_cost(PcuConfig::sixteen_e());
+        assert!(big.lut_logic > small.lut_logic);
+        assert!(big.registers > small.registers);
+        // Extrapolation: a hypothetical 32E costs more still.
+        let huge = pcu_cost(PcuConfig {
+            inst_cache: 32,
+            reg_cache: 32,
+            mask_cache: 32,
+            sgt_cache: 32,
+            ..PcuConfig::sixteen_e()
+        });
+        assert!(huge.registers > big.registers);
+    }
+
+    #[test]
+    fn table_rows_are_complete() {
+        let rows = table6_rows();
+        assert_eq!(rows.len(), 6);
+        for (_, _, cells) in &rows {
+            assert_eq!(cells.len(), 3);
+        }
+    }
+}

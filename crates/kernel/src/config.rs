@@ -1,0 +1,138 @@
+//! Kernel build configurations.
+
+/// How the kernel is hardened with ISA-Grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Unmodified kernel: everything runs in domain-0, no gates — the
+    /// paper's baseline.
+    Native,
+    /// §6.1 Linux-decomposition analogue: the kernel body runs in a
+    /// de-privileged basic domain; `satp` writers, TLB maintenance and
+    /// the four ioctl services live in their own ISA domains behind
+    /// gates.
+    Decomposed,
+    /// §6.2 Nested-Kernel analogue: page-table writes are mediated by a
+    /// monitor domain that alone may toggle the write-protect control
+    /// (`wpctl` ≈ CR0.WP); optionally logs every mapping change
+    /// (`Nest.Mon.Log`).
+    Nested {
+        /// Log recent page-table modifications to a circular buffer.
+        log: bool,
+    },
+}
+
+impl Mode {
+    /// Whether this mode registers ISA domains and gates at all.
+    pub fn uses_grid(self) -> bool {
+        !matches!(self, Mode::Native)
+    }
+}
+
+/// Compile-time configuration of the generated kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Hardening mode.
+    pub mode: Mode,
+    /// Page-table isolation: switch `satp` on every kernel entry/exit
+    /// (the "w/ PTI" rows of Table 4).
+    pub pti: bool,
+    /// Deny `cycle`-counter reads to the basic domain (the rdtsc
+    /// restriction used by the attack-mitigation evaluation; leave off
+    /// for benchmarks, which measure with `rdcycle`).
+    pub deny_cycle: bool,
+    /// Busy-work iterations inside each ioctl service (Table 5 services
+    /// contain real logic; this models it).
+    pub service_work: u32,
+    /// Scheduler-accounting iterations inside `yield` (real kernels do
+    /// runqueue/statistics work on every context switch; this models it).
+    pub sched_work: u32,
+    /// Handle supervisor timer interrupts by preempting the current task
+    /// (round-robin). Pair with `SimBuilder::timer_every`.
+    pub preempt: bool,
+    /// §8 "Extending to User Space": run user code in its own ISA domain
+    /// (gates on the trap entry/exit paths switch between it and the
+    /// kernel basic domain).
+    pub user_domain: bool,
+    /// With [`KernelConfig::user_domain`]: deny the user domain the cycle
+    /// counter — the per-process rdtsc restriction of §2.2. Benchmarks
+    /// need this off (they measure with `rdcycle`).
+    pub deny_user_cycle: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            mode: Mode::Native,
+            pti: false,
+            deny_cycle: false,
+            service_work: 1500,
+            sched_work: 96,
+            preempt: false,
+            user_domain: false,
+            deny_user_cycle: false,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// The unmodified baseline kernel.
+    pub fn native() -> KernelConfig {
+        KernelConfig::default()
+    }
+
+    /// The §6.1 decomposed kernel.
+    pub fn decomposed() -> KernelConfig {
+        KernelConfig { mode: Mode::Decomposed, ..KernelConfig::default() }
+    }
+
+    /// The §6.2 nested-monitor kernel.
+    pub fn nested(log: bool) -> KernelConfig {
+        KernelConfig { mode: Mode::Nested { log }, ..KernelConfig::default() }
+    }
+
+    /// Enable page-table isolation.
+    pub fn with_pti(mut self) -> KernelConfig {
+        self.pti = true;
+        self
+    }
+
+    /// Enable preemptive (timer-driven) scheduling.
+    pub fn with_preempt(mut self) -> KernelConfig {
+        self.preempt = true;
+        self
+    }
+
+    /// Give user code its own ISA domain (§8 "Extending to User Space").
+    pub fn with_user_domain(mut self) -> KernelConfig {
+        self.user_domain = true;
+        self
+    }
+}
+
+/// Which ISA domain a gate destination lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The kernel basic domain.
+    Kernel,
+    /// The memory-management domain (`satp`, `sfence.vma`).
+    Mm,
+    /// Ioctl service `i`'s domain.
+    Srv(usize),
+    /// The nested-kernel monitor domain.
+    Monitor,
+    /// The user-code domain (§8 extension).
+    User,
+}
+
+/// A gate the host must register: the `site` label is where the
+/// `hccall`/`hccalls` instruction sits, `dest` is where control lands,
+/// `role` selects the destination domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateTarget {
+    /// Label of the gate instruction.
+    pub site: String,
+    /// Label of the destination.
+    pub dest: String,
+    /// Destination domain.
+    pub role: Role,
+}

@@ -1,0 +1,1150 @@
+//! The kernel image builder: emits the guest kernel as RV64 machine code.
+//!
+//! The kernel is intentionally minimal but structurally faithful to what
+//! the paper's evaluation exercises: an M-mode boot/firmware layer
+//! (domain-0), an S-mode trap/syscall path with optional PTI, in-memory
+//! files and pipes, signals, a two-task scheduler, four ioctl services,
+//! and a page-mapping path that the nested monitor mediates.
+
+use isa_asm::{Asm, Reg, Reg::*};
+use isa_sim::csr::{addr, mstatus};
+use isa_sim::mmio;
+
+use crate::config::{GateTarget, KernelConfig, Mode, Role};
+use crate::layout::{self, exit, fd, gates, monlog, params, pipe, sys, task, vuln_op};
+
+/// The built kernel: program image plus the gates the host must register.
+#[derive(Debug, Clone)]
+pub struct KernelImage {
+    /// The assembled kernel.
+    pub prog: isa_asm::Program,
+    /// Gate registrations indexed by gate id (None = reserve a dummy slot
+    /// so later ids stay stable).
+    pub gates: Vec<Option<GateTarget>>,
+    /// The configuration the image was built for.
+    pub config: KernelConfig,
+}
+
+/// Build the kernel for `cfg`.
+///
+/// # Panics
+///
+/// Panics only on internal label errors — the builder is total over all
+/// configurations.
+pub fn build_kernel(cfg: &KernelConfig) -> KernelImage {
+    Builder::new(*cfg).build()
+}
+
+struct Builder {
+    cfg: KernelConfig,
+    a: Asm,
+    gates: Vec<Option<GateTarget>>,
+}
+
+impl Builder {
+    fn new(cfg: KernelConfig) -> Builder {
+        Builder {
+            cfg,
+            a: Asm::new(layout::KERNEL_BASE),
+            gates: vec![None; gates::COUNT as usize],
+        }
+    }
+
+    fn grid(&self) -> bool {
+        self.cfg.mode.uses_grid()
+    }
+
+    fn register_gate(&mut self, id: u64, site: &str, dest: &str, role: Role) {
+        self.gates[id as usize] =
+            Some(GateTarget { site: site.into(), dest: dest.into(), role });
+    }
+
+    fn build(mut self) -> KernelImage {
+        self.emit_boot();
+        self.emit_m_trap();
+        self.emit_s_entry();
+        self.emit_s_trap();
+        self.emit_ret_to_user();
+        self.emit_syscall_table();
+        self.emit_syscalls();
+        self.emit_cross_domain_targets();
+        let prog = self.a.assemble().expect("kernel assembles");
+        KernelImage { prog, gates: self.gates, config: self.cfg }
+    }
+
+    // ---- M-mode boot: the domain-0 firmware ----
+
+    fn emit_boot(&mut self) {
+        let preempt = self.cfg.preempt;
+        let a = &mut self.a;
+        a.label("boot");
+        a.la(T0, "m_trap");
+        a.csrw(addr::MTVEC as u32, T0);
+        // Delegate the standard exceptions to S; ISA-Grid faults (24–27)
+        // stay in M — domain-0's handler.
+        let deleg: u64 = 0xffff & !(1 << 9) & !(1 << 11);
+        a.li(T0, deleg);
+        a.csrw(addr::MEDELEG as u32, T0);
+        // Let S access user pages (copyin/copyout).
+        a.li(T0, mstatus::SUM);
+        a.csrrs(Zero, addr::MSTATUS as u32, T0);
+        if preempt {
+            // Route and enable the supervisor timer interrupt.
+            a.li(T0, 1 << 5);
+            a.csrw(addr::MIDELEG as u32, T0);
+            a.li(T0, 1 << 5);
+            a.csrrs(Zero, addr::MIE as u32, T0);
+        }
+        // Current task pointer for the trap path.
+        a.li(T0, layout::TASK0);
+        a.csrw(addr::SSCRATCH as u32, T0);
+        // Drop to S-mode at s_entry.
+        a.li(T0, mstatus::MPP_MASK);
+        a.csrrc(Zero, addr::MSTATUS as u32, T0);
+        a.li(T0, 1 << mstatus::MPP_SHIFT);
+        a.csrrs(Zero, addr::MSTATUS as u32, T0);
+        a.la(T0, "s_entry");
+        a.csrw(addr::MEPC as u32, T0);
+        a.mret();
+    }
+
+    /// Domain-0's exception handler: an ISA-Grid fault (or any
+    /// non-delegated trap) halts the machine with `GRID_FAULT | mcause` —
+    /// the "attack detected, panic" policy of the decomposed kernel.
+    fn emit_m_trap(&mut self) {
+        let a = &mut self.a;
+        a.label("m_trap");
+        a.csrr(T0, addr::MCAUSE as u32);
+        a.li(T1, exit::GRID_FAULT);
+        a.or(T0, T0, T1);
+        a.li(T6, mmio::HALT);
+        a.sd(T0, T6, 0);
+        a.label("m_trap_hang");
+        a.j("m_trap_hang");
+    }
+
+    // ---- S-mode entry: finish init in domain-0, gate into the kernel ----
+
+    fn emit_s_entry(&mut self) {
+        let grid = self.grid();
+        let user_domain = self.cfg.user_domain;
+        let a = &mut self.a;
+        a.label("s_entry");
+        // Trap vector is frozen here, before leaving domain-0 (the
+        // "registers only used for system initialization" of §6.1).
+        a.la(T0, "s_trap");
+        a.csrw(addr::STVEC as u32, T0);
+        // First task context: entry point, user stack, address space.
+        a.li(T0, layout::BOOT_PARAMS);
+        a.ld(T1, T0, params::ENTRY0 as i32);
+        a.csrw(addr::SEPC as u32, T1);
+        a.ld(T2, T0, params::SATP_USER0 as i32);
+        a.csrw(addr::SATP as u32, T2);
+        a.sfence_vma(Zero, Zero);
+        a.ld(Sp, T0, params::USP0 as i32);
+        // Return to U-mode.
+        a.li(T1, mstatus::SPP);
+        a.csrrc(Zero, addr::SSTATUS as u32, T1);
+        if grid {
+            a.li(T4, gates::BOOT);
+            a.label("boot_gate_site");
+            a.hccall(T4);
+        }
+        a.label("s_entry2");
+        a.sret();
+        if grid {
+            // With a user domain, the first sret already runs user-side.
+            let dest = if user_domain { Role::User } else { Role::Kernel };
+            self.register_gate(gates::BOOT, "boot_gate_site", "s_entry2", dest);
+        }
+    }
+
+    // ---- S-mode trap entry ----
+
+    fn emit_s_trap(&mut self) {
+        let pti = self.cfg.pti;
+        let grid = self.grid();
+        let preempt = self.cfg.preempt;
+        let user_domain = self.cfg.user_domain && grid;
+        let a = &mut self.a;
+        a.label("s_trap");
+        // sscratch holds &TASK[current]; swap it with sp.
+        a.csrrw(Sp, addr::SSCRATCH as u32, Sp);
+        for i in 1..32u8 {
+            if i != 2 {
+                a.sd(Reg::from_num(i as u32), Sp, task::reg(i));
+            }
+        }
+        a.csrr(T0, addr::SSCRATCH as u32); // the interrupted sp
+        a.sd(T0, Sp, task::reg(2));
+        a.csrw(addr::SSCRATCH as u32, Sp);
+        a.mv(S0, Sp);
+        a.csrr(T0, addr::SEPC as u32);
+        a.sd(T0, S0, task::SEPC as i32);
+        a.li(Sp, layout::KSTACK_TOP);
+        if user_domain {
+            // Leave the user domain for the kernel basic domain — an
+            // in-place gate (dest = next instruction).
+            a.li(T4, gates::U2K);
+            a.label("u2k_site");
+            a.hccall(T4);
+            a.label("u2k_cont");
+        }
+        if pti {
+            // Enter the kernel address space. Under decomposition the
+            // satp write lives in the MM domain behind an hccall pair.
+            a.li(T0, layout::BOOT_PARAMS);
+            a.ld(T5, T0, params::SATP_KERNEL as i32);
+            if grid {
+                a.li(T4, gates::PTI_K_IN);
+                a.label("pti_k_site");
+                a.hccall(T4);
+                a.label("pti_k_back");
+            } else {
+                a.csrw(addr::SATP as u32, T5);
+                a.sfence_vma(Zero, Zero);
+            }
+        }
+        a.csrr(T0, addr::SCAUSE as u32);
+        if preempt {
+            a.srli(T2, T0, 63);
+            a.bnez(T2, "s_intr");
+        }
+        a.li(T1, 8); // environment call from U
+        a.bne(T0, T1, "s_trap_panic");
+        // Syscall: number in a7, args in a0..a2 (all from the frame).
+        a.ld(T2, S0, task::reg(17));
+        a.li(T3, sys::COUNT);
+        a.bgeu(T2, T3, "s_trap_panic");
+        // Resume after the ecall.
+        a.ld(T0, S0, task::SEPC as i32);
+        a.addi(T0, T0, 4);
+        a.sd(T0, S0, task::SEPC as i32);
+        a.slli(T2, T2, 3);
+        a.la(T3, "sys_table");
+        a.add(T3, T3, T2);
+        a.ld(T3, T3, 0);
+        a.ld(A0, S0, task::reg(10));
+        a.ld(A1, S0, task::reg(11));
+        a.ld(A2, S0, task::reg(12));
+        a.jalr(Ra, T3, 0);
+        a.sd(A0, S0, task::reg(10));
+        a.j("ret_to_user");
+
+        a.label("s_trap_panic");
+        a.csrr(T0, addr::SCAUSE as u32);
+        a.li(T1, exit::PANIC);
+        a.or(T0, T0, T1);
+        a.li(T6, mmio::HALT);
+        a.sd(T0, T6, 0);
+        a.label("s_trap_hang");
+        a.j("s_trap_hang");
+
+        if preempt {
+            // Timer interrupt: acknowledge and preempt (round-robin).
+            a.label("s_intr");
+            a.andi(T1, T0, 0xff);
+            a.li(T2, 5); // supervisor timer
+            a.bne(T1, T2, "s_trap_panic");
+            a.li(T1, 1 << 5);
+            a.csrrc(Zero, addr::SIP as u32, T1);
+            // Nothing else runnable? Resume the interrupted task.
+            a.li(T0, layout::TASK1);
+            a.ld(T1, T0, task::SEPC as i32);
+            a.beqz(T1, "ret_to_user");
+            // Involuntary switch: sepc is NOT advanced, a0 untouched.
+            a.li(T0, layout::TASK0 ^ layout::TASK1);
+            a.xor(S0, S0, T0);
+            if !pti {
+                a.ld(T5, S0, task::SATP as i32);
+                if grid {
+                    a.li(T4, gates::PREEMPT_IN);
+                    a.label("preempt_mm_site");
+                    a.hccall(T4);
+                    a.label("preempt_mm_back");
+                } else {
+                    a.csrw(addr::SATP as u32, T5);
+                    a.sfence_vma(Zero, Zero);
+                }
+            }
+            a.j("ret_to_user");
+        }
+
+        if pti && grid {
+            self.register_gate(gates::PTI_K_IN, "pti_k_site", "pti_k_entry", Role::Mm);
+            // The entry/out-site are emitted with the other MM targets.
+        }
+        if preempt && grid && !pti {
+            self.register_gate(gates::PREEMPT_IN, "preempt_mm_site", "preempt_mm_entry", Role::Mm);
+            self.register_gate(
+                gates::PREEMPT_OUT,
+                "preempt_mm_outsite",
+                "preempt_mm_back",
+                Role::Kernel,
+            );
+        }
+        if user_domain {
+            self.register_gate(gates::U2K, "u2k_site", "u2k_cont", Role::Kernel);
+        }
+    }
+
+    // ---- return-to-user path (also the scheduler's landing point) ----
+
+    fn emit_ret_to_user(&mut self) {
+        let pti = self.cfg.pti;
+        let grid = self.grid();
+        let user_domain = self.cfg.user_domain && grid;
+        let a = &mut self.a;
+        a.label("ret_to_user");
+        // Signal delivery.
+        a.ld(T0, S0, task::SIG_PENDING as i32);
+        a.beqz(T0, "rtu_no_sig");
+        a.ld(T1, S0, task::SIG_HANDLER as i32);
+        a.beqz(T1, "rtu_no_sig");
+        a.sd(Zero, S0, task::SIG_PENDING as i32);
+        a.ld(T2, S0, task::SEPC as i32);
+        a.sd(T2, S0, task::SIG_SAVED_EPC as i32);
+        a.sd(T1, S0, task::SEPC as i32);
+        a.label("rtu_no_sig");
+        a.ld(T0, S0, task::SEPC as i32);
+        a.csrw(addr::SEPC as u32, T0);
+        if pti {
+            // Leave the kernel address space for the task's user view.
+            a.ld(T5, S0, task::SATP as i32);
+            if grid {
+                a.li(T4, gates::PTI_U_IN);
+                a.label("pti_u_site");
+                a.hccall(T4);
+                a.label("pti_u_back");
+            } else {
+                a.csrw(addr::SATP as u32, T5);
+                a.sfence_vma(Zero, Zero);
+            }
+        }
+        a.li(T0, mstatus::SPP);
+        a.csrrc(Zero, addr::SSTATUS as u32, T0);
+        a.csrw(addr::SSCRATCH as u32, S0);
+        if user_domain {
+            // Enter the user domain; t4 is restored below, the remaining
+            // loads and the sret execute user-side.
+            a.li(T4, gates::K2U);
+            a.label("k2u_site");
+            a.hccall(T4);
+            a.label("k2u_cont");
+        }
+        // Restore everything; s0 (x8) is the base, so it goes last.
+        for i in 1..32u8 {
+            if i != 2 && i != 8 {
+                a.ld(Reg::from_num(i as u32), S0, task::reg(i));
+            }
+        }
+        a.ld(Sp, S0, task::reg(2));
+        a.ld(S0, S0, task::reg(8));
+        a.sret();
+        if pti && grid {
+            self.register_gate(gates::PTI_U_IN, "pti_u_site", "pti_u_entry", Role::Mm);
+        }
+        if user_domain {
+            self.register_gate(gates::K2U, "k2u_site", "k2u_cont", Role::User);
+        }
+    }
+
+    // ---- syscall dispatch table ----
+
+    fn emit_syscall_table(&mut self) {
+        let a = &mut self.a;
+        a.align(8);
+        a.label("sys_table");
+        for name in [
+            "sys_getpid",
+            "sys_read",
+            "sys_write",
+            "sys_open",
+            "sys_close",
+            "sys_stat",
+            "sys_fstat",
+            "sys_pipe",
+            "sys_sigaction",
+            "sys_raise",
+            "sys_sigreturn",
+            "sys_yield",
+            "sys_exit",
+            "sys_ioctl",
+            "sys_mapctl",
+            "sys_vuln",
+        ] {
+            a.d64_label(name);
+        }
+    }
+
+    // ---- syscall handlers ----
+    //
+    // Convention: args in a0..a2, result in a0, s0 = &TASK[current],
+    // sp = kernel stack, ra = return to dispatch. Handlers may clobber
+    // t0..t6 and a0..a5.
+
+    fn emit_syscalls(&mut self) {
+        self.emit_sys_simple();
+        self.emit_sys_files();
+        self.emit_sys_pipe();
+        self.emit_sys_signals();
+        self.emit_sys_yield();
+        self.emit_sys_ioctl();
+        self.emit_sys_mapctl();
+        self.emit_sys_vuln();
+    }
+
+    fn emit_sys_simple(&mut self) {
+        let a = &mut self.a;
+        a.label("sys_getpid");
+        a.ld(A0, S0, task::TID as i32);
+        a.ret();
+
+        a.label("sys_exit");
+        a.li(T6, mmio::HALT);
+        a.sd(A0, T6, 0);
+        a.label("sys_exit_hang");
+        a.j("sys_exit_hang");
+    }
+
+    /// Emit `t0 = &FDTABLE[a0]`, branching to `bad` on out-of-range fds.
+    fn emit_fd_lookup(a: &mut Asm, bad: &str) {
+        a.li(T0, fd::COUNT);
+        a.bgeu(A0, T0, bad);
+        a.slli(T0, A0, 5); // × fd::STRIDE
+        a.li(T1, layout::FDTABLE);
+        a.add(T0, T0, T1);
+    }
+
+    /// Copy `a2` bytes from `src_reg` to `dst_reg` (byte loop, clobbers
+    /// t5/t6 and the address registers). `a2` must be >= 0.
+    fn emit_copy(a: &mut Asm, dst: Reg, src: Reg, len: Reg, uniq: &str) {
+        let head = format!("copy_head_{uniq}");
+        let done = format!("copy_done_{uniq}");
+        a.mv(T5, len);
+        a.label(&head);
+        a.beqz(T5, &done);
+        a.lbu(T6, src, 0);
+        a.sb(T6, dst, 0);
+        a.addi(src, src, 1);
+        a.addi(dst, dst, 1);
+        a.addi(T5, T5, -1);
+        a.j(&head);
+        a.label(&done);
+    }
+
+    fn emit_sys_files(&mut self) {
+        let a = &mut self.a;
+
+        // open(path_id) -> fd = 3 + path_id
+        a.label("sys_open");
+        a.li(T0, 4);
+        a.bgeu(A0, T0, "open_bad");
+        a.addi(A1, A0, 3); // fd
+        a.slli(T0, A1, 5);
+        a.li(T1, layout::FDTABLE);
+        a.add(T0, T0, T1); // entry
+        // kind: path 0 -> zero dev, 1 -> null dev, else regular file.
+        a.li(T2, fd::KIND_FILE);
+        a.li(T3, 1);
+        a.bne(A0, Zero, "open_not_zero");
+        a.li(T2, fd::KIND_ZERO);
+        a.label("open_not_zero");
+        a.bne(A0, T3, "open_not_null");
+        a.li(T2, fd::KIND_NULL);
+        a.label("open_not_null");
+        a.sd(T2, T0, fd::KIND as i32);
+        a.sd(A0, T0, fd::INODE as i32);
+        a.sd(Zero, T0, fd::OFFSET as i32);
+        a.mv(A0, A1);
+        a.ret();
+        a.label("open_bad");
+        a.li(A0, -1i64 as u64);
+        a.ret();
+
+        // close(fd)
+        a.label("sys_close");
+        Self::emit_fd_lookup(a, "close_bad");
+        a.sd(Zero, T0, fd::KIND as i32);
+        a.li(A0, 0);
+        a.ret();
+        a.label("close_bad");
+        a.li(A0, -1i64 as u64);
+        a.ret();
+
+        // read(fd, buf, len)
+        a.label("sys_read");
+        Self::emit_fd_lookup(a, "read_bad");
+        a.ld(T1, T0, fd::KIND as i32);
+        a.li(T2, fd::KIND_ZERO);
+        a.beq(T1, T2, "read_zero");
+        a.li(T2, fd::KIND_FILE);
+        a.beq(T1, T2, "read_file");
+        a.li(T2, fd::KIND_PIPE_R);
+        a.beq(T1, T2, "read_pipe");
+        a.label("read_bad");
+        a.li(A0, -1i64 as u64);
+        a.ret();
+
+        // /dev/zero: fill the buffer.
+        a.label("read_zero");
+        a.mv(T5, A2);
+        a.mv(T4, A1);
+        a.label("read_zero_loop");
+        a.beqz(T5, "read_zero_done");
+        a.sb(Zero, T4, 0);
+        a.addi(T4, T4, 1);
+        a.addi(T5, T5, -1);
+        a.j("read_zero_loop");
+        a.label("read_zero_done");
+        a.mv(A0, A2);
+        a.ret();
+
+        // Regular file: copy out, advance (and wrap) the offset.
+        a.label("read_file");
+        a.ld(T1, T0, fd::INODE as i32);
+        a.ld(T2, T0, fd::OFFSET as i32);
+        // remaining = FILE_STRIDE - offset; clamp len.
+        a.li(T3, layout::FILE_STRIDE);
+        a.sub(T3, T3, T2);
+        a.bltu(A2, T3, "read_file_noclamp");
+        a.mv(A2, T3);
+        a.label("read_file_noclamp");
+        a.li(T3, layout::FILE_DATA);
+        a.slli(T4, T1, 16); // × FILE_STRIDE
+        a.add(T3, T3, T4);
+        a.add(T3, T3, T2); // src
+        // Advance offset (wraps at FILE_STRIDE so loops never hit EOF).
+        a.add(T2, T2, A2);
+        a.andi_mask_offset(T2);
+        a.sd(T2, T0, fd::OFFSET as i32);
+        a.mv(T4, A1); // dst
+        a.mv(A0, A2); // return n
+        Self::emit_copy(a, T4, T3, A2, "read_file");
+        a.ret();
+
+        // write(fd, buf, len)
+        a.label("sys_write");
+        Self::emit_fd_lookup(a, "write_bad");
+        a.ld(T1, T0, fd::KIND as i32);
+        a.li(T2, fd::KIND_CONSOLE);
+        a.beq(T1, T2, "write_console");
+        a.li(T2, fd::KIND_NULL);
+        a.beq(T1, T2, "write_null");
+        a.li(T2, fd::KIND_FILE);
+        a.beq(T1, T2, "write_file");
+        a.li(T2, fd::KIND_PIPE_W);
+        a.beq(T1, T2, "write_pipe");
+        a.label("write_bad");
+        a.li(A0, -1i64 as u64);
+        a.ret();
+
+        a.label("write_null");
+        a.mv(A0, A2);
+        a.ret();
+
+        a.label("write_console");
+        a.mv(T5, A2);
+        a.mv(T4, A1);
+        a.li(T3, mmio::CONSOLE_TX);
+        a.label("write_console_loop");
+        a.beqz(T5, "write_console_done");
+        a.lbu(T6, T4, 0);
+        a.sb(T6, T3, 0);
+        a.addi(T4, T4, 1);
+        a.addi(T5, T5, -1);
+        a.j("write_console_loop");
+        a.label("write_console_done");
+        a.mv(A0, A2);
+        a.ret();
+
+        a.label("write_file");
+        a.ld(T1, T0, fd::INODE as i32);
+        a.ld(T2, T0, fd::OFFSET as i32);
+        a.li(T3, layout::FILE_STRIDE);
+        a.sub(T3, T3, T2);
+        a.bltu(A2, T3, "write_file_noclamp");
+        a.mv(A2, T3);
+        a.label("write_file_noclamp");
+        a.li(T3, layout::FILE_DATA);
+        a.slli(T4, T1, 16);
+        a.add(T3, T3, T4);
+        a.add(T3, T3, T2); // dst in file
+        a.add(T2, T2, A2);
+        a.andi_mask_offset(T2);
+        a.sd(T2, T0, fd::OFFSET as i32);
+        a.mv(T4, A1); // src = user buf
+        a.mv(A0, A2);
+        Self::emit_copy(a, T3, T4, A2, "write_file");
+        a.ret();
+
+        // stat(path_id, buf) / fstat(fd, buf): fill {size, kind, id, 0}.
+        a.label("sys_stat");
+        a.li(T0, 4);
+        a.bgeu(A0, T0, "stat_bad");
+        a.li(T0, layout::FILE_STRIDE);
+        a.sd(T0, A1, 0);
+        a.li(T0, fd::KIND_FILE);
+        a.sd(T0, A1, 8);
+        a.sd(A0, A1, 16);
+        a.sd(Zero, A1, 24);
+        a.li(A0, 0);
+        a.ret();
+        a.label("stat_bad");
+        a.li(A0, -1i64 as u64);
+        a.ret();
+
+        a.label("sys_fstat");
+        Self::emit_fd_lookup(a, "fstat_bad");
+        a.ld(T1, T0, fd::KIND as i32);
+        a.beqz(T1, "fstat_bad");
+        a.li(T2, layout::FILE_STRIDE);
+        a.sd(T2, A1, 0);
+        a.sd(T1, A1, 8);
+        a.ld(T2, T0, fd::INODE as i32);
+        a.sd(T2, A1, 16);
+        a.sd(Zero, A1, 24);
+        a.li(A0, 0);
+        a.ret();
+        a.label("fstat_bad");
+        a.li(A0, -1i64 as u64);
+        a.ret();
+    }
+
+    fn emit_sys_pipe(&mut self) {
+        let a = &mut self.a;
+        // pipe(which): which 0 -> PIPE_A (fds 8/9), 1 -> PIPE_B (10/11).
+        a.label("sys_pipe");
+        a.li(T0, 2);
+        a.bgeu(A0, T0, "pipe_bad");
+        // base = PIPE_A + which * (PIPE_B - PIPE_A)
+        a.li(T1, layout::PIPE_B - layout::PIPE_A);
+        a.mul(T1, T1, A0);
+        a.li(T0, layout::PIPE_A);
+        a.add(T0, T0, T1); // pipe object
+        // rd fd = 8 + 2*which, wr fd = 9 + 2*which
+        a.slli(T2, A0, 1);
+        a.addi(T2, T2, 8); // rd fd
+        a.slli(T3, T2, 5);
+        a.li(T4, layout::FDTABLE);
+        a.add(T3, T3, T4); // rd entry
+        a.li(T5, fd::KIND_PIPE_R);
+        a.sd(T5, T3, fd::KIND as i32);
+        a.sd(T0, T3, fd::INODE as i32);
+        a.sd(Zero, T3, fd::OFFSET as i32);
+        a.addi(T3, T3, fd::STRIDE as i32); // wr entry
+        a.li(T5, fd::KIND_PIPE_W);
+        a.sd(T5, T3, fd::KIND as i32);
+        a.sd(T0, T3, fd::INODE as i32);
+        a.sd(Zero, T3, fd::OFFSET as i32);
+        // Reset cursors.
+        a.sd(Zero, T0, pipe::RD as i32);
+        a.sd(Zero, T0, pipe::WR as i32);
+        // Return (rd << 8) | wr.
+        a.slli(A0, T2, 8);
+        a.addi(T2, T2, 1);
+        a.or(A0, A0, T2);
+        a.ret();
+        a.label("pipe_bad");
+        a.li(A0, -1i64 as u64);
+        a.ret();
+
+        // Pipe read: t0 = fd entry (set by sys_read).
+        a.label("read_pipe");
+        a.ld(T1, T0, fd::INODE as i32); // pipe base
+        a.ld(T2, T1, pipe::RD as i32);
+        a.ld(T3, T1, pipe::WR as i32);
+        a.sub(T3, T3, T2); // available
+        a.bltu(A2, T3, "read_pipe_noclamp");
+        a.mv(A2, T3);
+        a.label("read_pipe_noclamp");
+        a.mv(A0, A2); // return n (0 when empty: non-blocking)
+        a.mv(T4, A1); // dst
+        a.label("read_pipe_loop");
+        a.beqz(A2, "read_pipe_done");
+        // src byte = buf[rd & (CAP-1)]
+        a.andi(T5, T2, (pipe::CAP - 1) as i32);
+        a.add(T5, T5, T1);
+        a.lbu(T6, T5, pipe::BUF as i32);
+        a.sb(T6, T4, 0);
+        a.addi(T4, T4, 1);
+        a.addi(T2, T2, 1);
+        a.addi(A2, A2, -1);
+        a.j("read_pipe_loop");
+        a.label("read_pipe_done");
+        a.sd(T2, T1, pipe::RD as i32);
+        a.ret();
+
+        // Pipe write: t0 = fd entry (set by sys_write).
+        a.label("write_pipe");
+        a.ld(T1, T0, fd::INODE as i32);
+        a.ld(T2, T1, pipe::RD as i32);
+        a.ld(T3, T1, pipe::WR as i32);
+        // space = CAP - (wr - rd)
+        a.sub(T2, T3, T2);
+        a.li(T5, pipe::CAP);
+        a.sub(T2, T5, T2);
+        a.bltu(A2, T2, "write_pipe_noclamp");
+        a.mv(A2, T2);
+        a.label("write_pipe_noclamp");
+        a.mv(A0, A2);
+        a.mv(T4, A1); // src
+        a.label("write_pipe_loop");
+        a.beqz(A2, "write_pipe_done");
+        a.andi(T5, T3, (pipe::CAP - 1) as i32);
+        a.add(T5, T5, T1);
+        a.lbu(T6, T4, 0);
+        a.sb(T6, T5, pipe::BUF as i32);
+        a.addi(T4, T4, 1);
+        a.addi(T3, T3, 1);
+        a.addi(A2, A2, -1);
+        a.j("write_pipe_loop");
+        a.label("write_pipe_done");
+        a.sd(T3, T1, pipe::WR as i32);
+        a.ret();
+    }
+
+    fn emit_sys_signals(&mut self) {
+        let a = &mut self.a;
+        a.label("sys_sigaction");
+        a.sd(A0, S0, task::SIG_HANDLER as i32);
+        a.li(A0, 0);
+        a.ret();
+
+        a.label("sys_raise");
+        a.li(T0, 1);
+        a.sd(T0, S0, task::SIG_PENDING as i32);
+        a.li(A0, 0);
+        a.ret();
+
+        a.label("sys_sigreturn");
+        a.ld(T0, S0, task::SIG_SAVED_EPC as i32);
+        a.sd(T0, S0, task::SEPC as i32);
+        a.li(A0, 0);
+        a.ret();
+    }
+
+    fn emit_sys_yield(&mut self) {
+        let pti = self.cfg.pti;
+        let grid = self.grid();
+        let sched_work = self.cfg.sched_work;
+        let a = &mut self.a;
+        a.label("sys_yield");
+        // Single-task setups have no second context to run.
+        a.li(T0, layout::TASK1);
+        a.ld(T1, T0, task::SEPC as i32);
+        a.beqz(T1, "yield_ret");
+        // Scheduler accounting (runqueue bookkeeping, time slices) — the
+        // part of a real context switch that dwarfs the register swap.
+        a.li(T1, sched_work as u64);
+        a.li(T2, 0x9e37_79b9_7f4a_7c15);
+        a.mv(T3, S0);
+        a.label("yield_acct");
+        a.xor(T3, T3, T2);
+        a.slli(T4, T3, 13);
+        a.xor(T3, T3, T4);
+        a.srli(T4, T3, 7);
+        a.xor(T3, T3, T4);
+        a.addi(T1, T1, -1);
+        a.bnez(T1, "yield_acct");
+        // The current task resumes with 0 in a0 once rescheduled.
+        a.sd(Zero, S0, task::reg(10));
+        // Flip to the other TCB (they differ in exactly one address bit).
+        a.li(T0, layout::TASK0 ^ layout::TASK1);
+        a.xor(S0, S0, T0);
+        if !pti {
+            // Address-space switch happens here; under PTI the exit path
+            // loads the new task's satp anyway.
+            a.ld(T5, S0, task::SATP as i32);
+            if grid {
+                // Hot path: a single call site, so the cheap hccall pair
+                // suffices (Table 4: 5 cycles each vs 12 for hccalls).
+                a.li(T4, gates::MM_YIELD);
+                a.label("mm_yield_site");
+                a.hccall(T4);
+                a.label("mm_yield_back");
+            } else {
+                a.csrw(addr::SATP as u32, T5);
+                a.sfence_vma(Zero, Zero);
+            }
+        }
+        a.j("ret_to_user");
+        a.label("yield_ret");
+        a.li(A0, 0);
+        a.ret();
+        if !pti && grid {
+            self.register_gate(gates::MM_YIELD, "mm_yield_site", "mm_yield_entry", Role::Mm);
+            self.register_gate(gates::MM_YIELD_OUT, "mm_yield_outsite", "mm_yield_back", Role::Kernel);
+        }
+    }
+
+    /// The body of ioctl service `i`: CSR reads plus representative work
+    /// (Table 5's services contain real formatting/lookup logic).
+    /// Clobbers t0..t3; result in a0.
+    fn emit_service_body(a: &mut Asm, i: usize, work: u32, uniq: &str) {
+        let csrs: &[u16] = match i {
+            0 => &[addr::CPUINFO0, addr::CPUINFO1],
+            1 => &[addr::MTRR0, addr::MTRR1, addr::MTRR2, addr::MTRR3],
+            2 => &[addr::HPMCOUNTER3],
+            _ => &[addr::HPMCOUNTER4],
+        };
+        a.li(A0, 0);
+        for c in csrs {
+            a.csrr(T0, *c as u32);
+            a.xor(A0, A0, T0);
+        }
+        // Representative service logic: mix the result for `work` rounds.
+        let head = format!("srv_work_{uniq}");
+        a.li(T1, work as u64);
+        a.li(T2, 0x9e37_79b9_7f4a_7c15);
+        a.label(&head);
+        a.xor(A0, A0, T2);
+        a.slli(T3, A0, 13);
+        a.xor(A0, A0, T3);
+        a.srli(T3, A0, 7);
+        a.xor(A0, A0, T3);
+        a.addi(T1, T1, -1);
+        a.bnez(T1, &head);
+    }
+
+    fn emit_sys_ioctl(&mut self) {
+        let grid = self.grid();
+        let work = self.cfg.service_work;
+        let a = &mut self.a;
+        a.label("sys_ioctl");
+        a.li(T0, 4);
+        a.bgeu(A0, T0, "ioctl_bad");
+        // Branch chain to the per-service stub.
+        for i in 0..4u64 {
+            a.li(T0, i);
+            a.beq(A0, T0, &format!("ioctl_s{i}"));
+        }
+        a.label("ioctl_bad");
+        a.li(A0, -1i64 as u64);
+        a.ret();
+        for i in 0..4usize {
+            a.label(&format!("ioctl_s{i}"));
+            if grid {
+                a.li(T4, gates::SRV_IN + 2 * i as u64);
+                a.label(&format!("srv{i}_site"));
+                a.hccall(T4);
+                a.label(&format!("srv{i}_back"));
+                a.ret();
+            } else {
+                Self::emit_service_body(a, i, work, &format!("native{i}"));
+                a.ret();
+            }
+        }
+        if grid {
+            for i in 0..4usize {
+                self.register_gate(
+                    gates::SRV_IN + 2 * i as u64,
+                    &format!("srv{i}_site"),
+                    &format!("srv{i}_entry"),
+                    Role::Srv(i),
+                );
+                self.register_gate(
+                    gates::SRV_OUT + 2 * i as u64,
+                    &format!("srv{i}_outsite"),
+                    &format!("srv{i}_back"),
+                    Role::Kernel,
+                );
+            }
+        }
+    }
+
+    fn emit_sys_mapctl(&mut self) {
+        let mode = self.cfg.mode;
+        let a = &mut self.a;
+        // mapctl(page_idx, pte_value): update a scratch-page PTE.
+        a.label("sys_mapctl");
+        a.li(T0, layout::SCRATCH_COUNT);
+        a.bgeu(A0, T0, "mapctl_bad");
+        a.li(T0, layout::BOOT_PARAMS);
+        a.ld(T0, T0, params::SCRATCH_LEAF as i32);
+        a.slli(T1, A0, 3);
+        a.add(T5, T0, T1); // t5 = &pte, a1 = new value
+        match mode {
+            Mode::Native => {
+                a.sd(A1, T5, 0);
+                a.sfence_vma(Zero, Zero);
+            }
+            Mode::Decomposed => {
+                a.li(T4, gates::MM_MAPCTL);
+                a.label("mm_mapctl_site");
+                a.hccalls(T4);
+            }
+            Mode::Nested { .. } => {
+                a.li(T4, gates::MON_MAPCTL);
+                a.label("mon_mapctl_site");
+                a.hccalls(T4);
+            }
+        }
+        a.li(A0, 0);
+        a.ret();
+        a.label("mapctl_bad");
+        a.li(A0, -1i64 as u64);
+        a.ret();
+        match mode {
+            Mode::Native => {}
+            Mode::Decomposed => {
+                self.register_gate(gates::MM_MAPCTL, "mm_mapctl_site", "mm_map_entry", Role::Mm);
+            }
+            Mode::Nested { .. } => {
+                self.register_gate(
+                    gates::MON_MAPCTL,
+                    "mon_mapctl_site",
+                    "mon_map_entry",
+                    Role::Monitor,
+                );
+            }
+        }
+    }
+
+    fn emit_sys_vuln(&mut self) {
+        let a = &mut self.a;
+        // vuln(op): the "exploited kernel component" gadget. In the
+        // decomposed kernel every op hits an ISA-Grid fault; natively
+        // they all succeed — exactly Table 1's mitigation story.
+        a.label("sys_vuln");
+        a.li(T0, vuln_op::COUNT);
+        a.bgeu(A0, T0, "vuln_bad");
+        a.slli(T0, A0, 3);
+        a.la(T1, "vuln_table");
+        a.add(T1, T1, T0);
+        a.ld(T1, T1, 0);
+        a.jalr(Zero, T1, 0);
+        a.label("vuln_bad");
+        a.li(A0, -1i64 as u64);
+        a.ret();
+
+        a.label("vuln_write_stvec");
+        a.csrr(T0, addr::STVEC as u32);
+        a.csrw(addr::STVEC as u32, T0);
+        a.j("vuln_ok");
+        a.label("vuln_write_satp");
+        a.csrr(T0, addr::SATP as u32);
+        a.csrw(addr::SATP as u32, T0);
+        a.j("vuln_ok");
+        a.label("vuln_write_vfctl");
+        a.li(T0, 0xdead);
+        a.csrw(addr::VFCTL as u32, T0);
+        a.j("vuln_ok");
+        a.label("vuln_read_dbg");
+        a.csrr(T0, addr::DBG0 as u32);
+        a.j("vuln_ok");
+        a.label("vuln_write_btbctl");
+        a.li(T0, 1);
+        a.csrw(addr::BTBCTL as u32, T0);
+        a.j("vuln_ok");
+        a.label("vuln_read_cycle");
+        a.csrr(T0, addr::CYCLE as u32);
+        a.j("vuln_ok");
+        a.label("vuln_read_pmu");
+        a.csrr(T0, addr::HPMCOUNTER3 as u32);
+        a.j("vuln_ok");
+        a.label("vuln_write_wpctl");
+        a.csrrsi(Zero, addr::WPCTL as u32, 1);
+        a.j("vuln_ok");
+        a.label("vuln_ok");
+        a.li(A0, 0);
+        a.ret();
+
+        a.align(8);
+        a.label("vuln_table");
+        for name in [
+            "vuln_write_stvec",
+            "vuln_write_satp",
+            "vuln_write_vfctl",
+            "vuln_read_dbg",
+            "vuln_write_btbctl",
+            "vuln_read_cycle",
+            "vuln_read_pmu",
+            "vuln_write_wpctl",
+        ] {
+            a.d64_label(name);
+        }
+    }
+
+    // ---- cross-domain targets (MM domain, services, monitor) ----
+
+    fn emit_cross_domain_targets(&mut self) {
+        if !self.grid() {
+            return;
+        }
+        let pti = self.cfg.pti;
+        let work = self.cfg.service_work;
+        let preempt = self.cfg.preempt;
+        let log = matches!(self.cfg.mode, Mode::Nested { log: true });
+        let a = &mut self.a;
+
+        // Yield's satp writer: hccall pair, fixed return (argument in t5).
+        if !pti {
+            a.label("mm_yield_entry");
+            a.csrw(addr::SATP as u32, T5);
+            a.sfence_vma(Zero, Zero);
+            a.li(T4, gates::MM_YIELD_OUT);
+            a.label("mm_yield_outsite");
+            a.hccall(T4);
+        }
+        // Preemption's satp writer (same shape, its own fixed return).
+        if !pti && preempt {
+            a.label("preempt_mm_entry");
+            a.csrw(addr::SATP as u32, T5);
+            a.sfence_vma(Zero, Zero);
+            a.li(T4, gates::PREEMPT_OUT);
+            a.label("preempt_mm_outsite");
+            a.hccall(T4);
+        }
+
+        // Page-table writer for mapctl (decomposed; no write-protect).
+        a.label("mm_map_entry");
+        a.sd(A1, T5, 0);
+        a.sfence_vma(Zero, Zero);
+        a.hcrets();
+
+        // Nested monitor: toggle WP around the PTE write, optionally log.
+        // First the developer-defined caller check of §5.2: `pdomain`
+        // must be the kernel basic domain (id 1) — a request arriving
+        // from any other domain is refused without touching WP.
+        a.label("mon_map_entry");
+        a.csrr(T0, addr::GRID_PDOMAIN as u32);
+        a.li(T1, 1);
+        a.beq(T0, T1, "mon_map_ok");
+        a.li(A0, -1i64 as u64);
+        a.hcrets();
+        a.label("mon_map_ok");
+        a.csrrci(Zero, addr::WPCTL as u32, 1);
+        a.sd(A1, T5, 0);
+        if log {
+            a.li(T0, layout::MONLOG);
+            a.ld(T1, T0, monlog::CURSOR as i32);
+            a.andi(T2, T1, (monlog::CAP - 1) as i32);
+            a.slli(T2, T2, 3);
+            a.add(T2, T2, T0);
+            a.sd(A1, T2, monlog::ENTRIES as i32);
+            a.addi(T1, T1, 1);
+            a.sd(T1, T0, monlog::CURSOR as i32);
+        }
+        a.csrrsi(Zero, addr::WPCTL as u32, 1);
+        a.sfence_vma(Zero, Zero);
+        a.hcrets();
+
+        // PTI fast paths (hccall pairs; single call sites).
+        if pti {
+            a.label("pti_k_entry");
+            a.csrw(addr::SATP as u32, T5);
+            a.sfence_vma(Zero, Zero);
+            a.li(T4, gates::PTI_K_OUT);
+            a.label("pti_k_outsite");
+            a.hccall(T4);
+            a.label("pti_u_entry");
+            a.csrw(addr::SATP as u32, T5);
+            a.sfence_vma(Zero, Zero);
+            a.li(T4, gates::PTI_U_OUT);
+            a.label("pti_u_outsite");
+            a.hccall(T4);
+        }
+
+        // Service bodies in their own domains.
+        for i in 0..4usize {
+            a.label(&format!("srv{i}_entry"));
+            Self::emit_service_body(a, i, work, &format!("dom{i}"));
+            a.li(T4, gates::SRV_OUT + 2 * i as u64);
+            a.label(&format!("srv{i}_outsite"));
+            a.hccall(T4);
+        }
+
+        if pti {
+            self.register_gate(gates::PTI_K_OUT, "pti_k_outsite", "pti_k_back", Role::Kernel);
+            self.register_gate(gates::PTI_U_OUT, "pti_u_outsite", "pti_u_back", Role::Kernel);
+        }
+    }
+}
+
+/// Small extension so the builder can mask file offsets without spelling
+/// out the two-instruction idiom everywhere.
+trait OffsetMask {
+    /// `reg &= FILE_STRIDE - 1`.
+    fn andi_mask_offset(&mut self, reg: Reg) -> &mut Self;
+}
+
+impl OffsetMask for Asm {
+    fn andi_mask_offset(&mut self, reg: Reg) -> &mut Self {
+        // FILE_STRIDE = 0x10000 doesn't fit an andi immediate: shift out
+        // the high bits instead.
+        self.slli(reg, reg, 48);
+        self.srli(reg, reg, 48)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configs_assemble() {
+        for cfg in [
+            KernelConfig::native(),
+            KernelConfig::native().with_pti(),
+            KernelConfig::decomposed(),
+            KernelConfig::decomposed().with_pti(),
+            KernelConfig::nested(false),
+            KernelConfig::nested(true),
+        ] {
+            let img = build_kernel(&cfg);
+            assert!(img.prog.bytes.len() > 512, "{cfg:?} suspiciously small");
+            assert!(img.prog.symbols.contains_key("s_trap"));
+        }
+    }
+
+    #[test]
+    fn native_kernel_registers_no_gates() {
+        let img = build_kernel(&KernelConfig::native());
+        assert!(img.gates.iter().all(|g| g.is_none()));
+    }
+
+    #[test]
+    fn decomposed_kernel_registers_expected_gates() {
+        let img = build_kernel(&KernelConfig::decomposed());
+        let ids: Vec<usize> = img
+            .gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        // boot, mm_yield, mm_mapctl, 4 × (srv in/out).
+        assert!(ids.contains(&(gates::BOOT as usize)));
+        assert!(ids.contains(&(gates::MM_YIELD as usize)));
+        assert!(ids.contains(&(gates::MM_MAPCTL as usize)));
+        for i in 0..4 {
+            assert!(ids.contains(&((gates::SRV_IN + 2 * i) as usize)));
+            assert!(ids.contains(&((gates::SRV_OUT + 2 * i) as usize)));
+        }
+        assert!(!ids.contains(&(gates::MON_MAPCTL as usize)));
+        // Gate sites resolve to real symbols.
+        for g in img.gates.iter().flatten() {
+            assert!(img.prog.symbols.contains_key(&g.site), "{}", g.site);
+            assert!(img.prog.symbols.contains_key(&g.dest), "{}", g.dest);
+        }
+    }
+
+    #[test]
+    fn pti_kernel_adds_trap_path_gates() {
+        let img = build_kernel(&KernelConfig::decomposed().with_pti());
+        assert!(img.gates[gates::PTI_K_IN as usize].is_some());
+        assert!(img.gates[gates::PTI_U_OUT as usize].is_some());
+        // PTI replaces the yield-time satp switch.
+        assert!(img.gates[gates::MM_YIELD as usize].is_none());
+    }
+
+    #[test]
+    fn nested_kernel_routes_mapctl_to_monitor() {
+        let img = build_kernel(&KernelConfig::nested(true));
+        let mon = img.gates[gates::MON_MAPCTL as usize].as_ref().unwrap();
+        assert_eq!(mon.role, Role::Monitor);
+        assert_eq!(mon.dest, "mon_map_entry");
+        assert!(img.gates[gates::MM_MAPCTL as usize].is_none());
+    }
+}

@@ -1,0 +1,339 @@
+//! Physical memory map, syscall ABI and kernel data-structure layout.
+//!
+//! Everything here is shared between the host-side image builder and the
+//! generated guest code, so both sides agree byte-for-byte.
+
+/// Kernel image load address (RAM base).
+pub const KERNEL_BASE: u64 = 0x8000_0000;
+/// Top of the global kernel stack (grows down; syscalls do not nest).
+pub const KSTACK_TOP: u64 = 0x8020_0000;
+/// Task control blocks (one page each).
+pub const TASK0: u64 = 0x8021_0000;
+/// Second task control block.
+pub const TASK1: u64 = 0x8021_1000;
+/// Global file-descriptor table.
+pub const FDTABLE: u64 = 0x8021_2000;
+/// Pipe A (task1 -> task2).
+pub const PIPE_A: u64 = 0x8021_3000;
+/// Pipe B (task2 -> task1).
+pub const PIPE_B: u64 = 0x8021_5000;
+/// Nested-monitor circular log buffer (`Nest.Mon.Log`).
+pub const MONLOG: u64 = 0x8021_7000;
+/// In-memory file data (4 files × 64 KiB).
+pub const FILE_DATA: u64 = 0x8030_0000;
+/// Per-file data stride.
+pub const FILE_STRIDE: u64 = 0x1_0000;
+/// Pages whose mappings the `mapctl` syscall manipulates.
+pub const SCRATCH_PAGES: u64 = 0x8040_0000;
+/// Number of scratch pages.
+pub const SCRATCH_COUNT: u64 = 16;
+/// Boot-parameter block, written by the host after page tables exist.
+pub const BOOT_PARAMS: u64 = 0x8041_0000;
+/// User program image base.
+pub const USER_BASE: u64 = 0x8100_0000;
+/// User scratch/heap area (mapped U+RW).
+pub const USER_HEAP: u64 = 0x8180_0000;
+/// User heap size.
+pub const USER_HEAP_SIZE: u64 = 8 << 20;
+/// Page-table pool (kernel root + per-task user roots).
+pub const PT_POOL: u64 = 0x8200_0000;
+/// Page-table pool size.
+pub const PT_POOL_SIZE: u64 = 0x40_0000;
+/// Trusted memory region for ISA-Grid structures.
+pub const TMEM_BASE: u64 = 0x8380_0000;
+/// Trusted memory size (power of two).
+pub const TMEM_SIZE: u64 = 1 << 20;
+
+/// Boot-parameter block offsets (all 8-byte fields).
+pub mod params {
+    /// Kernel-view `satp`.
+    pub const SATP_KERNEL: u64 = 0x00;
+    /// Task-0 user-view `satp` (differs from kernel view under PTI).
+    pub const SATP_USER0: u64 = 0x08;
+    /// Task-1 user-view `satp`.
+    pub const SATP_USER1: u64 = 0x10;
+    /// Task-0 user entry point.
+    pub const ENTRY0: u64 = 0x18;
+    /// Task-1 user entry point (0 = single-task).
+    pub const ENTRY1: u64 = 0x20;
+    /// Physical address of the leaf page-table page covering the scratch
+    /// pages (the nested monitor writes PTEs there).
+    pub const SCRATCH_LEAF: u64 = 0x28;
+    /// Task-0 user stack pointer.
+    pub const USP0: u64 = 0x30;
+    /// Task-1 user stack pointer.
+    pub const USP1: u64 = 0x38;
+}
+
+/// Task control block offsets.
+pub mod task {
+    /// Saved registers x1..x31 (31 × 8 bytes).
+    pub const REGS: u64 = 0x000;
+    /// Saved user PC.
+    pub const SEPC: u64 = 0x0F8;
+    /// The task's user-view `satp`.
+    pub const SATP: u64 = 0x100;
+    /// Registered signal handler (0 = none).
+    pub const SIG_HANDLER: u64 = 0x108;
+    /// PC saved while a signal handler runs.
+    pub const SIG_SAVED_EPC: u64 = 0x110;
+    /// Signal pending flag.
+    pub const SIG_PENDING: u64 = 0x118;
+    /// Task id.
+    pub const TID: u64 = 0x120;
+
+    /// Offset of saved register `x{n}` (n in 1..=31).
+    pub fn reg(n: u8) -> i32 {
+        assert!((1..=31).contains(&n));
+        (REGS + (n as u64 - 1) * 8) as i32
+    }
+}
+
+/// File-descriptor table: 16 entries × 32 bytes
+/// (`kind`, `inode`, `offset`, reserved).
+pub mod fd {
+    /// Entries in the table.
+    pub const COUNT: u64 = 16;
+    /// Bytes per entry.
+    pub const STRIDE: u64 = 32;
+    /// Offset of the kind field.
+    pub const KIND: u64 = 0;
+    /// Offset of the inode/index field.
+    pub const INODE: u64 = 8;
+    /// Offset of the read/write offset field.
+    pub const OFFSET: u64 = 16;
+
+    /// Entry is unused.
+    pub const KIND_FREE: u64 = 0;
+    /// Console (fds 0–2).
+    pub const KIND_CONSOLE: u64 = 1;
+    /// Zero device (infinite zeroes, /dev/zero analogue).
+    pub const KIND_ZERO: u64 = 2;
+    /// Null device (writes discarded).
+    pub const KIND_NULL: u64 = 3;
+    /// Regular in-memory file.
+    pub const KIND_FILE: u64 = 4;
+    /// Pipe read end.
+    pub const KIND_PIPE_R: u64 = 5;
+    /// Pipe write end.
+    pub const KIND_PIPE_W: u64 = 6;
+}
+
+/// Pipe object layout: header + 4 KiB ring buffer.
+pub mod pipe {
+    /// Read cursor.
+    pub const RD: u64 = 0;
+    /// Write cursor.
+    pub const WR: u64 = 8;
+    /// Ring data start.
+    pub const BUF: u64 = 16;
+    /// Ring capacity (power of two; `CAP - 1` must fit an `andi`
+    /// immediate).
+    pub const CAP: u64 = 2048;
+}
+
+/// Nested-monitor log layout: one cursor + 8-byte entries.
+pub mod monlog {
+    /// Write cursor (entry index).
+    pub const CURSOR: u64 = 0;
+    /// Entries start.
+    pub const ENTRIES: u64 = 8;
+    /// Entry count (circular; power of two so `cursor & (CAP-1)` indexes).
+    pub const CAP: u64 = 256;
+}
+
+/// Syscall numbers (`a7`).
+pub mod sys {
+    /// getpid() -> tid
+    pub const GETPID: u64 = 0;
+    /// read(fd, buf, len) -> n
+    pub const READ: u64 = 1;
+    /// write(fd, buf, len) -> n
+    pub const WRITE: u64 = 2;
+    /// open(path_id) -> fd
+    pub const OPEN: u64 = 3;
+    /// close(fd) -> 0
+    pub const CLOSE: u64 = 4;
+    /// stat(path_id, buf) -> 0
+    pub const STAT: u64 = 5;
+    /// fstat(fd, buf) -> 0
+    pub const FSTAT: u64 = 6;
+    /// pipe(which) -> (rd_fd << 32) | wr_fd
+    pub const PIPE: u64 = 7;
+    /// sigaction(handler) -> 0
+    pub const SIGACTION: u64 = 8;
+    /// raise() -> 0 (delivers the signal on return to user)
+    pub const RAISE: u64 = 9;
+    /// sigreturn() -> resumes the interrupted PC
+    pub const SIGRETURN: u64 = 10;
+    /// yield() -> 0 (switch to the other runnable task)
+    pub const YIELD: u64 = 11;
+    /// exit(code) -> halts the machine
+    pub const EXIT: u64 = 12;
+    /// ioctl(service, arg) -> service result (Table 5 services)
+    pub const IOCTL: u64 = 13;
+    /// mapctl(page_idx, pte_value) -> 0 (page-mapping update; mediated by
+    /// the nested monitor when configured)
+    pub const MAPCTL: u64 = 14;
+    /// vuln(op) -> 0: a deliberately vulnerable kernel entry that performs
+    /// an attacker-chosen privileged operation (the ISA-abuse gadget used
+    /// by the attack-mitigation evaluation, Table 1)
+    pub const VULN: u64 = 15;
+    /// Number of syscalls.
+    pub const COUNT: u64 = 16;
+}
+
+/// Attack gadget operation codes for the `vuln` syscall: each mirrors a
+/// Table 1 prerequisite on our register analogues.
+pub mod vuln_op {
+    /// Write `stvec` — Controlled-Channel Attack analogue (IDTR).
+    pub const WRITE_STVEC: u64 = 0;
+    /// Write `satp` — page-table-base abuse (CR3).
+    pub const WRITE_SATP: u64 = 1;
+    /// Write `vfctl` — voltage/frequency attack (MSR 0x150, V0LTpwn).
+    pub const WRITE_VFCTL: u64 = 2;
+    /// Read `dbg0` — TRESOR-HUNT / FORESHADOW debug-register abuse (DR0-7).
+    pub const READ_DBG: u64 = 3;
+    /// Write `btbctl` — SgxPectre BTB configuration (MSR 0x48/0x49).
+    pub const WRITE_BTBCTL: u64 = 4;
+    /// Read `cycle` in a kernel gadget — timing side channels (rdtsc).
+    pub const READ_CYCLE: u64 = 5;
+    /// Read PMU counter — NAILGUN analogue (ARM PMU).
+    pub const READ_PMU: u64 = 6;
+    /// Write `wpctl` — Stealthy Page-Table attack analogue (CR0.CD/WP).
+    pub const WRITE_WPCTL: u64 = 7;
+    /// Number of gadgets.
+    pub const COUNT: u64 = 8;
+}
+
+/// Fixed gate-id assignment. The host registers gates in exactly this
+/// order so generated kernel code can use immediates.
+pub mod gates {
+    /// Boot: domain-0 -> kernel basic domain (`hccall`).
+    pub const BOOT: u64 = 0;
+    /// Yield-time `satp` switch: extended gate into the MM domain.
+    pub const MM_YIELD: u64 = 1;
+    /// mapctl PTE write: extended gate into the MM domain (decomposed).
+    pub const MM_MAPCTL: u64 = 2;
+    /// PTI entry: switch to the kernel page table (`hccall` pair).
+    pub const PTI_K_IN: u64 = 3;
+    /// PTI entry return.
+    pub const PTI_K_OUT: u64 = 4;
+    /// PTI exit: switch to the user page table.
+    pub const PTI_U_IN: u64 = 5;
+    /// PTI exit return.
+    pub const PTI_U_OUT: u64 = 6;
+    /// Enter service `i` (i in 0..4): `SRV_IN + 2*i`.
+    pub const SRV_IN: u64 = 7;
+    /// Leave service `i`: `SRV_OUT + 2*i`.
+    pub const SRV_OUT: u64 = 8;
+    /// mapctl PTE write: extended gate into the nested monitor.
+    pub const MON_MAPCTL: u64 = 15;
+    /// Yield-time `satp` switch, return gate (`hccall` pair with
+    /// [`MM_YIELD`]).
+    pub const MM_YIELD_OUT: u64 = 16;
+    /// Preemption-time `satp` switch (`hccall` pair, timer interrupt).
+    pub const PREEMPT_IN: u64 = 17;
+    /// Preemption-time `satp` switch, return gate.
+    pub const PREEMPT_OUT: u64 = 18;
+    /// User-to-kernel domain switch on trap entry (in-place gate).
+    pub const U2K: u64 = 19;
+    /// Kernel-to-user domain switch before `sret` (in-place gate).
+    pub const K2U: u64 = 20;
+    /// Total gates a fully-configured kernel registers.
+    pub const COUNT: u64 = 21;
+}
+
+/// Exit codes the kernel halts with.
+pub mod exit {
+    /// Marker bit pattern for a machine-mode (ISA-Grid) fault:
+    /// `GRID_FAULT | mcause`.
+    pub const GRID_FAULT: u64 = 0x6000;
+    /// Unexpected supervisor trap: `PANIC | scause`.
+    pub const PANIC: u64 = 0x7000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // (start, size) pairs in increasing order.
+        let regions = [
+            (KERNEL_BASE, 0x20_0000),
+            (TASK0, 0x1000),
+            (TASK1, 0x1000),
+            (FDTABLE, 0x1000),
+            (PIPE_A, 0x2000),
+            (PIPE_B, 0x2000),
+            (MONLOG, 0x1000),
+            (FILE_DATA, 4 * FILE_STRIDE),
+            (SCRATCH_PAGES, SCRATCH_COUNT * 4096),
+            (BOOT_PARAMS, 0x1000),
+            (USER_BASE, 0x80_0000),
+            (USER_HEAP, USER_HEAP_SIZE),
+            (PT_POOL, PT_POOL_SIZE),
+            (TMEM_BASE, TMEM_SIZE),
+        ];
+        for w in regions.windows(2) {
+            let (a, asz) = w[0];
+            let (b, _) = w[1];
+            assert!(a + asz <= b, "{a:#x}+{asz:#x} overlaps {b:#x}");
+        }
+        // Everything fits in 64 MiB of RAM.
+        let (last, sz) = regions[regions.len() - 1];
+        assert!(last + sz <= KERNEL_BASE + (64 << 20));
+    }
+
+    #[test]
+    fn task_reg_offsets() {
+        assert_eq!(task::reg(1), 0); // x1 is the first saved slot
+        assert_eq!(task::reg(31), 240);
+        assert!(task::reg(31) + 8 <= task::SEPC as i32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn task_reg_zero_is_invalid() {
+        task::reg(0);
+    }
+
+    #[test]
+    fn gate_ids_are_dense_and_distinct() {
+        let mut ids = vec![
+            gates::BOOT,
+            gates::MM_YIELD,
+            gates::MM_MAPCTL,
+            gates::PTI_K_IN,
+            gates::PTI_K_OUT,
+            gates::PTI_U_IN,
+            gates::PTI_U_OUT,
+            gates::MON_MAPCTL,
+            gates::MM_YIELD_OUT,
+            gates::PREEMPT_IN,
+            gates::PREEMPT_OUT,
+            gates::U2K,
+            gates::K2U,
+        ];
+        for i in 0..4 {
+            ids.push(gates::SRV_IN + 2 * i);
+            ids.push(gates::SRV_OUT + 2 * i);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len() as u64, gates::COUNT);
+        assert_eq!(*ids.last().unwrap(), gates::COUNT - 1);
+    }
+
+    #[test]
+    fn pipe_capacity_is_power_of_two() {
+        assert!(pipe::CAP.is_power_of_two());
+    }
+
+    #[test]
+    fn monlog_capacity_is_power_of_two_and_fits_its_page() {
+        assert!(monlog::CAP.is_power_of_two());
+        const { assert!(monlog::ENTRIES + monlog::CAP * 8 <= 0x1000, "log fits one page") };
+    }
+}

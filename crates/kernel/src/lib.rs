@@ -1,0 +1,53 @@
+//! # simkernel — the guest kernel for the ISA-Grid evaluation
+//!
+//! A minimal operating-system kernel emitted as RV64 machine code by the
+//! `isa-asm` builder and executed on the `isa-sim` emulator. It stands in
+//! for the Linux kernels of the paper's evaluation (§7 "Software Setup")
+//! and implements the paths those benchmarks exercise:
+//!
+//! * M-mode boot (domain-0 firmware) with trap delegation;
+//! * an S-mode trap/syscall path with optional page-table isolation;
+//! * in-memory files, pipes, signals, and a two-task scheduler;
+//! * four ioctl services (Table 5: CPUID-, MTRR-, PMC-like);
+//! * a page-mapping syscall that the §6.2 nested monitor mediates;
+//! * optional timer-driven preemptive scheduling (with the preemption
+//!   path's `satp` switch behind MM-domain gates when decomposed); and
+//! * a deliberately vulnerable syscall whose gadgets model the Table 1
+//!   ISA-abuse attacks.
+//!
+//! Three [`KernelConfig`] modes select the paper's systems: `Native`
+//! (baseline), `Decomposed` (§6.1 Linux decomposition), `Nested` (§6.2
+//! Nested-Kernel with optional logging).
+//!
+//! ## Example
+//!
+//! ```
+//! use isa_asm::{Asm, Reg::*};
+//! use simkernel::{layout, KernelConfig, SimBuilder};
+//!
+//! // A user program: getpid, then exit with the result + 40.
+//! let mut a = Asm::new(layout::USER_BASE);
+//! a.label("main");
+//! a.li(A7, layout::sys::GETPID);
+//! a.ecall();
+//! a.addi(A0, A0, 42);
+//! a.li(A7, layout::sys::EXIT);
+//! a.ecall();
+//! let user = a.assemble()?;
+//!
+//! let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&user, None);
+//! assert_eq!(sim.run_to_halt(1_000_000), 42); // pid 0 + 42
+//! # Ok::<(), isa_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod image;
+pub mod layout;
+mod machine;
+pub mod usr;
+
+pub use config::{GateTarget, KernelConfig, Mode, Role};
+pub use image::{build_kernel, KernelImage};
+pub use machine::{Platform, Sim, SimBuilder};

@@ -1,0 +1,125 @@
+//! Helpers for emitting user-mode guest programs against the kernel's
+//! syscall ABI (used by tests and by the `workloads` crate).
+
+use isa_asm::{Asm, Reg, Reg::*};
+use isa_sim::mmio;
+
+use crate::layout::{sys, USER_BASE, USER_HEAP};
+
+/// Start a user program: returns an assembler positioned at
+/// [`USER_BASE`] with the `main` label defined.
+pub fn program() -> Asm {
+    let mut a = Asm::new(USER_BASE);
+    a.label("main");
+    a
+}
+
+/// Emit a syscall with up to three arguments already in a0..a2.
+pub fn syscall(a: &mut Asm, nr: u64) {
+    a.li(A7, nr);
+    a.ecall();
+}
+
+/// Exit with the value currently in `reg`.
+pub fn exit_with(a: &mut Asm, reg: Reg) {
+    if reg != A0 {
+        a.mv(A0, reg);
+    }
+    syscall(a, sys::EXIT);
+}
+
+/// Exit with a constant code.
+pub fn exit_code(a: &mut Asm, code: u64) {
+    a.li(A0, code);
+    syscall(a, sys::EXIT);
+}
+
+/// Report the value in `reg` to the host through the VALUE_LOG MMIO
+/// register (does not trap; usable from U mode).
+pub fn report(a: &mut Asm, reg: Reg) {
+    a.li(T6, mmio::VALUE_LOG);
+    a.sd(reg, T6, 0);
+}
+
+/// Read the cycle counter into `reg`.
+pub fn rdcycle(a: &mut Asm, reg: Reg) {
+    a.rdcycle(reg);
+}
+
+/// Begin a measured region: cycle counter into s2.
+pub fn measure_start(a: &mut Asm) {
+    a.rdcycle(S2);
+}
+
+/// End a measured region: report `(cycles now) - s2` to the host.
+pub fn measure_end_report(a: &mut Asm) {
+    a.rdcycle(S3);
+    a.sub(S3, S3, S2);
+    report(a, S3);
+}
+
+/// Emit a counted loop: `body` runs `n` times with s4 as the (live)
+/// down-counter. The label prefix must be unique within the program.
+pub fn repeat(a: &mut Asm, n: u64, prefix: &str, body: impl FnOnce(&mut Asm)) {
+    let head = format!("{prefix}_head");
+    let done = format!("{prefix}_done");
+    a.li(S4, n);
+    a.label(&head);
+    a.beqz(S4, &done);
+    body(a);
+    a.addi(S4, S4, -1);
+    a.j(&head);
+    a.label(&done);
+}
+
+/// The first address of the user heap (buffers live here; the top of the
+/// region holds the user stacks).
+pub fn heap_base() -> u64 {
+    USER_HEAP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelConfig, SimBuilder};
+
+    #[test]
+    fn repeat_runs_exact_count() {
+        let mut a = program();
+        a.li(S5, 0);
+        repeat(&mut a, 17, "r", |a| {
+            a.addi(S5, S5, 1);
+        });
+        exit_with(&mut a, S5);
+        let user = a.assemble().unwrap();
+        let mut sim = SimBuilder::new(KernelConfig::native()).boot(&user, None);
+        assert_eq!(sim.run_to_halt(100_000), 17);
+    }
+
+    #[test]
+    fn report_reaches_value_log() {
+        let mut a = program();
+        a.li(S5, 123);
+        report(&mut a, S5);
+        exit_code(&mut a, 0);
+        let user = a.assemble().unwrap();
+        let mut sim = SimBuilder::new(KernelConfig::native()).boot(&user, None);
+        sim.run_to_halt(100_000);
+        assert_eq!(sim.values(), &[123]);
+    }
+
+    #[test]
+    fn measurement_brackets_are_positive() {
+        let mut a = program();
+        measure_start(&mut a);
+        repeat(&mut a, 100, "w", |a| {
+            a.nop();
+        });
+        measure_end_report(&mut a);
+        exit_code(&mut a, 0);
+        let user = a.assemble().unwrap();
+        let mut sim = SimBuilder::new(KernelConfig::native()).boot(&user, None);
+        sim.run_to_halt(1_000_000);
+        assert!(sim.values()[0] >= 100);
+    }
+}

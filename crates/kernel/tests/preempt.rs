@@ -1,0 +1,131 @@
+//! Preemptive (timer-driven) scheduling: involuntary context switches
+//! must work under every kernel configuration — with the satp switch on
+//! the preemption path routed through the MM domain's gates when
+//! decomposed.
+
+use isa_asm::Reg::*;
+use simkernel::layout::sys;
+use simkernel::{usr, KernelConfig, SimBuilder};
+
+const STEPS: u64 = 20_000_000;
+
+/// Task 0 busy-loops N times then exits with task 1's progress counter;
+/// task 1 increments a shared memory counter forever. Without
+/// preemption task 1 would never run.
+fn two_hogs(n: u64) -> isa_asm::Program {
+    let counter = usr::heap_base() + 0x100;
+    let mut a = usr::program();
+    a.li(S5, n);
+    a.label("spin0");
+    a.addi(S5, S5, -1);
+    a.bnez(S5, "spin0");
+    a.li(T0, counter);
+    a.ld(A0, T0, 0); // task 1's progress
+    usr::syscall(&mut a, sys::EXIT);
+    a.label("task1");
+    a.li(T0, counter);
+    a.label("spin1");
+    a.ld(T1, T0, 0);
+    a.addi(T1, T1, 1);
+    a.sd(T1, T0, 0);
+    a.j("spin1");
+    a.assemble().unwrap()
+}
+
+#[test]
+fn timer_preemption_interleaves_cpu_hogs() {
+    for cfg in [
+        KernelConfig::native().with_preempt(),
+        KernelConfig::decomposed().with_preempt(),
+        KernelConfig::nested(false).with_preempt(),
+    ] {
+        let prog = two_hogs(50_000);
+        let mut sim = SimBuilder::new(cfg).timer_every(2000).boot(&prog, Some("task1"));
+        let progress = sim.run_to_halt(STEPS);
+        assert!(
+            progress > 1000,
+            "{cfg:?}: task 1 starved (progress {progress})"
+        );
+    }
+}
+
+#[test]
+fn decomposed_preemption_crosses_the_mm_domain() {
+    let prog = two_hogs(20_000);
+    let mut sim = SimBuilder::new(KernelConfig::decomposed().with_preempt())
+        .timer_every(1000)
+        .boot(&prog, Some("task1"));
+    sim.run_to_halt(STEPS);
+    // Each preemption takes the PREEMPT_IN/OUT hccall pair.
+    assert!(
+        sim.machine.ext.stats.gate_calls > 20,
+        "gates: {}",
+        sim.machine.ext.stats.gate_calls
+    );
+    assert_eq!(sim.machine.ext.stats.faults, 0);
+    assert_eq!(sim.machine.ext.current_domain().0, 1, "back in the kernel domain");
+}
+
+#[test]
+fn single_task_preemption_resumes_the_same_task() {
+    let mut a = usr::program();
+    a.li(S5, 30_000);
+    a.label("spin");
+    a.addi(S5, S5, -1);
+    a.bnez(S5, "spin");
+    usr::exit_code(&mut a, 7);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed().with_preempt())
+        .timer_every(500)
+        .boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS), 7);
+    assert!(sim.machine.trap_counts.len() >= 2, "timer traps were taken");
+}
+
+#[test]
+fn preemption_preserves_task_state_exactly() {
+    // A checksum loop must compute the same value with and without
+    // aggressive preemption: involuntary switches are transparent.
+    let build = || {
+        let mut a = usr::program();
+        a.li(S5, 0);
+        a.li(S6, 0x1234_5678_9abc_def0u64);
+        a.li(S7, 5000);
+        a.label("loop");
+        a.mul(S6, S6, S6);
+        a.addi(S6, S6, 13);
+        a.xor(S5, S5, S6);
+        a.addi(S7, S7, -1);
+        a.bnez(S7, "loop");
+        a.andi(A0, S5, 0x7ff);
+        usr::syscall(&mut a, sys::EXIT);
+        a.label("task1");
+        a.label("t1spin");
+        a.j("t1spin");
+        a.assemble().unwrap()
+    };
+    let prog = build();
+    let mut quiet = SimBuilder::new(KernelConfig::decomposed().with_preempt())
+        .boot(&prog, Some("task1"));
+    let want = quiet.run_to_halt(STEPS);
+    let mut noisy = SimBuilder::new(KernelConfig::decomposed().with_preempt())
+        .timer_every(137)
+        .boot(&prog, Some("task1"));
+    assert_eq!(noisy.run_to_halt(STEPS), want, "state corrupted by preemption");
+}
+
+#[test]
+fn non_preempt_kernel_masks_the_timer_safely() {
+    let mut a = usr::program();
+    a.label("spin");
+    a.j("spin");
+    let prog = a.assemble().unwrap();
+    // Kernel built WITHOUT preempt support while the timer device fires:
+    // the interrupt stays masked (mie.STIE clear) and execution simply
+    // continues — pending-but-disabled interrupts are a no-op.
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).timer_every(500).boot(&prog, None);
+    let exit = sim.machine.run(100_000);
+    assert_eq!(exit, isa_sim::Exit::StepLimit, "no halt, no trap storm");
+    assert_eq!(sim.machine.ext.stats.faults, 0);
+    assert!(sim.machine.trap_counts.is_empty(), "no interrupt was ever taken");
+}

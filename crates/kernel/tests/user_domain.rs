@@ -1,0 +1,137 @@
+//! §8 "Extending to User Space": user code runs in its own ISA domain,
+//! entered/left through in-place gates on the trap paths.
+
+use isa_sim::Exception;
+use simkernel::layout::{exit, sys};
+use simkernel::{usr, KernelConfig, SimBuilder};
+
+const STEPS: u64 = 20_000_000;
+
+#[test]
+fn syscalls_work_across_the_user_domain_boundary() {
+    let mut a = usr::program();
+    usr::repeat(&mut a, 10, "l", |a| {
+        usr::syscall(a, sys::GETPID);
+    });
+    usr::exit_code(&mut a, 3);
+    let prog = a.assemble().unwrap();
+    let mut sim =
+        SimBuilder::new(KernelConfig::decomposed().with_user_domain()).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS), 3);
+    // Boot gate + (U2K + K2U) per kernel crossing; 11 syscalls at least.
+    let calls = sim.machine.ext.stats.gate_calls;
+    assert!(calls > 2 * 10, "gate calls: {calls}");
+    assert_eq!(sim.machine.ext.stats.faults, 0);
+}
+
+#[test]
+fn user_rdcycle_allowed_by_default() {
+    let mut a = usr::program();
+    usr::measure_start(&mut a);
+    usr::repeat(&mut a, 16, "l", |a| {
+        a.nop();
+    });
+    usr::measure_end_report(&mut a);
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut sim =
+        SimBuilder::new(KernelConfig::decomposed().with_user_domain()).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert!(sim.values()[0] >= 16);
+}
+
+#[test]
+fn per_process_rdtsc_restriction_blocks_user_rdcycle() {
+    // The §2.2 timing-side-channel mitigation, applied to one process:
+    // deny the user domain the cycle counter while the kernel keeps it.
+    let mut a = usr::program();
+    a.rdcycle(isa_asm::Reg::T0);
+    usr::exit_code(&mut a, 1);
+    let prog = a.assemble().unwrap();
+    let mut cfg = KernelConfig::decomposed().with_user_domain();
+    cfg.deny_user_cycle = true;
+    let mut sim = SimBuilder::new(cfg).boot(&prog, None);
+    let code = sim.run_to_halt(STEPS);
+    assert_eq!(code, exit::GRID_FAULT | Exception::CAUSE_GRID_CSR);
+}
+
+#[test]
+fn kernel_keeps_the_cycle_counter_when_the_user_loses_it() {
+    // Same restriction, but the measurement happens kernel-side via an
+    // ioctl service — the privilege is per-domain, not global.
+    let mut a = usr::program();
+    a.li(isa_asm::Reg::A0, 2); // PMC service reads hpmcounter3
+    a.li(isa_asm::Reg::A1, 0);
+    usr::syscall(&mut a, sys::IOCTL);
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut cfg = KernelConfig::decomposed().with_user_domain();
+    cfg.deny_user_cycle = true;
+    let mut sim = SimBuilder::new(cfg).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS), 0);
+}
+
+#[test]
+fn signals_and_tasks_survive_user_domains() {
+    let mut a = usr::program();
+    a.la(isa_asm::Reg::T0, "handler");
+    a.mv(isa_asm::Reg::A0, isa_asm::Reg::T0);
+    usr::syscall(&mut a, sys::SIGACTION);
+    a.li(isa_asm::Reg::S5, 1);
+    usr::syscall(&mut a, sys::RAISE);
+    a.addi(isa_asm::Reg::S5, isa_asm::Reg::S5, 100);
+    usr::syscall(&mut a, sys::YIELD);
+    usr::exit_with(&mut a, isa_asm::Reg::S5);
+    a.label("handler");
+    a.addi(isa_asm::Reg::S5, isa_asm::Reg::S5, 10);
+    usr::syscall(&mut a, sys::SIGRETURN);
+    a.label("t1");
+    a.label("t1loop");
+    usr::syscall(&mut a, sys::YIELD);
+    a.j("t1loop");
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed().with_user_domain())
+        .boot(&prog, Some("t1"));
+    assert_eq!(sim.run_to_halt(STEPS), 111);
+}
+
+#[test]
+fn user_domain_composes_with_preemption() {
+    let counter = usr::heap_base() + 0x100;
+    let mut a = usr::program();
+    a.li(isa_asm::Reg::S5, 20_000);
+    a.label("spin0");
+    a.addi(isa_asm::Reg::S5, isa_asm::Reg::S5, -1);
+    a.bnez(isa_asm::Reg::S5, "spin0");
+    a.li(isa_asm::Reg::T0, counter);
+    a.ld(isa_asm::Reg::A0, isa_asm::Reg::T0, 0);
+    usr::syscall(&mut a, sys::EXIT);
+    a.label("task1");
+    a.li(isa_asm::Reg::T0, counter);
+    a.label("spin1");
+    a.ld(isa_asm::Reg::T1, isa_asm::Reg::T0, 0);
+    a.addi(isa_asm::Reg::T1, isa_asm::Reg::T1, 1);
+    a.sd(isa_asm::Reg::T1, isa_asm::Reg::T0, 0);
+    a.j("spin1");
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(
+        KernelConfig::decomposed().with_user_domain().with_preempt(),
+    )
+    .timer_every(1500)
+    .boot(&prog, Some("task1"));
+    let progress = sim.run_to_halt(STEPS);
+    assert!(progress > 500, "task 1 starved: {progress}");
+    assert_eq!(sim.machine.ext.stats.faults, 0);
+}
+
+#[test]
+fn native_kernel_ignores_the_user_domain_flag() {
+    // Without ISA-Grid there are no domains to separate; the flag is
+    // inert rather than an error.
+    let mut a = usr::program();
+    usr::syscall(&mut a, sys::GETPID);
+    usr::exit_code(&mut a, 9);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::native().with_user_domain()).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS), 9);
+}

@@ -1,0 +1,965 @@
+//! The CPU core, the extension seam, and the machine wrapper.
+
+use crate::csr::{addr, mstatus, CsrFile};
+use crate::decode::{decode, Decoded, Kind};
+use crate::mem::Bus;
+use crate::mmu::{self, Access, WalkCtx};
+use crate::trap::{Exception, Interrupt, Priv};
+
+/// Architectural CPU state (registers, PC, privilege level, CSR file).
+#[derive(Debug, Clone)]
+pub struct CpuState {
+    /// General-purpose registers; `regs[0]` is kept at zero.
+    pub regs: [u64; 32],
+    /// Program counter.
+    pub pc: u64,
+    /// Current privilege level.
+    pub priv_level: Priv,
+    /// CSR file.
+    pub csrs: CsrFile,
+    /// LR/SC reservation (physical address), if any.
+    pub reservation: Option<u64>,
+}
+
+impl CpuState {
+    /// Reset state: M-mode, PC at `entry`, registers zeroed.
+    pub fn new(entry: u64) -> CpuState {
+        CpuState {
+            regs: [0; 32],
+            pc: entry,
+            priv_level: Priv::M,
+            csrs: CsrFile::new(),
+            reservation: None,
+        }
+    }
+
+    /// Read register `r` (x0 reads as zero).
+    #[inline]
+    pub fn reg(&self, r: u8) -> u64 {
+        self.regs[r as usize & 31]
+    }
+
+    /// Write register `r` (writes to x0 are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: u8, v: u64) {
+        if r != 0 {
+            self.regs[r as usize & 31] = v;
+        }
+    }
+
+    fn walk_ctx(&self, priv_level: Priv) -> WalkCtx {
+        WalkCtx {
+            priv_level,
+            satp: self.csrs.read_raw(addr::SATP),
+            mstatus: self.csrs.read_raw(addr::MSTATUS),
+            pkr: self.csrs.read_raw(addr::PKR),
+        }
+    }
+}
+
+/// Events an extension (the PCU) reports for one retired instruction, so
+/// the timing models can charge check/switch costs (§4.3).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExtEvents {
+    /// Instruction-bitmap HPT cache misses (memory reads performed).
+    pub hpt_inst_miss: u8,
+    /// Register-bitmap HPT cache misses.
+    pub hpt_reg_miss: u8,
+    /// Bit-mask-array HPT cache misses.
+    pub hpt_mask_miss: u8,
+    /// SGT cache misses.
+    pub sgt_miss: u8,
+    /// A gate instruction switched domains this step.
+    pub gate_switch: bool,
+    /// Trusted-stack pushes/pops performed (memory accesses).
+    pub tstack_ops: u8,
+    /// Memory reads issued by a `pfch` prefetch.
+    pub prefetch_reads: u8,
+}
+
+impl ExtEvents {
+    /// Total extension-issued memory accesses (excluding low-priority
+    /// prefetches).
+    pub fn memory_accesses(&self) -> u32 {
+        self.hpt_inst_miss as u32
+            + self.hpt_reg_miss as u32
+            + self.hpt_mask_miss as u32
+            + self.sgt_miss as u32
+            + self.tstack_ops as u32
+    }
+}
+
+/// Control-flow outcome of executing a custom instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Fall through to `pc + 4`.
+    Next,
+    /// Redirect to an absolute address (gates).
+    Jump(u64),
+}
+
+/// The hardware-extension seam ("the PCU is connected to the CPU
+/// pipeline", §3.3). The ISA-Grid PCU implements this trait in the
+/// `isa-grid` crate; the emulator itself knows nothing about domains.
+pub trait Extension {
+    /// Check execution privilege of a decoded instruction about to
+    /// commit. Called for every instruction.
+    ///
+    /// # Errors
+    ///
+    /// Return an exception (typically [`Exception::GridInstFault`]) to
+    /// suppress the instruction and trap instead.
+    fn check_inst(&mut self, cpu: &CpuState, bus: &mut Bus, d: &Decoded) -> Result<(), Exception> {
+        let _ = (cpu, bus, d);
+        Ok(())
+    }
+
+    /// Check an *explicit* CSR access (Zicsr instructions only; CSRs
+    /// updated as side effects are exempt per §4.1).
+    ///
+    /// # Errors
+    ///
+    /// Return [`Exception::GridCsrFault`] to deny the access.
+    #[allow(clippy::too_many_arguments)]
+    fn check_csr(
+        &mut self,
+        cpu: &CpuState,
+        bus: &mut Bus,
+        csr: u16,
+        read: bool,
+        write: bool,
+        old: u64,
+        new: u64,
+    ) -> Result<(), Exception> {
+        let _ = (cpu, bus, csr, read, write, old, new);
+        Ok(())
+    }
+
+    /// Check a data-memory physical access (trusted-memory fencing).
+    ///
+    /// # Errors
+    ///
+    /// Return [`Exception::GridTmemFault`] to deny the access.
+    fn check_phys(
+        &mut self,
+        cpu: &CpuState,
+        paddr: u64,
+        len: u8,
+        write: bool,
+    ) -> Result<(), Exception> {
+        let _ = (cpu, paddr, len, write);
+        Ok(())
+    }
+
+    /// Whether the extension owns CSR address `csr` (reads/writes are
+    /// routed to [`Extension::read_csr`]/[`Extension::write_csr`]).
+    fn csr_owned(&self, csr: u16) -> bool {
+        let _ = csr;
+        false
+    }
+
+    /// Read an extension-owned CSR.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject the access.
+    fn read_csr(&mut self, cpu: &CpuState, csr: u16) -> Result<u64, Exception> {
+        let _ = cpu;
+        Err(Exception::IllegalInst(csr as u64))
+    }
+
+    /// Write an extension-owned CSR.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject the access.
+    fn write_csr(
+        &mut self,
+        cpu: &mut CpuState,
+        bus: &mut Bus,
+        csr: u16,
+        val: u64,
+    ) -> Result<(), Exception> {
+        let _ = (cpu, bus, val);
+        Err(Exception::IllegalInst(csr as u64))
+    }
+
+    /// Execute a custom-0 instruction (ISA-Grid's `hccall`/`hccalls`/
+    /// `hcrets`/`pfch`/`pflh`).
+    ///
+    /// # Errors
+    ///
+    /// The default raises illegal-instruction: without the extension the
+    /// custom opcode space is unimplemented.
+    fn exec_custom(
+        &mut self,
+        cpu: &mut CpuState,
+        bus: &mut Bus,
+        d: &Decoded,
+    ) -> Result<Flow, Exception> {
+        let _ = (cpu, bus);
+        Err(Exception::IllegalInst(d.raw as u64))
+    }
+
+    /// Drain the events accumulated during the current step.
+    fn drain_events(&mut self) -> ExtEvents {
+        ExtEvents::default()
+    }
+}
+
+/// The no-op extension: a plain RV64 core.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullExtension;
+
+impl Extension for NullExtension {}
+
+/// A data memory access performed by a retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Virtual address.
+    pub vaddr: u64,
+    /// Physical address after translation.
+    pub paddr: u64,
+    /// Access size in bytes.
+    pub len: u8,
+    /// True for stores and AMOs.
+    pub write: bool,
+}
+
+/// Everything the timing models need to know about one step.
+#[derive(Debug, Clone, Copy)]
+pub struct Retired {
+    /// Virtual PC of the instruction.
+    pub pc: u64,
+    /// Physical address the fetch hit.
+    pub fetch_paddr: u64,
+    /// PC after this step (target for branches/gates/traps).
+    pub next_pc: u64,
+    /// Instruction class; `None` when the fetch or decode itself trapped.
+    pub kind: Option<Kind>,
+    /// Raw encoding (0 if the fetch faulted).
+    pub raw: u32,
+    /// Privilege level the instruction executed at.
+    pub priv_level: Priv,
+    /// Data access, if any.
+    pub mem: Option<MemAccess>,
+    /// Whether a conditional branch was taken.
+    pub branch_taken: bool,
+    /// Trap cause if this step ended in a trap (exception or ecall).
+    pub trap_cause: Option<u64>,
+    /// Page-table-walk memory reads performed (fetch + data).
+    pub walk_reads: u8,
+    /// PCU events.
+    pub ext: ExtEvents,
+}
+
+/// Consumes retired-instruction events and charges cycles.
+///
+/// Implemented by the `isa-timing` models. The return value is added to
+/// the guest-visible cycle counter, so guest `rdcycle` measurements see
+/// modeled time.
+pub trait TimingSink {
+    /// Account one retired instruction (or trapped attempt); returns the
+    /// number of cycles it consumed.
+    fn retire(&mut self, ev: &Retired) -> u64;
+
+    /// Account an asynchronous interrupt redirect.
+    fn interrupt(&mut self) -> u64 {
+        10
+    }
+
+    /// Downcast support so harnesses can read model-specific statistics
+    /// back out of a boxed sink.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// Functional-only timing: every instruction takes one cycle.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTiming;
+
+impl TimingSink for NullTiming {
+    fn retire(&mut self, _ev: &Retired) -> u64 {
+        1
+    }
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// The guest wrote the HALT MMIO register; payload is the exit code.
+    Halted(u64),
+    /// The step budget was exhausted.
+    StepLimit,
+}
+
+/// A complete simulated machine: CPU core, bus, extension, timing model.
+pub struct Machine<E: Extension> {
+    /// Architectural CPU state.
+    pub cpu: CpuState,
+    /// Physical memory and devices.
+    pub bus: Bus,
+    /// The hardware extension (PCU) plugged into the pipeline.
+    pub ext: E,
+    /// The cycle-cost model.
+    pub timing: Box<dyn TimingSink>,
+    /// Total steps executed.
+    pub steps: u64,
+    /// When set, raise the supervisor timer interrupt (STIP) every `n`
+    /// steps — a minimal CLINT-style timer device.
+    pub timer_every: Option<u64>,
+    /// Count of traps taken, by cause (index = cause for exceptions).
+    pub trap_counts: std::collections::BTreeMap<u64, u64>,
+}
+
+impl<E: Extension> Machine<E> {
+    /// Build a machine with default RAM, PC at the RAM base.
+    pub fn new(ext: E) -> Machine<E> {
+        let bus = Bus::default();
+        let entry = bus.ram_base();
+        Machine {
+            cpu: CpuState::new(entry),
+            bus,
+            ext,
+            timing: Box::new(NullTiming),
+            steps: 0,
+            timer_every: None,
+            trap_counts: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Replace the timing model.
+    pub fn with_timing(mut self, t: Box<dyn TimingSink>) -> Machine<E> {
+        self.timing = t;
+        self
+    }
+
+    /// Load a program image into RAM and point the PC at its base.
+    pub fn load_program(&mut self, prog: &isa_asm::Program) {
+        self.bus.write_bytes(prog.base, &prog.bytes);
+        self.cpu.pc = prog.base;
+    }
+
+    /// Raise or clear an interrupt-pending bit (host-side device model).
+    pub fn set_pending(&mut self, irq: Interrupt, pending: bool) {
+        let mip = self.cpu.csrs.read_raw(addr::MIP);
+        let new = if pending { mip | irq.mask() } else { mip & !irq.mask() };
+        self.cpu.csrs.write_raw(addr::MIP, new);
+    }
+
+    /// Run until halt or `max_steps`.
+    pub fn run(&mut self, max_steps: u64) -> Exit {
+        for _ in 0..max_steps {
+            self.step();
+            if let Some(code) = self.bus.halted {
+                return Exit::Halted(code);
+            }
+        }
+        Exit::StepLimit
+    }
+
+    /// Execute one instruction (or take one interrupt). Returns the
+    /// retired-event record for the step, if an instruction was attempted.
+    pub fn step(&mut self) -> Option<Retired> {
+        self.steps += 1;
+        if let Some(n) = self.timer_every {
+            if self.steps.is_multiple_of(n) {
+                self.set_pending(Interrupt::SupervisorTimer, true);
+            }
+        }
+        if let Some(irq) = self.pending_interrupt() {
+            self.take_interrupt(irq);
+            let cycles = self.timing.interrupt();
+            self.cpu.csrs.add_cycles(cycles);
+            return None;
+        }
+
+        let pc = self.cpu.pc;
+        let priv_level = self.cpu.priv_level;
+        let mut ev = Retired {
+            pc,
+            fetch_paddr: pc,
+            next_pc: pc,
+            kind: None,
+            raw: 0,
+            priv_level,
+            mem: None,
+            branch_taken: false,
+            trap_cause: None,
+            walk_reads: 0,
+            ext: ExtEvents::default(),
+        };
+
+        let result = self.fetch_and_execute(&mut ev);
+        match result {
+            Ok(next_pc) => {
+                self.cpu.pc = next_pc;
+                ev.next_pc = next_pc;
+                self.cpu.csrs.add_instret(1);
+            }
+            Err(e) => {
+                ev.trap_cause = Some(e.cause());
+                self.take_trap(e);
+                ev.next_pc = self.cpu.pc;
+            }
+        }
+        ev.ext = self.ext.drain_events();
+        let cycles = self.timing.retire(&ev);
+        self.cpu.csrs.add_cycles(cycles);
+        Some(ev)
+    }
+
+    fn fetch_and_execute(&mut self, ev: &mut Retired) -> Result<u64, Exception> {
+        let pc = self.cpu.pc;
+        if !pc.is_multiple_of(4) {
+            return Err(Exception::InstMisaligned(pc));
+        }
+        let ctx = self.cpu.walk_ctx(self.cpu.priv_level);
+        let tr = mmu::translate(&mut self.bus, ctx, pc, Access::Exec)?;
+        ev.walk_reads += tr.walk_reads;
+        if tr.walk_reads > 0 {
+            self.cpu.csrs.count_walk();
+        }
+        ev.fetch_paddr = tr.paddr;
+        let raw = self
+            .bus
+            .load(tr.paddr, 4)
+            .ok_or(Exception::InstAccessFault(pc))? as u32;
+        ev.raw = raw;
+        let d = decode(raw)?;
+        ev.kind = Some(d.kind);
+
+        // ISA-Grid: the PCU checks every instruction to be executed.
+        self.ext.check_inst(&self.cpu, &mut self.bus, &d)?;
+
+        self.execute(&d, ev)
+    }
+
+    /// Execute a decoded instruction at the current PC; returns next PC.
+    fn execute(&mut self, d: &Decoded, ev: &mut Retired) -> Result<u64, Exception> {
+        use Kind::*;
+        let cpu = &mut self.cpu;
+        let pc = cpu.pc;
+        let next = pc.wrapping_add(4);
+        let rs1 = cpu.reg(d.rs1);
+        let rs2 = cpu.reg(d.rs2);
+
+        match d.kind {
+            Lui => cpu.set_reg(d.rd, d.imm as u64),
+            Auipc => cpu.set_reg(d.rd, pc.wrapping_add(d.imm as u64)),
+            Jal => {
+                let target = pc.wrapping_add(d.imm as u64);
+                if !target.is_multiple_of(4) {
+                    return Err(Exception::InstMisaligned(target));
+                }
+                cpu.set_reg(d.rd, next);
+                return Ok(target);
+            }
+            Jalr => {
+                let target = rs1.wrapping_add(d.imm as u64) & !1;
+                if !target.is_multiple_of(4) {
+                    return Err(Exception::InstMisaligned(target));
+                }
+                cpu.set_reg(d.rd, next);
+                return Ok(target);
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let taken = match d.kind {
+                    Beq => rs1 == rs2,
+                    Bne => rs1 != rs2,
+                    Blt => (rs1 as i64) < rs2 as i64,
+                    Bge => (rs1 as i64) >= rs2 as i64,
+                    Bltu => rs1 < rs2,
+                    _ => rs1 >= rs2,
+                };
+                ev.branch_taken = taken;
+                if taken {
+                    let target = pc.wrapping_add(d.imm as u64);
+                    if !target.is_multiple_of(4) {
+                        return Err(Exception::InstMisaligned(target));
+                    }
+                    return Ok(target);
+                }
+            }
+            Lb | Lh | Lw | Ld | Lbu | Lhu | Lwu => {
+                let vaddr = rs1.wrapping_add(d.imm as u64);
+                let len = match d.kind {
+                    Lb | Lbu => 1,
+                    Lh | Lhu => 2,
+                    Lw | Lwu => 4,
+                    _ => 8,
+                };
+                let v = self.mem_load(vaddr, len, ev)?;
+                let v = match d.kind {
+                    Lb => v as i8 as i64 as u64,
+                    Lh => v as i16 as i64 as u64,
+                    Lw => v as i32 as i64 as u64,
+                    _ => v,
+                };
+                self.cpu.set_reg(d.rd, v);
+            }
+            Sb | Sh | Sw | Sd => {
+                let vaddr = rs1.wrapping_add(d.imm as u64);
+                let len = match d.kind {
+                    Sb => 1,
+                    Sh => 2,
+                    Sw => 4,
+                    _ => 8,
+                };
+                self.store(vaddr, len, rs2, ev)?;
+            }
+            Addi => cpu.set_reg(d.rd, rs1.wrapping_add(d.imm as u64)),
+            Slti => cpu.set_reg(d.rd, ((rs1 as i64) < d.imm) as u64),
+            Sltiu => cpu.set_reg(d.rd, (rs1 < d.imm as u64) as u64),
+            Xori => cpu.set_reg(d.rd, rs1 ^ d.imm as u64),
+            Ori => cpu.set_reg(d.rd, rs1 | d.imm as u64),
+            Andi => cpu.set_reg(d.rd, rs1 & d.imm as u64),
+            Slli => cpu.set_reg(d.rd, rs1 << d.imm),
+            Srli => cpu.set_reg(d.rd, rs1 >> d.imm),
+            Srai => cpu.set_reg(d.rd, ((rs1 as i64) >> d.imm) as u64),
+            Add => cpu.set_reg(d.rd, rs1.wrapping_add(rs2)),
+            Sub => cpu.set_reg(d.rd, rs1.wrapping_sub(rs2)),
+            Sll => cpu.set_reg(d.rd, rs1 << (rs2 & 63)),
+            Slt => cpu.set_reg(d.rd, ((rs1 as i64) < rs2 as i64) as u64),
+            Sltu => cpu.set_reg(d.rd, (rs1 < rs2) as u64),
+            Xor => cpu.set_reg(d.rd, rs1 ^ rs2),
+            Srl => cpu.set_reg(d.rd, rs1 >> (rs2 & 63)),
+            Sra => cpu.set_reg(d.rd, ((rs1 as i64) >> (rs2 & 63)) as u64),
+            Or => cpu.set_reg(d.rd, rs1 | rs2),
+            And => cpu.set_reg(d.rd, rs1 & rs2),
+            Addiw => cpu.set_reg(d.rd, (rs1 as i32).wrapping_add(d.imm as i32) as i64 as u64),
+            Slliw => cpu.set_reg(d.rd, ((rs1 as u32) << d.imm) as i32 as i64 as u64),
+            Srliw => cpu.set_reg(d.rd, ((rs1 as u32) >> d.imm) as i32 as i64 as u64),
+            Sraiw => cpu.set_reg(d.rd, ((rs1 as i32) >> d.imm) as i64 as u64),
+            Addw => cpu.set_reg(d.rd, (rs1 as i32).wrapping_add(rs2 as i32) as i64 as u64),
+            Subw => cpu.set_reg(d.rd, (rs1 as i32).wrapping_sub(rs2 as i32) as i64 as u64),
+            Sllw => cpu.set_reg(d.rd, ((rs1 as u32) << (rs2 & 31)) as i32 as i64 as u64),
+            Srlw => cpu.set_reg(d.rd, ((rs1 as u32) >> (rs2 & 31)) as i32 as i64 as u64),
+            Sraw => cpu.set_reg(d.rd, ((rs1 as i32) >> (rs2 & 31)) as i64 as u64),
+            Mul => cpu.set_reg(d.rd, rs1.wrapping_mul(rs2)),
+            Mulh => {
+                let v = ((rs1 as i64 as i128).wrapping_mul(rs2 as i64 as i128) >> 64) as u64;
+                cpu.set_reg(d.rd, v);
+            }
+            Mulhsu => {
+                let v = ((rs1 as i64 as i128).wrapping_mul(rs2 as u128 as i128) >> 64) as u64;
+                cpu.set_reg(d.rd, v);
+            }
+            Mulhu => {
+                let v = ((rs1 as u128).wrapping_mul(rs2 as u128) >> 64) as u64;
+                cpu.set_reg(d.rd, v);
+            }
+            Div => {
+                let v = if rs2 == 0 {
+                    u64::MAX
+                } else if rs1 as i64 == i64::MIN && rs2 as i64 == -1 {
+                    rs1
+                } else {
+                    ((rs1 as i64) / (rs2 as i64)) as u64
+                };
+                cpu.set_reg(d.rd, v);
+            }
+            Divu => cpu.set_reg(d.rd, rs1.checked_div(rs2).unwrap_or(u64::MAX)),
+            Rem => {
+                let v = if rs2 == 0 {
+                    rs1
+                } else if rs1 as i64 == i64::MIN && rs2 as i64 == -1 {
+                    0
+                } else {
+                    ((rs1 as i64) % (rs2 as i64)) as u64
+                };
+                cpu.set_reg(d.rd, v);
+            }
+            Remu => cpu.set_reg(d.rd, if rs2 == 0 { rs1 } else { rs1 % rs2 }),
+            Mulw => cpu.set_reg(d.rd, (rs1 as i32).wrapping_mul(rs2 as i32) as i64 as u64),
+            Divw => {
+                let (a, b) = (rs1 as i32, rs2 as i32);
+                let v = if b == 0 {
+                    -1i64
+                } else if a == i32::MIN && b == -1 {
+                    a as i64
+                } else {
+                    (a / b) as i64
+                };
+                cpu.set_reg(d.rd, v as u64);
+            }
+            Divuw => {
+                let (a, b) = (rs1 as u32, rs2 as u32);
+                let v = a
+                    .checked_div(b)
+                    .map(|q| q as i32 as i64 as u64)
+                    .unwrap_or(u64::MAX);
+                cpu.set_reg(d.rd, v);
+            }
+            Remw => {
+                let (a, b) = (rs1 as i32, rs2 as i32);
+                let v = if b == 0 {
+                    a as i64
+                } else if a == i32::MIN && b == -1 {
+                    0
+                } else {
+                    (a % b) as i64
+                };
+                cpu.set_reg(d.rd, v as u64);
+            }
+            Remuw => {
+                let (a, b) = (rs1 as u32, rs2 as u32);
+                let v = if b == 0 { a as i32 as i64 as u64 } else { (a % b) as i32 as i64 as u64 };
+                cpu.set_reg(d.rd, v);
+            }
+            LrW | LrD => {
+                let len = if d.kind == LrW { 4 } else { 8 };
+                let vaddr = rs1;
+                let v = self.mem_load(vaddr, len, ev)?;
+                let v = if d.kind == LrW { v as i32 as i64 as u64 } else { v };
+                self.cpu.set_reg(d.rd, v);
+                self.cpu.reservation = Some(ev.mem.map(|m| m.paddr).unwrap_or(vaddr));
+            }
+            ScW | ScD => {
+                let len = if d.kind == ScW { 4 } else { 8 };
+                let vaddr = rs1;
+                // Translate first so a bad SC still faults.
+                let ctx = self.cpu.walk_ctx(self.cpu.priv_level);
+                let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Write)?;
+                if self.cpu.reservation == Some(tr.paddr) {
+                    self.store(vaddr, len, rs2, ev)?;
+                    self.cpu.set_reg(d.rd, 0);
+                } else {
+                    self.cpu.set_reg(d.rd, 1);
+                }
+                self.cpu.reservation = None;
+            }
+            k if k.is_amo() => {
+                let len = if matches!(
+                    k,
+                    AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW
+                ) {
+                    4
+                } else {
+                    8
+                };
+                let vaddr = rs1;
+                let old = self.amo_load(vaddr, len, ev)?;
+                let old_sx = if len == 4 { old as i32 as i64 as u64 } else { old };
+                let new = match k {
+                    AmoswapW | AmoswapD => rs2,
+                    AmoaddW => (old_sx as i64).wrapping_add(rs2 as i64) as u64,
+                    AmoaddD => old.wrapping_add(rs2),
+                    AmoxorW | AmoxorD => old_sx ^ rs2,
+                    AmoandW | AmoandD => old_sx & rs2,
+                    AmoorW | AmoorD => old_sx | rs2,
+                    _ => unreachable!(),
+                };
+                self.store(vaddr, len, new, ev)?;
+                self.cpu.set_reg(d.rd, old_sx);
+            }
+            Fence | FenceI | SfenceVma => {
+                if d.kind == SfenceVma && self.cpu.priv_level == Priv::U {
+                    return Err(Exception::IllegalInst(d.raw as u64));
+                }
+            }
+            Wfi => {
+                if self.cpu.priv_level == Priv::U {
+                    return Err(Exception::IllegalInst(d.raw as u64));
+                }
+            }
+            Ecall => return Err(Exception::EnvCall(self.cpu.priv_level)),
+            Ebreak => return Err(Exception::Breakpoint(pc)),
+            Mret => {
+                if self.cpu.priv_level != Priv::M {
+                    return Err(Exception::IllegalInst(d.raw as u64));
+                }
+                return Ok(self.do_mret());
+            }
+            Sret => {
+                if self.cpu.priv_level == Priv::U {
+                    return Err(Exception::IllegalInst(d.raw as u64));
+                }
+                return Ok(self.do_sret());
+            }
+            Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => {
+                self.exec_csr(d)?;
+            }
+            Hccall | Hccalls | Hcrets | Pfch | Pflh => {
+                let Machine { cpu, bus, ext, .. } = self;
+                match ext.exec_custom(cpu, bus, d)? {
+                    Flow::Next => {}
+                    Flow::Jump(target) => {
+                        if target % 4 != 0 {
+                            return Err(Exception::InstMisaligned(target));
+                        }
+                        return Ok(target);
+                    }
+                }
+            }
+            _ => unreachable!("unhandled kind {:?}", d.kind),
+        }
+        Ok(next)
+    }
+
+    fn exec_csr(&mut self, d: &Decoded) -> Result<(), Exception> {
+        use Kind::*;
+        let csr = d.csr;
+        let imm_form = matches!(d.kind, Csrrwi | Csrrsi | Csrrci);
+        let src = if imm_form { d.rs1 as u64 } else { self.cpu.reg(d.rs1) };
+        let is_write =
+            matches!(d.kind, Csrrw | Csrrwi) || ((d.rs1 != 0) && !matches!(d.kind, Csrrw | Csrrwi));
+        let is_read = !(matches!(d.kind, Csrrw | Csrrwi) && d.rd == 0);
+
+        // Architectural privilege-level check.
+        if CsrFile::required_priv(csr) > self.cpu.priv_level {
+            return Err(Exception::IllegalInst(d.raw as u64));
+        }
+        if is_write && CsrFile::is_read_only(csr) {
+            return Err(Exception::IllegalInst(d.raw as u64));
+        }
+
+        let owned = self.ext.csr_owned(csr);
+        let old = if owned {
+            self.ext.read_csr(&self.cpu, csr)?
+        } else {
+            self.cpu.csrs.read_raw(csr)
+        };
+        let new = match d.kind {
+            Csrrw | Csrrwi => src,
+            Csrrs | Csrrsi => old | src,
+            _ => old & !src,
+        };
+
+        // ISA-Grid register privilege check (double-bitmap + bit-masks).
+        self.ext
+            .check_csr(&self.cpu, &mut self.bus, csr, is_read, is_write, old, new)?;
+
+        if is_write {
+            if owned {
+                let Machine { cpu, bus, ext, .. } = self;
+                ext.write_csr(cpu, bus, csr, new)?;
+            } else {
+                self.cpu.csrs.write_raw(csr, new);
+            }
+        }
+        if is_read {
+            self.cpu.set_reg(d.rd, old);
+        }
+        Ok(())
+    }
+
+    fn effective_data_priv(&self) -> Priv {
+        self.cpu.priv_level
+    }
+
+    fn check_aligned(vaddr: u64, len: u8, write: bool) -> Result<(), Exception> {
+        if len > 1 && !vaddr.is_multiple_of(len as u64) {
+            return Err(if write {
+                Exception::StoreMisaligned(vaddr)
+            } else {
+                Exception::LoadMisaligned(vaddr)
+            });
+        }
+        Ok(())
+    }
+
+    fn mem_load(&mut self, vaddr: u64, len: u8, ev: &mut Retired) -> Result<u64, Exception> {
+        Self::check_aligned(vaddr, len, false)?;
+        let ctx = self.cpu.walk_ctx(self.effective_data_priv());
+        let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Read)?;
+        ev.walk_reads += tr.walk_reads;
+        if tr.walk_reads > 0 {
+            self.cpu.csrs.count_walk();
+        }
+        self.ext.check_phys(&self.cpu, tr.paddr, len, false)?;
+        let v = self
+            .bus
+            .load(tr.paddr, len)
+            .ok_or(Exception::LoadAccessFault(vaddr))?;
+        ev.mem = Some(MemAccess { vaddr, paddr: tr.paddr, len, write: false });
+        Ok(v)
+    }
+
+    /// AMO read half: translated with Write access rights per the spec.
+    fn amo_load(&mut self, vaddr: u64, len: u8, ev: &mut Retired) -> Result<u64, Exception> {
+        Self::check_aligned(vaddr, len, true)?;
+        let ctx = self.cpu.walk_ctx(self.effective_data_priv());
+        let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Write)?;
+        ev.walk_reads += tr.walk_reads;
+        self.ext.check_phys(&self.cpu, tr.paddr, len, true)?;
+        self.wp_check(tr.paddr, len)?;
+        self.bus
+            .load(tr.paddr, len)
+            .ok_or(Exception::StoreAccessFault(vaddr))
+    }
+
+    fn store(&mut self, vaddr: u64, len: u8, val: u64, ev: &mut Retired) -> Result<(), Exception> {
+        Self::check_aligned(vaddr, len, true)?;
+        let ctx = self.cpu.walk_ctx(self.effective_data_priv());
+        let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Write)?;
+        ev.walk_reads += tr.walk_reads;
+        if tr.walk_reads > 0 {
+            self.cpu.csrs.count_walk();
+        }
+        self.ext.check_phys(&self.cpu, tr.paddr, len, true)?;
+        self.wp_check(tr.paddr, len)?;
+        self.bus
+            .store(tr.paddr, len, val)
+            .ok_or(Exception::StoreAccessFault(vaddr))?;
+        ev.mem = Some(MemAccess { vaddr, paddr: tr.paddr, len, write: true });
+        Ok(())
+    }
+
+    /// The CR0.WP analogue: when `wpctl` bit 0 is set, S/U-mode stores to
+    /// `[wpbase, wplimit)` fault. The nested-monitor use case (§6.2)
+    /// protects page tables with this range and toggles `wpctl` inside
+    /// the monitor's ISA domain.
+    fn wp_check(&self, paddr: u64, len: u8) -> Result<(), Exception> {
+        if self.cpu.priv_level == Priv::M {
+            return Ok(());
+        }
+        let c = &self.cpu.csrs;
+        if c.read_raw(addr::WPCTL) & 1 == 0 {
+            return Ok(());
+        }
+        let base = c.read_raw(addr::WPBASE);
+        let limit = c.read_raw(addr::WPLIMIT);
+        let end = paddr + len as u64;
+        if end > base && paddr < limit {
+            return Err(Exception::StoreAccessFault(paddr));
+        }
+        Ok(())
+    }
+
+    fn do_mret(&mut self) -> u64 {
+        let m = self.cpu.csrs.read_raw(addr::MSTATUS);
+        let mpp = Priv::from_bits((m & mstatus::MPP_MASK) >> mstatus::MPP_SHIFT);
+        let mpie = m & mstatus::MPIE != 0;
+        let mut new = m & !(mstatus::MIE | mstatus::MPIE | mstatus::MPP_MASK);
+        if mpie {
+            new |= mstatus::MIE;
+        }
+        new |= mstatus::MPIE;
+        self.cpu.csrs.write_raw(addr::MSTATUS, new);
+        self.cpu.priv_level = mpp;
+        self.cpu.csrs.read_raw(addr::MEPC)
+    }
+
+    fn do_sret(&mut self) -> u64 {
+        let m = self.cpu.csrs.read_raw(addr::MSTATUS);
+        let spp = if m & mstatus::SPP != 0 { Priv::S } else { Priv::U };
+        let spie = m & mstatus::SPIE != 0;
+        let mut new = m & !(mstatus::SIE | mstatus::SPIE | mstatus::SPP);
+        if spie {
+            new |= mstatus::SIE;
+        }
+        new |= mstatus::SPIE;
+        self.cpu.csrs.write_raw(addr::MSTATUS, new);
+        self.cpu.priv_level = spp;
+        self.cpu.csrs.read_raw(addr::SEPC)
+    }
+
+    /// Take a synchronous trap: update cause/epc/tval/status and redirect
+    /// to the handler, honoring `medeleg`.
+    pub fn take_trap(&mut self, e: Exception) {
+        *self.trap_counts.entry(e.cause()).or_insert(0) += 1;
+        self.cpu.csrs.count_trap();
+        let cause = e.cause();
+        let deleg = self.cpu.csrs.read_raw(addr::MEDELEG);
+        let to_s = self.cpu.priv_level != Priv::M && cause < 64 && deleg & (1 << cause) != 0;
+        let pc = self.cpu.pc;
+        if to_s {
+            self.cpu.csrs.write_raw(addr::SCAUSE, cause);
+            self.cpu.csrs.write_raw(addr::SEPC, pc);
+            self.cpu.csrs.write_raw(addr::STVAL, e.tval());
+            let mut m = self.cpu.csrs.read_raw(addr::MSTATUS);
+            // SPIE <- SIE; SIE <- 0; SPP <- priv.
+            m = if m & mstatus::SIE != 0 { m | mstatus::SPIE } else { m & !mstatus::SPIE };
+            m &= !mstatus::SIE;
+            m = if self.cpu.priv_level == Priv::S { m | mstatus::SPP } else { m & !mstatus::SPP };
+            self.cpu.csrs.write_raw(addr::MSTATUS, m);
+            self.cpu.priv_level = Priv::S;
+            self.cpu.pc = self.cpu.csrs.read_raw(addr::STVEC) & !3;
+        } else {
+            self.cpu.csrs.write_raw(addr::MCAUSE, cause);
+            self.cpu.csrs.write_raw(addr::MEPC, pc);
+            self.cpu.csrs.write_raw(addr::MTVAL, e.tval());
+            let mut m = self.cpu.csrs.read_raw(addr::MSTATUS);
+            m = if m & mstatus::MIE != 0 { m | mstatus::MPIE } else { m & !mstatus::MPIE };
+            m &= !(mstatus::MIE | mstatus::MPP_MASK);
+            m |= (self.cpu.priv_level as u64) << mstatus::MPP_SHIFT;
+            self.cpu.csrs.write_raw(addr::MSTATUS, m);
+            self.cpu.priv_level = Priv::M;
+            self.cpu.pc = self.cpu.csrs.read_raw(addr::MTVEC) & !3;
+        }
+    }
+
+    fn pending_interrupt(&self) -> Option<Interrupt> {
+        let mip = self.cpu.csrs.read_raw(addr::MIP);
+        let mie = self.cpu.csrs.read_raw(addr::MIE);
+        let pending = mip & mie;
+        if pending == 0 {
+            return None;
+        }
+        let mideleg = self.cpu.csrs.read_raw(addr::MIDELEG);
+        let m = self.cpu.csrs.read_raw(addr::MSTATUS);
+        use Interrupt::*;
+        for irq in [
+            MachineExternal,
+            MachineSoft,
+            MachineTimer,
+            SupervisorExternal,
+            SupervisorSoft,
+            SupervisorTimer,
+        ] {
+            if pending & irq.mask() == 0 {
+                continue;
+            }
+            let to_s = mideleg & irq.mask() != 0;
+            let take = if to_s {
+                match self.cpu.priv_level {
+                    Priv::U => true,
+                    Priv::S => m & mstatus::SIE != 0,
+                    Priv::M => false,
+                }
+            } else {
+                match self.cpu.priv_level {
+                    Priv::M => m & mstatus::MIE != 0,
+                    _ => true,
+                }
+            };
+            if take {
+                return Some(irq);
+            }
+        }
+        None
+    }
+
+    fn take_interrupt(&mut self, irq: Interrupt) {
+        *self.trap_counts.entry(irq.cause()).or_insert(0) += 1;
+        self.cpu.csrs.count_trap();
+        let mideleg = self.cpu.csrs.read_raw(addr::MIDELEG);
+        let to_s = mideleg & irq.mask() != 0;
+        let pc = self.cpu.pc;
+        if to_s {
+            self.cpu.csrs.write_raw(addr::SCAUSE, irq.cause());
+            self.cpu.csrs.write_raw(addr::SEPC, pc);
+            self.cpu.csrs.write_raw(addr::STVAL, 0);
+            let mut m = self.cpu.csrs.read_raw(addr::MSTATUS);
+            m = if m & mstatus::SIE != 0 { m | mstatus::SPIE } else { m & !mstatus::SPIE };
+            m &= !mstatus::SIE;
+            m = if self.cpu.priv_level == Priv::S { m | mstatus::SPP } else { m & !mstatus::SPP };
+            self.cpu.csrs.write_raw(addr::MSTATUS, m);
+            self.cpu.priv_level = Priv::S;
+            self.cpu.pc = self.cpu.csrs.read_raw(addr::STVEC) & !3;
+        } else {
+            self.cpu.csrs.write_raw(addr::MCAUSE, irq.cause());
+            self.cpu.csrs.write_raw(addr::MEPC, pc);
+            self.cpu.csrs.write_raw(addr::MTVAL, 0);
+            let mut m = self.cpu.csrs.read_raw(addr::MSTATUS);
+            m = if m & mstatus::MIE != 0 { m | mstatus::MPIE } else { m & !mstatus::MPIE };
+            m &= !(mstatus::MIE | mstatus::MPP_MASK);
+            m |= (self.cpu.priv_level as u64) << mstatus::MPP_SHIFT;
+            self.cpu.csrs.write_raw(addr::MSTATUS, m);
+            self.cpu.priv_level = Priv::M;
+            self.cpu.pc = self.cpu.csrs.read_raw(addr::MTVEC) & !3;
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! CSR addresses and the architectural CSR file.
+
+/// CSR address constants.
+///
+/// Standard RISC-V CSRs plus two custom groups:
+///
+/// * `0x5C0..=0x5CC` — the ISA-Grid registers of Table 2 (owned by the
+///   PCU extension; the emulator routes accesses to the extension).
+/// * `0x5D0..=0x5DB` — x86-analogue system-control registers used by the
+///   use cases (`wpctl` ≈ CR0.WP, `vfctl` ≈ MSR 0x150, `pkr` ≈ PKRU/PKRS,
+///   `mtrr*` ≈ MTRRs, `btbctl` ≈ MSR 0x48/0x49, `dbg*` ≈ DR0–7).
+pub mod addr {
+    /// Supervisor status (restricted view of `mstatus`).
+    pub const SSTATUS: u16 = 0x100;
+    /// Supervisor interrupt enable.
+    pub const SIE: u16 = 0x104;
+    /// Supervisor trap vector.
+    pub const STVEC: u16 = 0x105;
+    /// Supervisor scratch.
+    pub const SSCRATCH: u16 = 0x140;
+    /// Supervisor exception PC.
+    pub const SEPC: u16 = 0x141;
+    /// Supervisor trap cause.
+    pub const SCAUSE: u16 = 0x142;
+    /// Supervisor trap value.
+    pub const STVAL: u16 = 0x143;
+    /// Supervisor interrupt pending.
+    pub const SIP: u16 = 0x144;
+    /// Supervisor address translation and protection.
+    pub const SATP: u16 = 0x180;
+
+    /// Machine status.
+    pub const MSTATUS: u16 = 0x300;
+    /// Machine ISA.
+    pub const MISA: u16 = 0x301;
+    /// Machine exception delegation.
+    pub const MEDELEG: u16 = 0x302;
+    /// Machine interrupt delegation.
+    pub const MIDELEG: u16 = 0x303;
+    /// Machine interrupt enable.
+    pub const MIE: u16 = 0x304;
+    /// Machine trap vector.
+    pub const MTVEC: u16 = 0x305;
+    /// Machine scratch.
+    pub const MSCRATCH: u16 = 0x340;
+    /// Machine exception PC.
+    pub const MEPC: u16 = 0x341;
+    /// Machine trap cause.
+    pub const MCAUSE: u16 = 0x342;
+    /// Machine trap value.
+    pub const MTVAL: u16 = 0x343;
+    /// Machine interrupt pending.
+    pub const MIP: u16 = 0x344;
+
+    /// Cycle counter (read-only user view).
+    pub const CYCLE: u16 = 0xC00;
+    /// Wall-clock time (we alias it to cycles).
+    pub const TIME: u16 = 0xC01;
+    /// Retired-instruction counter.
+    pub const INSTRET: u16 = 0xC02;
+    /// Performance counter 3 — counts taken traps (≈ interrupt PMC).
+    pub const HPMCOUNTER3: u16 = 0xC03;
+    /// Performance counter 4 — counts page-table walks (≈ iTLB-miss PMC).
+    pub const HPMCOUNTER4: u16 = 0xC04;
+
+    /// Machine cycle counter.
+    pub const MCYCLE: u16 = 0xB00;
+    /// Machine retired-instruction counter.
+    pub const MINSTRET: u16 = 0xB02;
+
+    /// Vendor id (read-only).
+    pub const MVENDORID: u16 = 0xF11;
+    /// Architecture id (read-only).
+    pub const MARCHID: u16 = 0xF12;
+    /// Implementation id (read-only).
+    pub const MIMPID: u16 = 0xF13;
+    /// Hart id (read-only).
+    pub const MHARTID: u16 = 0xF14;
+
+    // --- ISA-Grid registers (Table 2), extension-owned ---
+
+    /// Current ISA domain id (read-only; only gates change it).
+    pub const GRID_DOMAIN: u16 = 0x5C0;
+    /// Previous ISA domain id (read-only).
+    pub const GRID_PDOMAIN: u16 = 0x5C1;
+    /// Number of valid domains.
+    pub const GRID_DOMAIN_NR: u16 = 0x5C2;
+    /// Base address of the CSR register bitmaps.
+    pub const GRID_CSR_CAP: u16 = 0x5C3;
+    /// Base address of the CSR bit-mask arrays.
+    pub const GRID_CSR_MASK: u16 = 0x5C4;
+    /// Base address of the instruction bitmaps.
+    pub const GRID_INST_CAP: u16 = 0x5C5;
+    /// Base address of the switching gate table.
+    pub const GRID_GATE_ADDR: u16 = 0x5C6;
+    /// Number of valid gates.
+    pub const GRID_GATE_NR: u16 = 0x5C7;
+    /// Trusted stack pointer.
+    pub const GRID_HCSP: u16 = 0x5C8;
+    /// Trusted stack base.
+    pub const GRID_HCSB: u16 = 0x5C9;
+    /// Trusted stack limit.
+    pub const GRID_HCSL: u16 = 0x5CA;
+    /// Trusted memory base.
+    pub const GRID_TMEMB: u16 = 0x5CB;
+    /// Trusted memory limit.
+    pub const GRID_TMEML: u16 = 0x5CC;
+
+    // --- x86-analogue control registers, emulator-owned ---
+
+    /// Write-protect control; bit 0 ≈ x86 CR0.WP for the WP range.
+    pub const WPCTL: u16 = 0x5D0;
+    /// Write-protected physical range base.
+    pub const WPBASE: u16 = 0x5D1;
+    /// Write-protected physical range limit (exclusive).
+    pub const WPLIMIT: u16 = 0x5D2;
+    /// Voltage/frequency control ≈ MSR 0x150 (the V0LTpwn target).
+    pub const VFCTL: u16 = 0x5D3;
+    /// Protection-key register ≈ PKRU/PKRS; 2 bits per key
+    /// (even bit = access-disable, odd bit = write-disable).
+    pub const PKR: u16 = 0x5D4;
+    /// Memory type range register 0 ≈ x86 MTRR.
+    pub const MTRR0: u16 = 0x5D5;
+    /// Memory type range register 1.
+    pub const MTRR1: u16 = 0x5D6;
+    /// Memory type range register 2.
+    pub const MTRR2: u16 = 0x5D7;
+    /// Memory type range register 3.
+    pub const MTRR3: u16 = 0x5D8;
+    /// Branch-target-buffer control ≈ MSR 0x48/0x49 (SgxPectre target).
+    pub const BTBCTL: u16 = 0x5D9;
+    /// Debug address register ≈ DR0 (TRESOR-HUNT target).
+    pub const DBG0: u16 = 0x5DA;
+    /// Debug control register ≈ DR7.
+    pub const DBG1: u16 = 0x5DB;
+    /// CPU identification word 0 ≈ CPUID output (supervisor-readable).
+    pub const CPUINFO0: u16 = 0x5DC;
+    /// CPU identification word 1.
+    pub const CPUINFO1: u16 = 0x5DD;
+}
+
+/// `mstatus` bit positions.
+pub mod mstatus {
+    /// Supervisor interrupt enable.
+    pub const SIE: u64 = 1 << 1;
+    /// Machine interrupt enable.
+    pub const MIE: u64 = 1 << 3;
+    /// Supervisor previous interrupt enable.
+    pub const SPIE: u64 = 1 << 5;
+    /// Machine previous interrupt enable.
+    pub const MPIE: u64 = 1 << 7;
+    /// Supervisor previous privilege (one bit).
+    pub const SPP: u64 = 1 << 8;
+    /// Machine previous privilege (two bits at 11:12).
+    pub const MPP_SHIFT: u32 = 11;
+    /// MPP field mask.
+    pub const MPP_MASK: u64 = 0b11 << 11;
+    /// Permit supervisor user-memory access.
+    pub const SUM: u64 = 1 << 18;
+    /// Make executable readable.
+    pub const MXR: u64 = 1 << 19;
+
+    /// The bits visible through the `sstatus` view.
+    pub const SSTATUS_MASK: u64 = SIE | SPIE | SPP | SUM | MXR;
+}
+
+use crate::trap::Priv;
+
+/// The architectural CSR file.
+///
+/// Stores raw 64-bit values for every implemented standard CSR and applies
+/// view/WARL semantics (`sstatus` aliasing, read-only counters). The
+/// ISA-Grid registers (0x5C0 block) are *not* stored here — the emulator
+/// routes them to the active [`crate::Extension`].
+#[derive(Debug, Clone)]
+pub struct CsrFile {
+    regs: Box<[u64; 4096]>,
+}
+
+impl Default for CsrFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CsrFile {
+    /// A reset CSR file: `misa` advertises RV64IMA, everything else zero.
+    pub fn new() -> CsrFile {
+        let mut regs = vec![0u64; 4096].into_boxed_slice();
+        // RV64 (MXL=2), extensions I, M, A, S, U.
+        let misa = (2u64 << 62) | (1 << 8) | (1 << 12) | (1 << 0) | (1 << 18) | (1 << 20);
+        regs[addr::MISA as usize] = misa;
+        regs[addr::MVENDORID as usize] = 0x1547; // arbitrary vendor id
+        regs[addr::MARCHID as usize] = 0x6772_6964; // "grid"
+        let regs: Box<[u64; 4096]> = regs.try_into().expect("length 4096");
+        CsrFile { regs }
+    }
+
+    /// Raw read without privilege checks or extension routing.
+    pub fn read_raw(&self, csr: u16) -> u64 {
+        match csr {
+            addr::SSTATUS => self.regs[addr::MSTATUS as usize] & mstatus::SSTATUS_MASK,
+            addr::SIE => self.regs[addr::MIE as usize] & self.regs[addr::MIDELEG as usize],
+            addr::SIP => self.regs[addr::MIP as usize] & self.regs[addr::MIDELEG as usize],
+            addr::CYCLE | addr::TIME => self.regs[addr::MCYCLE as usize],
+            addr::INSTRET => self.regs[addr::MINSTRET as usize],
+            _ => self.regs[csr as usize & 0xfff],
+        }
+    }
+
+    /// Raw write without privilege checks or extension routing.
+    /// Applies view semantics (writing `sstatus` only changes its subset of
+    /// `mstatus`; counter user-views are read-only and ignored).
+    pub fn write_raw(&mut self, csr: u16, val: u64) {
+        match csr {
+            addr::SSTATUS => {
+                let m = &mut self.regs[addr::MSTATUS as usize];
+                *m = (*m & !mstatus::SSTATUS_MASK) | (val & mstatus::SSTATUS_MASK);
+            }
+            addr::SIE => {
+                let deleg = self.regs[addr::MIDELEG as usize];
+                let m = &mut self.regs[addr::MIE as usize];
+                *m = (*m & !deleg) | (val & deleg);
+            }
+            addr::SIP => {
+                let deleg = self.regs[addr::MIDELEG as usize];
+                let m = &mut self.regs[addr::MIP as usize];
+                *m = (*m & !deleg) | (val & deleg);
+            }
+            addr::CYCLE | addr::TIME | addr::INSTRET | addr::HPMCOUNTER3
+            | addr::HPMCOUNTER4 => {}
+            addr::MVENDORID | addr::MARCHID | addr::MIMPID | addr::MHARTID | addr::MISA => {}
+            _ => self.regs[csr as usize & 0xfff] = val,
+        }
+    }
+
+    /// Lowest privilege level allowed to access `csr` (encoded in the
+    /// address per the privileged spec, bits 9:8).
+    pub fn required_priv(csr: u16) -> Priv {
+        match (csr >> 8) & 0b11 {
+            0b00 => Priv::U,
+            0b01 => Priv::S,
+            // 0b10 is hypervisor; treat as machine.
+            _ => Priv::M,
+        }
+    }
+
+    /// Whether the address is architecturally read-only (bits 11:10 == 11).
+    pub fn is_read_only(csr: u16) -> bool {
+        (csr >> 10) & 0b11 == 0b11
+    }
+
+    /// Increment the machine cycle counter by `n`.
+    pub fn add_cycles(&mut self, n: u64) {
+        self.regs[addr::MCYCLE as usize] = self.regs[addr::MCYCLE as usize].wrapping_add(n);
+    }
+
+    /// Increment the retired-instruction counter.
+    pub fn add_instret(&mut self, n: u64) {
+        self.regs[addr::MINSTRET as usize] =
+            self.regs[addr::MINSTRET as usize].wrapping_add(n);
+    }
+
+    /// Bump the trap performance counter (`hpmcounter3` analogue).
+    pub fn count_trap(&mut self) {
+        self.regs[addr::HPMCOUNTER3 as usize] += 1;
+    }
+
+    /// Bump the page-walk performance counter (`hpmcounter4` analogue).
+    pub fn count_walk(&mut self) {
+        self.regs[addr::HPMCOUNTER4 as usize] += 1;
+    }
+
+    /// Read the hardware-maintained performance counters directly.
+    pub fn perf(&self, csr: u16) -> u64 {
+        self.regs[csr as usize & 0xfff]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sstatus_is_a_view_of_mstatus() {
+        let mut f = CsrFile::new();
+        f.write_raw(addr::MSTATUS, mstatus::MPP_MASK | mstatus::SPP | mstatus::SIE);
+        let s = f.read_raw(addr::SSTATUS);
+        assert_eq!(s, mstatus::SPP | mstatus::SIE, "MPP must be hidden");
+        // Writing sstatus must not clobber machine-only bits.
+        f.write_raw(addr::SSTATUS, 0);
+        assert_eq!(f.read_raw(addr::MSTATUS) & mstatus::MPP_MASK, mstatus::MPP_MASK);
+    }
+
+    #[test]
+    fn sie_is_masked_by_mideleg() {
+        let mut f = CsrFile::new();
+        f.write_raw(addr::MIE, 0b1010_0000);
+        assert_eq!(f.read_raw(addr::SIE), 0, "nothing delegated yet");
+        f.write_raw(addr::MIDELEG, 0b0010_0000);
+        assert_eq!(f.read_raw(addr::SIE), 0b0010_0000);
+        // Writing SIE cannot set non-delegated bits.
+        f.write_raw(addr::SIE, 0xff);
+        assert_eq!(f.read_raw(addr::MIE) & 0b1000_0000, 0b1000_0000);
+    }
+
+    #[test]
+    fn counters_are_read_only_via_user_views() {
+        let mut f = CsrFile::new();
+        f.add_cycles(123);
+        f.write_raw(addr::CYCLE, 0);
+        assert_eq!(f.read_raw(addr::CYCLE), 123);
+        assert_eq!(f.read_raw(addr::TIME), 123);
+    }
+
+    #[test]
+    fn required_priv_follows_address_encoding() {
+        assert_eq!(CsrFile::required_priv(addr::CYCLE), Priv::U);
+        assert_eq!(CsrFile::required_priv(addr::SATP), Priv::S);
+        assert_eq!(CsrFile::required_priv(addr::MSTATUS), Priv::M);
+        assert_eq!(CsrFile::required_priv(addr::GRID_DOMAIN), Priv::S);
+        assert_eq!(CsrFile::required_priv(addr::WPCTL), Priv::S);
+    }
+
+    #[test]
+    fn read_only_address_space() {
+        assert!(CsrFile::is_read_only(addr::CYCLE));
+        assert!(CsrFile::is_read_only(addr::MVENDORID));
+        assert!(!CsrFile::is_read_only(addr::MSTATUS));
+        assert!(!CsrFile::is_read_only(addr::SATP));
+    }
+
+    #[test]
+    fn misa_advertises_rv64imasu() {
+        let f = CsrFile::new();
+        let misa = f.read_raw(addr::MISA);
+        assert_eq!(misa >> 62, 2);
+        for ext in ['A', 'I', 'M', 'S', 'U'] {
+            let bit = ext as u32 - 'A' as u32;
+            assert_ne!(misa & (1 << bit), 0, "extension {ext} missing");
+        }
+    }
+}

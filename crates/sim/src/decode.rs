@@ -1,0 +1,757 @@
+//! RV64IMA + Zicsr + ISA-Grid instruction decoder.
+
+use crate::trap::Exception;
+
+/// The instruction *class* — one variant per mnemonic.
+///
+/// ISA-Grid's hybrid privilege table controls execution privilege at this
+/// granularity: "each bit in the bitmap represents whether a particular
+/// type of instruction can be executed in an ISA domain. The instruction
+/// type is specified by the instruction opcode." (§4.1). The enum
+/// discriminant is the bit index in the per-domain instruction bitmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u16)]
+#[allow(missing_docs)] // variant names are the mnemonics themselves
+pub enum Kind {
+    Lui = 0,
+    Auipc,
+    Jal,
+    Jalr,
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    Lb,
+    Lh,
+    Lw,
+    Ld,
+    Lbu,
+    Lhu,
+    Lwu,
+    Sb,
+    Sh,
+    Sw,
+    Sd,
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Addiw,
+    Slliw,
+    Srliw,
+    Sraiw,
+    Addw,
+    Subw,
+    Sllw,
+    Srlw,
+    Sraw,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Mulw,
+    Divw,
+    Divuw,
+    Remw,
+    Remuw,
+    LrW,
+    ScW,
+    AmoswapW,
+    AmoaddW,
+    AmoxorW,
+    AmoandW,
+    AmoorW,
+    LrD,
+    ScD,
+    AmoswapD,
+    AmoaddD,
+    AmoxorD,
+    AmoandD,
+    AmoorD,
+    Fence,
+    FenceI,
+    Ecall,
+    Ebreak,
+    Csrrw,
+    Csrrs,
+    Csrrc,
+    Csrrwi,
+    Csrrsi,
+    Csrrci,
+    Mret,
+    Sret,
+    Wfi,
+    SfenceVma,
+    /// ISA-Grid basic gate instruction.
+    Hccall,
+    /// ISA-Grid extended gate instruction.
+    Hccalls,
+    /// ISA-Grid extended return instruction.
+    Hcrets,
+    /// ISA-Grid privilege-cache prefetch.
+    Pfch,
+    /// ISA-Grid privilege-cache flush.
+    Pflh,
+}
+
+impl Kind {
+    /// Total number of instruction classes (bitmap length in bits).
+    pub const COUNT: usize = Kind::Pflh as usize + 1;
+
+    /// Bit index of this class in the per-domain instruction bitmap.
+    #[inline]
+    pub fn class_index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether this is one of ISA-Grid's five new instructions.
+    pub fn is_grid_custom(self) -> bool {
+        matches!(
+            self,
+            Kind::Hccall | Kind::Hccalls | Kind::Hcrets | Kind::Pfch | Kind::Pflh
+        )
+    }
+
+    /// Whether this is a gate (domain-switching) instruction. Gate
+    /// instructions are executable in every ISA domain (§4.2); the SGT
+    /// check replaces the bitmap check for them.
+    pub fn is_gate(self) -> bool {
+        matches!(self, Kind::Hccall | Kind::Hccalls | Kind::Hcrets)
+    }
+
+    /// Whether this class explicitly accesses a CSR (and therefore goes
+    /// through the register privilege check; §4.1 exempts instructions
+    /// that touch CSRs only as a side effect).
+    pub fn is_csr_access(self) -> bool {
+        matches!(
+            self,
+            Kind::Csrrw | Kind::Csrrs | Kind::Csrrc | Kind::Csrrwi | Kind::Csrrsi | Kind::Csrrci
+        )
+    }
+
+    /// Whether executing this instruction serializes the pipeline
+    /// (used by the timing models).
+    pub fn is_serializing(self) -> bool {
+        self.is_csr_access()
+            || matches!(
+                self,
+                Kind::Fence
+                    | Kind::FenceI
+                    | Kind::Ecall
+                    | Kind::Ebreak
+                    | Kind::Mret
+                    | Kind::Sret
+                    | Kind::Wfi
+                    | Kind::SfenceVma
+            )
+            || self.is_grid_custom()
+    }
+
+    /// Whether this is a memory load (including LR and AMOs).
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            Kind::Lb | Kind::Lh | Kind::Lw | Kind::Ld | Kind::Lbu | Kind::Lhu | Kind::Lwu
+                | Kind::LrW
+                | Kind::LrD
+        ) || self.is_amo()
+    }
+
+    /// Whether this is a memory store (including SC and AMOs).
+    pub fn is_store(self) -> bool {
+        matches!(self, Kind::Sb | Kind::Sh | Kind::Sw | Kind::Sd | Kind::ScW | Kind::ScD)
+            || self.is_amo()
+    }
+
+    /// Whether this is a read-modify-write atomic.
+    pub fn is_amo(self) -> bool {
+        matches!(
+            self,
+            Kind::AmoswapW
+                | Kind::AmoaddW
+                | Kind::AmoxorW
+                | Kind::AmoandW
+                | Kind::AmoorW
+                | Kind::AmoswapD
+                | Kind::AmoaddD
+                | Kind::AmoxorD
+                | Kind::AmoandD
+                | Kind::AmoorD
+        )
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Kind::Beq | Kind::Bne | Kind::Blt | Kind::Bge | Kind::Bltu | Kind::Bgeu
+        )
+    }
+
+    /// Whether this class uses the M (multiply/divide) functional unit.
+    pub fn is_muldiv(self) -> bool {
+        matches!(
+            self,
+            Kind::Mul
+                | Kind::Mulh
+                | Kind::Mulhsu
+                | Kind::Mulhu
+                | Kind::Div
+                | Kind::Divu
+                | Kind::Rem
+                | Kind::Remu
+                | Kind::Mulw
+                | Kind::Divw
+                | Kind::Divuw
+                | Kind::Remw
+                | Kind::Remuw
+        )
+    }
+
+    /// All classes, in bitmap-index order.
+    pub fn all() -> impl Iterator<Item = Kind> {
+        // SAFETY-free enumeration: decode a table of discriminants.
+        ALL_KINDS.iter().copied()
+    }
+}
+
+// Exhaustive list used by `Kind::all` (kept in discriminant order; the
+// `kind_roundtrip` test enforces completeness).
+const ALL_KINDS: [Kind; Kind::COUNT] = [
+    Kind::Lui,
+    Kind::Auipc,
+    Kind::Jal,
+    Kind::Jalr,
+    Kind::Beq,
+    Kind::Bne,
+    Kind::Blt,
+    Kind::Bge,
+    Kind::Bltu,
+    Kind::Bgeu,
+    Kind::Lb,
+    Kind::Lh,
+    Kind::Lw,
+    Kind::Ld,
+    Kind::Lbu,
+    Kind::Lhu,
+    Kind::Lwu,
+    Kind::Sb,
+    Kind::Sh,
+    Kind::Sw,
+    Kind::Sd,
+    Kind::Addi,
+    Kind::Slti,
+    Kind::Sltiu,
+    Kind::Xori,
+    Kind::Ori,
+    Kind::Andi,
+    Kind::Slli,
+    Kind::Srli,
+    Kind::Srai,
+    Kind::Add,
+    Kind::Sub,
+    Kind::Sll,
+    Kind::Slt,
+    Kind::Sltu,
+    Kind::Xor,
+    Kind::Srl,
+    Kind::Sra,
+    Kind::Or,
+    Kind::And,
+    Kind::Addiw,
+    Kind::Slliw,
+    Kind::Srliw,
+    Kind::Sraiw,
+    Kind::Addw,
+    Kind::Subw,
+    Kind::Sllw,
+    Kind::Srlw,
+    Kind::Sraw,
+    Kind::Mul,
+    Kind::Mulh,
+    Kind::Mulhsu,
+    Kind::Mulhu,
+    Kind::Div,
+    Kind::Divu,
+    Kind::Rem,
+    Kind::Remu,
+    Kind::Mulw,
+    Kind::Divw,
+    Kind::Divuw,
+    Kind::Remw,
+    Kind::Remuw,
+    Kind::LrW,
+    Kind::ScW,
+    Kind::AmoswapW,
+    Kind::AmoaddW,
+    Kind::AmoxorW,
+    Kind::AmoandW,
+    Kind::AmoorW,
+    Kind::LrD,
+    Kind::ScD,
+    Kind::AmoswapD,
+    Kind::AmoaddD,
+    Kind::AmoxorD,
+    Kind::AmoandD,
+    Kind::AmoorD,
+    Kind::Fence,
+    Kind::FenceI,
+    Kind::Ecall,
+    Kind::Ebreak,
+    Kind::Csrrw,
+    Kind::Csrrs,
+    Kind::Csrrc,
+    Kind::Csrrwi,
+    Kind::Csrrsi,
+    Kind::Csrrci,
+    Kind::Mret,
+    Kind::Sret,
+    Kind::Wfi,
+    Kind::SfenceVma,
+    Kind::Hccall,
+    Kind::Hccalls,
+    Kind::Hcrets,
+    Kind::Pfch,
+    Kind::Pflh,
+];
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// Raw 32-bit encoding.
+    pub raw: u32,
+    /// Instruction class (mnemonic).
+    pub kind: Kind,
+    /// Destination register index.
+    pub rd: u8,
+    /// First source register index.
+    pub rs1: u8,
+    /// Second source register index.
+    pub rs2: u8,
+    /// Sign-extended immediate (branch/jump offsets are byte offsets).
+    pub imm: i64,
+    /// CSR address for Zicsr instructions.
+    pub csr: u16,
+}
+
+impl Decoded {
+    fn new(raw: u32, kind: Kind) -> Decoded {
+        Decoded {
+            raw,
+            kind,
+            rd: (raw >> 7 & 31) as u8,
+            rs1: (raw >> 15 & 31) as u8,
+            rs2: (raw >> 20 & 31) as u8,
+            imm: 0,
+            csr: 0,
+        }
+    }
+
+    fn with_imm(raw: u32, kind: Kind, imm: i64) -> Decoded {
+        let mut d = Decoded::new(raw, kind);
+        d.imm = imm;
+        d
+    }
+}
+
+#[inline]
+fn imm_i(raw: u32) -> i64 {
+    (raw as i32 >> 20) as i64
+}
+
+#[inline]
+fn imm_s(raw: u32) -> i64 {
+    (((raw & 0xfe00_0000) as i32 >> 20) | ((raw >> 7) & 0x1f) as i32) as i64
+}
+
+#[inline]
+fn imm_b(raw: u32) -> i64 {
+    let imm = (((raw & 0x8000_0000) as i32 >> 19) as u32)
+        | ((raw >> 7) & 1) << 11
+        | ((raw >> 25) & 0x3f) << 5
+        | ((raw >> 8) & 0xf) << 1;
+    imm as i32 as i64
+}
+
+#[inline]
+fn imm_u(raw: u32) -> i64 {
+    (raw & 0xffff_f000) as i32 as i64
+}
+
+#[inline]
+fn imm_j(raw: u32) -> i64 {
+    let imm = (((raw & 0x8000_0000) as i32 >> 11) as u32)
+        | (raw & 0x000f_f000)
+        | ((raw >> 20) & 1) << 11
+        | ((raw >> 21) & 0x3ff) << 1;
+    imm as i32 as i64
+}
+
+/// Decode one 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`Exception::IllegalInst`] (with the raw word as `tval`) for
+/// any encoding outside RV64IMA + Zicsr + the ISA-Grid custom-0 space.
+pub fn decode(raw: u32) -> Result<Decoded, Exception> {
+    let ill = || Err(Exception::IllegalInst(raw as u64));
+    let opcode = raw & 0x7f;
+    let funct3 = raw >> 12 & 7;
+    let funct7 = raw >> 25 & 0x7f;
+    let d = match opcode {
+        0b0110111 => Decoded::with_imm(raw, Kind::Lui, imm_u(raw)),
+        0b0010111 => Decoded::with_imm(raw, Kind::Auipc, imm_u(raw)),
+        0b1101111 => Decoded::with_imm(raw, Kind::Jal, imm_j(raw)),
+        0b1100111 => {
+            if funct3 != 0 {
+                return ill();
+            }
+            Decoded::with_imm(raw, Kind::Jalr, imm_i(raw))
+        }
+        0b1100011 => {
+            let kind = match funct3 {
+                0b000 => Kind::Beq,
+                0b001 => Kind::Bne,
+                0b100 => Kind::Blt,
+                0b101 => Kind::Bge,
+                0b110 => Kind::Bltu,
+                0b111 => Kind::Bgeu,
+                _ => return ill(),
+            };
+            Decoded::with_imm(raw, kind, imm_b(raw))
+        }
+        0b0000011 => {
+            let kind = match funct3 {
+                0b000 => Kind::Lb,
+                0b001 => Kind::Lh,
+                0b010 => Kind::Lw,
+                0b011 => Kind::Ld,
+                0b100 => Kind::Lbu,
+                0b101 => Kind::Lhu,
+                0b110 => Kind::Lwu,
+                _ => return ill(),
+            };
+            Decoded::with_imm(raw, kind, imm_i(raw))
+        }
+        0b0100011 => {
+            let kind = match funct3 {
+                0b000 => Kind::Sb,
+                0b001 => Kind::Sh,
+                0b010 => Kind::Sw,
+                0b011 => Kind::Sd,
+                _ => return ill(),
+            };
+            Decoded::with_imm(raw, kind, imm_s(raw))
+        }
+        0b0010011 => {
+            let kind = match funct3 {
+                0b000 => Kind::Addi,
+                0b010 => Kind::Slti,
+                0b011 => Kind::Sltiu,
+                0b100 => Kind::Xori,
+                0b110 => Kind::Ori,
+                0b111 => Kind::Andi,
+                0b001 => {
+                    if funct7 >> 1 != 0 {
+                        return ill();
+                    }
+                    Kind::Slli
+                }
+                0b101 => match funct7 >> 1 {
+                    0b000000 => Kind::Srli,
+                    0b010000 => Kind::Srai,
+                    _ => return ill(),
+                },
+                _ => unreachable!(),
+            };
+            let mut d = Decoded::with_imm(raw, kind, imm_i(raw));
+            if matches!(kind, Kind::Slli | Kind::Srli | Kind::Srai) {
+                d.imm = (raw >> 20 & 0x3f) as i64; // shamt
+            }
+            d
+        }
+        0b0011011 => {
+            let kind = match funct3 {
+                0b000 => Kind::Addiw,
+                0b001 => {
+                    if funct7 != 0 {
+                        return ill();
+                    }
+                    Kind::Slliw
+                }
+                0b101 => match funct7 {
+                    0b0000000 => Kind::Srliw,
+                    0b0100000 => Kind::Sraiw,
+                    _ => return ill(),
+                },
+                _ => return ill(),
+            };
+            let mut d = Decoded::with_imm(raw, kind, imm_i(raw));
+            if kind != Kind::Addiw {
+                d.imm = (raw >> 20 & 0x1f) as i64;
+            }
+            d
+        }
+        0b0110011 => {
+            let kind = match (funct7, funct3) {
+                (0b0000000, 0b000) => Kind::Add,
+                (0b0100000, 0b000) => Kind::Sub,
+                (0b0000000, 0b001) => Kind::Sll,
+                (0b0000000, 0b010) => Kind::Slt,
+                (0b0000000, 0b011) => Kind::Sltu,
+                (0b0000000, 0b100) => Kind::Xor,
+                (0b0000000, 0b101) => Kind::Srl,
+                (0b0100000, 0b101) => Kind::Sra,
+                (0b0000000, 0b110) => Kind::Or,
+                (0b0000000, 0b111) => Kind::And,
+                (0b0000001, 0b000) => Kind::Mul,
+                (0b0000001, 0b001) => Kind::Mulh,
+                (0b0000001, 0b010) => Kind::Mulhsu,
+                (0b0000001, 0b011) => Kind::Mulhu,
+                (0b0000001, 0b100) => Kind::Div,
+                (0b0000001, 0b101) => Kind::Divu,
+                (0b0000001, 0b110) => Kind::Rem,
+                (0b0000001, 0b111) => Kind::Remu,
+                _ => return ill(),
+            };
+            Decoded::new(raw, kind)
+        }
+        0b0111011 => {
+            let kind = match (funct7, funct3) {
+                (0b0000000, 0b000) => Kind::Addw,
+                (0b0100000, 0b000) => Kind::Subw,
+                (0b0000000, 0b001) => Kind::Sllw,
+                (0b0000000, 0b101) => Kind::Srlw,
+                (0b0100000, 0b101) => Kind::Sraw,
+                (0b0000001, 0b000) => Kind::Mulw,
+                (0b0000001, 0b100) => Kind::Divw,
+                (0b0000001, 0b101) => Kind::Divuw,
+                (0b0000001, 0b110) => Kind::Remw,
+                (0b0000001, 0b111) => Kind::Remuw,
+                _ => return ill(),
+            };
+            Decoded::new(raw, kind)
+        }
+        0b0101111 => {
+            let funct5 = funct7 >> 2;
+            let kind = match (funct5, funct3) {
+                (0b00010, 0b010) => Kind::LrW,
+                (0b00011, 0b010) => Kind::ScW,
+                (0b00001, 0b010) => Kind::AmoswapW,
+                (0b00000, 0b010) => Kind::AmoaddW,
+                (0b00100, 0b010) => Kind::AmoxorW,
+                (0b01100, 0b010) => Kind::AmoandW,
+                (0b01000, 0b010) => Kind::AmoorW,
+                (0b00010, 0b011) => Kind::LrD,
+                (0b00011, 0b011) => Kind::ScD,
+                (0b00001, 0b011) => Kind::AmoswapD,
+                (0b00000, 0b011) => Kind::AmoaddD,
+                (0b00100, 0b011) => Kind::AmoxorD,
+                (0b01100, 0b011) => Kind::AmoandD,
+                (0b01000, 0b011) => Kind::AmoorD,
+                _ => return ill(),
+            };
+            Decoded::new(raw, kind)
+        }
+        0b0001111 => match funct3 {
+            0b000 => Decoded::new(raw, Kind::Fence),
+            0b001 => Decoded::new(raw, Kind::FenceI),
+            _ => return ill(),
+        },
+        0b1110011 => match funct3 {
+            0b000 => {
+                if funct7 == 0b0001001 {
+                    Decoded::new(raw, Kind::SfenceVma)
+                } else {
+                    match raw >> 20 {
+                        0x000 => Decoded::new(raw, Kind::Ecall),
+                        0x001 => Decoded::new(raw, Kind::Ebreak),
+                        0x302 => Decoded::new(raw, Kind::Mret),
+                        0x102 => Decoded::new(raw, Kind::Sret),
+                        0x105 => Decoded::new(raw, Kind::Wfi),
+                        _ => return ill(),
+                    }
+                }
+            }
+            _ => {
+                let kind = match funct3 {
+                    0b001 => Kind::Csrrw,
+                    0b010 => Kind::Csrrs,
+                    0b011 => Kind::Csrrc,
+                    0b101 => Kind::Csrrwi,
+                    0b110 => Kind::Csrrsi,
+                    0b111 => Kind::Csrrci,
+                    _ => return ill(),
+                };
+                let mut d = Decoded::new(raw, kind);
+                d.csr = (raw >> 20) as u16 & 0xfff;
+                // For immediate forms, rs1 field is the zero-extended uimm.
+                d
+            }
+        },
+        0b0001011 => {
+            let kind = match funct3 {
+                0 => Kind::Hccall,
+                1 => Kind::Hccalls,
+                2 => Kind::Hcrets,
+                3 => Kind::Pfch,
+                4 => Kind::Pflh,
+                _ => return ill(),
+            };
+            Decoded::new(raw, kind)
+        }
+        _ => return ill(),
+    };
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa_asm::{encode, Reg};
+
+    #[test]
+    fn kind_roundtrip() {
+        // ALL_KINDS must list every discriminant exactly once, in order.
+        for (i, k) in ALL_KINDS.iter().enumerate() {
+            assert_eq!(k.class_index(), i, "{k:?} out of order");
+        }
+        assert_eq!(ALL_KINDS.len(), Kind::COUNT);
+    }
+
+    #[test]
+    fn decode_alu() {
+        let d = decode(encode::addi(Reg::A0, Reg::A1, -3)).unwrap();
+        assert_eq!(d.kind, Kind::Addi);
+        assert_eq!(d.rd, 10);
+        assert_eq!(d.rs1, 11);
+        assert_eq!(d.imm, -3);
+
+        let d = decode(encode::sub(Reg::T0, Reg::T1, Reg::T2)).unwrap();
+        assert_eq!((d.kind, d.rd, d.rs1, d.rs2), (Kind::Sub, 5, 6, 7));
+    }
+
+    #[test]
+    fn decode_shift_shamt() {
+        let d = decode(encode::srai(Reg::A0, Reg::A0, 63)).unwrap();
+        assert_eq!(d.kind, Kind::Srai);
+        assert_eq!(d.imm, 63);
+        let d = decode(encode::slliw(Reg::A0, Reg::A0, 31)).unwrap();
+        assert_eq!(d.kind, Kind::Slliw);
+        assert_eq!(d.imm, 31);
+    }
+
+    #[test]
+    fn decode_branch_offsets() {
+        for off in [-4096i32, -2, 2, 16, 4094] {
+            let d = decode(encode::beq(Reg::A0, Reg::A1, off)).unwrap();
+            assert_eq!(d.imm, off as i64, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn decode_jal_offsets() {
+        for off in [-(1i32 << 20), -2, 2, 1 << 19] {
+            let d = decode(encode::jal(Reg::Ra, off)).unwrap();
+            assert_eq!(d.kind, Kind::Jal);
+            assert_eq!(d.imm, off as i64, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn decode_store_offsets() {
+        for off in [-2048i32, -1, 0, 1, 2047] {
+            let d = decode(encode::sd(Reg::A0, Reg::Sp, off)).unwrap();
+            assert_eq!(d.kind, Kind::Sd);
+            assert_eq!(d.imm, off as i64);
+            assert_eq!(d.rs2, 10);
+            assert_eq!(d.rs1, 2);
+        }
+    }
+
+    #[test]
+    fn decode_system() {
+        assert_eq!(decode(encode::ecall()).unwrap().kind, Kind::Ecall);
+        assert_eq!(decode(encode::ebreak()).unwrap().kind, Kind::Ebreak);
+        assert_eq!(decode(encode::mret()).unwrap().kind, Kind::Mret);
+        assert_eq!(decode(encode::sret()).unwrap().kind, Kind::Sret);
+        assert_eq!(decode(encode::wfi()).unwrap().kind, Kind::Wfi);
+        assert_eq!(
+            decode(encode::sfence_vma(Reg::Zero, Reg::Zero)).unwrap().kind,
+            Kind::SfenceVma
+        );
+    }
+
+    #[test]
+    fn decode_csr() {
+        let d = decode(encode::csrrw(Reg::A0, 0x180, Reg::A1)).unwrap();
+        assert_eq!(d.kind, Kind::Csrrw);
+        assert_eq!(d.csr, 0x180);
+        let d = decode(encode::csrrsi(Reg::Zero, 0x100, 2)).unwrap();
+        assert_eq!(d.kind, Kind::Csrrsi);
+        assert_eq!(d.rs1, 2, "uimm travels in the rs1 field");
+    }
+
+    #[test]
+    fn decode_grid_customs() {
+        assert_eq!(decode(encode::hccall(Reg::A0)).unwrap().kind, Kind::Hccall);
+        assert_eq!(decode(encode::hccalls(Reg::A0)).unwrap().kind, Kind::Hccalls);
+        assert_eq!(decode(encode::hcrets()).unwrap().kind, Kind::Hcrets);
+        assert_eq!(decode(encode::pfch(Reg::A1)).unwrap().kind, Kind::Pfch);
+        assert_eq!(decode(encode::pflh(Reg::A2)).unwrap().kind, Kind::Pflh);
+    }
+
+    #[test]
+    fn illegal_encodings_are_rejected() {
+        for raw in [0u32, 0xffff_ffff, 0x0000_707b, 0x7fff_ffff] {
+            assert!(matches!(decode(raw), Err(Exception::IllegalInst(_))), "{raw:#x}");
+        }
+    }
+
+    #[test]
+    fn class_predicates_are_consistent() {
+        for k in Kind::all() {
+            if k.is_amo() {
+                assert!(k.is_load() && k.is_store(), "{k:?}");
+            }
+            if k.is_gate() {
+                assert!(k.is_grid_custom());
+                assert!(k.is_serializing());
+            }
+            if k.is_csr_access() {
+                assert!(k.is_serializing());
+            }
+        }
+    }
+
+    #[test]
+    fn amo_decodes() {
+        let d = decode(encode::amoadd_d(Reg::A0, Reg::A1, Reg::A2)).unwrap();
+        assert_eq!(d.kind, Kind::AmoaddD);
+        let d = decode(encode::lr_d(Reg::A0, Reg::A1)).unwrap();
+        assert_eq!(d.kind, Kind::LrD);
+        let d = decode(encode::sc_w(Reg::A0, Reg::A1, Reg::A2)).unwrap();
+        assert_eq!(d.kind, Kind::ScW);
+    }
+}

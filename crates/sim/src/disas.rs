@@ -1,0 +1,289 @@
+//! Disassembly: render decoded instructions back to assembly text.
+
+use std::fmt;
+
+use crate::decode::{Decoded, Kind};
+
+fn reg(n: u8) -> &'static str {
+    const NAMES: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6",
+    ];
+    NAMES[n as usize & 31]
+}
+
+/// Well-known CSR names for readable disassembly.
+fn csr_name(csr: u16) -> Option<&'static str> {
+    use crate::csr::addr::*;
+    Some(match csr {
+        SSTATUS => "sstatus",
+        SIE => "sie",
+        STVEC => "stvec",
+        SSCRATCH => "sscratch",
+        SEPC => "sepc",
+        SCAUSE => "scause",
+        STVAL => "stval",
+        SIP => "sip",
+        SATP => "satp",
+        MSTATUS => "mstatus",
+        MISA => "misa",
+        MEDELEG => "medeleg",
+        MIDELEG => "mideleg",
+        MIE => "mie",
+        MTVEC => "mtvec",
+        MSCRATCH => "mscratch",
+        MEPC => "mepc",
+        MCAUSE => "mcause",
+        MTVAL => "mtval",
+        MIP => "mip",
+        CYCLE => "cycle",
+        TIME => "time",
+        INSTRET => "instret",
+        GRID_DOMAIN => "domain",
+        GRID_PDOMAIN => "pdomain",
+        GRID_DOMAIN_NR => "domain-nr",
+        GRID_CSR_CAP => "csr-cap",
+        GRID_CSR_MASK => "csr-bit-mask",
+        GRID_INST_CAP => "inst-cap",
+        GRID_GATE_ADDR => "gate-addr",
+        GRID_GATE_NR => "gate-nr",
+        GRID_HCSP => "hcsp",
+        GRID_HCSB => "hcsb",
+        GRID_HCSL => "hcsl",
+        GRID_TMEMB => "tmemb",
+        GRID_TMEML => "tmeml",
+        WPCTL => "wpctl",
+        VFCTL => "vfctl",
+        PKR => "pkr",
+        BTBCTL => "btbctl",
+        _ => return None,
+    })
+}
+
+/// The lowercase mnemonic of a class.
+pub fn mnemonic(kind: Kind) -> &'static str {
+    use Kind::*;
+    match kind {
+        Lui => "lui",
+        Auipc => "auipc",
+        Jal => "jal",
+        Jalr => "jalr",
+        Beq => "beq",
+        Bne => "bne",
+        Blt => "blt",
+        Bge => "bge",
+        Bltu => "bltu",
+        Bgeu => "bgeu",
+        Lb => "lb",
+        Lh => "lh",
+        Lw => "lw",
+        Ld => "ld",
+        Lbu => "lbu",
+        Lhu => "lhu",
+        Lwu => "lwu",
+        Sb => "sb",
+        Sh => "sh",
+        Sw => "sw",
+        Sd => "sd",
+        Addi => "addi",
+        Slti => "slti",
+        Sltiu => "sltiu",
+        Xori => "xori",
+        Ori => "ori",
+        Andi => "andi",
+        Slli => "slli",
+        Srli => "srli",
+        Srai => "srai",
+        Add => "add",
+        Sub => "sub",
+        Sll => "sll",
+        Slt => "slt",
+        Sltu => "sltu",
+        Xor => "xor",
+        Srl => "srl",
+        Sra => "sra",
+        Or => "or",
+        And => "and",
+        Addiw => "addiw",
+        Slliw => "slliw",
+        Srliw => "srliw",
+        Sraiw => "sraiw",
+        Addw => "addw",
+        Subw => "subw",
+        Sllw => "sllw",
+        Srlw => "srlw",
+        Sraw => "sraw",
+        Mul => "mul",
+        Mulh => "mulh",
+        Mulhsu => "mulhsu",
+        Mulhu => "mulhu",
+        Div => "div",
+        Divu => "divu",
+        Rem => "rem",
+        Remu => "remu",
+        Mulw => "mulw",
+        Divw => "divw",
+        Divuw => "divuw",
+        Remw => "remw",
+        Remuw => "remuw",
+        LrW => "lr.w",
+        ScW => "sc.w",
+        AmoswapW => "amoswap.w",
+        AmoaddW => "amoadd.w",
+        AmoxorW => "amoxor.w",
+        AmoandW => "amoand.w",
+        AmoorW => "amoor.w",
+        LrD => "lr.d",
+        ScD => "sc.d",
+        AmoswapD => "amoswap.d",
+        AmoaddD => "amoadd.d",
+        AmoxorD => "amoxor.d",
+        AmoandD => "amoand.d",
+        AmoorD => "amoor.d",
+        Fence => "fence",
+        FenceI => "fence.i",
+        Ecall => "ecall",
+        Ebreak => "ebreak",
+        Csrrw => "csrrw",
+        Csrrs => "csrrs",
+        Csrrc => "csrrc",
+        Csrrwi => "csrrwi",
+        Csrrsi => "csrrsi",
+        Csrrci => "csrrci",
+        Mret => "mret",
+        Sret => "sret",
+        Wfi => "wfi",
+        SfenceVma => "sfence.vma",
+        Hccall => "hccall",
+        Hccalls => "hccalls",
+        Hcrets => "hcrets",
+        Pfch => "pfch",
+        Pflh => "pflh",
+    }
+}
+
+impl fmt::Display for Decoded {
+    /// Render as conventional assembly, e.g. `addi a0, a1, -3` or
+    /// `csrrw zero, satp, a0`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Kind::*;
+        let m = mnemonic(self.kind);
+        let (rd, rs1, rs2) = (reg(self.rd), reg(self.rs1), reg(self.rs2));
+        match self.kind {
+            Lui | Auipc => write!(f, "{m} {rd}, {:#x}", self.imm),
+            Jal => write!(f, "{m} {rd}, {:+}", self.imm),
+            Jalr => write!(f, "{m} {rd}, {}({rs1})", self.imm),
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                write!(f, "{m} {rs1}, {rs2}, {:+}", self.imm)
+            }
+            Lb | Lh | Lw | Ld | Lbu | Lhu | Lwu => {
+                write!(f, "{m} {rd}, {}({rs1})", self.imm)
+            }
+            Sb | Sh | Sw | Sd => write!(f, "{m} {rs2}, {}({rs1})", self.imm),
+            Addi | Slti | Sltiu | Xori | Ori | Andi | Addiw => {
+                write!(f, "{m} {rd}, {rs1}, {}", self.imm)
+            }
+            Slli | Srli | Srai | Slliw | Srliw | Sraiw => {
+                write!(f, "{m} {rd}, {rs1}, {}", self.imm)
+            }
+            Fence | FenceI | Ecall | Ebreak | Mret | Sret | Wfi | Hcrets => write!(f, "{m}"),
+            SfenceVma => write!(f, "{m} {rs1}, {rs2}"),
+            Csrrw | Csrrs | Csrrc => {
+                let name = csr_name(self.csr)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("{:#x}", self.csr));
+                write!(f, "{m} {rd}, {name}, {rs1}")
+            }
+            Csrrwi | Csrrsi | Csrrci => {
+                let name = csr_name(self.csr)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("{:#x}", self.csr));
+                write!(f, "{m} {rd}, {name}, {}", self.rs1)
+            }
+            LrW | LrD => write!(f, "{m} {rd}, ({rs1})"),
+            ScW | ScD | AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW | AmoswapD
+            | AmoaddD | AmoxorD | AmoandD | AmoorD => {
+                write!(f, "{m} {rd}, {rs2}, ({rs1})")
+            }
+            Hccall | Hccalls | Pfch | Pflh => write!(f, "{m} {rs1}"),
+            _ => write!(f, "{m} {rd}, {rs1}, {rs2}"),
+        }
+    }
+}
+
+/// Disassemble a raw word, or describe why it does not decode.
+pub fn disassemble(raw: u32) -> String {
+    match crate::decode::decode(raw) {
+        Ok(d) => d.to_string(),
+        Err(_) => format!(".word {raw:#010x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use isa_asm::{encode as e, Reg::*};
+
+    #[test]
+    fn renders_common_instructions() {
+        let cases = [
+            (e::addi(A0, A1, -3), "addi a0, a1, -3"),
+            (e::add(A0, A1, A2), "add a0, a1, a2"),
+            (e::ld(A0, Sp, 16), "ld a0, 16(sp)"),
+            (e::sd(A0, Sp, 8), "sd a0, 8(sp)"),
+            (e::beq(A0, A1, 16), "beq a0, a1, +16"),
+            (e::jal(Ra, -8), "jal ra, -8"),
+            (e::jalr(Zero, Ra, 0), "jalr zero, 0(ra)"),
+            (e::lui(T0, 0x12345 << 12), "lui t0, 0x12345000"),
+            (e::ecall(), "ecall"),
+            (e::mret(), "mret"),
+            (e::sfence_vma(Zero, Zero), "sfence.vma zero, zero"),
+            (e::csrrw(Zero, 0x180, A0), "csrrw zero, satp, a0"),
+            (e::csrrsi(A0, 0x100, 2), "csrrsi a0, sstatus, 2"),
+            (e::amoadd_d(A0, A1, A2), "amoadd.d a0, a2, (a1)"),
+            (e::lr_d(A0, A1), "lr.d a0, (a1)"),
+            (e::slli(A0, A0, 3), "slli a0, a0, 3"),
+        ];
+        for (raw, want) in cases {
+            assert_eq!(decode(raw).unwrap().to_string(), want);
+        }
+    }
+
+    #[test]
+    fn renders_grid_instructions_with_table2_names() {
+        assert_eq!(decode(e::hccall(A0)).unwrap().to_string(), "hccall a0");
+        assert_eq!(decode(e::hccalls(T4)).unwrap().to_string(), "hccalls t4");
+        assert_eq!(decode(e::hcrets()).unwrap().to_string(), "hcrets");
+        assert_eq!(decode(e::pfch(A1)).unwrap().to_string(), "pfch a1");
+        assert_eq!(
+            decode(e::csrrs(A0, crate::csr::addr::GRID_DOMAIN as u32, Zero))
+                .unwrap()
+                .to_string(),
+            "csrrs a0, domain, zero"
+        );
+    }
+
+    #[test]
+    fn unknown_csrs_fall_back_to_hex() {
+        assert_eq!(
+            decode(e::csrrw(Zero, 0x5FF, A0)).unwrap().to_string(),
+            "csrrw zero, 0x5ff, a0"
+        );
+    }
+
+    #[test]
+    fn disassemble_handles_illegal_words() {
+        assert_eq!(disassemble(0xffff_ffff), ".word 0xffffffff");
+        assert_eq!(disassemble(e::ecall()), "ecall");
+    }
+
+    #[test]
+    fn every_class_has_a_mnemonic_and_renders() {
+        // Smoke: every fabricable class produces non-empty text.
+        for k in Kind::all() {
+            assert!(!mnemonic(k).is_empty());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Physical memory bus: RAM plus a few MMIO devices.
+
+/// MMIO addresses exposed by the bus.
+pub mod mmio {
+    /// Byte writes here appear on the console (UART transmit analogue).
+    pub const CONSOLE_TX: u64 = 0x1000_0000;
+    /// A 64-bit write here halts the machine; the value is the exit code.
+    pub const HALT: u64 = 0x1000_1000;
+    /// 64-bit writes here are appended to the host-visible value log —
+    /// guest benchmarks use it to report cycle measurements.
+    pub const VALUE_LOG: u64 = 0x1000_1008;
+}
+
+/// Default RAM base (matches common RISC-V platforms).
+pub const DEFAULT_RAM_BASE: u64 = 0x8000_0000;
+/// Default RAM size: 64 MiB.
+pub const DEFAULT_RAM_SIZE: u64 = 64 << 20;
+
+/// The physical memory bus.
+///
+/// Accesses outside RAM and the MMIO window return `None`, which the CPU
+/// turns into an access fault with the correct cause for the access type.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    ram_base: u64,
+    ram: Vec<u8>,
+    /// Console output accumulated from [`mmio::CONSOLE_TX`] writes.
+    pub console: Vec<u8>,
+    /// Values reported by the guest through [`mmio::VALUE_LOG`].
+    pub value_log: Vec<u64>,
+    /// Exit code from an [`mmio::HALT`] write, once the guest halts.
+    pub halted: Option<u64>,
+}
+
+impl Default for Bus {
+    fn default() -> Self {
+        Bus::new(DEFAULT_RAM_BASE, DEFAULT_RAM_SIZE)
+    }
+}
+
+impl Bus {
+    /// A bus with `size` bytes of RAM at `base`.
+    pub fn new(base: u64, size: u64) -> Bus {
+        Bus {
+            ram_base: base,
+            ram: vec![0; size as usize],
+            console: Vec::new(),
+            value_log: Vec::new(),
+            halted: None,
+        }
+    }
+
+    /// RAM base address.
+    pub fn ram_base(&self) -> u64 {
+        self.ram_base
+    }
+
+    /// RAM size in bytes.
+    pub fn ram_size(&self) -> u64 {
+        self.ram.len() as u64
+    }
+
+    /// True if `[paddr, paddr+len)` lies entirely in RAM.
+    pub fn in_ram(&self, paddr: u64, len: u64) -> bool {
+        paddr >= self.ram_base
+            && paddr.checked_add(len).is_some_and(|end| end <= self.ram_base + self.ram.len() as u64)
+    }
+
+    #[inline]
+    fn ram_index(&self, paddr: u64) -> usize {
+        (paddr - self.ram_base) as usize
+    }
+
+    /// Load `len` (1/2/4/8) bytes, zero-extended. `None` = access fault.
+    pub fn load(&mut self, paddr: u64, len: u8) -> Option<u64> {
+        if self.in_ram(paddr, len as u64) {
+            let i = self.ram_index(paddr);
+            let mut v: u64 = 0;
+            for k in 0..len as usize {
+                v |= (self.ram[i + k] as u64) << (8 * k);
+            }
+            return Some(v);
+        }
+        match paddr {
+            // UART line-status analogue: always ready.
+            mmio::CONSOLE_TX => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Store the low `len` bytes of `val`. `None` = access fault.
+    pub fn store(&mut self, paddr: u64, len: u8, val: u64) -> Option<()> {
+        if self.in_ram(paddr, len as u64) {
+            let i = self.ram_index(paddr);
+            for k in 0..len as usize {
+                self.ram[i + k] = (val >> (8 * k)) as u8;
+            }
+            return Some(());
+        }
+        match paddr {
+            mmio::CONSOLE_TX => {
+                self.console.push(val as u8);
+                Some(())
+            }
+            mmio::HALT => {
+                self.halted = Some(val);
+                Some(())
+            }
+            mmio::VALUE_LOG => {
+                self.value_log.push(val);
+                Some(())
+            }
+            _ => None,
+        }
+    }
+
+    /// Copy a byte slice into RAM (host-side loader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM.
+    pub fn write_bytes(&mut self, paddr: u64, bytes: &[u8]) {
+        assert!(
+            self.in_ram(paddr, bytes.len() as u64),
+            "write_bytes outside RAM: {paddr:#x}+{}",
+            bytes.len()
+        );
+        let i = self.ram_index(paddr);
+        self.ram[i..i + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Read a byte slice from RAM (host-side inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM.
+    pub fn read_bytes(&self, paddr: u64, len: usize) -> &[u8] {
+        assert!(self.in_ram(paddr, len as u64), "read_bytes outside RAM");
+        let i = self.ram_index(paddr);
+        &self.ram[i..i + len]
+    }
+
+    /// Host-side 64-bit read from RAM.
+    pub fn read_u64(&self, paddr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes(paddr, 8).try_into().expect("8 bytes"))
+    }
+
+    /// Host-side 64-bit write to RAM.
+    pub fn write_u64(&mut self, paddr: u64, val: u64) {
+        self.write_bytes(paddr, &val.to_le_bytes());
+    }
+
+    /// Console output decoded as UTF-8 (lossy).
+    pub fn console_string(&self) -> String {
+        String::from_utf8_lossy(&self.console).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_all_widths() {
+        let mut b = Bus::new(0x8000_0000, 4096);
+        b.store(0x8000_0000, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(b.load(0x8000_0000, 8), Some(0x1122_3344_5566_7788));
+        assert_eq!(b.load(0x8000_0000, 4), Some(0x5566_7788));
+        assert_eq!(b.load(0x8000_0004, 4), Some(0x1122_3344));
+        assert_eq!(b.load(0x8000_0000, 2), Some(0x7788));
+        assert_eq!(b.load(0x8000_0000, 1), Some(0x88));
+        b.store(0x8000_0001, 1, 0xAA).unwrap();
+        assert_eq!(b.load(0x8000_0000, 2), Some(0xAA88));
+    }
+
+    #[test]
+    fn out_of_range_accesses_fault() {
+        let mut b = Bus::new(0x8000_0000, 4096);
+        assert_eq!(b.load(0x7fff_ffff, 1), None);
+        assert_eq!(b.load(0x8000_0ffd, 8), None, "straddles the end");
+        assert_eq!(b.store(0x0, 8, 0), None);
+        assert_eq!(b.load(u64::MAX - 3, 8), None, "no overflow panic");
+    }
+
+    #[test]
+    fn console_collects_bytes() {
+        let mut b = Bus::default();
+        for c in b"hi\n" {
+            b.store(mmio::CONSOLE_TX, 1, *c as u64).unwrap();
+        }
+        assert_eq!(b.console_string(), "hi\n");
+    }
+
+    #[test]
+    fn halt_records_exit_code() {
+        let mut b = Bus::default();
+        assert_eq!(b.halted, None);
+        b.store(mmio::HALT, 8, 42).unwrap();
+        assert_eq!(b.halted, Some(42));
+    }
+
+    #[test]
+    fn value_log_appends() {
+        let mut b = Bus::default();
+        b.store(mmio::VALUE_LOG, 8, 7).unwrap();
+        b.store(mmio::VALUE_LOG, 8, 9).unwrap();
+        assert_eq!(b.value_log, vec![7, 9]);
+    }
+
+    #[test]
+    fn host_helpers_roundtrip() {
+        let mut b = Bus::default();
+        b.write_u64(0x8000_1000, 0xfeed);
+        assert_eq!(b.read_u64(0x8000_1000), 0xfeed);
+        b.write_bytes(0x8000_2000, &[1, 2, 3]);
+        assert_eq!(b.read_bytes(0x8000_2000, 3), &[1, 2, 3]);
+    }
+}

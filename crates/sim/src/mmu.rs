@@ -1,0 +1,490 @@
+//! Sv39 address translation with protection-key support.
+//!
+//! The walker implements the RISC-V Sv39 scheme (3-level, 4 KiB pages,
+//! 2 MiB / 1 GiB superpages) with hardware A/D updates. Bits 57:54 of a
+//! leaf PTE carry a 4-bit *protection key*; non-zero keys are checked
+//! against the `pkr` CSR (2 bits per key: even = access-disable, odd =
+//! write-disable). This is the Intel MPK/PKS analogue used by the paper's
+//! "emerging hardware feature" use case (§6.3).
+
+use crate::csr::mstatus;
+use crate::mem::Bus;
+use crate::trap::{Exception, Priv};
+
+/// The kind of memory access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Instruction fetch.
+    Exec,
+    /// Data load.
+    Read,
+    /// Data store or AMO.
+    Write,
+}
+
+impl Access {
+    fn page_fault(self, vaddr: u64) -> Exception {
+        match self {
+            Access::Exec => Exception::InstPageFault(vaddr),
+            Access::Read => Exception::LoadPageFault(vaddr),
+            Access::Write => Exception::StorePageFault(vaddr),
+        }
+    }
+}
+
+/// PTE flag bits.
+pub mod pte {
+    /// Valid.
+    pub const V: u64 = 1 << 0;
+    /// Readable.
+    pub const R: u64 = 1 << 1;
+    /// Writable.
+    pub const W: u64 = 1 << 2;
+    /// Executable.
+    pub const X: u64 = 1 << 3;
+    /// User-accessible.
+    pub const U: u64 = 1 << 4;
+    /// Global.
+    pub const G: u64 = 1 << 5;
+    /// Accessed.
+    pub const A: u64 = 1 << 6;
+    /// Dirty.
+    pub const D: u64 = 1 << 7;
+    /// Shift for the protection-key field (bits 57:54).
+    pub const KEY_SHIFT: u32 = 54;
+    /// Protection-key field mask (4 bits).
+    pub const KEY_MASK: u64 = 0xf << KEY_SHIFT;
+
+    /// Build the key field for PTE construction.
+    pub fn key(k: u8) -> u64 {
+        ((k & 0xf) as u64) << KEY_SHIFT
+    }
+}
+
+/// Result of a successful translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Physical address.
+    pub paddr: u64,
+    /// Number of PTE memory reads performed (0 when translation is off).
+    pub walk_reads: u8,
+}
+
+/// Inputs the walker needs from the CPU state.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkCtx {
+    /// Effective privilege for the access.
+    pub priv_level: Priv,
+    /// Current `satp` value.
+    pub satp: u64,
+    /// Current `mstatus` (for SUM/MXR).
+    pub mstatus: u64,
+    /// Current `pkr` protection-key rights register.
+    pub pkr: u64,
+}
+
+/// Translate `vaddr` for the given access.
+///
+/// M-mode and `satp.MODE == Bare` pass addresses through unchanged.
+///
+/// # Errors
+///
+/// Returns the access-appropriate page fault on any violation: invalid or
+/// malformed PTEs, permission mismatches (including SUM/MXR semantics),
+/// misaligned superpages, non-canonical virtual addresses, and
+/// protection-key denials.
+#[allow(clippy::explicit_counter_loop)] // walk_reads is also returned on early exits
+pub fn translate(
+    bus: &mut Bus,
+    ctx: WalkCtx,
+    vaddr: u64,
+    access: Access,
+) -> Result<Translation, Exception> {
+    let mode = ctx.satp >> 60;
+    if ctx.priv_level == Priv::M || mode != 8 {
+        return Ok(Translation { paddr: vaddr, walk_reads: 0 });
+    }
+    // Canonical check: bits 63:39 must equal bit 38.
+    let canonical = ((vaddr as i64) << 25 >> 25) as u64;
+    if canonical != vaddr {
+        return Err(access.page_fault(vaddr));
+    }
+
+    let mut table = (ctx.satp & 0xfff_ffff_ffff) << 12; // PPN → byte address
+    let vpn = [(vaddr >> 12) & 0x1ff, (vaddr >> 21) & 0x1ff, (vaddr >> 30) & 0x1ff];
+    let mut walk_reads = 0u8;
+
+    for level in (0..3usize).rev() {
+        let pte_addr = table + vpn[level] * 8;
+        let raw = bus
+            .load(pte_addr, 8)
+            .ok_or_else(|| access.page_fault(vaddr))?;
+        walk_reads += 1;
+
+        if raw & pte::V == 0 || (raw & pte::R == 0 && raw & pte::W != 0) {
+            return Err(access.page_fault(vaddr));
+        }
+        let is_leaf = raw & (pte::R | pte::X) != 0;
+        if !is_leaf {
+            if level == 0 {
+                return Err(access.page_fault(vaddr));
+            }
+            table = ((raw >> 10) & 0xfff_ffff_ffff) << 12;
+            continue;
+        }
+
+        // Permission checks.
+        let (need_r, need_w, need_x) = match access {
+            Access::Exec => (false, false, true),
+            Access::Read => (true, false, false),
+            Access::Write => (false, true, false),
+        };
+        let mxr = ctx.mstatus & mstatus::MXR != 0;
+        let readable = raw & pte::R != 0 || (mxr && raw & pte::X != 0);
+        if need_x && raw & pte::X == 0 {
+            return Err(access.page_fault(vaddr));
+        }
+        if need_r && !readable {
+            return Err(access.page_fault(vaddr));
+        }
+        if need_w && raw & pte::W == 0 {
+            return Err(access.page_fault(vaddr));
+        }
+        // U-bit semantics.
+        let user_page = raw & pte::U != 0;
+        match ctx.priv_level {
+            Priv::U => {
+                if !user_page {
+                    return Err(access.page_fault(vaddr));
+                }
+            }
+            Priv::S => {
+                if user_page {
+                    let sum = ctx.mstatus & mstatus::SUM != 0;
+                    if access == Access::Exec || !sum {
+                        return Err(access.page_fault(vaddr));
+                    }
+                }
+            }
+            Priv::M => unreachable!("M-mode handled above"),
+        }
+        // Superpage alignment.
+        let ppn = (raw >> 10) & 0xfff_ffff_ffff;
+        if level > 0 {
+            let mask = (1u64 << (9 * level)) - 1;
+            if ppn & mask != 0 {
+                return Err(access.page_fault(vaddr));
+            }
+        }
+        // Protection keys (ISA-Grid's MPK/PKS analogue).
+        let key = ((raw & pte::KEY_MASK) >> pte::KEY_SHIFT) as u32;
+        if key != 0 {
+            let rights = ctx.pkr >> (2 * key);
+            if rights & 1 != 0 {
+                return Err(access.page_fault(vaddr));
+            }
+            if access == Access::Write && rights & 2 != 0 {
+                return Err(access.page_fault(vaddr));
+            }
+        }
+        // Hardware A/D update.
+        let mut new = raw | pte::A;
+        if access == Access::Write {
+            new |= pte::D;
+        }
+        if new != raw {
+            bus.store(pte_addr, 8, new)
+                .ok_or_else(|| access.page_fault(vaddr))?;
+        }
+
+        let page_off_bits = 12 + 9 * level as u32;
+        let off = vaddr & ((1u64 << page_off_bits) - 1);
+        let base = (ppn << 12) & !((1u64 << page_off_bits) - 1);
+        return Ok(Translation { paddr: base | off, walk_reads });
+    }
+    Err(access.page_fault(vaddr))
+}
+
+/// A convenience builder for constructing Sv39 page tables in guest
+/// memory from the host side (used by the kernel image builder and
+/// tests).
+#[derive(Debug)]
+pub struct PageTableBuilder {
+    root: u64,
+    next_free: u64,
+    limit: u64,
+}
+
+impl PageTableBuilder {
+    /// Create a builder allocating page-table pages from
+    /// `[pool_base, pool_base + pool_size)`. The first page becomes the
+    /// root table.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pool_base` is 4 KiB-aligned and the pool holds at
+    /// least one page.
+    pub fn new(bus: &mut Bus, pool_base: u64, pool_size: u64) -> PageTableBuilder {
+        assert_eq!(pool_base % 4096, 0, "pool must be page-aligned");
+        assert!(pool_size >= 4096, "pool too small");
+        bus.write_bytes(pool_base, &[0u8; 4096]);
+        PageTableBuilder {
+            root: pool_base,
+            next_free: pool_base + 4096,
+            limit: pool_base + pool_size,
+        }
+    }
+
+    /// Physical address of the root table.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// The `satp` value activating this table (Sv39 mode).
+    pub fn satp(&self) -> u64 {
+        (8u64 << 60) | (self.root >> 12)
+    }
+
+    fn alloc_table(&mut self, bus: &mut Bus) -> u64 {
+        assert!(self.next_free + 4096 <= self.limit, "page-table pool exhausted");
+        let page = self.next_free;
+        self.next_free += 4096;
+        bus.write_bytes(page, &[0u8; 4096]);
+        page
+    }
+
+    /// Map the 4 KiB page at `vaddr` to `paddr` with `flags`
+    /// (combine [`pte`] constants; `V`/`A`/`D` are set automatically).
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned addresses or when remapping would tear down
+    /// an existing superpage.
+    pub fn map_page(&mut self, bus: &mut Bus, vaddr: u64, paddr: u64, flags: u64) {
+        assert_eq!(vaddr % 4096, 0, "vaddr must be page-aligned");
+        assert_eq!(paddr % 4096, 0, "paddr must be page-aligned");
+        let vpn = [(vaddr >> 12) & 0x1ff, (vaddr >> 21) & 0x1ff, (vaddr >> 30) & 0x1ff];
+        let mut table = self.root;
+        for level in (1..3usize).rev() {
+            let pte_addr = table + vpn[level] * 8;
+            let raw = bus.read_u64(pte_addr);
+            if raw & pte::V == 0 {
+                let next = self.alloc_table(bus);
+                bus.write_u64(pte_addr, ((next >> 12) << 10) | pte::V);
+                table = next;
+            } else {
+                assert!(
+                    raw & (pte::R | pte::X) == 0,
+                    "cannot split existing superpage at {vaddr:#x}"
+                );
+                table = ((raw >> 10) & 0xfff_ffff_ffff) << 12;
+            }
+        }
+        let pte_addr = table + vpn[0] * 8;
+        bus.write_u64(pte_addr, ((paddr >> 12) << 10) | flags | pte::V | pte::A | pte::D);
+    }
+
+    /// Map `len` bytes starting at page-aligned `vaddr`→`paddr`.
+    pub fn map_range(&mut self, bus: &mut Bus, vaddr: u64, paddr: u64, len: u64, flags: u64) {
+        let pages = len.div_ceil(4096);
+        for i in 0..pages {
+            self.map_page(bus, vaddr + i * 4096, paddr + i * 4096, flags);
+        }
+    }
+
+    /// Read back the leaf PTE address for `vaddr`, if mapped
+    /// (testing/monitor support).
+    pub fn leaf_pte_addr(&self, bus: &Bus, vaddr: u64) -> Option<u64> {
+        let vpn = [(vaddr >> 12) & 0x1ff, (vaddr >> 21) & 0x1ff, (vaddr >> 30) & 0x1ff];
+        let mut table = self.root;
+        for level in (1..3usize).rev() {
+            let raw = bus.read_u64(table + vpn[level] * 8);
+            if raw & pte::V == 0 || raw & (pte::R | pte::X) != 0 {
+                return None;
+            }
+            table = ((raw >> 10) & 0xfff_ffff_ffff) << 12;
+        }
+        Some(table + vpn[0] * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DEFAULT_RAM_BASE as RAM;
+
+    fn ctx(priv_level: Priv, satp: u64) -> WalkCtx {
+        WalkCtx { priv_level, satp, mstatus: 0, pkr: 0 }
+    }
+
+    fn setup() -> (Bus, PageTableBuilder) {
+        let mut bus = Bus::default();
+        let ptb = PageTableBuilder::new(&mut bus, RAM + 0x10_0000, 0x10_0000);
+        (bus, ptb)
+    }
+
+    #[test]
+    fn bare_mode_is_identity() {
+        let mut bus = Bus::default();
+        let t = translate(&mut bus, ctx(Priv::S, 0), 0x1234, Access::Read).unwrap();
+        assert_eq!(t.paddr, 0x1234);
+        assert_eq!(t.walk_reads, 0);
+    }
+
+    #[test]
+    fn m_mode_bypasses_translation() {
+        let mut bus = Bus::default();
+        let satp = 8u64 << 60; // Sv39 enabled but M-mode ignores it
+        let t = translate(&mut bus, ctx(Priv::M, satp), RAM, Access::Write).unwrap();
+        assert_eq!(t.paddr, RAM);
+    }
+
+    #[test]
+    fn basic_page_mapping() {
+        let (mut bus, mut ptb) = setup();
+        ptb.map_page(&mut bus, 0x4000_0000, RAM + 0x2000, pte::R | pte::W | pte::U);
+        let c = ctx(Priv::U, ptb.satp());
+        let t = translate(&mut bus, c, 0x4000_0123, Access::Read).unwrap();
+        assert_eq!(t.paddr, RAM + 0x2123);
+        assert_eq!(t.walk_reads, 3);
+    }
+
+    #[test]
+    fn unmapped_page_faults_with_right_cause() {
+        let (mut bus, ptb) = setup();
+        let c = ctx(Priv::S, ptb.satp());
+        assert_eq!(
+            translate(&mut bus, c, 0x9000, Access::Read),
+            Err(Exception::LoadPageFault(0x9000))
+        );
+        assert_eq!(
+            translate(&mut bus, c, 0x9000, Access::Write),
+            Err(Exception::StorePageFault(0x9000))
+        );
+        assert_eq!(
+            translate(&mut bus, c, 0x9000, Access::Exec),
+            Err(Exception::InstPageFault(0x9000))
+        );
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let (mut bus, mut ptb) = setup();
+        ptb.map_page(&mut bus, 0x5000, RAM + 0x3000, pte::R);
+        let c = ctx(Priv::S, ptb.satp());
+        assert!(translate(&mut bus, c, 0x5000, Access::Read).is_ok());
+        assert_eq!(
+            translate(&mut bus, c, 0x5008, Access::Write),
+            Err(Exception::StorePageFault(0x5008))
+        );
+    }
+
+    #[test]
+    fn user_cannot_touch_supervisor_pages_and_vice_versa() {
+        let (mut bus, mut ptb) = setup();
+        ptb.map_page(&mut bus, 0x5000, RAM + 0x3000, pte::R | pte::W); // S page
+        ptb.map_page(&mut bus, 0x6000, RAM + 0x4000, pte::R | pte::W | pte::U);
+        let u = ctx(Priv::U, ptb.satp());
+        let s = ctx(Priv::S, ptb.satp());
+        assert!(translate(&mut bus, u, 0x5000, Access::Read).is_err());
+        assert!(translate(&mut bus, u, 0x6000, Access::Read).is_ok());
+        // S touching a U page requires SUM.
+        assert!(translate(&mut bus, s, 0x6000, Access::Read).is_err());
+        let mut s_sum = s;
+        s_sum.mstatus = mstatus::SUM;
+        assert!(translate(&mut bus, s_sum, 0x6000, Access::Read).is_ok());
+        // Even with SUM, S must never execute U pages.
+        let mut ptb2 = ptb;
+        ptb2.map_page(&mut bus, 0x7000, RAM + 0x5000, pte::R | pte::X | pte::U);
+        assert!(translate(&mut bus, s_sum, 0x7000, Access::Exec).is_err());
+    }
+
+    #[test]
+    fn execute_requires_x() {
+        let (mut bus, mut ptb) = setup();
+        ptb.map_page(&mut bus, 0x5000, RAM + 0x3000, pte::R | pte::W);
+        ptb.map_page(&mut bus, 0x6000, RAM + 0x4000, pte::R | pte::X);
+        let c = ctx(Priv::S, ptb.satp());
+        assert!(translate(&mut bus, c, 0x5000, Access::Exec).is_err());
+        assert!(translate(&mut bus, c, 0x6000, Access::Exec).is_ok());
+    }
+
+    #[test]
+    fn mxr_makes_execute_only_readable() {
+        let (mut bus, mut ptb) = setup();
+        ptb.map_page(&mut bus, 0x5000, RAM + 0x3000, pte::X);
+        let mut c = ctx(Priv::S, ptb.satp());
+        assert!(translate(&mut bus, c, 0x5000, Access::Read).is_err());
+        c.mstatus = mstatus::MXR;
+        assert!(translate(&mut bus, c, 0x5000, Access::Read).is_ok());
+    }
+
+    #[test]
+    fn non_canonical_vaddr_faults() {
+        let (mut bus, ptb) = setup();
+        let c = ctx(Priv::S, ptb.satp());
+        assert!(translate(&mut bus, c, 1 << 40, Access::Read).is_err());
+        // Canonical high-half address with no mapping: page fault, not panic.
+        assert!(translate(&mut bus, c, 0xffff_ffff_ffff_f000, Access::Read).is_err());
+    }
+
+    #[test]
+    fn protection_keys_deny_by_pkr() {
+        let (mut bus, mut ptb) = setup();
+        ptb.map_page(
+            &mut bus,
+            0x5000,
+            RAM + 0x3000,
+            pte::R | pte::W | pte::key(3),
+        );
+        let mut c = ctx(Priv::S, ptb.satp());
+        // Key 3, no restrictions.
+        assert!(translate(&mut bus, c, 0x5000, Access::Write).is_ok());
+        // Write-disable key 3.
+        c.pkr = 0b10 << 6;
+        assert!(translate(&mut bus, c, 0x5000, Access::Read).is_ok());
+        assert!(translate(&mut bus, c, 0x5000, Access::Write).is_err());
+        // Access-disable key 3.
+        c.pkr = 0b01 << 6;
+        assert!(translate(&mut bus, c, 0x5000, Access::Read).is_err());
+    }
+
+    #[test]
+    fn key_zero_is_never_restricted() {
+        let (mut bus, mut ptb) = setup();
+        ptb.map_page(&mut bus, 0x5000, RAM + 0x3000, pte::R | pte::W);
+        let mut c = ctx(Priv::S, ptb.satp());
+        c.pkr = u64::MAX; // even "key 0 disabled" bits must be ignored
+        assert!(translate(&mut bus, c, 0x5000, Access::Read).is_ok());
+    }
+
+    #[test]
+    fn ad_bits_are_updated_in_memory() {
+        let (mut bus, mut ptb) = setup();
+        ptb.map_page(&mut bus, 0x5000, RAM + 0x3000, pte::R | pte::W);
+        // Clear the A/D bits the builder pre-set, then access.
+        let pte_addr = ptb.leaf_pte_addr(&bus, 0x5000).unwrap();
+        let raw = bus.read_u64(pte_addr);
+        bus.write_u64(pte_addr, raw & !(pte::A | pte::D));
+        let c = ctx(Priv::S, ptb.satp());
+        translate(&mut bus, c, 0x5000, Access::Read).unwrap();
+        assert_ne!(bus.read_u64(pte_addr) & pte::A, 0);
+        assert_eq!(bus.read_u64(pte_addr) & pte::D, 0);
+        translate(&mut bus, c, 0x5000, Access::Write).unwrap();
+        assert_ne!(bus.read_u64(pte_addr) & pte::D, 0);
+    }
+
+    #[test]
+    fn map_range_covers_every_page() {
+        let (mut bus, mut ptb) = setup();
+        ptb.map_range(&mut bus, 0x10_0000, RAM, 3 * 4096 + 1, pte::R);
+        let c = ctx(Priv::S, ptb.satp());
+        for i in 0..4u64 {
+            assert!(
+                translate(&mut bus, c, 0x10_0000 + i * 4096, Access::Read).is_ok(),
+                "page {i}"
+            );
+        }
+        assert!(translate(&mut bus, c, 0x10_0000 + 4 * 4096, Access::Read).is_err());
+    }
+}

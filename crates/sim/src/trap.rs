@@ -1,0 +1,254 @@
+//! Privilege levels, exceptions and interrupts.
+
+use std::fmt;
+
+/// CPU privilege level.
+///
+/// The emulator implements the RISC-V M/S/U levels. ISA domains are
+/// orthogonal to privilege levels: the PCU checks instructions in S and U
+/// mode regardless of level, while M mode hosts domain-0's firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Priv {
+    /// User mode.
+    U = 0,
+    /// Supervisor mode.
+    S = 1,
+    /// Machine mode.
+    M = 3,
+}
+
+impl Priv {
+    /// Decode from the 2-bit MPP/SPP encoding (2 maps to M for safety).
+    pub fn from_bits(b: u64) -> Priv {
+        match b & 0b11 {
+            0 => Priv::U,
+            1 => Priv::S,
+            _ => Priv::M,
+        }
+    }
+}
+
+impl fmt::Display for Priv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Priv::U => "U",
+            Priv::S => "S",
+            Priv::M => "M",
+        })
+    }
+}
+
+/// A synchronous exception cause.
+///
+/// Standard causes use their architectural numbers. The four `Grid*`
+/// causes are ISA-Grid's new hardware exceptions, allocated in the
+/// custom-use range (≥ 24) as the paper's "hardware exception occurs"
+/// without pinning specific numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exception {
+    /// Instruction address misaligned (cause 0).
+    InstMisaligned(u64),
+    /// Instruction access fault (cause 1).
+    InstAccessFault(u64),
+    /// Illegal instruction (cause 2); payload is the raw opcode.
+    IllegalInst(u64),
+    /// Breakpoint (cause 3).
+    Breakpoint(u64),
+    /// Load address misaligned (cause 4).
+    LoadMisaligned(u64),
+    /// Load access fault (cause 5).
+    LoadAccessFault(u64),
+    /// Store/AMO address misaligned (cause 6).
+    StoreMisaligned(u64),
+    /// Store/AMO access fault (cause 7).
+    StoreAccessFault(u64),
+    /// Environment call from U (8), S (9) or M (11) — cause derived from
+    /// the trapping privilege level.
+    EnvCall(Priv),
+    /// Instruction page fault (cause 12).
+    InstPageFault(u64),
+    /// Load page fault (cause 13).
+    LoadPageFault(u64),
+    /// Store/AMO page fault (cause 15).
+    StorePageFault(u64),
+    /// ISA-Grid: instruction execution privilege violation (cause 24).
+    GridInstFault(u64),
+    /// ISA-Grid: CSR access privilege violation (cause 25); payload is the
+    /// CSR address.
+    GridCsrFault(u64),
+    /// ISA-Grid: gate violation — unregistered gate, address mismatch, or
+    /// trusted-stack misuse (cause 26).
+    GridGateFault(u64),
+    /// ISA-Grid: trusted memory access violation (cause 27).
+    GridTmemFault(u64),
+}
+
+impl Exception {
+    /// ISA-Grid instruction-privilege fault cause number.
+    pub const CAUSE_GRID_INST: u64 = 24;
+    /// ISA-Grid CSR-privilege fault cause number.
+    pub const CAUSE_GRID_CSR: u64 = 25;
+    /// ISA-Grid gate fault cause number.
+    pub const CAUSE_GRID_GATE: u64 = 26;
+    /// ISA-Grid trusted-memory fault cause number.
+    pub const CAUSE_GRID_TMEM: u64 = 27;
+
+    /// The architectural cause number written to `mcause`/`scause`.
+    pub fn cause(&self) -> u64 {
+        match self {
+            Exception::InstMisaligned(_) => 0,
+            Exception::InstAccessFault(_) => 1,
+            Exception::IllegalInst(_) => 2,
+            Exception::Breakpoint(_) => 3,
+            Exception::LoadMisaligned(_) => 4,
+            Exception::LoadAccessFault(_) => 5,
+            Exception::StoreMisaligned(_) => 6,
+            Exception::StoreAccessFault(_) => 7,
+            Exception::EnvCall(p) => match p {
+                Priv::U => 8,
+                Priv::S => 9,
+                Priv::M => 11,
+            },
+            Exception::InstPageFault(_) => 12,
+            Exception::LoadPageFault(_) => 13,
+            Exception::StorePageFault(_) => 15,
+            Exception::GridInstFault(_) => Self::CAUSE_GRID_INST,
+            Exception::GridCsrFault(_) => Self::CAUSE_GRID_CSR,
+            Exception::GridGateFault(_) => Self::CAUSE_GRID_GATE,
+            Exception::GridTmemFault(_) => Self::CAUSE_GRID_TMEM,
+        }
+    }
+
+    /// The value written to `mtval`/`stval`.
+    pub fn tval(&self) -> u64 {
+        match self {
+            Exception::InstMisaligned(v)
+            | Exception::InstAccessFault(v)
+            | Exception::IllegalInst(v)
+            | Exception::Breakpoint(v)
+            | Exception::LoadMisaligned(v)
+            | Exception::LoadAccessFault(v)
+            | Exception::StoreMisaligned(v)
+            | Exception::StoreAccessFault(v)
+            | Exception::InstPageFault(v)
+            | Exception::LoadPageFault(v)
+            | Exception::StorePageFault(v)
+            | Exception::GridInstFault(v)
+            | Exception::GridCsrFault(v)
+            | Exception::GridGateFault(v)
+            | Exception::GridTmemFault(v) => *v,
+            Exception::EnvCall(_) => 0,
+        }
+    }
+
+    /// True for the four ISA-Grid privilege-violation causes.
+    pub fn is_grid_fault(&self) -> bool {
+        self.cause() >= Self::CAUSE_GRID_INST && self.cause() <= Self::CAUSE_GRID_TMEM
+    }
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Exception::InstMisaligned(_) => "instruction address misaligned",
+            Exception::InstAccessFault(_) => "instruction access fault",
+            Exception::IllegalInst(_) => "illegal instruction",
+            Exception::Breakpoint(_) => "breakpoint",
+            Exception::LoadMisaligned(_) => "load address misaligned",
+            Exception::LoadAccessFault(_) => "load access fault",
+            Exception::StoreMisaligned(_) => "store address misaligned",
+            Exception::StoreAccessFault(_) => "store access fault",
+            Exception::EnvCall(_) => "environment call",
+            Exception::InstPageFault(_) => "instruction page fault",
+            Exception::LoadPageFault(_) => "load page fault",
+            Exception::StorePageFault(_) => "store page fault",
+            Exception::GridInstFault(_) => "ISA-Grid instruction privilege fault",
+            Exception::GridCsrFault(_) => "ISA-Grid CSR privilege fault",
+            Exception::GridGateFault(_) => "ISA-Grid gate fault",
+            Exception::GridTmemFault(_) => "ISA-Grid trusted memory fault",
+        };
+        write!(f, "{name} (tval={:#x})", self.tval())
+    }
+}
+
+impl std::error::Error for Exception {}
+
+/// An asynchronous interrupt cause (the bit index in `mip`/`mie`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum Interrupt {
+    /// Supervisor software interrupt.
+    SupervisorSoft = 1,
+    /// Machine software interrupt.
+    MachineSoft = 3,
+    /// Supervisor timer interrupt.
+    SupervisorTimer = 5,
+    /// Machine timer interrupt.
+    MachineTimer = 7,
+    /// Supervisor external interrupt.
+    SupervisorExternal = 9,
+    /// Machine external interrupt.
+    MachineExternal = 11,
+}
+
+impl Interrupt {
+    /// `mcause` value with the interrupt bit set.
+    pub fn cause(&self) -> u64 {
+        (1 << 63) | (*self as u64)
+    }
+
+    /// The `mip`/`mie` bit mask for this interrupt.
+    pub fn mask(&self) -> u64 {
+        1 << (*self as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_numbers_match_the_privileged_spec() {
+        assert_eq!(Exception::IllegalInst(0).cause(), 2);
+        assert_eq!(Exception::EnvCall(Priv::U).cause(), 8);
+        assert_eq!(Exception::EnvCall(Priv::S).cause(), 9);
+        assert_eq!(Exception::EnvCall(Priv::M).cause(), 11);
+        assert_eq!(Exception::StorePageFault(0).cause(), 15);
+    }
+
+    #[test]
+    fn grid_causes_live_in_custom_range() {
+        let faults = [
+            Exception::GridInstFault(0),
+            Exception::GridCsrFault(0),
+            Exception::GridGateFault(0),
+            Exception::GridTmemFault(0),
+        ];
+        for f in faults {
+            assert!(f.cause() >= 24, "custom cause range");
+            assert!(f.is_grid_fault());
+        }
+        assert!(!Exception::IllegalInst(0).is_grid_fault());
+    }
+
+    #[test]
+    fn tval_carries_the_faulting_value() {
+        assert_eq!(Exception::LoadPageFault(0xdead).tval(), 0xdead);
+        assert_eq!(Exception::GridCsrFault(0x180).tval(), 0x180);
+        assert_eq!(Exception::EnvCall(Priv::U).tval(), 0);
+    }
+
+    #[test]
+    fn interrupt_cause_sets_high_bit() {
+        assert_eq!(Interrupt::MachineTimer.cause(), (1 << 63) | 7);
+        assert_eq!(Interrupt::SupervisorSoft.mask(), 0b10);
+    }
+
+    #[test]
+    fn priv_from_bits() {
+        assert_eq!(Priv::from_bits(0), Priv::U);
+        assert_eq!(Priv::from_bits(1), Priv::S);
+        assert_eq!(Priv::from_bits(3), Priv::M);
+    }
+}

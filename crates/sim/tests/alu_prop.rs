@@ -1,0 +1,246 @@
+//! Property tests: the emulator's ALU semantics must match a host-side
+//! reference model for randomly generated operand values.
+
+use isa_asm::{Asm, Reg::*};
+use isa_sim::{mmio, Exit, Machine, NullExtension, DEFAULT_RAM_BASE as RAM};
+use proptest::prelude::*;
+
+/// Execute a two-operand op and return the value the guest computed.
+fn run_binop(emit: impl Fn(&mut Asm), a0: u64, a1: u64) -> u64 {
+    let mut a = Asm::new(RAM);
+    a.li(A0, a0);
+    a.li(A1, a1);
+    emit(&mut a);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+    let prog = a.assemble().unwrap();
+    let mut m = Machine::new(NullExtension);
+    m.load_program(&prog);
+    match m.run(10_000) {
+        Exit::Halted(v) => v,
+        Exit::StepLimit => panic!("no halt"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn li_materializes_any_constant(x in any::<u64>()) {
+        let got = run_binop(|_| {}, x, 0);
+        prop_assert_eq!(got, x);
+    }
+
+    #[test]
+    fn add_sub_match_host(x in any::<u64>(), y in any::<u64>()) {
+        prop_assert_eq!(run_binop(|a| { a.add(A0, A0, A1); }, x, y), x.wrapping_add(y));
+        prop_assert_eq!(run_binop(|a| { a.sub(A0, A0, A1); }, x, y), x.wrapping_sub(y));
+    }
+
+    #[test]
+    fn logic_ops_match_host(x in any::<u64>(), y in any::<u64>()) {
+        prop_assert_eq!(run_binop(|a| { a.and(A0, A0, A1); }, x, y), x & y);
+        prop_assert_eq!(run_binop(|a| { a.or(A0, A0, A1); }, x, y), x | y);
+        prop_assert_eq!(run_binop(|a| { a.xor(A0, A0, A1); }, x, y), x ^ y);
+    }
+
+    #[test]
+    fn shifts_match_host(x in any::<u64>(), s in 0u32..64) {
+        prop_assert_eq!(run_binop(|a| { a.slli(A0, A0, s); }, x, 0), x << s);
+        prop_assert_eq!(run_binop(|a| { a.srli(A0, A0, s); }, x, 0), x >> s);
+        prop_assert_eq!(
+            run_binop(|a| { a.srai(A0, A0, s); }, x, 0),
+            ((x as i64) >> s) as u64
+        );
+    }
+
+    #[test]
+    fn variable_shifts_mask_the_amount(x in any::<u64>(), y in any::<u64>()) {
+        prop_assert_eq!(run_binop(|a| { a.sll(A0, A0, A1); }, x, y), x << (y & 63));
+        prop_assert_eq!(run_binop(|a| { a.srl(A0, A0, A1); }, x, y), x >> (y & 63));
+    }
+
+    #[test]
+    fn comparisons_match_host(x in any::<u64>(), y in any::<u64>()) {
+        prop_assert_eq!(run_binop(|a| { a.sltu(A0, A0, A1); }, x, y), (x < y) as u64);
+        prop_assert_eq!(
+            run_binop(|a| { a.slt(A0, A0, A1); }, x, y),
+            ((x as i64) < (y as i64)) as u64
+        );
+    }
+
+    #[test]
+    fn mul_family_matches_host(x in any::<u64>(), y in any::<u64>()) {
+        prop_assert_eq!(run_binop(|a| { a.mul(A0, A0, A1); }, x, y), x.wrapping_mul(y));
+        prop_assert_eq!(
+            run_binop(|a| { a.mulhu(A0, A0, A1); }, x, y),
+            ((x as u128 * y as u128) >> 64) as u64
+        );
+        prop_assert_eq!(
+            run_binop(|a| { a.mulh(A0, A0, A1); }, x, y),
+            (((x as i64 as i128) * (y as i64 as i128)) >> 64) as u64
+        );
+    }
+
+    #[test]
+    fn div_rem_match_riscv_semantics(x in any::<u64>(), y in any::<u64>()) {
+        let divu = x.checked_div(y).unwrap_or(u64::MAX);
+        let remu = if y == 0 { x } else { x % y };
+        prop_assert_eq!(run_binop(|a| { a.divu(A0, A0, A1); }, x, y), divu);
+        prop_assert_eq!(run_binop(|a| { a.remu(A0, A0, A1); }, x, y), remu);
+
+        let (xs, ys) = (x as i64, y as i64);
+        let div = if ys == 0 {
+            u64::MAX
+        } else if xs == i64::MIN && ys == -1 {
+            x
+        } else {
+            (xs / ys) as u64
+        };
+        prop_assert_eq!(run_binop(|a| { a.div(A0, A0, A1); }, x, y), div);
+    }
+
+    #[test]
+    fn word_ops_sign_extend(x in any::<u64>(), y in any::<u64>()) {
+        prop_assert_eq!(
+            run_binop(|a| { a.addw(A0, A0, A1); }, x, y),
+            (x as i32).wrapping_add(y as i32) as i64 as u64
+        );
+        prop_assert_eq!(
+            run_binop(|a| { a.subw(A0, A0, A1); }, x, y),
+            (x as i32).wrapping_sub(y as i32) as i64 as u64
+        );
+        prop_assert_eq!(
+            run_binop(|a| { a.mulw(A0, A0, A1); }, x, y),
+            (x as i32).wrapping_mul(y as i32) as i64 as u64
+        );
+    }
+
+    #[test]
+    fn memory_roundtrip_any_value(x in any::<u64>(), off in 0u64..1024) {
+        let addr = RAM + 0x4000 + off * 8;
+        let got = run_binop(
+            |a| {
+                a.li(T0, addr);
+                a.sd(A0, T0, 0);
+                a.li(A0, 0);
+                a.ld(A0, T0, 0);
+            },
+            x,
+            0,
+        );
+        prop_assert_eq!(got, x);
+    }
+
+    #[test]
+    fn addi_immediates(x in any::<u64>(), imm in -2048i32..=2047) {
+        let got = run_binop(|a| { a.addi(A0, A0, imm); }, x, 0);
+        prop_assert_eq!(got, x.wrapping_add(imm as i64 as u64));
+    }
+}
+
+#[test]
+fn decode_encode_roundtrip_sweep() {
+    // Every encoder output must decode back to its own class — a
+    // cross-crate consistency check between isa-asm and isa-sim.
+    use isa_asm::encode as e;
+    use isa_sim::{decode, Kind};
+    let cases: Vec<(u32, Kind)> = vec![
+        (e::lui(A0, 0x1000), Kind::Lui),
+        (e::auipc(A0, 0x1000), Kind::Auipc),
+        (e::jal(Ra, 16), Kind::Jal),
+        (e::jalr(Ra, A0, 4), Kind::Jalr),
+        (e::beq(A0, A1, 8), Kind::Beq),
+        (e::bne(A0, A1, 8), Kind::Bne),
+        (e::blt(A0, A1, 8), Kind::Blt),
+        (e::bge(A0, A1, 8), Kind::Bge),
+        (e::bltu(A0, A1, 8), Kind::Bltu),
+        (e::bgeu(A0, A1, 8), Kind::Bgeu),
+        (e::lb(A0, A1, 0), Kind::Lb),
+        (e::lh(A0, A1, 0), Kind::Lh),
+        (e::lw(A0, A1, 0), Kind::Lw),
+        (e::ld(A0, A1, 0), Kind::Ld),
+        (e::lbu(A0, A1, 0), Kind::Lbu),
+        (e::lhu(A0, A1, 0), Kind::Lhu),
+        (e::lwu(A0, A1, 0), Kind::Lwu),
+        (e::sb(A0, A1, 0), Kind::Sb),
+        (e::sh(A0, A1, 0), Kind::Sh),
+        (e::sw(A0, A1, 0), Kind::Sw),
+        (e::sd(A0, A1, 0), Kind::Sd),
+        (e::addi(A0, A1, 1), Kind::Addi),
+        (e::slti(A0, A1, 1), Kind::Slti),
+        (e::sltiu(A0, A1, 1), Kind::Sltiu),
+        (e::xori(A0, A1, 1), Kind::Xori),
+        (e::ori(A0, A1, 1), Kind::Ori),
+        (e::andi(A0, A1, 1), Kind::Andi),
+        (e::slli(A0, A1, 1), Kind::Slli),
+        (e::srli(A0, A1, 1), Kind::Srli),
+        (e::srai(A0, A1, 1), Kind::Srai),
+        (e::add(A0, A1, A2), Kind::Add),
+        (e::sub(A0, A1, A2), Kind::Sub),
+        (e::sll(A0, A1, A2), Kind::Sll),
+        (e::slt(A0, A1, A2), Kind::Slt),
+        (e::sltu(A0, A1, A2), Kind::Sltu),
+        (e::xor(A0, A1, A2), Kind::Xor),
+        (e::srl(A0, A1, A2), Kind::Srl),
+        (e::sra(A0, A1, A2), Kind::Sra),
+        (e::or(A0, A1, A2), Kind::Or),
+        (e::and(A0, A1, A2), Kind::And),
+        (e::addiw(A0, A1, 1), Kind::Addiw),
+        (e::slliw(A0, A1, 1), Kind::Slliw),
+        (e::srliw(A0, A1, 1), Kind::Srliw),
+        (e::sraiw(A0, A1, 1), Kind::Sraiw),
+        (e::addw(A0, A1, A2), Kind::Addw),
+        (e::subw(A0, A1, A2), Kind::Subw),
+        (e::sllw(A0, A1, A2), Kind::Sllw),
+        (e::srlw(A0, A1, A2), Kind::Srlw),
+        (e::sraw(A0, A1, A2), Kind::Sraw),
+        (e::mul(A0, A1, A2), Kind::Mul),
+        (e::mulh(A0, A1, A2), Kind::Mulh),
+        (e::mulhsu(A0, A1, A2), Kind::Mulhsu),
+        (e::mulhu(A0, A1, A2), Kind::Mulhu),
+        (e::div(A0, A1, A2), Kind::Div),
+        (e::divu(A0, A1, A2), Kind::Divu),
+        (e::rem(A0, A1, A2), Kind::Rem),
+        (e::remu(A0, A1, A2), Kind::Remu),
+        (e::mulw(A0, A1, A2), Kind::Mulw),
+        (e::divw(A0, A1, A2), Kind::Divw),
+        (e::divuw(A0, A1, A2), Kind::Divuw),
+        (e::remw(A0, A1, A2), Kind::Remw),
+        (e::remuw(A0, A1, A2), Kind::Remuw),
+        (e::lr_w(A0, A1), Kind::LrW),
+        (e::sc_w(A0, A1, A2), Kind::ScW),
+        (e::lr_d(A0, A1), Kind::LrD),
+        (e::sc_d(A0, A1, A2), Kind::ScD),
+        (e::amoswap_d(A0, A1, A2), Kind::AmoswapD),
+        (e::amoadd_d(A0, A1, A2), Kind::AmoaddD),
+        (e::amoadd_w(A0, A1, A2), Kind::AmoaddW),
+        (e::amoand_d(A0, A1, A2), Kind::AmoandD),
+        (e::amoor_d(A0, A1, A2), Kind::AmoorD),
+        (e::amoxor_d(A0, A1, A2), Kind::AmoxorD),
+        (e::fence(), Kind::Fence),
+        (e::fence_i(), Kind::FenceI),
+        (e::ecall(), Kind::Ecall),
+        (e::ebreak(), Kind::Ebreak),
+        (e::csrrw(A0, 0x180, A1), Kind::Csrrw),
+        (e::csrrs(A0, 0x180, A1), Kind::Csrrs),
+        (e::csrrc(A0, 0x180, A1), Kind::Csrrc),
+        (e::csrrwi(A0, 0x180, 1), Kind::Csrrwi),
+        (e::csrrsi(A0, 0x180, 1), Kind::Csrrsi),
+        (e::csrrci(A0, 0x180, 1), Kind::Csrrci),
+        (e::mret(), Kind::Mret),
+        (e::sret(), Kind::Sret),
+        (e::wfi(), Kind::Wfi),
+        (e::sfence_vma(A0, A1), Kind::SfenceVma),
+        (e::hccall(A0), Kind::Hccall),
+        (e::hccalls(A0), Kind::Hccalls),
+        (e::hcrets(), Kind::Hcrets),
+        (e::pfch(A0), Kind::Pfch),
+        (e::pflh(A0), Kind::Pflh),
+    ];
+    for (raw, kind) in cases {
+        let d = decode(raw).unwrap_or_else(|e| panic!("{kind:?} failed to decode: {e}"));
+        assert_eq!(d.kind, kind, "encoding {raw:#010x}");
+    }
+}

@@ -1,0 +1,294 @@
+//! Set-associative cache timing models (tag arrays only — data values
+//! live in the functional emulator).
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total size in bytes.
+    pub size: u64,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Access latency in cycles (charged on a hit at this level).
+    pub latency: u64,
+}
+
+impl CacheParams {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size / (self.line * self.ways as u64)
+    }
+}
+
+/// Hit/miss counters for a cache level.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+/// An LRU set-associative cache (tags only).
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    params: CacheParams,
+    // sets[set][way] = (tag, stamp); tag 0 means empty via `valid`.
+    sets: Vec<Vec<(u64, u64, bool)>>,
+    tick: u64,
+    /// Access statistics.
+    pub stats: CacheLevelStats,
+}
+
+impl CacheModel {
+    /// Build a cache with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-power-of-two geometry.
+    pub fn new(params: CacheParams) -> CacheModel {
+        assert!(params.line.is_power_of_two(), "line size must be a power of two");
+        let sets = params.sets();
+        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
+        CacheModel {
+            params,
+            sets: vec![vec![(0, 0, false); params.ways]; sets as usize],
+            tick: 0,
+            stats: CacheLevelStats::default(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> CacheParams {
+        self.params
+    }
+
+    /// Access `paddr`; returns `true` on hit. A miss fills the line
+    /// (evicting LRU).
+    pub fn access(&mut self, paddr: u64) -> bool {
+        self.tick += 1;
+        let line = paddr / self.params.line;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        let ways = &mut self.sets[set];
+        if let Some(w) = ways.iter_mut().find(|(t, _, v)| *v && *t == tag) {
+            w.1 = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, stamp, valid))| (*valid, *stamp))
+            .map(|(i, _)| i)
+            .expect("ways > 0");
+        ways[victim] = (tag, self.tick, true);
+        false
+    }
+
+    /// Drop all lines.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in set {
+                way.2 = false;
+            }
+        }
+    }
+}
+
+/// A tiny fully-associative TLB model (the functional walker translates
+/// every access; the TLB decides whether to *charge* for the walk).
+#[derive(Debug, Clone)]
+pub struct TlbModel {
+    entries: Vec<(u64, u64)>, // (vpn, stamp)
+    capacity: usize,
+    tick: u64,
+    /// Hit/miss statistics.
+    pub stats: CacheLevelStats,
+}
+
+impl TlbModel {
+    /// A TLB with `capacity` entries.
+    pub fn new(capacity: usize) -> TlbModel {
+        TlbModel {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            stats: CacheLevelStats::default(),
+        }
+    }
+
+    /// Access the page of `vaddr`; returns `true` on hit and fills on
+    /// miss.
+    pub fn access(&mut self, vaddr: u64) -> bool {
+        self.tick += 1;
+        let vpn = vaddr >> 12;
+        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
+            e.1 = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((vpn, self.tick));
+        false
+    }
+
+    /// Flush all translations (satp write / sfence.vma).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// A gshare branch direction predictor plus a direct-mapped BTB — a
+/// stand-in for the Gem5 tournament predictor of Table 3.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    history: u64,
+    counters: Vec<u8>,
+    btb: Vec<(u64, bool)>, // (pc, valid) — predicts "taken target known"
+    /// Prediction statistics: hits = correct, misses = mispredictions.
+    pub stats: CacheLevelStats,
+}
+
+impl BranchPredictor {
+    /// A predictor with 2^`bits` two-bit counters.
+    pub fn new(bits: u32) -> BranchPredictor {
+        BranchPredictor {
+            history: 0,
+            counters: vec![1; 1 << bits],
+            btb: vec![(0, false); 1024],
+            stats: CacheLevelStats::default(),
+        }
+    }
+
+    /// Record the outcome of a conditional branch at `pc`; returns `true`
+    /// if the prediction was correct.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let mask = self.counters.len() as u64 - 1;
+        let idx = (((pc >> 2) ^ self.history) & mask) as usize;
+        let predict_taken = self.counters[idx] >= 2;
+        let ctr = &mut self.counters[idx];
+        if taken {
+            *ctr = (*ctr + 1).min(3);
+        } else {
+            *ctr = ctr.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | taken as u64) & mask;
+        let correct = predict_taken == taken;
+        if correct {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        correct
+    }
+
+    /// Record an indirect/unconditional jump at `pc`; returns `true` if
+    /// the BTB already knew it (no redirect bubble).
+    pub fn btb_lookup_update(&mut self, pc: u64) -> bool {
+        let idx = ((pc >> 2) as usize) & (self.btb.len() - 1);
+        let hit = self.btb[idx] == (pc, true);
+        self.btb[idx] = (pc, true);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheModel {
+        // 4 sets × 2 ways × 64B lines = 512 B.
+        CacheModel::new(CacheParams { size: 512, line: 64, ways: 2, latency: 1 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x103f), "same line");
+        assert!(!c.access(0x1040), "next line");
+    }
+
+    #[test]
+    fn associativity_and_lru_eviction() {
+        let mut c = small();
+        // Three lines mapping to the same set (stride = sets*line = 256).
+        c.access(0x0);
+        c.access(0x100);
+        c.access(0x0); // touch: 0x100 becomes LRU
+        c.access(0x200); // evicts 0x100
+        assert!(c.access(0x0));
+        assert!(!c.access(0x100), "was evicted");
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = small();
+        c.access(0x40);
+        c.flush();
+        assert!(!c.access(0x40));
+    }
+
+    #[test]
+    fn sets_geometry() {
+        let p = CacheParams { size: 32 << 10, line: 64, ways: 4, latency: 2 };
+        assert_eq!(p.sets(), 128);
+    }
+
+    #[test]
+    fn tlb_hits_within_page_misses_across() {
+        let mut t = TlbModel::new(4);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1fff));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    fn tlb_lru_and_flush() {
+        let mut t = TlbModel::new(2);
+        t.access(0x1000);
+        t.access(0x2000);
+        t.access(0x1000); // 0x2000 is LRU
+        t.access(0x3000); // evict 0x2000
+        assert!(t.access(0x1000));
+        assert!(!t.access(0x2000));
+        t.flush();
+        assert!(!t.access(0x1000));
+    }
+
+    #[test]
+    fn predictor_learns_a_loop() {
+        let mut p = BranchPredictor::new(12);
+        // A loop branch taken 100 times: after warmup it must predict well.
+        for _ in 0..100 {
+            p.predict_and_update(0x8000_0000, true);
+        }
+        assert!(p.stats.hits > 80, "hits={}", p.stats.hits);
+    }
+
+    #[test]
+    fn btb_learns_jump_targets() {
+        let mut p = BranchPredictor::new(12);
+        assert!(!p.btb_lookup_update(0x1000));
+        assert!(p.btb_lookup_update(0x1000));
+    }
+}

@@ -1,0 +1,475 @@
+//! Application-like guest workloads (Figures 6, 7 and 8).
+//!
+//! The paper runs SQLite's speed test, the Mbedtls benchmark and
+//! gzip/tar. Those binaries cannot run on the emulator, so each is
+//! replaced by a generated program with the *performance-relevant
+//! characteristics* of the original: its instruction mix (pointer-chasing
+//! vs ARX compute vs streaming), its working-set size, and its syscall
+//! frequency — the quantities that determine the decomposition overhead
+//! being measured. See DESIGN.md ("Substitutions").
+
+use isa_asm::{Asm, Program, Reg::*};
+use isa_sim::mmu::pte;
+use simkernel::layout::{self, sys};
+use simkernel::usr;
+
+/// The application suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// SQLite-speedtest-like: hash + dependent index walks over a large
+    /// table, journal write + page read every few operations.
+    Sqlite,
+    /// Mbedtls-benchmark-like: register-resident ARX rounds, very rare
+    /// syscalls.
+    Mbedtls,
+    /// gzip-like: streaming input scan with hash-table match search and
+    /// periodic output writes.
+    Gzip,
+    /// tar-like: per-file stat/open/read-loop/write/close.
+    Tar,
+}
+
+/// Workload knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppParams {
+    /// Scale: operations for Sqlite, blocks for Mbedtls, input KiB for
+    /// Gzip, files for Tar.
+    pub scale: u64,
+    /// If non-zero, issue a `mapctl` page-mapping update every N
+    /// operations (exercises the nested monitor in Figure 8).
+    pub map_every: u64,
+    /// If non-zero, invoke an ioctl service every N operations
+    /// (exercises the per-service ISA domains and their gates — kernel
+    /// modules are hot while applications run, §7.1).
+    pub svc_every: u64,
+}
+
+impl AppParams {
+    /// A small, test-friendly configuration.
+    pub fn small() -> AppParams {
+        AppParams { scale: 64, map_every: 0, svc_every: 0 }
+    }
+
+    /// The benchmark-scale configuration.
+    pub fn bench() -> AppParams {
+        AppParams { scale: 3000, map_every: 0, svc_every: 0 }
+    }
+
+    /// Add mapping churn.
+    pub fn with_map_every(mut self, n: u64) -> AppParams {
+        self.map_every = n;
+        self
+    }
+
+    /// Add kernel-service churn.
+    pub fn with_svc_every(mut self, n: u64) -> AppParams {
+        self.svc_every = n;
+        self
+    }
+}
+
+impl App {
+    /// The suite in the figures' order.
+    pub const ALL: [App; 4] = [App::Sqlite, App::Mbedtls, App::Gzip, App::Tar];
+
+    /// Benchmark-scale parameters tuned per app (gzip's scale is input
+    /// KiB and must stay below its 2 MiB buffer).
+    pub fn bench_params(&self) -> AppParams {
+        let scale = match self {
+            App::Sqlite => 4000,
+            App::Mbedtls => 30000,
+            App::Gzip => 512,
+            App::Tar => 24,
+        };
+        AppParams { scale, map_every: 0, svc_every: 0 }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::Sqlite => "sqlite",
+            App::Mbedtls => "mbedtls",
+            App::Gzip => "gzip",
+            App::Tar => "tar",
+        }
+    }
+
+    /// Number of main-loop iterations the program will execute for the
+    /// given parameters (churn knobs count iterations, not `scale`).
+    pub fn loop_iterations(&self, p: AppParams) -> u64 {
+        match self {
+            App::Gzip => p.scale * 1024 / 8,
+            _ => p.scale,
+        }
+    }
+
+    /// Build the guest program.
+    pub fn program(&self, p: AppParams) -> Program {
+        match self {
+            App::Sqlite => sqlite(p),
+            App::Mbedtls => mbedtls(p),
+            App::Gzip => gzip(p),
+            App::Tar => tar(p),
+        }
+    }
+}
+
+/// Seed the guest-side LCG: s7 = multiplier, s6 = increment, s8 = state.
+fn lcg_init(a: &mut Asm, seed: u64) {
+    a.li(S7, 6364136223846793005);
+    a.li(S6, 1442695040888963407);
+    a.li(S8, seed);
+}
+
+/// s8 = s8 * s7 + s6; copy into `dst`.
+fn lcg_next(a: &mut Asm, dst: isa_asm::Reg) {
+    a.mul(S8, S8, S7);
+    a.add(S8, S8, S6);
+    a.mv(dst, S8);
+}
+
+/// Emit the optional mapctl churn (uses s9 = base PTE, s10 = page
+/// counter, s11 = countdown).
+fn map_churn_init(a: &mut Asm, p: AppParams) {
+    if p.map_every == 0 {
+        return;
+    }
+    let base_pte = (layout::SCRATCH_PAGES >> 12 << 10)
+        | pte::V
+        | pte::R
+        | pte::W
+        | pte::U
+        | pte::A
+        | pte::D;
+    a.li(S9, base_pte);
+    a.li(S10, 0);
+    a.li(S11, p.map_every);
+}
+
+/// Emit the optional service churn (s1 = countdown).
+fn svc_churn_init(a: &mut Asm, p: AppParams) {
+    if p.svc_every == 0 {
+        return;
+    }
+    a.li(S1, p.svc_every);
+}
+
+fn svc_churn_step(a: &mut Asm, p: AppParams, uniq: &str) {
+    if p.svc_every == 0 {
+        return;
+    }
+    let skip = format!("svc_skip_{uniq}");
+    a.addi(S1, S1, -1);
+    a.bnez(S1, &skip);
+    a.li(S1, p.svc_every);
+    a.andi(A0, S4, 1); // alternate between two hot services
+    a.li(A1, 0);
+    usr::syscall(a, sys::IOCTL);
+    a.label(&skip);
+}
+
+fn map_churn_step(a: &mut Asm, p: AppParams, uniq: &str) {
+    if p.map_every == 0 {
+        return;
+    }
+    let skip = format!("map_skip_{uniq}");
+    a.addi(S11, S11, -1);
+    a.bnez(S11, &skip);
+    a.li(S11, p.map_every);
+    a.andi(A0, S10, 15);
+    a.slli(A1, A0, 10); // frame ppn advances by 1 per page
+    a.add(A1, A1, S9);
+    usr::syscall(a, sys::MAPCTL);
+    a.addi(S10, S10, 1);
+    a.label(&skip);
+}
+
+/// SQLite-like: large-table index probes with journaling I/O.
+fn sqlite(p: AppParams) -> Program {
+    let mut a = usr::program();
+    let table = usr::heap_base();
+    let slots: u64 = 1 << 17; // 1 MiB of u64 slots
+    let iobuf = table + slots * 8;
+
+    // Build the "index": fill the table with pseudo-random values.
+    lcg_init(&mut a, 0x5EED);
+    a.li(T0, table);
+    a.li(T1, slots);
+    a.label("fill");
+    lcg_next(&mut a, T2);
+    a.sd(T2, T0, 0);
+    a.addi(T0, T0, 8);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "fill");
+
+    // Open the database file and the journal.
+    a.li(A0, 2);
+    usr::syscall(&mut a, sys::OPEN);
+    a.mv(S5, A0); // db fd
+    a.li(A0, 3);
+    usr::syscall(&mut a, sys::OPEN);
+    a.mv(S3, A0); // journal fd (s3 reused before measure_start... no!)
+    // s2/s3 are the measurement registers: stash the journal fd in memory.
+    a.li(T0, iobuf + 4096);
+    a.sd(A0, T0, 0);
+
+    map_churn_init(&mut a, p);
+    svc_churn_init(&mut a, p);
+    usr::measure_start(&mut a);
+    usr::repeat(&mut a, p.scale, "op", |a| {
+        // key -> slot, then a 4-step dependent walk.
+        lcg_next(a, T0);
+        a.li(T1, slots - 1);
+        a.and(T0, T0, T1);
+        a.li(T2, table);
+        for step in 0..4 {
+            a.slli(T3, T0, 3);
+            a.add(T3, T3, T2);
+            a.ld(T4, T3, 0);
+            if step < 3 {
+                a.add(T0, T0, T4);
+                a.addi(T0, T0, 1);
+                a.and(T0, T0, T1);
+            }
+        }
+        // Every 16th op: journal write + page read (64 B each).
+        a.andi(T5, S4, 15);
+        a.bnez(T5, "op_no_io");
+        a.li(T0, iobuf + 4096);
+        a.ld(A0, T0, 0); // journal fd
+        a.li(A1, iobuf);
+        a.li(A2, 64);
+        usr::syscall(a, sys::WRITE);
+        a.mv(A0, S5);
+        a.li(A1, iobuf);
+        a.li(A2, 64);
+        usr::syscall(a, sys::READ);
+        a.label("op_no_io");
+        map_churn_step(a, p, "sql");
+        svc_churn_step(a, p, "sql");
+    });
+    usr::measure_end_report(&mut a);
+    usr::exit_code(&mut a, 0);
+    a.assemble().expect("sqlite workload assembles")
+}
+
+/// Mbedtls-like: ChaCha-flavoured ARX rounds, register-resident.
+fn mbedtls(p: AppParams) -> Program {
+    let mut a = usr::program();
+    lcg_init(&mut a, 0xC4A0);
+    // Working state in t0..t3 / a2..a5.
+    for r in [T0, T1, T2, T3, A2, A3, A4, A5] {
+        lcg_next(&mut a, r);
+    }
+    map_churn_init(&mut a, p);
+    svc_churn_init(&mut a, p);
+    usr::measure_start(&mut a);
+    usr::repeat(&mut a, p.scale, "blk", |a| {
+        for _round in 0..8 {
+            // Quarter-round-ish mixing on two register pairs.
+            a.add(T0, T0, T1);
+            a.xor(T3, T3, T0);
+            a.slli(T4, T3, 16);
+            a.srli(T3, T3, 48);
+            a.or(T3, T3, T4);
+            a.add(A2, A2, A3);
+            a.xor(A5, A5, A2);
+            a.slli(T5, A5, 12);
+            a.srli(A5, A5, 52);
+            a.or(A5, A5, T5);
+            a.add(T2, T2, T3);
+            a.xor(T1, T1, T2);
+            a.slli(T4, T1, 8);
+            a.srli(T1, T1, 56);
+            a.or(T1, T1, T4);
+        }
+        // Rare I/O: one 16-byte write per 1024 blocks.
+        a.slli(T4, S4, 54);
+        a.srli(T4, T4, 54); // s4 & 1023
+        a.bnez(T4, "blk_no_io");
+        a.li(A0, 1); // stdout -> console
+        a.li(A1, usr::heap_base());
+        a.li(A2, 16);
+        usr::syscall(a, sys::WRITE);
+        a.label("blk_no_io");
+        map_churn_step(a, p, "tls");
+        svc_churn_step(a, p, "tls");
+    });
+    usr::measure_end_report(&mut a);
+    usr::exit_code(&mut a, 0);
+    a.assemble().expect("mbedtls workload assembles")
+}
+
+/// gzip-like: streaming scan with a hash table and periodic writes.
+fn gzip(p: AppParams) -> Program {
+    let mut a = usr::program();
+    let input = usr::heap_base();
+    let input_bytes = p.scale * 1024;
+    assert!(input_bytes <= 0x20_0000, "gzip input must fit below the hash table");
+    let htab = input + 0x20_0000; // 32 KiB hash table (4096 entries)
+    let output = input + 0x40_0000;
+
+    // Generate compressible-ish input (low-entropy: values masked).
+    lcg_init(&mut a, 0x6219);
+    a.li(T0, input);
+    a.li(T1, input_bytes / 8);
+    a.label("gen");
+    lcg_next(&mut a, T2);
+    a.andi(T2, T2, 0xff);
+    a.sd(T2, T0, 0);
+    a.addi(T0, T0, 8);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "gen");
+
+    // Open the output file.
+    a.li(A0, 3);
+    usr::syscall(&mut a, sys::OPEN);
+    a.li(T0, output - 16);
+    a.sd(A0, T0, 0);
+
+    map_churn_init(&mut a, p);
+    svc_churn_init(&mut a, p);
+    usr::measure_start(&mut a);
+    // One iteration = one 8-byte step of the scan.
+    usr::repeat(&mut a, input_bytes / 8, "scan", |a| {
+        // pos = (iters - s4) * 8
+        a.li(T0, input_bytes / 8);
+        a.sub(T0, T0, S4);
+        a.slli(T0, T0, 3);
+        a.li(T1, input);
+        a.add(T1, T1, T0); // &input[pos]
+        a.ld(T2, T1, 0); // v
+        // h = (v * K) >> 52 (12-bit index)
+        a.li(T3, 0x9E37_79B9_7F4A_7C15);
+        a.mul(T3, T2, T3);
+        a.srli(T3, T3, 52);
+        a.slli(T3, T3, 3);
+        a.li(T4, htab);
+        a.add(T4, T4, T3);
+        a.ld(T5, T4, 0); // candidate previous position
+        a.sd(T0, T4, 0); // update table with current position
+        // Match check: load the candidate and compare.
+        a.li(T6, input);
+        a.add(T6, T6, T5);
+        a.ld(T6, T6, 0);
+        a.bne(T6, T2, "no_match");
+        // "Match": account it (cheap path).
+        a.addi(S5, S5, 1);
+        a.j("emitted");
+        a.label("no_match");
+        // "Literal": copy to output.
+        a.li(T4, output);
+        a.add(T4, T4, T0);
+        a.sd(T2, T4, 0);
+        a.label("emitted");
+        // Flush 4 KiB to the file every 512 steps.
+        a.slli(T4, S4, 55);
+        a.srli(T4, T4, 55);
+        a.bnez(T4, "no_flush");
+        a.li(T0, output - 16);
+        a.ld(A0, T0, 0);
+        a.li(A1, output);
+        a.li(A2, 4096);
+        usr::syscall(a, sys::WRITE);
+        a.label("no_flush");
+        map_churn_step(a, p, "gz");
+        svc_churn_step(a, p, "gz");
+    });
+    usr::measure_end_report(&mut a);
+    usr::exit_code(&mut a, 0);
+    a.assemble().expect("gzip workload assembles")
+}
+
+/// tar-like: archive `scale` files of 16 KiB each.
+fn tar(p: AppParams) -> Program {
+    let mut a = usr::program();
+    let buf = usr::heap_base();
+    // Open the archive (file 3) once.
+    a.li(A0, 3);
+    usr::syscall(&mut a, sys::OPEN);
+    a.li(T0, buf + 0x1_0000);
+    a.sd(A0, T0, 0);
+
+    map_churn_init(&mut a, p);
+    svc_churn_init(&mut a, p);
+    usr::measure_start(&mut a);
+    usr::repeat(&mut a, p.scale, "file", |a| {
+        // stat + open the source (file 2).
+        a.li(A0, 2);
+        a.li(A1, buf + 0x1_0100);
+        usr::syscall(a, sys::STAT);
+        a.li(A0, 2);
+        usr::syscall(a, sys::OPEN);
+        a.mv(S5, A0);
+        // 16 × 1 KiB chunks: read, checksum, append header+data.
+        a.li(S6, 16);
+        a.label("chunk");
+        a.mv(A0, S5);
+        a.li(A1, buf);
+        a.li(A2, 1024);
+        usr::syscall(a, sys::READ);
+        // Checksum the chunk (word sums).
+        a.li(T0, buf);
+        a.li(T1, 128);
+        a.li(T2, 0);
+        a.label("csum");
+        a.ld(T3, T0, 0);
+        a.add(T2, T2, T3);
+        a.addi(T0, T0, 8);
+        a.addi(T1, T1, -1);
+        a.bnez(T1, "csum");
+        // Append to the archive.
+        a.li(T0, buf + 0x1_0000);
+        a.ld(A0, T0, 0);
+        a.li(A1, buf);
+        a.li(A2, 1024);
+        usr::syscall(a, sys::WRITE);
+        a.addi(S6, S6, -1);
+        a.bnez(S6, "chunk");
+        a.mv(A0, S5);
+        usr::syscall(a, sys::CLOSE);
+        map_churn_step(a, p, "tar");
+        svc_churn_step(a, p, "tar");
+    });
+    usr::measure_end_report(&mut a);
+    usr::exit_code(&mut a, 0);
+    a.assemble().expect("tar workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::{KernelConfig, SimBuilder};
+
+    #[test]
+    fn all_apps_run_to_completion() {
+        for app in App::ALL {
+            let prog = app.program(AppParams::small());
+            for cfg in [KernelConfig::native(), KernelConfig::decomposed()] {
+                let mut sim = SimBuilder::new(cfg).boot(&prog, None);
+                let code = sim.run_to_halt(80_000_000);
+                assert_eq!(code, 0, "{} on {cfg:?}", app.name());
+                assert!(sim.values()[0] > 0, "{}", app.name());
+            }
+        }
+    }
+
+    #[test]
+    fn map_churn_exercises_the_monitor() {
+        let prog = App::Tar.program(AppParams { scale: 8, map_every: 2, svc_every: 0 });
+        let mut sim = SimBuilder::new(KernelConfig::nested(true)).boot(&prog, None);
+        assert_eq!(sim.run_to_halt(80_000_000), 0);
+        let logged = sim.machine.bus.read_u64(simkernel::layout::MONLOG);
+        assert_eq!(logged, 4, "8 files / every 2 = 4 mapctl calls");
+    }
+
+    #[test]
+    fn labels_inside_repeat_do_not_collide() {
+        // Each app program assembles exactly once per param set — the
+        // label scheme must tolerate rebuilding with new params.
+        for app in App::ALL {
+            let _ = app.program(AppParams::small());
+            let _ = app.program(AppParams { scale: 32, map_every: 4, svc_every: 8 });
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # workloads — benchmark programs for the ISA-Grid evaluation
+//!
+//! Guest user programs standing in for the paper's software setup (§7):
+//! an LMbench-style micro-benchmark suite ([`lmbench::LmBench`]), four
+//! application-like workloads ([`apps::App`]: sqlite/mbedtls/gzip/tar
+//! analogues), and a measurement harness ([`measure`]) that runs them
+//! under any kernel configuration and timing platform.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod lmbench;
+pub mod measure;
+
+pub use apps::{App, AppParams};
+pub use lmbench::LmBench;

@@ -1,0 +1,306 @@
+//! LMbench-style micro-benchmarks (Figure 5's workload).
+//!
+//! Each benchmark is a guest user program that warms up, runs `iters`
+//! measured operations bracketed by `rdcycle`, reports the measured cycle
+//! count through the value log, and exits. The host divides by the
+//! operation count.
+
+use isa_asm::{Asm, Program, Reg::*};
+use simkernel::layout::sys;
+use simkernel::usr;
+
+/// The micro-benchmark suite (the usual `lat_syscall`/`lat_sig`/
+/// `lat_pipe`/`lat_ctx` family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LmBench {
+    /// `lat_syscall null`: empty `getpid` round trip.
+    NullCall,
+    /// `lat_syscall read`: 1-byte read from the zero device.
+    Read,
+    /// `lat_syscall write`: 1-byte write to the null device.
+    Write,
+    /// `lat_syscall stat`.
+    Stat,
+    /// `lat_syscall fstat`.
+    Fstat,
+    /// `lat_syscall open`: open+close pair.
+    OpenClose,
+    /// `lat_sig install`: sigaction.
+    SigInstall,
+    /// `lat_sig catch`: raise + handler + sigreturn.
+    SigHandle,
+    /// `lat_pipe`: 1-byte ping-pong between two tasks.
+    PipeLatency,
+    /// `lat_ctx`: yield between two tasks.
+    CtxSwitch,
+}
+
+impl LmBench {
+    /// Every benchmark, in Figure 5 order.
+    pub const ALL: [LmBench; 10] = [
+        LmBench::NullCall,
+        LmBench::Read,
+        LmBench::Write,
+        LmBench::Stat,
+        LmBench::Fstat,
+        LmBench::OpenClose,
+        LmBench::SigInstall,
+        LmBench::SigHandle,
+        LmBench::PipeLatency,
+        LmBench::CtxSwitch,
+    ];
+
+    /// Short display name (matches LMbench's labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LmBench::NullCall => "null call",
+            LmBench::Read => "read",
+            LmBench::Write => "write",
+            LmBench::Stat => "stat",
+            LmBench::Fstat => "fstat",
+            LmBench::OpenClose => "open/close",
+            LmBench::SigInstall => "sig inst",
+            LmBench::SigHandle => "sig hndl",
+            LmBench::PipeLatency => "pipe",
+            LmBench::CtxSwitch => "ctx sw",
+        }
+    }
+
+    /// Operations performed per reported measurement (for per-op
+    /// latency).
+    pub fn ops(&self, iters: u64) -> u64 {
+        match self {
+            // Ping-pong counts two hops per round.
+            LmBench::PipeLatency => iters * 2,
+            _ => iters,
+        }
+    }
+
+    /// Label of the second task's entry point, when the benchmark needs
+    /// a partner task.
+    pub fn task2(&self) -> Option<&'static str> {
+        match self {
+            LmBench::PipeLatency | LmBench::CtxSwitch => Some("task1"),
+            _ => None,
+        }
+    }
+
+    /// Build the guest program running `iters` measured operations.
+    pub fn program(&self, iters: u64) -> Program {
+        let mut a = usr::program();
+        match self {
+            LmBench::NullCall => {
+                usr::repeat(&mut a, 8, "warm", |a| usr::syscall(a, sys::GETPID));
+                usr::measure_start(&mut a);
+                usr::repeat(&mut a, iters, "m", |a| usr::syscall(a, sys::GETPID));
+                usr::measure_end_report(&mut a);
+            }
+            LmBench::Read => {
+                a.li(A0, 0);
+                usr::syscall(&mut a, sys::OPEN);
+                a.mv(S5, A0);
+                usr::repeat(&mut a, 8, "warm", |a| {
+                    read1(a);
+                });
+                usr::measure_start(&mut a);
+                usr::repeat(&mut a, iters, "m", |a| {
+                    read1(a);
+                });
+                usr::measure_end_report(&mut a);
+            }
+            LmBench::Write => {
+                a.li(A0, 1); // null device
+                usr::syscall(&mut a, sys::OPEN);
+                a.mv(S5, A0);
+                usr::repeat(&mut a, 8, "warm", |a| {
+                    write1(a);
+                });
+                usr::measure_start(&mut a);
+                usr::repeat(&mut a, iters, "m", |a| {
+                    write1(a);
+                });
+                usr::measure_end_report(&mut a);
+            }
+            LmBench::Stat => {
+                usr::measure_start(&mut a);
+                usr::repeat(&mut a, iters, "m", |a| {
+                    a.li(A0, 2);
+                    a.li(A1, usr::heap_base());
+                    usr::syscall(a, sys::STAT);
+                });
+                usr::measure_end_report(&mut a);
+            }
+            LmBench::Fstat => {
+                a.li(A0, 2);
+                usr::syscall(&mut a, sys::OPEN);
+                a.mv(S5, A0);
+                usr::measure_start(&mut a);
+                usr::repeat(&mut a, iters, "m", |a| {
+                    a.mv(A0, S5);
+                    a.li(A1, usr::heap_base());
+                    usr::syscall(a, sys::FSTAT);
+                });
+                usr::measure_end_report(&mut a);
+            }
+            LmBench::OpenClose => {
+                usr::measure_start(&mut a);
+                usr::repeat(&mut a, iters, "m", |a| {
+                    a.li(A0, 2);
+                    usr::syscall(a, sys::OPEN);
+                    usr::syscall(a, sys::CLOSE); // fd already in a0
+                });
+                usr::measure_end_report(&mut a);
+            }
+            LmBench::SigInstall => {
+                a.la(S5, "handler");
+                usr::measure_start(&mut a);
+                usr::repeat(&mut a, iters, "m", |a| {
+                    a.mv(A0, S5);
+                    usr::syscall(a, sys::SIGACTION);
+                });
+                usr::measure_end_report(&mut a);
+                usr::exit_code(&mut a, 0);
+                a.label("handler");
+                usr::syscall(&mut a, sys::SIGRETURN);
+                return a.assemble().expect("lmbench assembles");
+            }
+            LmBench::SigHandle => {
+                a.la(T0, "handler");
+                a.mv(A0, T0);
+                usr::syscall(&mut a, sys::SIGACTION);
+                usr::measure_start(&mut a);
+                usr::repeat(&mut a, iters, "m", |a| {
+                    usr::syscall(a, sys::RAISE);
+                    // The handler runs before we resume here.
+                });
+                usr::measure_end_report(&mut a);
+                usr::exit_code(&mut a, 0);
+                a.label("handler");
+                usr::syscall(&mut a, sys::SIGRETURN);
+                a.label("hhang");
+                a.j("hhang");
+                return a.assemble().expect("lmbench assembles");
+            }
+            LmBench::PipeLatency => {
+                return pipe_pingpong(iters);
+            }
+            LmBench::CtxSwitch => {
+                return ctx_switch(iters);
+            }
+        }
+        usr::exit_code(&mut a, 0);
+        a.assemble().expect("lmbench assembles")
+    }
+}
+
+fn read1(a: &mut Asm) {
+    a.mv(A0, S5);
+    a.li(A1, usr::heap_base());
+    a.li(A2, 1);
+    usr::syscall(a, sys::READ);
+}
+
+fn write1(a: &mut Asm) {
+    a.mv(A0, S5);
+    a.li(A1, usr::heap_base());
+    a.li(A2, 1);
+    usr::syscall(a, sys::WRITE);
+}
+
+/// 1-byte ping-pong: task0 writes pipe A / reads pipe B, task1 echoes.
+fn pipe_pingpong(iters: u64) -> Program {
+    let mut a = usr::program();
+    let buf = usr::heap_base();
+    a.li(A0, 0);
+    usr::syscall(&mut a, sys::PIPE);
+    a.li(A0, 1);
+    usr::syscall(&mut a, sys::PIPE);
+    usr::measure_start(&mut a);
+    usr::repeat(&mut a, iters, "round", |a| {
+        a.li(T0, buf);
+        a.sb(S4, T0, 0);
+        a.li(A0, 9); // pipe A write end
+        a.li(A1, buf);
+        a.li(A2, 1);
+        usr::syscall(a, sys::WRITE);
+        a.label("t0_recv");
+        a.li(A0, 10); // pipe B read end
+        a.li(A1, buf + 8);
+        a.li(A2, 1);
+        usr::syscall(a, sys::READ);
+        a.bnez(A0, "t0_got");
+        usr::syscall(a, sys::YIELD);
+        a.j("t0_recv");
+        a.label("t0_got");
+    });
+    usr::measure_end_report(&mut a);
+    usr::exit_code(&mut a, 0);
+    a.label("task1");
+    a.label("t1_recv");
+    a.li(A0, 8);
+    a.li(A1, buf + 16);
+    a.li(A2, 1);
+    usr::syscall(&mut a, sys::READ);
+    a.bnez(A0, "t1_got");
+    usr::syscall(&mut a, sys::YIELD);
+    a.j("t1_recv");
+    a.label("t1_got");
+    a.li(A0, 11);
+    a.li(A1, buf + 16);
+    a.li(A2, 1);
+    usr::syscall(&mut a, sys::WRITE);
+    a.j("t1_recv");
+    a.assemble().expect("pipe benchmark assembles")
+}
+
+/// Pure context-switch churn: both tasks yield in a loop.
+fn ctx_switch(iters: u64) -> Program {
+    let mut a = usr::program();
+    usr::measure_start(&mut a);
+    usr::repeat(&mut a, iters, "m", |a| {
+        usr::syscall(a, sys::YIELD);
+    });
+    usr::measure_end_report(&mut a);
+    usr::exit_code(&mut a, 0);
+    a.label("task1");
+    a.label("t1_loop");
+    usr::syscall(&mut a, sys::YIELD);
+    a.j("t1_loop");
+    a.assemble().expect("ctx benchmark assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::{KernelConfig, SimBuilder};
+
+    #[test]
+    fn every_benchmark_runs_on_native_and_decomposed() {
+        for b in LmBench::ALL {
+            let prog = b.program(10);
+            for cfg in [KernelConfig::native(), KernelConfig::decomposed()] {
+                let mut sim = SimBuilder::new(cfg).boot(&prog, b.task2());
+                let code = sim.run_to_halt(20_000_000);
+                assert_eq!(code, 0, "{} on {cfg:?}", b.name());
+                assert_eq!(sim.values().len(), 1, "{}", b.name());
+                assert!(sim.values()[0] > 0, "{}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn measured_cycles_scale_with_iterations() {
+        let b = LmBench::NullCall;
+        let mut cycles = Vec::new();
+        for iters in [50u64, 100] {
+            let prog = b.program(iters);
+            let mut sim = SimBuilder::new(KernelConfig::native())
+                .platform(simkernel::Platform::Rocket)
+                .boot(&prog, None);
+            sim.run_to_halt(20_000_000);
+            cycles.push(sim.values()[0]);
+        }
+        let ratio = cycles[1] as f64 / cycles[0] as f64;
+        assert!((1.7..=2.3).contains(&ratio), "expected ~2x, got {ratio}");
+    }
+}

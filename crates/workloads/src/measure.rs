@@ -1,0 +1,97 @@
+//! Measurement harness: run a workload under a kernel configuration and
+//! collect the guest-reported cycles plus PCU statistics.
+
+use isa_asm::Program;
+use isa_grid::{GridCacheStats, PcuConfig};
+use simkernel::{KernelConfig, Platform, SimBuilder};
+
+/// Everything one run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Cycle counts the guest reported through the value log (one per
+    /// measured region).
+    pub reported: Vec<u64>,
+    /// Total modeled cycles for the whole run (boot + workload).
+    pub total_cycles: u64,
+    /// Instructions executed.
+    pub steps: u64,
+    /// PCU privilege-cache statistics.
+    pub cache: GridCacheStats,
+    /// Gate calls performed.
+    pub gate_calls: u64,
+    /// Exit code.
+    pub exit_code: u64,
+}
+
+impl RunResult {
+    /// The first (usually only) reported measurement.
+    pub fn cycles(&self) -> u64 {
+        self.reported[0]
+    }
+}
+
+/// Run `prog` to completion under the given configuration.
+///
+/// # Panics
+///
+/// Panics if the guest does not halt within `max_steps` or exits
+/// non-zero.
+pub fn run(
+    kernel: KernelConfig,
+    platform: Platform,
+    pcu: PcuConfig,
+    prog: &Program,
+    task2: Option<&str>,
+    max_steps: u64,
+) -> RunResult {
+    let mut sim = SimBuilder::new(kernel).platform(platform).pcu(pcu).boot(prog, task2);
+    let exit_code = sim.run_to_halt(max_steps);
+    assert_eq!(exit_code, 0, "workload failed under {kernel:?}");
+    RunResult {
+        reported: sim.values().to_vec(),
+        total_cycles: sim.cycles(),
+        steps: sim.machine.steps,
+        cache: sim.machine.ext.cache_stats(),
+        gate_calls: sim.machine.ext.stats.gate_calls,
+        exit_code,
+    }
+}
+
+/// Percent overhead of `grid` relative to `baseline`.
+pub fn overhead_pct(baseline: u64, grid: u64) -> f64 {
+    (grid as f64 - baseline as f64) / baseline as f64 * 100.0
+}
+
+/// Normalized execution time (the y-axis of Figures 5–8).
+pub fn normalized(baseline: u64, grid: u64) -> f64 {
+    grid as f64 / baseline as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lmbench::LmBench;
+
+    #[test]
+    fn run_collects_stats() {
+        let prog = LmBench::NullCall.program(20);
+        let r = run(
+            KernelConfig::decomposed(),
+            Platform::Rocket,
+            PcuConfig::eight_e(),
+            &prog,
+            None,
+            20_000_000,
+        );
+        assert_eq!(r.reported.len(), 1);
+        assert!(r.total_cycles >= r.cycles());
+        assert!(r.steps > 0);
+        assert!(r.gate_calls >= 1, "boot gate at least");
+    }
+
+    #[test]
+    fn overhead_math() {
+        assert_eq!(overhead_pct(100, 101), 1.0);
+        assert_eq!(normalized(200, 201), 1.005);
+    }
+}

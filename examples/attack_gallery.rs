@@ -1,0 +1,53 @@
+//! The Table 1 attack gallery: every surveyed ISA-abuse-based attack,
+//! mounted through an "exploited kernel component" against the native
+//! kernel (where it succeeds) and the ISA-Grid decomposed kernel (where
+//! the PCU kills it).
+//!
+//! Run with: `cargo run --release --example attack_gallery`
+
+use simkernel::layout::{exit, sys, vuln_op};
+use simkernel::{usr, KernelConfig, SimBuilder};
+
+const ATTACKS: [(u64, &str, &str); 8] = [
+    (vuln_op::WRITE_STVEC, "Controlled-Channel Attacks [77]", "IDTR (stvec)"),
+    (vuln_op::READ_DBG, "FORESHADOW / TRESOR-HUNT [63,15]", "DR0-7 (dbg0)"),
+    (vuln_op::READ_PMU, "NAILGUN Attacks [51]", "PMU regs (hpmcounter)"),
+    (vuln_op::WRITE_WPCTL, "Stealthy Page-Table Attacks [64]", "CR0.CD/WP (wpctl)"),
+    (vuln_op::WRITE_SATP, "Super-Root-style PT takeover [79]", "CR3 (satp)"),
+    (vuln_op::WRITE_BTBCTL, "SgxPectre Attacks [16]", "MSR 0x48/0x49 (btbctl)"),
+    (vuln_op::WRITE_VFCTL, "Voltage-based Attacks [36,48,54]", "MSR 0x150 (vfctl)"),
+    (vuln_op::READ_CYCLE, "Timing side channels [77]", "rdtsc (cycle)"),
+];
+
+fn mount(op: u64, cfg: KernelConfig) -> u64 {
+    let mut a = usr::program();
+    a.li(isa_asm::Reg::A0, op);
+    usr::syscall(&mut a, sys::VULN);
+    usr::exit_code(&mut a, 0x600D); // "good" for the attacker
+    let prog = a.assemble().expect("assembles");
+    let mut sim = SimBuilder::new(cfg).boot(&prog, None);
+    sim.run_to_halt(5_000_000)
+}
+
+fn main() {
+    println!("{:<36} {:<22} {:<10} ISA-Grid", "attack", "prerequisite", "native");
+    println!("{}", "-".repeat(88));
+    let mut blocked = 0;
+    for (op, attack, resource) in ATTACKS {
+        let native = mount(op, KernelConfig::native());
+        let mut cfg = KernelConfig::decomposed();
+        cfg.deny_cycle = true;
+        let grid = mount(op, cfg);
+        let native_s = if native == 0x600D { "SUCCEEDS" } else { "blocked" };
+        let grid_s = if grid & exit::GRID_FAULT == exit::GRID_FAULT {
+            blocked += 1;
+            format!("BLOCKED (cause {})", grid & 0xff)
+        } else {
+            "succeeds!?".into()
+        };
+        println!("{attack:<36} {resource:<22} {native_s:<10} {grid_s}");
+    }
+    println!("{}", "-".repeat(88));
+    println!("{blocked}/{} attacks mitigated by fine-grained ISA-resource control", ATTACKS.len());
+    assert_eq!(blocked, ATTACKS.len());
+}

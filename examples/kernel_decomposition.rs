@@ -1,0 +1,62 @@
+//! Use case 1 (§6.1): decomposing a kernel with ISA-Grid.
+//!
+//! Boots the full guest kernel in its decomposed configuration — the
+//! kernel body in a de-privileged basic domain, `satp` writers and the
+//! four ioctl services behind gates in their own domains — runs a
+//! workload, and prints what the PCU saw.
+//!
+//! Run with: `cargo run --release --example kernel_decomposition`
+
+use simkernel::layout::sys;
+use simkernel::{usr, KernelConfig, Platform, SimBuilder};
+
+fn main() {
+    // A user program that exercises files, services and the scheduler.
+    let mut a = usr::program();
+    a.li(isa_asm::Reg::A0, 2);
+    usr::syscall(&mut a, sys::OPEN);
+    a.mv(isa_asm::Reg::S5, isa_asm::Reg::A0);
+    usr::repeat(&mut a, 50, "io", |a| {
+        a.mv(isa_asm::Reg::A0, isa_asm::Reg::S5);
+        a.li(isa_asm::Reg::A1, usr::heap_base());
+        a.li(isa_asm::Reg::A2, 256);
+        usr::syscall(a, sys::READ);
+    });
+    usr::repeat(&mut a, 20, "svc", |a| {
+        a.andi(isa_asm::Reg::A0, isa_asm::Reg::S4, 3);
+        a.li(isa_asm::Reg::A1, 0);
+        usr::syscall(a, sys::IOCTL);
+    });
+    usr::exit_code(&mut a, 0);
+    let user = a.assemble().expect("assembles");
+
+    for (name, cfg) in [
+        ("native ", KernelConfig::native()),
+        ("ISA-Grid", KernelConfig::decomposed()),
+    ] {
+        let mut sim = SimBuilder::new(cfg).platform(Platform::Rocket).boot(&user, None);
+        let code = sim.run_to_halt(100_000_000);
+        let cycles = sim.cycles();
+        println!("{name}: exit {code}, {cycles} cycles, {} instructions", sim.machine.steps);
+        if cfg.mode.uses_grid() {
+            let s = sim.machine.ext.stats;
+            let c = sim.machine.ext.cache_stats();
+            println!(
+                "          domain now: {}, gate calls: {}, inst checks: {}, csr checks: {}",
+                sim.machine.ext.current_domain(),
+                s.gate_calls,
+                s.inst_checks,
+                s.csr_checks
+            );
+            println!(
+                "          HPT reg cache: {:.3}% hit, SGT cache: {:.3}% hit, faults: {}",
+                c.reg.hit_rate() * 100.0,
+                c.sgt.hit_rate() * 100.0,
+                s.faults
+            );
+        }
+    }
+    println!("\nThe decomposed kernel computed the same results with the kernel body");
+    println!("holding no right to touch satp/stvec/MSR-analogues — those live in");
+    println!("dedicated ISA domains reachable only through registered gates.");
+}

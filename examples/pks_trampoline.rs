@@ -1,0 +1,130 @@
+//! Use case 3 (§6.3): protecting Intel-PKS-style protection keys with
+//! ISA-Grid. The `pkr` CSR (PKRU/PKRS analogue) is writable only inside
+//! a trampoline's ISA domain, so the classic MPK weakness — any code can
+//! execute `wrpkru` — disappears.
+//!
+//! Run with: `cargo run --release --example pks_trampoline`
+
+use isa_asm::{Asm, Reg::*};
+use isa_grid::{DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig};
+use isa_sim::csr::addr;
+use isa_sim::mmu::{pte, PageTableBuilder};
+use isa_sim::{mmio, Exit, Kind, Machine, DEFAULT_RAM_BASE as RAM};
+
+fn main() {
+    // Guest: S-mode code with paging on. A "secret" page carries
+    // protection key 3. The pkr register (2 bits per key) starts with
+    // key 3 access-disabled; only the trampoline domain may change it.
+    let mut a = Asm::new(RAM);
+    a.la(T0, "mtrap");
+    a.csrw(addr::MTVEC as u32, T0);
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, addr::MSTATUS as u32, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, addr::MSTATUS as u32, T1);
+    // Deny key 3 before entering the kernel: pkr = 01 << 6.
+    a.li(T0, 0b01 << 6);
+    a.csrw(addr::PKR as u32, T0);
+    a.csrr(T0, addr::MSCRATCH as u32); // satp prepared by host
+    a.csrw(addr::SATP as u32, T0);
+    a.la(T0, "kernel");
+    a.csrw(addr::MEPC as u32, T0);
+    a.mret();
+
+    a.label("kernel");
+    a.li(A0, 0);
+    a.label("boot_gate");
+    a.hccall(A0); // enter the untrusted domain
+    a.label("untrusted");
+    // The untrusted code asks the trampoline to open the secret domain,
+    // reads the secret, then the trampoline closes it again.
+    a.li(A0, 1);
+    a.label("open_gate");
+    a.hccall(A0); // -> trampoline (enable key 3)
+    a.label("after_open");
+    a.li(T0, 0x4000_0000);
+    a.ld(S5, T0, 0); // read the secret
+    a.li(A0, 2);
+    a.label("close_gate");
+    a.hccall(A0); // -> trampoline (disable key 3)
+    a.label("after_close");
+    // Directly executing wrpkr here would be the ERIM/Hodor attack:
+    a.li(T0, 0);
+    a.csrw(addr::PKR as u32, T0); // BLOCKED by the PCU
+    a.label("never");
+    a.li(S5, 0xbad);
+    a.j("report");
+
+    // The trampoline domain: the only place `csrw pkr` may execute.
+    a.label("tramp_open");
+    a.li(T0, 0);
+    a.csrw(addr::PKR as u32, T0); // enable all keys
+    a.li(A0, 3);
+    a.label("open_ret_gate");
+    a.hccall(A0);
+    a.label("tramp_close");
+    a.li(T0, 0b01 << 6);
+    a.csrw(addr::PKR as u32, T0); // deny key 3 again
+    a.li(A0, 4);
+    a.label("close_ret_gate");
+    a.hccall(A0);
+
+    a.label("mtrap");
+    a.csrr(T0, addr::MCAUSE as u32);
+    a.label("report");
+    a.li(T6, mmio::VALUE_LOG);
+    a.sd(S5, T6, 0);
+    a.sd(T0, T6, 0);
+    a.li(T6, mmio::HALT);
+    a.li(T5, 1);
+    a.sd(T5, T6, 0);
+    let prog = a.assemble().expect("assembles");
+
+    // Machine + page tables: identity map code, alias 0x4000_0000 to a
+    // secret frame tagged with protection key 3.
+    let mut m = Machine::new(Pcu::new(PcuConfig::eight_e()));
+    m.load_program(&prog);
+    let mut ptb = PageTableBuilder::new(&mut m.bus, RAM + 0x20_0000, 0x10_0000);
+    ptb.map_range(&mut m.bus, RAM, RAM, 2 << 20, pte::R | pte::W | pte::X);
+    ptb.map_range(&mut m.bus, 0x1000_0000, 0x1000_0000, 0x2000, pte::R | pte::W);
+    ptb.map_page(&mut m.bus, 0x4000_0000, RAM + 0x10_0000, pte::R | pte::key(3));
+    m.bus.write_u64(RAM + 0x10_0000, 0x5EC12E7);
+    m.cpu.csrs.write_raw(addr::MSCRATCH, ptb.satp());
+
+    m.ext.install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
+    // Untrusted domain: compute + CSR classes, but NO pkr rights.
+    let mut untrusted = DomainSpec::compute_only();
+    untrusted.allow_insts([Kind::Csrrw, Kind::Csrrs]);
+    // Trampoline domain: additionally owns pkr.
+    let mut tramp = untrusted.clone();
+    tramp.allow_csr_rw(addr::PKR);
+    let du = m.ext.add_domain(&mut m.bus, &untrusted);
+    let dt = m.ext.add_domain(&mut m.bus, &tramp);
+    for (site, dest, dom) in [
+        ("boot_gate", "untrusted", du),
+        ("open_gate", "tramp_open", dt),
+        ("close_gate", "tramp_close", dt),
+        ("open_ret_gate", "after_open", du),
+        ("close_ret_gate", "after_close", du),
+    ] {
+        m.ext.add_gate(&mut m.bus, GateSpec {
+            gate_addr: prog.symbol(site),
+            dest_addr: prog.symbol(dest),
+            dest_domain: dom,
+        });
+    }
+
+    match m.run(100_000) {
+        Exit::Halted(_) => {
+            let secret = m.bus.value_log[0];
+            let cause = m.bus.value_log[1];
+            println!("secret read through the trampoline: {secret:#x}");
+            println!("direct wrpkr outside the trampoline: mcause = {cause}");
+            assert_eq!(secret, 0x5EC12E7);
+            assert_eq!(cause, isa_sim::Exception::CAUSE_GRID_CSR);
+            println!("PKS protected: wrpkrs confined to the trampoline domain.");
+            println!("(Cost estimate vs other mechanisms: cargo run --bin pks_case3)");
+        }
+        Exit::StepLimit => unreachable!(),
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: create a machine with the ISA-Grid PCU, define a
+//! de-privileged ISA domain, enter it through an unforgeable gate, and
+//! watch a forbidden CSR write get stopped in hardware.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use isa_asm::{Asm, Reg::*};
+use isa_grid::{DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig};
+use isa_sim::csr::addr;
+use isa_sim::{mmio, Exit, Kind, Machine, DEFAULT_RAM_BASE as RAM};
+
+fn main() {
+    // 1. A guest program: drop to S-mode, hccall into a restricted
+    //    domain, then try to write satp (the CR3 analogue).
+    let mut a = Asm::new(RAM);
+    a.la(T0, "mtrap");
+    a.csrw(addr::MTVEC as u32, T0);
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, addr::MSTATUS as u32, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, addr::MSTATUS as u32, T1);
+    a.la(T0, "kernel");
+    a.csrw(addr::MEPC as u32, T0);
+    a.mret();
+
+    a.label("kernel");
+    a.li(A0, 0); // gate id 0
+    a.label("gate");
+    a.hccall(A0);
+    a.label("restricted");
+    a.csrr(T0, addr::SATP as u32); // reading is allowed below
+    a.csrw(addr::SATP as u32, T0); // writing is not -> ISA-Grid fault
+
+    a.label("mtrap");
+    a.csrr(A0, addr::MCAUSE as u32);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    let prog = a.assemble().expect("assembles");
+
+    // 2. A machine with the PCU plugged into the pipeline.
+    let mut m = Machine::new(Pcu::new(PcuConfig::eight_e()));
+    m.load_program(&prog);
+    m.ext.install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
+
+    // 3. Domain-0 configuration: a compute domain that may *read* satp
+    //    but never write it, plus one registered gate into it.
+    let mut spec = DomainSpec::compute_only();
+    spec.allow_insts([Kind::Csrrw, Kind::Csrrs]);
+    spec.allow_csr_read(addr::SATP);
+    let domain = m.ext.add_domain(&mut m.bus, &spec);
+    let gate = m.ext.add_gate(&mut m.bus, GateSpec {
+        gate_addr: prog.symbol("gate"),
+        dest_addr: prog.symbol("restricted"),
+        dest_domain: domain,
+    });
+    println!("registered {domain} and {gate}");
+
+    // 4. Run. The write must die with ISA-Grid's CSR-privilege fault
+    //    (cause 25), caught by domain-0's M-mode handler.
+    match m.run(10_000) {
+        Exit::Halted(cause) => {
+            println!("machine halted with mcause = {cause}");
+            assert_eq!(cause, isa_sim::Exception::CAUSE_GRID_CSR);
+            println!(
+                "satp write blocked by the PCU ({} faults, {} gate calls)",
+                m.ext.stats.faults, m.ext.stats.gate_calls
+            );
+        }
+        Exit::StepLimit => unreachable!("program always halts"),
+    }
+}

@@ -1,0 +1,123 @@
+//! E10 — the Table 1 attack-mitigation matrix.
+//!
+//! Each ISA-abuse-based attack from the paper's Table 1 is mapped to a
+//! gadget in the kernel's deliberately vulnerable syscall (an "exploited
+//! kernel component"). On the native kernel every gadget succeeds — the
+//! attack prerequisite is satisfied. On the ISA-Grid decomposed kernel
+//! every gadget dies with a hardware privilege fault and domain-0 panics
+//! the machine: "ISA-Grid can mitigate 100% of these attacks" (§8).
+
+use isa_sim::Exception;
+use simkernel::layout::{exit, sys, vuln_op};
+use simkernel::{usr, KernelConfig, SimBuilder};
+
+const STEPS: u64 = 5_000_000;
+
+/// (gadget, Table 1 attack it models, resource analogue).
+const MATRIX: [(u64, &str, &str); 8] = [
+    (vuln_op::WRITE_STVEC, "Controlled-Channel Attacks", "IDTR -> stvec"),
+    (vuln_op::WRITE_SATP, "Page-table base abuse", "CR3 -> satp"),
+    (vuln_op::WRITE_VFCTL, "Voltage-based Attacks (V0LTpwn)", "MSR 0x150 -> vfctl"),
+    (vuln_op::READ_DBG, "TRESOR-HUNT / FORESHADOW", "DR0-7 -> dbg0"),
+    (vuln_op::WRITE_BTBCTL, "SgxPectre Attacks", "MSR 0x48/0x49 -> btbctl"),
+    (vuln_op::READ_CYCLE, "Timing side channels", "rdtsc -> cycle"),
+    (vuln_op::READ_PMU, "NAILGUN Attacks", "PMU -> hpmcounter"),
+    (vuln_op::WRITE_WPCTL, "Stealthy Page-Table Attacks", "CR0.CD/WP -> wpctl"),
+];
+
+fn attack_program(op: u64) -> isa_asm::Program {
+    let mut a = usr::program();
+    a.li(isa_asm::Reg::A0, op);
+    usr::syscall(&mut a, sys::VULN);
+    // Reaching this point means the privileged operation succeeded.
+    a.addi(isa_asm::Reg::A0, isa_asm::Reg::A0, 0x77);
+    usr::syscall(&mut a, sys::EXIT);
+    a.assemble().unwrap()
+}
+
+#[test]
+fn native_kernel_is_vulnerable_to_every_attack() {
+    for (op, attack, _) in MATRIX {
+        let prog = attack_program(op);
+        let mut sim = SimBuilder::new(KernelConfig::native()).boot(&prog, None);
+        assert_eq!(sim.run_to_halt(STEPS), 0x77, "{attack}: gadget must succeed natively");
+    }
+}
+
+#[test]
+fn decomposed_kernel_mitigates_every_attack() {
+    let mut mitigated = 0;
+    for (op, attack, analogue) in MATRIX {
+        let prog = attack_program(op);
+        let mut cfg = KernelConfig::decomposed();
+        cfg.deny_cycle = true; // the rdtsc restriction scenario
+        let mut sim = SimBuilder::new(cfg).boot(&prog, None);
+        let code = sim.run_to_halt(STEPS);
+        assert_eq!(
+            code & exit::GRID_FAULT,
+            exit::GRID_FAULT,
+            "{attack} ({analogue}): expected an ISA-Grid fault, got {code:#x}"
+        );
+        let cause = code & 0xfff & !exit::GRID_FAULT;
+        assert!(
+            cause == Exception::CAUSE_GRID_CSR || cause == Exception::CAUSE_GRID_INST,
+            "{attack}: unexpected cause {cause}"
+        );
+        assert!(sim.machine.ext.stats.faults > 0);
+        mitigated += 1;
+    }
+    assert_eq!(mitigated, MATRIX.len(), "100% of the surveyed attacks mitigated");
+}
+
+#[test]
+fn user_code_cannot_reach_privileged_resources_directly() {
+    // Without even an exploited kernel component, user-mode attempts die
+    // on the architectural privilege check (satp is an S-mode CSR).
+    let mut a = usr::program();
+    a.csrw(isa_sim::csr::addr::SATP as u32, isa_asm::Reg::Zero);
+    usr::exit_code(&mut a, 1);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+    let code = sim.run_to_halt(STEPS);
+    assert_eq!(code, exit::PANIC | 2, "illegal instruction, not exit(1)");
+}
+
+#[test]
+fn injected_gate_cannot_reach_a_privileged_domain() {
+    // ROP/injection analogue: user code executes its own hccall with a
+    // guessed gate id. Property (i) of §4.2: the gate instruction's
+    // address is not registered, so the PCU faults.
+    let mut a = usr::program();
+    a.li(isa_asm::Reg::A0, 0); // the boot gate's id
+    a.hccall(isa_asm::Reg::A0);
+    usr::exit_code(&mut a, 1);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+    let code = sim.run_to_halt(STEPS);
+    assert_eq!(
+        code,
+        exit::GRID_FAULT | Exception::CAUSE_GRID_GATE,
+        "forged gate must raise a gate fault"
+    );
+}
+
+#[test]
+fn mask_confines_sstatus_to_harmless_bits() {
+    // Even the kernel's own legitimate sstatus writes are confined to
+    // SPP/SPIE/SIE: flipping SUM (which would open user memory tricks)
+    // faults. We simulate a gadget via raw user->kernel ecall by writing
+    // through the vulnerable component is already covered; here we check
+    // the mask is what keeps the *kernel itself* honest, using the
+    // bit-level control of §4.1: a syscall storm never trips the mask.
+    let mut a = usr::program();
+    for _ in 0..16 {
+        usr::syscall(&mut a, sys::GETPID);
+    }
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS), 0);
+    // The syscall path exercised masked sstatus writes without faulting.
+    assert!(sim.machine.ext.stats.csr_checks > 16);
+    assert_eq!(sim.machine.ext.stats.faults, 0);
+}

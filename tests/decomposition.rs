@@ -1,0 +1,136 @@
+//! §6.1 — the decomposed kernel must be *semantically identical* to the
+//! native kernel while confining every privileged resource to its
+//! designated domain.
+
+use isa_grid::PcuConfig;
+use simkernel::layout::sys;
+use simkernel::{usr, KernelConfig, Platform, SimBuilder};
+use workloads::{App, AppParams, LmBench};
+
+const STEPS: u64 = 100_000_000;
+
+#[test]
+fn workload_results_identical_native_vs_decomposed() {
+    // The same program must compute the same values under both kernels
+    // (only timing may differ).
+    for app in App::ALL {
+        let prog = app.program(AppParams::small());
+        let mut outs = Vec::new();
+        for cfg in [KernelConfig::native(), KernelConfig::decomposed()] {
+            let mut sim = SimBuilder::new(cfg).boot(&prog, None);
+            assert_eq!(sim.run_to_halt(STEPS), 0, "{}", app.name());
+            outs.push(sim.console());
+        }
+        assert_eq!(outs[0], outs[1], "{}: console output must match", app.name());
+    }
+}
+
+#[test]
+fn every_micro_benchmark_survives_decomposition() {
+    for b in LmBench::ALL {
+        let prog = b.program(8);
+        let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, b.task2());
+        assert_eq!(sim.run_to_halt(STEPS), 0, "{}", b.name());
+        assert_eq!(sim.machine.ext.stats.faults, 0, "{}: no spurious faults", b.name());
+    }
+}
+
+#[test]
+fn kernel_leaves_domain_zero_exactly_once_at_boot() {
+    let mut a = usr::program();
+    usr::syscall(&mut a, sys::GETPID);
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+    sim.run_to_halt(STEPS);
+    // The kernel runs in the basic domain (id 1), never back in 0.
+    assert_eq!(sim.machine.ext.current_domain().0, 1);
+    assert_eq!(sim.machine.ext.stats.gate_calls, 1, "only the boot gate fired");
+}
+
+#[test]
+fn context_switch_visits_the_mm_domain() {
+    let mut a = usr::program();
+    usr::syscall(&mut a, sys::YIELD);
+    usr::syscall(&mut a, sys::YIELD);
+    usr::exit_code(&mut a, 0);
+    a.label("task1");
+    a.label("t1");
+    usr::syscall(&mut a, sys::YIELD);
+    a.j("t1");
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, Some("task1"));
+    sim.run_to_halt(STEPS);
+    // boot gate + (in/out) per satp switch; at least 3 switches happen.
+    assert!(
+        sim.machine.ext.stats.gate_calls > 2 * 3,
+        "gates: {}",
+        sim.machine.ext.stats.gate_calls
+    );
+    assert_eq!(sim.machine.ext.stats.faults, 0);
+}
+
+#[test]
+fn ioctl_visits_the_service_domain_and_returns() {
+    let mut a = usr::program();
+    a.li(isa_asm::Reg::A0, 2);
+    a.li(isa_asm::Reg::A1, 0);
+    usr::syscall(&mut a, sys::IOCTL);
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+    sim.run_to_halt(STEPS);
+    // boot + service in + service out.
+    assert_eq!(sim.machine.ext.stats.gate_calls, 3);
+    assert_eq!(sim.machine.ext.current_domain().0, 1, "back in the kernel domain");
+}
+
+#[test]
+fn pcu_checks_every_kernel_and_user_instruction() {
+    let mut a = usr::program();
+    usr::repeat(&mut a, 50, "l", |a| {
+        usr::syscall(a, sys::GETPID);
+    });
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+    sim.run_to_halt(STEPS);
+    let stats = sim.machine.ext.stats;
+    // Everything after the boot gate is checked.
+    assert!(stats.inst_checks > 1000, "inst checks: {}", stats.inst_checks);
+    assert!(stats.csr_checks > 200, "csr checks: {}", stats.csr_checks);
+}
+
+#[test]
+fn cache_configs_all_run_the_kernel() {
+    let mut a = usr::program();
+    usr::repeat(&mut a, 10, "l", |a| {
+        usr::syscall(a, sys::GETPID);
+    });
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    for pcu in [PcuConfig::sixteen_e(), PcuConfig::eight_e(), PcuConfig::eight_e_n()] {
+        let mut sim = SimBuilder::new(KernelConfig::decomposed()).pcu(pcu).boot(&prog, None);
+        assert_eq!(sim.run_to_halt(STEPS), 0, "{pcu:?}");
+    }
+}
+
+#[test]
+fn decomposition_overhead_negligible_even_on_timing_platforms() {
+    let prog = LmBench::NullCall.program(60);
+    for platform in [Platform::Rocket, Platform::O3] {
+        let mut native =
+            SimBuilder::new(KernelConfig::native()).platform(platform).boot(&prog, None);
+        native.run_to_halt(STEPS);
+        let mut grid =
+            SimBuilder::new(KernelConfig::decomposed()).platform(platform).boot(&prog, None);
+        grid.run_to_halt(STEPS);
+        let n = native.values()[0] as f64;
+        let g = grid.values()[0] as f64;
+        assert!(
+            g / n < 1.05,
+            "{platform:?}: decomposed/native = {:.4}",
+            g / n
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end regeneration of every evaluation artifact at reduced scale,
+//! asserting the paper's qualitative shapes (who wins, by roughly what
+//! factor). The full-scale numbers come from the harness binaries.
+
+use isa_grid_bench::{figs, gatebench, hitrate, pks, table4, table5};
+use simkernel::Platform;
+
+#[test]
+fn table4_anchor_latencies_hold() {
+    // Table 4's ISA-Grid rows, steady state.
+    let hccall_rocket = gatebench::hccall_latency(Platform::Rocket, 32);
+    assert!((4.0..=7.0).contains(&hccall_rocket), "{hccall_rocket}");
+    let hccall_o3 = gatebench::hccall_latency(Platform::O3, 32);
+    assert!((30.0..=40.0).contains(&hccall_o3), "{hccall_o3}");
+    // Gates must be 1-2 orders of magnitude cheaper than syscalls
+    // (5 vs 434/532 in the paper).
+    let t = table4::run(32);
+    let find = |name: &str| {
+        t.rows
+            .iter()
+            .find(|r| r.name == name)
+            .and_then(|r| r.measured)
+            .unwrap_or_else(|| panic!("row {name} missing"))
+    };
+    let syscall_pti = find("System call");
+    let supervisor = find("Supervisor call");
+    let xdomain = find("X-domain call");
+    assert!(syscall_pti > supervisor, "PTI must cost extra");
+    assert!(supervisor > 8.0 * xdomain, "X-domain call must be far cheaper than a syscall");
+}
+
+#[test]
+fn load_store_misses_exceed_table4_floors() {
+    assert!(gatebench::load_miss_latency(Platform::Rocket, 32) > 120.0);
+    assert!(gatebench::load_miss_latency(Platform::O3, 32) > 200.0);
+}
+
+#[test]
+fn fig5_micro_overheads_are_small() {
+    let bars = figs::fig5(60);
+    for b in &bars {
+        let n = b.normalized(0);
+        assert!(
+            (0.98..=1.15).contains(&n),
+            "{}: normalized {n} out of the paper's envelope",
+            b.name
+        );
+    }
+    assert!(figs::geomean(&bars, 0) < 1.05, "overall overhead must stay small");
+}
+
+#[test]
+fn fig6_app_overheads_below_one_percent_rocket() {
+    let bars = figs::fig67(Platform::Rocket, 16);
+    for b in &bars {
+        let n = b.normalized(0);
+        assert!((0.97..=1.03).contains(&n), "{}: {n}", b.name);
+    }
+}
+
+#[test]
+fn fig7_app_overheads_below_one_percent_o3() {
+    let bars = figs::fig67(Platform::O3, 16);
+    for b in &bars {
+        let n = b.normalized(0);
+        assert!((0.95..=1.05).contains(&n), "{}: {n}", b.name);
+    }
+}
+
+#[test]
+fn fig8_nested_monitor_overheads_small_and_log_costs_more() {
+    let bars = figs::fig8(8);
+    for b in &bars {
+        let mon = b.normalized(0);
+        let log = b.normalized(1);
+        assert!(mon < 1.2, "{}: Nest.Mon {mon}", b.name);
+        assert!(log >= mon - 1e-6, "{}: logging cannot be cheaper", b.name);
+    }
+}
+
+#[test]
+fn table5_service_overhead_in_paper_band() {
+    let rows = table5::run(64);
+    for r in &rows {
+        let o = r.overhead();
+        assert!(
+            (0.0..=10.0).contains(&o),
+            "{}: overhead {o:.2}% (paper: 3.45–4.76%)",
+            r.name
+        );
+        assert!(r.grid > r.native, "{}: protection cannot be free", r.name);
+    }
+}
+
+#[test]
+fn hitrates_reach_ninety_nine_nine() {
+    for r in hitrate::run(4) {
+        let s = r.stats;
+        for (name, c) in [("inst", s.inst), ("reg", s.reg), ("mask", s.mask), ("sgt", s.sgt)] {
+            assert!(
+                c.hit_rate() > 0.99,
+                "{}: {name} hit rate {:.4}",
+                r.app,
+                c.hit_rate()
+            );
+        }
+    }
+}
+
+#[test]
+fn pks_estimate_beats_page_table_switching() {
+    let c = pks::run(64);
+    // The paper's comparison: 175 cycles vs 938/577/268.
+    assert!((150.0..=200.0).contains(&c.combined), "{}", c.combined);
+    assert!(c.combined < pks::cited::VMFUNC);
+    assert!(c.combined < pks::cited::PT_SWITCH);
+    assert!(c.combined < pks::cited::PT_SWITCH_PTI);
+}
+
+#[test]
+fn table6_matches_published_utilization() {
+    use isa_grid::PcuConfig;
+    let r16 = hwcost::core_cost(PcuConfig::sixteen_e());
+    let pct = r16.pct_over(hwcost::ROCKET_BASE);
+    assert!((pct.lut_logic - 4.47).abs() < 0.1);
+    assert!((pct.registers - 7.20).abs() < 0.1);
+    let r8n = hwcost::core_cost(PcuConfig::eight_e_n());
+    let pct = r8n.pct_over(hwcost::ROCKET_BASE);
+    assert!((pct.lut_logic - 2.21).abs() < 0.1);
+    assert!((pct.registers - 2.95).abs() < 0.1);
+}

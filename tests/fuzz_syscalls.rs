@@ -1,0 +1,189 @@
+//! Differential fuzzing: random syscall sequences must produce *bit-for-
+//! bit identical* results on the native, decomposed and nested kernels —
+//! ISA-Grid hardening changes privilege, never semantics.
+
+use isa_asm::{Asm, Reg::*};
+use proptest::prelude::*;
+use simkernel::layout::sys;
+use simkernel::{usr, KernelConfig, SimBuilder};
+
+/// One randomly chosen guest operation.
+#[derive(Debug, Clone)]
+enum Op {
+    GetPid,
+    OpenClose { path: u8 },
+    ReadZero { len: u16 },
+    WriteNull { len: u16 },
+    FileWriteRead { path: u8, len: u16 },
+    Stat { path: u8 },
+    PipeRoundtrip { which: bool, len: u16 },
+    Signal,
+    Yield,
+    Ioctl { svc: u8 },
+    Compute { seed: u64, rounds: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::GetPid),
+        (0u8..4).prop_map(|path| Op::OpenClose { path }),
+        (1u16..256).prop_map(|len| Op::ReadZero { len }),
+        (1u16..256).prop_map(|len| Op::WriteNull { len }),
+        ((2u8..4), 1u16..128).prop_map(|(path, len)| Op::FileWriteRead { path, len }),
+        (0u8..4).prop_map(|path| Op::Stat { path }),
+        (any::<bool>(), 1u16..200).prop_map(|(which, len)| Op::PipeRoundtrip { which, len }),
+        Just(Op::Signal),
+        Just(Op::Yield),
+        (0u8..4).prop_map(|svc| Op::Ioctl { svc }),
+        (any::<u64>(), 1u8..16).prop_map(|(seed, rounds)| Op::Compute { seed, rounds }),
+    ]
+}
+
+/// Emit one op; every op leaves an observable value in a0 which is
+/// reported to the host value log.
+fn emit(a: &mut Asm, op: &Op, idx: usize) {
+    let buf = usr::heap_base() + 0x1000;
+    match op {
+        Op::GetPid => usr::syscall(a, sys::GETPID),
+        Op::OpenClose { path } => {
+            a.li(A0, *path as u64);
+            usr::syscall(a, sys::OPEN);
+            usr::syscall(a, sys::CLOSE); // fd still in a0
+        }
+        Op::ReadZero { len } => {
+            a.li(A0, 0);
+            usr::syscall(a, sys::OPEN);
+            a.li(A1, buf);
+            a.li(A2, *len as u64);
+            usr::syscall(a, sys::READ);
+        }
+        Op::WriteNull { len } => {
+            a.li(A0, 1);
+            usr::syscall(a, sys::OPEN);
+            a.li(A1, buf);
+            a.li(A2, *len as u64);
+            usr::syscall(a, sys::WRITE);
+        }
+        Op::FileWriteRead { path, len } => {
+            a.li(A0, *path as u64);
+            usr::syscall(a, sys::OPEN);
+            a.mv(S5, A0);
+            a.li(A1, buf);
+            a.li(A2, *len as u64);
+            usr::syscall(a, sys::WRITE);
+            a.mv(A0, S5);
+            a.li(A1, buf + 0x1000);
+            a.li(A2, *len as u64);
+            usr::syscall(a, sys::READ);
+            // Observable: last byte read back.
+            a.li(T0, buf + 0x1000);
+            a.lbu(A0, T0, (*len - 1) as i32);
+        }
+        Op::Stat { path } => {
+            a.li(A0, *path as u64);
+            a.li(A1, buf);
+            usr::syscall(a, sys::STAT);
+            a.li(T0, buf);
+            a.ld(A0, T0, 0); // reported size
+        }
+        Op::PipeRoundtrip { which, len } => {
+            a.li(A0, *which as u64);
+            usr::syscall(a, sys::PIPE);
+            a.andi(S5, A0, 0xff); // wr
+            a.srli(S6, A0, 8); // rd
+            // Fill the buffer deterministically.
+            a.li(T0, buf);
+            a.li(T1, (idx as u64 * 7 + 1) & 0xff);
+            a.sb(T1, T0, 0);
+            a.mv(A0, S5);
+            a.li(A1, buf);
+            a.li(A2, *len as u64);
+            usr::syscall(a, sys::WRITE);
+            a.mv(A0, S6);
+            a.li(A1, buf + 0x2000);
+            a.li(A2, *len as u64);
+            usr::syscall(a, sys::READ);
+        }
+        Op::Signal => {
+            let handler = format!("sig_handler_{idx}");
+            let cont = format!("sig_cont_{idx}");
+            a.la(T0, &handler);
+            a.mv(A0, T0);
+            usr::syscall(a, sys::SIGACTION);
+            a.li(S7, 5);
+            usr::syscall(a, sys::RAISE);
+            // Handler runs on return and bumps s7.
+            a.addi(S7, S7, 100);
+            a.mv(A0, S7);
+            a.j(&cont);
+            a.label(&handler);
+            a.addi(S7, S7, 10);
+            usr::syscall(a, sys::SIGRETURN);
+            a.label(&cont);
+        }
+        Op::Yield => usr::syscall(a, sys::YIELD),
+        Op::Ioctl { svc } => {
+            // Services 2/3 read live counters that legitimately differ
+            // between kernels; report only their success flag.
+            a.li(A0, *svc as u64);
+            a.li(A1, 0);
+            usr::syscall(a, sys::IOCTL);
+            if *svc >= 2 {
+                a.snez(A0, A0);
+            }
+        }
+        Op::Compute { seed, rounds } => {
+            a.li(A0, *seed);
+            a.li(T1, 0x9e37_79b9_7f4a_7c15);
+            for _ in 0..*rounds {
+                a.xor(A0, A0, T1);
+                a.slli(T2, A0, 13);
+                a.xor(A0, A0, T2);
+                a.srli(T2, A0, 7);
+                a.xor(A0, A0, T2);
+            }
+        }
+    }
+    usr::report(a, A0);
+}
+
+fn build_program(ops: &[Op]) -> isa_asm::Program {
+    let mut a = usr::program();
+    for (i, op) in ops.iter().enumerate() {
+        emit(&mut a, op, i);
+    }
+    usr::exit_code(&mut a, 0);
+    a.assemble().expect("fuzz program assembles")
+}
+
+fn run_on(cfg: KernelConfig, prog: &isa_asm::Program) -> (u64, Vec<u64>, String) {
+    let mut sim = SimBuilder::new(cfg).boot(prog, None);
+    let code = sim.run_to_halt(80_000_000);
+    (code, sim.values().to_vec(), sim.console())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kernels_agree_on_random_syscall_sequences(
+        ops in prop::collection::vec(op_strategy(), 1..12)
+    ) {
+        let prog = build_program(&ops);
+        let native = run_on(KernelConfig::native(), &prog);
+        let grid = run_on(KernelConfig::decomposed(), &prog);
+        prop_assert_eq!(&native, &grid, "decomposed diverged on {:?}", ops);
+        let nested = run_on(KernelConfig::nested(true), &prog);
+        prop_assert_eq!(&native, &nested, "nested diverged on {:?}", ops);
+    }
+
+    #[test]
+    fn pti_kernels_agree_too(
+        ops in prop::collection::vec(op_strategy(), 1..8)
+    ) {
+        let prog = build_program(&ops);
+        let native = run_on(KernelConfig::native().with_pti(), &prog);
+        let grid = run_on(KernelConfig::decomposed().with_pti(), &prog);
+        prop_assert_eq!(&native, &grid, "PTI decomposed diverged on {:?}", ops);
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-crate checks of the unforgeable-gate machinery driven through
+//! the full kernel stack (the PCU-level property tests live in
+//! `crates/core/tests/pcu.rs`).
+
+use isa_sim::Exception;
+use simkernel::layout::{exit, gates, sys};
+use simkernel::{usr, KernelConfig, Mode, SimBuilder};
+
+const STEPS: u64 = 50_000_000;
+
+#[test]
+fn every_registered_gate_has_a_real_address() {
+    for cfg in [
+        KernelConfig::decomposed(),
+        KernelConfig::decomposed().with_pti(),
+        KernelConfig::nested(true),
+    ] {
+        let img = simkernel::build_kernel(&cfg);
+        for (id, g) in img.gates.iter().enumerate() {
+            if let Some(g) = g {
+                let site = img.prog.symbol(&g.site);
+                let dest = img.prog.symbol(&g.dest);
+                assert!(site >= img.prog.base && site < img.prog.end(), "gate {id} site");
+                assert!(dest >= img.prog.base && dest < img.prog.end(), "gate {id} dest");
+                assert_eq!(site % 4, 0);
+                assert_eq!(dest % 4, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn gate_sites_hold_actual_gate_instructions() {
+    let img = simkernel::build_kernel(&KernelConfig::decomposed());
+    for g in img.gates.iter().flatten() {
+        let site = img.prog.symbol(&g.site);
+        let off = (site - img.prog.base) as usize;
+        let word = u32::from_le_bytes(img.prog.bytes[off..off + 4].try_into().unwrap());
+        let d = isa_sim::decode(word).expect("gate site decodes");
+        assert!(d.kind.is_gate(), "{}: found {:?}", g.site, d.kind);
+    }
+}
+
+#[test]
+fn user_cannot_call_kernel_internal_gates() {
+    // Property (i) through the whole stack: the MM gate's id, called from
+    // a user-controlled address, must fault.
+    for gate_id in [gates::MM_YIELD, gates::MM_MAPCTL, gates::SRV_IN] {
+        let mut a = usr::program();
+        a.li(isa_asm::Reg::A0, gate_id);
+        a.hccall(isa_asm::Reg::A0);
+        usr::exit_code(&mut a, 1);
+        let prog = a.assemble().unwrap();
+        let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+        let code = sim.run_to_halt(STEPS);
+        assert_eq!(
+            code,
+            exit::GRID_FAULT | Exception::CAUSE_GRID_GATE,
+            "gate {gate_id} must be unforgeable"
+        );
+    }
+}
+
+#[test]
+fn out_of_range_gate_ids_fault() {
+    let mut a = usr::program();
+    a.li(isa_asm::Reg::A0, 10_000);
+    a.hccall(isa_asm::Reg::A0);
+    usr::exit_code(&mut a, 1);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+    assert_eq!(
+        sim.run_to_halt(STEPS),
+        exit::GRID_FAULT | Exception::CAUSE_GRID_GATE
+    );
+}
+
+#[test]
+fn hcrets_from_user_space_cannot_underflow_the_trusted_stack() {
+    let mut a = usr::program();
+    a.hcrets();
+    usr::exit_code(&mut a, 1);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+    assert_eq!(
+        sim.run_to_halt(STEPS),
+        exit::GRID_FAULT | Exception::CAUSE_GRID_GATE
+    );
+}
+
+#[test]
+fn trusted_stack_balances_across_nested_kernel_activity() {
+    // mapctl (hccalls/hcrets) interleaved with ioctls (hccall pairs):
+    // the trusted stack must end balanced.
+    let mut a = usr::program();
+    usr::repeat(&mut a, 6, "l", |a| {
+        a.li(isa_asm::Reg::A0, 0);
+        a.li(isa_asm::Reg::A1, 0); // invalid PTE value is fine: just a write
+        usr::syscall(a, sys::MAPCTL);
+        a.li(isa_asm::Reg::A0, 1);
+        a.li(isa_asm::Reg::A1, 0);
+        usr::syscall(a, sys::IOCTL);
+    });
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS), 0);
+    let (sp, sb, _) = sim.machine.ext.save_trusted_stack();
+    assert_eq!(sp, sb, "trusted stack must be empty when idle");
+    assert_eq!(sim.machine.ext.stats.gate_returns, 6, "one hcrets per mapctl");
+}
+
+#[test]
+fn pti_gates_fire_on_every_syscall() {
+    let mut a = usr::program();
+    usr::repeat(&mut a, 10, "l", |a| {
+        usr::syscall(a, sys::GETPID);
+    });
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed().with_pti()).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS), 0);
+    // Each syscall: PTI-in pair + PTI-out pair = 4 hccalls; plus boot,
+    // plus the exit syscall's entry gates.
+    let calls = sim.machine.ext.stats.gate_calls;
+    assert!(calls > 4 * 10, "gate calls: {calls}");
+}
+
+#[test]
+fn mode_accessor_reflects_configuration() {
+    assert!(!Mode::Native.uses_grid());
+    assert!(Mode::Decomposed.uses_grid());
+    assert!(Mode::Nested { log: true }.uses_grid());
+}

@@ -1,0 +1,140 @@
+//! §6.2 — the Nested-Kernel monitor rebuilt on ISA-Grid: page tables are
+//! write-protected; only the monitor domain may toggle `wpctl` (the
+//! CR0.WP analogue) and it mediates every mapping change.
+
+use isa_sim::mmu::pte;
+use isa_sim::Exception;
+use simkernel::layout::{self, exit, sys, vuln_op};
+use simkernel::{usr, KernelConfig, SimBuilder};
+
+const STEPS: u64 = 50_000_000;
+
+fn identity_pte(page: u64) -> u64 {
+    ((layout::SCRATCH_PAGES + page * 4096) >> 12 << 10)
+        | pte::V
+        | pte::R
+        | pte::W
+        | pte::U
+        | pte::A
+        | pte::D
+}
+
+#[test]
+fn monitor_mediates_mapping_changes() {
+    let mut a = usr::program();
+    for i in 0..4 {
+        a.li(isa_asm::Reg::A0, i);
+        a.li(isa_asm::Reg::A1, identity_pte(i));
+        usr::syscall(&mut a, sys::MAPCTL);
+    }
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::nested(false)).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS), 0);
+    // boot + 4 × (monitor in via hccalls); returns are hcrets.
+    assert_eq!(sim.machine.ext.stats.gate_calls, 5);
+    assert_eq!(sim.machine.ext.stats.gate_returns, 4);
+    assert_eq!(sim.machine.ext.stats.faults, 0);
+}
+
+#[test]
+fn monitor_restores_write_protection_after_each_update() {
+    let mut a = usr::program();
+    a.li(isa_asm::Reg::A0, 0);
+    a.li(isa_asm::Reg::A1, identity_pte(0));
+    usr::syscall(&mut a, sys::MAPCTL);
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::nested(true)).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert_eq!(
+        sim.machine.cpu.csrs.read_raw(isa_sim::csr::addr::WPCTL) & 1,
+        1,
+        "WP must be re-enabled on monitor exit"
+    );
+}
+
+#[test]
+fn compromised_outer_kernel_cannot_disable_wp() {
+    // The WRITE_WPCTL gadget models an exploited outer-kernel component
+    // trying to clear CR0.WP and then scribble on page tables directly.
+    let mut a = usr::program();
+    a.li(isa_asm::Reg::A0, vuln_op::WRITE_WPCTL);
+    usr::syscall(&mut a, sys::VULN);
+    usr::exit_code(&mut a, 1);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::nested(false)).boot(&prog, None);
+    let code = sim.run_to_halt(STEPS);
+    assert_eq!(code, exit::GRID_FAULT | Exception::CAUSE_GRID_CSR);
+}
+
+#[test]
+fn log_variant_records_every_update_in_order() {
+    let mut a = usr::program();
+    for i in 0..5u64 {
+        a.li(isa_asm::Reg::A0, i % layout::SCRATCH_COUNT);
+        a.li(isa_asm::Reg::A1, identity_pte(i % layout::SCRATCH_COUNT));
+        usr::syscall(&mut a, sys::MAPCTL);
+    }
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::nested(true)).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS), 0);
+    let cursor = sim.machine.bus.read_u64(layout::MONLOG);
+    assert_eq!(cursor, 5);
+    for i in 0..5u64 {
+        let e = sim
+            .machine
+            .bus
+            .read_u64(layout::MONLOG + layout::monlog::ENTRIES + i * 8);
+        assert_eq!(e, identity_pte(i % layout::SCRATCH_COUNT), "entry {i}");
+    }
+}
+
+#[test]
+fn log_wraps_circularly() {
+    let cap = layout::monlog::CAP;
+    let mut a = usr::program();
+    // cap + 3 updates of page 0.
+    usr::repeat(&mut a, cap + 3, "m", |a| {
+        a.li(isa_asm::Reg::A0, 0);
+        a.li(isa_asm::Reg::A1, identity_pte(0));
+        usr::syscall(a, sys::MAPCTL);
+    });
+    usr::exit_code(&mut a, 0);
+    let prog = a.assemble().unwrap();
+    let mut sim = SimBuilder::new(KernelConfig::nested(true)).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(400_000_000), 0);
+    assert_eq!(sim.machine.bus.read_u64(layout::MONLOG), cap + 3, "cursor keeps counting");
+}
+
+#[test]
+fn nested_and_native_mapctl_have_identical_semantics() {
+    // Remap page 0 to frame 1, write through it, map back and verify —
+    // under both kernels.
+    let mut results = Vec::new();
+    for cfg in [KernelConfig::native(), KernelConfig::nested(true)] {
+        let mut a = usr::program();
+        let scratch = layout::SCRATCH_PAGES;
+        a.li(isa_asm::Reg::T0, scratch);
+        a.li(isa_asm::Reg::T1, 0x5A);
+        a.sb(isa_asm::Reg::T1, isa_asm::Reg::T0, 0);
+        a.li(isa_asm::Reg::A0, 0);
+        a.li(isa_asm::Reg::A1, identity_pte(1)); // page 0 -> frame 1
+        usr::syscall(&mut a, sys::MAPCTL);
+        a.li(isa_asm::Reg::T0, scratch);
+        a.lbu(isa_asm::Reg::S5, isa_asm::Reg::T0, 0); // reads frame 1: 0
+        a.li(isa_asm::Reg::A0, 0);
+        a.li(isa_asm::Reg::A1, identity_pte(0));
+        usr::syscall(&mut a, sys::MAPCTL);
+        a.lbu(isa_asm::Reg::S6, isa_asm::Reg::T0, 0); // 0x5A again
+        a.slli(isa_asm::Reg::S6, isa_asm::Reg::S6, 8);
+        a.or(isa_asm::Reg::A0, isa_asm::Reg::S5, isa_asm::Reg::S6);
+        usr::syscall(&mut a, sys::EXIT);
+        let prog = a.assemble().unwrap();
+        let mut sim = SimBuilder::new(cfg).boot(&prog, None);
+        results.push(sim.run_to_halt(STEPS));
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[0], 0x5A << 8);
+}
