@@ -29,7 +29,11 @@ impl fmt::Display for AsmError {
         match self {
             AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
-            AsmError::OffsetOutOfRange { label, offset, kind } => {
+            AsmError::OffsetOutOfRange {
+                label,
+                offset,
+                kind,
+            } => {
                 write!(f, "offset {offset} to `{label}` out of range for {kind}")
             }
         }
@@ -389,8 +393,7 @@ impl Asm {
                     let funct3 = (old >> 12) & 7;
                     let rs1 = Reg::from_num((old >> 15) & 31);
                     let rs2 = Reg::from_num((old >> 20) & 31);
-                    let w =
-                        encode::b_type(encode::opcode::BRANCH, funct3, rs1, rs2, off as i32);
+                    let w = encode::b_type(encode::opcode::BRANCH, funct3, rs1, rs2, off as i32);
                     patch32(&mut self.bytes, at, w);
                 }
                 Fixup::Jal { at, label } => {
@@ -817,7 +820,10 @@ mod tests {
         }
         a.beqz(A0, "start");
         let err = a.assemble().unwrap_err();
-        assert!(matches!(err, AsmError::OffsetOutOfRange { kind: "branch", .. }));
+        assert!(matches!(
+            err,
+            AsmError::OffsetOutOfRange { kind: "branch", .. }
+        ));
     }
 
     #[test]

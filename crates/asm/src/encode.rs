@@ -261,7 +261,13 @@ pub fn srli(rd: Reg, rs1: Reg, shamt: u32) -> u32 {
 /// `srai rd, rs1, shamt` — shift right arithmetic immediate.
 #[inline]
 pub fn srai(rd: Reg, rs1: Reg, shamt: u32) -> u32 {
-    i_type(opcode::OP_IMM, rd, 0b101, rs1, ((shamt & 0x3f) | 0x400) as i32)
+    i_type(
+        opcode::OP_IMM,
+        rd,
+        0b101,
+        rs1,
+        ((shamt & 0x3f) | 0x400) as i32,
+    )
 }
 
 /// `slliw rd, rs1, shamt` — 32-bit shift left (5-bit shamt).
@@ -279,7 +285,13 @@ pub fn srliw(rd: Reg, rs1: Reg, shamt: u32) -> u32 {
 /// `sraiw rd, rs1, shamt` — 32-bit shift right arithmetic.
 #[inline]
 pub fn sraiw(rd: Reg, rs1: Reg, shamt: u32) -> u32 {
-    i_type(opcode::OP_IMM_32, rd, 0b101, rs1, ((shamt & 0x1f) | 0x400) as i32)
+    i_type(
+        opcode::OP_IMM_32,
+        rd,
+        0b101,
+        rs1,
+        ((shamt & 0x1f) | 0x400) as i32,
+    )
 }
 
 encode_r! {
@@ -527,7 +539,13 @@ pub fn hccalls(rs1: Reg) -> u32 {
 /// `hcrets` — ISA-Grid extended return; pops the trusted stack.
 #[inline]
 pub fn hcrets() -> u32 {
-    i_type(opcode::CUSTOM_0, Reg::Zero, grid_funct3::HCRETS, Reg::Zero, 0)
+    i_type(
+        opcode::CUSTOM_0,
+        Reg::Zero,
+        grid_funct3::HCRETS,
+        Reg::Zero,
+        0,
+    )
 }
 
 /// `pfch rs1` — prefetch privilege-cache entries for the CSR number in

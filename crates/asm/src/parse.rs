@@ -44,7 +44,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Well-known CSR names (two-way; the `isa-sim` disassembler uses the
@@ -164,7 +167,11 @@ fn parse_int(tok: &str, line: usize) -> Result<i64, ParseError> {
         body.replace('_', "").parse::<u64>()
     }
     .map_err(|_| err(line, format!("bad integer `{tok}`")))?;
-    Ok(if neg { (value as i64).wrapping_neg() } else { value as i64 })
+    Ok(if neg {
+        (value as i64).wrapping_neg()
+    } else {
+        value as i64
+    })
 }
 
 fn parse_csr(tok: &str, line: usize) -> Result<u32, ParseError> {
@@ -189,7 +196,11 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), ParseError> {
         .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
     let imm_part = &tok[..open];
     let reg_part = &close[open + 1..];
-    let imm = if imm_part.is_empty() { 0 } else { parse_int(imm_part, line)? };
+    let imm = if imm_part.is_empty() {
+        0
+    } else {
+        parse_int(imm_part, line)?
+    };
     Ok((imm, parse_reg(reg_part, line)?))
 }
 
@@ -203,7 +214,10 @@ fn check_imm12(v: i64, line: usize) -> Result<i32, ParseError> {
 
 /// Split `rest` on commas, trimming whitespace.
 fn operands(rest: &str) -> Vec<&str> {
-    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 /// Is this token a label reference (vs a number)?
@@ -264,7 +278,10 @@ fn emit(a: &mut Asm, m: &str, rest: &str, line: usize) -> Result<(), ParseError>
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(line, format!("`{m}` expects {n} operands, got {}", ops.len())))
+            Err(err(
+                line,
+                format!("`{m}` expects {n} operands, got {}", ops.len()),
+            ))
         }
     };
 
@@ -309,8 +326,11 @@ fn emit(a: &mut Asm, m: &str, rest: &str, line: usize) -> Result<(), ParseError>
     macro_rules! r3 {
         ($f:ident) => {{
             need(3)?;
-            let (rd, rs1, rs2) =
-                (parse_reg(ops[0], line)?, parse_reg(ops[1], line)?, parse_reg(ops[2], line)?);
+            let (rd, rs1, rs2) = (
+                parse_reg(ops[0], line)?,
+                parse_reg(ops[1], line)?,
+                parse_reg(ops[2], line)?,
+            );
             a.$f(rd, rs1, rs2);
             Ok(())
         }};
@@ -673,7 +693,12 @@ fn emit(a: &mut Asm, m: &str, rest: &str, line: usize) -> Result<(), ParseError>
                     let rs2 = parse_reg(ops[1], line)?;
                     a.sfence_vma(rs1, rs2)
                 }
-                n => return Err(err(line, format!("`sfence.vma` expects 0 or 2 operands, got {n}"))),
+                n => {
+                    return Err(err(
+                        line,
+                        format!("`sfence.vma` expects 0 or 2 operands, got {n}"),
+                    ))
+                }
             };
             Ok(())
         }

@@ -9,13 +9,22 @@ use workloads::{measure, LmBench};
 
 fn run(cfg: KernelConfig) {
     let prog = LmBench::NullCall.program(100);
-    measure::run(cfg, Platform::Rocket, PcuConfig::eight_e(), &prog, None, 50_000_000);
+    measure::run(
+        cfg,
+        Platform::Rocket,
+        PcuConfig::eight_e(),
+        &prog,
+        None,
+        50_000_000,
+    );
 }
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernel_paths");
     g.sample_size(10);
-    g.bench_function("null_syscall_x100_native", |b| b.iter(|| run(KernelConfig::native())));
+    g.bench_function("null_syscall_x100_native", |b| {
+        b.iter(|| run(KernelConfig::native()))
+    });
     g.bench_function("null_syscall_x100_decomposed", |b| {
         b.iter(|| run(KernelConfig::decomposed()))
     });

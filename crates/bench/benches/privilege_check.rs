@@ -44,14 +44,18 @@ fn compute_program(restricted: bool) -> isa_asm::Program {
 fn run(restricted: bool) {
     let prog = compute_program(restricted);
     let mut m = Machine::new(Pcu::new(PcuConfig::eight_e()));
-    m.ext.install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
+    m.ext
+        .install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
     if restricted {
         let d = m.ext.add_domain(&mut m.bus, &DomainSpec::compute_only());
-        m.ext.add_gate(&mut m.bus, GateSpec {
-            gate_addr: prog.symbol("gate"),
-            dest_addr: prog.symbol("work"),
-            dest_domain: d,
-        });
+        m.ext.add_gate(
+            &mut m.bus,
+            GateSpec {
+                gate_addr: prog.symbol("gate"),
+                dest_addr: prog.symbol("work"),
+                dest_domain: d,
+            },
+        );
     }
     m.load_program(&prog);
     assert_eq!(m.run(1_000_000), Exit::Halted(0));

@@ -83,7 +83,7 @@ pub fn run(scale_div: u64) -> Vec<Point> {
 }
 
 /// Render the sweep.
-pub fn render(points: &[Point]) -> String {
+pub fn render(points: &[Point]) -> report::Table {
     let base = points[0].cycles as f64;
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -99,10 +99,17 @@ pub fn render(points: &[Point]) -> String {
             ]
         })
         .collect();
-    report::table(
+    report::Table::with_rows(
         "Ablation: PCU design choices (decomposed kernel + service churn, rocket)",
-        &["configuration", "cycles", "vs 16E", "PCU misses", "PCU lookups", "legal hits",
-            "est. lookup energy (nJ)"],
+        &[
+            "configuration",
+            "cycles",
+            "vs 16E",
+            "PCU misses",
+            "PCU lookups",
+            "legal hits",
+            "est. lookup energy (nJ)",
+        ],
         &rows,
     )
 }

@@ -1,7 +1,8 @@
 //! Sweep the PCU design choices (cache sizes, bypass register, unified
-//! HPT cache, Draco legal cache).
-use isa_grid_bench::ablation;
+//! HPT cache, Draco legal cache). Accepts `--json` / `--csv`.
+use isa_grid_bench::{ablation, report::Format};
 fn main() {
+    let fmt = Format::from_args();
     let pts = ablation::run(1);
-    print!("{}", ablation::render(&pts));
+    print!("{}", fmt.emit(&ablation::render(&pts)));
 }

@@ -1,8 +1,10 @@
 //! Print the stall-cycle breakdown and the monitor mediation micro-cost.
-use isa_grid_bench::breakdown;
+//! Accepts `--json` / `--csv`.
+use isa_grid_bench::{breakdown, report::Format};
 fn main() {
+    let fmt = Format::from_args();
     let rows = breakdown::run(1);
-    print!("{}", breakdown::render(&rows));
+    print!("{}", fmt.emit(&breakdown::render(&rows)));
     let micro = breakdown::monitor_micro(256);
-    print!("{}", breakdown::render_monitor(&micro));
+    print!("{}", fmt.emit(&breakdown::render_monitor(&micro)));
 }

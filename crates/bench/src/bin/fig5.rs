@@ -1,10 +1,14 @@
 //! Regenerate Figure 5 (LMbench, Linux decomposition, RISC-V).
-use isa_grid_bench::figs;
+//! Accepts `--json` / `--csv`.
+use isa_grid_bench::{figs, report::Format};
+use isa_obs::Json;
 fn main() {
+    let fmt = Format::from_args();
     let bars = figs::fig5(2000);
-    print!(
-        "{}",
-        figs::render("Figure 5: normalized LMbench time (decomposed vs native, rocket)", &bars)
+    let mut t = figs::render(
+        "Figure 5: normalized LMbench time (decomposed vs native, rocket)",
+        &bars,
     );
-    println!("geomean normalized: {:.4}", figs::geomean(&bars, 0));
+    t.extra("geomean normalized", Json::F64(figs::geomean(&bars, 0)));
+    print!("{}", fmt.emit(&t));
 }

@@ -1,11 +1,15 @@
 //! Regenerate Figure 6 (applications, Linux decomposition, RISC-V).
-use isa_grid_bench::figs;
+//! Accepts `--json` / `--csv`.
+use isa_grid_bench::{figs, report::Format};
+use isa_obs::Json;
 use simkernel::Platform;
 fn main() {
+    let fmt = Format::from_args();
     let bars = figs::fig67(Platform::Rocket, 1);
-    print!(
-        "{}",
-        figs::render("Figure 6: normalized app time (decomposed vs native, rocket)", &bars)
+    let mut t = figs::render(
+        "Figure 6: normalized app time (decomposed vs native, rocket)",
+        &bars,
     );
-    println!("geomean normalized: {:.4}", figs::geomean(&bars, 0));
+    t.extra("geomean normalized", Json::F64(figs::geomean(&bars, 0)));
+    print!("{}", fmt.emit(&t));
 }

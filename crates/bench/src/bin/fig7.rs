@@ -1,11 +1,15 @@
 //! Regenerate Figure 7 (applications, Linux decomposition, x86-like O3).
-use isa_grid_bench::figs;
+//! Accepts `--json` / `--csv`.
+use isa_grid_bench::{figs, report::Format};
+use isa_obs::Json;
 use simkernel::Platform;
 fn main() {
+    let fmt = Format::from_args();
     let bars = figs::fig67(Platform::O3, 1);
-    print!(
-        "{}",
-        figs::render("Figure 7: normalized app time (decomposed vs native, x86-like O3)", &bars)
+    let mut t = figs::render(
+        "Figure 7: normalized app time (decomposed vs native, x86-like O3)",
+        &bars,
     );
-    println!("geomean normalized: {:.4}", figs::geomean(&bars, 0));
+    t.extra("geomean normalized", Json::F64(figs::geomean(&bars, 0)));
+    print!("{}", fmt.emit(&t));
 }

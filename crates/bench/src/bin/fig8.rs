@@ -1,14 +1,21 @@
 //! Regenerate Figure 8 (applications on the nested-monitor kernel).
-use isa_grid_bench::figs;
+//! Accepts `--json` / `--csv`.
+use isa_grid_bench::{figs, report::Format};
+use isa_obs::Json;
 fn main() {
+    let fmt = Format::from_args();
     let bars = figs::fig8(1);
-    print!(
-        "{}",
-        figs::render("Figure 8: normalized app time (nested kernel vs native, x86-like O3)", &bars)
+    let mut t = figs::render(
+        "Figure 8: normalized app time (nested kernel vs native, x86-like O3)",
+        &bars,
     );
-    println!(
-        "geomean normalized: Nest.Mon {:.4}, Nest.Mon.Log {:.4}",
-        figs::geomean(&bars, 0),
-        figs::geomean(&bars, 1)
+    t.extra(
+        "geomean normalized Nest.Mon",
+        Json::F64(figs::geomean(&bars, 0)),
     );
+    t.extra(
+        "geomean normalized Nest.Mon.Log",
+        Json::F64(figs::geomean(&bars, 1)),
+    );
+    print!("{}", fmt.emit(&t));
 }

@@ -1,6 +1,9 @@
 //! Regenerate the §7.1 privilege-cache hit-rate measurement.
-use isa_grid_bench::hitrate;
+//! Accepts `--json` / `--csv`; the JSON report carries the raw
+//! hit/miss counters behind the percentage cells.
+use isa_grid_bench::{hitrate, report::Format};
 fn main() {
+    let fmt = Format::from_args();
     let rows = hitrate::run(1);
-    print!("{}", hitrate::render(&rows));
+    print!("{}", fmt.emit(&hitrate::render(&rows)));
 }

@@ -1,6 +1,7 @@
-//! Regenerate the §7.2 case-3 PKS estimate.
-use isa_grid_bench::pks;
+//! Regenerate the §7.2 case-3 PKS estimate. Accepts `--json` / `--csv`.
+use isa_grid_bench::{pks, report::Format};
 fn main() {
+    let fmt = Format::from_args();
     let c = pks::run(512);
-    print!("{}", pks::render(&c));
+    print!("{}", fmt.emit(&pks::render(&c)));
 }

@@ -1,5 +1,7 @@
-//! Regenerate Table 4 (domain switching latency).
+//! Regenerate Table 4 (domain switching latency). Accepts `--json` / `--csv`.
+use isa_grid_bench::report::Format;
 fn main() {
+    let fmt = Format::from_args();
     let t = isa_grid_bench::table4::run(512);
-    print!("{}", isa_grid_bench::table4::render(&t));
+    print!("{}", fmt.emit(&isa_grid_bench::table4::render(&t)));
 }

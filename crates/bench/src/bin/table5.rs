@@ -1,6 +1,7 @@
-//! Regenerate Table 5 (multi-service protection latency).
-use isa_grid_bench::table5;
+//! Regenerate Table 5 (multi-service protection latency). Accepts `--json` / `--csv`.
+use isa_grid_bench::{report::Format, table5};
 fn main() {
+    let fmt = Format::from_args();
     let rows = table5::run(512);
-    print!("{}", table5::render(&rows));
+    print!("{}", fmt.emit(&table5::render(&rows)));
 }

@@ -1,4 +1,6 @@
-//! Regenerate Table 6 (hardware resource cost).
+//! Regenerate Table 6 (hardware resource cost). Accepts `--json` / `--csv`.
+use isa_grid_bench::report::Format;
 fn main() {
-    print!("{}", isa_grid_bench::render_table6());
+    let fmt = Format::from_args();
+    print!("{}", fmt.emit(&isa_grid_bench::render_table6()));
 }

@@ -13,11 +13,7 @@ use workloads::App;
 use crate::report;
 
 /// Run a program and fetch the timing model's internal statistics.
-fn run_with_stats(
-    cfg: KernelConfig,
-    platform: Platform,
-    prog: &Program,
-) -> (u64, TimingStats) {
+fn run_with_stats(cfg: KernelConfig, platform: Platform, prog: &Program) -> (u64, TimingStats) {
     let mut sim = SimBuilder::new(cfg).platform(platform).boot(prog, None);
     let code = sim.run_to_halt(2_000_000_000);
     assert_eq!(code, 0, "{cfg:?}");
@@ -50,7 +46,7 @@ pub fn run(scale_div: u64) -> Vec<(&'static str, u64, TimingStats)> {
 }
 
 /// Render the breakdown.
-pub fn render(rows: &[(&'static str, u64, TimingStats)]) -> String {
+pub fn render(rows: &[(&'static str, u64, TimingStats)]) -> report::Table {
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|(name, cycles, s)| {
@@ -68,11 +64,19 @@ pub fn render(rows: &[(&'static str, u64, TimingStats)]) -> String {
             ]
         })
         .collect();
-    report::table(
+    report::Table::with_rows(
         "Cycle breakdown: sqlite workload, rocket model (stall cycles by cause)",
         &[
-            "kernel", "measured", "fetch", "data", "branch", "serialize", "trap", "tlb-walk",
-            "pcu-miss", "gates",
+            "kernel",
+            "measured",
+            "fetch",
+            "data",
+            "branch",
+            "serialize",
+            "trap",
+            "tlb-walk",
+            "pcu-miss",
+            "gates",
         ],
         &body,
     )
@@ -106,7 +110,10 @@ pub fn monitor_micro(iters: u64) -> Vec<(&'static str, f64)> {
 
     vec![
         ("native (direct PTE write)", KernelConfig::native()),
-        ("decomposed (MM domain, hccalls/hcrets)", KernelConfig::decomposed()),
+        (
+            "decomposed (MM domain, hccalls/hcrets)",
+            KernelConfig::decomposed(),
+        ),
         ("nested monitor (WP toggle)", KernelConfig::nested(false)),
         ("nested monitor + log", KernelConfig::nested(true)),
     ]
@@ -124,7 +131,7 @@ pub fn monitor_micro(iters: u64) -> Vec<(&'static str, f64)> {
 }
 
 /// Render the monitor micro-costs.
-pub fn render_monitor(rows: &[(&'static str, f64)]) -> String {
+pub fn render_monitor(rows: &[(&'static str, f64)]) -> report::Table {
     let base = rows[0].1;
     let body: Vec<Vec<String>> = rows
         .iter()
@@ -136,7 +143,7 @@ pub fn render_monitor(rows: &[(&'static str, f64)]) -> String {
             ]
         })
         .collect();
-    report::table(
+    report::Table::with_rows(
         "Monitor mediation micro-cost: cycles per mapctl (x86-like O3)",
         &["path", "cycles/op", "vs native"],
         &body,

@@ -142,7 +142,7 @@ pub fn fig8(scale_div: u64) -> Vec<Bar> {
 }
 
 /// Render a figure as a table of normalized execution times.
-pub fn render(title: &str, bars: &[Bar]) -> String {
+pub fn render(title: &str, bars: &[Bar]) -> report::Table {
     let mut headers: Vec<&str> = vec!["workload", "native (cycles)"];
     let variant_names: Vec<String> = bars
         .first()
@@ -161,7 +161,7 @@ pub fn render(title: &str, bars: &[Bar]) -> String {
             cells
         })
         .collect();
-    report::table(title, &headers, &rows)
+    report::Table::with_rows(title, &headers, &rows)
 }
 
 /// Geometric-mean normalized time across a figure's bars (variant `i`).

@@ -148,11 +148,14 @@ pub fn hccall_latency(platform: Platform, iters: u64) -> f64 {
         ("g0", "d0", db),
         ("g1", "d1", da),
     ] {
-        m.ext.add_gate(&mut m.bus, GateSpec {
-            gate_addr: prog.symbol(site),
-            dest_addr: prog.symbol(dest),
-            dest_domain: dom,
-        });
+        m.ext.add_gate(
+            &mut m.bus,
+            GateSpec {
+                gate_addr: prog.symbol(site),
+                dest_addr: prog.symbol(dest),
+                dest_domain: dom,
+            },
+        );
     }
     let vals = run(&mut m, &prog);
     (vals[0] as f64 - vals[1] as f64) / iters as f64
@@ -199,18 +202,25 @@ pub fn extended_gate_latency(platform: Platform, iters: u64) -> (f64, f64) {
 
     let da = m.ext.add_domain(&mut m.bus, &kernelish());
     let db = m.ext.add_domain(&mut m.bus, &kernelish());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("g0"),
-        dest_addr: prog.symbol("b0"),
-        dest_domain: db,
-    });
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("setup_gate"),
-        dest_addr: prog.symbol("in_domain_a"),
-        dest_domain: da,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("g0"),
+            dest_addr: prog.symbol("b0"),
+            dest_domain: db,
+        },
+    );
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("setup_gate"),
+            dest_addr: prog.symbol("in_domain_a"),
+            dest_domain: da,
+        },
+    );
     let l = m.ext.layout();
-    m.ext.set_trusted_stack(l.tstack_base(), l.tstack_base() + 0x1_0000);
+    m.ext
+        .set_trusted_stack(l.tstack_base(), l.tstack_base() + 0x1_0000);
     let vals = run(&mut m, &prog);
     let rd = vals[2] as f64 / iters as f64;
     (
@@ -264,31 +274,44 @@ pub fn xdomain_call_latency(platform: Platform, iters: u64, extended: bool) -> f
 
     let da = m.ext.add_domain(&mut m.bus, &kernelish());
     let db = m.ext.add_domain(&mut m.bus, &kernelish());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("g0"),
-        dest_addr: prog.symbol("fnentry"),
-        dest_domain: db,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("g0"),
+            dest_addr: prog.symbol("fnentry"),
+            dest_domain: db,
+        },
+    );
     if extended {
-        m.ext.add_gate(&mut m.bus, GateSpec {
-            gate_addr: prog.symbol("setup_gate"),
-            dest_addr: prog.symbol("in_domain_a"),
-            dest_domain: da,
-        });
+        m.ext.add_gate(
+            &mut m.bus,
+            GateSpec {
+                gate_addr: prog.symbol("setup_gate"),
+                dest_addr: prog.symbol("in_domain_a"),
+                dest_domain: da,
+            },
+        );
     } else {
-        m.ext.add_gate(&mut m.bus, GateSpec {
-            gate_addr: prog.symbol("g1"),
-            dest_addr: prog.symbol("after_call"),
-            dest_domain: da,
-        });
-        m.ext.add_gate(&mut m.bus, GateSpec {
-            gate_addr: prog.symbol("setup_gate"),
-            dest_addr: prog.symbol("in_domain_a"),
-            dest_domain: da,
-        });
+        m.ext.add_gate(
+            &mut m.bus,
+            GateSpec {
+                gate_addr: prog.symbol("g1"),
+                dest_addr: prog.symbol("after_call"),
+                dest_domain: da,
+            },
+        );
+        m.ext.add_gate(
+            &mut m.bus,
+            GateSpec {
+                gate_addr: prog.symbol("setup_gate"),
+                dest_addr: prog.symbol("in_domain_a"),
+                dest_domain: da,
+            },
+        );
     }
     let l = m.ext.layout();
-    m.ext.set_trusted_stack(l.tstack_base(), l.tstack_base() + 0x1_0000);
+    m.ext
+        .set_trusted_stack(l.tstack_base(), l.tstack_base() + 0x1_0000);
     let vals = run(&mut m, &prog);
     let rd = vals[1] as f64 / iters as f64;
     vals[0] as f64 / iters as f64 - rd

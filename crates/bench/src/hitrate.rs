@@ -1,6 +1,7 @@
 //! §7.1 — privilege-cache hit rates under real workloads.
 
 use isa_grid::{GridCacheStats, PcuConfig};
+use isa_obs::ToJson;
 use simkernel::{KernelConfig, Platform};
 use workloads::{measure, App};
 
@@ -36,13 +37,19 @@ pub fn run(scale_div: u64) -> Vec<AppHitRate> {
                 None,
                 2_000_000_000,
             );
-            AppHitRate { app: app.name(), stats: r.cache }
+            AppHitRate {
+                app: app.name(),
+                stats: r.cache,
+            }
         })
         .collect()
 }
 
-/// Render the hit-rate table.
-pub fn render(rows: &[AppHitRate]) -> String {
+/// Render the hit-rate table. The formatted percentage cells come from
+/// [`isa_grid::CacheStats::hit_rate`], and the raw hit/miss counters
+/// behind them ride along as per-app `extras` so the `--json` report is
+/// checkable against the text table.
+pub fn render(rows: &[AppHitRate]) -> report::Table {
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -56,9 +63,13 @@ pub fn render(rows: &[AppHitRate]) -> String {
             ]
         })
         .collect();
-    report::table(
+    let mut t = report::Table::with_rows(
         "Section 7.1: privilege-cache hit rates (decomposed kernel, 8E.)",
         &["app", "HPT inst", "HPT reg", "HPT mask", "SGT"],
         &body,
-    )
+    );
+    for r in rows {
+        t.extra(&format!("counters.{}", r.app), ToJson::to_json(&r.stats));
+    }
+    t
 }

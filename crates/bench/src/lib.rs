@@ -32,7 +32,7 @@ pub mod table4;
 pub mod table5;
 
 /// Render Table 6 from the `hwcost` model.
-pub fn render_table6() -> String {
+pub fn render_table6() -> report::Table {
     let rows = hwcost::table6_rows();
     let body: Vec<Vec<String>> = rows
         .iter()
@@ -44,7 +44,7 @@ pub fn render_table6() -> String {
             v
         })
         .collect();
-    report::table(
+    report::Table::with_rows(
         "Table 6: hardware cost of ISA-Grid (analytical model calibrated to Vivado report)",
         &["Resource", "Rocket Core", "16E.", "8E.", "8E.N"],
         &body,

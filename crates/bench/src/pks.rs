@@ -39,14 +39,23 @@ pub struct Case3 {
 /// Measure the estimate.
 pub fn run(iters: u64) -> Case3 {
     let two_hccall = gatebench::xdomain_call_latency(Platform::O3, iters, false);
-    Case3 { two_hccall, combined: cited::MPK_TRAMPOLINE + two_hccall }
+    Case3 {
+        two_hccall,
+        combined: cited::MPK_TRAMPOLINE + two_hccall,
+    }
 }
 
 /// Render the comparison.
-pub fn render(c: &Case3) -> String {
+pub fn render(c: &Case3) -> report::Table {
     let rows = vec![
-        vec!["wrpkru alone (cited, Hodor)".into(), report::cyc(cited::WRPKRU)],
-        vec!["MPK trampoline (cited, Hodor)".into(), report::cyc(cited::MPK_TRAMPOLINE)],
+        vec![
+            "wrpkru alone (cited, Hodor)".into(),
+            report::cyc(cited::WRPKRU),
+        ],
+        vec![
+            "MPK trampoline (cited, Hodor)".into(),
+            report::cyc(cited::MPK_TRAMPOLINE),
+        ],
         vec![
             "ISA-domain switch, 2x hccall (measured)".into(),
             report::cyc(c.two_hccall),
@@ -55,11 +64,20 @@ pub fn render(c: &Case3) -> String {
             "PKS + ISA-Grid trampoline (= 105 + measured)".into(),
             report::cyc(c.combined),
         ],
-        vec!["vmfunc EPT switch (cited)".into(), report::cyc(cited::VMFUNC)],
-        vec!["page-table switch (cited)".into(), report::cyc(cited::PT_SWITCH)],
-        vec!["page-table switch w/ PTI (cited)".into(), report::cyc(cited::PT_SWITCH_PTI)],
+        vec![
+            "vmfunc EPT switch (cited)".into(),
+            report::cyc(cited::VMFUNC),
+        ],
+        vec![
+            "page-table switch (cited)".into(),
+            report::cyc(cited::PT_SWITCH),
+        ],
+        vec![
+            "page-table switch w/ PTI (cited)".into(),
+            report::cyc(cited::PT_SWITCH_PTI),
+        ],
     ];
-    report::table(
+    report::Table::with_rows(
         "Case 3: protecting PKS with ISA-Grid (cycles, x86-like O3)",
         &["mechanism", "cycles"],
         &rows,

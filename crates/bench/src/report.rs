@@ -1,34 +1,215 @@
-//! Plain-text table rendering for the harness binaries.
+//! Report emission for the harness binaries.
+//!
+//! Every harness module produces a [`Table`] — a titled grid of cells
+//! plus optional structured `extras` (geomeans, raw counter snapshots).
+//! A [`Table`] is rendered through the [`Emit`] trait, which has three
+//! backends: [`Text`] (the legacy aligned table), [`Json`] (one
+//! machine-readable object), and [`Csv`]. Binaries pick a backend with
+//! [`Format::from_args`], so every `src/bin/` tool accepts `--json` and
+//! `--csv` flags.
 
-/// Render an aligned table with a title.
-pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
+use isa_obs::Json as Value;
+use isa_obs::ToJson;
+
+/// A titled table of string cells plus structured extras.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Report title (the `=== title ===` banner in text mode).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Body rows; each row has one cell per header.
+    pub rows: Vec<Vec<String>>,
+    /// Structured footer values (geomeans, raw counters, …) keyed by
+    /// name. Text mode prints `key: value` lines; JSON mode embeds the
+    /// values verbatim.
+    pub extras: Vec<(String, Value)>,
+}
+
+impl Table {
+    /// Start an empty table with a title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            extras: Vec::new(),
+        }
+    }
+
+    /// Build a table from pre-rendered rows.
+    pub fn with_rows(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Table {
+        let mut t = Table::new(title, headers);
+        t.rows = rows.to_vec();
+        t
+    }
+
+    /// Append one body row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Attach a structured footer value.
+    pub fn extra(&mut self, key: &str, value: Value) -> &mut Table {
+        self.extras.push((key.to_string(), value));
+        self
+    }
+
+    /// The table as one JSON object (what the [`Json`] backend prints).
+    pub fn to_json(&self) -> Value {
+        let rows = Value::arr(
+            self.rows
+                .iter()
+                .map(|r| Value::arr(r.iter().map(|c| Value::Str(c.clone())))),
+        );
+        let mut pairs = vec![
+            ("title".to_string(), Value::Str(self.title.clone())),
+            ("headers".to_string(), self.headers.to_json()),
+            ("rows".to_string(), rows),
+        ];
+        if !self.extras.is_empty() {
+            pairs.push(("extras".to_string(), Value::Obj(self.extras.clone())));
+        }
+        Value::Obj(pairs)
+    }
+}
+
+/// A rendering backend for [`Table`].
+pub trait Emit {
+    /// Render the table to a printable string.
+    fn emit(&self, t: &Table) -> String;
+}
+
+/// The legacy aligned plain-text table.
+pub struct Text;
+
+impl Emit for Text {
+    fn emit(&self, t: &Table) -> String {
+        let mut widths: Vec<usize> = t.headers.iter().map(|h| h.len()).collect();
+        for row in &t.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
             }
         }
-    }
-    let mut out = String::new();
-    out.push_str(&format!("\n=== {title} ===\n"));
-    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        let mut line = String::new();
-        for (i, c) in cells.iter().enumerate() {
-            line.push_str(&format!("{:<w$}  ", c, w = widths[i]));
-        }
-        line.trim_end().to_string()
-    };
-    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
-    out.push_str(&fmt_row(&head, &widths));
-    out.push('\n');
-    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
-    out.push('\n');
-    for row in rows {
-        out.push_str(&fmt_row(row, &widths));
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", t.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&t.headers, &widths));
         out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &t.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for (k, v) in &t.extras {
+            match v {
+                Value::F64(x) => out.push_str(&format!("{k}: {x:.4}\n")),
+                other => out.push_str(&format!("{k}: {other}\n")),
+            }
+        }
+        out
     }
-    out
+}
+
+/// One pretty-printed JSON object per table.
+pub struct Json;
+
+impl Emit for Json {
+    fn emit(&self, t: &Table) -> String {
+        let mut s = t.to_json().pretty();
+        s.push('\n');
+        s
+    }
+}
+
+/// RFC-4180-ish CSV: header row, body rows, extras as `#` comments.
+pub struct Csv;
+
+impl Emit for Csv {
+    fn emit(&self, t: &Table) -> String {
+        fn cell(c: &str) -> String {
+            if c.contains([',', '"', '\n']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &t.headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &t.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for (k, v) in &t.extras {
+            out.push_str(&format!("# {k}={v}\n"));
+        }
+        out
+    }
+}
+
+/// Output format selected on a binary's command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Aligned plain text (default).
+    Text,
+    /// One JSON object per table (`--json`).
+    Json,
+    /// Comma-separated values (`--csv`).
+    Csv,
+}
+
+impl Format {
+    /// Pick the format from the process arguments: `--json`, `--csv`,
+    /// or text when neither flag is present.
+    pub fn from_args() -> Format {
+        Format::parse(std::env::args().skip(1))
+    }
+
+    /// Pick the format from an explicit argument list (testable core of
+    /// [`Format::from_args`]).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Format {
+        let mut fmt = Format::Text;
+        for a in args {
+            match a.as_str() {
+                "--json" => fmt = Format::Json,
+                "--csv" => fmt = Format::Csv,
+                _ => {}
+            }
+        }
+        fmt
+    }
+
+    /// Render `t` with this format's backend.
+    pub fn emit(&self, t: &Table) -> String {
+        match self {
+            Format::Text => Text.emit(t),
+            Format::Json => Json.emit(t),
+            Format::Csv => Csv.emit(t),
+        }
+    }
+}
+
+/// Render an aligned text table with a title (legacy shim over
+/// [`Table`] + the [`Text`] backend).
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    Text.emit(&Table::with_rows(title, headers, rows))
 }
 
 /// Format a cycle count with one decimal.
@@ -55,7 +236,10 @@ mod tests {
         let s = table(
             "T",
             &["a", "long-header"],
-            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "2".into()]],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "2".into()],
+            ],
         );
         assert!(s.contains("=== T ==="));
         assert!(s.contains("long-header"));
@@ -68,5 +252,44 @@ mod tests {
         assert_eq!(norm(1.00444), "1.0044");
         assert_eq!(pct(0.5), "+0.50%");
         assert_eq!(pct(-1.25), "-1.25%");
+    }
+
+    #[test]
+    fn json_backend_carries_cells_and_extras() {
+        let mut t = Table::new("T", &["k", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.extra("geomean", Value::F64(1.25));
+        let s = Json.emit(&t);
+        assert!(s.contains("\"title\""));
+        assert!(s.contains("\"a\""));
+        assert!(s.contains("\"geomean\""));
+        assert_eq!(
+            t.to_json().to_string(),
+            r#"{"title":"T","headers":["k","v"],"rows":[["a","1"]],"extras":{"geomean":1.25}}"#
+        );
+    }
+
+    #[test]
+    fn csv_backend_quotes() {
+        let mut t = Table::new("T", &["a,b", "c"]);
+        t.row(vec!["x\"y".into(), "2".into()]);
+        let s = Csv.emit(&t);
+        assert!(s.starts_with("\"a,b\",c\n"));
+        assert!(s.contains("\"x\"\"y\",2"));
+    }
+
+    #[test]
+    fn format_flag_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(Format::parse(args(&[])), Format::Text);
+        assert_eq!(Format::parse(args(&["--json"])), Format::Json);
+        assert_eq!(Format::parse(args(&["x", "--csv"])), Format::Csv);
+    }
+
+    #[test]
+    fn text_backend_matches_legacy_shim() {
+        let rows = vec![vec!["x".into(), "1".into()]];
+        let t = Table::with_rows("T", &["a", "b"], &rows);
+        assert_eq!(Text.emit(&t), table("T", &["a", "b"], &rows));
     }
 }

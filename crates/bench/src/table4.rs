@@ -59,7 +59,10 @@ pub fn run(iters: u64) -> Table4 {
     let mut rows = Vec::new();
 
     // --- instruction-latency block ---
-    for (platform, cpu) in [(Platform::Rocket, "RISC-V Rocket"), (Platform::O3, "x86-like O3")] {
+    for (platform, cpu) in [
+        (Platform::Rocket, "RISC-V Rocket"),
+        (Platform::O3, "x86-like O3"),
+    ] {
         let miss = gatebench::load_miss_latency(platform, iters);
         rows.push(row(
             cpu,
@@ -87,10 +90,20 @@ pub fn run(iters: u64) -> Table4 {
     }
 
     // --- scheme block (cited comparisons + our calls) ---
-    rows.push(row("CHERI MIPS", "CHERI [71]", ">400 (cited)".into(),
-        "Change capability for memory.", None));
-    rows.push(row("RISC-V Ariane", "Donky [59]", "2136 (cited)".into(),
-        "Change memory permission.", None));
+    rows.push(row(
+        "CHERI MIPS",
+        "CHERI [71]",
+        ">400 (cited)".into(),
+        "Change capability for memory.",
+        None,
+    ));
+    rows.push(row(
+        "RISC-V Ariane",
+        "Donky [59]",
+        "2136 (cited)".into(),
+        "Change memory permission.",
+        None,
+    ));
 
     let pti = syscall_latency(KernelConfig::native().with_pti(), Platform::Rocket, iters);
     rows.push(row(
@@ -134,20 +147,32 @@ pub fn run(iters: u64) -> Table4 {
         "Empty call (2x hccall / hccalls+hcrets).",
         Some(x2_o3),
     ));
-    rows.push(row("x86 KVM", "VM call", "~1700 (cited)".into(),
-        "Empty VM call [29].", None));
+    rows.push(row(
+        "x86 KVM",
+        "VM call",
+        "~1700 (cited)".into(),
+        "Empty VM call [29].",
+        None,
+    ));
 
     Table4 { rows }
 }
 
 /// Render the table.
-pub fn render(t: &Table4) -> String {
+pub fn render(t: &Table4) -> report::Table {
     let rows: Vec<Vec<String>> = t
         .rows
         .iter()
-        .map(|r| vec![r.cpu.clone(), r.name.clone(), r.cycles.clone(), r.explanation.clone()])
+        .map(|r| {
+            vec![
+                r.cpu.clone(),
+                r.name.clone(),
+                r.cycles.clone(),
+                r.explanation.clone(),
+            ]
+        })
         .collect();
-    report::table(
+    report::Table::with_rows(
         "Table 4: domain switching latency (* = ISA-Grid; cycles)",
         &["CPU", "Instruction/Scheme", "Cycles", "Explanation"],
         &rows,

@@ -87,7 +87,7 @@ pub fn run(iters: u64) -> Vec<Row> {
 }
 
 /// Render Table 5.
-pub fn render(rows: &[Row]) -> String {
+pub fn render(rows: &[Row]) -> report::Table {
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -101,9 +101,16 @@ pub fn render(rows: &[Row]) -> String {
             ]
         })
         .collect();
-    report::table(
+    report::Table::with_rows(
         "Table 5: latency for different services (cycles, x86-like O3)",
-        &["Service", "Inst./Reg.", "Purpose", "ISA-Grid", "Native", "Overhead"],
+        &[
+            "Service",
+            "Inst./Reg.",
+            "Purpose",
+            "ISA-Grid",
+            "Native",
+            "Overhead",
+        ],
         &body,
     )
 }

@@ -2,27 +2,11 @@
 //! for HPT entries and SGT entries.
 
 /// Hit/miss/flush counters for one cache.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Lookups that found the tag.
-    pub hits: u64,
-    /// Lookups that missed (and caused a trusted-memory read).
-    pub misses: u64,
-    /// Entries discarded by explicit flushes.
-    pub flushes: u64,
-}
-
-impl CacheStats {
-    /// Hit rate in [0, 1]; 1.0 when the cache was never used.
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            1.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
+///
+/// This is the observability layer's [`isa_obs::CacheCounters`] — the
+/// one definition of hit-rate math shared by every bench table and run
+/// report in the workspace.
+pub use isa_obs::CacheCounters as CacheStats;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -101,13 +85,20 @@ impl PrivCache {
                 .expect("cache is non-empty");
             self.entries.swap_remove(lru);
         }
-        self.entries.push(Entry { tag, payload, stamp: self.tick });
+        self.entries.push(Entry {
+            tag,
+            payload,
+            stamp: self.tick,
+        });
     }
 
-    /// Drop every entry (the `pflh` instruction).
-    pub fn flush(&mut self) {
-        self.stats.flushes += self.entries.len() as u64;
+    /// Drop every entry (the `pflh` instruction); returns the number of
+    /// live entries discarded so flush events can report it.
+    pub fn flush(&mut self) -> u64 {
+        let discarded = self.entries.len() as u64;
+        self.stats.flushes += discarded;
         self.entries.clear();
+        discarded
     }
 
     /// Current number of valid entries.

@@ -100,15 +100,15 @@ impl InstGroup {
         }
         match self {
             InstGroup::MulDiv => k.is_muldiv(),
-            InstGroup::Atomic => k.is_amo() || matches!(k, Kind::LrW | Kind::ScW | Kind::LrD | Kind::ScD),
+            InstGroup::Atomic => {
+                k.is_amo() || matches!(k, Kind::LrW | Kind::ScW | Kind::LrD | Kind::ScD)
+            }
             InstGroup::LoadStore => {
                 (k.is_load() || k.is_store())
                     && !k.is_amo()
                     && !matches!(k, Kind::LrW | Kind::ScW | Kind::LrD | Kind::ScD)
             }
-            InstGroup::ControlFlow => {
-                k.is_branch() || matches!(k, Kind::Jal | Kind::Jalr)
-            }
+            InstGroup::ControlFlow => k.is_branch() || matches!(k, Kind::Jal | Kind::Jalr),
             InstGroup::Fence => matches!(k, Kind::Fence | Kind::FenceI),
             InstGroup::CsrAccess => k.is_csr_access(),
             InstGroup::Privileged => matches!(
@@ -302,8 +302,8 @@ impl DomainSpec {
     /// [`crate::layout::MASKED_CSRS`]); coarse CSRs use
     /// [`DomainSpec::allow_csr_write`].
     pub fn allow_csr_write_masked(&mut self, csr: u16, mask: u64) -> &mut Self {
-        let slot = mask_slot(csr)
-            .unwrap_or_else(|| panic!("CSR {csr:#x} has no bitwise-control slot"));
+        let slot =
+            mask_slot(csr).unwrap_or_else(|| panic!("CSR {csr:#x} has no bitwise-control slot"));
         self.set_reg_bit(csr, true, true);
         self.masks[slot] = mask;
         self

@@ -90,7 +90,12 @@ impl GridLayout {
     /// paper minimizes bound-check cost this way, §4.5) and large enough
     /// for the tables.
     pub fn new(tmem_base: u64, tmem_size: u64) -> GridLayout {
-        let l = GridLayout { tmem_base, tmem_size, max_domains: 64, max_gates: 64 };
+        let l = GridLayout {
+            tmem_base,
+            tmem_size,
+            max_domains: 64,
+            max_gates: 64,
+        };
         l.validate();
         l
     }
@@ -108,7 +113,10 @@ impl GridLayout {
     }
 
     fn validate(&self) {
-        assert!(self.tmem_size.is_power_of_two(), "trusted memory size must be a power of two");
+        assert!(
+            self.tmem_size.is_power_of_two(),
+            "trusted memory size must be a power of two"
+        );
         assert_eq!(
             self.tmem_base % self.tmem_size,
             0,
@@ -198,10 +206,7 @@ mod tests {
     #[test]
     fn addressing_is_strided() {
         let l = layout();
-        assert_eq!(
-            l.inst_word_addr(3, 1) - l.inst_word_addr(3, 0),
-            8
-        );
+        assert_eq!(l.inst_word_addr(3, 1) - l.inst_word_addr(3, 0), 8);
         assert_eq!(
             l.inst_word_addr(4, 0) - l.inst_word_addr(3, 0),
             INST_BITMAP_STRIDE

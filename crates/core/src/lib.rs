@@ -87,6 +87,8 @@ mod policy;
 
 pub use cache::{CacheStats, PrivCache};
 pub use domain::{DomainId, DomainSpec, GateId, GateSpec, InstGroup};
+/// The observability layer (re-exported for counter and trace types).
+pub use isa_obs as obs;
 pub use layout::GridLayout;
-pub use pcu::{GridCacheStats, Pcu, PcuConfig, PcuStats};
+pub use pcu::{GridCacheStats, Pcu, PcuConfig, PcuConfigBuilder, PcuStats};
 pub use policy::{ExclusivePolicy, PolicyViolation};

@@ -1,6 +1,7 @@
 //! The Privilege Check Unit (PCU) — ISA-Grid's hardware extension
 //! (§3.3, §4), implemented against the `isa-sim` [`Extension`] seam.
 
+use isa_obs::{CacheKind, CheckKind, Counters, TraceEvent, TraceSink};
 use isa_sim::csr::addr;
 use isa_sim::{Bus, CpuState, Decoded, Exception, ExtEvents, Extension, Flow, Kind, Priv};
 
@@ -53,28 +54,137 @@ impl PcuConfig {
 
     /// The paper's `8E.` configuration: 8 entries per cache.
     pub fn eight_e() -> PcuConfig {
-        PcuConfig { inst_cache: 8, reg_cache: 8, mask_cache: 8, sgt_cache: 8, ..Self::sixteen_e() }
+        PcuConfig {
+            inst_cache: 8,
+            reg_cache: 8,
+            mask_cache: 8,
+            sgt_cache: 8,
+            ..Self::sixteen_e()
+        }
     }
 
     /// The paper's `8E.N` configuration: 8-entry HPT caches, no SGT cache.
     pub fn eight_e_n() -> PcuConfig {
-        PcuConfig { sgt_cache: 0, ..Self::eight_e() }
+        PcuConfig {
+            sgt_cache: 0,
+            ..Self::eight_e()
+        }
     }
 
     /// `8E.` with the cache bypass disabled (energy ablation of §4.3).
     pub fn eight_e_no_bypass() -> PcuConfig {
-        PcuConfig { bypass: false, ..Self::eight_e() }
+        PcuConfig {
+            bypass: false,
+            ..Self::eight_e()
+        }
     }
 
     /// `8E.` with a unified HPT cache of 24 entries (same total storage
     /// as three 8-entry caches).
     pub fn unified_24e() -> PcuConfig {
-        PcuConfig { inst_cache: 24, unified_hpt: true, ..Self::eight_e() }
+        PcuConfig {
+            inst_cache: 24,
+            unified_hpt: true,
+            ..Self::eight_e()
+        }
     }
 
     /// `8E.` plus a Draco-style legal-instruction cache (§8).
     pub fn eight_e_draco(entries: usize) -> PcuConfig {
-        PcuConfig { legal_cache: entries, ..Self::eight_e() }
+        PcuConfig {
+            legal_cache: entries,
+            ..Self::eight_e()
+        }
+    }
+
+    /// Start building a configuration field by field; the builder's
+    /// preset shorthands (`.sixteen_e()`, …) load a named configuration
+    /// as the starting point.
+    ///
+    /// ```
+    /// use isa_grid::PcuConfig;
+    /// let cfg = PcuConfig::builder().sixteen_e().sgt_cache(32).build();
+    /// assert_eq!(cfg.inst_cache, 16);
+    /// assert_eq!(cfg.sgt_cache, 32);
+    /// ```
+    pub fn builder() -> PcuConfigBuilder {
+        PcuConfigBuilder {
+            cfg: PcuConfig::eight_e(),
+        }
+    }
+}
+
+/// Builder for [`PcuConfig`] — the supported way to construct
+/// non-preset configurations (instead of bare struct literals).
+#[derive(Debug, Clone)]
+pub struct PcuConfigBuilder {
+    cfg: PcuConfig,
+}
+
+impl PcuConfigBuilder {
+    /// Load the `16E.` preset as the starting point.
+    pub fn sixteen_e(mut self) -> Self {
+        self.cfg = PcuConfig::sixteen_e();
+        self
+    }
+
+    /// Load the `8E.` preset as the starting point.
+    pub fn eight_e(mut self) -> Self {
+        self.cfg = PcuConfig::eight_e();
+        self
+    }
+
+    /// Load the `8E.N` preset as the starting point.
+    pub fn eight_e_n(mut self) -> Self {
+        self.cfg = PcuConfig::eight_e_n();
+        self
+    }
+
+    /// Entries in the instruction-bitmap HPT cache.
+    pub fn inst_cache(mut self, entries: usize) -> Self {
+        self.cfg.inst_cache = entries;
+        self
+    }
+
+    /// Entries in the register-bitmap HPT cache.
+    pub fn reg_cache(mut self, entries: usize) -> Self {
+        self.cfg.reg_cache = entries;
+        self
+    }
+
+    /// Entries in the bit-mask-array HPT cache.
+    pub fn mask_cache(mut self, entries: usize) -> Self {
+        self.cfg.mask_cache = entries;
+        self
+    }
+
+    /// Entries in the SGT cache (0 disables it, as in `8E.N`).
+    pub fn sgt_cache(mut self, entries: usize) -> Self {
+        self.cfg.sgt_cache = entries;
+        self
+    }
+
+    /// Enable or disable the instruction-privilege register bypass.
+    pub fn bypass(mut self, on: bool) -> Self {
+        self.cfg.bypass = on;
+        self
+    }
+
+    /// Use one unified HPT cache with typed tags instead of three.
+    pub fn unified_hpt(mut self, on: bool) -> Self {
+        self.cfg.unified_hpt = on;
+        self
+    }
+
+    /// Entries in the Draco-style legal-instruction cache (0 disables).
+    pub fn legal_cache(mut self, entries: usize) -> Self {
+        self.cfg.legal_cache = entries;
+        self
+    }
+
+    /// Finish, yielding the configuration.
+    pub fn build(self) -> PcuConfig {
+        self.cfg
     }
 }
 
@@ -121,20 +231,16 @@ pub struct PcuStats {
     pub flushes: u64,
     /// Legal-instruction-cache hits (checks skipped entirely).
     pub legal_hits: u64,
+    /// Physical accesses blocked by the trusted-memory fence.
+    pub tmem_denials: u64,
 }
 
 /// Per-cache statistics snapshot.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct GridCacheStats {
-    /// Instruction-bitmap HPT cache.
-    pub inst: CacheStats,
-    /// Register-bitmap HPT cache.
-    pub reg: CacheStats,
-    /// Bit-mask-array HPT cache.
-    pub mask: CacheStats,
-    /// SGT cache.
-    pub sgt: CacheStats,
-}
+///
+/// This is the observability layer's [`isa_obs::CacheBank`]: the same
+/// `inst`/`reg`/`mask`/`sgt` fields as before, plus the legal-cache
+/// tally that previously needed a separate accessor.
+pub type GridCacheStats = isa_obs::CacheBank;
 
 /// Tag-space prefixes when the three HPT caches share one storage.
 const UTAG_INST: u64 = 1 << 60;
@@ -184,6 +290,7 @@ pub struct Pcu {
     legal_cache: PrivCache,
     ipr: InstPrivReg,
     ev: ExtEvents,
+    trace: TraceSink,
     /// Aggregate counters for the evaluation harnesses.
     pub stats: PcuStats,
 }
@@ -196,7 +303,10 @@ impl Pcu {
         Pcu {
             cfg,
             layout: None,
-            regs: GridRegs { domain_nr: 1, ..GridRegs::default() },
+            regs: GridRegs {
+                domain_nr: 1,
+                ..GridRegs::default()
+            },
             inst_cache: PrivCache::new(cfg.inst_cache),
             reg_cache: PrivCache::new(cfg.reg_cache),
             mask_cache: PrivCache::new(cfg.mask_cache),
@@ -204,8 +314,21 @@ impl Pcu {
             legal_cache: PrivCache::new(cfg.legal_cache),
             ipr: InstPrivReg::default(),
             ev: ExtEvents::default(),
+            trace: TraceSink::off(),
             stats: PcuStats::default(),
         }
+    }
+
+    /// Route trace events into `sink`. Share a clone of the same sink
+    /// with the [`isa_sim::Machine`] so PCU events interleave with
+    /// retire events in commit order.
+    pub fn set_tracer(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The sink this PCU emits trace events into.
+    pub fn tracer(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Initialize the in-memory privilege structures: zero the tables and
@@ -370,7 +493,28 @@ impl Pcu {
             reg: self.reg_cache.stats,
             mask: self.mask_cache.stats,
             sgt: self.sgt_cache.stats,
+            legal: self.legal_cache.stats,
         }
+    }
+
+    /// Snapshot everything the PCU counts into the unified
+    /// [`Counters`] registry (the timing and run sections are filled in
+    /// by whoever owns the timing model and the run loop).
+    pub fn counters(&self) -> Counters {
+        let mut c = Counters {
+            caches: self.cache_stats(),
+            ..Counters::default()
+        };
+        c.checks.inst = self.stats.inst_checks;
+        c.checks.csr = self.stats.csr_checks;
+        c.checks.faults = self.stats.faults;
+        c.checks.tmem_denials = self.stats.tmem_denials;
+        c.gates.calls = self.stats.gate_calls;
+        c.gates.returns = self.stats.gate_returns;
+        c.gates.prefetches = self.stats.prefetches;
+        c.gates.flushes = self.stats.flushes;
+        c.run.trace_dropped = self.trace.dropped();
+        c
     }
 
     /// Reset cache and check statistics (not the caches themselves).
@@ -402,8 +546,16 @@ impl Pcu {
             tag |= UTAG_INST;
         }
         if let Some(p) = self.inst_cache.lookup(tag) {
+            self.trace.emit(|| TraceEvent::Cache {
+                cache: CacheKind::HptInst,
+                hit: true,
+            });
             return p[0];
         }
+        self.trace.emit(|| TraceEvent::Cache {
+            cache: CacheKind::HptInst,
+            hit: false,
+        });
         self.ev.hpt_inst_miss += 1;
         let word = self.tmem_read(bus, self.layout_inst_addr(domain, w));
         self.inst_cache.insert(tag, [word, 0, 0, 0]);
@@ -436,7 +588,11 @@ impl Pcu {
             *slot = self.inst_word(bus, domain, w);
         }
         if self.cfg.bypass {
-            self.ipr = InstPrivReg { domain, words, valid: true };
+            self.ipr = InstPrivReg {
+                domain,
+                words,
+                valid: true,
+            };
         }
         words
     }
@@ -447,8 +603,17 @@ impl Pcu {
         let group = csr as usize / REG_GROUP_CSRS;
         let unified = self.cfg.unified_hpt;
         let tag = (domain * REG_GROUPS as u64 + group as u64) | if unified { UTAG_REG } else { 0 };
-        let cache = if unified { &mut self.inst_cache } else { &mut self.reg_cache };
-        let payload = match cache.lookup(tag) {
+        let cache = if unified {
+            &mut self.inst_cache
+        } else {
+            &mut self.reg_cache
+        };
+        let hit = cache.lookup(tag);
+        self.trace.emit(|| TraceEvent::Cache {
+            cache: CacheKind::HptReg,
+            hit: hit.is_some(),
+        });
+        let payload = match hit {
             Some(p) => p,
             None => {
                 self.ev.hpt_reg_miss += 1;
@@ -457,7 +622,11 @@ impl Pcu {
                 for (i, slot) in p.iter_mut().enumerate() {
                     *slot = self.tmem_read(bus, base + (i * 8) as u64);
                 }
-                let cache = if unified { &mut self.inst_cache } else { &mut self.reg_cache };
+                let cache = if unified {
+                    &mut self.inst_cache
+                } else {
+                    &mut self.reg_cache
+                };
                 cache.insert(tag, p);
                 p
             }
@@ -473,13 +642,29 @@ impl Pcu {
     fn mask_for(&mut self, bus: &mut Bus, domain: u64, slot: usize) -> u64 {
         let unified = self.cfg.unified_hpt;
         let tag = (domain * MASK_SLOTS as u64 + slot as u64) | if unified { UTAG_MASK } else { 0 };
-        let cache = if unified { &mut self.inst_cache } else { &mut self.mask_cache };
+        let cache = if unified {
+            &mut self.inst_cache
+        } else {
+            &mut self.mask_cache
+        };
         if let Some(p) = cache.lookup(tag) {
+            self.trace.emit(|| TraceEvent::Cache {
+                cache: CacheKind::HptMask,
+                hit: true,
+            });
             return p[0];
         }
+        self.trace.emit(|| TraceEvent::Cache {
+            cache: CacheKind::HptMask,
+            hit: false,
+        });
         self.ev.hpt_mask_miss += 1;
         let m = self.tmem_read(bus, self.layout_mask_addr(domain, slot));
-        let cache = if unified { &mut self.inst_cache } else { &mut self.mask_cache };
+        let cache = if unified {
+            &mut self.inst_cache
+        } else {
+            &mut self.mask_cache
+        };
         cache.insert(tag, [m, 0, 0, 0]);
         m
     }
@@ -488,8 +673,16 @@ impl Pcu {
     /// `[gate_addr, dest_addr, dest_domain, flags]`.
     fn sgt_entry(&mut self, bus: &mut Bus, gid: u64) -> [u64; 4] {
         if let Some(p) = self.sgt_cache.lookup(gid) {
+            self.trace.emit(|| TraceEvent::Cache {
+                cache: CacheKind::Sgt,
+                hit: true,
+            });
             return p;
         }
+        self.trace.emit(|| TraceEvent::Cache {
+            cache: CacheKind::Sgt,
+            hit: false,
+        });
         self.ev.sgt_miss += 1;
         let base = self.regs.gate_addr + gid * crate::layout::SGT_ENTRY_BYTES;
         let mut p = [0u64; 4];
@@ -540,10 +733,22 @@ impl Pcu {
             self.regs.hcsp = sp + 16;
             self.ev.tstack_ops += 2;
         }
-        self.regs.pdomain = self.regs.domain;
+        let from = self.regs.domain;
+        self.regs.pdomain = from;
         self.regs.domain = dest_domain;
         self.ipr.valid = false;
         self.ev.gate_switch = true;
+        self.trace.emit(|| TraceEvent::GateCall {
+            gate: gate_addr,
+            target: dest_addr,
+            from_domain: from as u16,
+            to_domain: dest_domain as u16,
+            extended,
+        });
+        self.trace.emit(|| TraceEvent::DomainSwitch {
+            from: from as u16,
+            to: dest_domain as u16,
+        });
         Ok(Flow::Jump(dest_addr))
     }
 
@@ -562,10 +767,20 @@ impl Pcu {
             return Err(self.fault(Exception::GridGateFault(sp)));
         }
         self.regs.hcsp = sp - 16;
-        self.regs.pdomain = self.regs.domain;
+        let from = self.regs.domain;
+        self.regs.pdomain = from;
         self.regs.domain = dom;
         self.ipr.valid = false;
         self.ev.gate_switch = true;
+        self.trace.emit(|| TraceEvent::GateReturn {
+            target: ret,
+            from_domain: from as u16,
+            to_domain: dom as u16,
+        });
+        self.trace.emit(|| TraceEvent::DomainSwitch {
+            from: from as u16,
+            to: dom as u16,
+        });
         Ok(Flow::Jump(ret))
     }
 
@@ -612,25 +827,40 @@ impl Pcu {
         }
     }
 
+    /// Flush one cache and report how much it discarded.
+    fn flush_one(&mut self, kind: CacheKind) {
+        let discarded = match kind {
+            CacheKind::HptInst => self.inst_cache.flush(),
+            CacheKind::HptReg => self.reg_cache.flush(),
+            CacheKind::HptMask => self.mask_cache.flush(),
+            CacheKind::Sgt => self.sgt_cache.flush(),
+            CacheKind::Legal => self.legal_cache.flush(),
+        };
+        self.trace.emit(|| TraceEvent::CacheFlush {
+            cache: kind,
+            discarded,
+        });
+    }
+
     fn flush_caches(&mut self, sel: u64) {
         self.stats.flushes += 1;
         match sel {
             0 => {
-                self.inst_cache.flush();
-                self.reg_cache.flush();
-                self.mask_cache.flush();
-                self.sgt_cache.flush();
-                self.legal_cache.flush();
+                self.flush_one(CacheKind::HptInst);
+                self.flush_one(CacheKind::HptReg);
+                self.flush_one(CacheKind::HptMask);
+                self.flush_one(CacheKind::Sgt);
+                self.flush_one(CacheKind::Legal);
                 self.ipr.valid = false;
             }
             1 => {
-                self.inst_cache.flush();
-                self.legal_cache.flush();
+                self.flush_one(CacheKind::HptInst);
+                self.flush_one(CacheKind::Legal);
                 self.ipr.valid = false;
             }
-            2 => self.reg_cache.flush(),
-            3 => self.mask_cache.flush(),
-            4 => self.sgt_cache.flush(),
+            2 => self.flush_one(CacheKind::HptReg),
+            3 => self.flush_one(CacheKind::HptMask),
+            4 => self.flush_one(CacheKind::Sgt),
             _ => {}
         }
     }
@@ -647,18 +877,39 @@ impl Extension for Pcu {
             return Ok(());
         }
         self.stats.inst_checks += 1;
+        let domain = self.regs.domain as u16;
+        let idx = d.kind.class_index();
         // Draco-style legal-instruction cache (§8): a (domain, bytes)
         // pair that already passed needs no re-check. CSR accesses stay
         // excluded — their legality can depend on the written value.
         let legal_tag = (self.regs.domain << 32) ^ d.raw as u64;
         let cacheable = self.cfg.legal_cache > 0 && !d.kind.is_csr_access();
-        if cacheable && self.legal_cache.lookup(legal_tag).is_some() {
-            self.stats.legal_hits += 1;
-            return Ok(());
+        if cacheable {
+            let hit = self.legal_cache.lookup(legal_tag).is_some();
+            self.trace.emit(|| TraceEvent::Cache {
+                cache: CacheKind::Legal,
+                hit,
+            });
+            if hit {
+                self.stats.legal_hits += 1;
+                self.trace.emit(|| TraceEvent::Check {
+                    kind: CheckKind::Inst,
+                    allowed: true,
+                    domain,
+                    detail: idx as u64,
+                });
+                return Ok(());
+            }
         }
-        let idx = d.kind.class_index();
         let words = self.ipr_words(bus);
-        if words[idx / 64] >> (idx % 64) & 1 == 0 {
+        let allowed = words[idx / 64] >> (idx % 64) & 1 != 0;
+        self.trace.emit(|| TraceEvent::Check {
+            kind: CheckKind::Inst,
+            allowed,
+            domain,
+            detail: idx as u64,
+        });
+        if !allowed {
             return Err(self.fault(Exception::GridInstFault(idx as u64)));
         }
         if cacheable {
@@ -683,26 +934,28 @@ impl Extension for Pcu {
         self.stats.csr_checks += 1;
         let domain = self.regs.domain;
         let (r_bit, w_bit) = self.reg_bits(bus, domain, csr);
-        if read && !r_bit {
-            return Err(self.fault(Exception::GridCsrFault(csr as u64)));
-        }
-        if write {
+        let mut allowed = !read || r_bit;
+        if allowed && write {
             match mask_slot(csr) {
                 Some(slot) => {
                     // Bit-level control: V_csr ⊕ V_write ∧ ¬M == 0 (§4.1).
                     let mask = self.mask_for(bus, domain, slot);
-                    if (old ^ new) & !mask != 0 {
-                        return Err(self.fault(Exception::GridCsrFault(csr as u64)));
-                    }
+                    allowed = (old ^ new) & !mask == 0;
                 }
-                None => {
-                    if !w_bit {
-                        return Err(self.fault(Exception::GridCsrFault(csr as u64)));
-                    }
-                }
+                None => allowed = w_bit,
             }
         }
-        Ok(())
+        self.trace.emit(|| TraceEvent::Check {
+            kind: CheckKind::Csr,
+            allowed,
+            domain: domain as u16,
+            detail: csr as u64,
+        });
+        if allowed {
+            Ok(())
+        } else {
+            Err(self.fault(Exception::GridCsrFault(csr as u64)))
+        }
     }
 
     fn check_phys(
@@ -710,7 +963,7 @@ impl Extension for Pcu {
         cpu: &CpuState,
         paddr: u64,
         len: u8,
-        _write: bool,
+        write: bool,
     ) -> Result<(), Exception> {
         // "The load and store instructions can access the trusted memory
         // region only in domain-0" (§4.5).
@@ -719,6 +972,14 @@ impl Extension for Pcu {
         }
         let (b, l) = (self.regs.tmemb, self.regs.tmeml);
         if l > b && paddr + len as u64 > b && paddr < l {
+            self.stats.tmem_denials += 1;
+            self.trace.emit(|| TraceEvent::TmemFence { paddr, write });
+            self.trace.emit(|| TraceEvent::Check {
+                kind: CheckKind::Phys,
+                allowed: false,
+                domain: self.regs.domain as u16,
+                detail: paddr,
+            });
             return Err(self.fault(Exception::GridTmemFault(paddr)));
         }
         Ok(())
@@ -814,5 +1075,9 @@ impl Extension for Pcu {
 
     fn drain_events(&mut self) -> ExtEvents {
         std::mem::take(&mut self.ev)
+    }
+
+    fn current_domain_id(&self) -> u16 {
+        self.regs.domain as u16
     }
 }

@@ -140,7 +140,10 @@ mod tests {
         b.allow_insts([Kind::Csrrw]);
         b.allow_csr_write(addr::SEPC); // same register as `a`
         let c = policy.conflicts(&a, &b);
-        assert!(c.contains(&PolicyViolation::SharedCsrWrite(addr::SEPC)), "{c:?}");
+        assert!(
+            c.contains(&PolicyViolation::SharedCsrWrite(addr::SEPC)),
+            "{c:?}"
+        );
         assert!(policy.admit(&[a], &b).is_err());
     }
 
@@ -170,7 +173,10 @@ mod tests {
         let v = policy.conflicts(&a, &c);
         assert_eq!(
             v,
-            vec![PolicyViolation::OverlappingMask { csr: addr::SSTATUS, bits: 0b0100 }]
+            vec![PolicyViolation::OverlappingMask {
+                csr: addr::SSTATUS,
+                bits: 0b0100
+            }]
         );
     }
 
@@ -190,7 +196,9 @@ mod tests {
         let a = DomainSpec::compute_only();
         let b = DomainSpec::compute_only();
         assert!(ExclusivePolicy::default().conflicts(&a, &b).is_empty());
-        let strict = ExclusivePolicy { strict_instructions: true };
+        let strict = ExclusivePolicy {
+            strict_instructions: true,
+        };
         assert!(!strict.conflicts(&a, &b).is_empty());
     }
 
@@ -199,8 +207,14 @@ mod tests {
         // The §6.1 domain split we boot the kernel with must itself be
         // exclusive w.r.t. privileged resources. Reconstruct it here.
         let policy = ExclusivePolicy::default();
-        let csr_classes =
-            [Kind::Csrrw, Kind::Csrrs, Kind::Csrrc, Kind::Csrrwi, Kind::Csrrsi, Kind::Csrrci];
+        let csr_classes = [
+            Kind::Csrrw,
+            Kind::Csrrs,
+            Kind::Csrrc,
+            Kind::Csrrwi,
+            Kind::Csrrsi,
+            Kind::Csrrci,
+        ];
         let mut kern = DomainSpec::compute_only();
         kern.allow_insts(csr_classes);
         kern.allow_csr_write(addr::SEPC);

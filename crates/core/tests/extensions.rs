@@ -102,11 +102,14 @@ fn group_built_domain_blocks_muldiv_at_runtime() {
     let mut spec = DomainSpec::compute_only();
     spec.deny_group(InstGroup::MulDiv);
     let d = m.ext.add_domain(&mut m.bus, &spec);
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_INST);
 }
 
@@ -149,11 +152,14 @@ fn unified_cache_is_functionally_identical_to_split() {
     for cfg in [PcuConfig::eight_e(), PcuConfig::unified_24e()] {
         let mut m = machine(cfg);
         let d = m.ext.add_domain(&mut m.bus, &spec_with_sstatus());
-        m.ext.add_gate(&mut m.bus, GateSpec {
-            gate_addr: prog.symbol("gate"),
-            dest_addr: prog.symbol("restricted"),
-            dest_domain: d,
-        });
+        m.ext.add_gate(
+            &mut m.bus,
+            GateSpec {
+                gate_addr: prog.symbol("gate"),
+                dest_addr: prog.symbol("restricted"),
+                dest_domain: d,
+            },
+        );
         assert_eq!(run(&mut m, &prog), 0xAA, "{cfg:?}");
     }
 }
@@ -163,16 +169,22 @@ fn unified_cache_routes_all_hpt_traffic_through_one_storage() {
     let prog = csr_loop_program();
     let mut m = machine(PcuConfig::unified_24e());
     let d = m.ext.add_domain(&mut m.bus, &spec_with_sstatus());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     run(&mut m, &prog);
     let s = m.ext.cache_stats();
     assert_eq!(s.reg.hits + s.reg.misses, 0, "split reg cache unused");
     assert_eq!(s.mask.hits + s.mask.misses, 0, "split mask cache unused");
-    assert!(s.inst.hits > 100, "unified storage carries the traffic: {s:?}");
+    assert!(
+        s.inst.hits > 100,
+        "unified storage carries the traffic: {s:?}"
+    );
     // All three entry types coexist without tag collisions.
     assert!(s.inst.misses >= 3, "one cold miss per entry type at least");
 }
@@ -184,13 +196,20 @@ fn legal_cache_short_circuits_hot_instructions() {
     let prog = csr_loop_program();
     let mut m = machine(PcuConfig::eight_e_draco(64));
     let d = m.ext.add_domain(&mut m.bus, &spec_with_sstatus());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), 0xAA);
-    assert!(m.ext.stats.legal_hits > 100, "hits: {}", m.ext.stats.legal_hits);
+    assert!(
+        m.ext.stats.legal_hits > 100,
+        "hits: {}",
+        m.ext.stats.legal_hits
+    );
     let s = m.ext.legal_cache_stats();
     assert!(s.hit_rate() > 0.5, "{s:?}");
 }
@@ -215,13 +234,19 @@ fn legal_cache_never_admits_denied_instructions() {
     let mut spec = DomainSpec::compute_only();
     spec.deny_group(InstGroup::MulDiv);
     let d = m.ext.add_domain(&mut m.bus, &spec);
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_INST);
-    assert_eq!(m.ext.stats.legal_hits, 0, "nothing legal was cached for mul");
+    assert_eq!(
+        m.ext.stats.legal_hits, 0,
+        "nothing legal was cached for mul"
+    );
 }
 
 #[test]
@@ -231,11 +256,14 @@ fn legal_cache_excludes_value_dependent_csr_writes() {
     let prog = csr_loop_program();
     let mut m = machine(PcuConfig::eight_e_draco(64));
     let d = m.ext.add_domain(&mut m.bus, &spec_with_sstatus());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     run(&mut m, &prog);
     // The loop ran 50 CSR writes; each one performed a real csr check.
     assert!(m.ext.stats.csr_checks >= 150, "{}", m.ext.stats.csr_checks);
@@ -264,7 +292,7 @@ fn guest_domain0_registers_a_gate_at_runtime() {
     a.li(T1, 1);
     a.sd(T1, T0, 16);
     a.sd(T1, T0, 24); // SGT_FLAG_VALID
-    // Publish it: gate-nr = 1 (writable in domain-0 only).
+                      // Publish it: gate-nr = 1 (writable in domain-0 only).
     a.li(T1, 1);
     a.csrw(addr::GRID_GATE_NR as u32, T1);
     // And use it.
@@ -285,7 +313,11 @@ fn guest_domain0_registers_a_gate_at_runtime() {
     spec.allow_insts([Kind::Csrrw, Kind::Csrrs]);
     spec.allow_csr_read(addr::GRID_DOMAIN);
     m.ext.add_domain(&mut m.bus, &spec);
-    assert_eq!(run(&mut m, &prog), 1, "landed in domain-1 via the guest-made gate");
+    assert_eq!(
+        run(&mut m, &prog),
+        1,
+        "landed in domain-1 via the guest-made gate"
+    );
 }
 
 #[test]
@@ -309,11 +341,14 @@ fn restricted_domain_cannot_publish_gates() {
     let mut spec = DomainSpec::compute_only();
     spec.allow_insts([Kind::Csrrw, Kind::Csrrs]);
     let d = m.ext.add_domain(&mut m.bus, &spec);
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_CSR);
 }
 
@@ -352,15 +387,21 @@ fn flushing_before_switch_trades_misses_for_secrecy() {
         let prog = build(flush);
         let mut m = machine(PcuConfig::eight_e());
         let d = m.ext.add_domain(&mut m.bus, &spec_with_sstatus());
-        m.ext.add_gate(&mut m.bus, GateSpec {
-            gate_addr: prog.symbol("gate"),
-            dest_addr: prog.symbol("restricted"),
-            dest_domain: d,
-        });
+        m.ext.add_gate(
+            &mut m.bus,
+            GateSpec {
+                gate_addr: prog.symbol("gate"),
+                dest_addr: prog.symbol("restricted"),
+                dest_domain: d,
+            },
+        );
         assert_eq!(run(&mut m, &prog), 0xAA);
         misses.push(m.ext.cache_stats().reg.misses);
     }
-    assert!(misses[1] >= misses[0] + 19, "flushing must force refetches: {misses:?}");
+    assert!(
+        misses[1] >= misses[0] + 19,
+        "flushing must force refetches: {misses:?}"
+    );
 }
 
 // ---- per-process SGTs (§8 "Extending to User Space") ----
@@ -414,16 +455,22 @@ fn domain0_swaps_sgts_like_process_switching() {
     let d1 = m.ext.add_domain(&mut m.bus, &spec);
     let d2 = m.ext.add_domain(&mut m.bus, &spec);
     // Process A's SGT (the installed one).
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("site_a"),
-        dest_addr: prog.symbol("ta"),
-        dest_domain: d1,
-    });
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("site_back"),
-        dest_addr: prog.symbol("back_in_0"),
-        dest_domain: isa_grid::DomainId::INIT,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("site_a"),
+            dest_addr: prog.symbol("ta"),
+            dest_domain: d1,
+        },
+    );
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("site_back"),
+            dest_addr: prog.symbol("back_in_0"),
+            dest_domain: isa_grid::DomainId::INIT,
+        },
+    );
     // Process B's SGT, written directly into trusted memory by "domain-0
     // software" (the host here).
     m.bus.write_u64(sgt_b, prog.symbol("site_b"));
@@ -467,18 +514,25 @@ fn trusted_stack_save_restore_preserves_pending_frames() {
     let prog = a.assemble().unwrap();
     let da = m.ext.add_domain(&mut m.bus, &DomainSpec::compute_only());
     let db = m.ext.add_domain(&mut m.bus, &DomainSpec::compute_only());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("target"),
-        dest_domain: db,
-    });
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("setup"),
-        dest_addr: prog.symbol("in_a"),
-        dest_domain: da,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("target"),
+            dest_domain: db,
+        },
+    );
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("setup"),
+            dest_addr: prog.symbol("in_a"),
+            dest_domain: da,
+        },
+    );
     let l = m.ext.layout();
-    m.ext.set_trusted_stack(l.tstack_base(), l.tstack_base() + 4096);
+    m.ext
+        .set_trusted_stack(l.tstack_base(), l.tstack_base() + 4096);
     m.load_program(&prog);
 
     // Step until the guest signals from inside the cross-domain call.

@@ -210,7 +210,9 @@ fn domain_zero_is_exempt_from_all_checks() {
         let d = fabricate(k);
         assert!(pcu.check_inst(&cpu, &mut bus, &d).is_ok(), "{k:?}");
     }
-    assert!(pcu.check_csr(&cpu, &mut bus, addr::SATP, true, true, 0, u64::MAX).is_ok());
+    assert!(pcu
+        .check_csr(&cpu, &mut bus, addr::SATP, true, true, 0, u64::MAX)
+        .is_ok());
     assert!(pcu.check_phys(&cpu, TMEM, 8, true).is_ok());
 }
 

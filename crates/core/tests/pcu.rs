@@ -44,7 +44,11 @@ fn run(m: &mut Machine<Pcu>, prog: &Program) -> u64 {
     m.load_program(prog);
     match m.run(1_000_000) {
         Exit::Halted(v) => v,
-        Exit::StepLimit => panic!("no halt; pc={:#x} domain={}", m.cpu.pc, m.ext.current_domain()),
+        Exit::StepLimit => panic!(
+            "no halt; pc={:#x} domain={}",
+            m.cpu.pc,
+            m.ext.current_domain()
+        ),
     }
 }
 
@@ -59,8 +63,14 @@ fn halt_ok(a: &mut Asm) {
 /// still come from the register bitmap).
 fn kernelish() -> DomainSpec {
     let mut d = DomainSpec::compute_only();
-    d.allow_insts([Kind::Csrrw, Kind::Csrrs, Kind::Csrrc, Kind::Csrrwi, Kind::Csrrsi,
-        Kind::Csrrci]);
+    d.allow_insts([
+        Kind::Csrrw,
+        Kind::Csrrs,
+        Kind::Csrrc,
+        Kind::Csrrwi,
+        Kind::Csrrsi,
+        Kind::Csrrci,
+    ]);
     d
 }
 
@@ -90,14 +100,18 @@ fn gate_switches_domain_and_redirects() {
     let prog = a.assemble().unwrap();
 
     let mut spec = kernelish();
-    spec.allow_csr_read(addr::GRID_DOMAIN).allow_csr_read(addr::GRID_PDOMAIN);
+    spec.allow_csr_read(addr::GRID_DOMAIN)
+        .allow_csr_read(addr::GRID_PDOMAIN);
     let d = m.ext.add_domain(&mut m.bus, &spec);
     assert_eq!(d, DomainId(1));
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("target"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("target"),
+            dest_domain: d,
+        },
+    );
     // domain=1 in bits 15:8, pdomain=0 in bits 7:0.
     assert_eq!(run(&mut m, &prog), 1 << 8);
     assert_eq!(m.ext.current_domain(), DomainId(1));
@@ -124,11 +138,14 @@ fn property_i_gate_only_callable_at_registered_address() {
     let prog = a.assemble().unwrap();
 
     let d = m.ext.add_domain(&mut m.bus, &kernelish());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("registered_gate"),
-        dest_addr: prog.symbol("target"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("registered_gate"),
+            dest_addr: prog.symbol("target"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_GATE);
     assert!(m.ext.stats.faults > 0);
 }
@@ -174,11 +191,14 @@ fn properties_ii_iii_destination_is_pinned() {
     let mut spec = kernelish();
     spec.allow_csr_read(addr::GRID_DOMAIN);
     let d = m.ext.add_domain(&mut m.bus, &spec);
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("pinned_dest"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("pinned_dest"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), d.0);
 }
 
@@ -197,7 +217,7 @@ fn extended_gate_call_and_return() {
     // hcrets lands here (pc+4 of the hccalls).
     a.csrr(A1, addr::GRID_DOMAIN as u32);
     a.slli(A1, A1, 8);
-    a.or(A0, A1, S1) ;
+    a.or(A0, A1, S1);
     a.li(T6, mmio::HALT);
     a.sd(A0, T6, 0);
     a.nop();
@@ -212,18 +232,25 @@ fn extended_gate_call_and_return() {
     let helper = m.ext.add_domain(&mut m.bus, &DomainSpec::compute_only());
     let kernel = m.ext.add_domain(&mut m.bus, &kspec);
     // Gate 0: initial entry M/domain-0 -> kernel domain.
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: 0, // unused entry so ids line up with the program
-        dest_addr: 0,
-        dest_domain: DomainId::INIT,
-    });
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate_in"),
-        dest_addr: prog.symbol("helper"),
-        dest_domain: helper,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: 0, // unused entry so ids line up with the program
+            dest_addr: 0,
+            dest_domain: DomainId::INIT,
+        },
+    );
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate_in"),
+            dest_addr: prog.symbol("helper"),
+            dest_domain: helper,
+        },
+    );
     let l = m.ext.layout();
-    m.ext.set_trusted_stack(l.tstack_base(), l.tstack_base() + 4096);
+    m.ext
+        .set_trusted_stack(l.tstack_base(), l.tstack_base() + 4096);
     // Enter the kernel domain directly (boot path tested elsewhere).
     m.ext.force_domain(kernel);
     // After the round trip the domain must be back to `kernel` (hcrets
@@ -244,7 +271,8 @@ fn hcrets_on_empty_trusted_stack_faults() {
     mtrap_halts_with_cause(&mut a);
     let prog = a.assemble().unwrap();
     let l = m.ext.layout();
-    m.ext.set_trusted_stack(l.tstack_base(), l.tstack_base() + 4096);
+    m.ext
+        .set_trusted_stack(l.tstack_base(), l.tstack_base() + 4096);
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_GATE);
 }
 
@@ -266,13 +294,17 @@ fn hcrets_cannot_return_to_domain_0() {
     mtrap_halts_with_cause(&mut a);
     let prog = a.assemble().unwrap();
     let d = m.ext.add_domain(&mut m.bus, &kernelish());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("target"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("target"),
+            dest_domain: d,
+        },
+    );
     let l = m.ext.layout();
-    m.ext.set_trusted_stack(l.tstack_base(), l.tstack_base() + 4096);
+    m.ext
+        .set_trusted_stack(l.tstack_base(), l.tstack_base() + 4096);
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_GATE);
 }
 
@@ -294,18 +326,25 @@ fn trusted_stack_overflow_faults() {
     mtrap_halts_with_cause(&mut a);
     let prog = a.assemble().unwrap();
     let d = m.ext.add_domain(&mut m.bus, &kernelish());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("target"),
-        dest_domain: d,
-    });
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate2"),
-        dest_addr: prog.symbol("target2"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("target"),
+            dest_domain: d,
+        },
+    );
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate2"),
+            dest_addr: prog.symbol("target2"),
+            dest_domain: d,
+        },
+    );
     let l = m.ext.layout();
-    m.ext.set_trusted_stack(l.tstack_base(), l.tstack_base() + 16);
+    m.ext
+        .set_trusted_stack(l.tstack_base(), l.tstack_base() + 16);
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_GATE);
 }
 
@@ -327,11 +366,14 @@ fn instruction_bitmap_blocks_denied_class() {
     mtrap_halts_with_cause(&mut a);
     let prog = a.assemble().unwrap();
     let d = m.ext.add_domain(&mut m.bus, &DomainSpec::compute_only());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_INST);
 }
 
@@ -354,11 +396,14 @@ fn csr_read_and_write_bits_enforced_independently() {
     let mut spec = kernelish();
     spec.allow_csr_read(addr::SATP);
     let d = m.ext.add_domain(&mut m.bus, &spec);
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_CSR);
 }
 
@@ -388,11 +433,14 @@ fn bit_mask_allows_only_masked_bits() {
     spec.allow_csr_read(addr::SSTATUS);
     spec.allow_csr_write_masked(addr::SSTATUS, sie);
     let d = m.ext.add_domain(&mut m.bus, &spec);
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_CSR);
 }
 
@@ -417,11 +465,14 @@ fn identical_value_write_passes_any_mask() {
     spec.allow_csr_read(addr::SSTATUS);
     spec.allow_csr_write_masked(addr::SSTATUS, 0);
     let d = m.ext.add_domain(&mut m.bus, &spec);
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), 0xAA);
 }
 
@@ -441,11 +492,14 @@ fn trusted_memory_is_fenced_outside_domain_0() {
     mtrap_halts_with_cause(&mut a);
     let prog = a.assemble().unwrap();
     let d = m.ext.add_domain(&mut m.bus, &DomainSpec::compute_only());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_TMEM);
 }
 
@@ -479,11 +533,14 @@ fn grid_base_registers_hidden_from_restricted_domains() {
     mtrap_halts_with_cause(&mut a);
     let prog = a.assemble().unwrap();
     let d = m.ext.add_domain(&mut m.bus, &kernelish());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), Exception::CAUSE_GRID_CSR);
 }
 
@@ -512,11 +569,14 @@ fn pflh_flushes_and_pfch_prewarms() {
     let mut spec = kernelish();
     spec.allow_csr_read(addr::SSTATUS);
     let d = m.ext.add_domain(&mut m.bus, &spec);
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     assert_eq!(run(&mut m, &prog), 0xAA);
     let stats = m.ext.cache_stats();
     // Accesses: miss, hit, (flush), hit-after-prefetch.
@@ -529,7 +589,10 @@ fn pflh_flushes_and_pfch_prewarms() {
 fn sgt_cache_configs_affect_miss_counts() {
     // With an SGT cache, a hot gate misses once; with 8E.N (no SGT
     // cache) every call misses.
-    for (cfg, expect_all_miss) in [(PcuConfig::eight_e(), false), (PcuConfig::eight_e_n(), true)] {
+    for (cfg, expect_all_miss) in [
+        (PcuConfig::eight_e(), false),
+        (PcuConfig::eight_e_n(), true),
+    ] {
         let mut m = machine(cfg);
         let mut a = Asm::new(RAM);
         boot_to_s(&mut a);
@@ -550,16 +613,22 @@ fn sgt_cache_configs_affect_miss_counts() {
         mtrap_halts_with_cause(&mut a);
         let prog = a.assemble().unwrap();
         let d = m.ext.add_domain(&mut m.bus, &kernelish());
-        m.ext.add_gate(&mut m.bus, GateSpec {
-            gate_addr: prog.symbol("gate"),
-            dest_addr: prog.symbol("target"),
-            dest_domain: d,
-        });
-        m.ext.add_gate(&mut m.bus, GateSpec {
-            gate_addr: prog.symbol("gate_back"),
-            dest_addr: prog.symbol("back"),
-            dest_domain: d,
-        });
+        m.ext.add_gate(
+            &mut m.bus,
+            GateSpec {
+                gate_addr: prog.symbol("gate"),
+                dest_addr: prog.symbol("target"),
+                dest_domain: d,
+            },
+        );
+        m.ext.add_gate(
+            &mut m.bus,
+            GateSpec {
+                gate_addr: prog.symbol("gate_back"),
+                dest_addr: prog.symbol("back"),
+                dest_domain: d,
+            },
+        );
         assert_eq!(run(&mut m, &prog), 0xAA);
         let sgt = m.ext.cache_stats().sgt;
         assert_eq!(sgt.hits + sgt.misses, 20);
@@ -588,11 +657,14 @@ fn update_domain_changes_privileges_at_runtime() {
     let mut spec = kernelish();
     spec.allow_csr_read(addr::SATP);
     let d = m.ext.add_domain(&mut m.bus, &spec);
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: d,
+        },
+    );
     // Revoke the read before running: the same program must now fault.
     spec.deny_csr(addr::SATP);
     m.ext.update_domain(&mut m.bus, d, &spec);
@@ -613,13 +685,17 @@ fn ext_events_report_gate_and_stack_activity() {
     mtrap_halts_with_cause(&mut a);
     let prog = a.assemble().unwrap();
     let d = m.ext.add_domain(&mut m.bus, &kernelish());
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("target"),
-        dest_domain: d,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("target"),
+            dest_domain: d,
+        },
+    );
     let l = m.ext.layout();
-    m.ext.set_trusted_stack(l.tstack_base(), l.tstack_base() + 4096);
+    m.ext
+        .set_trusted_stack(l.tstack_base(), l.tstack_base() + 4096);
     m.load_program(&prog);
     // Step until we observe the gate event.
     let mut saw_gate = false;

@@ -115,7 +115,11 @@ pub type Table6Row = (&'static str, f64, Vec<(f64, f64)>);
 
 /// The rows of Table 6 (category, base, per-config absolute + %).
 pub fn table6_rows() -> Vec<Table6Row> {
-    let configs = [PcuConfig::sixteen_e(), PcuConfig::eight_e(), PcuConfig::eight_e_n()];
+    let configs = [
+        PcuConfig::sixteen_e(),
+        PcuConfig::eight_e(),
+        PcuConfig::eight_e_n(),
+    ];
     let cols: Vec<Resources> = configs.iter().map(|c| core_cost(*c)).collect();
     let row = |name: &'static str, get: fn(&Resources) -> f64| {
         let base = get(&ROCKET_BASE);
@@ -123,7 +127,14 @@ pub fn table6_rows() -> Vec<Table6Row> {
             .iter()
             .map(|r| {
                 let v = get(r);
-                (v, if base == 0.0 { 0.0 } else { (v - base) / base * 100.0 })
+                (
+                    v,
+                    if base == 0.0 {
+                        0.0
+                    } else {
+                        (v - base) / base * 100.0
+                    },
+                )
             })
             .collect();
         (name, base, cells)
@@ -179,7 +190,11 @@ mod tests {
 
     #[test]
     fn brams_and_dsps_unchanged() {
-        for cfg in [PcuConfig::sixteen_e(), PcuConfig::eight_e(), PcuConfig::eight_e_n()] {
+        for cfg in [
+            PcuConfig::sixteen_e(),
+            PcuConfig::eight_e(),
+            PcuConfig::eight_e_n(),
+        ] {
             let r = core_cost(cfg);
             assert_eq!(r.ramb36, 10.0);
             assert_eq!(r.ramb18, 10.0);
@@ -195,13 +210,15 @@ mod tests {
         assert!(big.lut_logic > small.lut_logic);
         assert!(big.registers > small.registers);
         // Extrapolation: a hypothetical 32E costs more still.
-        let huge = pcu_cost(PcuConfig {
-            inst_cache: 32,
-            reg_cache: 32,
-            mask_cache: 32,
-            sgt_cache: 32,
-            ..PcuConfig::sixteen_e()
-        });
+        let huge = pcu_cost(
+            PcuConfig::builder()
+                .sixteen_e()
+                .inst_cache(32)
+                .reg_cache(32)
+                .mask_cache(32)
+                .sgt_cache(32)
+                .build(),
+        );
         assert!(huge.registers > big.registers);
     }
 

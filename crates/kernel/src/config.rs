@@ -82,12 +82,18 @@ impl KernelConfig {
 
     /// The §6.1 decomposed kernel.
     pub fn decomposed() -> KernelConfig {
-        KernelConfig { mode: Mode::Decomposed, ..KernelConfig::default() }
+        KernelConfig {
+            mode: Mode::Decomposed,
+            ..KernelConfig::default()
+        }
     }
 
     /// The §6.2 nested-monitor kernel.
     pub fn nested(log: bool) -> KernelConfig {
-        KernelConfig { mode: Mode::Nested { log }, ..KernelConfig::default() }
+        KernelConfig {
+            mode: Mode::Nested { log },
+            ..KernelConfig::default()
+        }
     }
 
     /// Enable page-table isolation.

@@ -55,8 +55,11 @@ impl Builder {
     }
 
     fn register_gate(&mut self, id: u64, site: &str, dest: &str, role: Role) {
-        self.gates[id as usize] =
-            Some(GateTarget { site: site.into(), dest: dest.into(), role });
+        self.gates[id as usize] = Some(GateTarget {
+            site: site.into(),
+            dest: dest.into(),
+            role,
+        });
     }
 
     fn build(mut self) -> KernelImage {
@@ -69,7 +72,11 @@ impl Builder {
         self.emit_syscalls();
         self.emit_cross_domain_targets();
         let prog = self.a.assemble().expect("kernel assembles");
-        KernelImage { prog, gates: self.gates, config: self.cfg }
+        KernelImage {
+            prog,
+            gates: self.gates,
+            config: self.cfg,
+        }
     }
 
     // ---- M-mode boot: the domain-0 firmware ----
@@ -154,7 +161,11 @@ impl Builder {
         a.sret();
         if grid {
             // With a user domain, the first sret already runs user-side.
-            let dest = if user_domain { Role::User } else { Role::Kernel };
+            let dest = if user_domain {
+                Role::User
+            } else {
+                Role::Kernel
+            };
             self.register_gate(gates::BOOT, "boot_gate_site", "s_entry2", dest);
         }
     }
@@ -275,7 +286,12 @@ impl Builder {
             // The entry/out-site are emitted with the other MM targets.
         }
         if preempt && grid && !pti {
-            self.register_gate(gates::PREEMPT_IN, "preempt_mm_site", "preempt_mm_entry", Role::Mm);
+            self.register_gate(
+                gates::PREEMPT_IN,
+                "preempt_mm_site",
+                "preempt_mm_entry",
+                Role::Mm,
+            );
             self.register_gate(
                 gates::PREEMPT_OUT,
                 "preempt_mm_outsite",
@@ -444,7 +460,7 @@ impl Builder {
         a.slli(T0, A1, 5);
         a.li(T1, layout::FDTABLE);
         a.add(T0, T0, T1); // entry
-        // kind: path 0 -> zero dev, 1 -> null dev, else regular file.
+                           // kind: path 0 -> zero dev, 1 -> null dev, else regular file.
         a.li(T2, fd::KIND_FILE);
         a.li(T3, 1);
         a.bne(A0, Zero, "open_not_zero");
@@ -514,7 +530,7 @@ impl Builder {
         a.slli(T4, T1, 16); // × FILE_STRIDE
         a.add(T3, T3, T4);
         a.add(T3, T3, T2); // src
-        // Advance offset (wraps at FILE_STRIDE so loops never hit EOF).
+                           // Advance offset (wraps at FILE_STRIDE so loops never hit EOF).
         a.add(T2, T2, A2);
         a.andi_mask_offset(T2);
         a.sd(T2, T0, fd::OFFSET as i32);
@@ -622,7 +638,7 @@ impl Builder {
         a.mul(T1, T1, A0);
         a.li(T0, layout::PIPE_A);
         a.add(T0, T0, T1); // pipe object
-        // rd fd = 8 + 2*which, wr fd = 9 + 2*which
+                           // rd fd = 8 + 2*which, wr fd = 9 + 2*which
         a.slli(T2, A0, 1);
         a.addi(T2, T2, 8); // rd fd
         a.slli(T3, T2, 5);
@@ -774,7 +790,12 @@ impl Builder {
         a.ret();
         if !pti && grid {
             self.register_gate(gates::MM_YIELD, "mm_yield_site", "mm_yield_entry", Role::Mm);
-            self.register_gate(gates::MM_YIELD_OUT, "mm_yield_outsite", "mm_yield_back", Role::Kernel);
+            self.register_gate(
+                gates::MM_YIELD_OUT,
+                "mm_yield_outsite",
+                "mm_yield_back",
+                Role::Kernel,
+            );
         }
     }
 
@@ -1056,8 +1077,18 @@ impl Builder {
         }
 
         if pti {
-            self.register_gate(gates::PTI_K_OUT, "pti_k_outsite", "pti_k_back", Role::Kernel);
-            self.register_gate(gates::PTI_U_OUT, "pti_u_outsite", "pti_u_back", Role::Kernel);
+            self.register_gate(
+                gates::PTI_K_OUT,
+                "pti_k_outsite",
+                "pti_k_back",
+                Role::Kernel,
+            );
+            self.register_gate(
+                gates::PTI_U_OUT,
+                "pti_u_outsite",
+                "pti_u_back",
+                Role::Kernel,
+            );
         }
     }
 }

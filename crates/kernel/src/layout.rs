@@ -334,6 +334,11 @@ mod tests {
     #[test]
     fn monlog_capacity_is_power_of_two_and_fits_its_page() {
         assert!(monlog::CAP.is_power_of_two());
-        const { assert!(monlog::ENTRIES + monlog::CAP * 8 <= 0x1000, "log fits one page") };
+        const {
+            assert!(
+                monlog::ENTRIES + monlog::CAP * 8 <= 0x1000,
+                "log fits one page"
+            )
+        };
     }
 }

@@ -52,6 +52,8 @@ pub struct SimBuilder {
     /// Raise the supervisor timer interrupt every `n` steps (requires a
     /// kernel built with `preempt`).
     pub timer_every: Option<u64>,
+    /// Capacity of the trace-event ring; `None` disables tracing.
+    pub trace_events: Option<usize>,
 }
 
 impl SimBuilder {
@@ -63,6 +65,7 @@ impl SimBuilder {
             pcu: PcuConfig::eight_e(),
             platform: Platform::Functional,
             timer_every: None,
+            trace_events: None,
         }
     }
 
@@ -84,6 +87,14 @@ impl SimBuilder {
         self
     }
 
+    /// Record structured trace events into a bounded ring of `cap`
+    /// entries. The machine and the PCU share one sink, so retire,
+    /// check, cache and gate events interleave in commit order.
+    pub fn trace_events(mut self, cap: usize) -> SimBuilder {
+        self.trace_events = Some(cap);
+        self
+    }
+
     /// Boot a machine running `user` as task 0; `entry2` names the label
     /// (in `user`) where a second task starts, if any.
     ///
@@ -95,6 +106,11 @@ impl SimBuilder {
         let img = build_kernel(&self.kernel);
         let mut m = Machine::new(Pcu::new(self.pcu));
         m.timer_every = self.timer_every;
+        if let Some(cap) = self.trace_events {
+            let sink = isa_obs::TraceSink::ring(cap);
+            m.set_tracer(sink.clone());
+            m.ext.set_tracer(sink);
+        }
         if let Some(t) = self.platform.timing() {
             m = m.with_timing(Box::new(PipelineModel::new(t)));
         }
@@ -123,7 +139,8 @@ impl SimBuilder {
         m.bus.write_u64(p + params::SATP_USER1, satps.user1);
         m.bus.write_u64(p + params::ENTRY0, entry0);
         m.bus.write_u64(p + params::ENTRY1, entry1);
-        m.bus.write_u64(p + params::SCRATCH_LEAF, satps.scratch_leaf);
+        m.bus
+            .write_u64(p + params::SCRATCH_LEAF, satps.scratch_leaf);
         m.bus.write_u64(p + params::USP0, usp0);
         m.bus.write_u64(p + params::USP1, usp1);
 
@@ -133,8 +150,7 @@ impl SimBuilder {
         m.bus.write_u64(layout::TASK1 + task::TID, 1);
         m.bus.write_u64(layout::TASK1 + task::SATP, satps.user1);
         m.bus.write_u64(layout::TASK1 + task::SEPC, entry1);
-        m.bus
-            .write_u64(layout::TASK1 + task::reg(2) as u64, usp1);
+        m.bus.write_u64(layout::TASK1 + task::reg(2) as u64, usp1);
 
         // ---- file descriptors 0..2: console ----
         for i in 0..3 {
@@ -149,7 +165,9 @@ impl SimBuilder {
             .into_iter()
             .enumerate()
         {
-            m.cpu.csrs.write_raw(c, 0x0600_0000_0000_0000 | (i as u64) << 32);
+            m.cpu
+                .csrs
+                .write_raw(c, 0x0600_0000_0000_0000 | (i as u64) << 32);
         }
 
         // ---- ISA-Grid configuration (domain-0 boot-time registration) ----
@@ -170,7 +188,11 @@ impl SimBuilder {
                     },
                     // Reserved id: keep numbering stable with an entry
                     // that can never match a real gate address.
-                    None => GateSpec { gate_addr: 0, dest_addr: 0, dest_domain: roles.kernel },
+                    None => GateSpec {
+                        gate_addr: 0,
+                        dest_addr: 0,
+                        dest_domain: roles.kernel,
+                    },
                 };
                 let got = m.ext.add_gate(&mut m.bus, spec);
                 assert_eq!(got.0, id as u64, "gate id drift");
@@ -180,11 +202,16 @@ impl SimBuilder {
         // ---- nested-kernel write protection over the page tables ----
         if matches!(self.kernel.mode, Mode::Nested { .. }) {
             m.cpu.csrs.write_raw(addr::WPBASE, layout::PT_POOL);
-            m.cpu.csrs.write_raw(addr::WPLIMIT, layout::PT_POOL + layout::PT_POOL_SIZE);
+            m.cpu
+                .csrs
+                .write_raw(addr::WPLIMIT, layout::PT_POOL + layout::PT_POOL_SIZE);
             m.cpu.csrs.write_raw(addr::WPCTL, 1);
         }
 
-        Sim { machine: m, kernel: img }
+        Sim {
+            machine: m,
+            kernel: img,
+        }
     }
 }
 
@@ -218,7 +245,13 @@ fn build_page_tables(m: &mut Machine<Pcu>) -> Satps {
             pte::R | pte::W | pte::U,
         );
         // Boot params page (kernel-only).
-        ptb.map_range(&mut m.bus, layout::BOOT_PARAMS, layout::BOOT_PARAMS, 4096, pte::R | pte::W);
+        ptb.map_range(
+            &mut m.bus,
+            layout::BOOT_PARAMS,
+            layout::BOOT_PARAMS,
+            4096,
+            pte::R | pte::W,
+        );
         // MMIO: console + halt/value-log, reachable from U for the
         // benchmark harness.
         ptb.map_range(
@@ -258,7 +291,12 @@ fn build_page_tables(m: &mut Machine<Pcu>) -> Satps {
         }
         tables.push(ptb.satp());
     }
-    Satps { kernel: tables[0], user0: tables[1], user1: tables[2], scratch_leaf }
+    Satps {
+        kernel: tables[0],
+        user0: tables[1],
+        user1: tables[2],
+        scratch_leaf,
+    }
 }
 
 struct RoleMap {
@@ -283,8 +321,14 @@ impl RoleMap {
 
 /// Build the §6.1 domain split and register it with the PCU.
 fn register_domains(m: &mut Machine<Pcu>, cfg: &KernelConfig) -> RoleMap {
-    let csr_classes =
-        [Kind::Csrrw, Kind::Csrrs, Kind::Csrrc, Kind::Csrrwi, Kind::Csrrsi, Kind::Csrrci];
+    let csr_classes = [
+        Kind::Csrrw,
+        Kind::Csrrs,
+        Kind::Csrrc,
+        Kind::Csrrwi,
+        Kind::Csrrsi,
+        Kind::Csrrci,
+    ];
 
     // The basic kernel domain: computing instructions, CSR instruction
     // classes, trap return — but register rights only for what the
@@ -292,9 +336,17 @@ fn register_domains(m: &mut Machine<Pcu>, cfg: &KernelConfig) -> RoleMap {
     let mut kern = DomainSpec::compute_only();
     kern.allow_insts(csr_classes);
     kern.allow_inst(Kind::Sret);
-    for c in [addr::SEPC, addr::SCAUSE, addr::STVAL, addr::SSCRATCH, addr::SATP, addr::SSTATUS,
-        addr::SIP, addr::TIME, addr::INSTRET]
-    {
+    for c in [
+        addr::SEPC,
+        addr::SCAUSE,
+        addr::STVAL,
+        addr::SSCRATCH,
+        addr::SATP,
+        addr::SSTATUS,
+        addr::SIP,
+        addr::TIME,
+        addr::INSTRET,
+    ] {
         kern.allow_csr_read(c);
     }
     // Acknowledging a timer interrupt clears the pending bit.
@@ -304,10 +356,7 @@ fn register_domains(m: &mut Machine<Pcu>, cfg: &KernelConfig) -> RoleMap {
     }
     kern.allow_csr_write(addr::SEPC);
     kern.allow_csr_write(addr::SSCRATCH);
-    kern.allow_csr_write_masked(
-        addr::SSTATUS,
-        mstatus::SPP | mstatus::SPIE | mstatus::SIE,
-    );
+    kern.allow_csr_write_masked(addr::SSTATUS, mstatus::SPP | mstatus::SPIE | mstatus::SIE);
 
     // Memory management: the only domain that may point satp anywhere
     // and run TLB maintenance.
@@ -372,7 +421,13 @@ fn register_domains(m: &mut Machine<Pcu>, cfg: &KernelConfig) -> RoleMap {
     ];
     let monitor = m.ext.add_domain(&mut m.bus, &mon);
     let user = m.ext.add_domain(&mut m.bus, &user);
-    RoleMap { kernel, mm, srv, monitor, user }
+    RoleMap {
+        kernel,
+        mm,
+        srv,
+        monitor,
+        user,
+    }
 }
 
 /// A booted simulation: the machine plus the kernel image metadata.
@@ -413,5 +468,32 @@ impl Sim {
     /// Console output so far.
     pub fn console(&self) -> String {
         self.machine.bus.console_string()
+    }
+
+    /// Snapshot the unified counter registry: PCU cache/check/gate
+    /// tallies, timing-model cycle attribution, and run bookkeeping —
+    /// one [`isa_obs::Counters`] value for reports and assertions.
+    pub fn counters(&self) -> isa_obs::Counters {
+        let mut c = self.machine.ext.counters();
+        if let Some(pm) = self
+            .machine
+            .timing
+            .as_any()
+            .and_then(|a| a.downcast_ref::<PipelineModel>())
+        {
+            c.timing = pm.counters();
+        } else {
+            // Functional platform: the cycle CSR is the only timing.
+            c.timing.cycles = self.cycles();
+        }
+        c.run.steps = self.machine.steps;
+        c.run.traps = self.machine.trap_counts.values().sum();
+        c
+    }
+
+    /// The trace events recorded so far (empty unless the builder
+    /// enabled [`SimBuilder::trace_events`]).
+    pub fn trace_events(&self) -> Vec<isa_obs::TimedEvent> {
+        self.machine.trace.snapshot()
     }
 }

@@ -168,7 +168,7 @@ fn pipe_roundtrip_single_task() {
     // a0 = (rd << 8) | wr
     a.andi(S5, A0, 0xff); // wr fd
     a.srli(S6, A0, 8); // rd fd
-    // write 3 bytes
+                       // write 3 bytes
     a.li(T0, buf);
     a.li(T1, 0xAB);
     a.sb(T1, T0, 0);
@@ -287,7 +287,7 @@ fn two_tasks_ping_pong_through_pipes() {
     a.addi(S6, S6, -1);
     a.bnez(S6, "t0_loop");
     usr::exit_with(&mut a, S5); // 8 increments
-    // task 1: echo+1 loop forever.
+                                // task 1: echo+1 loop forever.
     a.label("task1");
     a.label("t1_recv");
     a.li(A0, 8); // pipe A rd
@@ -355,13 +355,8 @@ fn mapctl_updates_scratch_mapping_in_all_modes() {
     a.sb(T1, T0, 0);
     // Remap page 0 -> frame of page 1.
     a.li(A0, 0);
-    let new_pte = ((scratch + 4096) >> 12 << 10)
-        | pte::V
-        | pte::R
-        | pte::W
-        | pte::U
-        | pte::A
-        | pte::D;
+    let new_pte =
+        ((scratch + 4096) >> 12 << 10) | pte::V | pte::R | pte::W | pte::U | pte::A | pte::D;
     a.li(A1, new_pte);
     usr::syscall(&mut a, sys::MAPCTL);
     // Write 0x22 through the *new* mapping of page 0 (hits frame 1).
@@ -370,8 +365,7 @@ fn mapctl_updates_scratch_mapping_in_all_modes() {
     a.sb(T1, T0, 8);
     // Map back and verify frame 0 still holds 0x11 at offset 0.
     a.li(A0, 0);
-    let orig_pte =
-        (scratch >> 12 << 10) | pte::V | pte::R | pte::W | pte::U | pte::A | pte::D;
+    let orig_pte = (scratch >> 12 << 10) | pte::V | pte::R | pte::W | pte::U | pte::A | pte::D;
     a.li(A1, orig_pte);
     usr::syscall(&mut a, sys::MAPCTL);
     a.li(T0, scratch);
@@ -397,8 +391,7 @@ fn nested_log_records_mapping_changes() {
     use isa_sim::mmu::pte;
     let mut a = usr::program();
     let scratch = simkernel::layout::SCRATCH_PAGES;
-    let the_pte =
-        (scratch >> 12 << 10) | pte::V | pte::R | pte::W | pte::U | pte::A | pte::D;
+    let the_pte = (scratch >> 12 << 10) | pte::V | pte::R | pte::W | pte::U | pte::A | pte::D;
     for i in 0..3 {
         a.li(A0, i);
         a.li(A1, the_pte + (i << 10)); // distinct values
@@ -475,7 +468,10 @@ fn pti_kernel_still_runs_syscalls() {
     });
     usr::exit_code(&mut a, 9);
     let user = a.assemble().unwrap();
-    for cfg in [KernelConfig::native().with_pti(), KernelConfig::decomposed().with_pti()] {
+    for cfg in [
+        KernelConfig::native().with_pti(),
+        KernelConfig::decomposed().with_pti(),
+    ] {
         let mut sim = boot(cfg, &user);
         assert_eq!(sim.run_to_halt(STEPS), 9, "{cfg:?}");
     }

@@ -40,7 +40,9 @@ fn timer_preemption_interleaves_cpu_hogs() {
         KernelConfig::nested(false).with_preempt(),
     ] {
         let prog = two_hogs(50_000);
-        let mut sim = SimBuilder::new(cfg).timer_every(2000).boot(&prog, Some("task1"));
+        let mut sim = SimBuilder::new(cfg)
+            .timer_every(2000)
+            .boot(&prog, Some("task1"));
         let progress = sim.run_to_halt(STEPS);
         assert!(
             progress > 1000,
@@ -63,7 +65,11 @@ fn decomposed_preemption_crosses_the_mm_domain() {
         sim.machine.ext.stats.gate_calls
     );
     assert_eq!(sim.machine.ext.stats.faults, 0);
-    assert_eq!(sim.machine.ext.current_domain().0, 1, "back in the kernel domain");
+    assert_eq!(
+        sim.machine.ext.current_domain().0,
+        1,
+        "back in the kernel domain"
+    );
 }
 
 #[test]
@@ -105,13 +111,17 @@ fn preemption_preserves_task_state_exactly() {
         a.assemble().unwrap()
     };
     let prog = build();
-    let mut quiet = SimBuilder::new(KernelConfig::decomposed().with_preempt())
-        .boot(&prog, Some("task1"));
+    let mut quiet =
+        SimBuilder::new(KernelConfig::decomposed().with_preempt()).boot(&prog, Some("task1"));
     let want = quiet.run_to_halt(STEPS);
     let mut noisy = SimBuilder::new(KernelConfig::decomposed().with_preempt())
         .timer_every(137)
         .boot(&prog, Some("task1"));
-    assert_eq!(noisy.run_to_halt(STEPS), want, "state corrupted by preemption");
+    assert_eq!(
+        noisy.run_to_halt(STEPS),
+        want,
+        "state corrupted by preemption"
+    );
 }
 
 #[test]
@@ -123,9 +133,14 @@ fn non_preempt_kernel_masks_the_timer_safely() {
     // Kernel built WITHOUT preempt support while the timer device fires:
     // the interrupt stays masked (mie.STIE clear) and execution simply
     // continues — pending-but-disabled interrupts are a no-op.
-    let mut sim = SimBuilder::new(KernelConfig::decomposed()).timer_every(500).boot(&prog, None);
+    let mut sim = SimBuilder::new(KernelConfig::decomposed())
+        .timer_every(500)
+        .boot(&prog, None);
     let exit = sim.machine.run(100_000);
     assert_eq!(exit, isa_sim::Exit::StepLimit, "no halt, no trap storm");
     assert_eq!(sim.machine.ext.stats.faults, 0);
-    assert!(sim.machine.trap_counts.is_empty(), "no interrupt was ever taken");
+    assert!(
+        sim.machine.trap_counts.is_empty(),
+        "no interrupt was ever taken"
+    );
 }

@@ -15,8 +15,7 @@ fn syscalls_work_across_the_user_domain_boundary() {
     });
     usr::exit_code(&mut a, 3);
     let prog = a.assemble().unwrap();
-    let mut sim =
-        SimBuilder::new(KernelConfig::decomposed().with_user_domain()).boot(&prog, None);
+    let mut sim = SimBuilder::new(KernelConfig::decomposed().with_user_domain()).boot(&prog, None);
     assert_eq!(sim.run_to_halt(STEPS), 3);
     // Boot gate + (U2K + K2U) per kernel crossing; 11 syscalls at least.
     let calls = sim.machine.ext.stats.gate_calls;
@@ -34,8 +33,7 @@ fn user_rdcycle_allowed_by_default() {
     usr::measure_end_report(&mut a);
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
-    let mut sim =
-        SimBuilder::new(KernelConfig::decomposed().with_user_domain()).boot(&prog, None);
+    let mut sim = SimBuilder::new(KernelConfig::decomposed().with_user_domain()).boot(&prog, None);
     assert_eq!(sim.run_to_halt(STEPS), 0);
     assert!(sim.values()[0] >= 16);
 }
@@ -90,8 +88,8 @@ fn signals_and_tasks_survive_user_domains() {
     usr::syscall(&mut a, sys::YIELD);
     a.j("t1loop");
     let prog = a.assemble().unwrap();
-    let mut sim = SimBuilder::new(KernelConfig::decomposed().with_user_domain())
-        .boot(&prog, Some("t1"));
+    let mut sim =
+        SimBuilder::new(KernelConfig::decomposed().with_user_domain()).boot(&prog, Some("t1"));
     assert_eq!(sim.run_to_halt(STEPS), 111);
 }
 
@@ -114,11 +112,9 @@ fn user_domain_composes_with_preemption() {
     a.sd(isa_asm::Reg::T1, isa_asm::Reg::T0, 0);
     a.j("spin1");
     let prog = a.assemble().unwrap();
-    let mut sim = SimBuilder::new(
-        KernelConfig::decomposed().with_user_domain().with_preempt(),
-    )
-    .timer_every(1500)
-    .boot(&prog, Some("task1"));
+    let mut sim = SimBuilder::new(KernelConfig::decomposed().with_user_domain().with_preempt())
+        .timer_every(1500)
+        .boot(&prog, Some("task1"));
     let progress = sim.run_to_halt(STEPS);
     assert!(progress > 500, "task 1 starved: {progress}");
     assert_eq!(sim.machine.ext.stats.faults, 0);

@@ -1,0 +1,363 @@
+//! The unified counter registry: one snapshot type subsuming the cache,
+//! check, gate, timing and run tallies that previously lived in four
+//! disjoint ad-hoc structs across the workspace.
+
+use crate::json::{Json, ToJson};
+
+/// Hit/miss/flush tallies for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to refill from trusted memory.
+    pub misses: u64,
+    /// Whole-cache flushes.
+    pub flushes: u64,
+}
+
+impl CacheCounters {
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; an unused cache reports `1.0`.
+    ///
+    /// This is the single source of hit-rate math for the workspace —
+    /// bench tables and run reports must both go through it.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Add another tally into this one.
+    pub fn merge(&mut self, other: &CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.flushes += other.flushes;
+    }
+}
+
+impl ToJson for CacheCounters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", Json::U64(self.hits)),
+            ("misses", Json::U64(self.misses)),
+            ("flushes", Json::U64(self.flushes)),
+            ("hit_rate", Json::F64(self.hit_rate())),
+        ])
+    }
+}
+
+/// Per-cache tallies for the PCU's five internal caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheBank {
+    /// HPT instruction-bitmap cache.
+    pub inst: CacheCounters,
+    /// HPT register double-bitmap cache.
+    pub reg: CacheCounters,
+    /// HPT bit-mask array cache.
+    pub mask: CacheCounters,
+    /// Switching-gate-table cache.
+    pub sgt: CacheCounters,
+    /// Legal-instruction short-circuit cache.
+    pub legal: CacheCounters,
+}
+
+impl CacheBank {
+    /// `(name, counters)` pairs in canonical order.
+    pub fn named(&self) -> [(&'static str, &CacheCounters); 5] {
+        [
+            ("inst", &self.inst),
+            ("reg", &self.reg),
+            ("mask", &self.mask),
+            ("sgt", &self.sgt),
+            ("legal", &self.legal),
+        ]
+    }
+
+    /// Sum over all five caches.
+    pub fn total(&self) -> CacheCounters {
+        let mut t = CacheCounters::default();
+        for (_, c) in self.named() {
+            t.merge(c);
+        }
+        t
+    }
+
+    /// Add another bank into this one, cache by cache.
+    pub fn merge(&mut self, other: &CacheBank) {
+        self.inst.merge(&other.inst);
+        self.reg.merge(&other.reg);
+        self.mask.merge(&other.mask);
+        self.sgt.merge(&other.sgt);
+        self.legal.merge(&other.legal);
+    }
+}
+
+impl ToJson for CacheBank {
+    fn to_json(&self) -> Json {
+        Json::obj(self.named().map(|(n, c)| (n, c.to_json())))
+    }
+}
+
+/// Privilege-check verdict tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckCounters {
+    /// Instruction-class checks performed.
+    pub inst: u64,
+    /// CSR checks performed.
+    pub csr: u64,
+    /// Checks that ended in a grid fault.
+    pub faults: u64,
+    /// Physical accesses blocked by the trusted-memory fence.
+    pub tmem_denials: u64,
+}
+
+impl ToJson for CheckCounters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("inst", Json::U64(self.inst)),
+            ("csr", Json::U64(self.csr)),
+            ("faults", Json::U64(self.faults)),
+            ("tmem_denials", Json::U64(self.tmem_denials)),
+        ])
+    }
+}
+
+/// Gate and PCU-maintenance instruction tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateCounters {
+    /// `hccall`/`hccalls` switches taken.
+    pub calls: u64,
+    /// `hcrets` returns taken.
+    pub returns: u64,
+    /// `pfch` prefetches executed.
+    pub prefetches: u64,
+    /// `pflh` cache flushes executed.
+    pub flushes: u64,
+}
+
+impl ToJson for GateCounters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("calls", Json::U64(self.calls)),
+            ("returns", Json::U64(self.returns)),
+            ("prefetches", Json::U64(self.prefetches)),
+            ("flushes", Json::U64(self.flushes)),
+        ])
+    }
+}
+
+/// Cycle attribution per event class, mirroring the timing model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimingCounters {
+    /// Retired events seen by the pipeline model.
+    pub events: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Cycles stalled on instruction fetch.
+    pub fetch_stall: u64,
+    /// Cycles stalled on data access.
+    pub data_stall: u64,
+    /// Cycles lost to branch redirects.
+    pub branch_stall: u64,
+    /// Cycles lost to serializing instructions.
+    pub serialize_stall: u64,
+    /// Cycles lost to trap entry/exit.
+    pub trap_stall: u64,
+    /// Cycles lost to page-table walks.
+    pub walk_stall: u64,
+    /// Cycles lost to PCU cache-miss refills.
+    pub pcu_stall: u64,
+    /// Cycles spent in gate instructions.
+    pub gate_cycles: u64,
+}
+
+impl ToJson for TimingCounters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("events", Json::U64(self.events)),
+            ("cycles", Json::U64(self.cycles)),
+            ("fetch_stall", Json::U64(self.fetch_stall)),
+            ("data_stall", Json::U64(self.data_stall)),
+            ("branch_stall", Json::U64(self.branch_stall)),
+            ("serialize_stall", Json::U64(self.serialize_stall)),
+            ("trap_stall", Json::U64(self.trap_stall)),
+            ("walk_stall", Json::U64(self.walk_stall)),
+            ("pcu_stall", Json::U64(self.pcu_stall)),
+            ("gate_cycles", Json::U64(self.gate_cycles)),
+        ])
+    }
+}
+
+/// Whole-run bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCounters {
+    /// Committed instructions.
+    pub steps: u64,
+    /// Traps taken.
+    pub traps: u64,
+    /// Trace events dropped by the bounded ring (0 when disabled).
+    pub trace_dropped: u64,
+}
+
+impl ToJson for RunCounters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("steps", Json::U64(self.steps)),
+            ("traps", Json::U64(self.traps)),
+            ("trace_dropped", Json::U64(self.trace_dropped)),
+        ])
+    }
+}
+
+/// The unified counter snapshot.
+///
+/// One `Counters` value captures everything the paper's evaluation
+/// counts: per-cache hit rates (§7.1), check and gate tallies (Tables
+/// 4–5), and cycle attribution (Figures 5–8). Producers snapshot into
+/// it; consumers either read the typed fields or flatten with
+/// [`Counters::entries`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// PCU cache tallies.
+    pub caches: CacheBank,
+    /// Privilege-check verdict tallies.
+    pub checks: CheckCounters,
+    /// Gate / maintenance instruction tallies.
+    pub gates: GateCounters,
+    /// Cycle attribution from the timing model.
+    pub timing: TimingCounters,
+    /// Whole-run bookkeeping.
+    pub run: RunCounters,
+}
+
+impl Counters {
+    /// Flatten into a registry of `(dotted_name, value)` counter pairs,
+    /// in stable order (hit rates excluded — they are derived).
+    pub fn entries(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(40);
+        for (name, c) in self.caches.named() {
+            out.push((format!("caches.{name}.hits"), c.hits));
+            out.push((format!("caches.{name}.misses"), c.misses));
+            out.push((format!("caches.{name}.flushes"), c.flushes));
+        }
+        out.push(("checks.inst".into(), self.checks.inst));
+        out.push(("checks.csr".into(), self.checks.csr));
+        out.push(("checks.faults".into(), self.checks.faults));
+        out.push(("checks.tmem_denials".into(), self.checks.tmem_denials));
+        out.push(("gates.calls".into(), self.gates.calls));
+        out.push(("gates.returns".into(), self.gates.returns));
+        out.push(("gates.prefetches".into(), self.gates.prefetches));
+        out.push(("gates.flushes".into(), self.gates.flushes));
+        out.push(("timing.events".into(), self.timing.events));
+        out.push(("timing.cycles".into(), self.timing.cycles));
+        out.push(("timing.fetch_stall".into(), self.timing.fetch_stall));
+        out.push(("timing.data_stall".into(), self.timing.data_stall));
+        out.push(("timing.branch_stall".into(), self.timing.branch_stall));
+        out.push(("timing.serialize_stall".into(), self.timing.serialize_stall));
+        out.push(("timing.trap_stall".into(), self.timing.trap_stall));
+        out.push(("timing.walk_stall".into(), self.timing.walk_stall));
+        out.push(("timing.pcu_stall".into(), self.timing.pcu_stall));
+        out.push(("timing.gate_cycles".into(), self.timing.gate_cycles));
+        out.push(("run.steps".into(), self.run.steps));
+        out.push(("run.traps".into(), self.run.traps));
+        out.push(("run.trace_dropped".into(), self.run.trace_dropped));
+        out
+    }
+
+    /// Look up one counter by its dotted registry name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.entries()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+impl ToJson for Counters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("caches", self.caches.to_json()),
+            ("checks", self.checks.to_json()),
+            ("gates", self.gates.to_json()),
+            ("timing", self.timing.to_json()),
+            ("run", self.run.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_unused_cache() {
+        assert_eq!(CacheCounters::default().hit_rate(), 1.0);
+        let c = CacheCounters {
+            hits: 3,
+            misses: 1,
+            flushes: 0,
+        };
+        assert_eq!(c.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn entries_match_typed_fields() {
+        let mut c = Counters::default();
+        c.caches.sgt = CacheCounters {
+            hits: 10,
+            misses: 2,
+            flushes: 1,
+        };
+        c.checks.inst = 99;
+        c.gates.calls = 7;
+        c.timing.cycles = 1234;
+        c.run.steps = 500;
+        assert_eq!(c.get("caches.sgt.hits"), Some(10));
+        assert_eq!(c.get("caches.sgt.misses"), Some(2));
+        assert_eq!(c.get("checks.inst"), Some(99));
+        assert_eq!(c.get("gates.calls"), Some(7));
+        assert_eq!(c.get("timing.cycles"), Some(1234));
+        assert_eq!(c.get("run.steps"), Some(500));
+        // Every entry name is unique.
+        let e = c.entries();
+        let mut names: Vec<_> = e.iter().map(|(n, _)| n.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), e.len());
+    }
+
+    #[test]
+    fn bank_total_sums_all_caches() {
+        let b = CacheBank {
+            inst: CacheCounters {
+                hits: 1,
+                misses: 2,
+                flushes: 0,
+            },
+            legal: CacheCounters {
+                hits: 4,
+                misses: 0,
+                flushes: 3,
+            },
+            ..CacheBank::default()
+        };
+        let t = b.total();
+        assert_eq!((t.hits, t.misses, t.flushes), (5, 2, 3));
+    }
+
+    #[test]
+    fn json_snapshot_round_trips_counts() {
+        let mut c = Counters::default();
+        c.caches.inst.hits = 42;
+        let s = c.to_json().to_string();
+        assert!(s.contains("\"hits\":42"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+}

@@ -1,0 +1,262 @@
+//! The trace-event taxonomy: everything the simulator, the PCU and the
+//! timing model can report, as one flat enum cheap enough to record on
+//! every committed instruction.
+
+use crate::json::{Json, ToJson};
+
+/// Which privilege check produced a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// Instruction-class check against the HPT instruction bitmap.
+    Inst,
+    /// CSR read/write check (register double-bitmap + bit-mask array).
+    Csr,
+    /// Physical-access check against the trusted-memory fence.
+    Phys,
+}
+
+impl CheckKind {
+    /// Stable lowercase name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckKind::Inst => "inst",
+            CheckKind::Csr => "csr",
+            CheckKind::Phys => "phys",
+        }
+    }
+}
+
+/// Which PCU-internal cache an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// HPT instruction-bitmap cache.
+    HptInst,
+    /// HPT register double-bitmap cache.
+    HptReg,
+    /// HPT bit-mask array cache.
+    HptMask,
+    /// Switching-gate-table cache.
+    Sgt,
+    /// Legal-instruction short-circuit cache.
+    Legal,
+}
+
+impl CacheKind {
+    /// Stable lowercase name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheKind::HptInst => "hpt_inst",
+            CacheKind::HptReg => "hpt_reg",
+            CacheKind::HptMask => "hpt_mask",
+            CacheKind::Sgt => "sgt",
+            CacheKind::Legal => "legal",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Events are emitted in program order within a step: the privilege
+/// checks and cache probes an instruction causes precede its
+/// [`TraceEvent::Retire`], so the stream reads as a causal narrative.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An instruction committed.
+    Retire {
+        /// Virtual PC of the instruction.
+        pc: u64,
+        /// Raw 32-bit encoding.
+        raw: u32,
+        /// ISA domain it executed under.
+        domain: u16,
+        /// Privilege level (0 = U, 1 = S, 3 = M).
+        priv_level: u8,
+        /// Whether this step ended in a trap.
+        trapped: bool,
+    },
+    /// A privilege check produced a verdict.
+    Check {
+        /// Which checker ran.
+        kind: CheckKind,
+        /// Whether the access was permitted.
+        allowed: bool,
+        /// The checking domain.
+        domain: u16,
+        /// Checker-specific detail: instruction-class index for `Inst`,
+        /// CSR address for `Csr`, physical address for `Phys`.
+        detail: u64,
+    },
+    /// A PCU cache probe hit or missed.
+    Cache {
+        /// Which cache.
+        cache: CacheKind,
+        /// Hit (`true`) or miss with trusted-memory refill (`false`).
+        hit: bool,
+    },
+    /// A PCU cache was flushed (`pflh` or domain teardown).
+    CacheFlush {
+        /// Which cache.
+        cache: CacheKind,
+        /// Number of live entries discarded.
+        discarded: u64,
+    },
+    /// A switching gate fired (`hccall` / `hccalls`).
+    GateCall {
+        /// Gate (call-site) address.
+        gate: u64,
+        /// Destination address jumped to.
+        target: u64,
+        /// Domain before the switch.
+        from_domain: u16,
+        /// Domain after the switch.
+        to_domain: u16,
+        /// Extended gate (`hccalls`, pushes the trusted stack).
+        extended: bool,
+    },
+    /// An extended gate returned (`hcrets`).
+    GateReturn {
+        /// Return address popped from the trusted stack.
+        target: u64,
+        /// Domain before the return.
+        from_domain: u16,
+        /// Domain restored by the return.
+        to_domain: u16,
+    },
+    /// The current ISA domain changed (follows gate call/return).
+    DomainSwitch {
+        /// Previous domain.
+        from: u16,
+        /// New current domain.
+        to: u16,
+    },
+    /// A trap was taken.
+    Trap {
+        /// `mcause`-style cause value.
+        cause: u64,
+        /// PC of the trapping instruction.
+        pc: u64,
+    },
+    /// The trusted-memory fence blocked a physical access.
+    TmemFence {
+        /// Offending physical address.
+        paddr: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lowercase tag for JSON output and filtering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Retire { .. } => "retire",
+            TraceEvent::Check { .. } => "check",
+            TraceEvent::Cache { .. } => "cache",
+            TraceEvent::CacheFlush { .. } => "cache_flush",
+            TraceEvent::GateCall { .. } => "gate_call",
+            TraceEvent::GateReturn { .. } => "gate_return",
+            TraceEvent::DomainSwitch { .. } => "domain_switch",
+            TraceEvent::Trap { .. } => "trap",
+            TraceEvent::TmemFence { .. } => "tmem_fence",
+        }
+    }
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![("event".into(), Json::Str(self.name().into()))];
+        match *self {
+            TraceEvent::Retire {
+                pc,
+                raw,
+                domain,
+                priv_level,
+                trapped,
+            } => {
+                pairs.push(("pc".into(), Json::Str(format!("{pc:#x}"))));
+                pairs.push(("raw".into(), Json::Str(format!("{raw:#010x}"))));
+                pairs.push(("domain".into(), Json::U64(domain as u64)));
+                pairs.push(("priv".into(), Json::U64(priv_level as u64)));
+                pairs.push(("trapped".into(), Json::Bool(trapped)));
+            }
+            TraceEvent::Check {
+                kind,
+                allowed,
+                domain,
+                detail,
+            } => {
+                pairs.push(("kind".into(), Json::Str(kind.name().into())));
+                pairs.push(("allowed".into(), Json::Bool(allowed)));
+                pairs.push(("domain".into(), Json::U64(domain as u64)));
+                pairs.push(("detail".into(), Json::Str(format!("{detail:#x}"))));
+            }
+            TraceEvent::Cache { cache, hit } => {
+                pairs.push(("cache".into(), Json::Str(cache.name().into())));
+                pairs.push(("hit".into(), Json::Bool(hit)));
+            }
+            TraceEvent::CacheFlush { cache, discarded } => {
+                pairs.push(("cache".into(), Json::Str(cache.name().into())));
+                pairs.push(("discarded".into(), Json::U64(discarded)));
+            }
+            TraceEvent::GateCall {
+                gate,
+                target,
+                from_domain,
+                to_domain,
+                extended,
+            } => {
+                pairs.push(("gate".into(), Json::Str(format!("{gate:#x}"))));
+                pairs.push(("target".into(), Json::Str(format!("{target:#x}"))));
+                pairs.push(("from_domain".into(), Json::U64(from_domain as u64)));
+                pairs.push(("to_domain".into(), Json::U64(to_domain as u64)));
+                pairs.push(("extended".into(), Json::Bool(extended)));
+            }
+            TraceEvent::GateReturn {
+                target,
+                from_domain,
+                to_domain,
+            } => {
+                pairs.push(("target".into(), Json::Str(format!("{target:#x}"))));
+                pairs.push(("from_domain".into(), Json::U64(from_domain as u64)));
+                pairs.push(("to_domain".into(), Json::U64(to_domain as u64)));
+            }
+            TraceEvent::DomainSwitch { from, to } => {
+                pairs.push(("from".into(), Json::U64(from as u64)));
+                pairs.push(("to".into(), Json::U64(to as u64)));
+            }
+            TraceEvent::Trap { cause, pc } => {
+                pairs.push(("cause".into(), Json::U64(cause)));
+                pairs.push(("pc".into(), Json::Str(format!("{pc:#x}"))));
+            }
+            TraceEvent::TmemFence { paddr, write } => {
+                pairs.push(("paddr".into(), Json::Str(format!("{paddr:#x}"))));
+                pairs.push(("write".into(), Json::Bool(write)));
+            }
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// A [`TraceEvent`] stamped with its position in the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Monotone sequence number (survives ring overwrites).
+    pub seq: u64,
+    /// Committed-instruction step the event belongs to.
+    pub step: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl ToJson for TimedEvent {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("seq".into(), Json::U64(self.seq)),
+            ("step".into(), Json::U64(self.step)),
+        ];
+        if let Json::Obj(inner) = self.event.to_json() {
+            pairs.extend(inner);
+        }
+        Json::Obj(pairs)
+    }
+}

@@ -1,0 +1,214 @@
+//! Hand-rolled JSON values — the offline build cannot fetch serde, so
+//! this module provides the minimal encoder the report layer needs.
+
+use std::fmt;
+
+/// A JSON value. Object keys keep insertion order so reports are stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values encode as `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Render with two-space indentation for human consumption.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    out.push_str(&format!("{}: ", Escaped(k)));
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            other => {
+                out.push_str(&other.to_string());
+            }
+        }
+    }
+}
+
+/// Compact (single-line) JSON encoding.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::U64(n) => write!(f, "{n}"),
+            Json::I64(n) => write!(f, "{n}"),
+            Json::F64(x) if x.is_finite() => write!(f, "{x}"),
+            Json::F64(_) => write!(f, "null"),
+            Json::Str(s) => write!(f, "{}", Escaped(s)),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{v}", Escaped(k))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// A string rendered as a quoted, escaped JSON string literal.
+struct Escaped<'a>(&'a str);
+
+impl fmt::Display for Escaped<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"")?;
+        for c in self.0.chars() {
+            match c {
+                '"' => write!(f, "\\\"")?,
+                '\\' => write!(f, "\\\\")?,
+                '\n' => write!(f, "\\n")?,
+                '\r' => write!(f, "\\r")?,
+                '\t' => write!(f, "\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Types that can serialize themselves into a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::U64(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_encoding_escapes_and_orders() {
+        let v = Json::obj([
+            ("a", Json::U64(1)),
+            ("b", Json::Str("x\"y\n".into())),
+            ("c", Json::arr([Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":"x\"y\n","c":[true,null]}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::F64(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn pretty_is_parseable_shape() {
+        let v = Json::obj([("k", Json::arr([Json::U64(1), Json::U64(2)]))]);
+        let p = v.pretty();
+        assert!(p.contains("\"k\": ["));
+        assert!(p.ends_with('}'));
+    }
+}

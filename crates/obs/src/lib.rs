@@ -1,0 +1,34 @@
+//! # isa-obs — the observability spine of the ISA-Grid reproduction
+//!
+//! Every evaluation artifact of the paper (§7, Fig. 5–8, Tables 4–6) is
+//! built on counting things: privilege-check verdicts, HPT/SGT cache
+//! hits, gate switches, cycle attribution. This crate is the single
+//! substrate those counts flow through:
+//!
+//! * [`TraceEvent`] — a structured event taxonomy (retire, check
+//!   verdict, cache hit/miss/flush, gate call/return, domain switch,
+//!   trap, trusted-memory fence) recorded into a bounded [`EventRing`].
+//! * [`Tracer`] — the recording trait; [`NullTracer`] is the zero-cost
+//!   disabled form and [`TraceSink`] the cheaply-cloneable shared handle
+//!   the simulator and the PCU both emit into.
+//! * [`Counters`] — one snapshot struct subsuming the cache / check /
+//!   gate / timing / run tallies that previously lived in four ad-hoc
+//!   types; [`Counters::entries`] flattens it into a registry of
+//!   dotted-name counters.
+//! * [`Json`] / [`ToJson`] — a tiny dependency-free JSON encoder so run
+//!   reports and bench tables can be emitted machine-readable (the
+//!   environment cannot fetch serde, so this is hand-rolled).
+
+#![warn(missing_docs)]
+
+mod counters;
+mod event;
+mod json;
+mod ring;
+
+pub use counters::{
+    CacheBank, CacheCounters, CheckCounters, Counters, GateCounters, RunCounters, TimingCounters,
+};
+pub use event::{CacheKind, CheckKind, TimedEvent, TraceEvent};
+pub use json::{Json, ToJson};
+pub use ring::{EventRing, NullTracer, RingTracer, TraceSink, Tracer};

@@ -205,6 +205,13 @@ pub trait Extension {
     fn drain_events(&mut self) -> ExtEvents {
         ExtEvents::default()
     }
+
+    /// The numeric id of the protection domain the core currently runs
+    /// in, for trace-event attribution. Extensions without domains
+    /// report 0.
+    fn current_domain_id(&self) -> u16 {
+        0
+    }
 }
 
 /// The no-op extension: a plain RV64 core.
@@ -311,6 +318,10 @@ pub struct Machine<E: Extension> {
     pub timer_every: Option<u64>,
     /// Count of traps taken, by cause (index = cause for exceptions).
     pub trap_counts: std::collections::BTreeMap<u64, u64>,
+    /// Trace-event sink for the observability layer; disabled by
+    /// default. Share a clone with the extension so its events
+    /// interleave with retire events in commit order.
+    pub trace: isa_obs::TraceSink,
 }
 
 impl<E: Extension> Machine<E> {
@@ -326,6 +337,7 @@ impl<E: Extension> Machine<E> {
             steps: 0,
             timer_every: None,
             trap_counts: std::collections::BTreeMap::new(),
+            trace: isa_obs::TraceSink::off(),
         }
     }
 
@@ -333,6 +345,11 @@ impl<E: Extension> Machine<E> {
     pub fn with_timing(mut self, t: Box<dyn TimingSink>) -> Machine<E> {
         self.timing = t;
         self
+    }
+
+    /// Route retire/trap trace events into `sink`.
+    pub fn set_tracer(&mut self, sink: isa_obs::TraceSink) {
+        self.trace = sink;
     }
 
     /// Load a program image into RAM and point the PC at its base.
@@ -344,7 +361,11 @@ impl<E: Extension> Machine<E> {
     /// Raise or clear an interrupt-pending bit (host-side device model).
     pub fn set_pending(&mut self, irq: Interrupt, pending: bool) {
         let mip = self.cpu.csrs.read_raw(addr::MIP);
-        let new = if pending { mip | irq.mask() } else { mip & !irq.mask() };
+        let new = if pending {
+            mip | irq.mask()
+        } else {
+            mip & !irq.mask()
+        };
         self.cpu.csrs.write_raw(addr::MIP, new);
     }
 
@@ -363,6 +384,7 @@ impl<E: Extension> Machine<E> {
     /// retired-event record for the step, if an instruction was attempted.
     pub fn step(&mut self) -> Option<Retired> {
         self.steps += 1;
+        self.trace.set_step(self.steps);
         if let Some(n) = self.timer_every {
             if self.steps.is_multiple_of(n) {
                 self.set_pending(Interrupt::SupervisorTimer, true);
@@ -405,6 +427,18 @@ impl<E: Extension> Machine<E> {
             }
         }
         ev.ext = self.ext.drain_events();
+        if self.trace.is_enabled() {
+            if let Some(cause) = ev.trap_cause {
+                self.trace.emit(|| isa_obs::TraceEvent::Trap { cause, pc });
+            }
+            self.trace.emit(|| isa_obs::TraceEvent::Retire {
+                pc,
+                raw: ev.raw,
+                domain: self.ext.current_domain_id(),
+                priv_level: priv_level as u8,
+                trapped: ev.trap_cause.is_some(),
+            });
+        }
         let cycles = self.timing.retire(&ev);
         self.cpu.csrs.add_cycles(cycles);
         Some(ev)
@@ -605,14 +639,22 @@ impl<E: Extension> Machine<E> {
             }
             Remuw => {
                 let (a, b) = (rs1 as u32, rs2 as u32);
-                let v = if b == 0 { a as i32 as i64 as u64 } else { (a % b) as i32 as i64 as u64 };
+                let v = if b == 0 {
+                    a as i32 as i64 as u64
+                } else {
+                    (a % b) as i32 as i64 as u64
+                };
                 cpu.set_reg(d.rd, v);
             }
             LrW | LrD => {
                 let len = if d.kind == LrW { 4 } else { 8 };
                 let vaddr = rs1;
                 let v = self.mem_load(vaddr, len, ev)?;
-                let v = if d.kind == LrW { v as i32 as i64 as u64 } else { v };
+                let v = if d.kind == LrW {
+                    v as i32 as i64 as u64
+                } else {
+                    v
+                };
                 self.cpu.set_reg(d.rd, v);
                 self.cpu.reservation = Some(ev.mem.map(|m| m.paddr).unwrap_or(vaddr));
             }
@@ -631,17 +673,18 @@ impl<E: Extension> Machine<E> {
                 self.cpu.reservation = None;
             }
             k if k.is_amo() => {
-                let len = if matches!(
-                    k,
-                    AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW
-                ) {
+                let len = if matches!(k, AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW) {
                     4
                 } else {
                     8
                 };
                 let vaddr = rs1;
                 let old = self.amo_load(vaddr, len, ev)?;
-                let old_sx = if len == 4 { old as i32 as i64 as u64 } else { old };
+                let old_sx = if len == 4 {
+                    old as i32 as i64 as u64
+                } else {
+                    old
+                };
                 let new = match k {
                     AmoswapW | AmoswapD => rs2,
                     AmoaddW => (old_sx as i64).wrapping_add(rs2 as i64) as u64,
@@ -702,7 +745,11 @@ impl<E: Extension> Machine<E> {
         use Kind::*;
         let csr = d.csr;
         let imm_form = matches!(d.kind, Csrrwi | Csrrsi | Csrrci);
-        let src = if imm_form { d.rs1 as u64 } else { self.cpu.reg(d.rs1) };
+        let src = if imm_form {
+            d.rs1 as u64
+        } else {
+            self.cpu.reg(d.rs1)
+        };
         let is_write =
             matches!(d.kind, Csrrw | Csrrwi) || ((d.rs1 != 0) && !matches!(d.kind, Csrrw | Csrrwi));
         let is_read = !(matches!(d.kind, Csrrw | Csrrwi) && d.rd == 0);
@@ -773,7 +820,12 @@ impl<E: Extension> Machine<E> {
             .bus
             .load(tr.paddr, len)
             .ok_or(Exception::LoadAccessFault(vaddr))?;
-        ev.mem = Some(MemAccess { vaddr, paddr: tr.paddr, len, write: false });
+        ev.mem = Some(MemAccess {
+            vaddr,
+            paddr: tr.paddr,
+            len,
+            write: false,
+        });
         Ok(v)
     }
 
@@ -803,7 +855,12 @@ impl<E: Extension> Machine<E> {
         self.bus
             .store(tr.paddr, len, val)
             .ok_or(Exception::StoreAccessFault(vaddr))?;
-        ev.mem = Some(MemAccess { vaddr, paddr: tr.paddr, len, write: true });
+        ev.mem = Some(MemAccess {
+            vaddr,
+            paddr: tr.paddr,
+            len,
+            write: true,
+        });
         Ok(())
     }
 
@@ -844,7 +901,11 @@ impl<E: Extension> Machine<E> {
 
     fn do_sret(&mut self) -> u64 {
         let m = self.cpu.csrs.read_raw(addr::MSTATUS);
-        let spp = if m & mstatus::SPP != 0 { Priv::S } else { Priv::U };
+        let spp = if m & mstatus::SPP != 0 {
+            Priv::S
+        } else {
+            Priv::U
+        };
         let spie = m & mstatus::SPIE != 0;
         let mut new = m & !(mstatus::SIE | mstatus::SPIE | mstatus::SPP);
         if spie {
@@ -871,9 +932,17 @@ impl<E: Extension> Machine<E> {
             self.cpu.csrs.write_raw(addr::STVAL, e.tval());
             let mut m = self.cpu.csrs.read_raw(addr::MSTATUS);
             // SPIE <- SIE; SIE <- 0; SPP <- priv.
-            m = if m & mstatus::SIE != 0 { m | mstatus::SPIE } else { m & !mstatus::SPIE };
+            m = if m & mstatus::SIE != 0 {
+                m | mstatus::SPIE
+            } else {
+                m & !mstatus::SPIE
+            };
             m &= !mstatus::SIE;
-            m = if self.cpu.priv_level == Priv::S { m | mstatus::SPP } else { m & !mstatus::SPP };
+            m = if self.cpu.priv_level == Priv::S {
+                m | mstatus::SPP
+            } else {
+                m & !mstatus::SPP
+            };
             self.cpu.csrs.write_raw(addr::MSTATUS, m);
             self.cpu.priv_level = Priv::S;
             self.cpu.pc = self.cpu.csrs.read_raw(addr::STVEC) & !3;
@@ -882,7 +951,11 @@ impl<E: Extension> Machine<E> {
             self.cpu.csrs.write_raw(addr::MEPC, pc);
             self.cpu.csrs.write_raw(addr::MTVAL, e.tval());
             let mut m = self.cpu.csrs.read_raw(addr::MSTATUS);
-            m = if m & mstatus::MIE != 0 { m | mstatus::MPIE } else { m & !mstatus::MPIE };
+            m = if m & mstatus::MIE != 0 {
+                m | mstatus::MPIE
+            } else {
+                m & !mstatus::MPIE
+            };
             m &= !(mstatus::MIE | mstatus::MPP_MASK);
             m |= (self.cpu.priv_level as u64) << mstatus::MPP_SHIFT;
             self.cpu.csrs.write_raw(addr::MSTATUS, m);
@@ -943,9 +1016,17 @@ impl<E: Extension> Machine<E> {
             self.cpu.csrs.write_raw(addr::SEPC, pc);
             self.cpu.csrs.write_raw(addr::STVAL, 0);
             let mut m = self.cpu.csrs.read_raw(addr::MSTATUS);
-            m = if m & mstatus::SIE != 0 { m | mstatus::SPIE } else { m & !mstatus::SPIE };
+            m = if m & mstatus::SIE != 0 {
+                m | mstatus::SPIE
+            } else {
+                m & !mstatus::SPIE
+            };
             m &= !mstatus::SIE;
-            m = if self.cpu.priv_level == Priv::S { m | mstatus::SPP } else { m & !mstatus::SPP };
+            m = if self.cpu.priv_level == Priv::S {
+                m | mstatus::SPP
+            } else {
+                m & !mstatus::SPP
+            };
             self.cpu.csrs.write_raw(addr::MSTATUS, m);
             self.cpu.priv_level = Priv::S;
             self.cpu.pc = self.cpu.csrs.read_raw(addr::STVEC) & !3;
@@ -954,7 +1035,11 @@ impl<E: Extension> Machine<E> {
             self.cpu.csrs.write_raw(addr::MEPC, pc);
             self.cpu.csrs.write_raw(addr::MTVAL, 0);
             let mut m = self.cpu.csrs.read_raw(addr::MSTATUS);
-            m = if m & mstatus::MIE != 0 { m | mstatus::MPIE } else { m & !mstatus::MPIE };
+            m = if m & mstatus::MIE != 0 {
+                m | mstatus::MPIE
+            } else {
+                m & !mstatus::MPIE
+            };
             m &= !(mstatus::MIE | mstatus::MPP_MASK);
             m |= (self.cpu.priv_level as u64) << mstatus::MPP_SHIFT;
             self.cpu.csrs.write_raw(addr::MSTATUS, m);

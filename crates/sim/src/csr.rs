@@ -227,8 +227,7 @@ impl CsrFile {
                 let m = &mut self.regs[addr::MIP as usize];
                 *m = (*m & !deleg) | (val & deleg);
             }
-            addr::CYCLE | addr::TIME | addr::INSTRET | addr::HPMCOUNTER3
-            | addr::HPMCOUNTER4 => {}
+            addr::CYCLE | addr::TIME | addr::INSTRET | addr::HPMCOUNTER3 | addr::HPMCOUNTER4 => {}
             addr::MVENDORID | addr::MARCHID | addr::MIMPID | addr::MHARTID | addr::MISA => {}
             _ => self.regs[csr as usize & 0xfff] = val,
         }
@@ -257,8 +256,7 @@ impl CsrFile {
 
     /// Increment the retired-instruction counter.
     pub fn add_instret(&mut self, n: u64) {
-        self.regs[addr::MINSTRET as usize] =
-            self.regs[addr::MINSTRET as usize].wrapping_add(n);
+        self.regs[addr::MINSTRET as usize] = self.regs[addr::MINSTRET as usize].wrapping_add(n);
     }
 
     /// Bump the trap performance counter (`hpmcounter3` analogue).
@@ -284,12 +282,18 @@ mod tests {
     #[test]
     fn sstatus_is_a_view_of_mstatus() {
         let mut f = CsrFile::new();
-        f.write_raw(addr::MSTATUS, mstatus::MPP_MASK | mstatus::SPP | mstatus::SIE);
+        f.write_raw(
+            addr::MSTATUS,
+            mstatus::MPP_MASK | mstatus::SPP | mstatus::SIE,
+        );
         let s = f.read_raw(addr::SSTATUS);
         assert_eq!(s, mstatus::SPP | mstatus::SIE, "MPP must be hidden");
         // Writing sstatus must not clobber machine-only bits.
         f.write_raw(addr::SSTATUS, 0);
-        assert_eq!(f.read_raw(addr::MSTATUS) & mstatus::MPP_MASK, mstatus::MPP_MASK);
+        assert_eq!(
+            f.read_raw(addr::MSTATUS) & mstatus::MPP_MASK,
+            mstatus::MPP_MASK
+        );
     }
 
     #[test]

@@ -172,7 +172,13 @@ impl Kind {
     pub fn is_load(self) -> bool {
         matches!(
             self,
-            Kind::Lb | Kind::Lh | Kind::Lw | Kind::Ld | Kind::Lbu | Kind::Lhu | Kind::Lwu
+            Kind::Lb
+                | Kind::Lh
+                | Kind::Lw
+                | Kind::Ld
+                | Kind::Lbu
+                | Kind::Lhu
+                | Kind::Lwu
                 | Kind::LrW
                 | Kind::LrD
         ) || self.is_amo()
@@ -180,8 +186,10 @@ impl Kind {
 
     /// Whether this is a memory store (including SC and AMOs).
     pub fn is_store(self) -> bool {
-        matches!(self, Kind::Sb | Kind::Sh | Kind::Sw | Kind::Sd | Kind::ScW | Kind::ScD)
-            || self.is_amo()
+        matches!(
+            self,
+            Kind::Sb | Kind::Sh | Kind::Sw | Kind::Sd | Kind::ScW | Kind::ScD
+        ) || self.is_amo()
     }
 
     /// Whether this is a read-modify-write atomic.
@@ -698,7 +706,9 @@ mod tests {
         assert_eq!(decode(encode::sret()).unwrap().kind, Kind::Sret);
         assert_eq!(decode(encode::wfi()).unwrap().kind, Kind::Wfi);
         assert_eq!(
-            decode(encode::sfence_vma(Reg::Zero, Reg::Zero)).unwrap().kind,
+            decode(encode::sfence_vma(Reg::Zero, Reg::Zero))
+                .unwrap()
+                .kind,
             Kind::SfenceVma
         );
     }
@@ -716,7 +726,10 @@ mod tests {
     #[test]
     fn decode_grid_customs() {
         assert_eq!(decode(encode::hccall(Reg::A0)).unwrap().kind, Kind::Hccall);
-        assert_eq!(decode(encode::hccalls(Reg::A0)).unwrap().kind, Kind::Hccalls);
+        assert_eq!(
+            decode(encode::hccalls(Reg::A0)).unwrap().kind,
+            Kind::Hccalls
+        );
         assert_eq!(decode(encode::hcrets()).unwrap().kind, Kind::Hcrets);
         assert_eq!(decode(encode::pfch(Reg::A1)).unwrap().kind, Kind::Pfch);
         assert_eq!(decode(encode::pflh(Reg::A2)).unwrap().kind, Kind::Pflh);
@@ -725,7 +738,10 @@ mod tests {
     #[test]
     fn illegal_encodings_are_rejected() {
         for raw in [0u32, 0xffff_ffff, 0x0000_707b, 0x7fff_ffff] {
-            assert!(matches!(decode(raw), Err(Exception::IllegalInst(_))), "{raw:#x}");
+            assert!(
+                matches!(decode(raw), Err(Exception::IllegalInst(_))),
+                "{raw:#x}"
+            );
         }
     }
 

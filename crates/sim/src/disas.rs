@@ -6,9 +6,9 @@ use crate::decode::{Decoded, Kind};
 
 fn reg(n: u8) -> &'static str {
     const NAMES: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     NAMES[n as usize & 31]
 }
@@ -202,8 +202,8 @@ impl fmt::Display for Decoded {
                 write!(f, "{m} {rd}, {name}, {}", self.rs1)
             }
             LrW | LrD => write!(f, "{m} {rd}, ({rs1})"),
-            ScW | ScD | AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW | AmoswapD
-            | AmoaddD | AmoxorD | AmoandD | AmoorD => {
+            ScW | ScD | AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW | AmoswapD | AmoaddD
+            | AmoxorD | AmoandD | AmoorD => {
                 write!(f, "{m} {rd}, {rs2}, ({rs1})")
             }
             Hccall | Hccalls | Pfch | Pflh => write!(f, "{m} {rs1}"),

@@ -63,7 +63,9 @@ impl Bus {
     /// True if `[paddr, paddr+len)` lies entirely in RAM.
     pub fn in_ram(&self, paddr: u64, len: u64) -> bool {
         paddr >= self.ram_base
-            && paddr.checked_add(len).is_some_and(|end| end <= self.ram_base + self.ram.len() as u64)
+            && paddr
+                .checked_add(len)
+                .is_some_and(|end| end <= self.ram_base + self.ram.len() as u64)
     }
 
     #[inline]

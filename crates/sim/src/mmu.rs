@@ -102,7 +102,10 @@ pub fn translate(
 ) -> Result<Translation, Exception> {
     let mode = ctx.satp >> 60;
     if ctx.priv_level == Priv::M || mode != 8 {
-        return Ok(Translation { paddr: vaddr, walk_reads: 0 });
+        return Ok(Translation {
+            paddr: vaddr,
+            walk_reads: 0,
+        });
     }
     // Canonical check: bits 63:39 must equal bit 38.
     let canonical = ((vaddr as i64) << 25 >> 25) as u64;
@@ -111,7 +114,11 @@ pub fn translate(
     }
 
     let mut table = (ctx.satp & 0xfff_ffff_ffff) << 12; // PPN → byte address
-    let vpn = [(vaddr >> 12) & 0x1ff, (vaddr >> 21) & 0x1ff, (vaddr >> 30) & 0x1ff];
+    let vpn = [
+        (vaddr >> 12) & 0x1ff,
+        (vaddr >> 21) & 0x1ff,
+        (vaddr >> 30) & 0x1ff,
+    ];
     let mut walk_reads = 0u8;
 
     for level in (0..3usize).rev() {
@@ -200,7 +207,10 @@ pub fn translate(
         let page_off_bits = 12 + 9 * level as u32;
         let off = vaddr & ((1u64 << page_off_bits) - 1);
         let base = (ppn << 12) & !((1u64 << page_off_bits) - 1);
-        return Ok(Translation { paddr: base | off, walk_reads });
+        return Ok(Translation {
+            paddr: base | off,
+            walk_reads,
+        });
     }
     Err(access.page_fault(vaddr))
 }
@@ -246,7 +256,10 @@ impl PageTableBuilder {
     }
 
     fn alloc_table(&mut self, bus: &mut Bus) -> u64 {
-        assert!(self.next_free + 4096 <= self.limit, "page-table pool exhausted");
+        assert!(
+            self.next_free + 4096 <= self.limit,
+            "page-table pool exhausted"
+        );
         let page = self.next_free;
         self.next_free += 4096;
         bus.write_bytes(page, &[0u8; 4096]);
@@ -263,7 +276,11 @@ impl PageTableBuilder {
     pub fn map_page(&mut self, bus: &mut Bus, vaddr: u64, paddr: u64, flags: u64) {
         assert_eq!(vaddr % 4096, 0, "vaddr must be page-aligned");
         assert_eq!(paddr % 4096, 0, "paddr must be page-aligned");
-        let vpn = [(vaddr >> 12) & 0x1ff, (vaddr >> 21) & 0x1ff, (vaddr >> 30) & 0x1ff];
+        let vpn = [
+            (vaddr >> 12) & 0x1ff,
+            (vaddr >> 21) & 0x1ff,
+            (vaddr >> 30) & 0x1ff,
+        ];
         let mut table = self.root;
         for level in (1..3usize).rev() {
             let pte_addr = table + vpn[level] * 8;
@@ -281,7 +298,10 @@ impl PageTableBuilder {
             }
         }
         let pte_addr = table + vpn[0] * 8;
-        bus.write_u64(pte_addr, ((paddr >> 12) << 10) | flags | pte::V | pte::A | pte::D);
+        bus.write_u64(
+            pte_addr,
+            ((paddr >> 12) << 10) | flags | pte::V | pte::A | pte::D,
+        );
     }
 
     /// Map `len` bytes starting at page-aligned `vaddr`→`paddr`.
@@ -295,7 +315,11 @@ impl PageTableBuilder {
     /// Read back the leaf PTE address for `vaddr`, if mapped
     /// (testing/monitor support).
     pub fn leaf_pte_addr(&self, bus: &Bus, vaddr: u64) -> Option<u64> {
-        let vpn = [(vaddr >> 12) & 0x1ff, (vaddr >> 21) & 0x1ff, (vaddr >> 30) & 0x1ff];
+        let vpn = [
+            (vaddr >> 12) & 0x1ff,
+            (vaddr >> 21) & 0x1ff,
+            (vaddr >> 30) & 0x1ff,
+        ];
         let mut table = self.root;
         for level in (1..3usize).rev() {
             let raw = bus.read_u64(table + vpn[level] * 8);
@@ -314,7 +338,12 @@ mod tests {
     use crate::mem::DEFAULT_RAM_BASE as RAM;
 
     fn ctx(priv_level: Priv, satp: u64) -> WalkCtx {
-        WalkCtx { priv_level, satp, mstatus: 0, pkr: 0 }
+        WalkCtx {
+            priv_level,
+            satp,
+            mstatus: 0,
+            pkr: 0,
+        }
     }
 
     fn setup() -> (Bus, PageTableBuilder) {
@@ -342,7 +371,12 @@ mod tests {
     #[test]
     fn basic_page_mapping() {
         let (mut bus, mut ptb) = setup();
-        ptb.map_page(&mut bus, 0x4000_0000, RAM + 0x2000, pte::R | pte::W | pte::U);
+        ptb.map_page(
+            &mut bus,
+            0x4000_0000,
+            RAM + 0x2000,
+            pte::R | pte::W | pte::U,
+        );
         let c = ctx(Priv::U, ptb.satp());
         let t = translate(&mut bus, c, 0x4000_0123, Access::Read).unwrap();
         assert_eq!(t.paddr, RAM + 0x2123);

@@ -7,8 +7,8 @@ use isa_sim::decode;
 
 fn roundtrip(raw: u32) {
     let text = isa_sim::disassemble(raw);
-    let prog = parse_source(0, &text)
-        .unwrap_or_else(|err| panic!("`{text}` failed to parse: {err}"));
+    let prog =
+        parse_source(0, &text).unwrap_or_else(|err| panic!("`{text}` failed to parse: {err}"));
     assert_eq!(prog.bytes.len(), 4, "`{text}` produced multiple words");
     let reparsed = u32::from_le_bytes(prog.bytes[0..4].try_into().unwrap());
     assert_eq!(reparsed, raw, "`{text}`: {raw:#010x} -> {reparsed:#010x}");

@@ -254,7 +254,7 @@ fn lr_sc_success_and_failure() {
     a.lr_d(T2, T0);
     a.addi(T2, T2, 1);
     a.sc_d(A0, T0, T2); // a0 = 0 on success
-    // SC without a reservation must fail.
+                        // SC without a reservation must fail.
     a.sc_d(A1, T0, T2); // a1 = 1
     a.ld(A2, T0, 0); // 6
     a.slli(A1, A1, 4);
@@ -328,15 +328,15 @@ fn sv39_paging_end_to_end() {
     m.load_program(&prog);
     // Build page tables host-side.
     let mut ptb = PageTableBuilder::new(&mut m.bus, RAM + 0x20_0000, 0x8_0000);
+    ptb.map_range(&mut m.bus, RAM, RAM, 4 << 20, pte::R | pte::W | pte::X);
+    // MMIO must stay reachable from S-mode.
     ptb.map_range(
         &mut m.bus,
-        RAM,
-        RAM,
-        4 << 20,
-        pte::R | pte::W | pte::X,
+        0x1000_0000,
+        0x1000_0000,
+        0x2000,
+        pte::R | pte::W,
     );
-    // MMIO must stay reachable from S-mode.
-    ptb.map_range(&mut m.bus, 0x1000_0000, 0x1000_0000, 0x2000, pte::R | pte::W);
     // Alias 0x4000_0000 -> RAM+0x5000.
     ptb.map_page(&mut m.bus, 0x4000_0000, RAM + 0x5000, pte::R);
     m.bus.write_u64(RAM + 0x5000, 0xfeed_f00d);

@@ -48,9 +48,15 @@ impl CacheModel {
     ///
     /// Panics on non-power-of-two geometry.
     pub fn new(params: CacheParams) -> CacheModel {
-        assert!(params.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            params.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = params.sets();
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         CacheModel {
             params,
             sets: vec![vec![(0, 0, false); params.ways]; sets as usize],
@@ -216,7 +222,12 @@ mod tests {
 
     fn small() -> CacheModel {
         // 4 sets × 2 ways × 64B lines = 512 B.
-        CacheModel::new(CacheParams { size: 512, line: 64, ways: 2, latency: 1 })
+        CacheModel::new(CacheParams {
+            size: 512,
+            line: 64,
+            ways: 2,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -250,7 +261,12 @@ mod tests {
 
     #[test]
     fn sets_geometry() {
-        let p = CacheParams { size: 32 << 10, line: 64, ways: 4, latency: 2 };
+        let p = CacheParams {
+            size: 32 << 10,
+            line: 64,
+            ways: 4,
+            latency: 2,
+        };
         assert_eq!(p.sets(), 128);
     }
 

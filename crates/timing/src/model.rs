@@ -77,8 +77,18 @@ impl TimingConfig {
             name: "rocket-inorder",
             issue_width: 1,
             out_of_order: false,
-            l1i: CacheParams { size: 16 << 10, line: 64, ways: 4, latency: 1 },
-            l1d: CacheParams { size: 16 << 10, line: 64, ways: 4, latency: 1 },
+            l1i: CacheParams {
+                size: 16 << 10,
+                line: 64,
+                ways: 4,
+                latency: 1,
+            },
+            l1d: CacheParams {
+                size: 16 << 10,
+                line: 64,
+                ways: 4,
+                latency: 1,
+            },
             l2: None,
             l3: None,
             // Table 4: cache-missing load/store > 120 cycles at 100 MHz
@@ -108,10 +118,30 @@ impl TimingConfig {
             name: "gem5-o3",
             issue_width: 8,
             out_of_order: true,
-            l1i: CacheParams { size: 32 << 10, line: 64, ways: 4, latency: 2 },
-            l1d: CacheParams { size: 32 << 10, line: 64, ways: 4, latency: 2 },
-            l2: Some(CacheParams { size: 256 << 10, line: 64, ways: 16, latency: 20 }),
-            l3: Some(CacheParams { size: 2 << 20, line: 64, ways: 16, latency: 32 }),
+            l1i: CacheParams {
+                size: 32 << 10,
+                line: 64,
+                ways: 4,
+                latency: 2,
+            },
+            l1d: CacheParams {
+                size: 32 << 10,
+                line: 64,
+                ways: 4,
+                latency: 2,
+            },
+            l2: Some(CacheParams {
+                size: 256 << 10,
+                line: 64,
+                ways: 16,
+                latency: 20,
+            }),
+            l3: Some(CacheParams {
+                size: 2 << 20,
+                line: 64,
+                ways: 16,
+                latency: 32,
+            }),
             // 30 ns after cache miss (Table 3); > 200 cycles end to end
             // with the L2/L3 lookups in front (Table 4).
             mem_latency: 160,
@@ -197,6 +227,25 @@ impl PipelineModel {
     /// The configuration in use.
     pub fn config(&self) -> &TimingConfig {
         &self.cfg
+    }
+
+    /// Snapshot the cycle attribution into the observability layer's
+    /// [`isa_obs::TimingCounters`] (the `timing.*` section of the
+    /// unified counter registry).
+    pub fn counters(&self) -> isa_obs::TimingCounters {
+        let s = &self.stats;
+        isa_obs::TimingCounters {
+            events: s.events,
+            cycles: s.cycles,
+            fetch_stall: s.fetch_stall,
+            data_stall: s.data_stall,
+            branch_stall: s.branch_stall,
+            serialize_stall: s.serialize_stall,
+            trap_stall: s.trap_stall,
+            walk_stall: s.walk_stall,
+            pcu_stall: s.pcu_stall,
+            gate_cycles: s.gate_cycles,
+        }
     }
 
     /// Walk the hierarchy below L1; returns the extra stall cycles.
@@ -305,7 +354,12 @@ impl TimingSink for PipelineModel {
         if kind.is_muldiv() {
             let extra = if matches!(
                 kind,
-                Kind::Div | Kind::Divu | Kind::Rem | Kind::Remu | Kind::Divw | Kind::Divuw
+                Kind::Div
+                    | Kind::Divu
+                    | Kind::Rem
+                    | Kind::Remu
+                    | Kind::Divw
+                    | Kind::Divuw
                     | Kind::Remw
                     | Kind::Remuw
             ) {
@@ -418,7 +472,10 @@ mod tests {
         for i in 0..1000 {
             total += m.retire(&ev(0x8000_0000 + (i % 16) * 4));
         }
-        assert!(total < 400, "8-wide core should be far below 1 CPI: {total}");
+        assert!(
+            total < 400,
+            "8-wide core should be far below 1 CPI: {total}"
+        );
     }
 
     #[test]
@@ -429,7 +486,12 @@ mod tests {
             let mut e = ev(0x8000_0000);
             e.kind = Some(Kind::Ld);
             // A fresh line far away: L1/L2/L3 all miss.
-            e.mem = Some(MemAccess { vaddr: 0x9999_0000, paddr: 0x9999_0000, len: 8, write: false });
+            e.mem = Some(MemAccess {
+                vaddr: 0x9999_0000,
+                paddr: 0x9999_0000,
+                len: 8,
+                write: false,
+            });
             let c = m.retire(&e);
             assert!(c > floor, "{}: {c} <= {floor}", cfg.name);
         }
@@ -488,7 +550,9 @@ mod tests {
         // Pseudo-random outcomes: no predictor can learn these well.
         let mut lcg: u64 = 12345;
         for _ in 0..200 {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let mut e = ev(0x8000_0004);
             e.kind = Some(Kind::Beq);
             e.branch_taken = (lcg >> 33) & 1 == 1;
@@ -527,7 +591,12 @@ mod tests {
         let mut e = ev(0x8000_0000);
         e.kind = Some(Kind::Ld);
         e.walk_reads = 3;
-        e.mem = Some(MemAccess { vaddr: 0x5000, paddr: 0x8000_5000, len: 8, write: false });
+        e.mem = Some(MemAccess {
+            vaddr: 0x5000,
+            paddr: 0x8000_5000,
+            len: 8,
+            write: false,
+        });
         m.retire(&e);
         let warm = m.stats.walk_stall;
         // Re-access: TLB hit, no new walk charge.

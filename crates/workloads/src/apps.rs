@@ -47,12 +47,20 @@ pub struct AppParams {
 impl AppParams {
     /// A small, test-friendly configuration.
     pub fn small() -> AppParams {
-        AppParams { scale: 64, map_every: 0, svc_every: 0 }
+        AppParams {
+            scale: 64,
+            map_every: 0,
+            svc_every: 0,
+        }
     }
 
     /// The benchmark-scale configuration.
     pub fn bench() -> AppParams {
-        AppParams { scale: 3000, map_every: 0, svc_every: 0 }
+        AppParams {
+            scale: 3000,
+            map_every: 0,
+            svc_every: 0,
+        }
     }
 
     /// Add mapping churn.
@@ -81,7 +89,11 @@ impl App {
             App::Gzip => 512,
             App::Tar => 24,
         };
-        AppParams { scale, map_every: 0, svc_every: 0 }
+        AppParams {
+            scale,
+            map_every: 0,
+            svc_every: 0,
+        }
     }
 
     /// Display name.
@@ -134,13 +146,8 @@ fn map_churn_init(a: &mut Asm, p: AppParams) {
     if p.map_every == 0 {
         return;
     }
-    let base_pte = (layout::SCRATCH_PAGES >> 12 << 10)
-        | pte::V
-        | pte::R
-        | pte::W
-        | pte::U
-        | pte::A
-        | pte::D;
+    let base_pte =
+        (layout::SCRATCH_PAGES >> 12 << 10) | pte::V | pte::R | pte::W | pte::U | pte::A | pte::D;
     a.li(S9, base_pte);
     a.li(S10, 0);
     a.li(S11, p.map_every);
@@ -209,7 +216,7 @@ fn sqlite(p: AppParams) -> Program {
     a.li(A0, 3);
     usr::syscall(&mut a, sys::OPEN);
     a.mv(S3, A0); // journal fd (s3 reused before measure_start... no!)
-    // s2/s3 are the measurement registers: stash the journal fd in memory.
+                  // s2/s3 are the measurement registers: stash the journal fd in memory.
     a.li(T0, iobuf + 4096);
     a.sd(A0, T0, 0);
 
@@ -305,7 +312,10 @@ fn gzip(p: AppParams) -> Program {
     let mut a = usr::program();
     let input = usr::heap_base();
     let input_bytes = p.scale * 1024;
-    assert!(input_bytes <= 0x20_0000, "gzip input must fit below the hash table");
+    assert!(
+        input_bytes <= 0x20_0000,
+        "gzip input must fit below the hash table"
+    );
     let htab = input + 0x20_0000; // 32 KiB hash table (4096 entries)
     let output = input + 0x40_0000;
 
@@ -339,7 +349,7 @@ fn gzip(p: AppParams) -> Program {
         a.li(T1, input);
         a.add(T1, T1, T0); // &input[pos]
         a.ld(T2, T1, 0); // v
-        // h = (v * K) >> 52 (12-bit index)
+                         // h = (v * K) >> 52 (12-bit index)
         a.li(T3, 0x9E37_79B9_7F4A_7C15);
         a.mul(T3, T2, T3);
         a.srli(T3, T3, 52);
@@ -348,7 +358,7 @@ fn gzip(p: AppParams) -> Program {
         a.add(T4, T4, T3);
         a.ld(T5, T4, 0); // candidate previous position
         a.sd(T0, T4, 0); // update table with current position
-        // Match check: load the candidate and compare.
+                         // Match check: load the candidate and compare.
         a.li(T6, input);
         a.add(T6, T6, T5);
         a.ld(T6, T6, 0);
@@ -456,7 +466,11 @@ mod tests {
 
     #[test]
     fn map_churn_exercises_the_monitor() {
-        let prog = App::Tar.program(AppParams { scale: 8, map_every: 2, svc_every: 0 });
+        let prog = App::Tar.program(AppParams {
+            scale: 8,
+            map_every: 2,
+            svc_every: 0,
+        });
         let mut sim = SimBuilder::new(KernelConfig::nested(true)).boot(&prog, None);
         assert_eq!(sim.run_to_halt(80_000_000), 0);
         let logged = sim.machine.bus.read_u64(simkernel::layout::MONLOG);
@@ -469,7 +483,11 @@ mod tests {
         // label scheme must tolerate rebuilding with new params.
         for app in App::ALL {
             let _ = app.program(AppParams::small());
-            let _ = app.program(AppParams { scale: 32, map_every: 4, svc_every: 8 });
+            let _ = app.program(AppParams {
+                scale: 32,
+                map_every: 4,
+                svc_every: 8,
+            });
         }
     }
 }

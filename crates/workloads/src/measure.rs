@@ -3,6 +3,7 @@
 
 use isa_asm::Program;
 use isa_grid::{GridCacheStats, PcuConfig};
+use isa_obs::{Counters, Json, ToJson};
 use simkernel::{KernelConfig, Platform, SimBuilder};
 
 /// Everything one run produces.
@@ -15,18 +16,34 @@ pub struct RunResult {
     pub total_cycles: u64,
     /// Instructions executed.
     pub steps: u64,
-    /// PCU privilege-cache statistics.
+    /// PCU privilege-cache statistics (view into [`RunResult::counters`]).
     pub cache: GridCacheStats,
-    /// Gate calls performed.
+    /// Gate calls performed (view into [`RunResult::counters`]).
     pub gate_calls: u64,
     /// Exit code.
     pub exit_code: u64,
+    /// The unified counter snapshot the convenience fields are drawn from.
+    pub counters: Counters,
 }
 
 impl RunResult {
     /// The first (usually only) reported measurement.
     pub fn cycles(&self) -> u64 {
         self.reported[0]
+    }
+
+    /// Serialize the whole result — reported cycles plus the unified
+    /// counter registry — as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "reported",
+                Json::arr(self.reported.iter().map(|&v| Json::U64(v))),
+            ),
+            ("total_cycles", Json::U64(self.total_cycles)),
+            ("exit_code", Json::U64(self.exit_code)),
+            ("counters", self.counters.to_json()),
+        ])
     }
 }
 
@@ -44,16 +61,21 @@ pub fn run(
     task2: Option<&str>,
     max_steps: u64,
 ) -> RunResult {
-    let mut sim = SimBuilder::new(kernel).platform(platform).pcu(pcu).boot(prog, task2);
+    let mut sim = SimBuilder::new(kernel)
+        .platform(platform)
+        .pcu(pcu)
+        .boot(prog, task2);
     let exit_code = sim.run_to_halt(max_steps);
     assert_eq!(exit_code, 0, "workload failed under {kernel:?}");
+    let counters = sim.counters();
     RunResult {
         reported: sim.values().to_vec(),
         total_cycles: sim.cycles(),
-        steps: sim.machine.steps,
-        cache: sim.machine.ext.cache_stats(),
-        gate_calls: sim.machine.ext.stats.gate_calls,
+        steps: counters.run.steps,
+        cache: counters.caches,
+        gate_calls: counters.gates.calls,
         exit_code,
+        counters,
     }
 }
 
@@ -87,6 +109,13 @@ mod tests {
         assert!(r.total_cycles >= r.cycles());
         assert!(r.steps > 0);
         assert!(r.gate_calls >= 1, "boot gate at least");
+        // The compat fields are views into the unified registry.
+        assert_eq!(r.gate_calls, r.counters.gates.calls);
+        assert_eq!(r.steps, r.counters.run.steps);
+        assert_eq!(r.cache, r.counters.caches);
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"gates\""));
     }
 
     #[test]

@@ -9,14 +9,46 @@ use simkernel::layout::{exit, sys, vuln_op};
 use simkernel::{usr, KernelConfig, SimBuilder};
 
 const ATTACKS: [(u64, &str, &str); 8] = [
-    (vuln_op::WRITE_STVEC, "Controlled-Channel Attacks [77]", "IDTR (stvec)"),
-    (vuln_op::READ_DBG, "FORESHADOW / TRESOR-HUNT [63,15]", "DR0-7 (dbg0)"),
-    (vuln_op::READ_PMU, "NAILGUN Attacks [51]", "PMU regs (hpmcounter)"),
-    (vuln_op::WRITE_WPCTL, "Stealthy Page-Table Attacks [64]", "CR0.CD/WP (wpctl)"),
-    (vuln_op::WRITE_SATP, "Super-Root-style PT takeover [79]", "CR3 (satp)"),
-    (vuln_op::WRITE_BTBCTL, "SgxPectre Attacks [16]", "MSR 0x48/0x49 (btbctl)"),
-    (vuln_op::WRITE_VFCTL, "Voltage-based Attacks [36,48,54]", "MSR 0x150 (vfctl)"),
-    (vuln_op::READ_CYCLE, "Timing side channels [77]", "rdtsc (cycle)"),
+    (
+        vuln_op::WRITE_STVEC,
+        "Controlled-Channel Attacks [77]",
+        "IDTR (stvec)",
+    ),
+    (
+        vuln_op::READ_DBG,
+        "FORESHADOW / TRESOR-HUNT [63,15]",
+        "DR0-7 (dbg0)",
+    ),
+    (
+        vuln_op::READ_PMU,
+        "NAILGUN Attacks [51]",
+        "PMU regs (hpmcounter)",
+    ),
+    (
+        vuln_op::WRITE_WPCTL,
+        "Stealthy Page-Table Attacks [64]",
+        "CR0.CD/WP (wpctl)",
+    ),
+    (
+        vuln_op::WRITE_SATP,
+        "Super-Root-style PT takeover [79]",
+        "CR3 (satp)",
+    ),
+    (
+        vuln_op::WRITE_BTBCTL,
+        "SgxPectre Attacks [16]",
+        "MSR 0x48/0x49 (btbctl)",
+    ),
+    (
+        vuln_op::WRITE_VFCTL,
+        "Voltage-based Attacks [36,48,54]",
+        "MSR 0x150 (vfctl)",
+    ),
+    (
+        vuln_op::READ_CYCLE,
+        "Timing side channels [77]",
+        "rdtsc (cycle)",
+    ),
 ];
 
 fn mount(op: u64, cfg: KernelConfig) -> u64 {
@@ -30,7 +62,10 @@ fn mount(op: u64, cfg: KernelConfig) -> u64 {
 }
 
 fn main() {
-    println!("{:<36} {:<22} {:<10} ISA-Grid", "attack", "prerequisite", "native");
+    println!(
+        "{:<36} {:<22} {:<10} ISA-Grid",
+        "attack", "prerequisite", "native"
+    );
     println!("{}", "-".repeat(88));
     let mut blocked = 0;
     for (op, attack, resource) in ATTACKS {
@@ -38,7 +73,11 @@ fn main() {
         let mut cfg = KernelConfig::decomposed();
         cfg.deny_cycle = true;
         let grid = mount(op, cfg);
-        let native_s = if native == 0x600D { "SUCCEEDS" } else { "blocked" };
+        let native_s = if native == 0x600D {
+            "SUCCEEDS"
+        } else {
+            "blocked"
+        };
         let grid_s = if grid & exit::GRID_FAULT == exit::GRID_FAULT {
             blocked += 1;
             format!("BLOCKED (cause {})", grid & 0xff)
@@ -48,6 +87,9 @@ fn main() {
         println!("{attack:<36} {resource:<22} {native_s:<10} {grid_s}");
     }
     println!("{}", "-".repeat(88));
-    println!("{blocked}/{} attacks mitigated by fine-grained ISA-resource control", ATTACKS.len());
+    println!(
+        "{blocked}/{} attacks mitigated by fine-grained ISA-resource control",
+        ATTACKS.len()
+    );
     assert_eq!(blocked, ATTACKS.len());
 }

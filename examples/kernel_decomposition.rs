@@ -34,10 +34,15 @@ fn main() {
         ("native ", KernelConfig::native()),
         ("ISA-Grid", KernelConfig::decomposed()),
     ] {
-        let mut sim = SimBuilder::new(cfg).platform(Platform::Rocket).boot(&user, None);
+        let mut sim = SimBuilder::new(cfg)
+            .platform(Platform::Rocket)
+            .boot(&user, None);
         let code = sim.run_to_halt(100_000_000);
         let cycles = sim.cycles();
-        println!("{name}: exit {code}, {cycles} cycles, {} instructions", sim.machine.steps);
+        println!(
+            "{name}: exit {code}, {cycles} cycles, {} instructions",
+            sim.machine.steps
+        );
         if cfg.mode.uses_grid() {
             let s = sim.machine.ext.stats;
             let c = sim.machine.ext.cache_stats();

@@ -48,7 +48,10 @@ fn main() {
     let cursor = sim.machine.bus.read_u64(layout::MONLOG);
     println!("monitor log holds {cursor} mapping changes:");
     for i in 0..cursor.min(8) {
-        let e = sim.machine.bus.read_u64(layout::MONLOG + layout::monlog::ENTRIES + i * 8);
+        let e = sim
+            .machine
+            .bus
+            .read_u64(layout::MONLOG + layout::monlog::ENTRIES + i * 8);
         println!("  [{i}] pte = {e:#018x}");
     }
     println!("\nUnlike the original Nested Kernel, no binary scanning or code");

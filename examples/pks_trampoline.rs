@@ -86,12 +86,24 @@ fn main() {
     m.load_program(&prog);
     let mut ptb = PageTableBuilder::new(&mut m.bus, RAM + 0x20_0000, 0x10_0000);
     ptb.map_range(&mut m.bus, RAM, RAM, 2 << 20, pte::R | pte::W | pte::X);
-    ptb.map_range(&mut m.bus, 0x1000_0000, 0x1000_0000, 0x2000, pte::R | pte::W);
-    ptb.map_page(&mut m.bus, 0x4000_0000, RAM + 0x10_0000, pte::R | pte::key(3));
+    ptb.map_range(
+        &mut m.bus,
+        0x1000_0000,
+        0x1000_0000,
+        0x2000,
+        pte::R | pte::W,
+    );
+    ptb.map_page(
+        &mut m.bus,
+        0x4000_0000,
+        RAM + 0x10_0000,
+        pte::R | pte::key(3),
+    );
     m.bus.write_u64(RAM + 0x10_0000, 0x5EC12E7);
     m.cpu.csrs.write_raw(addr::MSCRATCH, ptb.satp());
 
-    m.ext.install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
+    m.ext
+        .install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
     // Untrusted domain: compute + CSR classes, but NO pkr rights.
     let mut untrusted = DomainSpec::compute_only();
     untrusted.allow_insts([Kind::Csrrw, Kind::Csrrs]);
@@ -107,11 +119,14 @@ fn main() {
         ("open_ret_gate", "after_open", du),
         ("close_ret_gate", "after_close", du),
     ] {
-        m.ext.add_gate(&mut m.bus, GateSpec {
-            gate_addr: prog.symbol(site),
-            dest_addr: prog.symbol(dest),
-            dest_domain: dom,
-        });
+        m.ext.add_gate(
+            &mut m.bus,
+            GateSpec {
+                gate_addr: prog.symbol(site),
+                dest_addr: prog.symbol(dest),
+                dest_domain: dom,
+            },
+        );
     }
 
     match m.run(100_000) {

@@ -40,7 +40,8 @@ fn main() {
     // 2. A machine with the PCU plugged into the pipeline.
     let mut m = Machine::new(Pcu::new(PcuConfig::eight_e()));
     m.load_program(&prog);
-    m.ext.install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
+    m.ext
+        .install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
 
     // 3. Domain-0 configuration: a compute domain that may *read* satp
     //    but never write it, plus one registered gate into it.
@@ -48,11 +49,14 @@ fn main() {
     spec.allow_insts([Kind::Csrrw, Kind::Csrrs]);
     spec.allow_csr_read(addr::SATP);
     let domain = m.ext.add_domain(&mut m.bus, &spec);
-    let gate = m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("restricted"),
-        dest_domain: domain,
-    });
+    let gate = m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("restricted"),
+            dest_domain: domain,
+        },
+    );
     println!("registered {domain} and {gate}");
 
     // 4. Run. The write must die with ISA-Grid's CSR-privilege fault

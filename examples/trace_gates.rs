@@ -1,11 +1,15 @@
-//! Watch ISA-Grid work instruction by instruction: single-step a guest
-//! through an unforgeable gate crossing and print a disassembled trace
-//! annotated with the current ISA domain and the PCU events of each step.
+//! Watch ISA-Grid work instruction by instruction: run a guest through
+//! an unforgeable gate crossing with the observability layer enabled
+//! and print the structured trace-event stream as JSON lines — every
+//! privilege-check verdict, cache probe, gate call, domain switch and
+//! the final CSR-fault trap, in commit order — followed by the unified
+//! counter snapshot.
 //!
 //! Run with: `cargo run --example trace_gates`
 
 use isa_asm::{Asm, Reg::*};
 use isa_grid::{DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig};
+use isa_obs::{ToJson, TraceSink};
 use isa_sim::csr::addr;
 use isa_sim::{mmio, Kind, Machine, DEFAULT_RAM_BASE as RAM};
 
@@ -41,48 +45,48 @@ fn main() {
 
     let mut m = Machine::new(Pcu::new(PcuConfig::eight_e()));
     m.load_program(&prog);
-    m.ext.install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
+    m.ext
+        .install(&mut m.bus, GridLayout::new(0x8380_0000, 1 << 20));
     let mut spec = DomainSpec::compute_only();
     spec.allow_insts([Kind::Csrrw, Kind::Csrrs]);
     spec.allow_csr_read(addr::CYCLE);
     let d1 = m.ext.add_domain(&mut m.bus, &spec);
     let d2 = m.ext.add_domain(&mut m.bus, &spec);
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate"),
-        dest_addr: prog.symbol("helper"),
-        dest_domain: d2,
-    });
-    m.ext.add_gate(&mut m.bus, GateSpec {
-        gate_addr: prog.symbol("gate_back"),
-        dest_addr: prog.symbol("back"),
-        dest_domain: d1,
-    });
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate"),
+            dest_addr: prog.symbol("helper"),
+            dest_domain: d2,
+        },
+    );
+    m.ext.add_gate(
+        &mut m.bus,
+        GateSpec {
+            gate_addr: prog.symbol("gate_back"),
+            dest_addr: prog.symbol("back"),
+            dest_domain: d1,
+        },
+    );
 
-    println!("{:<12} {:<10} {:<30} events", "pc", "domain", "instruction");
-    println!("{}", "-".repeat(72));
-    for _ in 0..60 {
-        let dom = m.ext.current_domain();
-        if let Some(ev) = m.step() {
-            let text = isa_sim::disassemble(ev.raw);
-            let mut notes = Vec::new();
-            if ev.ext.gate_switch {
-                notes.push(format!("GATE -> {}", m.ext.current_domain()));
-            }
-            if ev.ext.sgt_miss > 0 {
-                notes.push(format!("{} SGT miss", ev.ext.sgt_miss));
-            }
-            if ev.ext.hpt_inst_miss + ev.ext.hpt_reg_miss > 0 {
-                notes.push("HPT miss".into());
-            }
-            if let Some(cause) = ev.trap_cause {
-                notes.push(format!("TRAP cause {cause}"));
-            }
-            println!("{:<#12x} {:<10} {:<30} {}", ev.pc, dom.to_string(), text, notes.join(", "));
-        }
+    // One ring, two handles: the machine stamps retires and traps, the
+    // PCU stamps checks, cache probes and gate activity. Sharing the
+    // sink is what keeps the stream in commit order.
+    let sink = TraceSink::ring(4096);
+    m.set_tracer(sink.clone());
+    m.ext.set_tracer(sink.clone());
+
+    for _ in 0..200 {
+        m.step();
         if m.bus.halted.is_some() {
             break;
         }
     }
-    println!("{}", "-".repeat(72));
+
+    // One JSON object per line, in commit order.
+    for ev in sink.snapshot() {
+        println!("{}", ev.to_json());
+    }
+    println!("counters = {}", m.ext.counters().to_json().pretty());
     println!("halted with mcause = {:?}", m.bus.halted);
 }

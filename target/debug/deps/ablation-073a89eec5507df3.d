@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-073a89eec5507df3.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-073a89eec5507df3: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-076e62c269cb5222.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-076e62c269cb5222: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

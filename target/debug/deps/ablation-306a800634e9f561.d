@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-306a800634e9f561.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-306a800634e9f561: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

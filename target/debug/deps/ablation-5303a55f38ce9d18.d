@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-5303a55f38ce9d18.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-5303a55f38ce9d18: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

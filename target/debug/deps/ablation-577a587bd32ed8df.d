@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-577a587bd32ed8df.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-577a587bd32ed8df: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-66cf36e0fa3dae63.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-66cf36e0fa3dae63: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

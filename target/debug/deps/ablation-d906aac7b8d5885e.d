@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-d906aac7b8d5885e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-d906aac7b8d5885e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

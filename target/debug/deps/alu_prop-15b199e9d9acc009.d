@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alu_prop-15b199e9d9acc009.d: crates/sim/tests/alu_prop.rs
+
+/root/repo/target/debug/deps/alu_prop-15b199e9d9acc009: crates/sim/tests/alu_prop.rs
+
+crates/sim/tests/alu_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alu_prop-4b1af4adcc9fb800.d: crates/sim/tests/alu_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalu_prop-4b1af4adcc9fb800.rmeta: crates/sim/tests/alu_prop.rs Cargo.toml
+
+crates/sim/tests/alu_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

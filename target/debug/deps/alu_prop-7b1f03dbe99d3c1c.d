@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alu_prop-7b1f03dbe99d3c1c.d: crates/sim/tests/alu_prop.rs
+
+/root/repo/target/debug/deps/alu_prop-7b1f03dbe99d3c1c: crates/sim/tests/alu_prop.rs
+
+crates/sim/tests/alu_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks-05f135692de7eb1f.d: crates/bench/../../tests/attacks.rs
+
+/root/repo/target/debug/deps/attacks-05f135692de7eb1f: crates/bench/../../tests/attacks.rs
+
+crates/bench/../../tests/attacks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks-6667cec573339c3f.d: crates/bench/../../tests/attacks.rs
+
+/root/repo/target/debug/deps/attacks-6667cec573339c3f: crates/bench/../../tests/attacks.rs
+
+crates/bench/../../tests/attacks.rs:

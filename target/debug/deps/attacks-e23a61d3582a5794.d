@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacks-e23a61d3582a5794.d: crates/bench/../../tests/attacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacks-e23a61d3582a5794.rmeta: crates/bench/../../tests/attacks.rs Cargo.toml
+
+crates/bench/../../tests/attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/breakdown-4de149e13fd44733.d: crates/bench/src/bin/breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbreakdown-4de149e13fd44733.rmeta: crates/bench/src/bin/breakdown.rs Cargo.toml
+
+crates/bench/src/bin/breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breakdown-5f866784f932b090.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/debug/deps/breakdown-5f866784f932b090: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

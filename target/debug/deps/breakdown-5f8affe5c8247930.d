@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breakdown-5f8affe5c8247930.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/debug/deps/breakdown-5f8affe5c8247930: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breakdown-844059952caf7a1a.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/debug/deps/breakdown-844059952caf7a1a: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breakdown-8e3e94015acc7f30.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/debug/deps/breakdown-8e3e94015acc7f30: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breakdown-96075ed2fcee949d.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/debug/deps/breakdown-96075ed2fcee949d: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

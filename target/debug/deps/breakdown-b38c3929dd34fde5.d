@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/breakdown-b38c3929dd34fde5.d: crates/bench/src/bin/breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbreakdown-b38c3929dd34fde5.rmeta: crates/bench/src/bin/breakdown.rs Cargo.toml
+
+crates/bench/src/bin/breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

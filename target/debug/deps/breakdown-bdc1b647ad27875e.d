@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breakdown-bdc1b647ad27875e.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/debug/deps/breakdown-bdc1b647ad27875e: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

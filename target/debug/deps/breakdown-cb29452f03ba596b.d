@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breakdown-cb29452f03ba596b.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/debug/deps/breakdown-cb29452f03ba596b: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decomposition-db8bcb4bf76c9237.d: crates/bench/../../tests/decomposition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecomposition-db8bcb4bf76c9237.rmeta: crates/bench/../../tests/decomposition.rs Cargo.toml
+
+crates/bench/../../tests/decomposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decomposition-e2cbf271be8371b8.d: crates/bench/../../tests/decomposition.rs
+
+/root/repo/target/debug/deps/decomposition-e2cbf271be8371b8: crates/bench/../../tests/decomposition.rs
+
+crates/bench/../../tests/decomposition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decomposition-e54a35d410e42a7f.d: crates/bench/../../tests/decomposition.rs
+
+/root/repo/target/debug/deps/decomposition-e54a35d410e42a7f: crates/bench/../../tests/decomposition.rs
+
+crates/bench/../../tests/decomposition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disas_roundtrip-5c99b6b63fb90761.d: crates/sim/tests/disas_roundtrip.rs
+
+/root/repo/target/debug/deps/disas_roundtrip-5c99b6b63fb90761: crates/sim/tests/disas_roundtrip.rs
+
+crates/sim/tests/disas_roundtrip.rs:

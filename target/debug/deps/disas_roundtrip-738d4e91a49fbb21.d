@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disas_roundtrip-738d4e91a49fbb21.d: crates/sim/tests/disas_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisas_roundtrip-738d4e91a49fbb21.rmeta: crates/sim/tests/disas_roundtrip.rs Cargo.toml
+
+crates/sim/tests/disas_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

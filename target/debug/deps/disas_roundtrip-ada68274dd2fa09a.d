@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disas_roundtrip-ada68274dd2fa09a.d: crates/sim/tests/disas_roundtrip.rs
+
+/root/repo/target/debug/deps/disas_roundtrip-ada68274dd2fa09a: crates/sim/tests/disas_roundtrip.rs
+
+crates/sim/tests/disas_roundtrip.rs:

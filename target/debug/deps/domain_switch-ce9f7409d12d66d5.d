@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/domain_switch-ce9f7409d12d66d5.d: crates/bench/benches/domain_switch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomain_switch-ce9f7409d12d66d5.rmeta: crates/bench/benches/domain_switch.rs Cargo.toml
+
+crates/bench/benches/domain_switch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-71709e8f31b7788e.d: crates/bench/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-71709e8f31b7788e: crates/bench/../../tests/end_to_end.rs
+
+crates/bench/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ab19b60691f2f39b.d: crates/bench/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ab19b60691f2f39b: crates/bench/../../tests/end_to_end.rs
+
+crates/bench/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-c1df9689edd1c1a4.d: crates/bench/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-c1df9689edd1c1a4.rmeta: crates/bench/../../tests/end_to_end.rs Cargo.toml
+
+crates/bench/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-75bf5f535b281eb3.d: crates/core/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-75bf5f535b281eb3: crates/core/tests/extensions.rs
+
+crates/core/tests/extensions.rs:

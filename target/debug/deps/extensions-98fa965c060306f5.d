@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-98fa965c060306f5.d: crates/core/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-98fa965c060306f5: crates/core/tests/extensions.rs
+
+crates/core/tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-ce9d1395ec1eea91.d: crates/core/tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-ce9d1395ec1eea91.rmeta: crates/core/tests/extensions.rs Cargo.toml
+
+crates/core/tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-0760d86070f1eba3.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-0760d86070f1eba3: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-1f198220965a7d45.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-1f198220965a7d45: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-3b2bf2a7012b57de.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-3b2bf2a7012b57de: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-3fe0ae61d8fd5e08.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-3fe0ae61d8fd5e08: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

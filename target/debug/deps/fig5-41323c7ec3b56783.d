@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-41323c7ec3b56783.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-41323c7ec3b56783: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

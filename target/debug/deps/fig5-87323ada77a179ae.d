@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-87323ada77a179ae.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-87323ada77a179ae: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-8f4c58c260e9410c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-8f4c58c260e9410c: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-153ae544473a5031.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-153ae544473a5031: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-6b66975a787df0a4.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-6b66975a787df0a4: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-8ddb827ae3ee5e9c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-8ddb827ae3ee5e9c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-97a60e9dd5c666c3.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-97a60e9dd5c666c3: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a5bfe96d12a333df.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a5bfe96d12a333df: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-c1e4c54a0af93e96.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-c1e4c54a0af93e96: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-dc103b6215032300.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-dc103b6215032300: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-1c3e2c68d07b1b39.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-1c3e2c68d07b1b39: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

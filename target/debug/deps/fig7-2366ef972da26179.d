@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-2366ef972da26179.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-2366ef972da26179: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

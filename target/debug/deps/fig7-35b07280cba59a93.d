@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-35b07280cba59a93.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-35b07280cba59a93: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

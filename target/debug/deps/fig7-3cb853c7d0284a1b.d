@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-3cb853c7d0284a1b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-3cb853c7d0284a1b: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-4f5f6580ed18fb93.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-4f5f6580ed18fb93: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

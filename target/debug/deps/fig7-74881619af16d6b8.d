@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-74881619af16d6b8.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-74881619af16d6b8: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

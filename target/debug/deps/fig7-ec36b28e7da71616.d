@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-ec36b28e7da71616.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-ec36b28e7da71616: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-0219bf8506f29aca.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-0219bf8506f29aca: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

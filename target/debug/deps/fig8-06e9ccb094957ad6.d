@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-06e9ccb094957ad6.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-06e9ccb094957ad6: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

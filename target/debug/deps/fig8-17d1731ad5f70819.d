@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-17d1731ad5f70819.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-17d1731ad5f70819: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

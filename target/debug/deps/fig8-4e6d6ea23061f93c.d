@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-4e6d6ea23061f93c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-4e6d6ea23061f93c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

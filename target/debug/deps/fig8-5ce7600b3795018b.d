@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-5ce7600b3795018b.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-5ce7600b3795018b: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

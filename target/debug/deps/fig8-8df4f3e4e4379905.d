@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-8df4f3e4e4379905.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-8df4f3e4e4379905: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-fdec3ba3fdb32bb1.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-fdec3ba3fdb32bb1: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_syscalls-2e2002f6e2555c10.d: crates/bench/../../tests/fuzz_syscalls.rs
+
+/root/repo/target/debug/deps/fuzz_syscalls-2e2002f6e2555c10: crates/bench/../../tests/fuzz_syscalls.rs
+
+crates/bench/../../tests/fuzz_syscalls.rs:

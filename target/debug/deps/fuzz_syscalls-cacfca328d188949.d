@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_syscalls-cacfca328d188949.d: crates/bench/../../tests/fuzz_syscalls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_syscalls-cacfca328d188949.rmeta: crates/bench/../../tests/fuzz_syscalls.rs Cargo.toml
+
+crates/bench/../../tests/fuzz_syscalls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_syscalls-e151734c91debaff.d: crates/bench/../../tests/fuzz_syscalls.rs
+
+/root/repo/target/debug/deps/fuzz_syscalls-e151734c91debaff: crates/bench/../../tests/fuzz_syscalls.rs
+
+crates/bench/../../tests/fuzz_syscalls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gates-15dda3476c49e82a.d: crates/bench/../../tests/gates.rs
+
+/root/repo/target/debug/deps/gates-15dda3476c49e82a: crates/bench/../../tests/gates.rs
+
+crates/bench/../../tests/gates.rs:

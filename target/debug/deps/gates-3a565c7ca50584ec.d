@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gates-3a565c7ca50584ec.d: crates/bench/../../tests/gates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgates-3a565c7ca50584ec.rmeta: crates/bench/../../tests/gates.rs Cargo.toml
+
+crates/bench/../../tests/gates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

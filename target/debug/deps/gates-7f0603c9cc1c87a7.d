@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gates-7f0603c9cc1c87a7.d: crates/bench/../../tests/gates.rs
+
+/root/repo/target/debug/deps/gates-7f0603c9cc1c87a7: crates/bench/../../tests/gates.rs
+
+crates/bench/../../tests/gates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hitrate-0589436057a1e036.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/debug/deps/hitrate-0589436057a1e036: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

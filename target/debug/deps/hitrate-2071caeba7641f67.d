@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hitrate-2071caeba7641f67.d: crates/bench/src/bin/hitrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhitrate-2071caeba7641f67.rmeta: crates/bench/src/bin/hitrate.rs Cargo.toml
+
+crates/bench/src/bin/hitrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hitrate-35e523e2e06b9c5e.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/debug/deps/hitrate-35e523e2e06b9c5e: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

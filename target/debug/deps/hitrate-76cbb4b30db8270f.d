@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hitrate-76cbb4b30db8270f.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/debug/deps/hitrate-76cbb4b30db8270f: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hitrate-8ba2baad49367805.d: crates/bench/src/bin/hitrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhitrate-8ba2baad49367805.rmeta: crates/bench/src/bin/hitrate.rs Cargo.toml
+
+crates/bench/src/bin/hitrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hitrate-d8871b045eba28f9.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/debug/deps/hitrate-d8871b045eba28f9: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

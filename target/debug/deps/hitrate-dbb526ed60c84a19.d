@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hitrate-dbb526ed60c84a19.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/debug/deps/hitrate-dbb526ed60c84a19: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

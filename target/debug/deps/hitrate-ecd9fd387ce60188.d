@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hitrate-ecd9fd387ce60188.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/debug/deps/hitrate-ecd9fd387ce60188: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

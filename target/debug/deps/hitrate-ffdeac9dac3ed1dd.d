@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hitrate-ffdeac9dac3ed1dd.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/debug/deps/hitrate-ffdeac9dac3ed1dd: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

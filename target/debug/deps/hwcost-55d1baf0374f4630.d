@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hwcost-55d1baf0374f4630.d: crates/hwcost/src/lib.rs
+
+/root/repo/target/debug/deps/libhwcost-55d1baf0374f4630.rlib: crates/hwcost/src/lib.rs
+
+/root/repo/target/debug/deps/libhwcost-55d1baf0374f4630.rmeta: crates/hwcost/src/lib.rs
+
+crates/hwcost/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hwcost-6a50f67ba107240d.d: crates/hwcost/src/lib.rs
+
+/root/repo/target/debug/deps/libhwcost-6a50f67ba107240d.rlib: crates/hwcost/src/lib.rs
+
+/root/repo/target/debug/deps/libhwcost-6a50f67ba107240d.rmeta: crates/hwcost/src/lib.rs
+
+crates/hwcost/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hwcost-9ebfe04675101be0.d: crates/hwcost/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhwcost-9ebfe04675101be0.rmeta: crates/hwcost/src/lib.rs Cargo.toml
+
+crates/hwcost/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hwcost-d7486a9b936e2715.d: crates/hwcost/src/lib.rs
+
+/root/repo/target/debug/deps/hwcost-d7486a9b936e2715: crates/hwcost/src/lib.rs
+
+crates/hwcost/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hwcost-e9c03f7f1dd6599d.d: crates/hwcost/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhwcost-e9c03f7f1dd6599d.rmeta: crates/hwcost/src/lib.rs Cargo.toml
+
+crates/hwcost/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

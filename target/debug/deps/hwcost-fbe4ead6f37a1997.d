@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hwcost-fbe4ead6f37a1997.d: crates/hwcost/src/lib.rs
+
+/root/repo/target/debug/deps/hwcost-fbe4ead6f37a1997: crates/hwcost/src/lib.rs
+
+crates/hwcost/src/lib.rs:

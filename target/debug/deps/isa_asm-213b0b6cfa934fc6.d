@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isa_asm-213b0b6cfa934fc6.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs
+
+/root/repo/target/debug/deps/isa_asm-213b0b6cfa934fc6: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/encode.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/reg.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/isa_asm-643d5a535d4c8ce1.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs
+
+/root/repo/target/debug/deps/libisa_asm-643d5a535d4c8ce1.rlib: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs
+
+/root/repo/target/debug/deps/libisa_asm-643d5a535d4c8ce1.rmeta: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/encode.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/reg.rs:

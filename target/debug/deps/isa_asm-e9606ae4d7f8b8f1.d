@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/isa_asm-e9606ae4d7f8b8f1.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisa_asm-e9606ae4d7f8b8f1.rmeta: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs Cargo.toml
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/encode.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/isa_grid-27f8f557ffb4ad66.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisa_grid-27f8f557ffb4ad66.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/domain.rs:
+crates/core/src/layout.rs:
+crates/core/src/pcu.rs:
+crates/core/src/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

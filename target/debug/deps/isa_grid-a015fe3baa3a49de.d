@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/isa_grid-a015fe3baa3a49de.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs
+
+/root/repo/target/debug/deps/isa_grid-a015fe3baa3a49de: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/domain.rs:
+crates/core/src/layout.rs:
+crates/core/src/pcu.rs:
+crates/core/src/policy.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/isa_grid-f8291cfc79ba207a.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs
+
+/root/repo/target/debug/deps/libisa_grid-f8291cfc79ba207a.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs
+
+/root/repo/target/debug/deps/libisa_grid-f8291cfc79ba207a.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/domain.rs:
+crates/core/src/layout.rs:
+crates/core/src/pcu.rs:
+crates/core/src/policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isa_obs-90d308bd414ffd34.d: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs
+
+/root/repo/target/debug/deps/isa_obs-90d308bd414ffd34: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counters.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/ring.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/isa_obs-b650597ac1f4b0ae.d: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisa_obs-b650597ac1f4b0ae.rmeta: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/counters.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

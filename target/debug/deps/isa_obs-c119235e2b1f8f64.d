@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/isa_obs-c119235e2b1f8f64.d: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs
+
+/root/repo/target/debug/deps/libisa_obs-c119235e2b1f8f64.rlib: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs
+
+/root/repo/target/debug/deps/libisa_obs-c119235e2b1f8f64.rmeta: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counters.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/ring.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/isa_sim-698cd77a1e4aefee.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisa_sim-698cd77a1e4aefee.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/csr.rs:
+crates/sim/src/decode.rs:
+crates/sim/src/disas.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/mmu.rs:
+crates/sim/src/trap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/isa_sim-701cd6a8334603ec.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs
+
+/root/repo/target/debug/deps/libisa_sim-701cd6a8334603ec.rlib: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs
+
+/root/repo/target/debug/deps/libisa_sim-701cd6a8334603ec.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/csr.rs:
+crates/sim/src/decode.rs:
+crates/sim/src/disas.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/mmu.rs:
+crates/sim/src/trap.rs:

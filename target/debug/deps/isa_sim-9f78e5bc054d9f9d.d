@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/isa_sim-9f78e5bc054d9f9d.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs
+
+/root/repo/target/debug/deps/isa_sim-9f78e5bc054d9f9d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/csr.rs:
+crates/sim/src/decode.rs:
+crates/sim/src/disas.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/mmu.rs:
+crates/sim/src/trap.rs:

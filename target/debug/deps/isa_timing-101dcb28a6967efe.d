@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/isa_timing-101dcb28a6967efe.d: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+/root/repo/target/debug/deps/isa_timing-101dcb28a6967efe: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/cache.rs:
+crates/timing/src/model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isa_timing-3148943031aac3b0.d: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+/root/repo/target/debug/deps/libisa_timing-3148943031aac3b0.rlib: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+/root/repo/target/debug/deps/libisa_timing-3148943031aac3b0.rmeta: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/cache.rs:
+crates/timing/src/model.rs:

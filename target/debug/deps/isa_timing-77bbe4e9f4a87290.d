@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/isa_timing-77bbe4e9f4a87290.d: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisa_timing-77bbe4e9f4a87290.rmeta: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs Cargo.toml
+
+crates/timing/src/lib.rs:
+crates/timing/src/cache.rs:
+crates/timing/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

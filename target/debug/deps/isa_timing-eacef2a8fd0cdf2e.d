@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isa_timing-eacef2a8fd0cdf2e.d: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+/root/repo/target/debug/deps/libisa_timing-eacef2a8fd0cdf2e.rlib: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+/root/repo/target/debug/deps/libisa_timing-eacef2a8fd0cdf2e.rmeta: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/cache.rs:
+crates/timing/src/model.rs:

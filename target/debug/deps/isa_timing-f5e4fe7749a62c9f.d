@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/isa_timing-f5e4fe7749a62c9f.d: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+/root/repo/target/debug/deps/isa_timing-f5e4fe7749a62c9f: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/cache.rs:
+crates/timing/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel-29e3a1eacf8a9c9f.d: crates/kernel/tests/kernel.rs
+
+/root/repo/target/debug/deps/kernel-29e3a1eacf8a9c9f: crates/kernel/tests/kernel.rs
+
+crates/kernel/tests/kernel.rs:

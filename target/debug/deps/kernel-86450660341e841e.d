@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel-86450660341e841e.d: crates/kernel/tests/kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel-86450660341e841e.rmeta: crates/kernel/tests/kernel.rs Cargo.toml
+
+crates/kernel/tests/kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

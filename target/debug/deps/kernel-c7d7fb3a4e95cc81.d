@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel-c7d7fb3a4e95cc81.d: crates/kernel/tests/kernel.rs
+
+/root/repo/target/debug/deps/kernel-c7d7fb3a4e95cc81: crates/kernel/tests/kernel.rs
+
+crates/kernel/tests/kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_paths-700703f0eb0bd50d.d: crates/bench/benches/kernel_paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_paths-700703f0eb0bd50d.rmeta: crates/bench/benches/kernel_paths.rs Cargo.toml
+
+crates/bench/benches/kernel_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine-20f615ad9fad73e1.d: crates/sim/tests/machine.rs
+
+/root/repo/target/debug/deps/machine-20f615ad9fad73e1: crates/sim/tests/machine.rs
+
+crates/sim/tests/machine.rs:

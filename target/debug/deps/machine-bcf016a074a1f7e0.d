@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine-bcf016a074a1f7e0.d: crates/sim/tests/machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine-bcf016a074a1f7e0.rmeta: crates/sim/tests/machine.rs Cargo.toml
+
+crates/sim/tests/machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine-fd88b6f0a8b3de98.d: crates/sim/tests/machine.rs
+
+/root/repo/target/debug/deps/machine-fd88b6f0a8b3de98: crates/sim/tests/machine.rs
+
+crates/sim/tests/machine.rs:

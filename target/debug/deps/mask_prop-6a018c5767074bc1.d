@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mask_prop-6a018c5767074bc1.d: crates/core/tests/mask_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmask_prop-6a018c5767074bc1.rmeta: crates/core/tests/mask_prop.rs Cargo.toml
+
+crates/core/tests/mask_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

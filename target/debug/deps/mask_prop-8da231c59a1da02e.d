@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mask_prop-8da231c59a1da02e.d: crates/core/tests/mask_prop.rs
+
+/root/repo/target/debug/deps/mask_prop-8da231c59a1da02e: crates/core/tests/mask_prop.rs
+
+crates/core/tests/mask_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mask_prop-abc7a37ef584e381.d: crates/core/tests/mask_prop.rs
+
+/root/repo/target/debug/deps/mask_prop-abc7a37ef584e381: crates/core/tests/mask_prop.rs
+
+crates/core/tests/mask_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nested_monitor-05c7f12e6e1d057f.d: crates/bench/../../tests/nested_monitor.rs
+
+/root/repo/target/debug/deps/nested_monitor-05c7f12e6e1d057f: crates/bench/../../tests/nested_monitor.rs
+
+crates/bench/../../tests/nested_monitor.rs:

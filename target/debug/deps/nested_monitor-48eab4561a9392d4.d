@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nested_monitor-48eab4561a9392d4.d: crates/bench/../../tests/nested_monitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnested_monitor-48eab4561a9392d4.rmeta: crates/bench/../../tests/nested_monitor.rs Cargo.toml
+
+crates/bench/../../tests/nested_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nested_monitor-ace37acff9163706.d: crates/bench/../../tests/nested_monitor.rs
+
+/root/repo/target/debug/deps/nested_monitor-ace37acff9163706: crates/bench/../../tests/nested_monitor.rs
+
+crates/bench/../../tests/nested_monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-0129118795560253.d: crates/bench/../../tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-0129118795560253.rmeta: crates/bench/../../tests/observability.rs Cargo.toml
+
+crates/bench/../../tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-a335b5f0db780028.d: crates/bench/../../tests/observability.rs
+
+/root/repo/target/debug/deps/observability-a335b5f0db780028: crates/bench/../../tests/observability.rs
+
+crates/bench/../../tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcu-6380d4d2c78d6f97.d: crates/core/tests/pcu.rs
+
+/root/repo/target/debug/deps/pcu-6380d4d2c78d6f97: crates/core/tests/pcu.rs
+
+crates/core/tests/pcu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcu-843a2296f6fd933e.d: crates/core/tests/pcu.rs
+
+/root/repo/target/debug/deps/pcu-843a2296f6fd933e: crates/core/tests/pcu.rs
+
+crates/core/tests/pcu.rs:

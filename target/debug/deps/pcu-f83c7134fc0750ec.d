@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcu-f83c7134fc0750ec.d: crates/core/tests/pcu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcu-f83c7134fc0750ec.rmeta: crates/core/tests/pcu.rs Cargo.toml
+
+crates/core/tests/pcu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcu_cache-aaccba73d09d274f.d: crates/bench/benches/pcu_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcu_cache-aaccba73d09d274f.rmeta: crates/bench/benches/pcu_cache.rs Cargo.toml
+
+crates/bench/benches/pcu_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pks_case3-0436bd7a75d05c4f.d: crates/bench/src/bin/pks_case3.rs
+
+/root/repo/target/debug/deps/pks_case3-0436bd7a75d05c4f: crates/bench/src/bin/pks_case3.rs
+
+crates/bench/src/bin/pks_case3.rs:

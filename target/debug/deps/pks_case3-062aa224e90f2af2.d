@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pks_case3-062aa224e90f2af2.d: crates/bench/src/bin/pks_case3.rs
+
+/root/repo/target/debug/deps/pks_case3-062aa224e90f2af2: crates/bench/src/bin/pks_case3.rs
+
+crates/bench/src/bin/pks_case3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pks_case3-32bf6118300ecd55.d: crates/bench/src/bin/pks_case3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpks_case3-32bf6118300ecd55.rmeta: crates/bench/src/bin/pks_case3.rs Cargo.toml
+
+crates/bench/src/bin/pks_case3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pks_case3-52c17e6f5d1160bd.d: crates/bench/src/bin/pks_case3.rs
+
+/root/repo/target/debug/deps/pks_case3-52c17e6f5d1160bd: crates/bench/src/bin/pks_case3.rs
+
+crates/bench/src/bin/pks_case3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pks_case3-6adb1762957ecb6c.d: crates/bench/src/bin/pks_case3.rs
+
+/root/repo/target/debug/deps/pks_case3-6adb1762957ecb6c: crates/bench/src/bin/pks_case3.rs
+
+crates/bench/src/bin/pks_case3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pks_case3-8756d5c2fcb7b3f7.d: crates/bench/src/bin/pks_case3.rs
+
+/root/repo/target/debug/deps/pks_case3-8756d5c2fcb7b3f7: crates/bench/src/bin/pks_case3.rs
+
+crates/bench/src/bin/pks_case3.rs:

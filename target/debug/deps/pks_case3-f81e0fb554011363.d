@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pks_case3-f81e0fb554011363.d: crates/bench/src/bin/pks_case3.rs
+
+/root/repo/target/debug/deps/pks_case3-f81e0fb554011363: crates/bench/src/bin/pks_case3.rs
+
+crates/bench/src/bin/pks_case3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/preempt-375744fdae4393d7.d: crates/kernel/tests/preempt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpreempt-375744fdae4393d7.rmeta: crates/kernel/tests/preempt.rs Cargo.toml
+
+crates/kernel/tests/preempt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preempt-493830dd32a64ff5.d: crates/kernel/tests/preempt.rs
+
+/root/repo/target/debug/deps/preempt-493830dd32a64ff5: crates/kernel/tests/preempt.rs
+
+crates/kernel/tests/preempt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preempt-9f067416e2cf47ec.d: crates/kernel/tests/preempt.rs
+
+/root/repo/target/debug/deps/preempt-9f067416e2cf47ec: crates/kernel/tests/preempt.rs
+
+crates/kernel/tests/preempt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/privilege_check-8bf772bab1ea14e7.d: crates/bench/benches/privilege_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprivilege_check-8bf772bab1ea14e7.rmeta: crates/bench/benches/privilege_check.rs Cargo.toml
+
+crates/bench/benches/privilege_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

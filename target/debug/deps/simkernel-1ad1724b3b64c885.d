@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simkernel-1ad1724b3b64c885.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/usr.rs
+
+/root/repo/target/debug/deps/simkernel-1ad1724b3b64c885: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/usr.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/image.rs:
+crates/kernel/src/layout.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/usr.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simkernel-6387e1245a5201b0.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/usr.rs
+
+/root/repo/target/debug/deps/libsimkernel-6387e1245a5201b0.rlib: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/usr.rs
+
+/root/repo/target/debug/deps/libsimkernel-6387e1245a5201b0.rmeta: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/usr.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/image.rs:
+crates/kernel/src/layout.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/usr.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simkernel-d478c4a9efd8a7bf.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/usr.rs
+
+/root/repo/target/debug/deps/libsimkernel-d478c4a9efd8a7bf.rlib: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/usr.rs
+
+/root/repo/target/debug/deps/libsimkernel-d478c4a9efd8a7bf.rmeta: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/usr.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/image.rs:
+crates/kernel/src/layout.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/usr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-006957b32ca33dbc.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-006957b32ca33dbc: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-0aa03016ae6c06cc.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-0aa03016ae6c06cc: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

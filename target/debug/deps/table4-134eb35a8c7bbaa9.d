@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-134eb35a8c7bbaa9.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-134eb35a8c7bbaa9: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-4eebcdfdadd26449.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-4eebcdfdadd26449: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

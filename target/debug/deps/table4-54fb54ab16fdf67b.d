@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-54fb54ab16fdf67b.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-54fb54ab16fdf67b: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-92b2fba1a157e233.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-92b2fba1a157e233: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

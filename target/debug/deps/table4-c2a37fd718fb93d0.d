@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-c2a37fd718fb93d0.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-c2a37fd718fb93d0: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

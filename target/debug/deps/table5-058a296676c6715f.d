@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-058a296676c6715f.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-058a296676c6715f: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-4f8cb87d151d6c90.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-4f8cb87d151d6c90: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

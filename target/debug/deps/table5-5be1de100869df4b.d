@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-5be1de100869df4b.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-5be1de100869df4b: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

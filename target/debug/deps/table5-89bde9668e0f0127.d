@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-89bde9668e0f0127.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-89bde9668e0f0127: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

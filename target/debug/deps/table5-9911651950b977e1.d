@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-9911651950b977e1.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-9911651950b977e1: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

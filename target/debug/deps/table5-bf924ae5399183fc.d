@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-bf924ae5399183fc.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-bf924ae5399183fc: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-ed8b35de36bf8d42.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-ed8b35de36bf8d42: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-14ad492a3fba5a9e.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-14ad492a3fba5a9e: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

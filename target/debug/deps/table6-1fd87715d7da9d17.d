@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-1fd87715d7da9d17.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-1fd87715d7da9d17: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-46a7f9e68f4f0192.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-46a7f9e68f4f0192: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

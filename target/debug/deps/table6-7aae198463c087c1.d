@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-7aae198463c087c1.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-7aae198463c087c1: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

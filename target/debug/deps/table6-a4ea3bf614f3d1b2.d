@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-a4ea3bf614f3d1b2.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-a4ea3bf614f3d1b2: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

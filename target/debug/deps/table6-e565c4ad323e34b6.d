@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-e565c4ad323e34b6.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-e565c4ad323e34b6: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

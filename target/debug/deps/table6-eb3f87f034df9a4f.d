@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-eb3f87f034df9a4f.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-eb3f87f034df9a4f: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

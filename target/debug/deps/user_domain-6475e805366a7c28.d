@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/user_domain-6475e805366a7c28.d: crates/kernel/tests/user_domain.rs
+
+/root/repo/target/debug/deps/user_domain-6475e805366a7c28: crates/kernel/tests/user_domain.rs
+
+crates/kernel/tests/user_domain.rs:

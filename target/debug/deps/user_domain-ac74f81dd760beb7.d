@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/user_domain-ac74f81dd760beb7.d: crates/kernel/tests/user_domain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuser_domain-ac74f81dd760beb7.rmeta: crates/kernel/tests/user_domain.rs Cargo.toml
+
+crates/kernel/tests/user_domain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

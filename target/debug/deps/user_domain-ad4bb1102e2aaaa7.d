@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/user_domain-ad4bb1102e2aaaa7.d: crates/kernel/tests/user_domain.rs
+
+/root/repo/target/debug/deps/user_domain-ad4bb1102e2aaaa7: crates/kernel/tests/user_domain.rs
+
+crates/kernel/tests/user_domain.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workloads-e73d9c4023387443.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+/root/repo/target/debug/deps/libworkloads-e73d9c4023387443.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+/root/repo/target/debug/deps/libworkloads-e73d9c4023387443.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/lmbench.rs:
+crates/workloads/src/measure.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/workloads-f5a5e0d010d4505f.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-f5a5e0d010d4505f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/lmbench.rs:
+crates/workloads/src/measure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

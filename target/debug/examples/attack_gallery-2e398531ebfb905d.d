@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_gallery-2e398531ebfb905d.d: crates/bench/../../examples/attack_gallery.rs
+
+/root/repo/target/debug/examples/attack_gallery-2e398531ebfb905d: crates/bench/../../examples/attack_gallery.rs
+
+crates/bench/../../examples/attack_gallery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_gallery-57285cdeba7870b7.d: crates/bench/../../examples/attack_gallery.rs
+
+/root/repo/target/debug/examples/attack_gallery-57285cdeba7870b7: crates/bench/../../examples/attack_gallery.rs
+
+crates/bench/../../examples/attack_gallery.rs:

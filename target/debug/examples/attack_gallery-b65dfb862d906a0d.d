@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_gallery-b65dfb862d906a0d.d: crates/bench/../../examples/attack_gallery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_gallery-b65dfb862d906a0d.rmeta: crates/bench/../../examples/attack_gallery.rs Cargo.toml
+
+crates/bench/../../examples/attack_gallery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

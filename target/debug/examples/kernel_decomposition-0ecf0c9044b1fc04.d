@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kernel_decomposition-0ecf0c9044b1fc04.d: crates/bench/../../examples/kernel_decomposition.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkernel_decomposition-0ecf0c9044b1fc04.rmeta: crates/bench/../../examples/kernel_decomposition.rs Cargo.toml
+
+crates/bench/../../examples/kernel_decomposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

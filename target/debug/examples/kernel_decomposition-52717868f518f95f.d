@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kernel_decomposition-52717868f518f95f.d: crates/bench/../../examples/kernel_decomposition.rs
+
+/root/repo/target/debug/examples/kernel_decomposition-52717868f518f95f: crates/bench/../../examples/kernel_decomposition.rs
+
+crates/bench/../../examples/kernel_decomposition.rs:

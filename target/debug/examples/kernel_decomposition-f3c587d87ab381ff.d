@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kernel_decomposition-f3c587d87ab381ff.d: crates/bench/../../examples/kernel_decomposition.rs
+
+/root/repo/target/debug/examples/kernel_decomposition-f3c587d87ab381ff: crates/bench/../../examples/kernel_decomposition.rs
+
+crates/bench/../../examples/kernel_decomposition.rs:

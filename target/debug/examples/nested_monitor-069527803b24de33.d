@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nested_monitor-069527803b24de33.d: crates/bench/../../examples/nested_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnested_monitor-069527803b24de33.rmeta: crates/bench/../../examples/nested_monitor.rs Cargo.toml
+
+crates/bench/../../examples/nested_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nested_monitor-42a2f4f3cb8fc7ec.d: crates/bench/../../examples/nested_monitor.rs
+
+/root/repo/target/debug/examples/nested_monitor-42a2f4f3cb8fc7ec: crates/bench/../../examples/nested_monitor.rs
+
+crates/bench/../../examples/nested_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nested_monitor-9c7ccf634d592efc.d: crates/bench/../../examples/nested_monitor.rs
+
+/root/repo/target/debug/examples/nested_monitor-9c7ccf634d592efc: crates/bench/../../examples/nested_monitor.rs
+
+crates/bench/../../examples/nested_monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pks_trampoline-7b9529f270ab0b3a.d: crates/bench/../../examples/pks_trampoline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpks_trampoline-7b9529f270ab0b3a.rmeta: crates/bench/../../examples/pks_trampoline.rs Cargo.toml
+
+crates/bench/../../examples/pks_trampoline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pks_trampoline-87b4ed8792b04fbf.d: crates/bench/../../examples/pks_trampoline.rs
+
+/root/repo/target/debug/examples/pks_trampoline-87b4ed8792b04fbf: crates/bench/../../examples/pks_trampoline.rs
+
+crates/bench/../../examples/pks_trampoline.rs:

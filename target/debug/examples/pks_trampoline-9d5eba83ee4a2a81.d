@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pks_trampoline-9d5eba83ee4a2a81.d: crates/bench/../../examples/pks_trampoline.rs
+
+/root/repo/target/debug/examples/pks_trampoline-9d5eba83ee4a2a81: crates/bench/../../examples/pks_trampoline.rs
+
+crates/bench/../../examples/pks_trampoline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1ca31f3fd7ae2643.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1ca31f3fd7ae2643: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

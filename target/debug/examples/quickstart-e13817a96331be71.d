@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e13817a96331be71.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e13817a96331be71: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_gates-4e80940779647d24.d: crates/bench/../../examples/trace_gates.rs
+
+/root/repo/target/debug/examples/trace_gates-4e80940779647d24: crates/bench/../../examples/trace_gates.rs
+
+crates/bench/../../examples/trace_gates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_gates-8edb54698e7f4839.d: crates/bench/../../examples/trace_gates.rs
+
+/root/repo/target/debug/examples/trace_gates-8edb54698e7f4839: crates/bench/../../examples/trace_gates.rs
+
+crates/bench/../../examples/trace_gates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_gates-90ddb5601846ac3b.d: crates/bench/../../examples/trace_gates.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_gates-90ddb5601846ac3b.rmeta: crates/bench/../../examples/trace_gates.rs Cargo.toml
+
+crates/bench/../../examples/trace_gates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-8c45df5f482efaf9.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-8c45df5f482efaf9: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/breakdown-a583218bafe403d8.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/release/deps/breakdown-a583218bafe403d8: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

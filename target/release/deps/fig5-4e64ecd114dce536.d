@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-4e64ecd114dce536.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-4e64ecd114dce536: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-68f4f22e93909c63.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-68f4f22e93909c63: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

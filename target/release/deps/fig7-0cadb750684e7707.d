@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-0cadb750684e7707.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-0cadb750684e7707: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-625e38ae62ef8d6a.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-625e38ae62ef8d6a: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hitrate-2ba6f7cc053447b4.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/release/deps/hitrate-2ba6f7cc053447b4: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

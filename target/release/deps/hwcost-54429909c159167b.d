@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hwcost-54429909c159167b.d: crates/hwcost/src/lib.rs
+
+/root/repo/target/release/deps/libhwcost-54429909c159167b.rlib: crates/hwcost/src/lib.rs
+
+/root/repo/target/release/deps/libhwcost-54429909c159167b.rmeta: crates/hwcost/src/lib.rs
+
+crates/hwcost/src/lib.rs:

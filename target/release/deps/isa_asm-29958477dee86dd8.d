@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/isa_asm-29958477dee86dd8.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs
+
+/root/repo/target/release/deps/libisa_asm-29958477dee86dd8.rlib: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs
+
+/root/repo/target/release/deps/libisa_asm-29958477dee86dd8.rmeta: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/encode.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/reg.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/isa_obs-a0ae5f298b6b4a97.d: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs
+
+/root/repo/target/release/deps/libisa_obs-a0ae5f298b6b4a97.rlib: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs
+
+/root/repo/target/release/deps/libisa_obs-a0ae5f298b6b4a97.rmeta: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counters.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/ring.rs:

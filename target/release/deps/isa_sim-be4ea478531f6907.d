@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/isa_sim-be4ea478531f6907.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs
+
+/root/repo/target/release/deps/libisa_sim-be4ea478531f6907.rlib: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs
+
+/root/repo/target/release/deps/libisa_sim-be4ea478531f6907.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/csr.rs:
+crates/sim/src/decode.rs:
+crates/sim/src/disas.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/mmu.rs:
+crates/sim/src/trap.rs:

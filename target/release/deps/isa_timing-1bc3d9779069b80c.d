@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/isa_timing-1bc3d9779069b80c.d: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+/root/repo/target/release/deps/libisa_timing-1bc3d9779069b80c.rlib: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+/root/repo/target/release/deps/libisa_timing-1bc3d9779069b80c.rmeta: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/cache.rs:
+crates/timing/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pks_case3-39482a944a0b176e.d: crates/bench/src/bin/pks_case3.rs
+
+/root/repo/target/release/deps/pks_case3-39482a944a0b176e: crates/bench/src/bin/pks_case3.rs
+
+crates/bench/src/bin/pks_case3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/privilege_check-98d0174242f1962e.d: crates/bench/benches/privilege_check.rs
+
+/root/repo/target/release/deps/privilege_check-98d0174242f1962e: crates/bench/benches/privilege_check.rs
+
+crates/bench/benches/privilege_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-fbfd9d1f35076c73.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-fbfd9d1f35076c73: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

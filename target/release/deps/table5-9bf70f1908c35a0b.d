@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-9bf70f1908c35a0b.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-9bf70f1908c35a0b: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

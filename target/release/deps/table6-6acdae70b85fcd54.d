@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-6acdae70b85fcd54.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-6acdae70b85fcd54: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

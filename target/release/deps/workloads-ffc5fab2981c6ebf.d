@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/workloads-ffc5fab2981c6ebf.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+/root/repo/target/release/deps/libworkloads-ffc5fab2981c6ebf.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+/root/repo/target/release/deps/libworkloads-ffc5fab2981c6ebf.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/lmbench.rs:
+crates/workloads/src/measure.rs:

@@ -15,14 +15,38 @@ const STEPS: u64 = 5_000_000;
 
 /// (gadget, Table 1 attack it models, resource analogue).
 const MATRIX: [(u64, &str, &str); 8] = [
-    (vuln_op::WRITE_STVEC, "Controlled-Channel Attacks", "IDTR -> stvec"),
+    (
+        vuln_op::WRITE_STVEC,
+        "Controlled-Channel Attacks",
+        "IDTR -> stvec",
+    ),
     (vuln_op::WRITE_SATP, "Page-table base abuse", "CR3 -> satp"),
-    (vuln_op::WRITE_VFCTL, "Voltage-based Attacks (V0LTpwn)", "MSR 0x150 -> vfctl"),
-    (vuln_op::READ_DBG, "TRESOR-HUNT / FORESHADOW", "DR0-7 -> dbg0"),
-    (vuln_op::WRITE_BTBCTL, "SgxPectre Attacks", "MSR 0x48/0x49 -> btbctl"),
-    (vuln_op::READ_CYCLE, "Timing side channels", "rdtsc -> cycle"),
+    (
+        vuln_op::WRITE_VFCTL,
+        "Voltage-based Attacks (V0LTpwn)",
+        "MSR 0x150 -> vfctl",
+    ),
+    (
+        vuln_op::READ_DBG,
+        "TRESOR-HUNT / FORESHADOW",
+        "DR0-7 -> dbg0",
+    ),
+    (
+        vuln_op::WRITE_BTBCTL,
+        "SgxPectre Attacks",
+        "MSR 0x48/0x49 -> btbctl",
+    ),
+    (
+        vuln_op::READ_CYCLE,
+        "Timing side channels",
+        "rdtsc -> cycle",
+    ),
     (vuln_op::READ_PMU, "NAILGUN Attacks", "PMU -> hpmcounter"),
-    (vuln_op::WRITE_WPCTL, "Stealthy Page-Table Attacks", "CR0.CD/WP -> wpctl"),
+    (
+        vuln_op::WRITE_WPCTL,
+        "Stealthy Page-Table Attacks",
+        "CR0.CD/WP -> wpctl",
+    ),
 ];
 
 fn attack_program(op: u64) -> isa_asm::Program {
@@ -40,7 +64,11 @@ fn native_kernel_is_vulnerable_to_every_attack() {
     for (op, attack, _) in MATRIX {
         let prog = attack_program(op);
         let mut sim = SimBuilder::new(KernelConfig::native()).boot(&prog, None);
-        assert_eq!(sim.run_to_halt(STEPS), 0x77, "{attack}: gadget must succeed natively");
+        assert_eq!(
+            sim.run_to_halt(STEPS),
+            0x77,
+            "{attack}: gadget must succeed natively"
+        );
     }
 }
 
@@ -66,7 +94,11 @@ fn decomposed_kernel_mitigates_every_attack() {
         assert!(sim.machine.ext.stats.faults > 0);
         mitigated += 1;
     }
-    assert_eq!(mitigated, MATRIX.len(), "100% of the surveyed attacks mitigated");
+    assert_eq!(
+        mitigated,
+        MATRIX.len(),
+        "100% of the surveyed attacks mitigated"
+    );
 }
 
 #[test]

@@ -21,7 +21,12 @@ fn workload_results_identical_native_vs_decomposed() {
             assert_eq!(sim.run_to_halt(STEPS), 0, "{}", app.name());
             outs.push(sim.console());
         }
-        assert_eq!(outs[0], outs[1], "{}: console output must match", app.name());
+        assert_eq!(
+            outs[0],
+            outs[1],
+            "{}: console output must match",
+            app.name()
+        );
     }
 }
 
@@ -31,7 +36,12 @@ fn every_micro_benchmark_survives_decomposition() {
         let prog = b.program(8);
         let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, b.task2());
         assert_eq!(sim.run_to_halt(STEPS), 0, "{}", b.name());
-        assert_eq!(sim.machine.ext.stats.faults, 0, "{}: no spurious faults", b.name());
+        assert_eq!(
+            sim.machine.ext.stats.faults,
+            0,
+            "{}: no spurious faults",
+            b.name()
+        );
     }
 }
 
@@ -45,7 +55,10 @@ fn kernel_leaves_domain_zero_exactly_once_at_boot() {
     sim.run_to_halt(STEPS);
     // The kernel runs in the basic domain (id 1), never back in 0.
     assert_eq!(sim.machine.ext.current_domain().0, 1);
-    assert_eq!(sim.machine.ext.stats.gate_calls, 1, "only the boot gate fired");
+    assert_eq!(
+        sim.machine.ext.stats.gate_calls, 1,
+        "only the boot gate fired"
+    );
 }
 
 #[test]
@@ -82,7 +95,11 @@ fn ioctl_visits_the_service_domain_and_returns() {
     sim.run_to_halt(STEPS);
     // boot + service in + service out.
     assert_eq!(sim.machine.ext.stats.gate_calls, 3);
-    assert_eq!(sim.machine.ext.current_domain().0, 1, "back in the kernel domain");
+    assert_eq!(
+        sim.machine.ext.current_domain().0,
+        1,
+        "back in the kernel domain"
+    );
 }
 
 #[test]
@@ -97,7 +114,11 @@ fn pcu_checks_every_kernel_and_user_instruction() {
     sim.run_to_halt(STEPS);
     let stats = sim.machine.ext.stats;
     // Everything after the boot gate is checked.
-    assert!(stats.inst_checks > 1000, "inst checks: {}", stats.inst_checks);
+    assert!(
+        stats.inst_checks > 1000,
+        "inst checks: {}",
+        stats.inst_checks
+    );
     assert!(stats.csr_checks > 200, "csr checks: {}", stats.csr_checks);
 }
 
@@ -109,8 +130,14 @@ fn cache_configs_all_run_the_kernel() {
     });
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
-    for pcu in [PcuConfig::sixteen_e(), PcuConfig::eight_e(), PcuConfig::eight_e_n()] {
-        let mut sim = SimBuilder::new(KernelConfig::decomposed()).pcu(pcu).boot(&prog, None);
+    for pcu in [
+        PcuConfig::sixteen_e(),
+        PcuConfig::eight_e(),
+        PcuConfig::eight_e_n(),
+    ] {
+        let mut sim = SimBuilder::new(KernelConfig::decomposed())
+            .pcu(pcu)
+            .boot(&prog, None);
         assert_eq!(sim.run_to_halt(STEPS), 0, "{pcu:?}");
     }
 }
@@ -119,11 +146,13 @@ fn cache_configs_all_run_the_kernel() {
 fn decomposition_overhead_negligible_even_on_timing_platforms() {
     let prog = LmBench::NullCall.program(60);
     for platform in [Platform::Rocket, Platform::O3] {
-        let mut native =
-            SimBuilder::new(KernelConfig::native()).platform(platform).boot(&prog, None);
+        let mut native = SimBuilder::new(KernelConfig::native())
+            .platform(platform)
+            .boot(&prog, None);
         native.run_to_halt(STEPS);
-        let mut grid =
-            SimBuilder::new(KernelConfig::decomposed()).platform(platform).boot(&prog, None);
+        let mut grid = SimBuilder::new(KernelConfig::decomposed())
+            .platform(platform)
+            .boot(&prog, None);
         grid.run_to_halt(STEPS);
         let n = native.values()[0] as f64;
         let g = grid.values()[0] as f64;

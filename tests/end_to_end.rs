@@ -26,7 +26,10 @@ fn table4_anchor_latencies_hold() {
     let supervisor = find("Supervisor call");
     let xdomain = find("X-domain call");
     assert!(syscall_pti > supervisor, "PTI must cost extra");
-    assert!(supervisor > 8.0 * xdomain, "X-domain call must be far cheaper than a syscall");
+    assert!(
+        supervisor > 8.0 * xdomain,
+        "X-domain call must be far cheaper than a syscall"
+    );
 }
 
 #[test]
@@ -46,7 +49,10 @@ fn fig5_micro_overheads_are_small() {
             b.name
         );
     }
-    assert!(figs::geomean(&bars, 0) < 1.05, "overall overhead must stay small");
+    assert!(
+        figs::geomean(&bars, 0) < 1.05,
+        "overall overhead must stay small"
+    );
 }
 
 #[test]
@@ -96,7 +102,12 @@ fn table5_service_overhead_in_paper_band() {
 fn hitrates_reach_ninety_nine_nine() {
     for r in hitrate::run(4) {
         let s = r.stats;
-        for (name, c) in [("inst", s.inst), ("reg", s.reg), ("mask", s.mask), ("sgt", s.sgt)] {
+        for (name, c) in [
+            ("inst", s.inst),
+            ("reg", s.reg),
+            ("mask", s.mask),
+            ("sgt", s.sgt),
+        ] {
             assert!(
                 c.hit_rate() > 0.99,
                 "{}: {name} hit rate {:.4}",

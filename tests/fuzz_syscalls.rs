@@ -91,7 +91,7 @@ fn emit(a: &mut Asm, op: &Op, idx: usize) {
             usr::syscall(a, sys::PIPE);
             a.andi(S5, A0, 0xff); // wr
             a.srli(S6, A0, 8); // rd
-            // Fill the buffer deterministically.
+                               // Fill the buffer deterministically.
             a.li(T0, buf);
             a.li(T1, (idx as u64 * 7 + 1) & 0xff);
             a.sb(T1, T0, 0);

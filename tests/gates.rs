@@ -20,8 +20,14 @@ fn every_registered_gate_has_a_real_address() {
             if let Some(g) = g {
                 let site = img.prog.symbol(&g.site);
                 let dest = img.prog.symbol(&g.dest);
-                assert!(site >= img.prog.base && site < img.prog.end(), "gate {id} site");
-                assert!(dest >= img.prog.base && dest < img.prog.end(), "gate {id} dest");
+                assert!(
+                    site >= img.prog.base && site < img.prog.end(),
+                    "gate {id} site"
+                );
+                assert!(
+                    dest >= img.prog.base && dest < img.prog.end(),
+                    "gate {id} dest"
+                );
                 assert_eq!(site % 4, 0);
                 assert_eq!(dest % 4, 0);
             }
@@ -107,7 +113,10 @@ fn trusted_stack_balances_across_nested_kernel_activity() {
     assert_eq!(sim.run_to_halt(STEPS), 0);
     let (sp, sb, _) = sim.machine.ext.save_trusted_stack();
     assert_eq!(sp, sb, "trusted stack must be empty when idle");
-    assert_eq!(sim.machine.ext.stats.gate_returns, 6, "one hcrets per mapctl");
+    assert_eq!(
+        sim.machine.ext.stats.gate_returns, 6,
+        "one hcrets per mapctl"
+    );
 }
 
 #[test]

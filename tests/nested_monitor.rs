@@ -105,7 +105,11 @@ fn log_wraps_circularly() {
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::nested(true)).boot(&prog, None);
     assert_eq!(sim.run_to_halt(400_000_000), 0);
-    assert_eq!(sim.machine.bus.read_u64(layout::MONLOG), cap + 3, "cursor keeps counting");
+    assert_eq!(
+        sim.machine.bus.read_u64(layout::MONLOG),
+        cap + 3,
+        "cursor keeps counting"
+    );
 }
 
 #[test]
