@@ -57,7 +57,7 @@ fn epilogue(a: &mut Asm) {
 fn run(m: &mut Machine<Pcu>, prog: &isa_asm::Program) -> Vec<u64> {
     m.load_program(prog);
     match m.run(100_000_000) {
-        Exit::Halted(0xAA) => m.bus.value_log.clone(),
+        Exit::Halted(0xAA) => m.bus.value_log(),
         Exit::Halted(c) => panic!("gate bench trapped: {c:#x}"),
         Exit::StepLimit => panic!("gate bench hung at {:#x}", m.cpu.pc),
     }

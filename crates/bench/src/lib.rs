@@ -18,6 +18,7 @@
 //! | §7.2 case 3 (PKS estimate) | [`pks`] | `pks_case3` |
 //! | PCU design ablations | [`ablation`] | `ablation` |
 //! | cycle breakdown & monitor micro-cost | [`breakdown`] | `breakdown` |
+//! | SMP scaling & shootdown traffic | [`smpbench`] | `smp` |
 
 #![warn(missing_docs)]
 
@@ -28,6 +29,7 @@ pub mod gatebench;
 pub mod hitrate;
 pub mod pks;
 pub mod report;
+pub mod smpbench;
 pub mod table4;
 pub mod table5;
 

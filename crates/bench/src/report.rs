@@ -227,6 +227,11 @@ pub fn pct(v: f64) -> String {
     format!("{v:+.2}%")
 }
 
+/// Round to four decimals (stable JSON extras).
+pub fn round4(v: f64) -> f64 {
+    (v * 10_000.0).round() / 10_000.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,11 +84,13 @@ mod domain;
 pub mod layout;
 mod pcu;
 mod policy;
+pub mod shootdown;
 
 pub use cache::{CacheStats, PrivCache};
 pub use domain::{DomainId, DomainSpec, GateId, GateSpec, InstGroup};
 /// The observability layer (re-exported for counter and trace types).
 pub use isa_obs as obs;
 pub use layout::GridLayout;
-pub use pcu::{GridCacheStats, Pcu, PcuConfig, PcuConfigBuilder, PcuStats};
+pub use pcu::{GridCacheStats, Pcu, PcuConfig, PcuConfigBuilder, PcuSnapshot, PcuStats};
 pub use policy::{ExclusivePolicy, PolicyViolation};
+pub use shootdown::ShootdownCell;

@@ -11,6 +11,8 @@ use crate::layout::{
     mask_slot, GridLayout, INST_BITMAP_WORDS, MASK_SLOTS, REG_GROUPS, REG_GROUP_CSRS,
     SGT_FLAG_VALID,
 };
+use crate::shootdown::{ShootdownCell, FLUSH_CYCLES_PER_ENTRY};
+use std::sync::Arc;
 
 /// Sizing of the domain privilege cache (§4.3, §7 "Configuration").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,6 +235,15 @@ pub struct PcuStats {
     pub legal_hits: u64,
     /// Physical accesses blocked by the trusted-memory fence.
     pub tmem_denials: u64,
+    /// Cross-hart shootdowns this PCU published (table mutations and
+    /// PCU fences).
+    pub shootdowns_sent: u64,
+    /// Shootdowns this PCU honored by flushing before its next commit.
+    pub shootdowns_taken: u64,
+    /// Live cache entries discarded by shootdown flushes.
+    pub shootdown_flushed: u64,
+    /// Modeled cycles spent re-warming caches after shootdowns.
+    pub shootdown_flush_cycles: u64,
 }
 
 /// Per-cache statistics snapshot.
@@ -241,6 +252,28 @@ pub struct PcuStats {
 /// `inst`/`reg`/`mask`/`sgt` fields as before, plus the legal-cache
 /// tally that previously needed a separate accessor.
 pub type GridCacheStats = isa_obs::CacheBank;
+
+/// The thread-shippable essence of a configured [`Pcu`]: cache
+/// configuration, trusted-memory layout and Table 2 register values.
+/// See [`Pcu::snapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct PcuSnapshot {
+    cfg: PcuConfig,
+    layout: Option<GridLayout>,
+    regs: GridRegs,
+}
+
+impl PcuSnapshot {
+    /// Reconstruct a PCU from the snapshot: same tables and registers,
+    /// cold private caches, zeroed statistics (the same contract as
+    /// [`Pcu::mirror`]). Trusted memory is not touched.
+    pub fn build(&self) -> Pcu {
+        let mut p = Pcu::new(self.cfg);
+        p.layout = self.layout;
+        p.regs = self.regs;
+        p
+    }
+}
 
 /// Tag-space prefixes when the three HPT caches share one storage.
 const UTAG_INST: u64 = 1 << 60;
@@ -291,6 +324,10 @@ pub struct Pcu {
     ipr: InstPrivReg,
     ev: ExtEvents,
     trace: TraceSink,
+    /// SMP coherence cell shared with the other harts' PCUs, plus the
+    /// hart this PCU belongs to. `None` on single-hart machines.
+    shoot: Option<Arc<ShootdownCell>>,
+    hart: usize,
     /// Aggregate counters for the evaluation harnesses.
     pub stats: PcuStats,
 }
@@ -315,8 +352,48 @@ impl Pcu {
             ipr: InstPrivReg::default(),
             ev: ExtEvents::default(),
             trace: TraceSink::off(),
+            shoot: None,
+            hart: 0,
             stats: PcuStats::default(),
         }
+    }
+
+    /// A fresh PCU for another hart that shares this PCU's installed
+    /// tables: same configuration, layout and Table 2 registers (both
+    /// harts read the same in-memory structures), but cold private
+    /// caches and zeroed statistics. Unlike [`Pcu::install`] it does
+    /// *not* touch trusted memory. Carve a per-hart trusted stack with
+    /// [`Pcu::set_trusted_stack`] afterwards, and attach the shared
+    /// [`ShootdownCell`] with [`Pcu::attach_shootdown`].
+    pub fn mirror(&self) -> Pcu {
+        self.snapshot().build()
+    }
+
+    /// A plain-data snapshot of this PCU's configuration, layout and
+    /// Table 2 registers. Unlike `Pcu` itself (which owns a trace
+    /// sink), the snapshot is `Send + Sync`, so a parallel runner can
+    /// capture it once and [`PcuSnapshot::build`] per-hart mirrors
+    /// inside worker threads.
+    pub fn snapshot(&self) -> PcuSnapshot {
+        PcuSnapshot {
+            cfg: self.cfg,
+            layout: self.layout,
+            regs: self.regs,
+        }
+    }
+
+    /// Join the SMP coherence protocol: shootdowns published through
+    /// `cell` by other harts flush this PCU's caches before its next
+    /// commit, and this PCU's table mutations / fences publish to them.
+    pub fn attach_shootdown(&mut self, cell: Arc<ShootdownCell>, hart: usize) {
+        assert!(hart < cell.harts(), "hart {hart} outside the cell");
+        self.shoot = Some(cell);
+        self.hart = hart;
+    }
+
+    /// The shared shootdown cell, if this PCU participates in one.
+    pub fn shootdown_cell(&self) -> Option<&Arc<ShootdownCell>> {
+        self.shoot.as_ref()
     }
 
     /// Route trace events into `sink`. Share a clone of the same sink
@@ -359,6 +436,7 @@ impl Pcu {
         self.sgt_cache.flush();
         self.legal_cache.flush();
         self.ipr.valid = false;
+        self.publish_shootdown();
     }
 
     /// The active layout.
@@ -406,12 +484,14 @@ impl Pcu {
         for (s, m) in spec.masks.iter().enumerate() {
             bus.write_u64(layout.mask_addr(id.0, s), *m);
         }
-        // Stale privileges may be cached; domain-0 flushes after updates.
+        // Stale privileges may be cached; domain-0 flushes after updates,
+        // and remote harts must flush before their next commit.
         self.inst_cache.flush();
         self.reg_cache.flush();
         self.mask_cache.flush();
         self.legal_cache.flush();
         self.ipr.valid = false;
+        self.publish_shootdown();
     }
 
     /// Register an unforgeable switching gate in the SGT (§4.2).
@@ -514,6 +594,10 @@ impl Pcu {
         c.gates.prefetches = self.stats.prefetches;
         c.gates.flushes = self.stats.flushes;
         c.run.trace_dropped = self.trace.dropped();
+        c.smp.shootdowns = self.stats.shootdowns_sent;
+        c.smp.shootdown_acks = self.stats.shootdowns_taken;
+        c.smp.flushed_entries = self.stats.shootdown_flushed;
+        c.smp.flush_cycles = self.stats.shootdown_flush_cycles;
         c
     }
 
@@ -863,11 +947,74 @@ impl Pcu {
             4 => self.flush_one(CacheKind::Sgt),
             _ => {}
         }
+        // `pflh` is the PCU fence: publish so every other hart flushes
+        // too before its next commit.
+        self.publish_shootdown();
+    }
+
+    // ---- SMP coherence ----
+
+    /// Publish a shootdown to the other harts (no-op when detached or
+    /// single-hart).
+    fn publish_shootdown(&mut self) {
+        let Some(cell) = &self.shoot else { return };
+        if cell.harts() <= 1 {
+            return;
+        }
+        let epoch = cell.publish(self.hart);
+        self.stats.shootdowns_sent += 1;
+        let hart = self.hart as u64;
+        self.trace.emit(|| TraceEvent::Shootdown { hart, epoch });
+    }
+
+    /// Honor a pending shootdown: flush every privilege cache, charge
+    /// the re-warm cost, and acknowledge the epoch. Called before each
+    /// instruction check, which makes the flush visible strictly before
+    /// the next commit.
+    fn poll_shootdown(&mut self) {
+        let Some(cell) = &self.shoot else { return };
+        let Some(epoch) = cell.pending(self.hart) else {
+            return;
+        };
+        let discarded = self.inst_cache.flush()
+            + self.reg_cache.flush()
+            + self.mask_cache.flush()
+            + self.sgt_cache.flush()
+            + self.legal_cache.flush();
+        self.ipr.valid = false;
+        let cell = self.shoot.as_ref().expect("checked above");
+        cell.ack(self.hart, epoch);
+        self.stats.shootdowns_taken += 1;
+        self.stats.shootdown_flushed += discarded;
+        self.stats.shootdown_flush_cycles += discarded * FLUSH_CYCLES_PER_ENTRY;
+        self.ev.shootdown_flushed = self
+            .ev
+            .shootdown_flushed
+            .saturating_add(discarded.min(u64::from(u16::MAX)) as u16);
+        let hart = self.hart as u64;
+        self.trace.emit(|| TraceEvent::ShootdownAck {
+            hart,
+            epoch,
+            discarded,
+        });
+    }
+
+    /// Whether a write to `[paddr, paddr+len)` lands in the privilege
+    /// tables (trusted memory below the trusted-stack region).
+    fn hits_tables(&self, paddr: u64, len: u8) -> bool {
+        let Some(layout) = self.layout else {
+            return false;
+        };
+        let (b, l) = (layout.tmem_base, layout.tstack_base());
+        l > b && paddr + len as u64 > b && paddr < l
     }
 }
 
 impl Extension for Pcu {
     fn check_inst(&mut self, cpu: &CpuState, bus: &mut Bus, d: &Decoded) -> Result<(), Exception> {
+        // SMP coherence: a pending shootdown is honored here, before
+        // this instruction can commit against stale cached privileges.
+        self.poll_shootdown();
         if !self.active(cpu) {
             return Ok(());
         }
@@ -965,6 +1112,12 @@ impl Extension for Pcu {
         len: u8,
         write: bool,
     ) -> Result<(), Exception> {
+        // A store that reaches the privilege tables (only domain-0 /
+        // M-mode can — see the fence below) invalidates what other
+        // harts may have cached: publish a shootdown.
+        if write && self.hits_tables(paddr, len) {
+            self.publish_shootdown();
+        }
         // "The load and store instructions can access the trusted memory
         // region only in domain-0" (§4.5).
         if cpu.priv_level == Priv::M || self.regs.domain == 0 {
@@ -1046,6 +1199,9 @@ impl Extension for Pcu {
             addr::GRID_TMEML => r.tmeml = val,
             _ => return Err(Exception::IllegalInst(csr as u64)),
         }
+        // Re-pointing table bases changes what every hart's caches
+        // front; treat it as a table mutation.
+        self.publish_shootdown();
         Ok(())
     }
 

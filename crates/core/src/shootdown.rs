@@ -1,0 +1,132 @@
+//! Cross-hart privilege-cache shootdown.
+//!
+//! The paper's PCU is a per-core structure whose privilege caches front
+//! tables in *shared* trusted memory (§3.3, §4.3), so a real multi-core
+//! deployment needs a coherence contract the paper leaves to hardware:
+//! when any hart mutates a privilege table or executes the PCU fence
+//! (`pflh`), every other hart must flush its PCU caches **before its
+//! next commit** — the same obligation TLB shootdowns and per-core
+//! PKRU state impose on MPK-style systems.
+//!
+//! The contract is carried by a [`ShootdownCell`] shared by all harts:
+//! a publisher bumps the global *epoch*; each hart records the last
+//! epoch it has acknowledged. A hart with `acked < epoch` has a
+//! pending shootdown and flushes (then acks) at the top of its next
+//! instruction check — i.e. before the next instruction can commit
+//! against stale privileges. The epoch counter is sequentially
+//! consistent, which also orders the publisher's table writes (relaxed
+//! byte stores on the shared bus) before the flusher's refills.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Modeled cycles to re-warm one discarded privilege-cache entry after
+/// a shootdown (one trusted-memory refill, same cost class as the
+/// paper's PCU-miss latency).
+pub const FLUSH_CYCLES_PER_ENTRY: u64 = 2;
+
+/// The shared epoch/ack cell coordinating privilege-cache shootdowns
+/// between harts. One instance is shared (via `Arc`) by every PCU on
+/// the same bus.
+#[derive(Debug)]
+pub struct ShootdownCell {
+    /// Global coherence epoch, bumped by each publication.
+    epoch: AtomicU64,
+    /// Per-hart: last epoch this hart has flushed up to.
+    acks: Vec<AtomicU64>,
+}
+
+impl ShootdownCell {
+    /// A cell for `harts` harts, starting at epoch 0 with every hart
+    /// caught up.
+    pub fn new(harts: usize) -> ShootdownCell {
+        assert!(harts >= 1, "need at least one hart");
+        ShootdownCell {
+            epoch: AtomicU64::new(0),
+            acks: (0..harts).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of harts participating.
+    pub fn harts(&self) -> usize {
+        self.acks.len()
+    }
+
+    /// The current coherence epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Publish a shootdown from `hart`: advance the epoch and mark the
+    /// publisher itself caught up (it flushes its own caches locally as
+    /// part of the mutation). Returns the new epoch.
+    pub fn publish(&self, hart: usize) -> u64 {
+        let e = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.acks[hart].fetch_max(e, Ordering::SeqCst);
+        e
+    }
+
+    /// The epoch `hart` must catch up to, if it is behind.
+    pub fn pending(&self, hart: usize) -> Option<u64> {
+        let e = self.epoch.load(Ordering::SeqCst);
+        (self.acks[hart].load(Ordering::SeqCst) < e).then_some(e)
+    }
+
+    /// Record that `hart` has flushed up to `epoch`.
+    pub fn ack(&self, hart: usize, epoch: u64) {
+        self.acks[hart].fetch_max(epoch, Ordering::SeqCst);
+    }
+
+    /// The last epoch `hart` acknowledged.
+    pub fn acked(&self, hart: usize) -> u64 {
+        self.acks[hart].load(Ordering::SeqCst)
+    }
+
+    /// True when every hart has acknowledged `epoch` — the fence
+    /// completion condition.
+    pub fn complete(&self, epoch: u64) -> bool {
+        self.acks.iter().all(|a| a.load(Ordering::SeqCst) >= epoch)
+    }
+
+    /// True when every hart has caught up to the current epoch.
+    pub fn quiesced(&self) -> bool {
+        self.complete(self.epoch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_marks_publisher_caught_up() {
+        let c = ShootdownCell::new(2);
+        assert!(c.quiesced());
+        let e = c.publish(0);
+        assert_eq!(e, 1);
+        assert_eq!(c.pending(0), None, "publisher needs no flush");
+        assert_eq!(c.pending(1), Some(1));
+        assert!(!c.quiesced());
+        c.ack(1, 1);
+        assert_eq!(c.pending(1), None);
+        assert!(c.quiesced());
+    }
+
+    #[test]
+    fn epochs_accumulate_and_acks_are_monotone() {
+        let c = ShootdownCell::new(3);
+        c.publish(0);
+        c.publish(1);
+        assert_eq!(c.epoch(), 2);
+        // Hart 2 missed both; one flush at the latest epoch covers both.
+        assert_eq!(c.pending(2), Some(2));
+        c.ack(2, 2);
+        // A stale ack can never regress the recorded epoch.
+        c.ack(2, 1);
+        assert_eq!(c.acked(2), 2);
+        // Hart 0 acked epoch 1 implicitly, still owes epoch 2.
+        assert_eq!(c.pending(0), Some(2));
+        assert!(!c.complete(2));
+        c.ack(0, 2);
+        assert!(c.complete(2));
+    }
+}

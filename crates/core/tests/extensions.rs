@@ -536,9 +536,13 @@ fn trusted_stack_save_restore_preserves_pending_frames() {
     m.load_program(&prog);
 
     // Step until the guest signals from inside the cross-domain call.
-    while m.bus.value_log.is_empty() {
+    while m.bus.value_log().is_empty() {
         m.step();
-        assert!(m.bus.halted.is_none(), "halted early: {:?}", m.bus.halted);
+        assert!(
+            m.bus.halted().is_none(),
+            "halted early: {:?}",
+            m.bus.halted()
+        );
     }
     // Simulated thread switch: stash thread A's trusted stack, install
     // thread B's, run nothing, switch back (what domain-0 does, §5.2).

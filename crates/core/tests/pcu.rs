@@ -708,7 +708,7 @@ fn ext_events_report_gate_and_stack_activity() {
                 break;
             }
         }
-        if m.bus.halted.is_some() {
+        if m.bus.halted().is_some() {
             break;
         }
     }

@@ -46,8 +46,10 @@ mod config;
 mod image;
 pub mod layout;
 mod machine;
+pub mod smp;
 pub mod usr;
 
 pub use config::{GateTarget, KernelConfig, Mode, Role};
 pub use image::{build_kernel, KernelImage};
 pub use machine::{Platform, Sim, SimBuilder};
+pub use smp::{boot_smp, start_worker, SmpSim};

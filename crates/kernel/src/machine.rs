@@ -54,6 +54,9 @@ pub struct SimBuilder {
     pub timer_every: Option<u64>,
     /// Capacity of the trace-event ring; `None` disables tracing.
     pub trace_events: Option<usize>,
+    /// Harts on the shared bus. The booted [`Sim`] is hart 0; extra
+    /// harts are minted as workers by [`crate::smp::boot_smp`].
+    pub harts: usize,
 }
 
 impl SimBuilder {
@@ -66,7 +69,14 @@ impl SimBuilder {
             platform: Platform::Functional,
             timer_every: None,
             trace_events: None,
+            harts: 1,
         }
+    }
+
+    /// Put `n` harts on the shared bus (default 1).
+    pub fn harts(mut self, n: usize) -> SimBuilder {
+        self.harts = n;
+        self
     }
 
     /// Select the timing platform.
@@ -104,7 +114,12 @@ impl SimBuilder {
     /// region).
     pub fn boot(&self, user: &Program, entry2: Option<&str>) -> Sim {
         let img = build_kernel(&self.kernel);
-        let mut m = Machine::new(Pcu::new(self.pcu));
+        let bus = isa_sim::Bus::with_harts(
+            isa_sim::DEFAULT_RAM_BASE,
+            isa_sim::DEFAULT_RAM_SIZE,
+            self.harts,
+        );
+        let mut m = Machine::on_bus(Pcu::new(self.pcu), bus);
         m.timer_every = self.timer_every;
         if let Some(cap) = self.trace_events {
             let sink = isa_obs::TraceSink::ring(cap);
@@ -460,9 +475,10 @@ impl Sim {
         self.machine.cpu.csrs.read_raw(addr::CYCLE)
     }
 
-    /// Values the guest reported through the VALUE_LOG MMIO register.
-    pub fn values(&self) -> &[u64] {
-        &self.machine.bus.value_log
+    /// Values the guest reported through the VALUE_LOG MMIO register
+    /// (a snapshot: on a multi-hart bus all harts append to one log).
+    pub fn values(&self) -> Vec<u64> {
+        self.machine.bus.value_log()
     }
 
     /// Console output so far.

@@ -1,0 +1,104 @@
+//! SMP boot: hart 0 runs the kernel, the other harts run workers.
+//!
+//! The guest kernel is single-threaded (two tasks on one hart), so the
+//! multi-hart story mirrors early SMP firmware: hart 0 boots the full
+//! kernel via [`SimBuilder::boot`], and each secondary hart is *minted*
+//! as a bare worker that executes a routine from the user image against
+//! the same shared memory. Every worker gets
+//!
+//! * a [`Pcu::mirror`] of hart 0's PCU — same trusted-memory tables and
+//!   Table 2 registers, cold private caches;
+//! * its own trusted-stack carve (stacks are per-hart state, §4.2);
+//! * a per-hart call stack carved from the top of the user heap; and
+//! * a starting ISA domain, bound with [`Pcu::force_domain`]
+//!   (workers typically run in a restricted compute domain).
+//!
+//! The assembled [`isa_smp::Smp`] attaches all PCUs — hart 0's
+//! included — to one shootdown cell, so a table mutation by the kernel
+//! flushes worker privilege caches before their next commit.
+
+use isa_asm::Program;
+use isa_grid::{DomainId, Pcu};
+use isa_sim::Machine;
+use isa_smp::Smp;
+
+use crate::layout;
+use crate::machine::{Sim, SimBuilder};
+use crate::KernelImage;
+
+/// Bytes of trusted stack carved per hart (hart 0's kernel carve and
+/// each worker's carve are this size).
+pub const TSTACK_STRIDE: u64 = 0x1_0000;
+
+/// Bytes of user-heap call stack carved per worker hart.
+pub const WORKER_STACK_STRIDE: u64 = 0x1_0000;
+
+/// An SMP simulation: hart 0 runs the booted kernel, harts 1.. run
+/// `worker` bodies; all share one memory image and shootdown cell.
+pub struct SmpSim {
+    /// The interleavable multi-hart machine.
+    pub smp: Smp,
+    /// The kernel image metadata (symbols, gates, config).
+    pub kernel: KernelImage,
+}
+
+/// Mint a worker machine for `hart` of `sim`'s bus: mirror PCU, own
+/// trusted stack, own call stack, PC at `entry`, starting in `domain`.
+///
+/// # Panics
+///
+/// Panics if `hart` is 0 (that's the kernel), outside the bus, or the
+/// trusted-memory region cannot fit the hart's stack carve.
+pub fn start_worker(sim: &Sim, hart: usize, entry: u64, domain: DomainId) -> Machine<Pcu> {
+    assert!(hart >= 1, "hart 0 is the kernel");
+    let bus = sim.machine.bus.for_hart(hart);
+    let grid = sim.machine.ext.layout();
+    let mut pcu = sim.machine.ext.mirror();
+    let base = grid.tstack_base() + hart as u64 * TSTACK_STRIDE;
+    assert!(
+        base + TSTACK_STRIDE <= grid.tmem_end(),
+        "trusted memory too small for hart {hart}'s stack"
+    );
+    pcu.set_trusted_stack(base, base + TSTACK_STRIDE);
+    pcu.force_domain(domain);
+    let mut m = Machine::on_bus(pcu, bus);
+    m.cpu.pc = entry;
+    // Stacks grow down from the heap top: worker h owns slot h.
+    let sp = layout::USER_HEAP + layout::USER_HEAP_SIZE - hart as u64 * WORKER_STACK_STRIDE - 0x100;
+    m.cpu.set_reg(2, sp);
+    m
+}
+
+/// Boot an SMP simulation: hart 0 boots the kernel with `user` as task
+/// 0, and every other hart of the builder's bus starts at the `worker`
+/// label of `user` in `worker_domain`.
+///
+/// Workers execute in M-mode at physical addresses (the user image is
+/// identity-mapped), so `worker_domain` only bites once the worker
+/// drops privilege; pass [`DomainId::INIT`] for unrestricted compute.
+///
+/// # Panics
+///
+/// Panics if the builder has fewer than 2 harts or `worker` is not a
+/// symbol of `user`.
+pub fn boot_smp(
+    builder: &SimBuilder,
+    user: &Program,
+    worker: &str,
+    worker_domain: DomainId,
+) -> SmpSim {
+    assert!(builder.harts >= 2, "boot_smp needs secondary harts");
+    let sim = builder.boot(user, None);
+    let entry = user.symbol(worker);
+    let n = sim.machine.bus.harts();
+    let mut machines = Vec::with_capacity(n);
+    for h in 1..n {
+        machines.push(start_worker(&sim, h, entry, worker_domain));
+    }
+    let Sim { machine, kernel } = sim;
+    machines.insert(0, machine);
+    SmpSim {
+        smp: Smp::from_machines(machines),
+        kernel,
+    }
+}

@@ -176,6 +176,9 @@ pub struct TimingCounters {
     pub pcu_stall: u64,
     /// Cycles spent in gate instructions.
     pub gate_cycles: u64,
+    /// Cycles lost refilling privilege caches after cross-hart
+    /// shootdowns.
+    pub shootdown_stall: u64,
 }
 
 impl ToJson for TimingCounters {
@@ -191,6 +194,38 @@ impl ToJson for TimingCounters {
             ("walk_stall", Json::U64(self.walk_stall)),
             ("pcu_stall", Json::U64(self.pcu_stall)),
             ("gate_cycles", Json::U64(self.gate_cycles)),
+            ("shootdown_stall", Json::U64(self.shootdown_stall)),
+        ])
+    }
+}
+
+/// SMP coherence tallies: hart count, privilege-cache shootdown traffic
+/// and cost, and LR/SC reservation breaks. All zero on single-hart runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmpCounters {
+    /// Harts that participated in the run.
+    pub harts: u64,
+    /// Shootdowns published (table mutations / PCU fences).
+    pub shootdowns: u64,
+    /// Shootdowns taken: remote flushes performed before next commit.
+    pub shootdown_acks: u64,
+    /// Live privilege-cache entries discarded by shootdown flushes.
+    pub flushed_entries: u64,
+    /// Modeled cycles spent re-warming caches after shootdowns.
+    pub flush_cycles: u64,
+    /// LR/SC reservations broken by remote stores/AMOs.
+    pub reservation_breaks: u64,
+}
+
+impl ToJson for SmpCounters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("harts", Json::U64(self.harts)),
+            ("shootdowns", Json::U64(self.shootdowns)),
+            ("shootdown_acks", Json::U64(self.shootdown_acks)),
+            ("flushed_entries", Json::U64(self.flushed_entries)),
+            ("flush_cycles", Json::U64(self.flush_cycles)),
+            ("reservation_breaks", Json::U64(self.reservation_breaks)),
         ])
     }
 }
@@ -235,6 +270,8 @@ pub struct Counters {
     pub timing: TimingCounters,
     /// Whole-run bookkeeping.
     pub run: RunCounters,
+    /// SMP coherence tallies (zero on single-hart runs).
+    pub smp: SmpCounters,
 }
 
 impl Counters {
@@ -265,10 +302,53 @@ impl Counters {
         out.push(("timing.walk_stall".into(), self.timing.walk_stall));
         out.push(("timing.pcu_stall".into(), self.timing.pcu_stall));
         out.push(("timing.gate_cycles".into(), self.timing.gate_cycles));
+        out.push(("timing.shootdown_stall".into(), self.timing.shootdown_stall));
         out.push(("run.steps".into(), self.run.steps));
         out.push(("run.traps".into(), self.run.traps));
         out.push(("run.trace_dropped".into(), self.run.trace_dropped));
+        out.push(("smp.harts".into(), self.smp.harts));
+        out.push(("smp.shootdowns".into(), self.smp.shootdowns));
+        out.push(("smp.shootdown_acks".into(), self.smp.shootdown_acks));
+        out.push(("smp.flushed_entries".into(), self.smp.flushed_entries));
+        out.push(("smp.flush_cycles".into(), self.smp.flush_cycles));
+        out.push(("smp.reservation_breaks".into(), self.smp.reservation_breaks));
         out
+    }
+
+    /// Add another snapshot into this one, field by field — the
+    /// aggregation primitive for multi-hart runs. `smp.harts` is summed
+    /// like everything else, so seed it on exactly one of the inputs
+    /// (or overwrite it after merging).
+    pub fn merge(&mut self, other: &Counters) {
+        self.caches.merge(&other.caches);
+        self.checks.inst += other.checks.inst;
+        self.checks.csr += other.checks.csr;
+        self.checks.faults += other.checks.faults;
+        self.checks.tmem_denials += other.checks.tmem_denials;
+        self.gates.calls += other.gates.calls;
+        self.gates.returns += other.gates.returns;
+        self.gates.prefetches += other.gates.prefetches;
+        self.gates.flushes += other.gates.flushes;
+        self.timing.events += other.timing.events;
+        self.timing.cycles += other.timing.cycles;
+        self.timing.fetch_stall += other.timing.fetch_stall;
+        self.timing.data_stall += other.timing.data_stall;
+        self.timing.branch_stall += other.timing.branch_stall;
+        self.timing.serialize_stall += other.timing.serialize_stall;
+        self.timing.trap_stall += other.timing.trap_stall;
+        self.timing.walk_stall += other.timing.walk_stall;
+        self.timing.pcu_stall += other.timing.pcu_stall;
+        self.timing.gate_cycles += other.timing.gate_cycles;
+        self.timing.shootdown_stall += other.timing.shootdown_stall;
+        self.run.steps += other.run.steps;
+        self.run.traps += other.run.traps;
+        self.run.trace_dropped += other.run.trace_dropped;
+        self.smp.harts += other.smp.harts;
+        self.smp.shootdowns += other.smp.shootdowns;
+        self.smp.shootdown_acks += other.smp.shootdown_acks;
+        self.smp.flushed_entries += other.smp.flushed_entries;
+        self.smp.flush_cycles += other.smp.flush_cycles;
+        self.smp.reservation_breaks += other.smp.reservation_breaks;
     }
 
     /// Look up one counter by its dotted registry name.
@@ -288,6 +368,7 @@ impl ToJson for Counters {
             ("gates", self.gates.to_json()),
             ("timing", self.timing.to_json()),
             ("run", self.run.to_json()),
+            ("smp", self.smp.to_json()),
         ])
     }
 }
@@ -350,6 +431,38 @@ mod tests {
         };
         let t = b.total();
         assert_eq!((t.hits, t.misses, t.flushes), (5, 2, 3));
+    }
+
+    #[test]
+    fn merge_sums_every_section() {
+        let mut a = Counters::default();
+        a.caches.inst.hits = 1;
+        a.run.steps = 10;
+        a.smp.shootdowns = 2;
+        let mut b = Counters::default();
+        b.caches.inst.hits = 2;
+        b.run.steps = 5;
+        b.smp.shootdowns = 1;
+        b.smp.reservation_breaks = 4;
+        b.timing.shootdown_stall = 8;
+        a.merge(&b);
+        assert_eq!(a.get("caches.inst.hits"), Some(3));
+        assert_eq!(a.get("run.steps"), Some(15));
+        assert_eq!(a.get("smp.shootdowns"), Some(3));
+        assert_eq!(a.get("smp.reservation_breaks"), Some(4));
+        assert_eq!(a.get("timing.shootdown_stall"), Some(8));
+    }
+
+    #[test]
+    fn smp_block_is_in_entries_and_json() {
+        let mut c = Counters::default();
+        c.smp.harts = 4;
+        c.smp.flush_cycles = 77;
+        assert_eq!(c.get("smp.harts"), Some(4));
+        assert_eq!(c.get("smp.flush_cycles"), Some(77));
+        let s = c.to_json().to_string();
+        assert!(s.contains("\"smp\""));
+        assert!(s.contains("\"flush_cycles\":77"));
     }
 
     #[test]

@@ -143,6 +143,24 @@ pub enum TraceEvent {
         /// Whether the access was a write.
         write: bool,
     },
+    /// A hart published a privilege-cache shootdown (privilege-table
+    /// mutation or PCU fence): remote harts must flush before their
+    /// next commit.
+    Shootdown {
+        /// Publishing hart.
+        hart: u64,
+        /// Coherence epoch the publication advanced to.
+        epoch: u64,
+    },
+    /// A hart honored a pending shootdown by flushing its PCU caches.
+    ShootdownAck {
+        /// Acknowledging hart.
+        hart: u64,
+        /// Coherence epoch the hart caught up to.
+        epoch: u64,
+        /// Live privilege-cache entries discarded by the flush.
+        discarded: u64,
+    },
 }
 
 impl TraceEvent {
@@ -158,6 +176,8 @@ impl TraceEvent {
             TraceEvent::DomainSwitch { .. } => "domain_switch",
             TraceEvent::Trap { .. } => "trap",
             TraceEvent::TmemFence { .. } => "tmem_fence",
+            TraceEvent::Shootdown { .. } => "shootdown",
+            TraceEvent::ShootdownAck { .. } => "shootdown_ack",
         }
     }
 }
@@ -231,6 +251,19 @@ impl ToJson for TraceEvent {
             TraceEvent::TmemFence { paddr, write } => {
                 pairs.push(("paddr".into(), Json::Str(format!("{paddr:#x}"))));
                 pairs.push(("write".into(), Json::Bool(write)));
+            }
+            TraceEvent::Shootdown { hart, epoch } => {
+                pairs.push(("hart".into(), Json::U64(hart)));
+                pairs.push(("epoch".into(), Json::U64(epoch)));
+            }
+            TraceEvent::ShootdownAck {
+                hart,
+                epoch,
+                discarded,
+            } => {
+                pairs.push(("hart".into(), Json::U64(hart)));
+                pairs.push(("epoch".into(), Json::U64(epoch)));
+                pairs.push(("discarded".into(), Json::U64(discarded)));
             }
         }
         Json::Obj(pairs)

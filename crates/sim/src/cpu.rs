@@ -17,7 +17,11 @@ pub struct CpuState {
     pub priv_level: Priv,
     /// CSR file.
     pub csrs: CsrFile,
-    /// LR/SC reservation (physical address), if any.
+    /// LR/SC reservation, if any: the *cache-line-aligned* physical
+    /// address of the reserved line (see
+    /// [`crate::mem::RESERVATION_LINE`]). Cleared on traps, on SC
+    /// retirement, and — through the shared bus — by any intervening
+    /// remote store or AMO to the line.
     pub reservation: Option<u64>,
 }
 
@@ -75,6 +79,9 @@ pub struct ExtEvents {
     pub tstack_ops: u8,
     /// Memory reads issued by a `pfch` prefetch.
     pub prefetch_reads: u8,
+    /// Privilege-cache entries discarded by a cross-hart shootdown
+    /// taken before this instruction committed (SMP coherence).
+    pub shootdown_flushed: u16,
 }
 
 impl ExtEvents {
@@ -327,10 +334,21 @@ pub struct Machine<E: Extension> {
 impl<E: Extension> Machine<E> {
     /// Build a machine with default RAM, PC at the RAM base.
     pub fn new(ext: E) -> Machine<E> {
-        let bus = Bus::default();
+        Machine::on_bus(ext, Bus::default())
+    }
+
+    /// Build a machine on an existing — possibly shared — bus handle.
+    ///
+    /// The machine acts as the handle's hart: `mhartid` reads back the
+    /// hart id, MMIO halt is per-hart, and LR/SC reservations belong to
+    /// it. This is the SMP entry point: mint one handle per hart with
+    /// [`Bus::for_hart`] and build one machine on each.
+    pub fn on_bus(ext: E, bus: Bus) -> Machine<E> {
         let entry = bus.ram_base();
+        let mut cpu = CpuState::new(entry);
+        cpu.csrs.set_hartid(bus.hart() as u64);
         Machine {
-            cpu: CpuState::new(entry),
+            cpu,
             bus,
             ext,
             timing: Box::new(NullTiming),
@@ -339,6 +357,11 @@ impl<E: Extension> Machine<E> {
             trap_counts: std::collections::BTreeMap::new(),
             trace: isa_obs::TraceSink::off(),
         }
+    }
+
+    /// The hart id this machine executes as.
+    pub fn hart(&self) -> usize {
+        self.bus.hart()
     }
 
     /// Replace the timing model.
@@ -373,7 +396,7 @@ impl<E: Extension> Machine<E> {
     pub fn run(&mut self, max_steps: u64) -> Exit {
         for _ in 0..max_steps {
             self.step();
-            if let Some(code) = self.bus.halted {
+            if let Some(code) = self.bus.halted() {
                 return Exit::Halted(code);
             }
         }
@@ -649,27 +672,66 @@ impl<E: Extension> Machine<E> {
             LrW | LrD => {
                 let len = if d.kind == LrW { 4 } else { 8 };
                 let vaddr = rs1;
-                let v = self.mem_load(vaddr, len, ev)?;
+                Self::check_aligned(vaddr, len, false)?;
+                let ctx = self.cpu.walk_ctx(self.effective_data_priv());
+                let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Read)?;
+                ev.walk_reads += tr.walk_reads;
+                if tr.walk_reads > 0 {
+                    self.cpu.csrs.count_walk();
+                }
+                self.ext.check_phys(&self.cpu, tr.paddr, len, false)?;
+                // Load + line reservation, atomic w.r.t. remote stores.
+                let v = self
+                    .bus
+                    .lr_load(tr.paddr, len)
+                    .ok_or(Exception::LoadAccessFault(vaddr))?;
+                ev.mem = Some(MemAccess {
+                    vaddr,
+                    paddr: tr.paddr,
+                    len,
+                    write: false,
+                });
                 let v = if d.kind == LrW {
                     v as i32 as i64 as u64
                 } else {
                     v
                 };
                 self.cpu.set_reg(d.rd, v);
-                self.cpu.reservation = Some(ev.mem.map(|m| m.paddr).unwrap_or(vaddr));
+                self.cpu.reservation = Some(crate::mem::reservation_line(tr.paddr));
             }
             ScW | ScD => {
                 let len = if d.kind == ScW { 4 } else { 8 };
                 let vaddr = rs1;
+                Self::check_aligned(vaddr, len, true)?;
                 // Translate first so a bad SC still faults.
-                let ctx = self.cpu.walk_ctx(self.cpu.priv_level);
+                let ctx = self.cpu.walk_ctx(self.effective_data_priv());
                 let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Write)?;
-                if self.cpu.reservation == Some(tr.paddr) {
-                    self.store(vaddr, len, rs2, ev)?;
-                    self.cpu.set_reg(d.rd, 0);
-                } else {
-                    self.cpu.set_reg(d.rd, 1);
+                ev.walk_reads += tr.walk_reads;
+                if tr.walk_reads > 0 {
+                    self.cpu.csrs.count_walk();
                 }
+                self.ext.check_phys(&self.cpu, tr.paddr, len, true)?;
+                self.wp_check(tr.paddr, len)?;
+                // Success needs both the architectural reservation and
+                // the bus-side one (which remote stores may have broken).
+                let line = crate::mem::reservation_line(tr.paddr);
+                let ok = if self.cpu.reservation == Some(line) {
+                    self.bus
+                        .sc_store(tr.paddr, len, rs2)
+                        .ok_or(Exception::StoreAccessFault(vaddr))?
+                } else {
+                    self.bus.clear_reservation();
+                    false
+                };
+                if ok {
+                    ev.mem = Some(MemAccess {
+                        vaddr,
+                        paddr: tr.paddr,
+                        len,
+                        write: true,
+                    });
+                }
+                self.cpu.set_reg(d.rd, u64::from(!ok));
                 self.cpu.reservation = None;
             }
             k if k.is_amo() => {
@@ -679,22 +741,47 @@ impl<E: Extension> Machine<E> {
                     8
                 };
                 let vaddr = rs1;
-                let old = self.amo_load(vaddr, len, ev)?;
+                Self::check_aligned(vaddr, len, true)?;
+                // AMOs translate with Write access rights per the spec.
+                let ctx = self.cpu.walk_ctx(self.effective_data_priv());
+                let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Write)?;
+                ev.walk_reads += tr.walk_reads;
+                if tr.walk_reads > 0 {
+                    self.cpu.csrs.count_walk();
+                }
+                self.ext.check_phys(&self.cpu, tr.paddr, len, true)?;
+                self.wp_check(tr.paddr, len)?;
+                // One locked read-modify-write on the shared bus.
+                let old = self
+                    .bus
+                    .amo_rmw(tr.paddr, len, |old| {
+                        let old_sx = if len == 4 {
+                            old as i32 as i64 as u64
+                        } else {
+                            old
+                        };
+                        match k {
+                            AmoswapW | AmoswapD => rs2,
+                            AmoaddW => (old_sx as i64).wrapping_add(rs2 as i64) as u64,
+                            AmoaddD => old.wrapping_add(rs2),
+                            AmoxorW | AmoxorD => old_sx ^ rs2,
+                            AmoandW | AmoandD => old_sx & rs2,
+                            AmoorW | AmoorD => old_sx | rs2,
+                            _ => unreachable!(),
+                        }
+                    })
+                    .ok_or(Exception::StoreAccessFault(vaddr))?;
                 let old_sx = if len == 4 {
                     old as i32 as i64 as u64
                 } else {
                     old
                 };
-                let new = match k {
-                    AmoswapW | AmoswapD => rs2,
-                    AmoaddW => (old_sx as i64).wrapping_add(rs2 as i64) as u64,
-                    AmoaddD => old.wrapping_add(rs2),
-                    AmoxorW | AmoxorD => old_sx ^ rs2,
-                    AmoandW | AmoandD => old_sx & rs2,
-                    AmoorW | AmoorD => old_sx | rs2,
-                    _ => unreachable!(),
-                };
-                self.store(vaddr, len, new, ev)?;
+                ev.mem = Some(MemAccess {
+                    vaddr,
+                    paddr: tr.paddr,
+                    len,
+                    write: true,
+                });
                 self.cpu.set_reg(d.rd, old_sx);
             }
             Fence | FenceI | SfenceVma => {
@@ -829,19 +916,6 @@ impl<E: Extension> Machine<E> {
         Ok(v)
     }
 
-    /// AMO read half: translated with Write access rights per the spec.
-    fn amo_load(&mut self, vaddr: u64, len: u8, ev: &mut Retired) -> Result<u64, Exception> {
-        Self::check_aligned(vaddr, len, true)?;
-        let ctx = self.cpu.walk_ctx(self.effective_data_priv());
-        let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Write)?;
-        ev.walk_reads += tr.walk_reads;
-        self.ext.check_phys(&self.cpu, tr.paddr, len, true)?;
-        self.wp_check(tr.paddr, len)?;
-        self.bus
-            .load(tr.paddr, len)
-            .ok_or(Exception::StoreAccessFault(vaddr))
-    }
-
     fn store(&mut self, vaddr: u64, len: u8, val: u64, ev: &mut Retired) -> Result<(), Exception> {
         Self::check_aligned(vaddr, len, true)?;
         let ctx = self.cpu.walk_ctx(self.effective_data_priv());
@@ -922,6 +996,10 @@ impl<E: Extension> Machine<E> {
     pub fn take_trap(&mut self, e: Exception) {
         *self.trap_counts.entry(e.cause()).or_insert(0) += 1;
         self.cpu.csrs.count_trap();
+        // Traps drop any live LR/SC reservation (both the architectural
+        // copy and the bus-side one).
+        self.cpu.reservation = None;
+        self.bus.clear_reservation();
         let cause = e.cause();
         let deleg = self.cpu.csrs.read_raw(addr::MEDELEG);
         let to_s = self.cpu.priv_level != Priv::M && cause < 64 && deleg & (1 << cause) != 0;
@@ -1008,6 +1086,8 @@ impl<E: Extension> Machine<E> {
     fn take_interrupt(&mut self, irq: Interrupt) {
         *self.trap_counts.entry(irq.cause()).or_insert(0) += 1;
         self.cpu.csrs.count_trap();
+        self.cpu.reservation = None;
+        self.bus.clear_reservation();
         let mideleg = self.cpu.csrs.read_raw(addr::MIDELEG);
         let to_s = mideleg & irq.mask() != 0;
         let pc = self.cpu.pc;

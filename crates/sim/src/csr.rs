@@ -233,6 +233,13 @@ impl CsrFile {
         }
     }
 
+    /// Host-side setter for the read-only `mhartid` register (guest
+    /// writes are ignored by [`CsrFile::write_raw`]); used when a
+    /// machine is built on a shared multi-hart bus.
+    pub fn set_hartid(&mut self, hart: u64) {
+        self.regs[addr::MHARTID as usize] = hart;
+    }
+
     /// Lowest privilege level allowed to access `csr` (encoded in the
     /// address per the privileged spec, bits 9:8).
     pub fn required_priv(csr: u16) -> Priv {

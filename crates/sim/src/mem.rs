@@ -1,10 +1,25 @@
 //! Physical memory bus: RAM plus a few MMIO devices.
+//!
+//! Since the SMP refactor the [`Bus`] is a cheap-to-clone *handle*: all
+//! state (RAM, MMIO devices, LR/SC reservations) lives behind an
+//! [`Arc`], so N `Machine`s — one per hart — can execute against one
+//! memory image. Each handle carries the hart id it acts as, which
+//! routes per-hart MMIO (the halt latch) and LR/SC reservation
+//! ownership. RAM bytes are relaxed atomics, MMIO devices sit behind a
+//! mutex, and LR/SC/AMO read-modify-write sequences serialize on a
+//! dedicated lock so remote stores break reservations exactly like a
+//! coherence protocol would.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// MMIO addresses exposed by the bus.
 pub mod mmio {
     /// Byte writes here appear on the console (UART transmit analogue).
     pub const CONSOLE_TX: u64 = 0x1000_0000;
-    /// A 64-bit write here halts the machine; the value is the exit code.
+    /// A 64-bit write here halts the *writing hart*; the value is the
+    /// exit code. Other harts keep running.
     pub const HALT: u64 = 0x1000_1000;
     /// 64-bit writes here are appended to the host-visible value log —
     /// guest benchmarks use it to report cycle measurements.
@@ -15,21 +30,71 @@ pub mod mmio {
 pub const DEFAULT_RAM_BASE: u64 = 0x8000_0000;
 /// Default RAM size: 64 MiB.
 pub const DEFAULT_RAM_SIZE: u64 = 64 << 20;
+/// LR/SC reservation granularity: one 64-byte cache line, matching the
+/// line size the privilege caches and timing model assume.
+pub const RESERVATION_LINE: u64 = 64;
 
-/// The physical memory bus.
+/// Cache-line-align a physical address down to its reservation line.
+#[inline]
+pub fn reservation_line(paddr: u64) -> u64 {
+    paddr & !(RESERVATION_LINE - 1)
+}
+
+/// MMIO device state (shared across harts, mutex-guarded).
+#[derive(Debug)]
+struct Mmio {
+    /// Console output accumulated from [`mmio::CONSOLE_TX`] writes.
+    console: Vec<u8>,
+    /// Values reported by the guest through [`mmio::VALUE_LOG`].
+    value_log: Vec<u64>,
+}
+
+/// The shared bus image behind every [`Bus`] handle.
+struct BusInner {
+    ram_base: u64,
+    /// RAM as relaxed atomic bytes: plain loads/stores race benignly
+    /// (they model unordered memory), while LR/SC/AMO go through
+    /// `amo_lock` for atomicity.
+    ram: Box<[AtomicU8]>,
+    mmio: Mutex<Mmio>,
+    /// Per-hart LR reservation: `line | 1` when valid, `0` when clear.
+    res: Vec<AtomicU64>,
+    /// Bit per hart with a live reservation — lets the store fast path
+    /// skip the reservation scan entirely.
+    res_mask: AtomicU64,
+    /// Reservations broken by remote stores/AMOs (SMP counter).
+    res_breaks: AtomicU64,
+    /// Serializes LR/SC/AMO read-modify-write sequences across harts.
+    amo_lock: Mutex<()>,
+    /// Per-hart exit codes, valid once the matching `halted_mask` bit
+    /// is set. Lock-free because every hart polls its latch after
+    /// every step — a mutex here would serialize the whole machine.
+    halt_codes: Vec<AtomicU64>,
+    /// Bit per halted hart; set with release ordering after the code.
+    halted_mask: AtomicU64,
+}
+
+/// A per-hart handle onto the shared physical memory bus.
 ///
+/// Cloning is cheap and shares the underlying memory image; use
+/// [`Bus::for_hart`] to mint a handle acting as a different hart.
 /// Accesses outside RAM and the MMIO window return `None`, which the CPU
 /// turns into an access fault with the correct cause for the access type.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Bus {
-    ram_base: u64,
-    ram: Vec<u8>,
-    /// Console output accumulated from [`mmio::CONSOLE_TX`] writes.
-    pub console: Vec<u8>,
-    /// Values reported by the guest through [`mmio::VALUE_LOG`].
-    pub value_log: Vec<u64>,
-    /// Exit code from an [`mmio::HALT`] write, once the guest halts.
-    pub halted: Option<u64>,
+    inner: Arc<BusInner>,
+    hart: usize,
+}
+
+impl fmt::Debug for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bus")
+            .field("ram_base", &self.inner.ram_base)
+            .field("ram_size", &self.inner.ram.len())
+            .field("hart", &self.hart)
+            .field("harts", &self.inner.res.len())
+            .finish()
+    }
 }
 
 impl Default for Bus {
@@ -38,48 +103,104 @@ impl Default for Bus {
     }
 }
 
+/// Allocate `size` zeroed atomic bytes without touching each one.
+fn zeroed_ram(size: usize) -> Box<[AtomicU8]> {
+    let raw = Box::into_raw(vec![0u8; size].into_boxed_slice());
+    // SAFETY: `AtomicU8` is guaranteed to have the same in-memory
+    // representation (size and alignment) as `u8`, and the slice
+    // metadata is unchanged by the cast.
+    unsafe { Box::from_raw(raw as *mut [AtomicU8]) }
+}
+
 impl Bus {
-    /// A bus with `size` bytes of RAM at `base`.
+    /// A single-hart bus with `size` bytes of RAM at `base`.
     pub fn new(base: u64, size: u64) -> Bus {
+        Bus::with_harts(base, size, 1)
+    }
+
+    /// A bus shared by `harts` harts (1..=64); the returned handle acts
+    /// as hart 0.
+    pub fn with_harts(base: u64, size: u64, harts: usize) -> Bus {
+        assert!(
+            (1..=64).contains(&harts),
+            "hart count must be in 1..=64, got {harts}"
+        );
         Bus {
-            ram_base: base,
-            ram: vec![0; size as usize],
-            console: Vec::new(),
-            value_log: Vec::new(),
-            halted: None,
+            inner: Arc::new(BusInner {
+                ram_base: base,
+                ram: zeroed_ram(size as usize),
+                mmio: Mutex::new(Mmio {
+                    console: Vec::new(),
+                    value_log: Vec::new(),
+                }),
+                res: (0..harts).map(|_| AtomicU64::new(0)).collect(),
+                res_mask: AtomicU64::new(0),
+                res_breaks: AtomicU64::new(0),
+                amo_lock: Mutex::new(()),
+                halt_codes: (0..harts).map(|_| AtomicU64::new(0)).collect(),
+                halted_mask: AtomicU64::new(0),
+            }),
+            hart: 0,
         }
+    }
+
+    /// A handle onto the same memory image acting as `hart`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hart` is outside the bus's configured hart count.
+    pub fn for_hart(&self, hart: usize) -> Bus {
+        assert!(
+            hart < self.harts(),
+            "hart {hart} out of range (bus has {} harts)",
+            self.harts()
+        );
+        Bus {
+            inner: Arc::clone(&self.inner),
+            hart,
+        }
+    }
+
+    /// The hart this handle acts as.
+    pub fn hart(&self) -> usize {
+        self.hart
+    }
+
+    /// Number of harts sharing this bus.
+    pub fn harts(&self) -> usize {
+        self.inner.res.len()
     }
 
     /// RAM base address.
     pub fn ram_base(&self) -> u64 {
-        self.ram_base
+        self.inner.ram_base
     }
 
     /// RAM size in bytes.
     pub fn ram_size(&self) -> u64 {
-        self.ram.len() as u64
+        self.inner.ram.len() as u64
     }
 
     /// True if `[paddr, paddr+len)` lies entirely in RAM.
     pub fn in_ram(&self, paddr: u64, len: u64) -> bool {
-        paddr >= self.ram_base
+        paddr >= self.inner.ram_base
             && paddr
                 .checked_add(len)
-                .is_some_and(|end| end <= self.ram_base + self.ram.len() as u64)
+                .is_some_and(|end| end <= self.inner.ram_base + self.inner.ram.len() as u64)
     }
 
     #[inline]
     fn ram_index(&self, paddr: u64) -> usize {
-        (paddr - self.ram_base) as usize
+        (paddr - self.inner.ram_base) as usize
     }
 
     /// Load `len` (1/2/4/8) bytes, zero-extended. `None` = access fault.
-    pub fn load(&mut self, paddr: u64, len: u8) -> Option<u64> {
+    pub fn load(&self, paddr: u64, len: u8) -> Option<u64> {
         if self.in_ram(paddr, len as u64) {
             let i = self.ram_index(paddr);
             let mut v: u64 = 0;
             for k in 0..len as usize {
-                v |= (self.ram[i + k] as u64) << (8 * k);
+                v |= (self.inner.ram[i + k].load(Ordering::Relaxed) as u64) << (8 * k);
             }
             return Some(v);
         }
@@ -91,25 +212,34 @@ impl Bus {
     }
 
     /// Store the low `len` bytes of `val`. `None` = access fault.
-    pub fn store(&mut self, paddr: u64, len: u8, val: u64) -> Option<()> {
+    ///
+    /// A store that lands on another hart's reserved line breaks that
+    /// reservation (its pending SC will fail), mirroring real cache
+    /// coherence.
+    pub fn store(&self, paddr: u64, len: u8, val: u64) -> Option<()> {
         if self.in_ram(paddr, len as u64) {
             let i = self.ram_index(paddr);
             for k in 0..len as usize {
-                self.ram[i + k] = (val >> (8 * k)) as u8;
+                self.inner.ram[i + k].store((val >> (8 * k)) as u8, Ordering::Relaxed);
             }
+            self.break_remote_reservations(paddr, len as u64);
             return Some(());
         }
+        if paddr == mmio::HALT {
+            self.inner.halt_codes[self.hart].store(val, Ordering::Relaxed);
+            self.inner
+                .halted_mask
+                .fetch_or(1u64 << self.hart, Ordering::Release);
+            return Some(());
+        }
+        let mut m = self.inner.mmio.lock().expect("mmio lock");
         match paddr {
             mmio::CONSOLE_TX => {
-                self.console.push(val as u8);
-                Some(())
-            }
-            mmio::HALT => {
-                self.halted = Some(val);
+                m.console.push(val as u8);
                 Some(())
             }
             mmio::VALUE_LOG => {
-                self.value_log.push(val);
+                m.value_log.push(val);
                 Some(())
             }
             _ => None,
@@ -121,14 +251,19 @@ impl Bus {
     /// # Panics
     ///
     /// Panics if the range is outside RAM.
-    pub fn write_bytes(&mut self, paddr: u64, bytes: &[u8]) {
+    pub fn write_bytes(&self, paddr: u64, bytes: &[u8]) {
         assert!(
             self.in_ram(paddr, bytes.len() as u64),
             "write_bytes outside RAM: {paddr:#x}+{}",
             bytes.len()
         );
         let i = self.ram_index(paddr);
-        self.ram[i..i + bytes.len()].copy_from_slice(bytes);
+        for (k, b) in bytes.iter().enumerate() {
+            self.inner.ram[i + k].store(*b, Ordering::Relaxed);
+        }
+        if !bytes.is_empty() {
+            self.break_remote_reservations(paddr, bytes.len() as u64);
+        }
     }
 
     /// Read a byte slice from RAM (host-side inspection).
@@ -136,10 +271,12 @@ impl Bus {
     /// # Panics
     ///
     /// Panics if the range is outside RAM.
-    pub fn read_bytes(&self, paddr: u64, len: usize) -> &[u8] {
+    pub fn read_bytes(&self, paddr: u64, len: usize) -> Vec<u8> {
         assert!(self.in_ram(paddr, len as u64), "read_bytes outside RAM");
         let i = self.ram_index(paddr);
-        &self.ram[i..i + len]
+        (0..len)
+            .map(|k| self.inner.ram[i + k].load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Host-side 64-bit read from RAM.
@@ -148,13 +285,137 @@ impl Bus {
     }
 
     /// Host-side 64-bit write to RAM.
-    pub fn write_u64(&mut self, paddr: u64, val: u64) {
+    pub fn write_u64(&self, paddr: u64, val: u64) {
         self.write_bytes(paddr, &val.to_le_bytes());
     }
 
     /// Console output decoded as UTF-8 (lossy).
     pub fn console_string(&self) -> String {
-        String::from_utf8_lossy(&self.console).into_owned()
+        let m = self.inner.mmio.lock().expect("mmio lock");
+        String::from_utf8_lossy(&m.console).into_owned()
+    }
+
+    /// Snapshot of the guest-reported value log.
+    pub fn value_log(&self) -> Vec<u64> {
+        self.inner.mmio.lock().expect("mmio lock").value_log.clone()
+    }
+
+    /// Exit code of *this* hart, once it has written [`mmio::HALT`].
+    /// Lock-free: the run loop polls this after every step.
+    #[inline]
+    pub fn halted(&self) -> Option<u64> {
+        self.halted_of(self.hart)
+    }
+
+    /// Exit code of an arbitrary hart.
+    #[inline]
+    pub fn halted_of(&self, hart: usize) -> Option<u64> {
+        if self.inner.halted_mask.load(Ordering::Acquire) & (1u64 << hart) != 0 {
+            Some(self.inner.halt_codes[hart].load(Ordering::Relaxed))
+        } else {
+            None
+        }
+    }
+
+    /// True once every hart has halted.
+    pub fn all_halted(&self) -> bool {
+        let all = u64::MAX >> (64 - self.harts());
+        self.inner.halted_mask.load(Ordering::Acquire) & all == all
+    }
+
+    // ---- LR/SC/AMO --------------------------------------------------
+
+    /// LR: load `len` bytes and acquire a reservation on the enclosing
+    /// cache line for this hart, atomically with respect to remote
+    /// stores. `None` = access fault (no reservation is acquired).
+    pub fn lr_load(&self, paddr: u64, len: u8) -> Option<u64> {
+        let _g = self.inner.amo_lock.lock().expect("amo lock");
+        let v = self.load(paddr, len)?;
+        self.inner.res[self.hart].store(reservation_line(paddr) | 1, Ordering::SeqCst);
+        self.inner
+            .res_mask
+            .fetch_or(1u64 << self.hart, Ordering::SeqCst);
+        Some(v)
+    }
+
+    /// SC: store `len` bytes iff this hart still holds a reservation on
+    /// the line containing `paddr`. Returns `Some(true)` on success,
+    /// `Some(false)` if the reservation was lost (or never matched), and
+    /// `None` on access fault. The reservation is consumed either way.
+    pub fn sc_store(&self, paddr: u64, len: u8, val: u64) -> Option<bool> {
+        let _g = self.inner.amo_lock.lock().expect("amo lock");
+        let want = reservation_line(paddr) | 1;
+        let held = self.inner.res[self.hart].load(Ordering::SeqCst) == want;
+        self.clear_reservation();
+        if !held {
+            return Some(false);
+        }
+        self.store(paddr, len, val)?;
+        Some(true)
+    }
+
+    /// AMO: atomically read `len` bytes, apply `f`, and write the
+    /// result back, breaking remote reservations on the line. Returns
+    /// the *old* value, or `None` on access fault.
+    pub fn amo_rmw(&self, paddr: u64, len: u8, f: impl FnOnce(u64) -> u64) -> Option<u64> {
+        let _g = self.inner.amo_lock.lock().expect("amo lock");
+        let old = self.load(paddr, len)?;
+        self.store(paddr, len, f(old))?;
+        Some(old)
+    }
+
+    /// Drop this hart's reservation (trap entry, SC retirement).
+    pub fn clear_reservation(&self) {
+        self.inner.res[self.hart].store(0, Ordering::SeqCst);
+        self.inner
+            .res_mask
+            .fetch_and(!(1u64 << self.hart), Ordering::SeqCst);
+    }
+
+    /// This hart's reserved line, if a reservation is live.
+    pub fn reserved_line(&self) -> Option<u64> {
+        let r = self.inner.res[self.hart].load(Ordering::SeqCst);
+        (r & 1 == 1).then(|| reservation_line(r))
+    }
+
+    /// Reservations broken so far by remote stores/AMOs.
+    pub fn reservation_breaks(&self) -> u64 {
+        self.inner.res_breaks.load(Ordering::Relaxed)
+    }
+
+    /// Invalidate other harts' reservations overlapping the stored
+    /// range. One relaxed mask load keeps the common (no reservations)
+    /// path free.
+    fn break_remote_reservations(&self, paddr: u64, len: u64) {
+        let others = self.inner.res_mask.load(Ordering::SeqCst) & !(1u64 << self.hart);
+        if others == 0 {
+            return;
+        }
+        let first = reservation_line(paddr);
+        let last = reservation_line(paddr + len - 1);
+        for h in 0..self.harts() {
+            if others & (1u64 << h) == 0 {
+                continue;
+            }
+            let r = self.inner.res[h].load(Ordering::SeqCst);
+            if r & 1 == 0 {
+                continue;
+            }
+            let line = reservation_line(r);
+            if line >= first && line <= last {
+                // CAS so we never clobber a reservation re-acquired
+                // concurrently by its owner.
+                if self.inner.res[h]
+                    .compare_exchange(r, 0, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    self.inner
+                        .res_mask
+                        .fetch_and(!(1u64 << h), Ordering::SeqCst);
+                    self.inner.res_breaks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 }
 
@@ -164,7 +425,7 @@ mod tests {
 
     #[test]
     fn load_store_all_widths() {
-        let mut b = Bus::new(0x8000_0000, 4096);
+        let b = Bus::new(0x8000_0000, 4096);
         b.store(0x8000_0000, 8, 0x1122_3344_5566_7788).unwrap();
         assert_eq!(b.load(0x8000_0000, 8), Some(0x1122_3344_5566_7788));
         assert_eq!(b.load(0x8000_0000, 4), Some(0x5566_7788));
@@ -177,7 +438,7 @@ mod tests {
 
     #[test]
     fn out_of_range_accesses_fault() {
-        let mut b = Bus::new(0x8000_0000, 4096);
+        let b = Bus::new(0x8000_0000, 4096);
         assert_eq!(b.load(0x7fff_ffff, 1), None);
         assert_eq!(b.load(0x8000_0ffd, 8), None, "straddles the end");
         assert_eq!(b.store(0x0, 8, 0), None);
@@ -186,7 +447,7 @@ mod tests {
 
     #[test]
     fn console_collects_bytes() {
-        let mut b = Bus::default();
+        let b = Bus::default();
         for c in b"hi\n" {
             b.store(mmio::CONSOLE_TX, 1, *c as u64).unwrap();
         }
@@ -195,26 +456,112 @@ mod tests {
 
     #[test]
     fn halt_records_exit_code() {
-        let mut b = Bus::default();
-        assert_eq!(b.halted, None);
+        let b = Bus::default();
+        assert_eq!(b.halted(), None);
         b.store(mmio::HALT, 8, 42).unwrap();
-        assert_eq!(b.halted, Some(42));
+        assert_eq!(b.halted(), Some(42));
+    }
+
+    #[test]
+    fn halt_is_per_hart() {
+        let b = Bus::with_harts(DEFAULT_RAM_BASE, 4096, 2);
+        let b1 = b.for_hart(1);
+        b1.store(mmio::HALT, 8, 7).unwrap();
+        assert_eq!(b.halted(), None, "hart 0 keeps running");
+        assert_eq!(b.halted_of(1), Some(7));
+        assert!(!b.all_halted());
+        b.store(mmio::HALT, 8, 0).unwrap();
+        assert!(b.all_halted());
     }
 
     #[test]
     fn value_log_appends() {
-        let mut b = Bus::default();
+        let b = Bus::default();
         b.store(mmio::VALUE_LOG, 8, 7).unwrap();
         b.store(mmio::VALUE_LOG, 8, 9).unwrap();
-        assert_eq!(b.value_log, vec![7, 9]);
+        assert_eq!(b.value_log(), vec![7, 9]);
     }
 
     #[test]
     fn host_helpers_roundtrip() {
-        let mut b = Bus::default();
+        let b = Bus::default();
         b.write_u64(0x8000_1000, 0xfeed);
         assert_eq!(b.read_u64(0x8000_1000), 0xfeed);
         b.write_bytes(0x8000_2000, &[1, 2, 3]);
         assert_eq!(b.read_bytes(0x8000_2000, 3), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn handles_share_one_image() {
+        let b = Bus::with_harts(DEFAULT_RAM_BASE, 4096, 2);
+        let b1 = b.for_hart(1);
+        b.store(0x8000_0010, 8, 0xabcd).unwrap();
+        assert_eq!(b1.load(0x8000_0010, 8), Some(0xabcd));
+        assert_eq!(b1.hart(), 1);
+        assert_eq!(b.harts(), 2);
+    }
+
+    #[test]
+    fn lr_sc_succeeds_within_line() {
+        let b = Bus::default();
+        b.write_u64(0x8000_0100, 5);
+        assert_eq!(b.lr_load(0x8000_0100, 8), Some(5));
+        assert_eq!(b.reserved_line(), Some(0x8000_0100));
+        // Same line, different byte address: still succeeds.
+        assert_eq!(b.sc_store(0x8000_0108, 8, 9), Some(true));
+        assert_eq!(b.read_u64(0x8000_0108), 9);
+        assert_eq!(b.reserved_line(), None, "SC consumes the reservation");
+    }
+
+    #[test]
+    fn sc_fails_across_lines_or_without_reservation() {
+        let b = Bus::default();
+        assert_eq!(b.sc_store(0x8000_0100, 8, 1), Some(false), "no LR");
+        b.lr_load(0x8000_0100, 8).unwrap();
+        assert_eq!(b.sc_store(0x8000_0140, 8, 1), Some(false), "other line");
+        // The failed SC consumed the reservation.
+        assert_eq!(b.sc_store(0x8000_0100, 8, 1), Some(false));
+    }
+
+    #[test]
+    fn remote_store_breaks_reservation() {
+        let b = Bus::with_harts(DEFAULT_RAM_BASE, 4096, 2);
+        let b1 = b.for_hart(1);
+        b.lr_load(0x8000_0200, 8).unwrap();
+        b1.store(0x8000_0220, 8, 1).unwrap(); // same 64-byte line
+        assert_eq!(b.reserved_line(), None);
+        assert_eq!(b.sc_store(0x8000_0200, 8, 2), Some(false));
+        assert_eq!(b.reservation_breaks(), 1);
+    }
+
+    #[test]
+    fn local_store_keeps_reservation() {
+        let b = Bus::with_harts(DEFAULT_RAM_BASE, 4096, 2);
+        b.lr_load(0x8000_0200, 8).unwrap();
+        b.store(0x8000_0220, 8, 1).unwrap(); // own store, same line
+        assert_eq!(b.reserved_line(), Some(0x8000_0200));
+        assert_eq!(b.sc_store(0x8000_0200, 8, 2), Some(true));
+    }
+
+    #[test]
+    fn remote_store_outside_line_keeps_reservation() {
+        let b = Bus::with_harts(DEFAULT_RAM_BASE, 4096, 2);
+        let b1 = b.for_hart(1);
+        b.lr_load(0x8000_0200, 8).unwrap();
+        b1.store(0x8000_0240, 8, 1).unwrap(); // next line
+        assert_eq!(b.reserved_line(), Some(0x8000_0200));
+        assert_eq!(b.sc_store(0x8000_0200, 8, 2), Some(true));
+        assert_eq!(b.reservation_breaks(), 0);
+    }
+
+    #[test]
+    fn amo_rmw_returns_old_and_breaks_remote() {
+        let b = Bus::with_harts(DEFAULT_RAM_BASE, 4096, 2);
+        let b1 = b.for_hart(1);
+        b.write_u64(0x8000_0300, 10);
+        b.lr_load(0x8000_0300, 8).unwrap();
+        assert_eq!(b1.amo_rmw(0x8000_0300, 8, |v| v + 5), Some(10));
+        assert_eq!(b.read_u64(0x8000_0300), 15);
+        assert_eq!(b.reserved_line(), None, "remote AMO broke it");
     }
 }

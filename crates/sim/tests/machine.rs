@@ -129,7 +129,7 @@ fn value_log_reports_measurements() {
     a.li(A0, 0);
     halt_with_a0(&mut a);
     let (_, m) = run(a);
-    assert_eq!(m.bus.value_log, vec![11, 22]);
+    assert_eq!(m.bus.value_log(), vec![11, 22]);
 }
 
 #[test]

@@ -68,6 +68,10 @@ pub struct TimingConfig {
     pub extended_extra: u64,
     /// Memory latency of a PCU privilege-cache miss (HPT/SGT read).
     pub pcu_miss_latency: u64,
+    /// Cycles charged per privilege-cache entry discarded by a
+    /// cross-hart shootdown (invalidate + tag rewrite; the refill
+    /// itself is paid later as an ordinary PCU miss).
+    pub shootdown_flush_penalty: u64,
 }
 
 impl TimingConfig {
@@ -109,6 +113,7 @@ impl TimingConfig {
             tstack_pop: 3,
             extended_extra: 1,
             pcu_miss_latency: 120,
+            shootdown_flush_penalty: 2,
         }
     }
 
@@ -161,6 +166,7 @@ impl TimingConfig {
             tstack_pop: 5,
             extended_extra: 0,
             pcu_miss_latency: 160,
+            shootdown_flush_penalty: 2,
         }
     }
 }
@@ -188,6 +194,8 @@ pub struct TimingStats {
     pub pcu_stall: u64,
     /// Cycles spent in gate switches (redirect + trusted stack).
     pub gate_cycles: u64,
+    /// Cycles spent flushing privilege caches on cross-hart shootdowns.
+    pub shootdown_stall: u64,
 }
 
 /// The cycle-cost model. Implements [`TimingSink`]; plug into a
@@ -245,6 +253,7 @@ impl PipelineModel {
             walk_stall: s.walk_stall,
             pcu_stall: s.pcu_stall,
             gate_cycles: s.gate_cycles,
+            shootdown_stall: s.shootdown_stall,
         }
     }
 
@@ -408,6 +417,11 @@ impl TimingSink for PipelineModel {
             self.stats.pcu_stall += p;
             cycles += p;
         }
+        if e.shootdown_flushed > 0 {
+            let s = e.shootdown_flushed as u64 * self.cfg.shootdown_flush_penalty;
+            self.stats.shootdown_stall += s;
+            cycles += s;
+        }
 
         if ev.trap_cause.is_some() {
             cycles += self.cfg.trap_penalty;
@@ -541,6 +555,19 @@ mod tests {
         let c = m.retire(&e);
         assert!(c >= 120, "HPT miss must stall like memory: {c}");
         assert_eq!(m.stats.pcu_stall, 120);
+    }
+
+    #[test]
+    fn shootdown_flush_charges_per_entry() {
+        let mut m = PipelineModel::new(TimingConfig::rocket());
+        m.retire(&ev(0x8000_0000));
+        let mut e = ev(0x8000_0004);
+        e.ext.shootdown_flushed = 5;
+        let c = m.retire(&e);
+        let want = 5 * m.cfg.shootdown_flush_penalty;
+        assert!(c >= want, "flush must stall: {c} < {want}");
+        assert_eq!(m.stats.shootdown_stall, want);
+        assert_eq!(m.counters().shootdown_stall, want);
     }
 
     #[test]

@@ -131,8 +131,9 @@ fn main() {
 
     match m.run(100_000) {
         Exit::Halted(_) => {
-            let secret = m.bus.value_log[0];
-            let cause = m.bus.value_log[1];
+            let log = m.bus.value_log();
+            let secret = log[0];
+            let cause = log[1];
             println!("secret read through the trampoline: {secret:#x}");
             println!("direct wrpkr outside the trampoline: mcause = {cause}");
             assert_eq!(secret, 0x5EC12E7);

@@ -78,7 +78,7 @@ fn main() {
 
     for _ in 0..200 {
         m.step();
-        if m.bus.halted.is_some() {
+        if m.bus.halted().is_some() {
             break;
         }
     }
@@ -88,5 +88,5 @@ fn main() {
         println!("{}", ev.to_json());
     }
     println!("counters = {}", m.ext.counters().to_json().pretty());
-    println!("halted with mcause = {:?}", m.bus.halted);
+    println!("halted with mcause = {:?}", m.bus.halted());
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-c9945111bec77671.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-c9945111bec77671: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-e1ff65ab538a529a.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-e1ff65ab538a529a: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

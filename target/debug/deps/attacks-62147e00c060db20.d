@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacks-62147e00c060db20.d: crates/bench/../../tests/attacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacks-62147e00c060db20.rmeta: crates/bench/../../tests/attacks.rs Cargo.toml
+
+crates/bench/../../tests/attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks-9594267f4cf416ac.d: crates/bench/../../tests/attacks.rs
+
+/root/repo/target/debug/deps/attacks-9594267f4cf416ac: crates/bench/../../tests/attacks.rs
+
+crates/bench/../../tests/attacks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breakdown-47dea485e0e31a44.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/debug/deps/breakdown-47dea485e0e31a44: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

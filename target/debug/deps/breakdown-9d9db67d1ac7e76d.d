@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/breakdown-9d9db67d1ac7e76d.d: crates/bench/src/bin/breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbreakdown-9d9db67d1ac7e76d.rmeta: crates/bench/src/bin/breakdown.rs Cargo.toml
+
+crates/bench/src/bin/breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

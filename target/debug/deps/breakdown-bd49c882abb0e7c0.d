@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/breakdown-bd49c882abb0e7c0.d: crates/bench/src/bin/breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbreakdown-bd49c882abb0e7c0.rmeta: crates/bench/src/bin/breakdown.rs Cargo.toml
+
+crates/bench/src/bin/breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breakdown-c5565ee8ceac0b98.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/debug/deps/breakdown-c5565ee8ceac0b98: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decomposition-cb513bd2fc78a814.d: crates/bench/../../tests/decomposition.rs
+
+/root/repo/target/debug/deps/decomposition-cb513bd2fc78a814: crates/bench/../../tests/decomposition.rs
+
+crates/bench/../../tests/decomposition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decomposition-e1e183bda24aa407.d: crates/bench/../../tests/decomposition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecomposition-e1e183bda24aa407.rmeta: crates/bench/../../tests/decomposition.rs Cargo.toml
+
+crates/bench/../../tests/decomposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/domain_switch-ca6d252da999682d.d: crates/bench/benches/domain_switch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomain_switch-ca6d252da999682d.rmeta: crates/bench/benches/domain_switch.rs Cargo.toml
+
+crates/bench/benches/domain_switch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e7b2ca104f4c6ed2.d: crates/bench/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e7b2ca104f4c6ed2: crates/bench/../../tests/end_to_end.rs
+
+crates/bench/../../tests/end_to_end.rs:

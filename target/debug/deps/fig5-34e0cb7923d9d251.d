@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-34e0cb7923d9d251.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-34e0cb7923d9d251: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-61f8553d11a922c8.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-61f8553d11a922c8: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-19112d81a927a458.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-19112d81a927a458: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

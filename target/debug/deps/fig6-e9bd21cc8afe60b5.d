@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-e9bd21cc8afe60b5.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-e9bd21cc8afe60b5: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

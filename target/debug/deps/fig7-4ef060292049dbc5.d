@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-4ef060292049dbc5.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-4ef060292049dbc5: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-f4192859f4858980.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-f4192859f4858980: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-71c678be68dbe164.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-71c678be68dbe164: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-a10091ea872ec799.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-a10091ea872ec799: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_syscalls-7698c10538302d47.d: crates/bench/../../tests/fuzz_syscalls.rs
+
+/root/repo/target/debug/deps/fuzz_syscalls-7698c10538302d47: crates/bench/../../tests/fuzz_syscalls.rs
+
+crates/bench/../../tests/fuzz_syscalls.rs:

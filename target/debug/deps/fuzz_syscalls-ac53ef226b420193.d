@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_syscalls-ac53ef226b420193.d: crates/bench/../../tests/fuzz_syscalls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_syscalls-ac53ef226b420193.rmeta: crates/bench/../../tests/fuzz_syscalls.rs Cargo.toml
+
+crates/bench/../../tests/fuzz_syscalls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gates-4b4d0086fe270819.d: crates/bench/../../tests/gates.rs
+
+/root/repo/target/debug/deps/gates-4b4d0086fe270819: crates/bench/../../tests/gates.rs
+
+crates/bench/../../tests/gates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gates-58f841a8da454767.d: crates/bench/../../tests/gates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgates-58f841a8da454767.rmeta: crates/bench/../../tests/gates.rs Cargo.toml
+
+crates/bench/../../tests/gates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hitrate-1452a739da6caae0.d: crates/bench/src/bin/hitrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhitrate-1452a739da6caae0.rmeta: crates/bench/src/bin/hitrate.rs Cargo.toml
+
+crates/bench/src/bin/hitrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hitrate-7cdbd119ae92a447.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/debug/deps/hitrate-7cdbd119ae92a447: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

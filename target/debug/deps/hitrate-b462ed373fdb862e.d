@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hitrate-b462ed373fdb862e.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/debug/deps/hitrate-b462ed373fdb862e: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/isa_grid-c7bd2f636d9d9c03.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs
+/root/repo/target/debug/deps/isa_grid-c7bd2f636d9d9c03.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs crates/core/src/shootdown.rs
 
-/root/repo/target/debug/deps/libisa_grid-c7bd2f636d9d9c03.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs
+/root/repo/target/debug/deps/libisa_grid-c7bd2f636d9d9c03.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs crates/core/src/shootdown.rs
 
-/root/repo/target/debug/deps/libisa_grid-c7bd2f636d9d9c03.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs
+/root/repo/target/debug/deps/libisa_grid-c7bd2f636d9d9c03.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs crates/core/src/shootdown.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cache.rs:
@@ -10,3 +10,4 @@ crates/core/src/domain.rs:
 crates/core/src/layout.rs:
 crates/core/src/pcu.rs:
 crates/core/src/policy.rs:
+crates/core/src/shootdown.rs:

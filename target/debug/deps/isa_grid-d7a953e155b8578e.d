@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/isa_grid-d7a953e155b8578e.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs Cargo.toml
+/root/repo/target/debug/deps/isa_grid-d7a953e155b8578e.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs crates/core/src/shootdown.rs Cargo.toml
 
-/root/repo/target/debug/deps/libisa_grid-d7a953e155b8578e.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs Cargo.toml
+/root/repo/target/debug/deps/libisa_grid-d7a953e155b8578e.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs crates/core/src/shootdown.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/cache.rs:
@@ -8,7 +8,8 @@ crates/core/src/domain.rs:
 crates/core/src/layout.rs:
 crates/core/src/pcu.rs:
 crates/core/src/policy.rs:
+crates/core/src/shootdown.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

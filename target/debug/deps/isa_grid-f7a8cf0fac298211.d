@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/isa_grid-f7a8cf0fac298211.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs
+/root/repo/target/debug/deps/isa_grid-f7a8cf0fac298211.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs crates/core/src/shootdown.rs
 
-/root/repo/target/debug/deps/isa_grid-f7a8cf0fac298211: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs
+/root/repo/target/debug/deps/isa_grid-f7a8cf0fac298211: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs crates/core/src/shootdown.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cache.rs:
@@ -8,3 +8,4 @@ crates/core/src/domain.rs:
 crates/core/src/layout.rs:
 crates/core/src/pcu.rs:
 crates/core/src/policy.rs:
+crates/core/src/shootdown.rs:

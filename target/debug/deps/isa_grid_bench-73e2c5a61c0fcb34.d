@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/isa_grid_bench-73e2c5a61c0fcb34.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/breakdown.rs crates/bench/src/figs.rs crates/bench/src/gatebench.rs crates/bench/src/hitrate.rs crates/bench/src/pks.rs crates/bench/src/report.rs crates/bench/src/smpbench.rs crates/bench/src/table4.rs crates/bench/src/table5.rs
+
+/root/repo/target/debug/deps/libisa_grid_bench-73e2c5a61c0fcb34.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/breakdown.rs crates/bench/src/figs.rs crates/bench/src/gatebench.rs crates/bench/src/hitrate.rs crates/bench/src/pks.rs crates/bench/src/report.rs crates/bench/src/smpbench.rs crates/bench/src/table4.rs crates/bench/src/table5.rs
+
+/root/repo/target/debug/deps/libisa_grid_bench-73e2c5a61c0fcb34.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/breakdown.rs crates/bench/src/figs.rs crates/bench/src/gatebench.rs crates/bench/src/hitrate.rs crates/bench/src/pks.rs crates/bench/src/report.rs crates/bench/src/smpbench.rs crates/bench/src/table4.rs crates/bench/src/table5.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/breakdown.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/gatebench.rs:
+crates/bench/src/hitrate.rs:
+crates/bench/src/pks.rs:
+crates/bench/src/report.rs:
+crates/bench/src/smpbench.rs:
+crates/bench/src/table4.rs:
+crates/bench/src/table5.rs:

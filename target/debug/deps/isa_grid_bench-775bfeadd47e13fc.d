@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/isa_grid_bench-775bfeadd47e13fc.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/breakdown.rs crates/bench/src/figs.rs crates/bench/src/gatebench.rs crates/bench/src/hitrate.rs crates/bench/src/pks.rs crates/bench/src/report.rs crates/bench/src/smpbench.rs crates/bench/src/table4.rs crates/bench/src/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisa_grid_bench-775bfeadd47e13fc.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/breakdown.rs crates/bench/src/figs.rs crates/bench/src/gatebench.rs crates/bench/src/hitrate.rs crates/bench/src/pks.rs crates/bench/src/report.rs crates/bench/src/smpbench.rs crates/bench/src/table4.rs crates/bench/src/table5.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/breakdown.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/gatebench.rs:
+crates/bench/src/hitrate.rs:
+crates/bench/src/pks.rs:
+crates/bench/src/report.rs:
+crates/bench/src/smpbench.rs:
+crates/bench/src/table4.rs:
+crates/bench/src/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/isa_smp-6d19cd1de0d402a4.d: crates/smp/src/lib.rs
+
+/root/repo/target/debug/deps/libisa_smp-6d19cd1de0d402a4.rlib: crates/smp/src/lib.rs
+
+/root/repo/target/debug/deps/libisa_smp-6d19cd1de0d402a4.rmeta: crates/smp/src/lib.rs
+
+crates/smp/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isa_smp-adf0e1c4e8356aee.d: crates/smp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisa_smp-adf0e1c4e8356aee.rmeta: crates/smp/src/lib.rs Cargo.toml
+
+crates/smp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isa_smp-baa44b97be790d37.d: crates/smp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisa_smp-baa44b97be790d37.rmeta: crates/smp/src/lib.rs Cargo.toml
+
+crates/smp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

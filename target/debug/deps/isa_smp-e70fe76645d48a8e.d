@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/isa_smp-e70fe76645d48a8e.d: crates/smp/src/lib.rs
+
+/root/repo/target/debug/deps/isa_smp-e70fe76645d48a8e: crates/smp/src/lib.rs
+
+crates/smp/src/lib.rs:

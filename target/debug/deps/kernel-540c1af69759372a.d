@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel-540c1af69759372a.d: crates/kernel/tests/kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel-540c1af69759372a.rmeta: crates/kernel/tests/kernel.rs Cargo.toml
+
+crates/kernel/tests/kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

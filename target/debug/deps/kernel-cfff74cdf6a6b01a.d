@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel-cfff74cdf6a6b01a.d: crates/kernel/tests/kernel.rs
+
+/root/repo/target/debug/deps/kernel-cfff74cdf6a6b01a: crates/kernel/tests/kernel.rs
+
+crates/kernel/tests/kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_paths-5777d3ee0972b1cc.d: crates/bench/benches/kernel_paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_paths-5777d3ee0972b1cc.rmeta: crates/bench/benches/kernel_paths.rs Cargo.toml
+
+crates/bench/benches/kernel_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nested_monitor-9b06cd81ee3d8155.d: crates/bench/../../tests/nested_monitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnested_monitor-9b06cd81ee3d8155.rmeta: crates/bench/../../tests/nested_monitor.rs Cargo.toml
+
+crates/bench/../../tests/nested_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

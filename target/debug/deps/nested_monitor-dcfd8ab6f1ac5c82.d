@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nested_monitor-dcfd8ab6f1ac5c82.d: crates/bench/../../tests/nested_monitor.rs
+
+/root/repo/target/debug/deps/nested_monitor-dcfd8ab6f1ac5c82: crates/bench/../../tests/nested_monitor.rs
+
+crates/bench/../../tests/nested_monitor.rs:

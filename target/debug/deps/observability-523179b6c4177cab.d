@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-523179b6c4177cab.d: crates/bench/../../tests/observability.rs
+
+/root/repo/target/debug/deps/observability-523179b6c4177cab: crates/bench/../../tests/observability.rs
+
+crates/bench/../../tests/observability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-dbd5e37ad6803332.d: crates/bench/../../tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-dbd5e37ad6803332.rmeta: crates/bench/../../tests/observability.rs Cargo.toml
+
+crates/bench/../../tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcu_cache-8dff52c3000268b7.d: crates/bench/benches/pcu_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcu_cache-8dff52c3000268b7.rmeta: crates/bench/benches/pcu_cache.rs Cargo.toml
+
+crates/bench/benches/pcu_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

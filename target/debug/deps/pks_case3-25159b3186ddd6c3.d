@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pks_case3-25159b3186ddd6c3.d: crates/bench/src/bin/pks_case3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpks_case3-25159b3186ddd6c3.rmeta: crates/bench/src/bin/pks_case3.rs Cargo.toml
+
+crates/bench/src/bin/pks_case3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pks_case3-2e6a24ecf2007444.d: crates/bench/src/bin/pks_case3.rs
+
+/root/repo/target/debug/deps/pks_case3-2e6a24ecf2007444: crates/bench/src/bin/pks_case3.rs
+
+crates/bench/src/bin/pks_case3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pks_case3-742298ec54c8b14e.d: crates/bench/src/bin/pks_case3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpks_case3-742298ec54c8b14e.rmeta: crates/bench/src/bin/pks_case3.rs Cargo.toml
+
+crates/bench/src/bin/pks_case3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pks_case3-79358781f3131ee4.d: crates/bench/src/bin/pks_case3.rs
+
+/root/repo/target/debug/deps/pks_case3-79358781f3131ee4: crates/bench/src/bin/pks_case3.rs
+
+crates/bench/src/bin/pks_case3.rs:

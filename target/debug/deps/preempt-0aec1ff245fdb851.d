@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/preempt-0aec1ff245fdb851.d: crates/kernel/tests/preempt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpreempt-0aec1ff245fdb851.rmeta: crates/kernel/tests/preempt.rs Cargo.toml
+
+crates/kernel/tests/preempt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

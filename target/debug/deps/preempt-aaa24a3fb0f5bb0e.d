@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preempt-aaa24a3fb0f5bb0e.d: crates/kernel/tests/preempt.rs
+
+/root/repo/target/debug/deps/preempt-aaa24a3fb0f5bb0e: crates/kernel/tests/preempt.rs
+
+crates/kernel/tests/preempt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/privilege_check-d7212da38adbda55.d: crates/bench/benches/privilege_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprivilege_check-d7212da38adbda55.rmeta: crates/bench/benches/privilege_check.rs Cargo.toml
+
+crates/bench/benches/privilege_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

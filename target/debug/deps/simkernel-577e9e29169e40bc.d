@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simkernel-577e9e29169e40bc.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/smp.rs crates/kernel/src/usr.rs
+
+/root/repo/target/debug/deps/libsimkernel-577e9e29169e40bc.rlib: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/smp.rs crates/kernel/src/usr.rs
+
+/root/repo/target/debug/deps/libsimkernel-577e9e29169e40bc.rmeta: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/smp.rs crates/kernel/src/usr.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/image.rs:
+crates/kernel/src/layout.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/smp.rs:
+crates/kernel/src/usr.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/simkernel-97ac9888897d967f.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/smp.rs crates/kernel/src/usr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimkernel-97ac9888897d967f.rmeta: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/smp.rs crates/kernel/src/usr.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/image.rs:
+crates/kernel/src/layout.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/smp.rs:
+crates/kernel/src/usr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

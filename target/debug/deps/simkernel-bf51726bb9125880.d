@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simkernel-bf51726bb9125880.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/smp.rs crates/kernel/src/usr.rs
+
+/root/repo/target/debug/deps/simkernel-bf51726bb9125880: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/smp.rs crates/kernel/src/usr.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/image.rs:
+crates/kernel/src/layout.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/smp.rs:
+crates/kernel/src/usr.rs:

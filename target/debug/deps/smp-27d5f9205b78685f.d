@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smp-27d5f9205b78685f.d: crates/bench/src/bin/smp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmp-27d5f9205b78685f.rmeta: crates/bench/src/bin/smp.rs Cargo.toml
+
+crates/bench/src/bin/smp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

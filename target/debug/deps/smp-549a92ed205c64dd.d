@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smp-549a92ed205c64dd.d: crates/bench/src/bin/smp.rs
+
+/root/repo/target/debug/deps/smp-549a92ed205c64dd: crates/bench/src/bin/smp.rs
+
+crates/bench/src/bin/smp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smp-71ece13c43c8aa60.d: crates/bench/../../tests/smp.rs
+
+/root/repo/target/debug/deps/smp-71ece13c43c8aa60: crates/bench/../../tests/smp.rs
+
+crates/bench/../../tests/smp.rs:

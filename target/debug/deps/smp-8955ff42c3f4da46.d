@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smp-8955ff42c3f4da46.d: crates/bench/src/bin/smp.rs
+
+/root/repo/target/debug/deps/smp-8955ff42c3f4da46: crates/bench/src/bin/smp.rs
+
+crates/bench/src/bin/smp.rs:

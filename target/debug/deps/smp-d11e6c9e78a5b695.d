@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smp-d11e6c9e78a5b695.d: crates/bench/../../tests/smp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmp-d11e6c9e78a5b695.rmeta: crates/bench/../../tests/smp.rs Cargo.toml
+
+crates/bench/../../tests/smp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smp-ff9c4ebcfb1ff678.d: crates/bench/src/bin/smp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmp-ff9c4ebcfb1ff678.rmeta: crates/bench/src/bin/smp.rs Cargo.toml
+
+crates/bench/src/bin/smp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

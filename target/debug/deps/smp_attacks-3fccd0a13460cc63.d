@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smp_attacks-3fccd0a13460cc63.d: crates/bench/../../tests/smp_attacks.rs
+
+/root/repo/target/debug/deps/smp_attacks-3fccd0a13460cc63: crates/bench/../../tests/smp_attacks.rs
+
+crates/bench/../../tests/smp_attacks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smp_attacks-fc0c128ef93562e6.d: crates/bench/../../tests/smp_attacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmp_attacks-fc0c128ef93562e6.rmeta: crates/bench/../../tests/smp_attacks.rs Cargo.toml
+
+crates/bench/../../tests/smp_attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-2926353e8a364a67.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-2926353e8a364a67: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-436cf0deb59808ab.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-436cf0deb59808ab: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-9f08976c9ca1b417.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-9f08976c9ca1b417: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

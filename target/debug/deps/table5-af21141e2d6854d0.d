@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-af21141e2d6854d0.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-af21141e2d6854d0: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

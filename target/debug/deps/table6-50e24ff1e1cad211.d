@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-50e24ff1e1cad211.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-50e24ff1e1cad211: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

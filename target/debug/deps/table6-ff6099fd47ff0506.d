@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-ff6099fd47ff0506.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-ff6099fd47ff0506: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

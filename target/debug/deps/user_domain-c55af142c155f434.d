@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/user_domain-c55af142c155f434.d: crates/kernel/tests/user_domain.rs
+
+/root/repo/target/debug/deps/user_domain-c55af142c155f434: crates/kernel/tests/user_domain.rs
+
+crates/kernel/tests/user_domain.rs:

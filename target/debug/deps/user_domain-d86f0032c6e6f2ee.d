@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/user_domain-d86f0032c6e6f2ee.d: crates/kernel/tests/user_domain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuser_domain-d86f0032c6e6f2ee.rmeta: crates/kernel/tests/user_domain.rs Cargo.toml
+
+crates/kernel/tests/user_domain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

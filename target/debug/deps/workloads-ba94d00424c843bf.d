@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workloads-ba94d00424c843bf.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+/root/repo/target/debug/deps/libworkloads-ba94d00424c843bf.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+/root/repo/target/debug/deps/libworkloads-ba94d00424c843bf.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/lmbench.rs:
+crates/workloads/src/measure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_gallery-6419ca288f724d51.d: crates/bench/../../examples/attack_gallery.rs
+
+/root/repo/target/debug/examples/attack_gallery-6419ca288f724d51: crates/bench/../../examples/attack_gallery.rs
+
+crates/bench/../../examples/attack_gallery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_gallery-924047c0ab232e16.d: crates/bench/../../examples/attack_gallery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_gallery-924047c0ab232e16.rmeta: crates/bench/../../examples/attack_gallery.rs Cargo.toml
+
+crates/bench/../../examples/attack_gallery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

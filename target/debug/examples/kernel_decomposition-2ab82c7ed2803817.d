@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kernel_decomposition-2ab82c7ed2803817.d: crates/bench/../../examples/kernel_decomposition.rs
+
+/root/repo/target/debug/examples/kernel_decomposition-2ab82c7ed2803817: crates/bench/../../examples/kernel_decomposition.rs
+
+crates/bench/../../examples/kernel_decomposition.rs:

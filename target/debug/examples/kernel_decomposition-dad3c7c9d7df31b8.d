@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kernel_decomposition-dad3c7c9d7df31b8.d: crates/bench/../../examples/kernel_decomposition.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkernel_decomposition-dad3c7c9d7df31b8.rmeta: crates/bench/../../examples/kernel_decomposition.rs Cargo.toml
+
+crates/bench/../../examples/kernel_decomposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

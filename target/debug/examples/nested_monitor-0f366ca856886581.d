@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nested_monitor-0f366ca856886581.d: crates/bench/../../examples/nested_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnested_monitor-0f366ca856886581.rmeta: crates/bench/../../examples/nested_monitor.rs Cargo.toml
+
+crates/bench/../../examples/nested_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nested_monitor-a5d085cea3bb0c9b.d: crates/bench/../../examples/nested_monitor.rs
+
+/root/repo/target/debug/examples/nested_monitor-a5d085cea3bb0c9b: crates/bench/../../examples/nested_monitor.rs
+
+crates/bench/../../examples/nested_monitor.rs:

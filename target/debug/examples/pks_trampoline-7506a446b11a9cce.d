@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pks_trampoline-7506a446b11a9cce.d: crates/bench/../../examples/pks_trampoline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpks_trampoline-7506a446b11a9cce.rmeta: crates/bench/../../examples/pks_trampoline.rs Cargo.toml
+
+crates/bench/../../examples/pks_trampoline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pks_trampoline-a800853235c4e001.d: crates/bench/../../examples/pks_trampoline.rs
+
+/root/repo/target/debug/examples/pks_trampoline-a800853235c4e001: crates/bench/../../examples/pks_trampoline.rs
+
+crates/bench/../../examples/pks_trampoline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-706bb0e256e930a9.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-706bb0e256e930a9: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

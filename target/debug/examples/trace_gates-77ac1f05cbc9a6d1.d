@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_gates-77ac1f05cbc9a6d1.d: crates/bench/../../examples/trace_gates.rs
+
+/root/repo/target/debug/examples/trace_gates-77ac1f05cbc9a6d1: crates/bench/../../examples/trace_gates.rs
+
+crates/bench/../../examples/trace_gates.rs:

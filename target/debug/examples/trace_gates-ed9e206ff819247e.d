@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_gates-ed9e206ff819247e.d: crates/bench/../../examples/trace_gates.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_gates-ed9e206ff819247e.rmeta: crates/bench/../../examples/trace_gates.rs Cargo.toml
+
+crates/bench/../../examples/trace_gates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

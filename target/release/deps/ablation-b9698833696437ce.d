@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-b9698833696437ce.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-b9698833696437ce: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-fa03975e4bc0a4c4.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-fa03975e4bc0a4c4: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alu_prop-3b3965a06f9c4cad.d: crates/sim/tests/alu_prop.rs
+
+/root/repo/target/release/deps/alu_prop-3b3965a06f9c4cad: crates/sim/tests/alu_prop.rs
+
+crates/sim/tests/alu_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attacks-dd716b7a9b4d1d7b.d: crates/bench/../../tests/attacks.rs
+
+/root/repo/target/release/deps/attacks-dd716b7a9b4d1d7b: crates/bench/../../tests/attacks.rs
+
+crates/bench/../../tests/attacks.rs:

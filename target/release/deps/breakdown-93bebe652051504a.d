@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/breakdown-93bebe652051504a.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/release/deps/breakdown-93bebe652051504a: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

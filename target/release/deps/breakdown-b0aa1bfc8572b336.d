@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/breakdown-b0aa1bfc8572b336.d: crates/bench/src/bin/breakdown.rs
+
+/root/repo/target/release/deps/breakdown-b0aa1bfc8572b336: crates/bench/src/bin/breakdown.rs
+
+crates/bench/src/bin/breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-4500557eb3cfeb11.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-4500557eb3cfeb11: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

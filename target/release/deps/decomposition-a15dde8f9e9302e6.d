@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decomposition-a15dde8f9e9302e6.d: crates/bench/../../tests/decomposition.rs
+
+/root/repo/target/release/deps/decomposition-a15dde8f9e9302e6: crates/bench/../../tests/decomposition.rs
+
+crates/bench/../../tests/decomposition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/disas_roundtrip-e04bd3abeeadeead.d: crates/sim/tests/disas_roundtrip.rs
+
+/root/repo/target/release/deps/disas_roundtrip-e04bd3abeeadeead: crates/sim/tests/disas_roundtrip.rs
+
+crates/sim/tests/disas_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/domain_switch-622d747905fe7b0a.d: crates/bench/benches/domain_switch.rs
+
+/root/repo/target/release/deps/domain_switch-622d747905fe7b0a: crates/bench/benches/domain_switch.rs
+
+crates/bench/benches/domain_switch.rs:

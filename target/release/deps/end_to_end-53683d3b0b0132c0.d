@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-53683d3b0b0132c0.d: crates/bench/../../tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-53683d3b0b0132c0: crates/bench/../../tests/end_to_end.rs
+
+crates/bench/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-769a231f56e22389.d: crates/core/tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-769a231f56e22389: crates/core/tests/extensions.rs
+
+crates/core/tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-3a577d70d7ff8c2c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-3a577d70d7ff8c2c: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

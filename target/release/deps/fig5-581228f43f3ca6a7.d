@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-581228f43f3ca6a7.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-581228f43f3ca6a7: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

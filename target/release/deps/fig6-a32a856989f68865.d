@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-a32a856989f68865.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-a32a856989f68865: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

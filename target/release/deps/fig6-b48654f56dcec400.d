@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-b48654f56dcec400.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-b48654f56dcec400: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-da5788bd518dddf8.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-da5788bd518dddf8: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

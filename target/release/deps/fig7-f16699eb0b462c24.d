@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-f16699eb0b462c24.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-f16699eb0b462c24: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

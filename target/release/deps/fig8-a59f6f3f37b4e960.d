@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-a59f6f3f37b4e960.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-a59f6f3f37b4e960: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-f139edeca9013377.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-f139edeca9013377: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

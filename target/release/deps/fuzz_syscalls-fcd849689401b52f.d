@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz_syscalls-fcd849689401b52f.d: crates/bench/../../tests/fuzz_syscalls.rs
+
+/root/repo/target/release/deps/fuzz_syscalls-fcd849689401b52f: crates/bench/../../tests/fuzz_syscalls.rs
+
+crates/bench/../../tests/fuzz_syscalls.rs:

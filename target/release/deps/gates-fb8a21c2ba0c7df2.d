@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gates-fb8a21c2ba0c7df2.d: crates/bench/../../tests/gates.rs
+
+/root/repo/target/release/deps/gates-fb8a21c2ba0c7df2: crates/bench/../../tests/gates.rs
+
+crates/bench/../../tests/gates.rs:

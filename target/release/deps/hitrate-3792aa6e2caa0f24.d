@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hitrate-3792aa6e2caa0f24.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/release/deps/hitrate-3792aa6e2caa0f24: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hitrate-72ec8a1446b89642.d: crates/bench/src/bin/hitrate.rs
+
+/root/repo/target/release/deps/hitrate-72ec8a1446b89642: crates/bench/src/bin/hitrate.rs
+
+crates/bench/src/bin/hitrate.rs:

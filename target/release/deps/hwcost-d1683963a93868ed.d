@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hwcost-d1683963a93868ed.d: crates/hwcost/src/lib.rs
+
+/root/repo/target/release/deps/hwcost-d1683963a93868ed: crates/hwcost/src/lib.rs
+
+crates/hwcost/src/lib.rs:

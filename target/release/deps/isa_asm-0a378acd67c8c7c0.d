@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/isa_asm-0a378acd67c8c7c0.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs
+
+/root/repo/target/release/deps/isa_asm-0a378acd67c8c7c0: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/encode.rs crates/asm/src/parse.rs crates/asm/src/reg.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/encode.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/reg.rs:

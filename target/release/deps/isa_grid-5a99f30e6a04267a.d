@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/isa_grid-5a99f30e6a04267a.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs crates/core/src/shootdown.rs
+
+/root/repo/target/release/deps/isa_grid-5a99f30e6a04267a: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/domain.rs crates/core/src/layout.rs crates/core/src/pcu.rs crates/core/src/policy.rs crates/core/src/shootdown.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/domain.rs:
+crates/core/src/layout.rs:
+crates/core/src/pcu.rs:
+crates/core/src/policy.rs:
+crates/core/src/shootdown.rs:

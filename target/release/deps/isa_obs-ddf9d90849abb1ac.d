@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/isa_obs-ddf9d90849abb1ac.d: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs
+
+/root/repo/target/release/deps/isa_obs-ddf9d90849abb1ac: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/ring.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counters.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/ring.rs:

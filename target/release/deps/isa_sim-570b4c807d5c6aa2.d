@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/isa_sim-570b4c807d5c6aa2.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs
+
+/root/repo/target/release/deps/isa_sim-570b4c807d5c6aa2: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/csr.rs crates/sim/src/decode.rs crates/sim/src/disas.rs crates/sim/src/mem.rs crates/sim/src/mmu.rs crates/sim/src/trap.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/csr.rs:
+crates/sim/src/decode.rs:
+crates/sim/src/disas.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/mmu.rs:
+crates/sim/src/trap.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/isa_smp-82b5db9b61761764.d: crates/smp/src/lib.rs
+
+/root/repo/target/release/deps/libisa_smp-82b5db9b61761764.rlib: crates/smp/src/lib.rs
+
+/root/repo/target/release/deps/libisa_smp-82b5db9b61761764.rmeta: crates/smp/src/lib.rs
+
+crates/smp/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/isa_smp-fe0665c96edf5e73.d: crates/smp/src/lib.rs
+
+/root/repo/target/release/deps/isa_smp-fe0665c96edf5e73: crates/smp/src/lib.rs
+
+crates/smp/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/isa_timing-79c0114f450e20c4.d: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+/root/repo/target/release/deps/isa_timing-79c0114f450e20c4: crates/timing/src/lib.rs crates/timing/src/cache.rs crates/timing/src/model.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/cache.rs:
+crates/timing/src/model.rs:

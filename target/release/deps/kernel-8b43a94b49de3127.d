@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel-8b43a94b49de3127.d: crates/kernel/tests/kernel.rs
+
+/root/repo/target/release/deps/kernel-8b43a94b49de3127: crates/kernel/tests/kernel.rs
+
+crates/kernel/tests/kernel.rs:

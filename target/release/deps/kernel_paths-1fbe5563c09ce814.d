@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_paths-1fbe5563c09ce814.d: crates/bench/benches/kernel_paths.rs
+
+/root/repo/target/release/deps/kernel_paths-1fbe5563c09ce814: crates/bench/benches/kernel_paths.rs
+
+crates/bench/benches/kernel_paths.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/machine-d26a6cf7cfb87709.d: crates/sim/tests/machine.rs
+
+/root/repo/target/release/deps/machine-d26a6cf7cfb87709: crates/sim/tests/machine.rs
+
+crates/sim/tests/machine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mask_prop-cb072688c96436f3.d: crates/core/tests/mask_prop.rs
+
+/root/repo/target/release/deps/mask_prop-cb072688c96436f3: crates/core/tests/mask_prop.rs
+
+crates/core/tests/mask_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nested_monitor-b9703db453a7d60d.d: crates/bench/../../tests/nested_monitor.rs
+
+/root/repo/target/release/deps/nested_monitor-b9703db453a7d60d: crates/bench/../../tests/nested_monitor.rs
+
+crates/bench/../../tests/nested_monitor.rs:

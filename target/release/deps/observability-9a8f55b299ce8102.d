@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/observability-9a8f55b299ce8102.d: crates/bench/../../tests/observability.rs
+
+/root/repo/target/release/deps/observability-9a8f55b299ce8102: crates/bench/../../tests/observability.rs
+
+crates/bench/../../tests/observability.rs:

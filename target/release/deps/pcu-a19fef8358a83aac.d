@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pcu-a19fef8358a83aac.d: crates/core/tests/pcu.rs
+
+/root/repo/target/release/deps/pcu-a19fef8358a83aac: crates/core/tests/pcu.rs
+
+crates/core/tests/pcu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pcu_cache-a3d4b57d85268eb4.d: crates/bench/benches/pcu_cache.rs
+
+/root/repo/target/release/deps/pcu_cache-a3d4b57d85268eb4: crates/bench/benches/pcu_cache.rs
+
+crates/bench/benches/pcu_cache.rs:

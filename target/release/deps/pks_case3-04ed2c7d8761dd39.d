@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pks_case3-04ed2c7d8761dd39.d: crates/bench/src/bin/pks_case3.rs
+
+/root/repo/target/release/deps/pks_case3-04ed2c7d8761dd39: crates/bench/src/bin/pks_case3.rs
+
+crates/bench/src/bin/pks_case3.rs:

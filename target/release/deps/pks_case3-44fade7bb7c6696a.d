@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pks_case3-44fade7bb7c6696a.d: crates/bench/src/bin/pks_case3.rs
+
+/root/repo/target/release/deps/pks_case3-44fade7bb7c6696a: crates/bench/src/bin/pks_case3.rs
+
+crates/bench/src/bin/pks_case3.rs:

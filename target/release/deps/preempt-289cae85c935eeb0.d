@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/preempt-289cae85c935eeb0.d: crates/kernel/tests/preempt.rs
+
+/root/repo/target/release/deps/preempt-289cae85c935eeb0: crates/kernel/tests/preempt.rs
+
+crates/kernel/tests/preempt.rs:

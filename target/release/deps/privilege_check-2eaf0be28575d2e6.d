@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/privilege_check-2eaf0be28575d2e6.d: crates/bench/benches/privilege_check.rs
+
+/root/repo/target/release/deps/privilege_check-2eaf0be28575d2e6: crates/bench/benches/privilege_check.rs
+
+crates/bench/benches/privilege_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-16c7c41d560d9437.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-16c7c41d560d9437: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/simkernel-5150a817caf2238d.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/smp.rs crates/kernel/src/usr.rs
+
+/root/repo/target/release/deps/simkernel-5150a817caf2238d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/image.rs crates/kernel/src/layout.rs crates/kernel/src/machine.rs crates/kernel/src/smp.rs crates/kernel/src/usr.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/image.rs:
+crates/kernel/src/layout.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/smp.rs:
+crates/kernel/src/usr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smp-55978883b0bf2601.d: crates/bench/../../tests/smp.rs
+
+/root/repo/target/release/deps/smp-55978883b0bf2601: crates/bench/../../tests/smp.rs
+
+crates/bench/../../tests/smp.rs:

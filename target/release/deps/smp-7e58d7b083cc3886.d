@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smp-7e58d7b083cc3886.d: crates/bench/src/bin/smp.rs
+
+/root/repo/target/release/deps/smp-7e58d7b083cc3886: crates/bench/src/bin/smp.rs
+
+crates/bench/src/bin/smp.rs:

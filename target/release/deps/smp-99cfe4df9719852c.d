@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smp-99cfe4df9719852c.d: crates/bench/src/bin/smp.rs
+
+/root/repo/target/release/deps/smp-99cfe4df9719852c: crates/bench/src/bin/smp.rs
+
+crates/bench/src/bin/smp.rs:

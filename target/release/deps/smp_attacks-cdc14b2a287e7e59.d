@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smp_attacks-cdc14b2a287e7e59.d: crates/bench/../../tests/smp_attacks.rs
+
+/root/repo/target/release/deps/smp_attacks-cdc14b2a287e7e59: crates/bench/../../tests/smp_attacks.rs
+
+crates/bench/../../tests/smp_attacks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-cf7f43e68dab4363.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-cf7f43e68dab4363: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

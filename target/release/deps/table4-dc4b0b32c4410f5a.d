@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-dc4b0b32c4410f5a.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-dc4b0b32c4410f5a: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-2f6d7ee51ff8e670.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-2f6d7ee51ff8e670: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-d7955c26b62c92d4.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-d7955c26b62c92d4: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

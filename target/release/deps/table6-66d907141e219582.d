@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-66d907141e219582.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-66d907141e219582: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

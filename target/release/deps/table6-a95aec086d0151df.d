@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-a95aec086d0151df.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-a95aec086d0151df: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

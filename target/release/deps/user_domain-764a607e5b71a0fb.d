@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/user_domain-764a607e5b71a0fb.d: crates/kernel/tests/user_domain.rs
+
+/root/repo/target/release/deps/user_domain-764a607e5b71a0fb: crates/kernel/tests/user_domain.rs
+
+crates/kernel/tests/user_domain.rs:

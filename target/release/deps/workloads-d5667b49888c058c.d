@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/workloads-d5667b49888c058c.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+/root/repo/target/release/deps/libworkloads-d5667b49888c058c.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+/root/repo/target/release/deps/libworkloads-d5667b49888c058c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/lmbench.rs:
+crates/workloads/src/measure.rs:

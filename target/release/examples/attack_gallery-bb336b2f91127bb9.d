@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/attack_gallery-bb336b2f91127bb9.d: crates/bench/../../examples/attack_gallery.rs
+
+/root/repo/target/release/examples/attack_gallery-bb336b2f91127bb9: crates/bench/../../examples/attack_gallery.rs
+
+crates/bench/../../examples/attack_gallery.rs:

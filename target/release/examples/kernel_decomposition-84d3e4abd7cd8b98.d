@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/kernel_decomposition-84d3e4abd7cd8b98.d: crates/bench/../../examples/kernel_decomposition.rs
+
+/root/repo/target/release/examples/kernel_decomposition-84d3e4abd7cd8b98: crates/bench/../../examples/kernel_decomposition.rs
+
+crates/bench/../../examples/kernel_decomposition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nested_monitor-2951ff59cbb13dd3.d: crates/bench/../../examples/nested_monitor.rs
+
+/root/repo/target/release/examples/nested_monitor-2951ff59cbb13dd3: crates/bench/../../examples/nested_monitor.rs
+
+crates/bench/../../examples/nested_monitor.rs:

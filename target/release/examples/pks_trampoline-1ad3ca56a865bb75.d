@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pks_trampoline-1ad3ca56a865bb75.d: crates/bench/../../examples/pks_trampoline.rs
+
+/root/repo/target/release/examples/pks_trampoline-1ad3ca56a865bb75: crates/bench/../../examples/pks_trampoline.rs
+
+crates/bench/../../examples/pks_trampoline.rs:

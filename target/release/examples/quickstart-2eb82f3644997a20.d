@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2eb82f3644997a20.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2eb82f3644997a20: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_gates-5422c5e92df6c543.d: crates/bench/../../examples/trace_gates.rs
+
+/root/repo/target/release/examples/trace_gates-5422c5e92df6c543: crates/bench/../../examples/trace_gates.rs
+
+crates/bench/../../examples/trace_gates.rs:

@@ -1,0 +1,200 @@
+//! SMP attack: exploiting the revocation window between a privilege-
+//! table update on one hart and the cache flush on another.
+//!
+//! Per-core privilege caches front tables in *shared* trusted memory
+//! (§3.3). When domain-0 software on hart 0 revokes a right, hart 1's
+//! caches still hold the old *allow* verdict — a classic TOCTTOU
+//! window. The shootdown contract closes it: the table write publishes
+//! an epoch that every other hart must acknowledge (flushing its
+//! caches) before its next instruction commits.
+//!
+//! Two scenarios on the same program:
+//! * **control** — machines share the bus but no shootdown cell is
+//!   attached: hart 1 keeps executing the revoked CSR write from its
+//!   stale cache. This is the vulnerability, demonstrated.
+//! * **shootdown** — under [`Smp`] the same revocation faults hart 1's
+//!   *very next* privileged write: not one stale-allowed CSR write
+//!   commits after the table update.
+
+use isa_asm::{Asm, Program, Reg::*};
+use isa_grid::{DomainSpec, GridLayout, Pcu, PcuConfig};
+use isa_sim::csr::addr;
+use isa_sim::{mmio, Bus, Exception, Exit, Kind, Machine, DEFAULT_RAM_BASE as RAM};
+use isa_smp::Smp;
+
+const TMEM: u64 = 0x8380_0000;
+const LOOP_ITERS: u64 = 4_000;
+
+/// A domain that may write `stvec` (the revocable right) on top of the
+/// compute + CSR-class baseline.
+fn with_stvec() -> DomainSpec {
+    let mut d = DomainSpec::compute_only();
+    d.allow_insts([
+        Kind::Csrrw,
+        Kind::Csrrs,
+        Kind::Csrrc,
+        Kind::Csrrwi,
+        Kind::Csrrsi,
+        Kind::Csrrci,
+    ]);
+    d.allow_csr_rw(addr::STVEC);
+    d
+}
+
+/// The same domain after revocation: CSR class intact, `stvec` gone
+/// from the register bitmap.
+fn without_stvec() -> DomainSpec {
+    let mut d = DomainSpec::compute_only();
+    d.allow_insts([
+        Kind::Csrrw,
+        Kind::Csrrs,
+        Kind::Csrrc,
+        Kind::Csrrwi,
+        Kind::Csrrsi,
+        Kind::Csrrci,
+    ]);
+    d
+}
+
+/// Hart 0 ("the monitor's core") halts immediately — revocation is
+/// driven host-side through its PCU. Hart 1 ("the compromised domain")
+/// drops to S-mode and hammers `stvec`; running the loop to completion
+/// means every write was allowed, while a grid fault lands in `mtrap`
+/// and halts with the cause.
+fn attack_program() -> Program {
+    let mut a = Asm::new(RAM);
+    a.label("h0");
+    a.li(T6, mmio::HALT);
+    a.sd(Zero, T6, 0);
+    a.nop();
+
+    a.label("h1");
+    // M-mode prologue: route traps to mtrap, drop to S-mode at kernel.
+    a.la(T0, "mtrap");
+    a.csrw(addr::MTVEC as u32, T0);
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, addr::MSTATUS as u32, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, addr::MSTATUS as u32, T1);
+    a.la(T0, "kernel");
+    a.csrw(addr::MEPC as u32, T0);
+    a.mret();
+
+    a.label("kernel");
+    a.li(T2, LOOP_ITERS);
+    a.label("loop");
+    a.csrw(addr::STVEC as u32, T2); // the privileged write under test
+    a.addi(T2, T2, -1);
+    a.bnez(T2, "loop");
+    a.li(A0, 0xAA); // loop survived: every write was allowed
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+
+    a.label("mtrap");
+    a.csrr(A0, addr::MCAUSE as u32);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+    a.assemble().expect("attack program assembles")
+}
+
+/// Shared setup: a 2-hart bus with the program image, plus a PCU that
+/// installed the grid tables and registered the victim domain. Its
+/// snapshot seeds every hart's PCU with identical table pointers.
+fn arena() -> (Bus, Program, Pcu, isa_grid::DomainId) {
+    let prog = attack_program();
+    let bus = Bus::with_harts(RAM, isa_sim::DEFAULT_RAM_SIZE, 2);
+    bus.write_bytes(prog.base, &prog.bytes);
+    let mut pcu0 = Pcu::new(PcuConfig::eight_e());
+    let mut b0 = bus.for_hart(0);
+    pcu0.install(&mut b0, GridLayout::new(TMEM, 1 << 20));
+    let d = pcu0.add_domain(&mut b0, &with_stvec());
+    (bus, prog, pcu0, d)
+}
+
+#[test]
+fn control_without_shootdown_executes_on_stale_allow() {
+    let (bus, prog, mut pcu0, d) = arena();
+    let snap = pcu0.snapshot();
+    let mut m1 = Machine::on_bus(snap.build(), bus.for_hart(1));
+    m1.cpu.pc = prog.symbol("h1");
+    m1.ext.force_domain(d);
+
+    // Prime hart 1's caches: boot to S-mode and commit a few allowed
+    // stvec writes.
+    for _ in 0..40 {
+        m1.step();
+    }
+    assert!(m1.ext.stats.csr_checks > 0, "loop must be checking CSRs");
+    assert_eq!(m1.ext.stats.faults, 0, "priming writes must be allowed");
+
+    // Hart 0 revokes stvec in the shared tables. No shootdown cell is
+    // attached, so nothing tells hart 1.
+    let mut b0 = bus.for_hart(0);
+    pcu0.update_domain(&mut b0, d, &without_stvec());
+
+    // The compromised domain keeps writing the revoked CSR to the very
+    // end, straight from its stale cached verdict.
+    let exit = m1.run(LOOP_ITERS * 8);
+    assert_eq!(
+        exit,
+        Exit::Halted(0xAA),
+        "without shootdown the stale allow must persist (the vulnerability)"
+    );
+    assert_eq!(m1.ext.stats.faults, 0);
+}
+
+#[test]
+fn shootdown_faults_the_very_next_privileged_write() {
+    let (bus, prog, pcu0, d) = arena();
+    let snap = pcu0.snapshot();
+    let mut smp = Smp::new(&bus, |h, hb| {
+        let mut m = Machine::on_bus(snap.build(), hb);
+        m.cpu.pc = prog.symbol(if h == 0 { "h0" } else { "h1" });
+        m
+    });
+    smp.machine_mut(1).ext.force_domain(d);
+
+    // Prime: hart 0 halts within its first steps; every further step
+    // goes to hart 1, which commits allowed stvec writes.
+    for _ in 0..64 {
+        smp.step();
+    }
+    assert_eq!(smp.machine(0).bus.halted(), Some(0));
+    assert_eq!(smp.machine(1).ext.stats.faults, 0);
+    let primed_steps = smp.machine(1).steps;
+
+    // Hart 0's PCU revokes stvec: table write + shootdown publish.
+    {
+        let m0 = smp.machine_mut(0);
+        m0.ext.update_domain(&mut m0.bus, d, &without_stvec());
+    }
+    assert!(
+        !smp.quiesced(),
+        "epoch published but hart 1 has not flushed yet"
+    );
+
+    let exits = smp.run(LOOP_ITERS * 8);
+    // Hart 1's first post-revocation stvec write must die on the grid
+    // CSR check — the flush happened before anything could commit.
+    assert_eq!(
+        exits[1],
+        Exit::Halted(Exception::CAUSE_GRID_CSR),
+        "the revoked write must fault, not retire from a stale cache"
+    );
+    assert!(smp.quiesced(), "hart 1 acknowledged the epoch");
+    assert_eq!(smp.machine(1).ext.stats.faults, 1);
+    assert!(
+        smp.machine(1).ext.stats.shootdowns_taken >= 1,
+        "hart 1 must have flushed on the published epoch"
+    );
+    // Window bound: at most one loop tail (addi+bnez) precedes the
+    // faulting csrw, and the mtrap handler is 3 instructions + halt.
+    // Anything larger would mean a stale-allowed write slipped through.
+    let window = smp.machine(1).steps - primed_steps;
+    assert!(
+        window <= 8,
+        "hart 1 committed {window} steps after revocation — stale window"
+    );
+}
