@@ -742,6 +742,46 @@ impl Asm {
         self.word(encode::amoadd_w(rd, rs1, rs2))
     }
 
+    /// `amomin.w rd, rs2, (rs1)`.
+    pub fn amomin_w(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.word(encode::amomin_w(rd, rs1, rs2))
+    }
+
+    /// `amomax.w rd, rs2, (rs1)`.
+    pub fn amomax_w(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.word(encode::amomax_w(rd, rs1, rs2))
+    }
+
+    /// `amominu.w rd, rs2, (rs1)`.
+    pub fn amominu_w(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.word(encode::amominu_w(rd, rs1, rs2))
+    }
+
+    /// `amomaxu.w rd, rs2, (rs1)`.
+    pub fn amomaxu_w(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.word(encode::amomaxu_w(rd, rs1, rs2))
+    }
+
+    /// `amomin.d rd, rs2, (rs1)`.
+    pub fn amomin_d(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.word(encode::amomin_d(rd, rs1, rs2))
+    }
+
+    /// `amomax.d rd, rs2, (rs1)`.
+    pub fn amomax_d(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.word(encode::amomax_d(rd, rs1, rs2))
+    }
+
+    /// `amominu.d rd, rs2, (rs1)`.
+    pub fn amominu_d(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.word(encode::amominu_d(rd, rs1, rs2))
+    }
+
+    /// `amomaxu.d rd, rs2, (rs1)`.
+    pub fn amomaxu_d(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.word(encode::amomaxu_d(rd, rs1, rs2))
+    }
+
     /// `hccall rs1` — ISA-Grid gate call; gate id in `rs1`.
     pub fn hccall(&mut self, rs1: Reg) -> &mut Self {
         self.word(encode::hccall(rs1))

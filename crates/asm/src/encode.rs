@@ -421,6 +421,54 @@ pub fn amoxor_d(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
     amo(0b00100, 0b011, rd, rs1, rs2)
 }
 
+/// `amomin.w rd, rs2, (rs1)`.
+#[inline]
+pub fn amomin_w(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    amo(0b10000, 0b010, rd, rs1, rs2)
+}
+
+/// `amomax.w rd, rs2, (rs1)`.
+#[inline]
+pub fn amomax_w(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    amo(0b10100, 0b010, rd, rs1, rs2)
+}
+
+/// `amominu.w rd, rs2, (rs1)`.
+#[inline]
+pub fn amominu_w(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    amo(0b11000, 0b010, rd, rs1, rs2)
+}
+
+/// `amomaxu.w rd, rs2, (rs1)`.
+#[inline]
+pub fn amomaxu_w(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    amo(0b11100, 0b010, rd, rs1, rs2)
+}
+
+/// `amomin.d rd, rs2, (rs1)`.
+#[inline]
+pub fn amomin_d(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    amo(0b10000, 0b011, rd, rs1, rs2)
+}
+
+/// `amomax.d rd, rs2, (rs1)`.
+#[inline]
+pub fn amomax_d(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    amo(0b10100, 0b011, rd, rs1, rs2)
+}
+
+/// `amominu.d rd, rs2, (rs1)`.
+#[inline]
+pub fn amominu_d(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    amo(0b11000, 0b011, rd, rs1, rs2)
+}
+
+/// `amomaxu.d rd, rs2, (rs1)`.
+#[inline]
+pub fn amomaxu_d(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    amo(0b11100, 0b011, rd, rs1, rs2)
+}
+
 /// `fence` (full fence; pred/succ = iorw).
 #[inline]
 pub fn fence() -> u32 {

@@ -1,14 +1,15 @@
 //! Regenerate Figure 5 (LMbench, Linux decomposition, RISC-V).
-//! Accepts `--json` / `--csv`.
+//! Accepts `--json` / `--csv` / `--no-bbcache`.
 use isa_grid_bench::{figs, report::Format};
 use isa_obs::Json;
 fn main() {
     let fmt = Format::from_args();
-    let bars = figs::fig5(2000);
+    let bars = figs::fig5(2000, !Format::has_flag("--no-bbcache"));
     let mut t = figs::render(
         "Figure 5: normalized LMbench time (decomposed vs native, rocket)",
         &bars,
     );
     t.extra("geomean normalized", Json::F64(figs::geomean(&bars, 0)));
+    figs::throughput_extras(&mut t, &bars);
     print!("{}", fmt.emit(&t));
 }

@@ -1,10 +1,10 @@
 //! Regenerate Figure 8 (applications on the nested-monitor kernel).
-//! Accepts `--json` / `--csv`.
+//! Accepts `--json` / `--csv` / `--no-bbcache`.
 use isa_grid_bench::{figs, report::Format};
 use isa_obs::Json;
 fn main() {
     let fmt = Format::from_args();
-    let bars = figs::fig8(1);
+    let bars = figs::fig8(1, !Format::has_flag("--no-bbcache"));
     let mut t = figs::render(
         "Figure 8: normalized app time (nested kernel vs native, x86-like O3)",
         &bars,
@@ -17,5 +17,6 @@ fn main() {
         "geomean normalized Nest.Mon.Log",
         Json::F64(figs::geomean(&bars, 1)),
     );
+    figs::throughput_extras(&mut t, &bars);
     print!("{}", fmt.emit(&t));
 }

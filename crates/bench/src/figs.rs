@@ -19,6 +19,13 @@ pub struct Bar {
     pub native: u64,
     /// Cycles under the ISA-Grid kernel(s); one entry per variant.
     pub grid: Vec<(String, u64)>,
+    /// Guest instructions executed across every run of this bar.
+    pub steps: u64,
+    /// Host wall-clock seconds across every run of this bar.
+    pub host_secs: f64,
+    /// Summed basic-block-cache tallies across every run of this bar
+    /// (zero when the cache was disabled).
+    pub bbcache: isa_obs::BbCounters,
 }
 
 impl Bar {
@@ -28,75 +35,101 @@ impl Bar {
     }
 }
 
+/// Accumulate a run's throughput contribution into a bar.
+fn tally(bar: &mut Bar, runs: &[&measure::RunResult]) {
+    for r in runs {
+        bar.steps += r.steps;
+        bar.host_secs += r.host_secs;
+        bar.bbcache.merge(&r.counters.bbcache);
+    }
+}
+
 /// Figure 5: LMbench micro-benchmarks, Linux-decomposition case, RISC-V
-/// (rocket) platform.
-pub fn fig5(iters: u64) -> Vec<Bar> {
+/// (rocket) platform. `bbcache` selects the simulator fast path (off
+/// for the uncached-interpreter baseline; results are architecturally
+/// identical either way).
+pub fn fig5(iters: u64, bbcache: bool) -> Vec<Bar> {
     LmBench::ALL
         .iter()
         .map(|b| {
             let prog = b.program(iters);
-            let native = measure::run(
+            let native = measure::run_with(
                 KernelConfig::native(),
                 Platform::Rocket,
                 PcuConfig::eight_e(),
                 &prog,
                 b.task2(),
                 MAX_STEPS,
+                bbcache,
             );
-            let grid = measure::run(
+            let grid = measure::run_with(
                 KernelConfig::decomposed(),
                 Platform::Rocket,
                 PcuConfig::eight_e(),
                 &prog,
                 b.task2(),
                 MAX_STEPS,
+                bbcache,
             );
-            Bar {
+            let mut bar = Bar {
                 name: b.name().into(),
                 native: native.cycles(),
                 grid: vec![("ISA-Grid".into(), grid.cycles())],
-            }
+                steps: 0,
+                host_secs: 0.0,
+                bbcache: isa_obs::BbCounters::default(),
+            };
+            tally(&mut bar, &[&native, &grid]);
+            bar
         })
         .collect()
 }
 
 /// Figures 6 and 7: applications under the decomposed kernel on the
-/// given platform.
-pub fn fig67(platform: Platform, scale_div: u64) -> Vec<Bar> {
+/// given platform. `bbcache` as in [`fig5`].
+pub fn fig67(platform: Platform, scale_div: u64, bbcache: bool) -> Vec<Bar> {
     App::ALL
         .iter()
         .map(|app| {
             let mut p = app.bench_params();
             p.scale = (p.scale / scale_div).max(8);
             let prog = app.program(p);
-            let native = measure::run(
+            let native = measure::run_with(
                 KernelConfig::native(),
                 platform,
                 PcuConfig::eight_e(),
                 &prog,
                 None,
                 MAX_STEPS,
+                bbcache,
             );
-            let grid = measure::run(
+            let grid = measure::run_with(
                 KernelConfig::decomposed(),
                 platform,
                 PcuConfig::eight_e(),
                 &prog,
                 None,
                 MAX_STEPS,
+                bbcache,
             );
-            Bar {
+            let mut bar = Bar {
                 name: app.name().into(),
                 native: native.cycles(),
                 grid: vec![("ISA-Grid".into(), grid.cycles())],
-            }
+                steps: 0,
+                host_secs: 0.0,
+                bbcache: isa_obs::BbCounters::default(),
+            };
+            tally(&mut bar, &[&native, &grid]);
+            bar
         })
         .collect()
 }
 
 /// Figure 8: applications under the nested-monitor kernel (x86-like O3
 /// platform), with page-mapping churn so the monitor actually mediates.
-pub fn fig8(scale_div: u64) -> Vec<Bar> {
+/// `bbcache` as in [`fig5`].
+pub fn fig8(scale_div: u64, bbcache: bool) -> Vec<Bar> {
     App::ALL
         .iter()
         .map(|app| {
@@ -105,38 +138,46 @@ pub fn fig8(scale_div: u64) -> Vec<Bar> {
             // ~16 mapping updates per run, like occasional mmap/brk.
             p = p.with_map_every((app.loop_iterations(p) / 16).max(1));
             let prog = app.program(p);
-            let native = measure::run(
+            let native = measure::run_with(
                 KernelConfig::native(),
                 Platform::O3,
                 PcuConfig::eight_e(),
                 &prog,
                 None,
                 MAX_STEPS,
+                bbcache,
             );
-            let mon = measure::run(
+            let mon = measure::run_with(
                 KernelConfig::nested(false),
                 Platform::O3,
                 PcuConfig::eight_e(),
                 &prog,
                 None,
                 MAX_STEPS,
+                bbcache,
             );
-            let mon_log = measure::run(
+            let mon_log = measure::run_with(
                 KernelConfig::nested(true),
                 Platform::O3,
                 PcuConfig::eight_e(),
                 &prog,
                 None,
                 MAX_STEPS,
+                bbcache,
             );
-            Bar {
+            let mut bar = Bar {
                 name: app.name().into(),
                 native: native.cycles(),
                 grid: vec![
                     ("Nest.Mon.".into(), mon.cycles()),
                     ("Nest.Mon.Log".into(), mon_log.cycles()),
                 ],
-            }
+                steps: 0,
+                host_secs: 0.0,
+                bbcache: isa_obs::BbCounters::default(),
+            };
+            tally(&mut bar, &[&native, &mon, &mon_log]);
+            bar
         })
         .collect()
 }
@@ -162,6 +203,40 @@ pub fn render(title: &str, bars: &[Bar]) -> report::Table {
         })
         .collect();
     report::Table::with_rows(title, &headers, &rows)
+}
+
+/// Attach the interpreter-throughput extras every figure binary emits:
+/// aggregate host MIPS and the summed `bbcache` counter block (whose
+/// JSON carries the per-cache `hit_rate` the CI smoke checks for).
+pub fn throughput_extras(t: &mut report::Table, bars: &[Bar]) {
+    use isa_obs::ToJson;
+    let mut bb = isa_obs::BbCounters::default();
+    let mut steps = 0u64;
+    let mut secs = 0.0f64;
+    for b in bars {
+        bb.merge(&b.bbcache);
+        steps += b.steps;
+        secs += b.host_secs;
+    }
+    let mips = if secs > 0.0 {
+        steps as f64 / secs / 1e6
+    } else {
+        0.0
+    };
+    t.extra("host_mips", isa_obs::Json::F64(report::round4(mips)));
+    // Per-workload throughput: tight loops and data-heavy workloads
+    // speed up very differently under the basic-block cache, so the
+    // speedup claims in EXPERIMENTS.md are made per workload.
+    let per: Vec<(String, isa_obs::Json)> = bars
+        .iter()
+        .filter(|b| b.host_secs > 0.0)
+        .map(|b| {
+            let m = b.steps as f64 / b.host_secs / 1e6;
+            (b.name.clone(), isa_obs::Json::F64(report::round4(m)))
+        })
+        .collect();
+    t.extra("host_mips_per_workload", isa_obs::Json::Obj(per));
+    t.extra("bbcache", bb.to_json());
 }
 
 /// Geometric-mean normalized time across a figure's bars (variant `i`).

@@ -1236,4 +1236,12 @@ impl Extension for Pcu {
     fn current_domain_id(&self) -> u16 {
         self.regs.domain as u16
     }
+
+    fn coherence_epoch(&self) -> u64 {
+        // The shootdown cell's epoch moves on every published
+        // cross-hart invalidation; surfacing it here makes the
+        // machine's basic-block cache honor the same flush-before-
+        // next-commit obligation as the privilege caches.
+        self.shoot.as_ref().map_or(0, |c| c.epoch())
+    }
 }

@@ -171,6 +171,10 @@ fn fabricate(kind: isa_sim::Kind) -> isa_sim::Decoded {
         AmoxorW => e::amo(0b00100, 0b010, A0, A0, A0),
         AmoandW => e::amo(0b01100, 0b010, A0, A0, A0),
         AmoorW => e::amo(0b01000, 0b010, A0, A0, A0),
+        AmominW => e::amomin_w(A0, A0, A0),
+        AmomaxW => e::amomax_w(A0, A0, A0),
+        AmominuW => e::amominu_w(A0, A0, A0),
+        AmomaxuW => e::amomaxu_w(A0, A0, A0),
         LrD => e::lr_d(A0, A0),
         ScD => e::sc_d(A0, A0, A0),
         AmoswapD => e::amoswap_d(A0, A0, A0),
@@ -178,6 +182,10 @@ fn fabricate(kind: isa_sim::Kind) -> isa_sim::Decoded {
         AmoxorD => e::amoxor_d(A0, A0, A0),
         AmoandD => e::amoand_d(A0, A0, A0),
         AmoorD => e::amoor_d(A0, A0, A0),
+        AmominD => e::amomin_d(A0, A0, A0),
+        AmomaxD => e::amomax_d(A0, A0, A0),
+        AmominuD => e::amominu_d(A0, A0, A0),
+        AmomaxuD => e::amomaxu_d(A0, A0, A0),
         Fence => e::fence(),
         FenceI => e::fence_i(),
         Ecall => e::ecall(),

@@ -57,6 +57,10 @@ pub struct SimBuilder {
     /// Harts on the shared bus. The booted [`Sim`] is hart 0; extra
     /// harts are minted as workers by [`crate::smp::boot_smp`].
     pub harts: usize,
+    /// Enable the predecoded basic-block cache (default true). Turned
+    /// off by the bench binaries' `--no-bbcache` escape hatch and by
+    /// differential tests that want the uncached reference interpreter.
+    pub bbcache: bool,
 }
 
 impl SimBuilder {
@@ -70,12 +74,19 @@ impl SimBuilder {
             timer_every: None,
             trace_events: None,
             harts: 1,
+            bbcache: true,
         }
     }
 
     /// Put `n` harts on the shared bus (default 1).
     pub fn harts(mut self, n: usize) -> SimBuilder {
         self.harts = n;
+        self
+    }
+
+    /// Enable or disable the predecoded basic-block cache.
+    pub fn bbcache(mut self, on: bool) -> SimBuilder {
+        self.bbcache = on;
         self
     }
 
@@ -120,6 +131,7 @@ impl SimBuilder {
             self.harts,
         );
         let mut m = Machine::on_bus(Pcu::new(self.pcu), bus);
+        m.set_bbcache(self.bbcache);
         m.timer_every = self.timer_every;
         if let Some(cap) = self.trace_events {
             let sink = isa_obs::TraceSink::ring(cap);
@@ -504,6 +516,9 @@ impl Sim {
         }
         c.run.steps = self.machine.steps;
         c.run.traps = self.machine.trap_counts.values().sum();
+        if let Some(bb) = &self.machine.bbcache {
+            c.bbcache = bb.stats.counters();
+        }
         c
     }
 

@@ -62,6 +62,9 @@ pub fn start_worker(sim: &Sim, hart: usize, entry: u64, domain: DomainId) -> Mac
     pcu.set_trusted_stack(base, base + TSTACK_STRIDE);
     pcu.force_domain(domain);
     let mut m = Machine::on_bus(pcu, bus);
+    // Workers inherit hart 0's basic-block cache setting so a
+    // `--no-bbcache` run is uncached on every hart.
+    m.set_bbcache(sim.machine.bbcache.is_some());
     m.cpu.pc = entry;
     // Stacks grow down from the heap top: worker h owns slot h.
     let sp = layout::USER_HEAP + layout::USER_HEAP_SIZE - hart as u64 * WORKER_STACK_STRIDE - 0x100;

@@ -105,6 +105,48 @@ impl ToJson for CacheBank {
     }
 }
 
+/// Basic-block cache tallies from the simulator's predecoded fetch
+/// path: the decode-slot cache and its embedded fetch-translation
+/// cache. Zero when the bbcache is disabled (`--no-bbcache`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BbCounters {
+    /// Predecoded-slot lookups (fetches answered without `decode`).
+    /// `flushes` counts whole-cache invalidations — FENCE.I,
+    /// SFENCE.VMA, code-line stores, and cross-hart shootdowns.
+    pub decode: CacheCounters,
+    /// Fetch-translation lookups (fetches answered without a page
+    /// walk). Flush events are tallied on `decode` only; a flush
+    /// always drops all three structures together.
+    pub tlb: CacheCounters,
+    /// Data-translation lookups (paged loads/stores answered without a
+    /// page walk).
+    pub dtlb: CacheCounters,
+}
+
+impl BbCounters {
+    /// `(name, counters)` pairs in canonical order.
+    pub fn named(&self) -> [(&'static str, &CacheCounters); 3] {
+        [
+            ("decode", &self.decode),
+            ("tlb", &self.tlb),
+            ("dtlb", &self.dtlb),
+        ]
+    }
+
+    /// Add another tally into this one.
+    pub fn merge(&mut self, other: &BbCounters) {
+        self.decode.merge(&other.decode);
+        self.tlb.merge(&other.tlb);
+        self.dtlb.merge(&other.dtlb);
+    }
+}
+
+impl ToJson for BbCounters {
+    fn to_json(&self) -> Json {
+        Json::obj(self.named().map(|(n, c)| (n, c.to_json())))
+    }
+}
+
 /// Privilege-check verdict tallies.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CheckCounters {
@@ -262,6 +304,8 @@ impl ToJson for RunCounters {
 pub struct Counters {
     /// PCU cache tallies.
     pub caches: CacheBank,
+    /// Simulator basic-block cache tallies.
+    pub bbcache: BbCounters,
     /// Privilege-check verdict tallies.
     pub checks: CheckCounters,
     /// Gate / maintenance instruction tallies.
@@ -283,6 +327,11 @@ impl Counters {
             out.push((format!("caches.{name}.hits"), c.hits));
             out.push((format!("caches.{name}.misses"), c.misses));
             out.push((format!("caches.{name}.flushes"), c.flushes));
+        }
+        for (name, c) in self.bbcache.named() {
+            out.push((format!("bbcache.{name}.hits"), c.hits));
+            out.push((format!("bbcache.{name}.misses"), c.misses));
+            out.push((format!("bbcache.{name}.flushes"), c.flushes));
         }
         out.push(("checks.inst".into(), self.checks.inst));
         out.push(("checks.csr".into(), self.checks.csr));
@@ -321,6 +370,7 @@ impl Counters {
     /// (or overwrite it after merging).
     pub fn merge(&mut self, other: &Counters) {
         self.caches.merge(&other.caches);
+        self.bbcache.merge(&other.bbcache);
         self.checks.inst += other.checks.inst;
         self.checks.csr += other.checks.csr;
         self.checks.faults += other.checks.faults;
@@ -364,6 +414,7 @@ impl ToJson for Counters {
     fn to_json(&self) -> Json {
         Json::obj([
             ("caches", self.caches.to_json()),
+            ("bbcache", self.bbcache.to_json()),
             ("checks", self.checks.to_json()),
             ("gates", self.gates.to_json()),
             ("timing", self.timing.to_json()),
@@ -463,6 +514,28 @@ mod tests {
         let s = c.to_json().to_string();
         assert!(s.contains("\"smp\""));
         assert!(s.contains("\"flush_cycles\":77"));
+    }
+
+    #[test]
+    fn bbcache_block_is_in_entries_and_json() {
+        let mut c = Counters::default();
+        c.bbcache.decode.hits = 900;
+        c.bbcache.decode.misses = 100;
+        c.bbcache.tlb.hits = 990;
+        c.bbcache.dtlb.hits = 42;
+        c.bbcache.decode.flushes = 3;
+        assert_eq!(c.get("bbcache.decode.hits"), Some(900));
+        assert_eq!(c.get("bbcache.tlb.hits"), Some(990));
+        assert_eq!(c.get("bbcache.dtlb.hits"), Some(42));
+        assert_eq!(c.get("bbcache.decode.flushes"), Some(3));
+        assert_eq!(c.bbcache.decode.hit_rate(), 0.9);
+        let s = c.to_json().to_string();
+        assert!(s.contains("\"bbcache\""));
+        assert!(s.contains("\"hit_rate\""));
+        let mut d = Counters::default();
+        d.bbcache.decode.hits = 100;
+        c.merge(&d);
+        assert_eq!(c.get("bbcache.decode.hits"), Some(1000));
     }
 
     #[test]

@@ -27,8 +27,8 @@ mod json;
 mod ring;
 
 pub use counters::{
-    CacheBank, CacheCounters, CheckCounters, Counters, GateCounters, RunCounters, SmpCounters,
-    TimingCounters,
+    BbCounters, CacheBank, CacheCounters, CheckCounters, Counters, GateCounters, RunCounters,
+    SmpCounters, TimingCounters,
 };
 pub use event::{CacheKind, CheckKind, TimedEvent, TraceEvent};
 pub use json::{Json, ToJson};

@@ -219,6 +219,15 @@ pub trait Extension {
     fn current_domain_id(&self) -> u16 {
         0
     }
+
+    /// A monotone counter that moves whenever a cross-hart coherence
+    /// event (e.g. a privilege-cache shootdown) lands on this
+    /// extension. The machine compares it against the last value seen
+    /// before each fetch and flushes its basic-block cache on change,
+    /// so predecoded state never outlives the shootdown obligation.
+    fn coherence_epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// The no-op extension: a plain RV64 core.
@@ -323,12 +332,19 @@ pub struct Machine<E: Extension> {
     /// When set, raise the supervisor timer interrupt (STIP) every `n`
     /// steps — a minimal CLINT-style timer device.
     pub timer_every: Option<u64>,
+    /// Steps since the timer last fired (divider state for
+    /// `timer_every`, so the hot loop avoids a per-step modulo).
+    timer_phase: u64,
     /// Count of traps taken, by cause (index = cause for exceptions).
     pub trap_counts: std::collections::BTreeMap<u64, u64>,
     /// Trace-event sink for the observability layer; disabled by
     /// default. Share a clone with the extension so its events
     /// interleave with retire events in commit order.
     pub trace: isa_obs::TraceSink,
+    /// Predecoded basic-block cache; `None` runs the uncached
+    /// translate-and-decode path every step (the `--no-bbcache`
+    /// escape hatch).
+    pub bbcache: Option<Box<crate::bbcache::BbCache>>,
 }
 
 impl<E: Extension> Machine<E> {
@@ -354,9 +370,17 @@ impl<E: Extension> Machine<E> {
             timing: Box::new(NullTiming),
             steps: 0,
             timer_every: None,
+            timer_phase: 0,
             trap_counts: std::collections::BTreeMap::new(),
             trace: isa_obs::TraceSink::off(),
+            bbcache: Some(Box::new(crate::bbcache::BbCache::new())),
         }
+    }
+
+    /// Enable or disable the basic-block cache (enabled by default).
+    /// Disabling drops all cached state.
+    pub fn set_bbcache(&mut self, enabled: bool) {
+        self.bbcache = enabled.then(|| Box::new(crate::bbcache::BbCache::new()));
     }
 
     /// The hart id this machine executes as.
@@ -409,7 +433,9 @@ impl<E: Extension> Machine<E> {
         self.steps += 1;
         self.trace.set_step(self.steps);
         if let Some(n) = self.timer_every {
-            if self.steps.is_multiple_of(n) {
+            self.timer_phase += 1;
+            if self.timer_phase >= n {
+                self.timer_phase = 0;
                 self.set_pending(Interrupt::SupervisorTimer, true);
             }
         }
@@ -472,25 +498,152 @@ impl<E: Extension> Machine<E> {
         if !pc.is_multiple_of(4) {
             return Err(Exception::InstMisaligned(pc));
         }
-        let ctx = self.cpu.walk_ctx(self.cpu.priv_level);
-        let tr = mmu::translate(&mut self.bus, ctx, pc, Access::Exec)?;
-        ev.walk_reads += tr.walk_reads;
-        if tr.walk_reads > 0 {
-            self.cpu.csrs.count_walk();
-        }
-        ev.fetch_paddr = tr.paddr;
-        let raw = self
-            .bus
-            .load(tr.paddr, 4)
-            .ok_or(Exception::InstAccessFault(pc))? as u32;
-        ev.raw = raw;
-        let d = decode(raw)?;
-        ev.kind = Some(d.kind);
+        let d = self.fetch_decode(pc, ev)?;
 
         // ISA-Grid: the PCU checks every instruction to be executed.
         self.ext.check_inst(&self.cpu, &mut self.bus, &d)?;
 
         self.execute(&d, ev)
+    }
+
+    /// Translate + load + decode the instruction at `pc`, through the
+    /// basic-block cache when one is attached. The cached path is
+    /// bit-identical to the uncached one: entries are keyed on every
+    /// input `mmu::translate` reads, and stale state is flushed by the
+    /// bus code epoch / extension coherence epoch before any lookup.
+    fn fetch_decode(&mut self, pc: u64, ev: &mut Retired) -> Result<Decoded, Exception> {
+        use crate::bbcache::{FetchKey, Lookup};
+        let Some(bb) = self.bbcache.as_deref_mut() else {
+            let ctx = self.cpu.walk_ctx(self.cpu.priv_level);
+            let tr = mmu::translate(&mut self.bus, ctx, pc, Access::Exec)?;
+            ev.walk_reads += tr.walk_reads;
+            if tr.walk_reads > 0 {
+                self.cpu.csrs.count_walk();
+            }
+            ev.fetch_paddr = tr.paddr;
+            let raw = self
+                .bus
+                .load(tr.paddr, 4)
+                .ok_or(Exception::InstAccessFault(pc))? as u32;
+            ev.raw = raw;
+            let d = decode(raw)?;
+            ev.kind = Some(d.kind);
+            return Ok(d);
+        };
+
+        // Invalidation contract: flush before any lookup if code lines
+        // were written or a cross-hart shootdown landed.
+        bb.sync_epochs(self.bus.code_epoch(), self.ext.coherence_epoch());
+
+        let ctx = self.cpu.walk_ctx(self.cpu.priv_level);
+        let key = FetchKey::new(ctx.priv_level, ctx.satp, ctx.mstatus, ctx.pkr);
+        // Cached paths replay the fill-time walk count into the event
+        // and the walk CSR, so timing is bit-identical to the uncached
+        // interpreter (only host time differs).
+        let paddr = match bb.lookup(pc, &key) {
+            Lookup::Hit {
+                paddr,
+                d,
+                walk_reads,
+            } => {
+                ev.walk_reads += walk_reads;
+                if walk_reads > 0 {
+                    self.cpu.csrs.count_walk();
+                }
+                ev.fetch_paddr = paddr;
+                ev.raw = d.raw;
+                ev.kind = Some(d.kind);
+                return Ok(d);
+            }
+            Lookup::Translated { paddr, walk_reads } => {
+                ev.walk_reads += walk_reads;
+                if walk_reads > 0 {
+                    self.cpu.csrs.count_walk();
+                }
+                paddr
+            }
+            Lookup::Miss => {
+                let tr = mmu::translate(&mut self.bus, ctx, pc, Access::Exec)?;
+                ev.walk_reads += tr.walk_reads;
+                if tr.walk_reads > 0 {
+                    self.cpu.csrs.count_walk();
+                }
+                // Cache the translation and pin the PTE lines it walked
+                // through, so a PTE store flushes it before reuse.
+                bb.fill_translation(pc, key, tr.paddr & !0xfff, tr.walk_reads);
+                for &pa in tr.pte_addrs.iter().take(tr.walk_reads as usize) {
+                    self.bus.mark_code_lines(pa, 8);
+                }
+                tr.paddr
+            }
+        };
+        ev.fetch_paddr = paddr;
+        let raw = self
+            .bus
+            .load(paddr, 4)
+            .ok_or(Exception::InstAccessFault(pc))? as u32;
+        ev.raw = raw;
+        let d = decode(raw)?;
+        ev.kind = Some(d.kind);
+        // Only instructions resident in RAM can be tracked by the
+        // code-line bitmap; anything else stays decode-per-step.
+        if self.bus.in_ram(paddr, 4) {
+            bb.fill_slot(pc, &key, d);
+            self.bus.mark_code_lines(paddr, 4);
+        }
+        Ok(d)
+    }
+
+    /// Translate a data access, through the basic-block cache's data
+    /// TLB when one is attached and paging is actually active (bare and
+    /// M-mode accesses go straight to the walker, whose early-out is
+    /// already cheaper than a lookup). Hits replay the fill-time walk
+    /// count into the event and walk CSR, exactly like cached fetches,
+    /// so modeled timing is identical with the cache on or off.
+    fn translate_data(
+        &mut self,
+        vaddr: u64,
+        access: Access,
+        ev: &mut Retired,
+    ) -> Result<u64, Exception> {
+        use crate::bbcache::FetchKey;
+        let ctx = self.cpu.walk_ctx(self.effective_data_priv());
+        let paged = ctx.priv_level != Priv::M && ctx.satp >> 60 == 8;
+        if paged {
+            if let Some(bb) = self.bbcache.as_deref_mut() {
+                // Same obligation as fetches: flush before consulting
+                // any cached translation if code/PTE lines were written
+                // or a cross-hart shootdown landed.
+                bb.sync_epochs(self.bus.code_epoch(), self.ext.coherence_epoch());
+                let write = access == Access::Write;
+                let key = FetchKey::new(ctx.priv_level, ctx.satp, ctx.mstatus, ctx.pkr);
+                if let Some((paddr, walk_reads)) = bb.lookup_data(vaddr, &key, write) {
+                    ev.walk_reads += walk_reads;
+                    if walk_reads > 0 {
+                        self.cpu.csrs.count_walk();
+                    }
+                    return Ok(paddr);
+                }
+                let tr = mmu::translate(&mut self.bus, ctx, vaddr, access)?;
+                ev.walk_reads += tr.walk_reads;
+                if tr.walk_reads > 0 {
+                    self.cpu.csrs.count_walk();
+                }
+                if self.bus.in_ram(tr.paddr, 1) {
+                    bb.fill_data(vaddr, key, write, tr.paddr & !0xfff, tr.walk_reads);
+                    for &pa in tr.pte_addrs.iter().take(tr.walk_reads as usize) {
+                        self.bus.mark_code_lines(pa, 8);
+                    }
+                }
+                return Ok(tr.paddr);
+            }
+        }
+        let tr = mmu::translate(&mut self.bus, ctx, vaddr, access)?;
+        ev.walk_reads += tr.walk_reads;
+        if tr.walk_reads > 0 {
+            self.cpu.csrs.count_walk();
+        }
+        Ok(tr.paddr)
     }
 
     /// Execute a decoded instruction at the current PC; returns next PC.
@@ -673,21 +826,16 @@ impl<E: Extension> Machine<E> {
                 let len = if d.kind == LrW { 4 } else { 8 };
                 let vaddr = rs1;
                 Self::check_aligned(vaddr, len, false)?;
-                let ctx = self.cpu.walk_ctx(self.effective_data_priv());
-                let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Read)?;
-                ev.walk_reads += tr.walk_reads;
-                if tr.walk_reads > 0 {
-                    self.cpu.csrs.count_walk();
-                }
-                self.ext.check_phys(&self.cpu, tr.paddr, len, false)?;
+                let paddr = self.translate_data(vaddr, Access::Read, ev)?;
+                self.ext.check_phys(&self.cpu, paddr, len, false)?;
                 // Load + line reservation, atomic w.r.t. remote stores.
                 let v = self
                     .bus
-                    .lr_load(tr.paddr, len)
+                    .lr_load(paddr, len)
                     .ok_or(Exception::LoadAccessFault(vaddr))?;
                 ev.mem = Some(MemAccess {
                     vaddr,
-                    paddr: tr.paddr,
+                    paddr,
                     len,
                     write: false,
                 });
@@ -697,27 +845,22 @@ impl<E: Extension> Machine<E> {
                     v
                 };
                 self.cpu.set_reg(d.rd, v);
-                self.cpu.reservation = Some(crate::mem::reservation_line(tr.paddr));
+                self.cpu.reservation = Some(crate::mem::reservation_line(paddr));
             }
             ScW | ScD => {
                 let len = if d.kind == ScW { 4 } else { 8 };
                 let vaddr = rs1;
                 Self::check_aligned(vaddr, len, true)?;
                 // Translate first so a bad SC still faults.
-                let ctx = self.cpu.walk_ctx(self.effective_data_priv());
-                let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Write)?;
-                ev.walk_reads += tr.walk_reads;
-                if tr.walk_reads > 0 {
-                    self.cpu.csrs.count_walk();
-                }
-                self.ext.check_phys(&self.cpu, tr.paddr, len, true)?;
-                self.wp_check(tr.paddr, len)?;
+                let paddr = self.translate_data(vaddr, Access::Write, ev)?;
+                self.ext.check_phys(&self.cpu, paddr, len, true)?;
+                self.wp_check(paddr, len)?;
                 // Success needs both the architectural reservation and
                 // the bus-side one (which remote stores may have broken).
-                let line = crate::mem::reservation_line(tr.paddr);
+                let line = crate::mem::reservation_line(paddr);
                 let ok = if self.cpu.reservation == Some(line) {
                     self.bus
-                        .sc_store(tr.paddr, len, rs2)
+                        .sc_store(paddr, len, rs2)
                         .ok_or(Exception::StoreAccessFault(vaddr))?
                 } else {
                     self.bus.clear_reservation();
@@ -726,7 +869,7 @@ impl<E: Extension> Machine<E> {
                 if ok {
                     ev.mem = Some(MemAccess {
                         vaddr,
-                        paddr: tr.paddr,
+                        paddr,
                         len,
                         write: true,
                     });
@@ -735,7 +878,18 @@ impl<E: Extension> Machine<E> {
                 self.cpu.reservation = None;
             }
             k if k.is_amo() => {
-                let len = if matches!(k, AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW) {
+                let len = if matches!(
+                    k,
+                    AmoswapW
+                        | AmoaddW
+                        | AmoxorW
+                        | AmoandW
+                        | AmoorW
+                        | AmominW
+                        | AmomaxW
+                        | AmominuW
+                        | AmomaxuW
+                ) {
                     4
                 } else {
                     8
@@ -743,18 +897,13 @@ impl<E: Extension> Machine<E> {
                 let vaddr = rs1;
                 Self::check_aligned(vaddr, len, true)?;
                 // AMOs translate with Write access rights per the spec.
-                let ctx = self.cpu.walk_ctx(self.effective_data_priv());
-                let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Write)?;
-                ev.walk_reads += tr.walk_reads;
-                if tr.walk_reads > 0 {
-                    self.cpu.csrs.count_walk();
-                }
-                self.ext.check_phys(&self.cpu, tr.paddr, len, true)?;
-                self.wp_check(tr.paddr, len)?;
+                let paddr = self.translate_data(vaddr, Access::Write, ev)?;
+                self.ext.check_phys(&self.cpu, paddr, len, true)?;
+                self.wp_check(paddr, len)?;
                 // One locked read-modify-write on the shared bus.
                 let old = self
                     .bus
-                    .amo_rmw(tr.paddr, len, |old| {
+                    .amo_rmw(paddr, len, |old| {
                         let old_sx = if len == 4 {
                             old as i32 as i64 as u64
                         } else {
@@ -767,6 +916,17 @@ impl<E: Extension> Machine<E> {
                             AmoxorW | AmoxorD => old_sx ^ rs2,
                             AmoandW | AmoandD => old_sx & rs2,
                             AmoorW | AmoorD => old_sx | rs2,
+                            // Min/max compare on the *operand width*: W
+                            // forms compare the low 32 bits (signed or
+                            // unsigned) and store a 32-bit result.
+                            AmominW => (old as i32).min(rs2 as i32) as u64,
+                            AmomaxW => (old as i32).max(rs2 as i32) as u64,
+                            AmominuW => (old as u32).min(rs2 as u32) as u64,
+                            AmomaxuW => (old as u32).max(rs2 as u32) as u64,
+                            AmominD => (old as i64).min(rs2 as i64) as u64,
+                            AmomaxD => (old as i64).max(rs2 as i64) as u64,
+                            AmominuD => old.min(rs2),
+                            AmomaxuD => old.max(rs2),
                             _ => unreachable!(),
                         }
                     })
@@ -778,7 +938,7 @@ impl<E: Extension> Machine<E> {
                 };
                 ev.mem = Some(MemAccess {
                     vaddr,
-                    paddr: tr.paddr,
+                    paddr,
                     len,
                     write: true,
                 });
@@ -788,6 +948,11 @@ impl<E: Extension> Machine<E> {
                 if d.kind == SfenceVma && self.cpu.priv_level == Priv::U {
                     return Err(Exception::IllegalInst(d.raw as u64));
                 }
+                // No bbcache action: the cache snoops every store via
+                // the code-line bitmap (code lines *and* walked PTE
+                // lines), so anything FENCE.I or SFENCE.VMA would
+                // invalidate was already flushed when the store
+                // happened — see crates/sim/src/bbcache.rs.
             }
             Wfi => {
                 if self.cpu.priv_level == Priv::U {
@@ -896,20 +1061,15 @@ impl<E: Extension> Machine<E> {
 
     fn mem_load(&mut self, vaddr: u64, len: u8, ev: &mut Retired) -> Result<u64, Exception> {
         Self::check_aligned(vaddr, len, false)?;
-        let ctx = self.cpu.walk_ctx(self.effective_data_priv());
-        let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Read)?;
-        ev.walk_reads += tr.walk_reads;
-        if tr.walk_reads > 0 {
-            self.cpu.csrs.count_walk();
-        }
-        self.ext.check_phys(&self.cpu, tr.paddr, len, false)?;
+        let paddr = self.translate_data(vaddr, Access::Read, ev)?;
+        self.ext.check_phys(&self.cpu, paddr, len, false)?;
         let v = self
             .bus
-            .load(tr.paddr, len)
+            .load(paddr, len)
             .ok_or(Exception::LoadAccessFault(vaddr))?;
         ev.mem = Some(MemAccess {
             vaddr,
-            paddr: tr.paddr,
+            paddr,
             len,
             write: false,
         });
@@ -918,20 +1078,15 @@ impl<E: Extension> Machine<E> {
 
     fn store(&mut self, vaddr: u64, len: u8, val: u64, ev: &mut Retired) -> Result<(), Exception> {
         Self::check_aligned(vaddr, len, true)?;
-        let ctx = self.cpu.walk_ctx(self.effective_data_priv());
-        let tr = mmu::translate(&mut self.bus, ctx, vaddr, Access::Write)?;
-        ev.walk_reads += tr.walk_reads;
-        if tr.walk_reads > 0 {
-            self.cpu.csrs.count_walk();
-        }
-        self.ext.check_phys(&self.cpu, tr.paddr, len, true)?;
-        self.wp_check(tr.paddr, len)?;
+        let paddr = self.translate_data(vaddr, Access::Write, ev)?;
+        self.ext.check_phys(&self.cpu, paddr, len, true)?;
+        self.wp_check(paddr, len)?;
         self.bus
-            .store(tr.paddr, len, val)
+            .store(paddr, len, val)
             .ok_or(Exception::StoreAccessFault(vaddr))?;
         ev.mem = Some(MemAccess {
             vaddr,
-            paddr: tr.paddr,
+            paddr,
             len,
             write: true,
         });

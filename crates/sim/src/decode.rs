@@ -82,6 +82,10 @@ pub enum Kind {
     AmoxorW,
     AmoandW,
     AmoorW,
+    AmominW,
+    AmomaxW,
+    AmominuW,
+    AmomaxuW,
     LrD,
     ScD,
     AmoswapD,
@@ -89,6 +93,10 @@ pub enum Kind {
     AmoxorD,
     AmoandD,
     AmoorD,
+    AmominD,
+    AmomaxD,
+    AmominuD,
+    AmomaxuD,
     Fence,
     FenceI,
     Ecall,
@@ -201,11 +209,19 @@ impl Kind {
                 | Kind::AmoxorW
                 | Kind::AmoandW
                 | Kind::AmoorW
+                | Kind::AmominW
+                | Kind::AmomaxW
+                | Kind::AmominuW
+                | Kind::AmomaxuW
                 | Kind::AmoswapD
                 | Kind::AmoaddD
                 | Kind::AmoxorD
                 | Kind::AmoandD
                 | Kind::AmoorD
+                | Kind::AmominD
+                | Kind::AmomaxD
+                | Kind::AmominuD
+                | Kind::AmomaxuD
         )
     }
 
@@ -316,6 +332,10 @@ const ALL_KINDS: [Kind; Kind::COUNT] = [
     Kind::AmoxorW,
     Kind::AmoandW,
     Kind::AmoorW,
+    Kind::AmominW,
+    Kind::AmomaxW,
+    Kind::AmominuW,
+    Kind::AmomaxuW,
     Kind::LrD,
     Kind::ScD,
     Kind::AmoswapD,
@@ -323,6 +343,10 @@ const ALL_KINDS: [Kind; Kind::COUNT] = [
     Kind::AmoxorD,
     Kind::AmoandD,
     Kind::AmoorD,
+    Kind::AmominD,
+    Kind::AmomaxD,
+    Kind::AmominuD,
+    Kind::AmomaxuD,
     Kind::Fence,
     Kind::FenceI,
     Kind::Ecall,
@@ -502,6 +526,10 @@ pub fn decode(raw: u32) -> Result<Decoded, Exception> {
         0b0011011 => {
             let kind = match funct3 {
                 0b000 => Kind::Addiw,
+                // W-form shifts take a 5-bit shamt: imm[5] (bit 25,
+                // funct7's low bit) set is a *reserved* encoding and
+                // must raise illegal-instruction, never be masked.
+                0b001 | 0b101 if raw >> 25 & 1 != 0 => return ill(),
                 0b001 => {
                     if funct7 != 0 {
                         return ill();
@@ -571,6 +599,10 @@ pub fn decode(raw: u32) -> Result<Decoded, Exception> {
                 (0b00100, 0b010) => Kind::AmoxorW,
                 (0b01100, 0b010) => Kind::AmoandW,
                 (0b01000, 0b010) => Kind::AmoorW,
+                (0b10000, 0b010) => Kind::AmominW,
+                (0b10100, 0b010) => Kind::AmomaxW,
+                (0b11000, 0b010) => Kind::AmominuW,
+                (0b11100, 0b010) => Kind::AmomaxuW,
                 (0b00010, 0b011) => Kind::LrD,
                 (0b00011, 0b011) => Kind::ScD,
                 (0b00001, 0b011) => Kind::AmoswapD,
@@ -578,6 +610,10 @@ pub fn decode(raw: u32) -> Result<Decoded, Exception> {
                 (0b00100, 0b011) => Kind::AmoxorD,
                 (0b01100, 0b011) => Kind::AmoandD,
                 (0b01000, 0b011) => Kind::AmoorD,
+                (0b10000, 0b011) => Kind::AmominD,
+                (0b10100, 0b011) => Kind::AmomaxD,
+                (0b11000, 0b011) => Kind::AmominuD,
+                (0b11100, 0b011) => Kind::AmomaxuD,
                 _ => return ill(),
             };
             Decoded::new(raw, kind)
@@ -769,5 +805,51 @@ mod tests {
         assert_eq!(d.kind, Kind::LrD);
         let d = decode(encode::sc_w(Reg::A0, Reg::A1, Reg::A2)).unwrap();
         assert_eq!(d.kind, Kind::ScW);
+    }
+
+    #[test]
+    fn amo_minmax_decodes() {
+        use Kind::*;
+        let cases: [(u32, Kind); 8] = [
+            (encode::amomin_w(Reg::A0, Reg::A1, Reg::A2), AmominW),
+            (encode::amomax_w(Reg::A0, Reg::A1, Reg::A2), AmomaxW),
+            (encode::amominu_w(Reg::A0, Reg::A1, Reg::A2), AmominuW),
+            (encode::amomaxu_w(Reg::A0, Reg::A1, Reg::A2), AmomaxuW),
+            (encode::amomin_d(Reg::A0, Reg::A1, Reg::A2), AmominD),
+            (encode::amomax_d(Reg::A0, Reg::A1, Reg::A2), AmomaxD),
+            (encode::amominu_d(Reg::A0, Reg::A1, Reg::A2), AmominuD),
+            (encode::amomaxu_d(Reg::A0, Reg::A1, Reg::A2), AmomaxuD),
+        ];
+        for (raw, want) in cases {
+            let d = decode(raw).unwrap();
+            assert_eq!(d.kind, want);
+            assert_eq!((d.rd, d.rs1, d.rs2), (10, 11, 12), "{want:?}");
+            assert!(want.is_amo() && want.is_load() && want.is_store());
+        }
+    }
+
+    #[test]
+    fn reserved_w_shift_shamt_traps() {
+        // Hand-build slliw/srliw/sraiw with imm[5]=1 (shamt 32..63):
+        // the encoders refuse to emit these, but guest code can.
+        let op_imm_32 = 0b0011011u32;
+        for (funct3, funct7) in [(0b001u32, 0u32), (0b101, 0), (0b101, 0b0100000)] {
+            for shamt in [32u32, 33, 63] {
+                let raw =
+                    op_imm_32 | 10 << 7 | funct3 << 12 | 11 << 15 | shamt << 20 | funct7 << 25;
+                assert!(
+                    matches!(decode(raw), Err(Exception::IllegalInst(_))),
+                    "funct3={funct3:#b} shamt={shamt} must be reserved"
+                );
+            }
+            // Round-trip: the same encoding with a legal shamt decodes.
+            for shamt in [0u32, 1, 31] {
+                let raw =
+                    op_imm_32 | 10 << 7 | funct3 << 12 | 11 << 15 | shamt << 20 | funct7 << 25;
+                let d = decode(raw).unwrap();
+                assert_eq!(d.imm, shamt as i64);
+                assert_eq!(decode(d.raw).unwrap(), d, "round-trip");
+            }
+        }
     }
 }

@@ -134,6 +134,10 @@ pub fn mnemonic(kind: Kind) -> &'static str {
         AmoxorW => "amoxor.w",
         AmoandW => "amoand.w",
         AmoorW => "amoor.w",
+        AmominW => "amomin.w",
+        AmomaxW => "amomax.w",
+        AmominuW => "amominu.w",
+        AmomaxuW => "amomaxu.w",
         LrD => "lr.d",
         ScD => "sc.d",
         AmoswapD => "amoswap.d",
@@ -141,6 +145,10 @@ pub fn mnemonic(kind: Kind) -> &'static str {
         AmoxorD => "amoxor.d",
         AmoandD => "amoand.d",
         AmoorD => "amoor.d",
+        AmominD => "amomin.d",
+        AmomaxD => "amomax.d",
+        AmominuD => "amominu.d",
+        AmomaxuD => "amomaxu.d",
         Fence => "fence",
         FenceI => "fence.i",
         Ecall => "ecall",
@@ -202,8 +210,9 @@ impl fmt::Display for Decoded {
                 write!(f, "{m} {rd}, {name}, {}", self.rs1)
             }
             LrW | LrD => write!(f, "{m} {rd}, ({rs1})"),
-            ScW | ScD | AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW | AmoswapD | AmoaddD
-            | AmoxorD | AmoandD | AmoorD => {
+            ScW | ScD | AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW | AmominW | AmomaxW
+            | AmominuW | AmomaxuW | AmoswapD | AmoaddD | AmoxorD | AmoandD | AmoorD | AmominD
+            | AmomaxD | AmominuD | AmomaxuD => {
                 write!(f, "{m} {rd}, {rs2}, ({rs1})")
             }
             Hccall | Hccalls | Pfch | Pflh => write!(f, "{m} {rs1}"),

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bbcache;
 mod cpu;
 pub mod csr;
 pub mod decode;

@@ -72,6 +72,15 @@ struct BusInner {
     halt_codes: Vec<AtomicU64>,
     /// Bit per halted hart; set with release ordering after the code.
     halted_mask: AtomicU64,
+    /// One bit per [`RESERVATION_LINE`]-sized RAM line that some hart's
+    /// basic-block cache decoded code (or walked page-table entries)
+    /// from. Stores check it like the `res_mask` fast path: an unmarked
+    /// store costs one relaxed load per touched bitmap word.
+    code_lines: Box<[AtomicU64]>,
+    /// Bumped whenever a store lands on a marked line; machines compare
+    /// it against their last-seen value before each fetch and flush
+    /// their basic-block caches when it moved.
+    code_epoch: AtomicU64,
 }
 
 /// A per-hart handle onto the shared physical memory bus.
@@ -139,6 +148,11 @@ impl Bus {
                 amo_lock: Mutex::new(()),
                 halt_codes: (0..harts).map(|_| AtomicU64::new(0)).collect(),
                 halted_mask: AtomicU64::new(0),
+                code_lines: {
+                    let lines = (size as usize).div_ceil(RESERVATION_LINE as usize);
+                    (0..lines.div_ceil(64)).map(|_| AtomicU64::new(0)).collect()
+                },
+                code_epoch: AtomicU64::new(0),
             }),
             hart: 0,
         }
@@ -223,6 +237,7 @@ impl Bus {
                 self.inner.ram[i + k].store((val >> (8 * k)) as u8, Ordering::Relaxed);
             }
             self.break_remote_reservations(paddr, len as u64);
+            self.invalidate_code_lines(paddr, len as u64);
             return Some(());
         }
         if paddr == mmio::HALT {
@@ -263,6 +278,7 @@ impl Bus {
         }
         if !bytes.is_empty() {
             self.break_remote_reservations(paddr, bytes.len() as u64);
+            self.invalidate_code_lines(paddr, bytes.len() as u64);
         }
     }
 
@@ -381,6 +397,51 @@ impl Bus {
     /// Reservations broken so far by remote stores/AMOs.
     pub fn reservation_breaks(&self) -> u64 {
         self.inner.res_breaks.load(Ordering::Relaxed)
+    }
+
+    // ---- basic-block cache coherence --------------------------------
+
+    /// Mark the lines of `[paddr, paddr+len)` as holding cached code
+    /// (or page-table entries a cached fetch translation depends on).
+    /// Ranges outside RAM are ignored.
+    pub fn mark_code_lines(&self, paddr: u64, len: u64) {
+        if len == 0 || !self.in_ram(paddr, len) {
+            return;
+        }
+        let first = (paddr - self.inner.ram_base) / RESERVATION_LINE;
+        let last = (paddr + len - 1 - self.inner.ram_base) / RESERVATION_LINE;
+        for line in first..=last {
+            self.inner.code_lines[line as usize / 64]
+                .fetch_or(1u64 << (line % 64), Ordering::SeqCst);
+        }
+    }
+
+    /// The bus-wide code-invalidation epoch. Machines flush their
+    /// basic-block caches whenever this differs from their last-seen
+    /// value.
+    #[inline]
+    pub fn code_epoch(&self) -> u64 {
+        self.inner.code_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Clear any code-line marks overlapping a stored range and bump the
+    /// epoch if there were any. The fast path — no marked line — is one
+    /// relaxed bitmap-word load per touched line.
+    fn invalidate_code_lines(&self, paddr: u64, len: u64) {
+        let first = (paddr - self.inner.ram_base) / RESERVATION_LINE;
+        let last = (paddr + len - 1 - self.inner.ram_base) / RESERVATION_LINE;
+        let mut dirtied = false;
+        for line in first..=last {
+            let word = &self.inner.code_lines[line as usize / 64];
+            let bit = 1u64 << (line % 64);
+            if word.load(Ordering::Relaxed) & bit != 0 {
+                word.fetch_and(!bit, Ordering::SeqCst);
+                dirtied = true;
+            }
+        }
+        if dirtied {
+            self.inner.code_epoch.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     /// Invalidate other harts' reservations overlapping the stored
@@ -552,6 +613,29 @@ mod tests {
         assert_eq!(b.reserved_line(), Some(0x8000_0200));
         assert_eq!(b.sc_store(0x8000_0200, 8, 2), Some(true));
         assert_eq!(b.reservation_breaks(), 0);
+    }
+
+    #[test]
+    fn code_lines_bump_epoch_on_store() {
+        let b = Bus::with_harts(DEFAULT_RAM_BASE, 4096, 2);
+        let e0 = b.code_epoch();
+        // Unmarked stores never move the epoch.
+        b.store(0x8000_0000, 4, 0x13).unwrap();
+        assert_eq!(b.code_epoch(), e0);
+        b.mark_code_lines(0x8000_0040, 4);
+        // A store to a different line: still no movement.
+        b.store(0x8000_0000, 4, 0x13).unwrap();
+        assert_eq!(b.code_epoch(), e0);
+        // A remote hart storing into the marked line bumps the epoch.
+        b.for_hart(1).store(0x8000_0060, 8, 0).unwrap();
+        assert_eq!(b.code_epoch(), e0 + 1);
+        // The mark was consumed: a second store is free again.
+        b.store(0x8000_0060, 8, 0).unwrap();
+        assert_eq!(b.code_epoch(), e0 + 1);
+        // write_bytes (host loader) invalidates too.
+        b.mark_code_lines(0x8000_0080, 64);
+        b.write_bytes(0x8000_0080, &[0u8; 16]);
+        assert_eq!(b.code_epoch(), e0 + 2);
     }
 
     #[test]

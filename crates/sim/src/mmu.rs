@@ -68,6 +68,11 @@ pub struct Translation {
     pub paddr: u64,
     /// Number of PTE memory reads performed (0 when translation is off).
     pub walk_reads: u8,
+    /// Physical addresses of the PTEs read, outermost first; only the
+    /// first `walk_reads` slots are meaningful. The basic-block cache
+    /// marks these lines so PTE mutation invalidates cached fetch
+    /// translations.
+    pub pte_addrs: [u64; 3],
 }
 
 /// Inputs the walker needs from the CPU state.
@@ -105,6 +110,7 @@ pub fn translate(
         return Ok(Translation {
             paddr: vaddr,
             walk_reads: 0,
+            pte_addrs: [0; 3],
         });
     }
     // Canonical check: bits 63:39 must equal bit 38.
@@ -120,12 +126,14 @@ pub fn translate(
         (vaddr >> 30) & 0x1ff,
     ];
     let mut walk_reads = 0u8;
+    let mut pte_addrs = [0u64; 3];
 
     for level in (0..3usize).rev() {
         let pte_addr = table + vpn[level] * 8;
         let raw = bus
             .load(pte_addr, 8)
             .ok_or_else(|| access.page_fault(vaddr))?;
+        pte_addrs[walk_reads as usize] = pte_addr;
         walk_reads += 1;
 
         if raw & pte::V == 0 || (raw & pte::R == 0 && raw & pte::W != 0) {
@@ -210,6 +218,7 @@ pub fn translate(
         return Ok(Translation {
             paddr: base | off,
             walk_reads,
+            pte_addrs,
         });
     }
     Err(access.page_fault(vaddr))

@@ -284,6 +284,73 @@ fn amoadd_and_amoswap() {
 }
 
 #[test]
+fn amo_min_max_signed_unsigned() {
+    let mut a = Asm::new(RAM);
+    // Each check sets one bit of S0 on mismatch, so a nonzero halt
+    // value pinpoints exactly which comparison failed.
+    let mut bit = 0u32;
+    let mut check = |a: &mut Asm, actual: isa_asm::Reg, expect: isa_asm::Reg| {
+        a.xor(T5, actual, expect);
+        a.snez(T5, T5);
+        a.slli(T5, T5, bit);
+        a.or(S0, S0, T5);
+        bit += 1;
+    };
+    let buf = RAM + 0x3000;
+    a.li(S0, 0);
+    a.li(T0, buf);
+    a.li(T1, (-5i64) as u64); // also 0xffff_fffb in its low word
+    a.li(T2, 3);
+
+    // Signed 64-bit: min(-5, 3) keeps -5; max replaces it with 3.
+    a.sd(T1, T0, 0);
+    a.amomin_d(A0, T0, T2);
+    check(&mut a, A0, T1); // old value returned
+    a.amomax_d(A1, T0, T2);
+    check(&mut a, A1, T1); // min left memory at -5
+    a.ld(A2, T0, 0);
+    check(&mut a, A2, T2); // max stored 3
+
+    // Unsigned 64-bit: -5 is huge, so minu picks 3 and maxu picks -5.
+    a.sd(T1, T0, 0);
+    a.amominu_d(A0, T0, T2);
+    check(&mut a, A0, T1);
+    a.ld(A2, T0, 0);
+    check(&mut a, A2, T2);
+    a.amomaxu_d(A0, T0, T1);
+    check(&mut a, A0, T2);
+    a.ld(A2, T0, 0);
+    check(&mut a, A2, T1);
+
+    // Signed 32-bit at buf+8: the old word 0xffff_fffb must come back
+    // sign-extended to the full -5, and min compares it as negative.
+    a.addi(T3, T0, 8);
+    a.sw(T1, T3, 0);
+    a.amomin_w(A0, T3, T2);
+    check(&mut a, A0, T1); // sign-extended result
+    a.amomax_w(A1, T3, T2);
+    check(&mut a, A1, T1);
+    a.lw(A2, T3, 0);
+    check(&mut a, A2, T2);
+
+    // Unsigned 32-bit: 0xffff_fffb is huge, yet the *result* register
+    // is still sign-extended; rs2 is truncated to its low word.
+    a.sw(T1, T3, 0);
+    a.amominu_w(A0, T3, T2);
+    check(&mut a, A0, T1);
+    a.lw(A2, T3, 0);
+    check(&mut a, A2, T2);
+    a.amomaxu_w(A0, T3, T1);
+    check(&mut a, A0, T2);
+    a.lw(A2, T3, 0);
+    check(&mut a, A2, T1);
+
+    a.mv(A0, S0);
+    halt_with_a0(&mut a);
+    assert_eq!(run(a).0, 0, "failed checks (bit = check index)");
+}
+
+#[test]
 fn misaligned_load_traps() {
     let mut a = Asm::new(RAM);
     a.la(T0, "handler");

@@ -268,6 +268,9 @@ impl Smp {
         let mut c = Counters::default();
         for m in &self.harts {
             c.merge(&m.ext.counters());
+            if let Some(bb) = &m.bbcache {
+                c.bbcache.merge(&bb.stats.counters());
+            }
         }
         c.smp.harts = self.harts.len() as u64;
         c.smp.reservation_breaks = self.bus().reservation_breaks();
@@ -301,11 +304,15 @@ impl Smp {
                         let mut m = make(h, hart_bus);
                         m.ext.attach_shootdown(cell, h);
                         let exit = m.run(max_steps);
+                        let mut counters = m.ext.counters();
+                        if let Some(bb) = &m.bbcache {
+                            counters.bbcache = bb.stats.counters();
+                        }
                         HartResult {
                             hart: h,
                             exit,
                             steps: m.steps,
-                            counters: m.ext.counters(),
+                            counters,
                         }
                     })
                 })

@@ -31,11 +31,24 @@ pub struct CacheLevelStats {
 }
 
 /// An LRU set-associative cache (tags only).
+///
+/// Runs once per retired instruction (and again per memory access), so
+/// the tag store is a flat `[set × way]` array indexed by shift/mask —
+/// the power-of-two geometry is asserted at construction.
 #[derive(Debug, Clone)]
 pub struct CacheModel {
     params: CacheParams,
-    // sets[set][way] = (tag, stamp); tag 0 means empty via `valid`.
-    sets: Vec<Vec<(u64, u64, bool)>>,
+    line_shift: u32,
+    set_bits: u32,
+    set_mask: u64,
+    // slots[set * ways + way] = (tag, stamp, valid).
+    slots: Vec<(u64, u64, bool)>,
+    // Line and flat slot index of the most recent hit or fill. A repeat
+    // access to the same line skips the set scan: nothing ran in
+    // between, so that slot still holds the line and a full scan would
+    // hit it. `u64::MAX` = invalid (initial state and after flush).
+    last_line: u64,
+    last_slot: usize,
     tick: u64,
     /// Access statistics.
     pub stats: CacheLevelStats,
@@ -59,7 +72,12 @@ impl CacheModel {
         );
         CacheModel {
             params,
-            sets: vec![vec![(0, 0, false); params.ways]; sets as usize],
+            line_shift: params.line.trailing_zeros(),
+            set_bits: sets.trailing_zeros(),
+            set_mask: sets - 1,
+            slots: vec![(0, 0, false); (sets as usize) * params.ways],
+            last_line: u64::MAX,
+            last_slot: 0,
             tick: 0,
             stats: CacheLevelStats::default(),
         }
@@ -71,36 +89,49 @@ impl CacheModel {
     }
 
     /// Access `paddr`; returns `true` on hit. A miss fills the line
-    /// (evicting LRU).
+    /// (evicting LRU; ties break toward the lowest way, matching the
+    /// first-minimum scan this replaced).
     pub fn access(&mut self, paddr: u64) -> bool {
         self.tick += 1;
-        let line = paddr / self.params.line;
-        let set = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
-        let ways = &mut self.sets[set];
-        if let Some(w) = ways.iter_mut().find(|(t, _, v)| *v && *t == tag) {
-            w.1 = self.tick;
+        let line = paddr >> self.line_shift;
+        if line == self.last_line {
+            self.slots[self.last_slot].1 = self.tick;
             self.stats.hits += 1;
             return true;
         }
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_bits;
+        let base = set * self.params.ways;
+        let ways = &mut self.slots[base..base + self.params.ways];
+        let mut victim = 0;
+        let mut victim_key = (true, u64::MAX);
+        for (i, w) in ways.iter_mut().enumerate() {
+            if w.2 && w.0 == tag {
+                w.1 = self.tick;
+                self.stats.hits += 1;
+                self.last_line = line;
+                self.last_slot = base + i;
+                return true;
+            }
+            let key = (w.2, w.1);
+            if key < victim_key {
+                victim_key = key;
+                victim = i;
+            }
+        }
         self.stats.misses += 1;
-        let victim = ways
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, (_, stamp, valid))| (*valid, *stamp))
-            .map(|(i, _)| i)
-            .expect("ways > 0");
         ways[victim] = (tag, self.tick, true);
+        self.last_line = line;
+        self.last_slot = base + victim;
         false
     }
 
     /// Drop all lines.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for way in set {
-                way.2 = false;
-            }
+        for slot in &mut self.slots {
+            slot.2 = false;
         }
+        self.last_line = u64::MAX;
     }
 }
 
@@ -127,12 +158,14 @@ impl TlbModel {
     }
 
     /// Access the page of `vaddr`; returns `true` on hit and fills on
-    /// miss.
+    /// miss. Hits swap to the front of the scan order — eviction is by
+    /// stamp, so this only shortens future scans for hot pages.
     pub fn access(&mut self, vaddr: u64) -> bool {
         self.tick += 1;
         let vpn = vaddr >> 12;
-        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
-            e.1 = self.tick;
+        if let Some(i) = self.entries.iter().position(|&(v, _)| v == vpn) {
+            self.entries[i].1 = self.tick;
+            self.entries.swap(0, i);
             self.stats.hits += 1;
             return true;
         }

@@ -211,6 +211,9 @@ pub struct PipelineModel {
     dtlb: TlbModel,
     bp: BranchPredictor,
     frac: u64,
+    /// Issue-slot increment in eighths of a cycle (`8 / issue_width`),
+    /// precomputed so `retire` avoids a per-instruction division.
+    frac_inc: u64,
     /// Aggregate statistics.
     pub stats: TimingStats,
 }
@@ -228,6 +231,7 @@ impl PipelineModel {
             dtlb: TlbModel::new(cfg.tlb_entries),
             bp: BranchPredictor::new(cfg.predictor_bits),
             frac: 0,
+            frac_inc: 8 / cfg.issue_width,
             stats: TimingStats::default(),
         }
     }
@@ -322,7 +326,7 @@ impl TimingSink for PipelineModel {
             cycles = 1;
             self.frac = 0;
         } else {
-            self.frac += 8 / self.cfg.issue_width;
+            self.frac += self.frac_inc;
             cycles = self.frac / 8;
             self.frac %= 8;
         }

@@ -24,12 +24,26 @@ pub struct RunResult {
     pub exit_code: u64,
     /// The unified counter snapshot the convenience fields are drawn from.
     pub counters: Counters,
+    /// Host wall-clock seconds spent inside the interpreter loop
+    /// (excludes boot-image assembly; includes kernel boot).
+    pub host_secs: f64,
 }
 
 impl RunResult {
     /// The first (usually only) reported measurement.
     pub fn cycles(&self) -> u64 {
         self.reported[0]
+    }
+
+    /// Host-side interpreter throughput in millions of guest
+    /// instructions per host second — the figure of merit for the
+    /// basic-block cache (simulated cycles are unaffected by it).
+    pub fn host_mips(&self) -> f64 {
+        if self.host_secs > 0.0 {
+            self.steps as f64 / self.host_secs / 1e6
+        } else {
+            0.0
+        }
     }
 
     /// Serialize the whole result — reported cycles plus the unified
@@ -42,6 +56,7 @@ impl RunResult {
             ),
             ("total_cycles", Json::U64(self.total_cycles)),
             ("exit_code", Json::U64(self.exit_code)),
+            ("host_mips", Json::F64(self.host_mips())),
             ("counters", self.counters.to_json()),
         ])
     }
@@ -61,11 +76,35 @@ pub fn run(
     task2: Option<&str>,
     max_steps: u64,
 ) -> RunResult {
+    run_with(kernel, platform, pcu, prog, task2, max_steps, true)
+}
+
+/// [`run`], with the simulator's basic-block cache switched on or off.
+/// Architectural results are identical either way (that is the cache's
+/// contract); only [`RunResult::host_mips`] and the `bbcache.*`
+/// counters differ.
+///
+/// # Panics
+///
+/// Panics if the guest does not halt within `max_steps` or exits
+/// non-zero.
+pub fn run_with(
+    kernel: KernelConfig,
+    platform: Platform,
+    pcu: PcuConfig,
+    prog: &Program,
+    task2: Option<&str>,
+    max_steps: u64,
+    bbcache: bool,
+) -> RunResult {
     let mut sim = SimBuilder::new(kernel)
         .platform(platform)
         .pcu(pcu)
+        .bbcache(bbcache)
         .boot(prog, task2);
+    let t0 = std::time::Instant::now();
     let exit_code = sim.run_to_halt(max_steps);
+    let host_secs = t0.elapsed().as_secs_f64();
     assert_eq!(exit_code, 0, "workload failed under {kernel:?}");
     let counters = sim.counters();
     RunResult {
@@ -76,6 +115,7 @@ pub fn run(
         gate_calls: counters.gates.calls,
         exit_code,
         counters,
+        host_secs,
     }
 }
 

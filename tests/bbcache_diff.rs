@@ -1,0 +1,444 @@
+//! Differential testing of the predecoded basic-block cache: random
+//! instruction streams — including self-modifying code, `FENCE.I`,
+//! `SFENCE.VMA`, and cross-hart PCU shootdowns — must retire
+//! *bit-identically* through the cached and uncached interpreters.
+//!
+//! The cache's contract (`crates/sim/src/bbcache.rs`) is that it is
+//! architecturally invisible: only host throughput and the `bbcache.*`
+//! counters may differ. The one deliberately microarchitectural field
+//! is `Retired::walk_reads` (a cached fetch skips the page walk), so
+//! the comparison covers every field except that one.
+
+use isa_asm::{encode, Asm, Program, Reg::*};
+use isa_grid::{Pcu, PcuConfig};
+use isa_sim::{mmio, Bus, Machine, NullExtension, Retired, DEFAULT_RAM_BASE as RAM};
+use isa_smp::Smp;
+use proptest::prelude::*;
+
+const MHARTID: u32 = 0xF14;
+
+/// Patch-site count inside the loop body.
+const SLOTS: usize = 3;
+
+/// The instruction words an [`Op::Patch`] may write over a slot. All
+/// are 4-byte, side-effect-bounded ALU forms so the program still
+/// terminates whatever gets patched where.
+fn patch_word(variant: u8) -> u32 {
+    match variant % 4 {
+        0 => encode::addi(A0, A0, 1),
+        1 => encode::xor(A1, A1, A0),
+        2 => encode::addi(Zero, Zero, 0),
+        _ => encode::sltu(A2, A0, A1),
+    }
+}
+
+/// One randomly chosen loop-body operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `addi a0, a0, imm`.
+    Addi(i8),
+    /// `xor a1, a1, a0`.
+    Xor,
+    /// `ld a3, off(s2)` from the data buffer.
+    Load(u8),
+    /// `sd a0, off(s2)` into the data buffer.
+    Store(u8),
+    /// Overwrite patch slot `slot` with [`patch_word`]`(variant)` —
+    /// self-modifying code; `fence` optionally follows with `FENCE.I`.
+    Patch { slot: u8, variant: u8, fence: bool },
+    /// A bare `FENCE.I`.
+    FenceI,
+    /// `sfence.vma x0, x0` (legal at M-mode).
+    Sfence,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<i8>().prop_map(Op::Addi),
+        Just(Op::Xor),
+        (0u8..8).prop_map(Op::Load),
+        (0u8..8).prop_map(Op::Store),
+        ((0u8..SLOTS as u8), 0u8..4, any::<bool>()).prop_map(|(slot, variant, fence)| Op::Patch {
+            slot,
+            variant,
+            fence
+        }),
+        Just(Op::FenceI),
+        Just(Op::Sfence),
+    ]
+}
+
+fn emit(a: &mut Asm, op: &Op) {
+    match op {
+        Op::Addi(imm) => {
+            a.addi(A0, A0, *imm as i32);
+        }
+        Op::Xor => {
+            a.xor(A1, A1, A0);
+        }
+        Op::Load(off) => {
+            a.ld(A3, S2, *off as i32 * 8);
+        }
+        Op::Store(off) => {
+            a.sd(A0, S2, *off as i32 * 8);
+        }
+        Op::Patch {
+            slot,
+            variant,
+            fence,
+        } => {
+            a.la(T0, &format!("p{slot}"));
+            a.li(T1, patch_word(*variant) as u64);
+            a.sw(T1, T0, 0);
+            if *fence {
+                a.fence_i();
+            }
+        }
+        Op::FenceI => {
+            a.fence_i();
+        }
+        Op::Sfence => {
+            a.sfence_vma(Zero, Zero);
+        }
+    }
+}
+
+/// A looped program running `ops` then the patchable slots each
+/// iteration, so later iterations re-fetch code the earlier ones may
+/// have both cached and rewritten.
+fn looped_program(ops: &[Op], loops: u64, smp_extras: bool) -> Program {
+    let mut a = Asm::new(RAM);
+    a.la(S2, "data");
+    a.la(S3, "amo");
+    a.li(S1, loops);
+    a.li(A0, 1);
+    a.li(A1, 3);
+    a.label("top");
+    for op in ops {
+        emit(&mut a, op);
+    }
+    for s in 0..SLOTS {
+        a.label(&format!("p{s}"));
+        a.addi(Zero, Zero, 0);
+    }
+    if smp_extras {
+        // Contend on a shared counter and publish a PCU shootdown each
+        // iteration, so remote basic-block caches must flush through
+        // the coherence epoch before their next commit.
+        a.li(T2, 1);
+        a.amoadd_d(A4, S3, T2);
+        a.pflh(Zero);
+    }
+    a.addi(S1, S1, -1);
+    a.bnez(S1, "top");
+    if smp_extras {
+        a.csrr(A0, MHARTID);
+    } else {
+        a.li(A0, 0);
+    }
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.align(8);
+    a.label("amo");
+    a.d64(0);
+    a.label("data");
+    for i in 0..8u64 {
+        a.d64(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    }
+    a.assemble().expect("diff program assembles")
+}
+
+/// Architectural equality: every [`Retired`] field except `walk_reads`
+/// (cached fetches legitimately skip the walk).
+fn arch_eq(a: &Retired, b: &Retired) -> bool {
+    a.pc == b.pc
+        && a.fetch_paddr == b.fetch_paddr
+        && a.next_pc == b.next_pc
+        && a.kind == b.kind
+        && a.raw == b.raw
+        && a.priv_level == b.priv_level
+        && a.mem == b.mem
+        && a.branch_taken == b.branch_taken
+        && a.trap_cause == b.trap_cause
+        && a.ext == b.ext
+}
+
+fn fmt_ev(e: &Option<Retired>) -> String {
+    match e {
+        Some(r) => format!(
+            "pc={:#x} raw={:#010x} kind={:?} next={:#x} mem={:?} trap={:?}",
+            r.pc, r.raw, r.kind, r.next_pc, r.mem, r.trap_cause
+        ),
+        None => "interrupt".into(),
+    }
+}
+
+/// Lock-step a cached and an uncached machine over the same program,
+/// comparing every retired event. Returns the cached machine's
+/// decode-hit count so callers can assert the fast path actually ran.
+fn diff_single(prog: &Program, max_steps: u64) -> Result<u64, TestCaseError> {
+    let mut cached = Machine::new(NullExtension);
+    let mut uncached = Machine::new(NullExtension);
+    uncached.set_bbcache(false);
+    cached.load_program(prog);
+    uncached.load_program(prog);
+    lockstep(&mut cached, &mut uncached, max_steps)
+}
+
+/// Lock-step two pre-built machines (cached first) until both halt.
+fn lockstep(
+    cached: &mut Machine<NullExtension>,
+    uncached: &mut Machine<NullExtension>,
+    max_steps: u64,
+) -> Result<u64, TestCaseError> {
+    for step in 0..max_steps {
+        let hc = cached.bus.halted();
+        prop_assert_eq!(hc, uncached.bus.halted(), "halt diverged at step {}", step);
+        if hc.is_some() {
+            let bb = cached
+                .bbcache
+                .as_ref()
+                .expect("cached machine has a bbcache");
+            return Ok(bb.stats.decode_hits);
+        }
+        let ec = cached.step();
+        let eu = uncached.step();
+        let same = match (&ec, &eu) {
+            (Some(c), Some(u)) => arch_eq(c, u),
+            (None, None) => true,
+            _ => false,
+        };
+        prop_assert!(
+            same,
+            "step {} diverged:\n  cached:   {}\n  uncached: {}",
+            step,
+            fmt_ev(&ec),
+            fmt_ev(&eu)
+        );
+    }
+    prop_assert!(false, "program did not halt within {} steps", max_steps);
+    unreachable!()
+}
+
+/// Build a `harts`-wide SMP machine over `prog` with the bbcache on or
+/// off on every hart.
+fn smp_on(prog: &Program, harts: usize, bbcache: bool) -> Smp {
+    let bus = Bus::with_harts(RAM, 4 << 20, harts);
+    bus.write_bytes(prog.base, &prog.bytes);
+    Smp::new(&bus, |_h, hb| {
+        let mut m = Machine::on_bus(Pcu::new(PcuConfig::eight_e()), hb);
+        m.set_bbcache(bbcache);
+        m.cpu.pc = prog.base;
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Single-hart: random streams with self-modifying code and fences
+    /// retire identically with and without the cache.
+    #[test]
+    fn cached_and_uncached_streams_are_bit_identical(
+        ops in prop::collection::vec(op_strategy(), 1..24),
+        loops in 1u64..5,
+    ) {
+        let prog = looped_program(&ops, loops, false);
+        diff_single(&prog, 200_000)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Multi-hart: the same externally-chosen interleaving replayed on
+    /// cached and uncached SMP machines — with every hart publishing
+    /// PCU shootdowns and patching shared code — retires identically
+    /// on every hart.
+    #[test]
+    fn smp_interleavings_replay_bit_identically(
+        ops in prop::collection::vec(op_strategy(), 1..12),
+        loops in 1u64..4,
+        sched in prop::collection::vec(0usize..2, 64..512),
+    ) {
+        let harts = 2;
+        let prog = looped_program(&ops, loops, true);
+        let mut cached = smp_on(&prog, harts, true);
+        let mut uncached = smp_on(&prog, harts, false);
+        // Drive both machines with the identical hart sequence (cycled
+        // until everyone halts), bypassing the built-in scheduler so
+        // the interleaving is exactly the proptest input.
+        for round in 0..200_000usize {
+            let halted: Vec<bool> = (0..harts)
+                .map(|h| cached.machine(h).bus.halted().is_some())
+                .collect();
+            for h in 0..harts {
+                prop_assert_eq!(
+                    cached.machine(h).bus.halted(),
+                    uncached.machine(h).bus.halted(),
+                    "hart {} halt state diverged", h
+                );
+            }
+            if halted.iter().all(|&d| d) {
+                break;
+            }
+            let mut h = sched[round % sched.len()] % harts;
+            if halted[h] {
+                h = (0..harts).find(|&x| !halted[x]).expect("someone is runnable");
+            }
+            let ec = cached.machine_mut(h).step();
+            let eu = uncached.machine_mut(h).step();
+            let same = match (&ec, &eu) {
+                (Some(c), Some(u)) => arch_eq(c, u),
+                (None, None) => true,
+                _ => false,
+            };
+            prop_assert!(
+                same,
+                "hart {} round {} diverged:\n  cached:   {}\n  uncached: {}",
+                h, round, fmt_ev(&ec), fmt_ev(&eu)
+            );
+            prop_assert!(round < 199_999, "SMP case did not quiesce");
+        }
+        // Both replicas end with the same memory image.
+        prop_assert_eq!(
+            cached.bus().read_u64(prog.symbol("amo")),
+            uncached.bus().read_u64(prog.symbol("amo"))
+        );
+    }
+}
+
+/// Deterministic sanity: a hot loop actually exercises the fast path
+/// (the differential property above would pass vacuously if the cache
+/// never hit).
+#[test]
+fn hot_loop_hits_the_cache() {
+    let ops = vec![Op::Addi(1), Op::Xor, Op::Load(0), Op::Store(1)];
+    let prog = looped_program(&ops, 200, false);
+    let hits = diff_single(&prog, 200_000).expect("differential run succeeds");
+    assert!(hits > 1_000, "expected a hot loop to hit, got {hits} hits");
+}
+
+/// Self-modifying code without an intervening `FENCE.I` still retires
+/// identically: the code-line bitmap invalidates on the store itself.
+#[test]
+fn unfenced_patch_is_seen_by_cached_fetch() {
+    let ops = vec![
+        Op::Patch {
+            slot: 0,
+            variant: 0,
+            fence: false,
+        },
+        Op::Patch {
+            slot: 1,
+            variant: 1,
+            fence: false,
+        },
+        Op::Addi(2),
+    ];
+    let prog = looped_program(&ops, 50, false);
+    diff_single(&prog, 200_000).expect("differential run succeeds");
+}
+
+/// Paged (Sv39, S-mode) differential run exercising the *data* TLB: the
+/// guest reads a virtual alias page in a hot loop, then rewrites the
+/// alias's leaf PTE to point at a different frame — with **no**
+/// `SFENCE.VMA` — and keeps reading. The PTE store must flush the
+/// cached translations through the code-line bitmap (PTE lines are
+/// marked when a translation is cached), so cached and uncached runs
+/// retire bit-identically, including the post-remap physical addresses.
+#[test]
+fn paged_pte_remap_without_sfence_stays_identical() {
+    use isa_sim::csr::addr::SATP;
+    use isa_sim::mmu::{pte, PageTableBuilder};
+    use isa_sim::Priv;
+
+    const PT_POOL: u64 = RAM + 0x10_0000;
+    const P1: u64 = RAM + 0x20_0000;
+    const P2: u64 = RAM + 0x20_1000;
+    const ALIAS: u64 = RAM + 0x30_0000;
+    const LOOPS: u64 = 64;
+
+    // Build the identical address space in a machine: identity maps for
+    // code, page-table pool, data frames, and the HALT MMIO page, plus
+    // the alias page initially backed by P1.
+    fn setup(bbcache: bool, prog: Option<&Program>) -> (Machine<NullExtension>, u64) {
+        let mut m = Machine::new(NullExtension);
+        m.set_bbcache(bbcache);
+        let mut pt = PageTableBuilder::new(&mut m.bus, PT_POOL, 16 * 4096);
+        let rwx = pte::R | pte::W | pte::X;
+        pt.map_range(&mut m.bus, RAM, RAM, 0x4000, rwx);
+        pt.map_range(&mut m.bus, PT_POOL, PT_POOL, 16 * 4096, pte::R | pte::W);
+        pt.map_page(&mut m.bus, P1, P1, pte::R | pte::W);
+        pt.map_page(&mut m.bus, P2, P2, pte::R | pte::W);
+        pt.map_page(&mut m.bus, ALIAS, P1, pte::R | pte::W);
+        let halt_page = mmio::HALT & !0xfff;
+        pt.map_page(&mut m.bus, halt_page, halt_page, pte::R | pte::W);
+        let pte_addr = pt
+            .leaf_pte_addr(&m.bus, ALIAS)
+            .expect("alias page is mapped");
+        if let Some(p) = prog {
+            m.bus.write_bytes(p.base, &p.bytes);
+        }
+        m.cpu.csrs.write_raw(SATP, pt.satp());
+        m.cpu.priv_level = Priv::S;
+        m.cpu.pc = RAM;
+        (m, pte_addr)
+    }
+
+    // The builder's pool allocation is deterministic, so probe the leaf
+    // PTE address once and bake it into the program as an immediate.
+    let (_, pte_addr) = setup(true, None);
+    let new_pte = ((P2 >> 12) << 10) | pte::R | pte::W | pte::V | pte::A | pte::D;
+
+    let mut a = Asm::new(RAM);
+    a.li(S2, ALIAS);
+    a.li(T0, P1);
+    a.li(T1, 0x111);
+    a.sd(T1, T0, 0);
+    a.li(T0, P2);
+    a.li(T1, 0x222);
+    a.sd(T1, T0, 0);
+    for (label, _) in [("warm", P1), ("remapped", P2)] {
+        a.li(S1, LOOPS);
+        a.label(label);
+        a.ld(A3, S2, 0);
+        a.add(A0, A0, A3);
+        a.addi(S1, S1, -1);
+        a.bnez(S1, label);
+        if label == "warm" {
+            a.li(T0, pte_addr);
+            a.li(T1, new_pte);
+            a.sd(T1, T0, 0); // remap the alias; deliberately no sfence
+        }
+    }
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    let prog = a.assemble().expect("paged diff program assembles");
+
+    let (mut cached, pa) = setup(true, Some(&prog));
+    let (mut uncached, pb) = setup(false, Some(&prog));
+    assert_eq!(pa, pb, "page-table layout must be deterministic");
+    assert_eq!(pa, pte_addr);
+    lockstep(&mut cached, &mut uncached, 200_000).expect("paged differential run succeeds");
+
+    let bb = cached
+        .bbcache
+        .as_ref()
+        .expect("cached machine has a bbcache");
+    assert!(
+        bb.stats.dtlb_hits > LOOPS,
+        "alias loop must hit the data TLB, got {} hits",
+        bb.stats.dtlb_hits
+    );
+    assert_eq!(
+        cached.bus.read_u64(P2),
+        0x222,
+        "remap target frame holds its sentinel"
+    );
+    assert_eq!(
+        cached.bus.halted(),
+        Some(LOOPS * 0x111 + LOOPS * 0x222),
+        "accumulator proves the remap was observed exactly at the fence-free boundary"
+    );
+}

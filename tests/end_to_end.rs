@@ -40,7 +40,7 @@ fn load_store_misses_exceed_table4_floors() {
 
 #[test]
 fn fig5_micro_overheads_are_small() {
-    let bars = figs::fig5(60);
+    let bars = figs::fig5(60, true);
     for b in &bars {
         let n = b.normalized(0);
         assert!(
@@ -57,7 +57,7 @@ fn fig5_micro_overheads_are_small() {
 
 #[test]
 fn fig6_app_overheads_below_one_percent_rocket() {
-    let bars = figs::fig67(Platform::Rocket, 16);
+    let bars = figs::fig67(Platform::Rocket, 16, true);
     for b in &bars {
         let n = b.normalized(0);
         assert!((0.97..=1.03).contains(&n), "{}: {n}", b.name);
@@ -66,7 +66,7 @@ fn fig6_app_overheads_below_one_percent_rocket() {
 
 #[test]
 fn fig7_app_overheads_below_one_percent_o3() {
-    let bars = figs::fig67(Platform::O3, 16);
+    let bars = figs::fig67(Platform::O3, 16, true);
     for b in &bars {
         let n = b.normalized(0);
         assert!((0.95..=1.05).contains(&n), "{}: {n}", b.name);
@@ -75,7 +75,7 @@ fn fig7_app_overheads_below_one_percent_o3() {
 
 #[test]
 fn fig8_nested_monitor_overheads_small_and_log_costs_more() {
-    let bars = figs::fig8(8);
+    let bars = figs::fig8(8, true);
     for b in &bars {
         let mon = b.normalized(0);
         let log = b.normalized(1);
