@@ -1,8 +1,11 @@
 //! Sweep the PCU design choices (cache sizes, bypass register, unified
-//! HPT cache, Draco legal cache). Accepts `--json` / `--csv`.
-use isa_grid_bench::{ablation, report::Format};
+//! HPT cache, Draco legal cache). Accepts `--json` / `--csv` /
+//! `--profile <path>`.
+use isa_grid_bench::{ablation, profile, report::Args};
 fn main() {
-    let fmt = Format::from_args();
+    let args = Args::from_env();
+    profile::begin(&args, "ablation");
     let pts = ablation::run(1);
-    print!("{}", fmt.emit(&ablation::render(&pts)));
+    print!("{}", args.emit(&ablation::render(&pts)));
+    profile::finish(&args, vec![]);
 }

@@ -1,10 +1,12 @@
 //! Print the stall-cycle breakdown and the monitor mediation micro-cost.
-//! Accepts `--json` / `--csv`.
-use isa_grid_bench::{breakdown, report::Format};
+//! Accepts `--json` / `--csv` / `--profile <path>`.
+use isa_grid_bench::{breakdown, profile, report::Args};
 fn main() {
-    let fmt = Format::from_args();
+    let args = Args::from_env();
+    profile::begin(&args, "breakdown");
     let rows = breakdown::run(1);
-    print!("{}", fmt.emit(&breakdown::render(&rows)));
+    print!("{}", args.emit(&breakdown::render(&rows)));
     let micro = breakdown::monitor_micro(256);
-    print!("{}", fmt.emit(&breakdown::render_monitor(&micro)));
+    print!("{}", args.emit(&breakdown::render_monitor(&micro)));
+    profile::finish(&args, vec![]);
 }

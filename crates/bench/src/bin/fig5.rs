@@ -1,15 +1,17 @@
 //! Regenerate Figure 5 (LMbench, Linux decomposition, RISC-V).
-//! Accepts `--json` / `--csv` / `--no-bbcache`.
-use isa_grid_bench::{figs, report::Format};
+//! Accepts `--json` / `--csv` / `--no-bbcache` / `--profile <path>`.
+use isa_grid_bench::{figs, profile, report::Args};
 use isa_obs::Json;
 fn main() {
-    let fmt = Format::from_args();
-    let bars = figs::fig5(2000, !Format::has_flag("--no-bbcache"));
+    let args = Args::from_env();
+    profile::begin(&args, "fig5");
+    let bars = figs::fig5(2000, args.bbcache);
     let mut t = figs::render(
         "Figure 5: normalized LMbench time (decomposed vs native, rocket)",
         &bars,
     );
     t.extra("geomean normalized", Json::F64(figs::geomean(&bars, 0)));
     figs::throughput_extras(&mut t, &bars);
-    print!("{}", fmt.emit(&t));
+    print!("{}", args.emit(&t));
+    profile::finish(&args, vec![]);
 }

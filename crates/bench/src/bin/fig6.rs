@@ -1,16 +1,18 @@
 //! Regenerate Figure 6 (applications, Linux decomposition, RISC-V).
-//! Accepts `--json` / `--csv` / `--no-bbcache`.
-use isa_grid_bench::{figs, report::Format};
+//! Accepts `--json` / `--csv` / `--no-bbcache` / `--profile <path>`.
+use isa_grid_bench::{figs, profile, report::Args};
 use isa_obs::Json;
 use simkernel::Platform;
 fn main() {
-    let fmt = Format::from_args();
-    let bars = figs::fig67(Platform::Rocket, 1, !Format::has_flag("--no-bbcache"));
+    let args = Args::from_env();
+    profile::begin(&args, "fig6");
+    let bars = figs::fig67(Platform::Rocket, 1, args.bbcache);
     let mut t = figs::render(
         "Figure 6: normalized app time (decomposed vs native, rocket)",
         &bars,
     );
     t.extra("geomean normalized", Json::F64(figs::geomean(&bars, 0)));
     figs::throughput_extras(&mut t, &bars);
-    print!("{}", fmt.emit(&t));
+    print!("{}", args.emit(&t));
+    profile::finish(&args, vec![]);
 }

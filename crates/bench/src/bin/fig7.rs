@@ -1,16 +1,18 @@
 //! Regenerate Figure 7 (applications, Linux decomposition, x86-like O3).
-//! Accepts `--json` / `--csv` / `--no-bbcache`.
-use isa_grid_bench::{figs, report::Format};
+//! Accepts `--json` / `--csv` / `--no-bbcache` / `--profile <path>`.
+use isa_grid_bench::{figs, profile, report::Args};
 use isa_obs::Json;
 use simkernel::Platform;
 fn main() {
-    let fmt = Format::from_args();
-    let bars = figs::fig67(Platform::O3, 1, !Format::has_flag("--no-bbcache"));
+    let args = Args::from_env();
+    profile::begin(&args, "fig7");
+    let bars = figs::fig67(Platform::O3, 1, args.bbcache);
     let mut t = figs::render(
         "Figure 7: normalized app time (decomposed vs native, x86-like O3)",
         &bars,
     );
     t.extra("geomean normalized", Json::F64(figs::geomean(&bars, 0)));
     figs::throughput_extras(&mut t, &bars);
-    print!("{}", fmt.emit(&t));
+    print!("{}", args.emit(&t));
+    profile::finish(&args, vec![]);
 }

@@ -1,10 +1,11 @@
 //! Regenerate Figure 8 (applications on the nested-monitor kernel).
-//! Accepts `--json` / `--csv` / `--no-bbcache`.
-use isa_grid_bench::{figs, report::Format};
+//! Accepts `--json` / `--csv` / `--no-bbcache` / `--profile <path>`.
+use isa_grid_bench::{figs, profile, report::Args};
 use isa_obs::Json;
 fn main() {
-    let fmt = Format::from_args();
-    let bars = figs::fig8(1, !Format::has_flag("--no-bbcache"));
+    let args = Args::from_env();
+    profile::begin(&args, "fig8");
+    let bars = figs::fig8(1, args.bbcache);
     let mut t = figs::render(
         "Figure 8: normalized app time (nested kernel vs native, x86-like O3)",
         &bars,
@@ -18,5 +19,6 @@ fn main() {
         Json::F64(figs::geomean(&bars, 1)),
     );
     figs::throughput_extras(&mut t, &bars);
-    print!("{}", fmt.emit(&t));
+    print!("{}", args.emit(&t));
+    profile::finish(&args, vec![]);
 }

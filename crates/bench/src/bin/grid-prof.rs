@@ -1,0 +1,179 @@
+//! Summarize a saved `--profile` trace without loading the Perfetto UI:
+//! top domains by attributed cycles, the latency-histogram percentiles,
+//! and the audit log of denied checks.
+//!
+//! ```text
+//! grid-prof out.trace.json [--json|--csv] [--audit-limit N]
+//! ```
+use isa_grid_bench::report::{Args, Format, Table};
+use isa_obs::Json;
+
+/// Privilege-level letter for a numeric level (RISC-V encoding).
+fn priv_name(p: u64) -> &'static str {
+    match p {
+        0 => "U",
+        1 => "S",
+        3 => "M",
+        _ => "?",
+    }
+}
+
+fn get_u64(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn get_f64(j: &Json, key: &str) -> f64 {
+    j.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("grid-prof: {msg}");
+    std::process::exit(2)
+}
+
+/// Per-domain cycle attribution, heaviest first.
+fn domains_table(totals: &Json) -> Table {
+    let total_cycles = get_u64(totals, "cycles").max(1);
+    let mut rows: Vec<(u64, Vec<String>)> = totals
+        .get("domains")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .map(|d| {
+                    let cycles = get_u64(d, "cycles");
+                    let row = vec![
+                        get_u64(d, "domain").to_string(),
+                        priv_name(get_u64(d, "priv")).to_string(),
+                        cycles.to_string(),
+                        get_u64(d, "steps").to_string(),
+                        format!("{:.2}%", cycles as f64 / total_cycles as f64 * 100.0),
+                    ];
+                    (cycles, row)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.0));
+    let mut t = Table::new(
+        "grid-prof: cycle attribution by (domain, privilege)",
+        &["domain", "priv", "cycles", "steps", "share"],
+    );
+    for (_, row) in rows {
+        t.row(row);
+    }
+    t.extra("total_cycles", Json::U64(get_u64(totals, "cycles")));
+    t.extra("total_steps", Json::U64(get_u64(totals, "steps")));
+    t.extra("faults", Json::U64(get_u64(totals, "faults")));
+    t
+}
+
+/// Latency-histogram percentiles (cycles of the step carrying the event).
+fn histograms_table(totals: &Json) -> Table {
+    let mut t = Table::new(
+        "grid-prof: event latency histograms (modeled cycles per step)",
+        &["event", "count", "mean", "p50", "p90", "p99", "max"],
+    );
+    if let Some(hists) = totals.get("histograms").and_then(Json::as_obj) {
+        for (name, h) in hists {
+            t.row(vec![
+                name.clone(),
+                get_u64(h, "count").to_string(),
+                format!("{:.1}", get_f64(h, "mean")),
+                get_u64(h, "p50").to_string(),
+                get_u64(h, "p90").to_string(),
+                get_u64(h, "p99").to_string(),
+                get_u64(h, "max").to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// The audit log across every run, first `limit` records.
+fn audit_table(grid: &Json, limit: usize) -> Table {
+    let mut t = Table::new(
+        "grid-prof: audit log of denied checks",
+        &[
+            "run", "pc", "inst", "kind", "cause", "domain", "priv", "detail",
+        ],
+    );
+    let mut shown = 0usize;
+    let empty = Vec::new();
+    let runs = grid.get("runs").and_then(Json::as_arr).unwrap_or(&empty);
+    for run in runs {
+        let name = run.get("name").and_then(Json::as_str).unwrap_or("?");
+        let Some(audit) = run.get("audit").and_then(Json::as_arr) else {
+            continue;
+        };
+        for r in audit {
+            if shown >= limit {
+                break;
+            }
+            shown += 1;
+            let s = |k: &str| r.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+            t.row(vec![
+                name.to_string(),
+                s("pc"),
+                s("raw"),
+                s("kind"),
+                get_u64(r, "cause").to_string(),
+                get_u64(r, "domain").to_string(),
+                priv_name(get_u64(r, "priv")).to_string(),
+                s("detail"),
+            ]);
+        }
+    }
+    t.extra(
+        "audit_total",
+        Json::U64(get_u64(
+            grid.get("totals").unwrap_or(&Json::Null),
+            "audit_total",
+        )),
+    );
+    t
+}
+
+fn main() {
+    let args = Args::from_env();
+    let Some(path) = args.positional() else {
+        fail("usage: grid-prof <profile.json> [--json|--csv] [--audit-limit N]");
+    };
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")));
+    let Some(grid) = doc.get("isaGrid") else {
+        fail(&format!(
+            "{path} has no isaGrid section (not a --profile trace?)"
+        ));
+    };
+    let Some(totals) = grid.get("totals") else {
+        fail(&format!("{path} has no isaGrid.totals section"));
+    };
+    let audit_limit = args.u64("--audit-limit", 32) as usize;
+    let mut dom = domains_table(totals);
+    if let Some(runs) = grid.get("runs").and_then(Json::as_arr) {
+        dom.extra("runs", Json::U64(runs.len() as u64));
+    }
+    let spans = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .map_or(0, |a| a.len());
+    dom.extra("trace_events", Json::U64(spans as u64));
+    let hist = histograms_table(totals);
+    let aud = audit_table(grid, audit_limit);
+    if args.format == Format::Json {
+        // One machine-readable document rather than three concatenated
+        // table objects.
+        let doc = Json::Obj(vec![
+            ("domains".into(), dom.to_json()),
+            ("histograms".into(), hist.to_json()),
+            ("audit".into(), aud.to_json()),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        print!("{}", args.emit(&dom));
+        print!("{}", args.emit(&hist));
+        print!("{}", args.emit(&aud));
+    }
+}

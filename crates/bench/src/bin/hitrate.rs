@@ -1,9 +1,11 @@
 //! Regenerate the §7.1 privilege-cache hit-rate measurement.
-//! Accepts `--json` / `--csv`; the JSON report carries the raw
-//! hit/miss counters behind the percentage cells.
-use isa_grid_bench::{hitrate, report::Format};
+//! Accepts `--json` / `--csv` / `--profile <path>`; the JSON report
+//! carries the raw hit/miss counters behind the percentage cells.
+use isa_grid_bench::{hitrate, profile, report::Args};
 fn main() {
-    let fmt = Format::from_args();
+    let args = Args::from_env();
+    profile::begin(&args, "hitrate");
     let rows = hitrate::run(1);
-    print!("{}", fmt.emit(&hitrate::render(&rows)));
+    print!("{}", args.emit(&hitrate::render(&rows)));
+    profile::finish(&args, vec![]);
 }

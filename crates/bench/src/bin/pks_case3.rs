@@ -1,7 +1,10 @@
-//! Regenerate the §7.2 case-3 PKS estimate. Accepts `--json` / `--csv`.
-use isa_grid_bench::{pks, report::Format};
+//! Regenerate the §7.2 case-3 PKS estimate. Accepts `--json` / `--csv`
+//! / `--profile <path>`.
+use isa_grid_bench::{pks, profile, report::Args};
 fn main() {
-    let fmt = Format::from_args();
+    let args = Args::from_env();
+    profile::begin(&args, "pks-case3");
     let c = pks::run(512);
-    print!("{}", fmt.emit(&pks::render(&c)));
+    print!("{}", args.emit(&pks::render(&c)));
+    profile::finish(&args, vec![]);
 }

@@ -1,22 +1,13 @@
 //! SMP scaling + shootdown-traffic harness. Accepts `--harts N`,
-//! `--iters N`, `--json` / `--csv`.
-use isa_grid_bench::report::Format;
-use isa_grid_bench::smpbench;
-
-fn arg_u64(name: &str, default: u64) -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
+//! `--iters N`, `--json` / `--csv` / `--profile <path>`.
+use isa_grid_bench::{profile, report::Args, smpbench};
 
 fn main() {
-    let fmt = Format::from_args();
-    let harts = (arg_u64("--harts", 4) as usize).max(1);
-    let iters = arg_u64("--iters", 4_000_000);
-    let s = smpbench::scaling(harts, iters);
+    let args = Args::from_env();
+    let harts = (args.u64("--harts", 4) as usize).max(1);
+    let iters = args.u64("--iters", 4_000_000);
+    let (s, runs) = smpbench::scaling_profiled(harts, iters, args.profile.is_some());
     let shoot = smpbench::shootdown_traffic(harts.max(2), 32);
-    print!("{}", fmt.emit(&smpbench::render(&s, &shoot)));
+    print!("{}", args.emit(&smpbench::render(&s, &shoot)));
+    profile::finish(&args, runs);
 }

@@ -1,7 +1,10 @@
-//! Regenerate Table 4 (domain switching latency). Accepts `--json` / `--csv`.
-use isa_grid_bench::report::Format;
+//! Regenerate Table 4 (domain switching latency). Accepts `--json` /
+//! `--csv` / `--profile <path>`.
+use isa_grid_bench::{profile, report::Args};
 fn main() {
-    let fmt = Format::from_args();
+    let args = Args::from_env();
+    profile::begin(&args, "table4");
     let t = isa_grid_bench::table4::run(512);
-    print!("{}", fmt.emit(&isa_grid_bench::table4::render(&t)));
+    print!("{}", args.emit(&isa_grid_bench::table4::render(&t)));
+    profile::finish(&args, vec![]);
 }

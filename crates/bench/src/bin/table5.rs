@@ -1,7 +1,10 @@
-//! Regenerate Table 5 (multi-service protection latency). Accepts `--json` / `--csv`.
-use isa_grid_bench::{report::Format, table5};
+//! Regenerate Table 5 (multi-service protection latency). Accepts
+//! `--json` / `--csv` / `--profile <path>`.
+use isa_grid_bench::{profile, report::Args, table5};
 fn main() {
-    let fmt = Format::from_args();
+    let args = Args::from_env();
+    profile::begin(&args, "table5");
     let rows = table5::run(512);
-    print!("{}", fmt.emit(&table5::render(&rows)));
+    print!("{}", args.emit(&table5::render(&rows)));
+    profile::finish(&args, vec![]);
 }

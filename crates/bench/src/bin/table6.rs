@@ -1,6 +1,6 @@
 //! Regenerate Table 6 (hardware resource cost). Accepts `--json` / `--csv`.
-use isa_grid_bench::report::Format;
+use isa_grid_bench::report::Args;
 fn main() {
-    let fmt = Format::from_args();
-    print!("{}", fmt.emit(&isa_grid_bench::render_table6()));
+    let args = Args::from_env();
+    print!("{}", args.emit(&isa_grid_bench::render_table6()));
 }

@@ -53,6 +53,7 @@ pub fn fig5(iters: u64, bbcache: bool) -> Vec<Bar> {
         .iter()
         .map(|b| {
             let prog = b.program(iters);
+            measure::set_profile_scope(&format!("{}/native", b.name()));
             let native = measure::run_with(
                 KernelConfig::native(),
                 Platform::Rocket,
@@ -62,6 +63,7 @@ pub fn fig5(iters: u64, bbcache: bool) -> Vec<Bar> {
                 MAX_STEPS,
                 bbcache,
             );
+            measure::set_profile_scope(&format!("{}/grid", b.name()));
             let grid = measure::run_with(
                 KernelConfig::decomposed(),
                 Platform::Rocket,
@@ -94,6 +96,7 @@ pub fn fig67(platform: Platform, scale_div: u64, bbcache: bool) -> Vec<Bar> {
             let mut p = app.bench_params();
             p.scale = (p.scale / scale_div).max(8);
             let prog = app.program(p);
+            measure::set_profile_scope(&format!("{}/native", app.name()));
             let native = measure::run_with(
                 KernelConfig::native(),
                 platform,
@@ -103,6 +106,7 @@ pub fn fig67(platform: Platform, scale_div: u64, bbcache: bool) -> Vec<Bar> {
                 MAX_STEPS,
                 bbcache,
             );
+            measure::set_profile_scope(&format!("{}/grid", app.name()));
             let grid = measure::run_with(
                 KernelConfig::decomposed(),
                 platform,
@@ -138,6 +142,7 @@ pub fn fig8(scale_div: u64, bbcache: bool) -> Vec<Bar> {
             // ~16 mapping updates per run, like occasional mmap/brk.
             p = p.with_map_every((app.loop_iterations(p) / 16).max(1));
             let prog = app.program(p);
+            measure::set_profile_scope(&format!("{}/native", app.name()));
             let native = measure::run_with(
                 KernelConfig::native(),
                 Platform::O3,
@@ -147,6 +152,7 @@ pub fn fig8(scale_div: u64, bbcache: bool) -> Vec<Bar> {
                 MAX_STEPS,
                 bbcache,
             );
+            measure::set_profile_scope(&format!("{}/nested", app.name()));
             let mon = measure::run_with(
                 KernelConfig::nested(false),
                 Platform::O3,
@@ -156,6 +162,7 @@ pub fn fig8(scale_div: u64, bbcache: bool) -> Vec<Bar> {
                 MAX_STEPS,
                 bbcache,
             );
+            measure::set_profile_scope(&format!("{}/nested-log", app.name()));
             let mon_log = measure::run_with(
                 KernelConfig::nested(true),
                 Platform::O3,

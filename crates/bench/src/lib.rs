@@ -28,6 +28,7 @@ pub mod figs;
 pub mod gatebench;
 pub mod hitrate;
 pub mod pks;
+pub mod profile;
 pub mod report;
 pub mod smpbench;
 pub mod table4;

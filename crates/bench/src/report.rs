@@ -212,6 +212,106 @@ impl Format {
     }
 }
 
+/// Parsed command line shared by every bench binary: the output format
+/// (`--json` / `--csv`), the `--no-bbcache` escape hatch, and the
+/// `--profile <path>` profiler destination — plus generic flag / value
+/// lookups for binary-specific options (`--harts N`, `--iters N`, …).
+///
+/// Previously each binary re-parsed these by hand; this is the one
+/// shared parser.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Output format (`--json` / `--csv`, aligned text otherwise).
+    pub format: Format,
+    /// Basic-block cache enabled (i.e. `--no-bbcache` absent).
+    pub bbcache: bool,
+    /// Where to write the Perfetto profile (`--profile <path>`).
+    pub profile: Option<String>,
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1).collect())
+    }
+
+    /// Parse an explicit argument list (testable core of
+    /// [`Args::from_env`]).
+    pub fn parse(raw: Vec<String>) -> Args {
+        let mut format = Format::Text;
+        let mut bbcache = true;
+        let mut profile = None;
+        let mut i = 0;
+        while i < raw.len() {
+            match raw[i].as_str() {
+                "--json" => format = Format::Json,
+                "--csv" => format = Format::Csv,
+                "--no-bbcache" => bbcache = false,
+                "--profile" => {
+                    profile = raw.get(i + 1).cloned();
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Args {
+            format,
+            bbcache,
+            profile,
+            raw,
+        }
+    }
+
+    /// Whether a bare flag is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// The value following `name`, if any.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// The integer following `name`, or `default`.
+    pub fn u64(&self, name: &str, default: u64) -> u64 {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The first positional (non-option) argument, if any. The token
+    /// after a value-taking option (anything but the bare flags
+    /// `--json` / `--csv` / `--no-bbcache`) doesn't count.
+    pub fn positional(&self) -> Option<&str> {
+        let mut skip_next = false;
+        for a in &self.raw {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                skip_next = !matches!(a.as_str(), "--json" | "--csv" | "--no-bbcache");
+                continue;
+            }
+            if !a.starts_with('-') {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    /// Render `t` with the selected format's backend.
+    pub fn emit(&self, t: &Table) -> String {
+        self.format.emit(t)
+    }
+}
+
 /// Render an aligned text table with a title (legacy shim over
 /// [`Table`] + the [`Text`] backend).
 pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -295,6 +395,54 @@ mod tests {
         assert_eq!(Format::parse(args(&[])), Format::Text);
         assert_eq!(Format::parse(args(&["--json"])), Format::Json);
         assert_eq!(Format::parse(args(&["x", "--csv"])), Format::Csv);
+    }
+
+    #[test]
+    fn json_backend_escapes_strings_and_nulls_nonfinite() {
+        let mut t = Table::new("quote \" comma , title", &["a\"b", "c"]);
+        t.row(vec!["x\\y\n".into(), "1".into()]);
+        t.extra("nan_ratio", Value::F64(f64::NAN));
+        t.extra("inf_ratio", Value::F64(f64::INFINITY));
+        let s = Json.emit(&t);
+        let doc = isa_obs::Json::parse(&s).expect("emitted JSON must parse");
+        assert_eq!(
+            doc.get("title").and_then(isa_obs::Json::as_str),
+            Some("quote \" comma , title")
+        );
+        let extras = doc.get("extras").unwrap();
+        assert!(matches!(extras.get("nan_ratio"), Some(isa_obs::Json::Null)));
+        assert!(matches!(extras.get("inf_ratio"), Some(isa_obs::Json::Null)));
+    }
+
+    #[test]
+    fn csv_backend_survives_nonfinite_extras() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(vec!["1".into()]);
+        t.extra("ratio", Value::F64(f64::NEG_INFINITY));
+        let s = Csv.emit(&t);
+        assert!(
+            s.contains("# ratio=null"),
+            "non-finite renders as null: {s}"
+        );
+    }
+
+    #[test]
+    fn args_parse_profile_values_and_positional() {
+        let argv = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let a = Args::parse(argv(&["--json", "--profile", "out.json", "--harts", "8"]));
+        assert_eq!(a.format, Format::Json);
+        assert!(a.bbcache);
+        assert_eq!(a.profile.as_deref(), Some("out.json"));
+        assert_eq!(a.u64("--harts", 4), 8);
+        assert_eq!(a.u64("--iters", 7), 7);
+        assert_eq!(a.positional(), None, "option values are not positionals");
+
+        let b = Args::parse(argv(&["--audit-limit", "5", "trace.json", "--no-bbcache"]));
+        assert!(!b.bbcache);
+        assert_eq!(b.positional(), Some("trace.json"));
+        assert_eq!(b.u64("--audit-limit", 32), 5);
+        assert!(b.flag("--no-bbcache"));
+        assert_eq!(b.value("--profile"), None);
     }
 
     #[test]

@@ -104,8 +104,12 @@ fn mix_native(hart: u64, iters: u64) -> u64 {
 
 /// Run the mixing kernel on `harts` harts, `iters_per_hart` each, with
 /// one OS thread per hart. Returns (wall seconds, guest checksum,
-/// merged counters).
-fn timed_run(harts: usize, iters_per_hart: u64) -> (f64, u64, Counters) {
+/// merged counters, per-hart profiles when `profile` is on).
+fn timed_run(
+    harts: usize,
+    iters_per_hart: u64,
+    profile: bool,
+) -> (f64, u64, Counters, Vec<isa_obs::Profile>) {
     let prog = mix_program();
     let bus = Bus::with_harts(DEFAULT_RAM_BASE, 16 << 20, harts);
     bus.write_bytes(prog.base, &prog.bytes);
@@ -113,9 +117,12 @@ fn timed_run(harts: usize, iters_per_hart: u64) -> (f64, u64, Counters) {
     let base = prog.base;
     let max_steps = 16 * iters_per_hart + 1_000;
     let start = Instant::now();
-    let results = Smp::run_concurrent(&bus, max_steps, |_h, hb| {
+    let results = Smp::run_concurrent(&bus, max_steps, |h, hb| {
         let mut m = Machine::on_bus(Pcu::new(PcuConfig::eight_e()), hb);
         m.cpu.pc = base;
+        if profile {
+            m.set_profiler(isa_obs::ProfSink::enabled(h));
+        }
         m
     });
     let secs = start.elapsed().as_secs_f64();
@@ -128,20 +135,32 @@ fn timed_run(harts: usize, iters_per_hart: u64) -> (f64, u64, Counters) {
         );
     }
     let sum = bus.read_u64(prog.symbol("checksum"));
-    (secs, sum, merge_results(&results, &bus))
+    let counters = merge_results(&results, &bus);
+    let profiles = results.into_iter().filter_map(|r| r.profile).collect();
+    (secs, sum, counters, profiles)
 }
 
 /// The scaling experiment: same total work on 1 hart and on `harts`
 /// harts. `total_iters` is rounded down to a multiple of `harts`.
 pub fn scaling(harts: usize, total_iters: u64) -> SmpScaling {
+    scaling_profiled(harts, total_iters, false).0
+}
+
+/// [`scaling`], optionally capturing per-hart profiles of both the
+/// one-hart baseline and the parallel run (as two [`RunProfile`]s).
+pub fn scaling_profiled(
+    harts: usize,
+    total_iters: u64,
+    profile: bool,
+) -> (SmpScaling, Vec<isa_obs::RunProfile>) {
     let per_hart = total_iters / harts as u64;
     let total = per_hart * harts as u64;
-    let (base_secs, base_sum, _) = timed_run(1, total);
-    let (par_secs, par_sum, counters) = timed_run(harts, per_hart);
+    let (base_secs, base_sum, _, base_prof) = timed_run(1, total, profile);
+    let (par_secs, par_sum, counters, par_prof) = timed_run(harts, per_hart, profile);
     let expect_base = mix_native(0, total);
     let expect_par: u64 =
         (0..harts as u64).fold(0u64, |acc, h| acc.wrapping_add(mix_native(h, per_hart)));
-    SmpScaling {
+    let s = SmpScaling {
         harts,
         total_iters: total,
         base_secs,
@@ -150,7 +169,21 @@ pub fn scaling(harts: usize, total_iters: u64) -> SmpScaling {
         checksum_ok: base_sum == expect_base && par_sum == expect_par,
         cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         counters,
+    };
+    let mut runs = Vec::new();
+    if profile {
+        runs.push(isa_obs::RunProfile {
+            name: "smp-scaling/1-hart".to_string(),
+            profiles: base_prof,
+            audit: Vec::new(),
+        });
+        runs.push(isa_obs::RunProfile {
+            name: format!("smp-scaling/{harts}-harts"),
+            profiles: par_prof,
+            audit: Vec::new(),
+        });
     }
+    (s, runs)
 }
 
 /// The shootdown-traffic experiment: `harts` harts run the mixing

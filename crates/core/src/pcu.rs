@@ -1,7 +1,9 @@
 //! The Privilege Check Unit (PCU) — ISA-Grid's hardware extension
 //! (§3.3, §4), implemented against the `isa-sim` [`Extension`] seam.
 
-use isa_obs::{CacheKind, CheckKind, Counters, TraceEvent, TraceSink};
+use isa_obs::{
+    AuditKind, AuditLog, AuditRecord, CacheKind, CheckKind, Counters, TraceEvent, TraceSink,
+};
 use isa_sim::csr::addr;
 use isa_sim::{Bus, CpuState, Decoded, Exception, ExtEvents, Extension, Flow, Kind, Priv};
 
@@ -330,6 +332,10 @@ pub struct Pcu {
     hart: usize,
     /// Aggregate counters for the evaluation harnesses.
     pub stats: PcuStats,
+    /// Structured log of every denied check (bounded; always on — the
+    /// cost lands only on the rare fault path and never adds modeled
+    /// cycles).
+    audit: AuditLog,
 }
 
 impl Pcu {
@@ -355,6 +361,7 @@ impl Pcu {
             shoot: None,
             hart: 0,
             stats: PcuStats::default(),
+            audit: AuditLog::new(),
         }
     }
 
@@ -594,6 +601,7 @@ impl Pcu {
         c.gates.prefetches = self.stats.prefetches;
         c.gates.flushes = self.stats.flushes;
         c.run.trace_dropped = self.trace.dropped();
+        c.run.audit_denied = self.audit.total();
         c.smp.shootdowns = self.stats.shootdowns_sent;
         c.smp.shootdown_acks = self.stats.shootdowns_taken;
         c.smp.flushed_entries = self.stats.shootdown_flushed;
@@ -782,6 +790,33 @@ impl Pcu {
         e
     }
 
+    /// Record a denied check in the audit log, then count the fault.
+    /// Every privilege violation the PCU raises goes through here so
+    /// the log captures the full (PC, instruction, cause) context.
+    fn deny(&mut self, cpu: &CpuState, kind: AuditKind, raw: u32, e: Exception) -> Exception {
+        self.audit.push(AuditRecord {
+            pc: cpu.pc,
+            raw,
+            priv_level: cpu.priv_level as u8,
+            domain: self.regs.domain as u16,
+            kind,
+            cause: e.cause(),
+            detail: e.tval(),
+        });
+        self.fault(e)
+    }
+
+    /// The audit log of denied checks accumulated so far.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Drain the audit log, returning the retained records and
+    /// resetting the drop counter.
+    pub fn take_audit(&mut self) -> Vec<AuditRecord> {
+        self.audit.take()
+    }
+
     fn gate_call(
         &mut self,
         cpu: &mut CpuState,
@@ -792,21 +827,26 @@ impl Pcu {
         self.stats.gate_calls += 1;
         let gid = cpu.reg(d.rs1);
         if gid >= self.regs.gate_nr {
-            return Err(self.fault(Exception::GridGateFault(gid)));
+            return Err(self.deny(cpu, AuditKind::Gate, d.raw, Exception::GridGateFault(gid)));
         }
         let [gate_addr, dest_addr, dest_domain, flags] = self.sgt_entry(bus, gid);
         if flags & SGT_FLAG_VALID == 0 {
-            return Err(self.fault(Exception::GridGateFault(gid)));
+            return Err(self.deny(cpu, AuditKind::Gate, d.raw, Exception::GridGateFault(gid)));
         }
         // Property (i): each gate can only be called at its registered
         // address — defeats injected and ROP-constructed gates (§4.2).
         if gate_addr != cpu.pc {
-            return Err(self.fault(Exception::GridGateFault(cpu.pc)));
+            return Err(self.deny(
+                cpu,
+                AuditKind::Gate,
+                d.raw,
+                Exception::GridGateFault(cpu.pc),
+            ));
         }
         if extended {
             let sp = self.regs.hcsp;
             if sp < self.regs.hcsb || sp + 16 > self.regs.hcsl {
-                return Err(self.fault(Exception::GridGateFault(sp)));
+                return Err(self.deny(cpu, AuditKind::Gate, d.raw, Exception::GridGateFault(sp)));
             }
             // The trusted stack lives in trusted memory; the PCU writes it
             // directly (software cannot, outside domain-0).
@@ -836,11 +876,11 @@ impl Pcu {
         Ok(Flow::Jump(dest_addr))
     }
 
-    fn gate_return(&mut self, bus: &mut Bus) -> Result<Flow, Exception> {
+    fn gate_return(&mut self, cpu: &CpuState, bus: &mut Bus, raw: u32) -> Result<Flow, Exception> {
         self.stats.gate_returns += 1;
         let sp = self.regs.hcsp;
         if sp < self.regs.hcsb + 16 {
-            return Err(self.fault(Exception::GridGateFault(sp)));
+            return Err(self.deny(cpu, AuditKind::Gate, raw, Exception::GridGateFault(sp)));
         }
         let ret = self.tmem_read(bus, sp - 16);
         let dom = self.tmem_read(bus, sp - 8);
@@ -848,7 +888,7 @@ impl Pcu {
         // "The extended return instruction is not allowed to return to
         // domain-0" (§4.4).
         if dom == 0 {
-            return Err(self.fault(Exception::GridGateFault(sp)));
+            return Err(self.deny(cpu, AuditKind::Gate, raw, Exception::GridGateFault(sp)));
         }
         self.regs.hcsp = sp - 16;
         let from = self.regs.domain;
@@ -1024,6 +1064,7 @@ impl Extension for Pcu {
             return Ok(());
         }
         self.stats.inst_checks += 1;
+        self.ev.checks = self.ev.checks.saturating_add(1);
         let domain = self.regs.domain as u16;
         let idx = d.kind.class_index();
         // Draco-style legal-instruction cache (§8): a (domain, bytes)
@@ -1057,7 +1098,12 @@ impl Extension for Pcu {
             detail: idx as u64,
         });
         if !allowed {
-            return Err(self.fault(Exception::GridInstFault(idx as u64)));
+            return Err(self.deny(
+                cpu,
+                AuditKind::Inst,
+                d.raw,
+                Exception::GridInstFault(idx as u64),
+            ));
         }
         if cacheable {
             self.legal_cache.insert(legal_tag, [0; 4]);
@@ -1079,6 +1125,7 @@ impl Extension for Pcu {
             return Ok(());
         }
         self.stats.csr_checks += 1;
+        self.ev.checks = self.ev.checks.saturating_add(1);
         let domain = self.regs.domain;
         let (r_bit, w_bit) = self.reg_bits(bus, domain, csr);
         let mut allowed = !read || r_bit;
@@ -1101,7 +1148,7 @@ impl Extension for Pcu {
         if allowed {
             Ok(())
         } else {
-            Err(self.fault(Exception::GridCsrFault(csr as u64)))
+            Err(self.deny(cpu, AuditKind::Csr, 0, Exception::GridCsrFault(csr as u64)))
         }
     }
 
@@ -1123,6 +1170,7 @@ impl Extension for Pcu {
         if cpu.priv_level == Priv::M || self.regs.domain == 0 {
             return Ok(());
         }
+        self.ev.checks = self.ev.checks.saturating_add(1);
         let (b, l) = (self.regs.tmemb, self.regs.tmeml);
         if l > b && paddr + len as u64 > b && paddr < l {
             self.stats.tmem_denials += 1;
@@ -1133,7 +1181,7 @@ impl Extension for Pcu {
                 domain: self.regs.domain as u16,
                 detail: paddr,
             });
-            return Err(self.fault(Exception::GridTmemFault(paddr)));
+            return Err(self.deny(cpu, AuditKind::Tmem, 0, Exception::GridTmemFault(paddr)));
         }
         Ok(())
     }
@@ -1162,7 +1210,7 @@ impl Extension for Pcu {
             _ => return Err(Exception::IllegalInst(csr as u64)),
         };
         if restricted {
-            return Err(self.fault(Exception::GridCsrFault(csr as u64)));
+            return Err(self.deny(cpu, AuditKind::Csr, 0, Exception::GridCsrFault(csr as u64)));
         }
         Ok(value)
     }
@@ -1179,10 +1227,10 @@ impl Extension for Pcu {
         // domain-0 software when it registers domains and gates at
         // runtime (§5.2).
         if matches!(csr, addr::GRID_DOMAIN | addr::GRID_PDOMAIN) {
-            return Err(self.fault(Exception::GridCsrFault(csr as u64)));
+            return Err(self.deny(cpu, AuditKind::Csr, 0, Exception::GridCsrFault(csr as u64)));
         }
         if self.active(cpu) {
-            return Err(self.fault(Exception::GridCsrFault(csr as u64)));
+            return Err(self.deny(cpu, AuditKind::Csr, 0, Exception::GridCsrFault(csr as u64)));
         }
         let r = &mut self.regs;
         match csr {
@@ -1214,7 +1262,7 @@ impl Extension for Pcu {
         match d.kind {
             Kind::Hccall => self.gate_call(cpu, bus, d, false),
             Kind::Hccalls => self.gate_call(cpu, bus, d, true),
-            Kind::Hcrets => self.gate_return(bus),
+            Kind::Hcrets => self.gate_return(cpu, bus, d.raw),
             Kind::Pfch => {
                 let sel = cpu.reg(d.rs1);
                 self.prefetch(bus, sel);

@@ -61,6 +61,10 @@ pub struct SimBuilder {
     /// off by the bench binaries' `--no-bbcache` escape hatch and by
     /// differential tests that want the uncached reference interpreter.
     pub bbcache: bool,
+    /// Attach a cycle-attribution profiler to the machine (default
+    /// false). Profiling observes committed steps only and never adds
+    /// modeled cycles.
+    pub profile: bool,
 }
 
 impl SimBuilder {
@@ -75,6 +79,7 @@ impl SimBuilder {
             trace_events: None,
             harts: 1,
             bbcache: true,
+            profile: false,
         }
     }
 
@@ -116,6 +121,13 @@ impl SimBuilder {
         self
     }
 
+    /// Enable or disable the per-step profiler (cycle attribution by
+    /// domain and privilege level, latency histograms, span timeline).
+    pub fn profile(mut self, on: bool) -> SimBuilder {
+        self.profile = on;
+        self
+    }
+
     /// Boot a machine running `user` as task 0; `entry2` names the label
     /// (in `user`) where a second task starts, if any.
     ///
@@ -137,6 +149,9 @@ impl SimBuilder {
             let sink = isa_obs::TraceSink::ring(cap);
             m.set_tracer(sink.clone());
             m.ext.set_tracer(sink);
+        }
+        if self.profile {
+            m.set_profiler(isa_obs::ProfSink::enabled(0));
         }
         if let Some(t) = self.platform.timing() {
             m = m.with_timing(Box::new(PipelineModel::new(t)));
@@ -526,5 +541,21 @@ impl Sim {
     /// enabled [`SimBuilder::trace_events`]).
     pub fn trace_events(&self) -> Vec<isa_obs::TimedEvent> {
         self.machine.trace.snapshot()
+    }
+
+    /// Drain the machine's profile, closing any open span. `None`
+    /// unless the builder enabled [`SimBuilder::profile`].
+    pub fn take_profile(&mut self) -> Option<isa_obs::Profile> {
+        self.machine.prof.take()
+    }
+
+    /// The PCU's audit log of denied checks.
+    pub fn audit_log(&self) -> &isa_obs::AuditLog {
+        self.machine.ext.audit()
+    }
+
+    /// Drain the PCU's audit log.
+    pub fn take_audit(&mut self) -> Vec<isa_obs::AuditRecord> {
+        self.machine.ext.take_audit()
     }
 }

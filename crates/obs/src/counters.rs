@@ -281,6 +281,9 @@ pub struct RunCounters {
     pub traps: u64,
     /// Trace events dropped by the bounded ring (0 when disabled).
     pub trace_dropped: u64,
+    /// Denied checks recorded in the PCU audit log (including any past
+    /// the log's retention bound).
+    pub audit_denied: u64,
 }
 
 impl ToJson for RunCounters {
@@ -289,6 +292,7 @@ impl ToJson for RunCounters {
             ("steps", Json::U64(self.steps)),
             ("traps", Json::U64(self.traps)),
             ("trace_dropped", Json::U64(self.trace_dropped)),
+            ("audit_denied", Json::U64(self.audit_denied)),
         ])
     }
 }
@@ -355,6 +359,7 @@ impl Counters {
         out.push(("run.steps".into(), self.run.steps));
         out.push(("run.traps".into(), self.run.traps));
         out.push(("run.trace_dropped".into(), self.run.trace_dropped));
+        out.push(("run.audit_denied".into(), self.run.audit_denied));
         out.push(("smp.harts".into(), self.smp.harts));
         out.push(("smp.shootdowns".into(), self.smp.shootdowns));
         out.push(("smp.shootdown_acks".into(), self.smp.shootdown_acks));
@@ -393,6 +398,7 @@ impl Counters {
         self.run.steps += other.run.steps;
         self.run.traps += other.run.traps;
         self.run.trace_dropped += other.run.trace_dropped;
+        self.run.audit_denied += other.run.audit_denied;
         self.smp.harts += other.smp.harts;
         self.smp.shootdowns += other.smp.shootdowns;
         self.smp.shootdown_acks += other.smp.shootdown_acks;

@@ -15,15 +15,23 @@
 //!   gate / timing / run tallies that previously lived in four ad-hoc
 //!   types; [`Counters::entries`] flattens it into a registry of
 //!   dotted-name counters.
-//! * [`Json`] / [`ToJson`] — a tiny dependency-free JSON encoder so run
-//!   reports and bench tables can be emitted machine-readable (the
-//!   environment cannot fetch serde, so this is hand-rolled).
+//! * [`Json`] / [`ToJson`] — a tiny dependency-free JSON encoder (and
+//!   parser, for reading saved profiles back) so run reports and bench
+//!   tables can be emitted machine-readable (the environment cannot
+//!   fetch serde, so this is hand-rolled).
+//! * [`Profile`] / [`ProfSink`] — the profiling layer: log-bucketed
+//!   [`Histogram`]s, [`Span`] timelines, a [`TimeSeries`] recorder, and
+//!   per-hart cycle attribution by (domain, privilege level), plus the
+//!   [`AuditLog`] of denied checks the PCU keeps and the
+//!   [`ProfileReport`] Perfetto `trace_event` exporter.
 
 #![warn(missing_docs)]
 
 mod counters;
 mod event;
 mod json;
+mod perfetto;
+mod prof;
 mod ring;
 
 pub use counters::{
@@ -32,4 +40,9 @@ pub use counters::{
 };
 pub use event::{CacheKind, CheckKind, TimedEvent, TraceEvent};
 pub use json::{Json, ToJson};
+pub use perfetto::{ProfileReport, RunProfile};
+pub use prof::{
+    AuditKind, AuditLog, AuditRecord, DomainCycles, Histogram, ProfSink, Profile, Span, SpanKind,
+    StepClass, StepSample, TimeSeries, AUDIT_CAP,
+};
 pub use ring::{EventRing, NullTracer, RingTracer, TraceSink, Tracer};

@@ -1,0 +1,234 @@
+//! Perfetto / Chrome `trace_event` JSON export.
+//!
+//! A [`ProfileReport`] gathers the per-hart [`Profile`]s and audit logs
+//! of one or more runs and renders them as a single JSON document that
+//! the Perfetto UI (<https://ui.perfetto.dev>) loads directly:
+//!
+//! * `traceEvents` — the standard trace-event array. Each run is a
+//!   Perfetto *process* (named by the run), each hart a *thread*
+//!   ("hart N"), and every profile span becomes a complete (`"ph":"X"`)
+//!   event. One modeled cycle is rendered as one microsecond, so the
+//!   Perfetto timeline reads directly in cycles.
+//! * `isaGrid` — a sidecar object with the aggregate attribution
+//!   (per-domain cycles, latency histograms with precomputed
+//!   percentiles, audit log). Perfetto ignores unknown top-level keys;
+//!   `grid-prof` reads this section so it never has to re-derive
+//!   percentiles from raw events.
+
+use crate::json::{Json, ToJson};
+use crate::prof::{AuditRecord, DomainCycles, Profile, Span, SpanKind};
+use std::collections::BTreeMap;
+
+/// One profiled run: a name, the per-hart profiles, and the audit log.
+#[derive(Debug, Clone, Default)]
+pub struct RunProfile {
+    /// Display name ("stat/native", "smp-scaling", …).
+    pub name: String,
+    /// One profile per hart that executed.
+    pub profiles: Vec<Profile>,
+    /// Denied checks recorded by the run's PCU(s).
+    pub audit: Vec<AuditRecord>,
+}
+
+/// A collection of profiled runs, exportable as one Perfetto trace.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// The runs, in execution order.
+    pub runs: Vec<RunProfile>,
+}
+
+/// Display name of a span for the Perfetto track.
+fn span_name(s: &Span) -> String {
+    match s.kind {
+        SpanKind::Domain => format!("domain {}", s.id),
+        SpanKind::Gate => format!("gate→{}", s.id),
+        SpanKind::Shootdown => format!("shootdown×{}", s.id),
+    }
+}
+
+/// A `"ph":"M"` metadata event naming a process or thread.
+fn metadata(pid: u64, tid: Option<u64>, what: &str, name: &str) -> Json {
+    let mut pairs = vec![
+        ("ph".to_string(), Json::Str("M".into())),
+        ("pid".to_string(), Json::U64(pid)),
+    ];
+    if let Some(t) = tid {
+        pairs.push(("tid".to_string(), Json::U64(t)));
+    }
+    pairs.push(("name".to_string(), Json::Str(what.into())));
+    pairs.push((
+        "args".to_string(),
+        Json::obj([("name", Json::Str(name.into()))]),
+    ));
+    Json::Obj(pairs)
+}
+
+/// A `"ph":"X"` complete event for one span.
+fn complete(pid: u64, tid: u64, s: &Span) -> Json {
+    Json::obj([
+        ("ph", Json::Str("X".into())),
+        ("pid", Json::U64(pid)),
+        ("tid", Json::U64(tid)),
+        ("ts", Json::U64(s.start)),
+        ("dur", Json::U64(s.cycles().max(1))),
+        ("name", Json::Str(span_name(s))),
+        ("cat", Json::Str(s.kind.name().into())),
+    ])
+}
+
+impl ProfileReport {
+    /// A report over the given runs.
+    pub fn new(runs: Vec<RunProfile>) -> Self {
+        ProfileReport { runs }
+    }
+
+    /// The `traceEvents` array.
+    fn trace_events(&self) -> Json {
+        let mut events = Vec::new();
+        for (i, run) in self.runs.iter().enumerate() {
+            let pid = i as u64 + 1;
+            events.push(metadata(pid, None, "process_name", &run.name));
+            for p in &run.profiles {
+                let tid = p.hart as u64;
+                events.push(metadata(
+                    pid,
+                    Some(tid),
+                    "thread_name",
+                    &format!("hart {}", p.hart),
+                ));
+                for s in p.spans() {
+                    events.push(complete(pid, tid, s));
+                }
+            }
+        }
+        Json::Arr(events)
+    }
+
+    /// Aggregate attribution across every run and hart.
+    fn totals(&self) -> Json {
+        let mut agg = Profile::new(0);
+        let mut audit_total = 0u64;
+        for run in &self.runs {
+            for p in &run.profiles {
+                agg.merge_attribution(p);
+            }
+            audit_total += run.audit.len() as u64;
+        }
+        Json::obj([
+            ("cycles", Json::U64(agg.cycles())),
+            ("steps", Json::U64(agg.steps())),
+            ("faults", Json::U64(agg.faults)),
+            ("audit_total", Json::U64(audit_total)),
+            ("domains", domains_json(&agg.domains)),
+            (
+                "histograms",
+                Json::obj([
+                    ("gate_switch", agg.gate_switch.to_json()),
+                    ("check", agg.check.to_json()),
+                    ("grid_miss", agg.grid_miss.to_json()),
+                    ("shootdown", agg.shootdown.to_json()),
+                ]),
+            ),
+        ])
+    }
+
+    /// The full document: `traceEvents` plus the `isaGrid` sidecar.
+    pub fn to_json(&self) -> Json {
+        let runs: Vec<Json> = self
+            .runs
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("name", Json::Str(r.name.clone())),
+                    (
+                        "harts",
+                        Json::Arr(r.profiles.iter().map(ToJson::to_json).collect()),
+                    ),
+                    (
+                        "audit",
+                        Json::Arr(r.audit.iter().map(ToJson::to_json).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("traceEvents", self.trace_events()),
+            ("displayTimeUnit", Json::Str("ms".into())),
+            (
+                "isaGrid",
+                Json::obj([("runs", Json::Arr(runs)), ("totals", self.totals())]),
+            ),
+        ])
+    }
+}
+
+/// Serialize `(domain, priv) → cycles` attribution as a JSON array.
+fn domains_json(domains: &BTreeMap<(u16, u8), DomainCycles>) -> Json {
+    Json::Arr(
+        domains
+            .iter()
+            .map(|((d, p), v)| {
+                Json::obj([
+                    ("domain", Json::U64(*d as u64)),
+                    ("priv", Json::U64(*p as u64)),
+                    ("cycles", Json::U64(v.cycles)),
+                    ("steps", Json::U64(v.steps)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prof::{StepClass, StepSample};
+
+    fn profiled_run() -> RunProfile {
+        let mut p = Profile::new(0);
+        p.record_step(StepSample {
+            domain: 0,
+            priv_level: 1,
+            cycles: 7,
+            class: StepClass::default(),
+        });
+        p.record_step(StepSample {
+            domain: 2,
+            priv_level: 0,
+            cycles: 12,
+            class: StepClass {
+                gate_switch: true,
+                checks: 1,
+                ..StepClass::default()
+            },
+        });
+        p.finish();
+        RunProfile {
+            name: "unit/run".into(),
+            profiles: vec![p],
+            audit: vec![],
+        }
+    }
+
+    #[test]
+    fn report_has_process_thread_and_span_events() {
+        let doc = ProfileReport::new(vec![profiled_run()]).to_json();
+        let s = doc.to_string();
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.contains("\"process_name\""));
+        assert!(s.contains("\"hart 0\""));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"cat\":\"domain\""));
+        assert!(s.contains("\"cat\":\"gate\""));
+        assert!(s.contains("\"isaGrid\""));
+    }
+
+    #[test]
+    fn totals_aggregate_across_runs() {
+        let doc = ProfileReport::new(vec![profiled_run(), profiled_run()]);
+        let j = doc.to_json();
+        let s = j.to_string();
+        // 2 runs × 19 cycles each.
+        assert!(s.contains("\"totals\":{\"cycles\":38"));
+    }
+}

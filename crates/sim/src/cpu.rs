@@ -82,6 +82,11 @@ pub struct ExtEvents {
     /// Privilege-cache entries discarded by a cross-hart shootdown
     /// taken before this instruction committed (SMP coherence).
     pub shootdown_flushed: u16,
+    /// Privilege checks the extension performed for this step
+    /// (instruction + CSR + physical-access checks; saturating). Purely
+    /// observational — the timing models never read it; the profiler
+    /// uses it to attribute step cycles to the check histogram.
+    pub checks: u8,
 }
 
 impl ExtEvents {
@@ -341,6 +346,12 @@ pub struct Machine<E: Extension> {
     /// default. Share a clone with the extension so its events
     /// interleave with retire events in commit order.
     pub trace: isa_obs::TraceSink,
+    /// Profiling sink attributing committed cycles to (hart, privilege
+    /// level, ISA domain) and feeding the latency histograms; disabled
+    /// by default. Like the trace sink, it only observes the step — a
+    /// disabled sink costs one branch and profiling never changes
+    /// modeled cycles.
+    pub prof: isa_obs::ProfSink,
     /// Predecoded basic-block cache; `None` runs the uncached
     /// translate-and-decode path every step (the `--no-bbcache`
     /// escape hatch).
@@ -373,6 +384,7 @@ impl<E: Extension> Machine<E> {
             timer_phase: 0,
             trap_counts: std::collections::BTreeMap::new(),
             trace: isa_obs::TraceSink::off(),
+            prof: isa_obs::ProfSink::off(),
             bbcache: Some(Box::new(crate::bbcache::BbCache::new())),
         }
     }
@@ -397,6 +409,11 @@ impl<E: Extension> Machine<E> {
     /// Route retire/trap trace events into `sink`.
     pub fn set_tracer(&mut self, sink: isa_obs::TraceSink) {
         self.trace = sink;
+    }
+
+    /// Route per-step profiling samples into `sink`.
+    pub fn set_profiler(&mut self, sink: isa_obs::ProfSink) {
+        self.prof = sink;
     }
 
     /// Load a program image into RAM and point the PC at its base.
@@ -443,6 +460,12 @@ impl<E: Extension> Machine<E> {
             self.take_interrupt(irq);
             let cycles = self.timing.interrupt();
             self.cpu.csrs.add_cycles(cycles);
+            self.prof.record(|| isa_obs::StepSample {
+                domain: self.ext.current_domain_id(),
+                priv_level: self.cpu.priv_level as u8,
+                cycles,
+                class: isa_obs::StepClass::default(),
+            });
             return None;
         }
 
@@ -490,6 +513,21 @@ impl<E: Extension> Machine<E> {
         }
         let cycles = self.timing.retire(&ev);
         self.cpu.csrs.add_cycles(cycles);
+        self.prof.record(|| isa_obs::StepSample {
+            domain: self.ext.current_domain_id(),
+            priv_level: priv_level as u8,
+            cycles,
+            class: isa_obs::StepClass {
+                gate_switch: ev.ext.gate_switch,
+                checks: ev.ext.checks as u16,
+                grid_misses: ev.ext.hpt_inst_miss as u16
+                    + ev.ext.hpt_reg_miss as u16
+                    + ev.ext.hpt_mask_miss as u16
+                    + ev.ext.sgt_miss as u16,
+                shootdown_flushed: ev.ext.shootdown_flushed,
+                trapped: ev.trap_cause.is_some(),
+            },
+        });
         Some(ev)
     }
 

@@ -73,6 +73,9 @@ pub struct HartResult {
     pub steps: u64,
     /// The hart's PCU counter snapshot.
     pub counters: Counters,
+    /// The hart's cycle-attribution profile, when the `make` closure
+    /// attached an enabled [`isa_obs::ProfSink`] to the machine.
+    pub profile: Option<isa_obs::Profile>,
 }
 
 /// Merge per-hart counter snapshots into one whole-machine view,
@@ -308,11 +311,16 @@ impl Smp {
                         if let Some(bb) = &m.bbcache {
                             counters.bbcache = bb.stats.counters();
                         }
+                        // A profile is plain data, so it ships back
+                        // across the thread boundary even though the
+                        // sink itself does not.
+                        let profile = m.prof.take();
                         HartResult {
                             hart: h,
                             exit,
                             steps: m.steps,
                             counters,
+                            profile,
                         }
                     })
                 })

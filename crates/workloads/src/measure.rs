@@ -3,8 +3,40 @@
 
 use isa_asm::Program;
 use isa_grid::{GridCacheStats, PcuConfig};
-use isa_obs::{Counters, Json, ToJson};
+use isa_obs::{AuditRecord, Counters, Json, RunProfile, ToJson};
 use simkernel::{KernelConfig, Platform, SimBuilder};
+use std::cell::{Cell, RefCell};
+
+thread_local! {
+    static PROFILING: Cell<bool> = const { Cell::new(false) };
+    static PROFILE_SCOPE: RefCell<String> = const { RefCell::new(String::new()) };
+    static PROFILES: RefCell<Vec<RunProfile>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turn per-run profiling on or off for this thread. While on, every
+/// [`run`]/[`run_with`] attaches a profiler to the machine and appends
+/// the resulting [`RunProfile`] (cycle attribution, histograms, spans,
+/// audit log) to a thread-local collector drained by
+/// [`take_profiles`]. Profiling never changes modeled cycles.
+pub fn set_profiling(on: bool) {
+    PROFILING.with(|p| p.set(on));
+}
+
+/// Whether [`set_profiling`] is on for this thread.
+pub fn profiling_enabled() -> bool {
+    PROFILING.with(|p| p.get())
+}
+
+/// Name the runs profiled after this call (e.g. `"stat/native"`); each
+/// collected [`RunProfile`] carries the scope current when it ran.
+pub fn set_profile_scope(name: &str) {
+    PROFILE_SCOPE.with(|s| *s.borrow_mut() = name.to_string());
+}
+
+/// Drain the profiles this thread collected since the last call.
+pub fn take_profiles() -> Vec<RunProfile> {
+    PROFILES.with(|p| std::mem::take(&mut *p.borrow_mut()))
+}
 
 /// Everything one run produces.
 #[derive(Debug, Clone)]
@@ -27,6 +59,9 @@ pub struct RunResult {
     /// Host wall-clock seconds spent inside the interpreter loop
     /// (excludes boot-image assembly; includes kernel boot).
     pub host_secs: f64,
+    /// The PCU's audit log of denied checks (drained from the sim; a
+    /// clean run leaves it empty).
+    pub audit: Vec<AuditRecord>,
 }
 
 impl RunResult {
@@ -58,6 +93,10 @@ impl RunResult {
             ("exit_code", Json::U64(self.exit_code)),
             ("host_mips", Json::F64(self.host_mips())),
             ("counters", self.counters.to_json()),
+            (
+                "audit",
+                Json::Arr(self.audit.iter().map(ToJson::to_json).collect()),
+            ),
         ])
     }
 }
@@ -97,16 +136,31 @@ pub fn run_with(
     max_steps: u64,
     bbcache: bool,
 ) -> RunResult {
+    let profiling = profiling_enabled();
     let mut sim = SimBuilder::new(kernel)
         .platform(platform)
         .pcu(pcu)
         .bbcache(bbcache)
+        .profile(profiling)
         .boot(prog, task2);
     let t0 = std::time::Instant::now();
     let exit_code = sim.run_to_halt(max_steps);
     let host_secs = t0.elapsed().as_secs_f64();
     assert_eq!(exit_code, 0, "workload failed under {kernel:?}");
     let counters = sim.counters();
+    let audit = sim.take_audit();
+    if profiling {
+        if let Some(p) = sim.take_profile() {
+            let name = PROFILE_SCOPE.with(|s| s.borrow().clone());
+            PROFILES.with(|ps| {
+                ps.borrow_mut().push(RunProfile {
+                    name,
+                    profiles: vec![p],
+                    audit: audit.clone(),
+                })
+            });
+        }
+    }
     RunResult {
         reported: sim.values().to_vec(),
         total_cycles: sim.cycles(),
@@ -116,6 +170,7 @@ pub fn run_with(
         exit_code,
         counters,
         host_secs,
+        audit,
     }
 }
 

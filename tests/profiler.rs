@@ -1,0 +1,187 @@
+//! End-to-end checks of the privilege-event profiler: profiling must
+//! never perturb modeled results, must attribute cycles to the grid
+//! domains a decomposed run actually visits, must audit denied checks
+//! with enough context to debug them, and must export a Perfetto trace
+//! that a plain JSON parser (and hence the Perfetto UI) can load.
+
+use isa_grid::PcuConfig;
+use isa_obs::{AuditKind, Json, ProfileReport, ToJson};
+use isa_sim::Exception;
+use simkernel::layout::{exit, sys, vuln_op};
+use simkernel::{usr, KernelConfig, Platform, SimBuilder};
+use workloads::lmbench::LmBench;
+use workloads::measure;
+
+const STEPS: u64 = 50_000_000;
+
+/// A short decomposed-kernel workload that crosses gates: the null-call
+/// micro-benchmark from Figure 5.
+fn decomposed_run(iters: u64) -> measure::RunResult {
+    let prog = LmBench::NullCall.program(iters);
+    measure::run(
+        KernelConfig::decomposed(),
+        Platform::Rocket,
+        PcuConfig::eight_e(),
+        &prog,
+        None,
+        STEPS,
+    )
+}
+
+/// Acceptance: profiling disabled vs enabled is bit-identical in every
+/// modeled quantity — same reported figure rows, same total cycles,
+/// same unified counters. The profiler observes, it never perturbs.
+#[test]
+fn profiling_never_perturbs_modeled_results() {
+    measure::set_profiling(false);
+    let off = decomposed_run(40);
+    measure::set_profiling(true);
+    measure::set_profile_scope("profiler-test/null-call");
+    let on = decomposed_run(40);
+    measure::set_profiling(false);
+    let runs = measure::take_profiles();
+
+    assert_eq!(off.reported, on.reported, "figure rows must not move");
+    assert_eq!(off.total_cycles, on.total_cycles);
+    assert_eq!(off.steps, on.steps);
+    assert_eq!(off.counters, on.counters, "all counters bit-identical");
+    assert_eq!(runs.len(), 1, "exactly the profiled run was collected");
+}
+
+/// A decomposed run visits several (domain, privilege) attribution
+/// buckets and populates the gate-switch and privilege-check
+/// histograms; attributed cycles reconcile with the modeled total.
+#[test]
+fn profile_attributes_cycles_to_grid_domains_and_gates() {
+    measure::set_profiling(true);
+    measure::set_profile_scope("profiler-test/attribution");
+    let r = decomposed_run(40);
+    measure::set_profiling(false);
+    let mut runs = measure::take_profiles();
+    assert_eq!(runs.len(), 1);
+    let p = runs.pop().unwrap().profiles.pop().unwrap();
+
+    let grid_domains = p.domains.keys().filter(|(d, _)| *d != 0).count();
+    assert!(
+        p.domains.len() >= 2 && grid_domains >= 1,
+        "expected domain-0 plus at least one grid domain, got {:?}",
+        p.domains.keys().collect::<Vec<_>>()
+    );
+    assert!(p.gate_switch.count() > 0, "gate switches must be recorded");
+    assert!(p.check.count() > 0, "privilege checks must be recorded");
+    assert!(
+        p.spans().iter().any(|s| s.cycles() > 0),
+        "domain residency spans must be derived"
+    );
+    let attributed: u64 = p.domains.values().map(|d| d.cycles).sum();
+    assert_eq!(
+        attributed,
+        p.cycles(),
+        "per-domain attribution must sum to the profile total"
+    );
+    assert!(
+        p.cycles() <= r.total_cycles,
+        "attributed cycles cannot exceed the modeled total"
+    );
+    assert!(
+        p.cycles() * 10 >= r.total_cycles * 9,
+        "attribution should cover (nearly) the whole run: {} of {}",
+        p.cycles(),
+        r.total_cycles
+    );
+}
+
+/// Acceptance: a denied CSR access lands in the audit log with the
+/// faulting PC, the active domain, and the architectural cause. Uses
+/// the Table 1 stvec-abuse gadget on the decomposed kernel.
+#[test]
+fn denied_csr_access_is_audited_with_pc_domain_and_cause() {
+    let mut a = usr::program();
+    a.li(isa_asm::Reg::A0, vuln_op::WRITE_STVEC);
+    usr::syscall(&mut a, sys::VULN);
+    usr::exit_code(&mut a, 1);
+    let prog = a.assemble().unwrap();
+
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+    let code = sim.run_to_halt(STEPS);
+    assert_eq!(code & exit::GRID_FAULT, exit::GRID_FAULT);
+
+    let n_recs = {
+        let recs = sim.audit_log().records();
+        assert!(!recs.is_empty(), "denied check must be audited");
+        let rec = recs
+            .iter()
+            .find(|r| r.kind == AuditKind::Csr)
+            .expect("a CSR denial must appear in the audit log");
+        assert_ne!(rec.pc, 0, "audit carries the faulting PC");
+        assert_ne!(rec.domain, 0, "the fault fired inside a grid domain");
+        assert_eq!(rec.cause, Exception::CAUSE_GRID_CSR);
+        recs.len()
+    };
+
+    // The drained copy serializes with the same fields.
+    let drained = sim.take_audit();
+    assert_eq!(drained.len(), n_recs);
+    let j = drained[0].to_json().to_string();
+    let parsed = Json::parse(&j).unwrap();
+    assert!(parsed.get("pc").is_some() && parsed.get("cause").is_some());
+}
+
+/// A clean run leaves the audit log empty and `run.audit_denied` zero.
+#[test]
+fn clean_run_audits_nothing() {
+    let r = decomposed_run(8);
+    assert!(r.audit.is_empty(), "no denials on the happy path");
+    assert_eq!(r.counters.run.audit_denied, 0);
+}
+
+/// Acceptance: the Perfetto export parses as JSON and contains per-hart
+/// thread tracks, domain-residency spans, and the `isaGrid` sidecar
+/// that `grid-prof` summarizes.
+#[test]
+fn perfetto_export_parses_with_per_hart_tracks_and_domain_spans() {
+    measure::set_profiling(true);
+    measure::set_profile_scope("profiler-test/perfetto");
+    decomposed_run(16);
+    measure::set_profiling(false);
+    let runs = measure::take_profiles();
+    assert_eq!(runs.len(), 1);
+
+    let text = ProfileReport::new(runs).to_json().to_string();
+    let doc = Json::parse(&text).expect("Perfetto export must be valid JSON");
+
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let thread_named_hart0 = events.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("thread_name")
+            && e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                == Some("hart 0")
+    });
+    assert!(thread_named_hart0, "per-hart track metadata must exist");
+    let domain_span = events.iter().any(|e| {
+        e.get("ph").and_then(Json::as_str) == Some("X")
+            && e.get("cat").and_then(Json::as_str) == Some("domain")
+    });
+    assert!(domain_span, "domain-residency complete events must exist");
+
+    let totals = doc
+        .get("isaGrid")
+        .and_then(|g| g.get("totals"))
+        .expect("isaGrid.totals sidecar");
+    assert!(totals.get("cycles").and_then(Json::as_u64).unwrap_or(0) > 0);
+    assert!(
+        totals
+            .get("histograms")
+            .and_then(|h| h.get("gate_switch"))
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "merged gate-switch histogram must be populated"
+    );
+}
