@@ -66,7 +66,7 @@ pub fn run(scale_div: u64) -> Vec<Point> {
                 .platform(Platform::Rocket)
                 .pcu(pcu)
                 .boot(&prog, None);
-            let code = sim.run_to_halt(2_000_000_000);
+            let code = sim.run_to_halt(2_000_000_000).unwrap();
             assert_eq!(code, 0, "{name}");
             let c = sim.machine.ext.cache_stats();
             let misses = c.inst.misses + c.reg.misses + c.mask.misses + c.sgt.misses;

@@ -15,7 +15,7 @@ use crate::report;
 /// Run a program and fetch the timing model's internal statistics.
 fn run_with_stats(cfg: KernelConfig, platform: Platform, prog: &Program) -> (u64, TimingStats) {
     let mut sim = SimBuilder::new(cfg).platform(platform).boot(prog, None);
-    let code = sim.run_to_halt(2_000_000_000);
+    let code = sim.run_to_halt(2_000_000_000).unwrap();
     assert_eq!(code, 0, "{cfg:?}");
     let stats = sim
         .machine
@@ -123,7 +123,7 @@ pub fn monitor_micro(iters: u64) -> Vec<(&'static str, f64)> {
             .platform(Platform::O3)
             .pcu(PcuConfig::eight_e())
             .boot(&prog, None);
-        let code = sim.run_to_halt(400_000_000);
+        let code = sim.run_to_halt(400_000_000).unwrap();
         assert_eq!(code, 0, "{name}");
         (name, sim.values()[0] as f64 / iters as f64)
     })

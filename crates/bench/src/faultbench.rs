@@ -1,0 +1,330 @@
+//! Fault-injection sweep: the fail-closed contract under seeded faults.
+//!
+//! Every case boots the same bare-metal arena: one-or-more harts drop
+//! to S-mode in a compute+CSR domain that may write `sscratch` (the
+//! legitimate workload) but **not** `stvec` (the escalation probe), and
+//! hammer both in a loop while a seeded [`FaultPlan`] flips bits in the
+//! privilege tables, corrupts and evicts Grid Cache lines, and defers
+//! shootdown acks. The M-mode trap handler *skips* every denied write
+//! (`mepc += 4`) so the run survives arbitrarily many denials — the
+//! only way `stvec` ends up holding [`ATTACK_VAL`] is a privilege
+//! check that wrongly said *allow*.
+//!
+//! The escalation oracle is therefore host-side and exact: after the
+//! run, read each hart's `stvec` CSR. With integrity ON the sweep must
+//! report **zero** escalations at every seed and rate; with integrity
+//! OFF the same faults are free to land, demonstrating what the seal
+//! layer is for. Outcomes are bit-deterministic in (seed, rate, harts):
+//! `tests/faults.rs` replays cases and compares [`CaseOutcome::digest`].
+
+use isa_asm::{Asm, Program, Reg::*};
+use isa_fault::{mix64, FaultPlan};
+use isa_grid::{DomainSpec, GridLayout, Pcu, PcuConfig};
+use isa_obs::{AuditKind, AuditRecord, Counters, Json, ToJson};
+use isa_sim::csr::addr;
+use isa_sim::{mmio, Bus, Exit, Kind, Machine, RunError, DEFAULT_RAM_BASE as RAM};
+use isa_smp::Smp;
+
+use crate::report::Table;
+
+/// Trusted-memory base of the arena's grid tables.
+const TMEM: u64 = 0x8380_0000;
+
+/// The value the guest tries to smuggle into `stvec`. Low bits clear so
+/// the WARL mode field cannot mask it into something else.
+pub const ATTACK_VAL: u64 = 0xDEAD_BEE0;
+
+/// Commit horizon handed to [`FaultPlan::for_hart`].
+const HORIZON: u64 = 10_000_000;
+
+/// One point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultCase {
+    /// Fault-plan seed (deterministic; same seed → same run).
+    pub seed: u64,
+    /// Fault rate in events per million committed instructions.
+    pub rate_ppm: u64,
+    /// Whether the PCU's integrity layer (seals + scrubbing) is on.
+    pub integrity: bool,
+    /// Harts running the probe loop (each gets a derived per-hart plan).
+    pub harts: usize,
+    /// Probe-loop iterations per hart.
+    pub iters: u64,
+}
+
+impl FaultCase {
+    /// A single-hart case with the default iteration count.
+    pub fn new(seed: u64, rate_ppm: u64, integrity: bool) -> FaultCase {
+        FaultCase {
+            seed,
+            rate_ppm,
+            integrity,
+            harts: 1,
+            iters: 2_000,
+        }
+    }
+}
+
+/// What one case produced.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Per-hart exit ("halted:NN" or "watchdog").
+    pub exits: Vec<String>,
+    /// Per-hart final `stvec` value (the oracle reads these).
+    pub stvec: Vec<u64>,
+    /// Harts whose `stvec` ended up as [`ATTACK_VAL`]: silent privilege
+    /// escalations. Must be 0 whenever `integrity` was on.
+    pub escalations: u64,
+    /// Merged counters; `run.fault_*` carries the injection ledger.
+    pub counters: Counters,
+    /// Concatenated audit logs of every hart's PCU.
+    pub audit: Vec<AuditRecord>,
+}
+
+impl CaseOutcome {
+    /// Order-sensitive digest of everything observable: exits, final
+    /// `stvec` values, every counter, and every audit record. Two runs
+    /// of the same [`FaultCase`] must produce equal digests.
+    pub fn digest(&self) -> u64 {
+        let mut h = mix64(0x6661_756c_7462_6e63); // "faultbnc"
+        let mut fold = |v: u64| h = mix64(h ^ v);
+        for e in &self.exits {
+            for b in e.bytes() {
+                fold(b as u64);
+            }
+        }
+        for &v in &self.stvec {
+            fold(v);
+        }
+        fold(self.escalations);
+        for (name, v) in self.counters.entries() {
+            for b in name.bytes() {
+                fold(b as u64);
+            }
+            fold(v);
+        }
+        for r in &self.audit {
+            fold(r.pc);
+            fold(r.raw as u64);
+            fold(r.priv_level as u64);
+            fold(r.domain as u64);
+            fold(r.cause);
+            fold(r.detail);
+        }
+        h
+    }
+}
+
+/// The probe domain: compute + CSR instruction classes, `sscratch`
+/// read/write, and — deliberately — no `stvec`.
+fn probe_domain() -> DomainSpec {
+    let mut d = DomainSpec::compute_only();
+    d.allow_insts([
+        Kind::Csrrw,
+        Kind::Csrrs,
+        Kind::Csrrc,
+        Kind::Csrrwi,
+        Kind::Csrrsi,
+        Kind::Csrrci,
+    ]);
+    d.allow_csr_rw(addr::SSCRATCH);
+    d
+}
+
+/// The guest: M-mode prologue routes traps to a *skip* handler and
+/// drops to S-mode, which loops `iters` times writing `sscratch`
+/// (allowed) then `stvec` (denied). Surviving the loop halts 0xAA; a
+/// denied write traps to M, gets skipped (`mepc += 4`), and the loop
+/// carries on. `stvec` can only change if a check wrongly allowed it.
+fn probe_program(iters: u64) -> Program {
+    let mut a = Asm::new(RAM);
+    a.label("guest");
+    a.la(T0, "mtrap");
+    a.csrw(addr::MTVEC as u32, T0);
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, addr::MSTATUS as u32, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, addr::MSTATUS as u32, T1);
+    a.la(T0, "kernel");
+    a.csrw(addr::MEPC as u32, T0);
+    a.mret();
+
+    a.label("kernel");
+    a.li(T2, iters);
+    a.li(T3, ATTACK_VAL);
+    a.label("loop");
+    a.csrw(addr::SSCRATCH as u32, T2); // allowed: the legit workload
+    a.csrw(addr::STVEC as u32, T3); // denied: the escalation probe
+    a.addi(T2, T2, -1);
+    a.bnez(T2, "loop");
+    a.li(A0, 0xAA);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+
+    // Skip handler: advance past the faulting instruction and resume.
+    a.label("mtrap");
+    a.csrr(T4, addr::MEPC as u32);
+    a.addi(T4, T4, 4);
+    a.csrw(addr::MEPC as u32, T4);
+    a.mret();
+    a.assemble().expect("probe program assembles")
+}
+
+/// Run one sweep point. Deterministic in the case parameters.
+pub fn run_case(case: &FaultCase) -> CaseOutcome {
+    let harts = case.harts.max(1);
+    let prog = probe_program(case.iters);
+    let bus = Bus::with_harts(RAM, isa_sim::DEFAULT_RAM_SIZE, harts);
+    bus.write_bytes(prog.base, &prog.bytes);
+
+    let mut pcu0 = Pcu::new(PcuConfig::eight_e());
+    let mut b0 = bus.for_hart(0);
+    pcu0.install(&mut b0, GridLayout::new(TMEM, 1 << 20));
+    let d = pcu0.add_domain(&mut b0, &probe_domain());
+    let snap = pcu0.snapshot();
+
+    let guest = prog.symbol("guest");
+    let mut smp = Smp::new(&bus, |h, hb| {
+        let mut m = Machine::on_bus(snap.build(), hb);
+        m.cpu.pc = guest;
+        m.ext.force_domain(d);
+        m.ext.set_integrity(case.integrity);
+        m.ext
+            .attach_faults(FaultPlan::for_hart(case.seed, case.rate_ppm, HORIZON, h));
+        m
+    });
+
+    // Per-iteration cost: ~6 guest steps plus a trap round-trip per
+    // denied probe; 64x leaves room for fault-induced extra denials.
+    let budget = case.iters * 64 + 100_000;
+    let (exits, watchdog) = match smp.run(budget) {
+        Ok(exits) => (
+            exits
+                .iter()
+                .map(|e| match e {
+                    Exit::Halted(code) => format!("halted:{code:#x}"),
+                    Exit::StepLimit => "steplimit".to_string(),
+                })
+                .collect(),
+            None,
+        ),
+        Err(RunError::Watchdog { hart, .. }) => (vec!["watchdog".to_string()], Some(hart)),
+    };
+    let _ = watchdog;
+
+    let mut stvec = Vec::with_capacity(harts);
+    let mut counters = Counters::default();
+    let mut audit = Vec::new();
+    for h in 0..harts {
+        let m = smp.machine_mut(h);
+        stvec.push(m.cpu.csrs.read_raw(addr::STVEC));
+        counters.merge(&m.ext.counters());
+        audit.extend(m.ext.take_audit());
+    }
+    let escalations = stvec.iter().filter(|&&v| v == ATTACK_VAL).count() as u64;
+    CaseOutcome {
+        exits,
+        stvec,
+        escalations,
+        counters,
+        audit,
+    }
+}
+
+/// Run a full sweep and render the report table. `audit_cap` bounds the
+/// audit records embedded in the JSON extras.
+pub fn sweep(cases: &[FaultCase], audit_cap: usize) -> (Table, u64) {
+    let mut t = Table::new(
+        "Fault injection: fail-closed PCU under seeded table/cache/shootdown faults",
+        &[
+            "seed",
+            "rate_ppm",
+            "integrity",
+            "harts",
+            "injected",
+            "detected",
+            "recovered",
+            "denied",
+            "shoot_expired",
+            "escalations",
+            "exit",
+        ],
+    );
+    let mut protected_escalations = 0u64;
+    let mut audit_sample: Vec<Json> = Vec::new();
+    for case in cases {
+        let out = run_case(case);
+        let r = &out.counters.run;
+        if case.integrity {
+            protected_escalations += out.escalations;
+            // Sample only the integrity-layer denials — the probe's
+            // own expected CSR denials would drown them out.
+            for rec in out
+                .audit
+                .iter()
+                .filter(|r| matches!(r.kind, AuditKind::Integrity | AuditKind::Shootdown))
+                .take(audit_cap.saturating_sub(audit_sample.len()))
+            {
+                audit_sample.push(rec.to_json());
+            }
+        }
+        t.row(vec![
+            format!("{:#x}", case.seed),
+            case.rate_ppm.to_string(),
+            if case.integrity { "on" } else { "off" }.to_string(),
+            case.harts.to_string(),
+            r.fault_injected.to_string(),
+            r.fault_detected.to_string(),
+            r.fault_recovered.to_string(),
+            r.fault_denied.to_string(),
+            r.fault_shootdown_expired.to_string(),
+            out.escalations.to_string(),
+            out.exits.join("/"),
+        ]);
+    }
+    t.extra("cases", Json::U64(cases.len() as u64));
+    t.extra(
+        "escalations_with_integrity",
+        Json::U64(protected_escalations),
+    );
+    t.extra("audit_sample", Json::Arr(audit_sample));
+    (t, protected_escalations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_survives_and_never_escalates() {
+        let out = run_case(&FaultCase {
+            iters: 200,
+            ..FaultCase::new(1, 0, true)
+        });
+        assert_eq!(out.exits, ["halted:0xaa"]);
+        assert_eq!(out.escalations, 0);
+        assert_eq!(out.counters.run.fault_injected, 0);
+        // Every probe write was denied and audited.
+        assert!(out.counters.run.audit_denied >= 200);
+    }
+
+    #[test]
+    fn faulted_run_is_contained_with_integrity_on() {
+        let out = run_case(&FaultCase {
+            iters: 1_000,
+            ..FaultCase::new(0xC0FFEE, 5_000, true)
+        });
+        assert!(out.counters.run.fault_injected > 0, "plan never fired");
+        assert_eq!(out.escalations, 0, "silent escalation under integrity");
+    }
+
+    #[test]
+    fn same_seed_same_digest() {
+        let case = FaultCase {
+            iters: 500,
+            ..FaultCase::new(0x5EED, 5_000, true)
+        };
+        assert_eq!(run_case(&case).digest(), run_case(&case).digest());
+    }
+}

@@ -19,11 +19,13 @@
 //! | PCU design ablations | [`ablation`] | `ablation` |
 //! | cycle breakdown & monitor micro-cost | [`breakdown`] | `breakdown` |
 //! | SMP scaling & shootdown traffic | [`smpbench`] | `smp` |
+//! | fail-closed fault-injection sweep | [`faultbench`] | `fault` |
 
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod breakdown;
+pub mod faultbench;
 pub mod figs;
 pub mod gatebench;
 pub mod hitrate;

@@ -285,6 +285,17 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// The fault-plan seed (`--fault-seed N`), if any.
+    pub fn fault_seed(&self) -> Option<u64> {
+        self.value("--fault-seed").and_then(parse_u64)
+    }
+
+    /// The fault rate in events per million commits (`--fault-rate N`),
+    /// if any.
+    pub fn fault_rate(&self) -> Option<u64> {
+        self.value("--fault-rate").and_then(parse_u64)
+    }
+
     /// The first positional (non-option) argument, if any. The token
     /// after a value-taking option (anything but the bare flags
     /// `--json` / `--csv` / `--no-bbcache`) doesn't count.
@@ -309,6 +320,15 @@ impl Args {
     /// Render `t` with the selected format's backend.
     pub fn emit(&self, t: &Table) -> String {
         self.format.emit(t)
+    }
+}
+
+/// Parse a decimal or `0x`-prefixed hexadecimal integer.
+fn parse_u64(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
     }
 }
 

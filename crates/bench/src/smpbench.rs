@@ -228,7 +228,7 @@ pub fn shootdown_traffic(harts: usize, rounds: u64) -> Counters {
         }
     }
     assert!(smp.quiesced(), "all harts must ack the final epoch");
-    smp.run(rounds * 64 * 16 + 10_000);
+    smp.run(rounds * 64 * 16 + 10_000).unwrap();
     smp.counters()
 }
 

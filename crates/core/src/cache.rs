@@ -1,5 +1,14 @@
 //! The domain privilege cache (§4.3): small fully-associative LRU caches
 //! for HPT entries and SGT entries.
+//!
+//! Every entry carries a *seal* over `(tag, payload)` computed at insert
+//! time. When integrity checking is on (the default), a hit re-verifies
+//! the seal: a mismatch means the line was corrupted in place (a soft
+//! error injected by the chaos harness), so the line is scrubbed, the
+//! detection is counted, and the lookup reports a miss — the caller
+//! re-walks the trusted tables, which is the recovery path. With
+//! integrity off the corrupt payload is served as-is, modeling the
+//! unprotected window the layer closes.
 
 /// Hit/miss/flush counters for one cache.
 ///
@@ -13,6 +22,17 @@ struct Entry {
     tag: u64,
     payload: [u64; 4],
     stamp: u64,
+    seal: u64,
+}
+
+/// Seal over one cache line: tag-keyed and payload-keyed so any single
+/// bit flip in either breaks verification.
+fn line_seal(tag: u64, payload: &[u64; 4]) -> u64 {
+    let mut s = isa_fault::mix64(tag);
+    for w in payload {
+        s = isa_fault::mix64(s ^ *w);
+    }
+    s
 }
 
 /// A fully-associative LRU cache with 256-bit payloads.
@@ -26,8 +46,11 @@ pub struct PrivCache {
     entries: Vec<Entry>,
     capacity: usize,
     tick: u64,
+    integrity: bool,
     /// Counters for the evaluation (§7.1 reports hit rates).
     pub stats: CacheStats,
+    /// Corrupted lines detected (seal mismatch) and scrubbed on lookup.
+    pub corrupt_detected: u64,
 }
 
 impl PrivCache {
@@ -37,8 +60,15 @@ impl PrivCache {
             entries: Vec::with_capacity(capacity),
             capacity,
             tick: 0,
+            integrity: true,
             stats: CacheStats::default(),
+            corrupt_detected: 0,
         }
+    }
+
+    /// Enable or disable seal verification on hits (on by default).
+    pub fn set_integrity(&mut self, on: bool) {
+        self.integrity = on;
     }
 
     /// Number of entries the cache can hold.
@@ -46,13 +76,20 @@ impl PrivCache {
         self.capacity
     }
 
-    /// Look up `tag`, updating LRU order and statistics.
+    /// Look up `tag`, updating LRU order and statistics. A hit whose
+    /// seal fails verification is scrubbed and reported as a miss so
+    /// the caller re-walks trusted memory (fail-closed recovery).
     pub fn lookup(&mut self, tag: u64) -> Option<[u64; 4]> {
         self.tick += 1;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.tag == tag) {
-            e.stamp = self.tick;
-            self.stats.hits += 1;
-            return Some(e.payload);
+        if let Some(i) = self.entries.iter().position(|e| e.tag == tag) {
+            let e = &mut self.entries[i];
+            if !self.integrity || e.seal == line_seal(e.tag, &e.payload) {
+                e.stamp = self.tick;
+                self.stats.hits += 1;
+                return Some(e.payload);
+            }
+            self.entries.swap_remove(i);
+            self.corrupt_detected += 1;
         }
         self.stats.misses += 1;
         None
@@ -72,6 +109,7 @@ impl PrivCache {
         self.tick += 1;
         if let Some(e) = self.entries.iter_mut().find(|e| e.tag == tag) {
             e.payload = payload;
+            e.seal = line_seal(tag, &payload);
             e.stamp = self.tick;
             return;
         }
@@ -89,7 +127,45 @@ impl PrivCache {
             tag,
             payload,
             stamp: self.tick,
+            seal: line_seal(tag, &payload),
         });
+    }
+
+    /// Chaos-harness hook: flip `bit` (mod 256) of the payload of the
+    /// resident entry selected by `pick` (mod occupancy), leaving its
+    /// seal untouched. Returns false when the cache is empty.
+    pub fn corrupt_entry(&mut self, pick: u64, bit: u32) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        let i = (pick % self.entries.len() as u64) as usize;
+        let bit = bit % 256;
+        self.entries[i].payload[(bit / 64) as usize] ^= 1u64 << (bit % 64);
+        true
+    }
+
+    /// Chaos-harness hook: silently drop the resident entry selected by
+    /// `pick` (decayed valid bit — no flush accounting). Returns false
+    /// when the cache is empty.
+    pub fn evict_entry(&mut self, pick: u64) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        let i = (pick % self.entries.len() as u64) as usize;
+        self.entries.swap_remove(i);
+        true
+    }
+
+    /// Chaos-harness hook for targeted tests: flip `bit` (mod 256) of
+    /// the payload of the entry with exactly `tag`, if resident.
+    pub fn corrupt_tagged(&mut self, tag: u64, bit: u32) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.tag == tag) {
+            let bit = bit % 256;
+            e.payload[(bit / 64) as usize] ^= 1u64 << (bit % 64);
+            true
+        } else {
+            false
+        }
     }
 
     /// Drop every entry (the `pflh` instruction); returns the number of
@@ -179,6 +255,48 @@ mod tests {
             c.lookup(1);
         }
         assert!((c.stats.hit_rate() - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corrupt_line_is_scrubbed_and_counted() {
+        let mut c = PrivCache::new(4);
+        c.insert(7, [1, 2, 3, 4]);
+        assert!(c.corrupt_tagged(7, 5));
+        // Integrity on: the hit fails seal verification, the line is
+        // scrubbed, the lookup reports a miss.
+        assert_eq!(c.lookup(7), None);
+        assert_eq!(c.corrupt_detected, 1);
+        assert!(!c.contains(7));
+        // The re-walked insert verifies again.
+        c.insert(7, [1, 2, 3, 4]);
+        assert_eq!(c.lookup(7), Some([1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn integrity_off_serves_corrupt_payload() {
+        let mut c = PrivCache::new(4);
+        c.set_integrity(false);
+        c.insert(7, [1, 2, 3, 4]);
+        assert!(c.corrupt_tagged(7, 0));
+        assert_eq!(c.lookup(7), Some([0, 2, 3, 4]));
+        assert_eq!(c.corrupt_detected, 0);
+    }
+
+    #[test]
+    fn evict_entry_silently_drops() {
+        let mut c = PrivCache::new(4);
+        c.insert(1, [1; 4]);
+        assert!(c.evict_entry(0));
+        assert!(c.is_empty());
+        assert_eq!(c.stats.flushes, 0);
+        assert!(!c.evict_entry(0));
+    }
+
+    #[test]
+    fn corrupt_empty_cache_is_noop() {
+        let mut c = PrivCache::new(4);
+        assert!(!c.corrupt_entry(3, 8));
+        assert!(!c.corrupt_tagged(1, 0));
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Trusted-memory seal store: the PCU's fail-closed integrity layer.
+//!
+//! Hardware ISA-Grid trusts the fenced privilege tables implicitly; this
+//! reproduction hardens them so the chaos harness (`isa-fault`) can prove
+//! the *fail-closed* property: every 8-byte table word written through a
+//! legitimate PCU operation (`install`, `add_domain`, `update_domain`,
+//! `add_gate`) is stamped with a seal — `mix64(addr ^ value)` — and every
+//! Grid Cache refill re-verifies the word it walked against that seal.
+//! A mismatch means the word was corrupted *outside* the architectural
+//! write paths (a bit flip injected by the harness, or a real bug) and
+//! the refill is resolved as deny + `GridIntegrityFault` instead of
+//! silently caching a corrupt allow-decision.
+//!
+//! The store is shared (`Arc`) across all mirror PCUs of an SMP machine:
+//! a legitimate cross-hart table update reseals once and every hart
+//! verifies against the same baseline, so detection never false-positives
+//! on real coherence traffic.  All state is a deterministic function of
+//! the write history — no host entropy — which keeps same-seed fault runs
+//! bit-identical.
+
+use isa_fault::mix64;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Result of verifying one table word on refill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealVerdict {
+    /// The word matches its seal (or lies outside the sealed region).
+    Ok,
+    /// The word does not match the value the trusted write path stored:
+    /// the refill must be resolved fail-closed.
+    Corrupt,
+}
+
+#[derive(Debug, Default)]
+struct SealMap {
+    /// Sealed trusted-memory region `[base, limit)`; 0/0 = not engaged.
+    base: u64,
+    limit: u64,
+    /// Seal per 8-byte-aligned word address.
+    seals: HashMap<u64, u64>,
+    /// Words written by the guest through the architectural store path
+    /// since their last seal: re-sealed on first verified read
+    /// (trust-on-first-use for domain-0's direct table writes).
+    dirty: HashSet<u64>,
+}
+
+/// Shared seal registry for one machine's trusted-memory tables.
+#[derive(Debug, Default)]
+pub struct SealStore {
+    inner: Mutex<SealMap>,
+}
+
+/// The seal function: position-keyed so swapping two equal-valued words
+/// still verifies, value-keyed so any bit flip breaks it.
+fn seal_of(addr: u64, value: u64) -> u64 {
+    mix64(addr ^ mix64(value))
+}
+
+impl SealStore {
+    /// A fresh, disengaged store.
+    pub fn new() -> Arc<Self> {
+        Arc::new(SealStore::default())
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SealMap> {
+        // Never cascade a panic from another hart thread into this one.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Engage the store over `[base, limit)` and drop all prior seals.
+    /// Called by `Pcu::install`, which zeroes the region: absent words
+    /// inside the region verify against an expected value of 0.
+    pub fn reset(&self, base: u64, limit: u64) {
+        let mut m = self.lock();
+        m.base = base;
+        m.limit = limit;
+        m.seals.clear();
+        m.dirty.clear();
+    }
+
+    /// Seal one 8-byte word written through a trusted PCU operation.
+    pub fn seal(&self, addr: u64, value: u64) {
+        let mut m = self.lock();
+        let a = addr & !7;
+        m.dirty.remove(&a);
+        m.seals.insert(a, seal_of(a, value));
+    }
+
+    /// Record a guest store of `len` bytes at `addr` hitting the sealed
+    /// region: the touched words become trust-on-first-use (domain-0 may
+    /// legitimately write tables directly; the next verified read
+    /// re-seals whatever value it observes).
+    pub fn note_write(&self, addr: u64, len: u64) {
+        let mut m = self.lock();
+        if m.limit <= m.base {
+            return;
+        }
+        let first = addr & !7;
+        let last = (addr + len.max(1) - 1) & !7;
+        let mut a = first;
+        while a <= last {
+            if a >= m.base && a < m.limit {
+                m.seals.remove(&a);
+                m.dirty.insert(a);
+            }
+            a += 8;
+        }
+    }
+
+    /// Verify the `value` read back for word `addr` on a Grid Cache
+    /// refill. Words outside the engaged region always verify.
+    pub fn verify(&self, addr: u64, value: u64) -> SealVerdict {
+        let mut m = self.lock();
+        let a = addr & !7;
+        if m.limit <= m.base || a < m.base || a >= m.limit {
+            return SealVerdict::Ok;
+        }
+        if m.dirty.remove(&a) {
+            m.seals.insert(a, seal_of(a, value));
+            return SealVerdict::Ok;
+        }
+        match m.seals.get(&a) {
+            Some(s) if *s == seal_of(a, value) => SealVerdict::Ok,
+            Some(_) => SealVerdict::Corrupt,
+            // Never written since install: install zeroed the region.
+            None if value == 0 => SealVerdict::Ok,
+            None => SealVerdict::Corrupt,
+        }
+    }
+
+    /// Number of sealed words (diagnostics).
+    pub fn len(&self) -> usize {
+        self.lock().seals.len()
+    }
+
+    /// True when no words are sealed.
+    pub fn is_empty(&self) -> bool {
+        self.lock().seals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_word_verifies() {
+        let s = SealStore::new();
+        s.reset(0x1000, 0x2000);
+        s.seal(0x1008, 0xdead_beef);
+        assert_eq!(s.verify(0x1008, 0xdead_beef), SealVerdict::Ok);
+        assert_eq!(s.verify(0x1008, 0xdead_beee), SealVerdict::Corrupt);
+    }
+
+    #[test]
+    fn unwritten_words_expect_zero() {
+        let s = SealStore::new();
+        s.reset(0x1000, 0x2000);
+        assert_eq!(s.verify(0x1010, 0), SealVerdict::Ok);
+        assert_eq!(s.verify(0x1010, 1), SealVerdict::Corrupt);
+    }
+
+    #[test]
+    fn outside_region_always_ok() {
+        let s = SealStore::new();
+        s.reset(0x1000, 0x2000);
+        assert_eq!(s.verify(0x3000, 0x1234), SealVerdict::Ok);
+    }
+
+    #[test]
+    fn disengaged_store_always_ok() {
+        let s = SealStore::new();
+        assert_eq!(s.verify(0x1000, 0x1234), SealVerdict::Ok);
+    }
+
+    #[test]
+    fn guest_write_is_trust_on_first_use() {
+        let s = SealStore::new();
+        s.reset(0x1000, 0x2000);
+        s.seal(0x1008, 7);
+        s.note_write(0x1008, 8);
+        // First read after the dirty write re-seals whatever it sees...
+        assert_eq!(s.verify(0x1008, 42), SealVerdict::Ok);
+        // ...and later corruption of that value is again caught.
+        assert_eq!(s.verify(0x1008, 43), SealVerdict::Corrupt);
+        assert_eq!(s.verify(0x1008, 42), SealVerdict::Ok);
+    }
+
+    #[test]
+    fn note_write_spans_words() {
+        let s = SealStore::new();
+        s.reset(0x1000, 0x2000);
+        s.seal(0x1008, 1);
+        s.seal(0x1010, 2);
+        s.note_write(0x100c, 8); // straddles both words
+        assert_eq!(s.verify(0x1008, 99), SealVerdict::Ok);
+        assert_eq!(s.verify(0x1010, 98), SealVerdict::Ok);
+    }
+
+    #[test]
+    fn reset_drops_seals() {
+        let s = SealStore::new();
+        s.reset(0x1000, 0x2000);
+        s.seal(0x1008, 7);
+        s.reset(0x1000, 0x2000);
+        assert_eq!(s.verify(0x1008, 0), SealVerdict::Ok);
+        assert!(s.is_empty());
+    }
+}

@@ -78,9 +78,14 @@
 //! ```
 
 #![warn(missing_docs)]
+// Guest-reachable code must trap architecturally, never panic the host:
+// `.unwrap()` is banned outside unit tests (host-side setup code uses
+// `.expect()` with a message, or explicit `#[allow]`s where justified).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod cache;
 mod domain;
+pub mod integrity;
 pub mod layout;
 mod pcu;
 mod policy;
@@ -88,9 +93,13 @@ pub mod shootdown;
 
 pub use cache::{CacheStats, PrivCache};
 pub use domain::{DomainId, DomainSpec, GateId, GateSpec, InstGroup};
+pub use integrity::{SealStore, SealVerdict};
 /// The observability layer (re-exported for counter and trace types).
 pub use isa_obs as obs;
 pub use layout::GridLayout;
-pub use pcu::{GridCacheStats, Pcu, PcuConfig, PcuConfigBuilder, PcuSnapshot, PcuStats};
+pub use pcu::{
+    FaultLayerStats, GridCacheStats, Pcu, PcuConfig, PcuConfigBuilder, PcuSnapshot, PcuStats,
+    SHOOTDOWN_DEADLINE_POLLS,
+};
 pub use policy::{ExclusivePolicy, PolicyViolation};
 pub use shootdown::ShootdownCell;

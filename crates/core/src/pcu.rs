@@ -9,12 +9,19 @@ use isa_sim::{Bus, CpuState, Decoded, Exception, ExtEvents, Extension, Flow, Kin
 
 use crate::cache::{CacheStats, PrivCache};
 use crate::domain::{DomainId, DomainSpec, GateId, GateSpec};
+use crate::integrity::{SealStore, SealVerdict};
 use crate::layout::{
     mask_slot, GridLayout, INST_BITMAP_WORDS, MASK_SLOTS, REG_GROUPS, REG_GROUP_CSRS,
     SGT_FLAG_VALID,
 };
 use crate::shootdown::{ShootdownCell, FLUSH_CYCLES_PER_ENTRY};
+use isa_fault::{CacheSel, FaultKind, FaultPlan};
 use std::sync::Arc;
+
+/// How many commit polls a pending shootdown may go undelivered (due to
+/// injected drops/delays) before the PCU gives up retrying, flushes, and
+/// faults the offending hart (`GridIntegrityFault` on the epoch).
+pub const SHOOTDOWN_DEADLINE_POLLS: u32 = 16;
 
 /// Sizing of the domain privilege cache (§4.3, §7 "Configuration").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +47,12 @@ pub struct PcuConfig {
     /// 0 disables it. Value-dependent checks (CSR writes under a
     /// bit-mask) are never short-circuited.
     pub legal_cache: usize,
+    /// Fail-closed integrity layer: verify table-word seals on every
+    /// Grid Cache refill and cache-line seals on every hit, resolving
+    /// corruption as scrub-and-re-walk or deny + `GridIntegrityFault`.
+    /// On by default; turn off only to demonstrate the unprotected
+    /// stale-allow window.
+    pub integrity: bool,
 }
 
 impl PcuConfig {
@@ -53,6 +66,7 @@ impl PcuConfig {
             bypass: true,
             unified_hpt: false,
             legal_cache: 0,
+            integrity: true,
         }
     }
 
@@ -186,6 +200,13 @@ impl PcuConfigBuilder {
         self
     }
 
+    /// Enable or disable the fail-closed integrity layer (on by
+    /// default).
+    pub fn integrity(mut self, on: bool) -> Self {
+        self.cfg.integrity = on;
+        self
+    }
+
     /// Finish, yielding the configuration.
     pub fn build(self) -> PcuConfig {
         self.cfg
@@ -256,24 +277,84 @@ pub struct PcuStats {
 pub type GridCacheStats = isa_obs::CacheBank;
 
 /// The thread-shippable essence of a configured [`Pcu`]: cache
-/// configuration, trusted-memory layout and Table 2 register values.
-/// See [`Pcu::snapshot`].
-#[derive(Debug, Clone, Copy)]
+/// configuration, trusted-memory layout and Table 2 register values,
+/// plus a handle on the machine's shared seal store and a checksum over
+/// the register file. See [`Pcu::snapshot`].
+#[derive(Debug, Clone)]
 pub struct PcuSnapshot {
     cfg: PcuConfig,
     layout: Option<GridLayout>,
     regs: GridRegs,
+    seals: Arc<SealStore>,
+    seal: u64,
+}
+
+/// Checksum over the Table 2 register file, stamped into snapshots and
+/// re-verified at [`PcuSnapshot::build`]: a bit flipped in cached
+/// snapshot state is detected before the mirror ever checks anything.
+fn regs_seal(regs: &GridRegs) -> u64 {
+    let fields = [
+        regs.domain,
+        regs.pdomain,
+        regs.domain_nr,
+        regs.csr_cap,
+        regs.csr_mask,
+        regs.inst_cap,
+        regs.gate_addr,
+        regs.gate_nr,
+        regs.hcsp,
+        regs.hcsb,
+        regs.hcsl,
+        regs.tmemb,
+        regs.tmeml,
+    ];
+    let mut s = isa_fault::SEED_REMAP;
+    for f in fields {
+        s = isa_fault::mix64(s ^ f);
+    }
+    s
 }
 
 impl PcuSnapshot {
     /// Reconstruct a PCU from the snapshot: same tables and registers,
     /// cold private caches, zeroed statistics (the same contract as
-    /// [`Pcu::mirror`]). Trusted memory is not touched.
+    /// [`Pcu::mirror`]). Trusted memory is not touched. If the register
+    /// file fails checksum verification (a fault was injected with
+    /// [`PcuSnapshot::corrupt`]) the PCU comes up *poisoned*: it denies
+    /// every non-M-mode check fail-closed rather than enforcing — or
+    /// silently skipping — a corrupted policy.
     pub fn build(&self) -> Pcu {
         let mut p = Pcu::new(self.cfg);
         p.layout = self.layout;
         p.regs = self.regs;
+        p.seals = Arc::clone(&self.seals);
+        if self.cfg.integrity && regs_seal(&self.regs) != self.seal {
+            p.poisoned = true;
+        }
         p
+    }
+
+    /// Chaos-harness hook: flip `bit` of one Table 2 register word
+    /// (selected by `entropy`) *without* updating the checksum,
+    /// modeling corruption of cached PCU state in transit.
+    pub fn corrupt(&mut self, entropy: u64, bit: u32) {
+        let mask = 1u64 << (bit % 64);
+        let r = &mut self.regs;
+        match entropy % 13 {
+            0 => r.domain ^= mask,
+            1 => r.pdomain ^= mask,
+            2 => r.domain_nr ^= mask,
+            3 => r.csr_cap ^= mask,
+            4 => r.csr_mask ^= mask,
+            5 => r.inst_cap ^= mask,
+            6 => r.gate_addr ^= mask,
+            7 => r.gate_nr ^= mask,
+            8 => r.hcsp ^= mask,
+            9 => r.hcsb ^= mask,
+            10 => r.hcsl ^= mask,
+            11 => r.tmemb ^= mask,
+            _ => r.tmeml ^= mask,
+        }
     }
 }
 
@@ -336,6 +417,43 @@ pub struct Pcu {
     /// cost lands only on the rare fault path and never adds modeled
     /// cycles).
     audit: AuditLog,
+    /// Seal registry over the trusted-memory tables, shared by every
+    /// mirror of this machine so legitimate cross-hart updates never
+    /// false-positive.
+    seals: Arc<SealStore>,
+    /// Deterministic fault schedule, when the chaos harness is attached.
+    faults: Option<FaultPlan>,
+    /// Instruction-check commits observed (drives the fault schedule).
+    commits: u64,
+    /// Set when snapshot verification failed: deny everything outside
+    /// M-mode (fail closed on undecodable PCU state).
+    poisoned: bool,
+    /// Outstanding injected shootdown delivery failures (drops/delays).
+    shoot_defer: u32,
+    /// Consecutive polls the current pending shootdown has gone
+    /// undelivered; bounded by [`SHOOTDOWN_DEADLINE_POLLS`].
+    shoot_defer_polls: u32,
+    /// Fault-injection/detection tallies.
+    fstats: FaultLayerStats,
+    /// Cache scrubs already folded into `fstats` (reconciliation mark).
+    scrubs_seen: u64,
+}
+
+/// Tallies of the fail-closed integrity layer, mapped into the
+/// `run.fault_*` counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultLayerStats {
+    /// Faults the attached plan actually applied.
+    pub injected: u64,
+    /// Corruptions detected (seal mismatch, scrub, poisoned snapshot,
+    /// expired shootdown).
+    pub detected: u64,
+    /// Detections recovered in place (scrub + re-walk) without a trap.
+    pub recovered: u64,
+    /// Detections resolved as deny + architectural trap.
+    pub denied: u64,
+    /// Shootdown deliveries that blew the bounded-backoff deadline.
+    pub shootdown_expired: u64,
 }
 
 impl Pcu {
@@ -343,7 +461,7 @@ impl Pcu {
     /// [`Pcu::install`] runs, the CPU is in domain-0 and nothing is
     /// restricted — exactly the paper's reset state (§4.4).
     pub fn new(cfg: PcuConfig) -> Pcu {
-        Pcu {
+        let mut p = Pcu {
             cfg,
             layout: None,
             regs: GridRegs {
@@ -362,7 +480,19 @@ impl Pcu {
             hart: 0,
             stats: PcuStats::default(),
             audit: AuditLog::new(),
+            seals: SealStore::new(),
+            faults: None,
+            commits: 0,
+            poisoned: false,
+            shoot_defer: 0,
+            shoot_defer_polls: 0,
+            fstats: FaultLayerStats::default(),
+            scrubs_seen: 0,
+        };
+        if !cfg.integrity {
+            p.set_integrity(false);
         }
+        p
     }
 
     /// A fresh PCU for another hart that shares this PCU's installed
@@ -386,7 +516,42 @@ impl Pcu {
             cfg: self.cfg,
             layout: self.layout,
             regs: self.regs,
+            seals: Arc::clone(&self.seals),
+            seal: regs_seal(&self.regs),
         }
+    }
+
+    /// Attach a deterministic fault schedule (the chaos harness): due
+    /// events are applied at instruction-check commit boundaries.
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Enable or disable the fail-closed integrity layer at runtime
+    /// (both the table-word seals and the cache-line seals).
+    pub fn set_integrity(&mut self, on: bool) {
+        self.cfg.integrity = on;
+        self.inst_cache.set_integrity(on);
+        self.reg_cache.set_integrity(on);
+        self.mask_cache.set_integrity(on);
+        self.sgt_cache.set_integrity(on);
+        self.legal_cache.set_integrity(on);
+    }
+
+    /// The integrity layer's injection/detection tallies.
+    pub fn fault_stats(&self) -> FaultLayerStats {
+        self.fstats
+    }
+
+    /// The shared trusted-memory seal store.
+    pub fn seal_store(&self) -> &Arc<SealStore> {
+        &self.seals
+    }
+
+    /// Whether snapshot verification poisoned this PCU (fail-closed
+    /// deny-everything mode).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Join the SMP coherence protocol: shootdowns published through
@@ -421,6 +586,9 @@ impl Pcu {
     pub fn install(&mut self, bus: &mut Bus, layout: GridLayout) {
         let zero = vec![0u8; (layout.tstack_base() - layout.tmem_base) as usize];
         bus.write_bytes(layout.tmem_base, &zero);
+        // Engage the integrity layer over the freshly zeroed tables:
+        // absent seals verify against an expected value of 0.
+        self.seals.reset(layout.tmem_base, layout.tstack_base());
         self.regs = GridRegs {
             domain: 0,
             pdomain: 0,
@@ -467,11 +635,11 @@ impl Pcu {
         assert!(id < layout.max_domains, "domain table full");
         self.regs.domain_nr += 1;
         for (w, word) in spec.inst_bitmap.iter().enumerate() {
-            bus.write_u64(layout.inst_word_addr(id, w), *word);
+            self.write_sealed(bus, layout.inst_word_addr(id, w), *word);
         }
-        bus.write_bytes(layout.reg_group_addr(id, 0), &spec.reg_bits);
+        self.write_sealed_bytes(bus, layout.reg_group_addr(id, 0), &spec.reg_bits);
         for (s, m) in spec.masks.iter().enumerate() {
-            bus.write_u64(layout.mask_addr(id, s), *m);
+            self.write_sealed(bus, layout.mask_addr(id, s), *m);
         }
         DomainId(id)
     }
@@ -485,11 +653,11 @@ impl Pcu {
         let layout = self.layout();
         assert!(id.0 != 0 && id.0 < self.regs.domain_nr, "unknown {id}");
         for (w, word) in spec.inst_bitmap.iter().enumerate() {
-            bus.write_u64(layout.inst_word_addr(id.0, w), *word);
+            self.write_sealed(bus, layout.inst_word_addr(id.0, w), *word);
         }
-        bus.write_bytes(layout.reg_group_addr(id.0, 0), &spec.reg_bits);
+        self.write_sealed_bytes(bus, layout.reg_group_addr(id.0, 0), &spec.reg_bits);
         for (s, m) in spec.masks.iter().enumerate() {
-            bus.write_u64(layout.mask_addr(id.0, s), *m);
+            self.write_sealed(bus, layout.mask_addr(id.0, s), *m);
         }
         // Stale privileges may be cached; domain-0 flushes after updates,
         // and remote harts must flush before their next commit.
@@ -518,10 +686,10 @@ impl Pcu {
         );
         self.regs.gate_nr += 1;
         let e = layout.sgt_entry_addr(id);
-        bus.write_u64(e, spec.gate_addr);
-        bus.write_u64(e + 8, spec.dest_addr);
-        bus.write_u64(e + 16, spec.dest_domain.0);
-        bus.write_u64(e + 24, SGT_FLAG_VALID);
+        self.write_sealed(bus, e, spec.gate_addr);
+        self.write_sealed(bus, e + 8, spec.dest_addr);
+        self.write_sealed(bus, e + 16, spec.dest_domain.0);
+        self.write_sealed(bus, e + 24, SGT_FLAG_VALID);
         GateId(id)
     }
 
@@ -568,6 +736,25 @@ impl Pcu {
         self.ipr.valid = false;
     }
 
+    /// Chaos-harness hook for targeted tests: flip the permit bit for
+    /// `csr` (the read bit, or the write bit when `write`) in the cached
+    /// register-bitmap line, if resident. Returns false when the line is
+    /// not cached.
+    #[doc(hidden)]
+    pub fn corrupt_cached_reg_bit(&mut self, csr: u16, write: bool) -> bool {
+        let domain = self.regs.domain;
+        let group = csr as usize / REG_GROUP_CSRS;
+        let unified = self.cfg.unified_hpt;
+        let tag = (domain * REG_GROUPS as u64 + group as u64) | if unified { UTAG_REG } else { 0 };
+        let bit = ((csr as usize % REG_GROUP_CSRS) * 2 + usize::from(write)) as u32;
+        let cache = if unified {
+            &mut self.inst_cache
+        } else {
+            &mut self.reg_cache
+        };
+        cache.corrupt_tagged(tag, bit)
+    }
+
     /// Legal-instruction-cache statistics (Draco ablation).
     pub fn legal_cache_stats(&self) -> CacheStats {
         self.legal_cache.stats
@@ -602,6 +789,11 @@ impl Pcu {
         c.gates.flushes = self.stats.flushes;
         c.run.trace_dropped = self.trace.dropped();
         c.run.audit_denied = self.audit.total();
+        c.run.fault_injected = self.fstats.injected;
+        c.run.fault_detected = self.fstats.detected;
+        c.run.fault_recovered = self.fstats.recovered;
+        c.run.fault_denied = self.fstats.denied;
+        c.run.fault_shootdown_expired = self.fstats.shootdown_expired;
         c.smp.shootdowns = self.stats.shootdowns_sent;
         c.smp.shootdown_acks = self.stats.shootdowns_taken;
         c.smp.flushed_entries = self.stats.shootdown_flushed;
@@ -631,8 +823,43 @@ impl Pcu {
         bus.load(a, 8).unwrap_or(0)
     }
 
+    /// A trusted-memory read on a Grid Cache refill path: verified
+    /// against the seal store when integrity is on. A mismatch means the
+    /// word was corrupted outside the architectural write paths; the
+    /// walk aborts with `GridIntegrityFault` and the caller resolves the
+    /// check as deny.
+    fn tmem_read_verified(&mut self, bus: &mut Bus, a: u64) -> Result<u64, Exception> {
+        let v = self.tmem_read(bus, a);
+        if !self.cfg.integrity {
+            return Ok(v);
+        }
+        match self.seals.verify(a, v) {
+            SealVerdict::Ok => Ok(v),
+            SealVerdict::Corrupt => Err(Exception::GridIntegrityFault(a)),
+        }
+    }
+
+    /// Write one trusted-table word through the architectural path and
+    /// seal it.
+    fn write_sealed(&mut self, bus: &mut Bus, addr: u64, value: u64) {
+        bus.write_u64(addr, value);
+        self.seals.seal(addr, value);
+    }
+
+    /// Write a byte run into the trusted tables and seal every touched
+    /// 8-byte word (the table layouts keep these runs word-aligned).
+    fn write_sealed_bytes(&mut self, bus: &mut Bus, addr: u64, bytes: &[u8]) {
+        bus.write_bytes(addr, bytes);
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.seals
+                .seal(addr + (i * 8) as u64, u64::from_le_bytes(w));
+        }
+    }
+
     /// Fetch (through the HPT cache) one word of the instruction bitmap.
-    fn inst_word(&mut self, bus: &mut Bus, domain: u64, w: usize) -> u64 {
+    fn inst_word(&mut self, bus: &mut Bus, domain: u64, w: usize) -> Result<u64, Exception> {
         let mut tag = domain * INST_BITMAP_WORDS as u64 + w as u64;
         if self.cfg.unified_hpt {
             tag |= UTAG_INST;
@@ -642,16 +869,16 @@ impl Pcu {
                 cache: CacheKind::HptInst,
                 hit: true,
             });
-            return p[0];
+            return Ok(p[0]);
         }
         self.trace.emit(|| TraceEvent::Cache {
             cache: CacheKind::HptInst,
             hit: false,
         });
         self.ev.hpt_inst_miss += 1;
-        let word = self.tmem_read(bus, self.layout_inst_addr(domain, w));
+        let word = self.tmem_read_verified(bus, self.layout_inst_addr(domain, w))?;
         self.inst_cache.insert(tag, [word, 0, 0, 0]);
-        word
+        Ok(word)
     }
 
     fn layout_inst_addr(&self, domain: u64, w: usize) -> u64 {
@@ -670,14 +897,14 @@ impl Pcu {
 
     /// The current domain's instruction bitmap, via the bypass register
     /// when enabled.
-    fn ipr_words(&mut self, bus: &mut Bus) -> [u64; INST_BITMAP_WORDS] {
+    fn ipr_words(&mut self, bus: &mut Bus) -> Result<[u64; INST_BITMAP_WORDS], Exception> {
         let domain = self.regs.domain;
         if self.cfg.bypass && self.ipr.valid && self.ipr.domain == domain {
-            return self.ipr.words;
+            return Ok(self.ipr.words);
         }
         let mut words = [0u64; INST_BITMAP_WORDS];
         for (w, slot) in words.iter_mut().enumerate() {
-            *slot = self.inst_word(bus, domain, w);
+            *slot = self.inst_word(bus, domain, w)?;
         }
         if self.cfg.bypass {
             self.ipr = InstPrivReg {
@@ -686,12 +913,17 @@ impl Pcu {
                 valid: true,
             };
         }
-        words
+        Ok(words)
     }
 
     /// Fetch (through the HPT cache) the register-bitmap bits for `csr`:
     /// returns (readable, writable).
-    fn reg_bits(&mut self, bus: &mut Bus, domain: u64, csr: u16) -> (bool, bool) {
+    fn reg_bits(
+        &mut self,
+        bus: &mut Bus,
+        domain: u64,
+        csr: u16,
+    ) -> Result<(bool, bool), Exception> {
         let group = csr as usize / REG_GROUP_CSRS;
         let unified = self.cfg.unified_hpt;
         let tag = (domain * REG_GROUPS as u64 + group as u64) | if unified { UTAG_REG } else { 0 };
@@ -712,7 +944,7 @@ impl Pcu {
                 let base = self.layout_reg_group_addr(domain, group);
                 let mut p = [0u64; 4];
                 for (i, slot) in p.iter_mut().enumerate() {
-                    *slot = self.tmem_read(bus, base + (i * 8) as u64);
+                    *slot = self.tmem_read_verified(bus, base + (i * 8) as u64)?;
                 }
                 let cache = if unified {
                     &mut self.inst_cache
@@ -727,11 +959,11 @@ impl Pcu {
         let word = payload[bit / 64];
         let r = word >> (bit % 64) & 1 != 0;
         let w = word >> (bit % 64 + 1) & 1 != 0;
-        (r, w)
+        Ok((r, w))
     }
 
     /// Fetch (through the HPT cache) the write bit-mask for `slot`.
-    fn mask_for(&mut self, bus: &mut Bus, domain: u64, slot: usize) -> u64 {
+    fn mask_for(&mut self, bus: &mut Bus, domain: u64, slot: usize) -> Result<u64, Exception> {
         let unified = self.cfg.unified_hpt;
         let tag = (domain * MASK_SLOTS as u64 + slot as u64) | if unified { UTAG_MASK } else { 0 };
         let cache = if unified {
@@ -744,32 +976,32 @@ impl Pcu {
                 cache: CacheKind::HptMask,
                 hit: true,
             });
-            return p[0];
+            return Ok(p[0]);
         }
         self.trace.emit(|| TraceEvent::Cache {
             cache: CacheKind::HptMask,
             hit: false,
         });
         self.ev.hpt_mask_miss += 1;
-        let m = self.tmem_read(bus, self.layout_mask_addr(domain, slot));
+        let m = self.tmem_read_verified(bus, self.layout_mask_addr(domain, slot))?;
         let cache = if unified {
             &mut self.inst_cache
         } else {
             &mut self.mask_cache
         };
         cache.insert(tag, [m, 0, 0, 0]);
-        m
+        Ok(m)
     }
 
     /// Fetch (through the SGT cache) gate entry `gid`:
     /// `[gate_addr, dest_addr, dest_domain, flags]`.
-    fn sgt_entry(&mut self, bus: &mut Bus, gid: u64) -> [u64; 4] {
+    fn sgt_entry(&mut self, bus: &mut Bus, gid: u64) -> Result<[u64; 4], Exception> {
         if let Some(p) = self.sgt_cache.lookup(gid) {
             self.trace.emit(|| TraceEvent::Cache {
                 cache: CacheKind::Sgt,
                 hit: true,
             });
-            return p;
+            return Ok(p);
         }
         self.trace.emit(|| TraceEvent::Cache {
             cache: CacheKind::Sgt,
@@ -779,10 +1011,10 @@ impl Pcu {
         let base = self.regs.gate_addr + gid * crate::layout::SGT_ENTRY_BYTES;
         let mut p = [0u64; 4];
         for (i, slot) in p.iter_mut().enumerate() {
-            *slot = self.tmem_read(bus, base + (i * 8) as u64);
+            *slot = self.tmem_read_verified(bus, base + (i * 8) as u64)?;
         }
         self.sgt_cache.insert(gid, p);
-        p
+        Ok(p)
     }
 
     fn fault(&mut self, e: Exception) -> Exception {
@@ -804,6 +1036,167 @@ impl Pcu {
             detail: e.tval(),
         });
         self.fault(e)
+    }
+
+    /// Resolve a corrupt-table detection fail-closed: count it, emit the
+    /// integrity trace event, audit the denial and raise the fault.
+    fn integrity_deny(&mut self, cpu: &CpuState, raw: u32, e: Exception) -> Exception {
+        self.fstats.detected += 1;
+        self.fstats.denied += 1;
+        self.note_fault_event();
+        let detail = e.tval();
+        self.trace.emit(|| TraceEvent::IntegrityEvent {
+            scope: "table",
+            detail,
+            recovered: false,
+        });
+        self.deny(cpu, AuditKind::Integrity, raw, e)
+    }
+
+    /// Mark one fault-layer event (injection or detection) on the
+    /// current step's event record.
+    fn note_fault_event(&mut self) {
+        self.ev.fault_events = self.ev.fault_events.saturating_add(1);
+    }
+
+    /// A prefetch walk hit a corrupt table word: detection without a
+    /// trap — the word is simply not cached, and the demand walk that
+    /// actually needs it resolves fail-closed.
+    fn note_prefetch_skip(&mut self, addr: u64) {
+        self.fstats.detected += 1;
+        self.fstats.recovered += 1;
+        self.note_fault_event();
+        self.trace.emit(|| TraceEvent::IntegrityEvent {
+            scope: "prefetch",
+            detail: addr,
+            recovered: true,
+        });
+    }
+
+    /// Fold cache-scrub detections (seal-mismatch hits scrubbed inside
+    /// `PrivCache::lookup`) into the fault tallies and the step's event
+    /// record. Scrubs are detect-and-recover: the re-walk from trusted
+    /// memory is the recovery.
+    fn reconcile_scrubs(&mut self) {
+        let total = self.inst_cache.corrupt_detected
+            + self.reg_cache.corrupt_detected
+            + self.mask_cache.corrupt_detected
+            + self.sgt_cache.corrupt_detected
+            + self.legal_cache.corrupt_detected;
+        let fresh = total - self.scrubs_seen;
+        if fresh == 0 {
+            return;
+        }
+        self.scrubs_seen = total;
+        self.fstats.detected += fresh;
+        self.fstats.recovered += fresh;
+        self.ev.fault_events = self
+            .ev
+            .fault_events
+            .saturating_add(fresh.min(u64::from(u16::MAX)) as u16);
+        self.trace.emit(|| TraceEvent::IntegrityEvent {
+            scope: "cache",
+            detail: fresh,
+            recovered: true,
+        });
+    }
+
+    /// Drain and apply every fault-schedule event due at the current
+    /// commit.
+    fn poll_faults(&mut self, bus: &mut Bus) {
+        loop {
+            let due = match self.faults.as_mut() {
+                Some(plan) => plan.next_due(self.commits),
+                None => return,
+            };
+            match due {
+                Some(kind) => self.apply_fault(bus, kind),
+                None => return,
+            }
+        }
+    }
+
+    fn cache_for_mut(&mut self, sel: CacheSel) -> &mut PrivCache {
+        match sel {
+            CacheSel::Inst => &mut self.inst_cache,
+            CacheSel::Reg => &mut self.reg_cache,
+            CacheSel::Mask => &mut self.mask_cache,
+            CacheSel::Sgt => &mut self.sgt_cache,
+            CacheSel::Legal => &mut self.legal_cache,
+        }
+    }
+
+    /// Apply one scheduled fault. Injections that find nothing to
+    /// corrupt (an empty cache, an uninstalled PCU) are skipped without
+    /// being counted — only applied faults appear in `fault_injected`.
+    fn apply_fault(&mut self, bus: &mut Bus, kind: FaultKind) {
+        let applied: Option<u64> = match kind {
+            FaultKind::TableBitFlip { entropy, bit } => self.flip_table_word(bus, entropy, bit),
+            FaultKind::CacheCorrupt {
+                cache,
+                entropy,
+                bit,
+            } => self
+                .cache_for_mut(cache)
+                .corrupt_entry(entropy, bit)
+                .then_some(cache as u64),
+            FaultKind::CacheEvict { cache, entropy } => self
+                .cache_for_mut(cache)
+                .evict_entry(entropy)
+                .then_some(cache as u64),
+            FaultKind::ShootdownDrop => {
+                self.shoot_defer = self.shoot_defer.saturating_add(1);
+                Some(1)
+            }
+            FaultKind::ShootdownDelay { polls } => {
+                self.shoot_defer = self.shoot_defer.saturating_add(polls);
+                Some(polls as u64)
+            }
+            // Snapshot flips are applied by the harness at snapshot-build
+            // time (`PcuSnapshot::corrupt`), not at commit boundaries.
+            FaultKind::SnapshotBitFlip { .. } => None,
+        };
+        if let Some(detail) = applied {
+            self.fstats.injected += 1;
+            self.note_fault_event();
+            let name = kind.name();
+            self.trace
+                .emit(|| TraceEvent::FaultInjected { kind: name, detail });
+        }
+    }
+
+    /// Flip `bit` of one privilege-table word in trusted memory,
+    /// selected deterministically by `entropy` across the installed
+    /// regions (inst bitmap / reg bitmap / bit-mask array / SGT). The
+    /// flip goes around the architectural write path: no reseal, no
+    /// shootdown — exactly what a soft error looks like.
+    fn flip_table_word(&mut self, bus: &mut Bus, entropy: u64, bit: u32) -> Option<u64> {
+        self.layout?;
+        let domains = self.regs.domain_nr.max(1);
+        let sub = entropy >> 2;
+        let inst_pick = |pcu: &Pcu| {
+            pcu.layout_inst_addr(
+                sub % domains,
+                ((sub >> 16) % INST_BITMAP_WORDS as u64) as usize,
+            )
+        };
+        let addr = match entropy % 4 {
+            0 => inst_pick(self),
+            1 => {
+                let g = ((sub >> 16) % REG_GROUPS as u64) as usize;
+                self.layout_reg_group_addr(sub % domains, g) + ((sub >> 40) % 4) * 8
+            }
+            2 => self.layout_mask_addr(sub % domains, ((sub >> 16) % MASK_SLOTS as u64) as usize),
+            _ if self.regs.gate_nr > 0 => {
+                self.regs.gate_addr
+                    + (sub % self.regs.gate_nr) * crate::layout::SGT_ENTRY_BYTES
+                    + ((sub >> 16) % 4) * 8
+            }
+            _ => inst_pick(self),
+        };
+        let old = bus.load(addr, 8).unwrap_or(0);
+        bus.write_u64(addr, old ^ (1u64 << (bit % 64)));
+        Some(addr)
     }
 
     /// The audit log of denied checks accumulated so far.
@@ -829,7 +1222,10 @@ impl Pcu {
         if gid >= self.regs.gate_nr {
             return Err(self.deny(cpu, AuditKind::Gate, d.raw, Exception::GridGateFault(gid)));
         }
-        let [gate_addr, dest_addr, dest_domain, flags] = self.sgt_entry(bus, gid);
+        let [gate_addr, dest_addr, dest_domain, flags] = match self.sgt_entry(bus, gid) {
+            Ok(p) => p,
+            Err(e) => return Err(self.integrity_deny(cpu, d.raw, e)),
+        };
         if flags & SGT_FLAG_VALID == 0 {
             return Err(self.deny(cpu, AuditKind::Gate, d.raw, Exception::GridGateFault(gid)));
         }
@@ -919,7 +1315,13 @@ impl Pcu {
             let base = pcu.layout_reg_group_addr(domain, g);
             let mut p = [0u64; 4];
             for (i, slot) in p.iter_mut().enumerate() {
-                *slot = pcu.tmem_read(bus, base + (i * 8) as u64);
+                match pcu.tmem_read_verified(bus, base + (i * 8) as u64) {
+                    Ok(v) => *slot = v,
+                    Err(_) => {
+                        pcu.note_prefetch_skip(base);
+                        return;
+                    }
+                }
             }
             pcu.reg_cache.insert(tag, p);
             pcu.ev.prefetch_reads += 1;
@@ -929,7 +1331,14 @@ impl Pcu {
             if pcu.mask_cache.contains(tag) {
                 return;
             }
-            let m = pcu.tmem_read(bus, pcu.layout_mask_addr(domain, s));
+            let addr = pcu.layout_mask_addr(domain, s);
+            let m = match pcu.tmem_read_verified(bus, addr) {
+                Ok(v) => v,
+                Err(_) => {
+                    pcu.note_prefetch_skip(addr);
+                    return;
+                }
+            };
             pcu.mask_cache.insert(tag, [m, 0, 0, 0]);
             pcu.ev.prefetch_reads += 1;
         };
@@ -1011,18 +1420,59 @@ impl Pcu {
     /// the re-warm cost, and acknowledge the epoch. Called before each
     /// instruction check, which makes the flush visible strictly before
     /// the next commit.
-    fn poll_shootdown(&mut self) {
-        let Some(cell) = &self.shoot else { return };
-        let Some(epoch) = cell.pending(self.hart) else {
-            return;
+    /// Injected delivery failures (`ShootdownDrop`/`ShootdownDelay`)
+    /// defer the flush-and-ack; the retry window is bounded by
+    /// [`SHOOTDOWN_DEADLINE_POLLS`], after which the PCU restores
+    /// coherence by flushing anyway and faults the hart
+    /// (`GridIntegrityFault` on the epoch) — stale privileges are never
+    /// consulted past the deadline, and the expiry is architecturally
+    /// visible instead of silently absorbed.
+    fn poll_shootdown(&mut self) -> Result<(), Exception> {
+        let Some(cell) = &self.shoot else {
+            return Ok(());
         };
+        let Some(epoch) = cell.pending(self.hart) else {
+            self.shoot_defer_polls = 0;
+            return Ok(());
+        };
+        if self.shoot_defer > 0 {
+            self.shoot_defer_polls += 1;
+            if self.shoot_defer_polls <= SHOOTDOWN_DEADLINE_POLLS {
+                // Bounded backoff: delivery failed this poll; retry at
+                // the next commit.
+                self.shoot_defer -= 1;
+                return Ok(());
+            }
+            // Deadline blown: restore coherence (flush + ack), then
+            // fault the hart.
+            self.shoot_defer = 0;
+            self.shoot_defer_polls = 0;
+            self.take_shootdown(epoch);
+            self.fstats.shootdown_expired += 1;
+            self.fstats.detected += 1;
+            self.fstats.denied += 1;
+            self.note_fault_event();
+            self.trace.emit(|| TraceEvent::IntegrityEvent {
+                scope: "shootdown",
+                detail: epoch,
+                recovered: false,
+            });
+            return Err(Exception::GridIntegrityFault(epoch));
+        }
+        self.shoot_defer_polls = 0;
+        self.take_shootdown(epoch);
+        Ok(())
+    }
+
+    /// Flush every privilege cache and acknowledge one shootdown epoch.
+    fn take_shootdown(&mut self, epoch: u64) {
         let discarded = self.inst_cache.flush()
             + self.reg_cache.flush()
             + self.mask_cache.flush()
             + self.sgt_cache.flush()
             + self.legal_cache.flush();
         self.ipr.valid = false;
-        let cell = self.shoot.as_ref().expect("checked above");
+        let cell = self.shoot.as_ref().expect("polled above");
         cell.ack(self.hart, epoch);
         self.stats.shootdowns_taken += 1;
         self.stats.shootdown_flushed += discarded;
@@ -1052,9 +1502,33 @@ impl Pcu {
 
 impl Extension for Pcu {
     fn check_inst(&mut self, cpu: &CpuState, bus: &mut Bus, d: &Decoded) -> Result<(), Exception> {
+        // Commit boundary: the deterministic fault schedule (when
+        // attached) is driven by this counter.
+        self.commits += 1;
+        self.poll_faults(bus);
         // SMP coherence: a pending shootdown is honored here, before
         // this instruction can commit against stale cached privileges.
-        self.poll_shootdown();
+        if let Err(e) = self.poll_shootdown() {
+            return Err(self.deny(cpu, AuditKind::Shootdown, d.raw, e));
+        }
+        // Snapshot verification failed: this PCU's register file is not
+        // trustworthy, so everything outside M-mode is denied — fail
+        // closed, never enforce (or skip enforcing) a corrupted policy.
+        if self.poisoned && cpu.priv_level != Priv::M {
+            self.fstats.denied += 1;
+            self.note_fault_event();
+            self.trace.emit(|| TraceEvent::IntegrityEvent {
+                scope: "snapshot",
+                detail: 0,
+                recovered: false,
+            });
+            return Err(self.deny(
+                cpu,
+                AuditKind::Integrity,
+                d.raw,
+                Exception::GridIntegrityFault(0),
+            ));
+        }
         if !self.active(cpu) {
             return Ok(());
         }
@@ -1089,7 +1563,10 @@ impl Extension for Pcu {
                 return Ok(());
             }
         }
-        let words = self.ipr_words(bus);
+        let words = match self.ipr_words(bus) {
+            Ok(w) => w,
+            Err(e) => return Err(self.integrity_deny(cpu, d.raw, e)),
+        };
         let allowed = words[idx / 64] >> (idx % 64) & 1 != 0;
         self.trace.emit(|| TraceEvent::Check {
             kind: CheckKind::Inst,
@@ -1127,13 +1604,19 @@ impl Extension for Pcu {
         self.stats.csr_checks += 1;
         self.ev.checks = self.ev.checks.saturating_add(1);
         let domain = self.regs.domain;
-        let (r_bit, w_bit) = self.reg_bits(bus, domain, csr);
+        let (r_bit, w_bit) = match self.reg_bits(bus, domain, csr) {
+            Ok(bits) => bits,
+            Err(e) => return Err(self.integrity_deny(cpu, 0, e)),
+        };
         let mut allowed = !read || r_bit;
         if allowed && write {
             match mask_slot(csr) {
                 Some(slot) => {
                     // Bit-level control: V_csr ⊕ V_write ∧ ¬M == 0 (§4.1).
-                    let mask = self.mask_for(bus, domain, slot);
+                    let mask = match self.mask_for(bus, domain, slot) {
+                        Ok(m) => m,
+                        Err(e) => return Err(self.integrity_deny(cpu, 0, e)),
+                    };
                     allowed = (old ^ new) & !mask == 0;
                 }
                 None => allowed = w_bit,
@@ -1163,6 +1646,9 @@ impl Extension for Pcu {
         // M-mode can — see the fence below) invalidates what other
         // harts may have cached: publish a shootdown.
         if write && self.hits_tables(paddr, len) {
+            // Architectural stores into the tables re-baseline the
+            // seals (trust-on-first-use for domain-0 direct writes).
+            self.seals.note_write(paddr, len as u64);
             self.publish_shootdown();
         }
         // "The load and store instructions can access the trusted memory
@@ -1278,6 +1764,7 @@ impl Extension for Pcu {
     }
 
     fn drain_events(&mut self) -> ExtEvents {
+        self.reconcile_scrubs();
         std::mem::take(&mut self.ev)
     }
 

@@ -1,0 +1,406 @@
+//! Deterministic fault-injection plans for the ISA-Grid chaos harness.
+//!
+//! A [`FaultPlan`] is a pure function of `(seed, rate, horizon)`: it
+//! pre-computes a sorted schedule of [`FaultEvent`]s, each pinned to a
+//! *commit index* (the PCU's count of instruction checks).  The consumer —
+//! `isa_grid::Pcu` — polls [`FaultPlan::next_due`] once per commit and
+//! applies whatever events fall due.  Because the schedule is fixed up
+//! front and contains no wall-clock or host-entropy input, two runs with
+//! the same seed observe bit-identical corruption, which is what makes the
+//! differential "zero silent escalations" test meaningful.
+//!
+//! The crate is dependency-free on purpose: `isa-grid` (core) depends on
+//! it, not the other way around, so plans can also be built by benches and
+//! tests without pulling in the simulator.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+/// Golden-ratio constant used to re-map a zero seed and to key [`mix64`].
+pub const SEED_REMAP: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Xorshift64 PRNG matching the repo's interleaver idiom (`isa-smp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator; a zero seed (which would lock the stream at
+    /// zero forever) is re-mapped to [`SEED_REMAP`].
+    pub fn new(seed: u64) -> Self {
+        let state = if seed == 0 { SEED_REMAP } else { seed };
+        XorShift64 { state }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform-ish draw in `[0, bound)`; `bound == 0` returns 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+///
+/// Used both to derive per-hart sub-seeds and as the seal function for
+/// the PCU integrity layer (`seal = mix64(addr ^ value ^ SEED_REMAP)`).
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(SEED_REMAP);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Which Grid Cache bank a cache-targeted fault hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheSel {
+    /// HPT instruction-bitmap cache.
+    Inst,
+    /// HPT register double-bitmap cache.
+    Reg,
+    /// HPT bit-mask array cache.
+    Mask,
+    /// System Gate Table cache.
+    Sgt,
+    /// Decoded-legality cache.
+    Legal,
+}
+
+impl CacheSel {
+    /// All banks, in injection-index order.
+    pub const ALL: [CacheSel; 5] = [
+        CacheSel::Inst,
+        CacheSel::Reg,
+        CacheSel::Mask,
+        CacheSel::Sgt,
+        CacheSel::Legal,
+    ];
+
+    /// Stable lowercase name for traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheSel::Inst => "inst",
+            CacheSel::Reg => "reg",
+            CacheSel::Mask => "mask",
+            CacheSel::Sgt => "sgt",
+            CacheSel::Legal => "legal",
+        }
+    }
+}
+
+/// One kind of injected corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip `bit` of a privilege-table word in trusted memory; `entropy`
+    /// picks the table region and word (resolved against the installed
+    /// layout by the PCU).
+    TableBitFlip {
+        /// Selects region/word within the installed tables.
+        entropy: u64,
+        /// Bit index within the 64-bit word.
+        bit: u32,
+    },
+    /// Flip `bit` of the payload of a resident Grid Cache line picked by
+    /// `entropy` (soft error in the cache array).
+    CacheCorrupt {
+        /// Which cache bank.
+        cache: CacheSel,
+        /// Selects the resident entry.
+        entropy: u64,
+        /// Bit index within the 256-bit payload.
+        bit: u32,
+    },
+    /// Silently drop a resident Grid Cache line (decayed valid bit).
+    CacheEvict {
+        /// Which cache bank.
+        cache: CacheSel,
+        /// Selects the resident entry.
+        entropy: u64,
+    },
+    /// Swallow one shootdown delivery attempt on this hart.
+    ShootdownDrop,
+    /// Defer shootdown delivery on this hart for `polls` commit polls.
+    ShootdownDelay {
+        /// How many delivery attempts fail before the link recovers.
+        polls: u32,
+    },
+    /// Flip `bit` of word `entropy % 13` of a cached [`PcuSnapshot`]'s
+    /// register file (applied by the harness at snapshot-build time; the
+    /// PCU's own poll ignores it).
+    SnapshotBitFlip {
+        /// Selects the snapshot register word.
+        entropy: u64,
+        /// Bit index within the 64-bit word.
+        bit: u32,
+    },
+}
+
+impl FaultKind {
+    /// Stable lowercase name for traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TableBitFlip { .. } => "table_bit_flip",
+            FaultKind::CacheCorrupt { .. } => "cache_corrupt",
+            FaultKind::CacheEvict { .. } => "cache_evict",
+            FaultKind::ShootdownDrop => "shootdown_drop",
+            FaultKind::ShootdownDelay { .. } => "shootdown_delay",
+            FaultKind::SnapshotBitFlip { .. } => "snapshot_bit_flip",
+        }
+    }
+}
+
+/// A fault pinned to the commit index at which it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// PCU commit index (1-based instruction-check count) at which the
+    /// fault is applied, before the check runs.
+    pub at_commit: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A pre-computed, sorted schedule of faults for one PCU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    rate_ppm: u64,
+    events: Vec<FaultEvent>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// Build a plan from `seed` at `rate_ppm` faults per million commits,
+    /// covering commits `1..=horizon`.  Single-hart kinds only (table,
+    /// cache corrupt/evict); see [`FaultPlan::generate_smp`] for plans
+    /// that also exercise the cross-hart machinery.
+    pub fn generate(seed: u64, rate_ppm: u64, horizon: u64) -> Self {
+        Self::generate_inner(seed, rate_ppm, horizon, false)
+    }
+
+    /// Like [`FaultPlan::generate`], but the kind pool additionally
+    /// contains shootdown drop/delay faults for multi-hart runs.
+    pub fn generate_smp(seed: u64, rate_ppm: u64, horizon: u64) -> Self {
+        Self::generate_inner(seed, rate_ppm, horizon, true)
+    }
+
+    fn generate_inner(seed: u64, rate_ppm: u64, horizon: u64, smp: bool) -> Self {
+        let mut rng = XorShift64::new(seed);
+        let mut events = Vec::new();
+        // Mean gap between faults, in commits; draws are uniform in
+        // [1, 2*mean] so the expectation matches the requested rate.
+        if let Some(mean_gap) = 1_000_000u64.checked_div(rate_ppm).map(|g| g.max(1)) {
+            let mut at = 0u64;
+            loop {
+                at += 1 + rng.below(2 * mean_gap);
+                if at > horizon {
+                    break;
+                }
+                let pool = if smp { 6 } else { 4 };
+                let cache = CacheSel::ALL[rng.below(5) as usize];
+                let entropy = rng.next_u64();
+                let bit = rng.below(64) as u32;
+                let kind = match rng.below(pool) {
+                    0 => FaultKind::TableBitFlip { entropy, bit },
+                    1 | 2 => FaultKind::CacheCorrupt {
+                        cache,
+                        entropy,
+                        bit: rng.below(256) as u32,
+                    },
+                    3 => FaultKind::CacheEvict { cache, entropy },
+                    4 => FaultKind::ShootdownDrop,
+                    _ => FaultKind::ShootdownDelay {
+                        polls: 1 + rng.below(8) as u32,
+                    },
+                };
+                events.push(FaultEvent {
+                    at_commit: at,
+                    kind,
+                });
+            }
+        }
+        FaultPlan {
+            seed,
+            rate_ppm,
+            events,
+            cursor: 0,
+        }
+    }
+
+    /// Derive the plan for hart `hart` of an SMP run: same rate/horizon,
+    /// sub-seed mixed from the base seed so hart streams are independent
+    /// but jointly determined by one seed.
+    pub fn for_hart(seed: u64, rate_ppm: u64, horizon: u64, hart: usize) -> Self {
+        Self::generate_smp(
+            mix64(seed ^ (hart as u64).wrapping_mul(SEED_REMAP)),
+            rate_ppm,
+            horizon,
+        )
+    }
+
+    /// The seed the plan was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault rate in events per million commits.
+    pub fn rate_ppm(&self) -> u64 {
+        self.rate_ppm
+    }
+
+    /// Total number of scheduled events (fired or not).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan schedules no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Pop the next event due at or before `commit`, if any.  Call in a
+    /// loop: several events may share a commit index.
+    pub fn next_due(&mut self, commit: u64) -> Option<FaultKind> {
+        let ev = self.events.get(self.cursor)?;
+        if ev.at_commit <= commit {
+            self.cursor += 1;
+            Some(ev.kind)
+        } else {
+            None
+        }
+    }
+
+    /// Build a plan from an explicit event list — targeted chaos tests
+    /// that pin a specific fault to a specific commit. Events are
+    /// sorted by commit index; `seed`/`rate` report as zero.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at_commit);
+        FaultPlan {
+            seed: 0,
+            rate_ppm: 0,
+            events,
+            cursor: 0,
+        }
+    }
+
+    /// Rewind the plan so it can be replayed from commit zero.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// The full schedule, for reports.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut a = XorShift64::new(0);
+        let mut b = XorShift64::new(SEED_REMAP);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), 0);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = FaultPlan::generate(42, 1_000, 1_000_000);
+        let b = FaultPlan::generate(42, 1_000, 1_000_000);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(1, 1_000, 1_000_000);
+        let b = FaultPlan::generate(2, 1_000, 1_000_000);
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_bounded() {
+        let plan = FaultPlan::generate(7, 10_000, 200_000);
+        let mut last = 0;
+        for ev in plan.events() {
+            assert!(ev.at_commit >= last);
+            assert!(ev.at_commit <= 200_000);
+            last = ev.at_commit;
+        }
+    }
+
+    #[test]
+    fn rate_roughly_matches() {
+        // 1000 ppm over 1M commits => ~1000 events; the uniform-gap draw
+        // keeps the expectation right, allow a wide band.
+        let plan = FaultPlan::generate(9, 1_000, 1_000_000);
+        let n = plan.len();
+        assert!((500..=2000).contains(&n), "got {n} events");
+    }
+
+    #[test]
+    fn zero_rate_is_empty() {
+        assert!(FaultPlan::generate(3, 0, 1_000_000).is_empty());
+    }
+
+    #[test]
+    fn next_due_drains_in_order() {
+        let mut plan = FaultPlan::generate(5, 100_000, 10_000);
+        let total = plan.len();
+        let mut drained = 0;
+        for commit in 1..=10_000 {
+            while plan.next_due(commit).is_some() {
+                drained += 1;
+            }
+        }
+        assert_eq!(drained, total);
+        plan.rewind();
+        assert!(plan.next_due(10_000).is_some());
+    }
+
+    #[test]
+    fn single_hart_pool_excludes_shootdown_kinds() {
+        let plan = FaultPlan::generate(11, 50_000, 100_000);
+        assert!(plan.events().iter().all(|e| !matches!(
+            e.kind,
+            FaultKind::ShootdownDrop | FaultKind::ShootdownDelay { .. }
+        )));
+    }
+
+    #[test]
+    fn smp_pool_includes_shootdown_kinds() {
+        let plan = FaultPlan::generate_smp(11, 50_000, 1_000_000);
+        assert!(plan.events().iter().any(|e| matches!(
+            e.kind,
+            FaultKind::ShootdownDrop | FaultKind::ShootdownDelay { .. }
+        )));
+    }
+
+    #[test]
+    fn per_hart_plans_differ() {
+        let a = FaultPlan::for_hart(42, 1_000, 100_000, 0);
+        let b = FaultPlan::for_hart(42, 1_000, 100_000, 1);
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn mix64_spreads() {
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+}

@@ -36,7 +36,7 @@
 //! let user = a.assemble()?;
 //!
 //! let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&user, None);
-//! assert_eq!(sim.run_to_halt(1_000_000), 42); // pid 0 + 42
+//! assert_eq!(sim.run_to_halt(1_000_000).unwrap(), 42); // pid 0 + 42
 //! # Ok::<(), isa_asm::AsmError>(())
 //! ```
 

@@ -7,10 +7,11 @@
 //! first instruction runs.
 
 use isa_asm::Program;
+use isa_fault::FaultPlan;
 use isa_grid::{DomainId, DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig};
 use isa_sim::csr::{addr, mstatus};
 use isa_sim::mmu::{pte, PageTableBuilder};
-use isa_sim::{Exit, Kind, Machine};
+use isa_sim::{Kind, Machine, RunError};
 use isa_timing::{PipelineModel, TimingConfig};
 
 use crate::config::{KernelConfig, Mode, Role};
@@ -65,7 +66,19 @@ pub struct SimBuilder {
     /// false). Profiling observes committed steps only and never adds
     /// modeled cycles.
     pub profile: bool,
+    /// Seed for the deterministic chaos harness; `None` (the default)
+    /// injects nothing. Each hart derives an independent sub-stream
+    /// from this one seed.
+    pub fault_seed: Option<u64>,
+    /// Fault rate in faults per million committed instructions
+    /// (ignored unless a seed is set).
+    pub fault_rate_ppm: u64,
 }
+
+/// Commit horizon for generated fault plans: injections are scheduled
+/// over the first this-many commits of each hart (bench budgets sit
+/// well under it; a longer run simply sees no further injections).
+pub const FAULT_HORIZON: u64 = 10_000_000;
 
 impl SimBuilder {
     /// A builder for the given kernel configuration (8-entry PCU caches,
@@ -80,6 +93,8 @@ impl SimBuilder {
             harts: 1,
             bbcache: true,
             profile: false,
+            fault_seed: None,
+            fault_rate_ppm: 0,
         }
     }
 
@@ -125,6 +140,27 @@ impl SimBuilder {
     /// domain and privilege level, latency histograms, span timeline).
     pub fn profile(mut self, on: bool) -> SimBuilder {
         self.profile = on;
+        self
+    }
+
+    /// Attach the deterministic chaos harness: inject faults from this
+    /// seed at the configured [`SimBuilder::fault_rate`].
+    pub fn fault_seed(mut self, seed: u64) -> SimBuilder {
+        self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Fault rate in faults per million committed instructions.
+    pub fn fault_rate(mut self, ppm: u64) -> SimBuilder {
+        self.fault_rate_ppm = ppm;
+        self
+    }
+
+    /// Enable or disable the PCU's fail-closed integrity layer
+    /// (default on). Off demonstrates the unprotected stale-allow
+    /// window the layer closes.
+    pub fn integrity(mut self, on: bool) -> SimBuilder {
+        self.pcu.integrity = on;
         self
     }
 
@@ -250,9 +286,20 @@ impl SimBuilder {
             m.cpu.csrs.write_raw(addr::WPCTL, 1);
         }
 
+        if let Some(seed) = self.fault_seed {
+            m.ext.attach_faults(FaultPlan::for_hart(
+                seed,
+                self.fault_rate_ppm,
+                FAULT_HORIZON,
+                0,
+            ));
+        }
+
         Sim {
             machine: m,
             kernel: img,
+            fault_seed: self.fault_seed,
+            fault_rate_ppm: self.fault_rate_ppm,
         }
     }
 }
@@ -478,23 +525,20 @@ pub struct Sim {
     pub machine: Machine<Pcu>,
     /// The kernel image (symbols, gates, config).
     pub kernel: KernelImage,
+    /// Chaos-harness seed the builder used (workers minted from this
+    /// sim derive their per-hart plans from it).
+    pub fault_seed: Option<u64>,
+    /// Chaos-harness rate the builder used.
+    pub fault_rate_ppm: u64,
 }
 
 impl Sim {
-    /// Run until the guest halts; returns the exit code.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the step budget is exhausted first.
-    pub fn run_to_halt(&mut self, max_steps: u64) -> u64 {
-        match self.machine.run(max_steps) {
-            Exit::Halted(code) => code,
-            Exit::StepLimit => panic!(
-                "guest did not halt within {max_steps} steps (pc={:#x}, domain={})",
-                self.machine.cpu.pc,
-                self.machine.ext.current_domain()
-            ),
-        }
+    /// Run until the guest halts; returns the exit code, or a
+    /// structured [`RunError::Watchdog`] when the step budget is
+    /// exhausted first — a hung guest is an error value, never a host
+    /// panic.
+    pub fn run_to_halt(&mut self, max_steps: u64) -> Result<u64, RunError> {
+        self.machine.run_to_halt(max_steps)
     }
 
     /// Modeled cycles elapsed so far.

@@ -23,7 +23,7 @@ use isa_sim::Machine;
 use isa_smp::Smp;
 
 use crate::layout;
-use crate::machine::{Sim, SimBuilder};
+use crate::machine::{Sim, SimBuilder, FAULT_HORIZON};
 use crate::KernelImage;
 
 /// Bytes of trusted stack carved per hart (hart 0's kernel carve and
@@ -61,6 +61,16 @@ pub fn start_worker(sim: &Sim, hart: usize, entry: u64, domain: DomainId) -> Mac
     );
     pcu.set_trusted_stack(base, base + TSTACK_STRIDE);
     pcu.force_domain(domain);
+    if let Some(seed) = sim.fault_seed {
+        // Same base seed, per-hart sub-stream: the whole SMP fault
+        // schedule stays a pure function of one seed.
+        pcu.attach_faults(isa_fault::FaultPlan::for_hart(
+            seed,
+            sim.fault_rate_ppm,
+            FAULT_HORIZON,
+            hart,
+        ));
+    }
     let mut m = Machine::on_bus(pcu, bus);
     // Workers inherit hart 0's basic-block cache setting so a
     // `--no-bbcache` run is uncached on every hart.
@@ -98,7 +108,9 @@ pub fn boot_smp(
     for h in 1..n {
         machines.push(start_worker(&sim, h, entry, worker_domain));
     }
-    let Sim { machine, kernel } = sim;
+    let Sim {
+        machine, kernel, ..
+    } = sim;
     machines.insert(0, machine);
     SmpSim {
         smp: Smp::from_machines(machines),

@@ -93,7 +93,7 @@ mod tests {
         exit_with(&mut a, S5);
         let user = a.assemble().unwrap();
         let mut sim = SimBuilder::new(KernelConfig::native()).boot(&user, None);
-        assert_eq!(sim.run_to_halt(100_000), 17);
+        assert_eq!(sim.run_to_halt(100_000).unwrap(), 17);
     }
 
     #[test]
@@ -104,7 +104,7 @@ mod tests {
         exit_code(&mut a, 0);
         let user = a.assemble().unwrap();
         let mut sim = SimBuilder::new(KernelConfig::native()).boot(&user, None);
-        sim.run_to_halt(100_000);
+        sim.run_to_halt(100_000).unwrap();
         assert_eq!(sim.values(), &[123]);
     }
 
@@ -119,7 +119,7 @@ mod tests {
         exit_code(&mut a, 0);
         let user = a.assemble().unwrap();
         let mut sim = SimBuilder::new(KernelConfig::native()).boot(&user, None);
-        sim.run_to_halt(1_000_000);
+        sim.run_to_halt(1_000_000).unwrap();
         assert!(sim.values()[0] >= 100);
     }
 }

@@ -32,7 +32,7 @@ fn getpid_returns_zero_everywhere() {
     let user = a.assemble().unwrap();
     for cfg in all_configs() {
         let mut sim = boot(cfg, &user);
-        assert_eq!(sim.run_to_halt(STEPS), 7, "{cfg:?}");
+        assert_eq!(sim.run_to_halt(STEPS).unwrap(), 7, "{cfg:?}");
     }
 }
 
@@ -66,7 +66,7 @@ fn read_from_dev_zero_fills_buffer() {
     let user = a.assemble().unwrap();
     for cfg in all_configs() {
         let mut sim = boot(cfg, &user);
-        assert_eq!(sim.run_to_halt(STEPS), 64, "{cfg:?}");
+        assert_eq!(sim.run_to_halt(STEPS).unwrap(), 64, "{cfg:?}");
     }
 }
 
@@ -111,7 +111,7 @@ fn file_write_then_read_roundtrip() {
     let user = a.assemble().unwrap();
     for cfg in all_configs() {
         let mut sim = boot(cfg, &user);
-        assert_eq!(sim.run_to_halt(STEPS), 0, "{cfg:?}");
+        assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0, "{cfg:?}");
     }
 }
 
@@ -131,7 +131,7 @@ fn write_to_console_lands_on_uart() {
     usr::exit_with(&mut a, A0);
     let user = a.assemble().unwrap();
     let mut sim = boot(KernelConfig::decomposed(), &user);
-    assert_eq!(sim.run_to_halt(STEPS), 5);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 5);
     assert_eq!(sim.console(), "hello");
 }
 
@@ -156,7 +156,7 @@ fn stat_and_fstat_report_file_metadata() {
     usr::syscall(&mut a, sys::EXIT);
     let user = a.assemble().unwrap();
     let mut sim = boot(KernelConfig::decomposed(), &user);
-    assert_eq!(sim.run_to_halt(STEPS), 16); // 64 KiB >> 12
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 16); // 64 KiB >> 12
 }
 
 #[test]
@@ -195,7 +195,7 @@ fn pipe_roundtrip_single_task() {
     let user = a.assemble().unwrap();
     for cfg in [KernelConfig::native(), KernelConfig::decomposed()] {
         let mut sim = boot(cfg, &user);
-        assert_eq!(sim.run_to_halt(STEPS), (3 << 8) | 0xEF, "{cfg:?}");
+        assert_eq!(sim.run_to_halt(STEPS).unwrap(), (3 << 8) | 0xEF, "{cfg:?}");
     }
 }
 
@@ -213,7 +213,11 @@ fn empty_pipe_read_is_nonblocking() {
     usr::syscall(&mut a, sys::EXIT);
     let user = a.assemble().unwrap();
     let mut sim = boot(KernelConfig::decomposed(), &user);
-    assert_eq!(sim.run_to_halt(STEPS), 100, "read of empty pipe returns 0");
+    assert_eq!(
+        sim.run_to_halt(STEPS).unwrap(),
+        100,
+        "read of empty pipe returns 0"
+    );
 }
 
 #[test]
@@ -236,7 +240,7 @@ fn signals_deliver_and_return() {
     let user = a.assemble().unwrap();
     for cfg in all_configs() {
         let mut sim = boot(cfg, &user);
-        assert_eq!(sim.run_to_halt(STEPS), 111, "{cfg:?}");
+        assert_eq!(sim.run_to_halt(STEPS).unwrap(), 111, "{cfg:?}");
     }
 }
 
@@ -248,7 +252,7 @@ fn yield_is_a_noop_without_second_task() {
     usr::syscall(&mut a, sys::EXIT);
     let user = a.assemble().unwrap();
     let mut sim = boot(KernelConfig::decomposed(), &user);
-    assert_eq!(sim.run_to_halt(STEPS), 5);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 5);
 }
 
 #[test]
@@ -310,7 +314,7 @@ fn two_tasks_ping_pong_through_pipes() {
     let user = a.assemble().unwrap();
     for cfg in all_configs() {
         let mut sim = SimBuilder::new(cfg).boot(&user, Some("task1"));
-        assert_eq!(sim.run_to_halt(STEPS), 8, "{cfg:?}");
+        assert_eq!(sim.run_to_halt(STEPS).unwrap(), 8, "{cfg:?}");
     }
 }
 
@@ -330,7 +334,7 @@ fn ioctl_services_return_consistently() {
             usr::exit_code(&mut a, 0);
             let user = a.assemble().unwrap();
             let mut sim = boot(cfg, &user);
-            sim.run_to_halt(STEPS);
+            sim.run_to_halt(STEPS).unwrap();
             per_cfg.push(sim.values()[0]);
         }
         results.push(per_cfg);
@@ -382,7 +386,7 @@ fn mapctl_updates_scratch_mapping_in_all_modes() {
         KernelConfig::nested(true),
     ] {
         let mut sim = boot(cfg, &user);
-        assert_eq!(sim.run_to_halt(STEPS), 0x11, "{cfg:?}");
+        assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0x11, "{cfg:?}");
     }
 }
 
@@ -400,13 +404,13 @@ fn nested_log_records_mapping_changes() {
     usr::exit_code(&mut a, 0);
     let user = a.assemble().unwrap();
     let mut sim = boot(KernelConfig::nested(true), &user);
-    sim.run_to_halt(STEPS);
+    sim.run_to_halt(STEPS).unwrap();
     let cursor = sim.machine.bus.read_u64(simkernel::layout::MONLOG);
     assert_eq!(cursor, 3, "three mapping changes logged");
 
     // Without logging the cursor stays zero.
     let mut sim = boot(KernelConfig::nested(false), &user);
-    sim.run_to_halt(STEPS);
+    sim.run_to_halt(STEPS).unwrap();
     assert_eq!(sim.machine.bus.read_u64(simkernel::layout::MONLOG), 0);
 }
 
@@ -423,7 +427,7 @@ fn outer_kernel_cannot_write_page_tables_directly_in_nested_mode() {
     usr::exit_code(&mut a, 1);
     let user = a.assemble().unwrap();
     let mut sim = boot(KernelConfig::nested(false), &user);
-    let code = sim.run_to_halt(STEPS);
+    let code = sim.run_to_halt(STEPS).unwrap();
     assert_eq!(code, exit::PANIC | 15, "store page fault panics the kernel");
 }
 
@@ -439,14 +443,14 @@ fn vuln_gadgets_succeed_natively_and_fault_when_decomposed() {
 
         // Native: the "attack" goes through (returns 0).
         let mut sim = boot(KernelConfig::native(), &user);
-        assert_eq!(sim.run_to_halt(STEPS), 50, "native op {op}");
+        assert_eq!(sim.run_to_halt(STEPS).unwrap(), 50, "native op {op}");
 
         // Decomposed (with the rdtsc restriction on): every gadget hits
         // an ISA-Grid fault and domain-0 panics the machine.
         let mut cfg = KernelConfig::decomposed();
         cfg.deny_cycle = true;
         let mut sim = boot(cfg, &user);
-        let code = sim.run_to_halt(STEPS);
+        let code = sim.run_to_halt(STEPS).unwrap();
         assert_eq!(
             code & !0xff,
             exit::GRID_FAULT & !0xff,
@@ -473,7 +477,7 @@ fn pti_kernel_still_runs_syscalls() {
         KernelConfig::decomposed().with_pti(),
     ] {
         let mut sim = boot(cfg, &user);
-        assert_eq!(sim.run_to_halt(STEPS), 9, "{cfg:?}");
+        assert_eq!(sim.run_to_halt(STEPS).unwrap(), 9, "{cfg:?}");
     }
 }
 
@@ -489,7 +493,7 @@ fn timing_platforms_boot_and_charge_cycles() {
         let mut sim = SimBuilder::new(KernelConfig::decomposed())
             .platform(platform)
             .boot(&user, None);
-        sim.run_to_halt(STEPS);
+        sim.run_to_halt(STEPS).unwrap();
         assert!(sim.cycles() > 1000, "{platform:?}: {}", sim.cycles());
     }
 }
@@ -503,7 +507,7 @@ fn decomposed_kernel_blocks_user_grid_probing() {
     usr::exit_code(&mut a, 1);
     let user = a.assemble().unwrap();
     let mut sim = boot(KernelConfig::decomposed(), &user);
-    let code = sim.run_to_halt(STEPS);
+    let code = sim.run_to_halt(STEPS).unwrap();
     // The architectural privilege check fires first for U-mode code
     // (grid CSRs are supervisor addresses): illegal instruction, which
     // the kernel turns into a panic. Either way, nothing leaks.

@@ -43,7 +43,7 @@ fn timer_preemption_interleaves_cpu_hogs() {
         let mut sim = SimBuilder::new(cfg)
             .timer_every(2000)
             .boot(&prog, Some("task1"));
-        let progress = sim.run_to_halt(STEPS);
+        let progress = sim.run_to_halt(STEPS).unwrap();
         assert!(
             progress > 1000,
             "{cfg:?}: task 1 starved (progress {progress})"
@@ -57,7 +57,7 @@ fn decomposed_preemption_crosses_the_mm_domain() {
     let mut sim = SimBuilder::new(KernelConfig::decomposed().with_preempt())
         .timer_every(1000)
         .boot(&prog, Some("task1"));
-    sim.run_to_halt(STEPS);
+    sim.run_to_halt(STEPS).unwrap();
     // Each preemption takes the PREEMPT_IN/OUT hccall pair.
     assert!(
         sim.machine.ext.stats.gate_calls > 20,
@@ -84,7 +84,7 @@ fn single_task_preemption_resumes_the_same_task() {
     let mut sim = SimBuilder::new(KernelConfig::decomposed().with_preempt())
         .timer_every(500)
         .boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 7);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 7);
     assert!(sim.machine.trap_counts.len() >= 2, "timer traps were taken");
 }
 
@@ -113,12 +113,12 @@ fn preemption_preserves_task_state_exactly() {
     let prog = build();
     let mut quiet =
         SimBuilder::new(KernelConfig::decomposed().with_preempt()).boot(&prog, Some("task1"));
-    let want = quiet.run_to_halt(STEPS);
+    let want = quiet.run_to_halt(STEPS).unwrap();
     let mut noisy = SimBuilder::new(KernelConfig::decomposed().with_preempt())
         .timer_every(137)
         .boot(&prog, Some("task1"));
     assert_eq!(
-        noisy.run_to_halt(STEPS),
+        noisy.run_to_halt(STEPS).unwrap(),
         want,
         "state corrupted by preemption"
     );

@@ -16,7 +16,7 @@ fn syscalls_work_across_the_user_domain_boundary() {
     usr::exit_code(&mut a, 3);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed().with_user_domain()).boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 3);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 3);
     // Boot gate + (U2K + K2U) per kernel crossing; 11 syscalls at least.
     let calls = sim.machine.ext.stats.gate_calls;
     assert!(calls > 2 * 10, "gate calls: {calls}");
@@ -34,7 +34,7 @@ fn user_rdcycle_allowed_by_default() {
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed().with_user_domain()).boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0);
     assert!(sim.values()[0] >= 16);
 }
 
@@ -49,7 +49,7 @@ fn per_process_rdtsc_restriction_blocks_user_rdcycle() {
     let mut cfg = KernelConfig::decomposed().with_user_domain();
     cfg.deny_user_cycle = true;
     let mut sim = SimBuilder::new(cfg).boot(&prog, None);
-    let code = sim.run_to_halt(STEPS);
+    let code = sim.run_to_halt(STEPS).unwrap();
     assert_eq!(code, exit::GRID_FAULT | Exception::CAUSE_GRID_CSR);
 }
 
@@ -66,7 +66,7 @@ fn kernel_keeps_the_cycle_counter_when_the_user_loses_it() {
     let mut cfg = KernelConfig::decomposed().with_user_domain();
     cfg.deny_user_cycle = true;
     let mut sim = SimBuilder::new(cfg).boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0);
 }
 
 #[test]
@@ -90,7 +90,7 @@ fn signals_and_tasks_survive_user_domains() {
     let prog = a.assemble().unwrap();
     let mut sim =
         SimBuilder::new(KernelConfig::decomposed().with_user_domain()).boot(&prog, Some("t1"));
-    assert_eq!(sim.run_to_halt(STEPS), 111);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 111);
 }
 
 #[test]
@@ -115,7 +115,7 @@ fn user_domain_composes_with_preemption() {
     let mut sim = SimBuilder::new(KernelConfig::decomposed().with_user_domain().with_preempt())
         .timer_every(1500)
         .boot(&prog, Some("task1"));
-    let progress = sim.run_to_halt(STEPS);
+    let progress = sim.run_to_halt(STEPS).unwrap();
     assert!(progress > 500, "task 1 starved: {progress}");
     assert_eq!(sim.machine.ext.stats.faults, 0);
 }
@@ -129,5 +129,5 @@ fn native_kernel_ignores_the_user_domain_flag() {
     usr::exit_code(&mut a, 9);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::native().with_user_domain()).boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 9);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 9);
 }

@@ -284,6 +284,20 @@ pub struct RunCounters {
     /// Denied checks recorded in the PCU audit log (including any past
     /// the log's retention bound).
     pub audit_denied: u64,
+    /// Faults the chaos harness actually applied (bit flips, evictions,
+    /// dropped shootdowns). Zero when injection is off.
+    pub fault_injected: u64,
+    /// Injected corruptions the integrity layer caught (seal mismatch on
+    /// refill, cache-line scrub, poisoned snapshot, expired shootdown).
+    pub fault_detected: u64,
+    /// Detections recovered in place (line scrubbed and re-walked from
+    /// trusted memory) without raising an architectural trap.
+    pub fault_recovered: u64,
+    /// Detections resolved fail-closed as deny + architectural trap.
+    pub fault_denied: u64,
+    /// Shootdown deliveries that blew the bounded-backoff deadline and
+    /// faulted the offending hart.
+    pub fault_shootdown_expired: u64,
 }
 
 impl ToJson for RunCounters {
@@ -293,6 +307,14 @@ impl ToJson for RunCounters {
             ("traps", Json::U64(self.traps)),
             ("trace_dropped", Json::U64(self.trace_dropped)),
             ("audit_denied", Json::U64(self.audit_denied)),
+            ("fault_injected", Json::U64(self.fault_injected)),
+            ("fault_detected", Json::U64(self.fault_detected)),
+            ("fault_recovered", Json::U64(self.fault_recovered)),
+            ("fault_denied", Json::U64(self.fault_denied)),
+            (
+                "fault_shootdown_expired",
+                Json::U64(self.fault_shootdown_expired),
+            ),
         ])
     }
 }
@@ -360,6 +382,14 @@ impl Counters {
         out.push(("run.traps".into(), self.run.traps));
         out.push(("run.trace_dropped".into(), self.run.trace_dropped));
         out.push(("run.audit_denied".into(), self.run.audit_denied));
+        out.push(("run.fault_injected".into(), self.run.fault_injected));
+        out.push(("run.fault_detected".into(), self.run.fault_detected));
+        out.push(("run.fault_recovered".into(), self.run.fault_recovered));
+        out.push(("run.fault_denied".into(), self.run.fault_denied));
+        out.push((
+            "run.fault_shootdown_expired".into(),
+            self.run.fault_shootdown_expired,
+        ));
         out.push(("smp.harts".into(), self.smp.harts));
         out.push(("smp.shootdowns".into(), self.smp.shootdowns));
         out.push(("smp.shootdown_acks".into(), self.smp.shootdown_acks));
@@ -399,6 +429,11 @@ impl Counters {
         self.run.traps += other.run.traps;
         self.run.trace_dropped += other.run.trace_dropped;
         self.run.audit_denied += other.run.audit_denied;
+        self.run.fault_injected += other.run.fault_injected;
+        self.run.fault_detected += other.run.fault_detected;
+        self.run.fault_recovered += other.run.fault_recovered;
+        self.run.fault_denied += other.run.fault_denied;
+        self.run.fault_shootdown_expired += other.run.fault_shootdown_expired;
         self.smp.harts += other.smp.harts;
         self.smp.shootdowns += other.smp.shootdowns;
         self.smp.shootdown_acks += other.smp.shootdown_acks;

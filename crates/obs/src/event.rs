@@ -161,6 +161,25 @@ pub enum TraceEvent {
         /// Live privilege-cache entries discarded by the flush.
         discarded: u64,
     },
+    /// The chaos harness injected a fault into privilege state.
+    FaultInjected {
+        /// Stable fault-kind tag (e.g. `table_bit_flip`).
+        kind: &'static str,
+        /// Kind-specific detail (address, cache index, …).
+        detail: u64,
+    },
+    /// The fail-closed integrity layer detected corrupted privilege
+    /// state and either scrubbed it (`recovered`) or denied the check.
+    IntegrityEvent {
+        /// What was found corrupt (`table`, `cache`, `snapshot`,
+        /// `shootdown`).
+        scope: &'static str,
+        /// Trusted-memory address or cache tag of the corrupted state.
+        detail: u64,
+        /// True when the state was scrubbed and re-walked in place;
+        /// false when the check was denied with a trap.
+        recovered: bool,
+    },
 }
 
 impl TraceEvent {
@@ -178,6 +197,8 @@ impl TraceEvent {
             TraceEvent::TmemFence { .. } => "tmem_fence",
             TraceEvent::Shootdown { .. } => "shootdown",
             TraceEvent::ShootdownAck { .. } => "shootdown_ack",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::IntegrityEvent { .. } => "integrity",
         }
     }
 }
@@ -264,6 +285,19 @@ impl ToJson for TraceEvent {
                 pairs.push(("hart".into(), Json::U64(hart)));
                 pairs.push(("epoch".into(), Json::U64(epoch)));
                 pairs.push(("discarded".into(), Json::U64(discarded)));
+            }
+            TraceEvent::FaultInjected { kind, detail } => {
+                pairs.push(("kind".into(), Json::Str(kind.into())));
+                pairs.push(("detail".into(), Json::Str(format!("{detail:#x}"))));
+            }
+            TraceEvent::IntegrityEvent {
+                scope,
+                detail,
+                recovered,
+            } => {
+                pairs.push(("scope".into(), Json::Str(scope.into())));
+                pairs.push(("detail".into(), Json::Str(format!("{detail:#x}"))));
+                pairs.push(("recovered".into(), Json::Bool(recovered)));
             }
         }
         Json::Obj(pairs)

@@ -43,6 +43,7 @@ fn span_name(s: &Span) -> String {
         SpanKind::Domain => format!("domain {}", s.id),
         SpanKind::Gate => format!("gate→{}", s.id),
         SpanKind::Shootdown => format!("shootdown×{}", s.id),
+        SpanKind::Fault => format!("fault×{}", s.id),
     }
 }
 

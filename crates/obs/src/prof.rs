@@ -178,6 +178,9 @@ pub enum SpanKind {
     /// A step that flushed privilege caches for a cross-hart
     /// shootdown (id = number of flushes absorbed).
     Shootdown,
+    /// A step on which the chaos harness injected a fault or the
+    /// integrity layer detected one (id = number of fault events).
+    Fault,
 }
 
 impl SpanKind {
@@ -187,6 +190,7 @@ impl SpanKind {
             SpanKind::Domain => "domain",
             SpanKind::Gate => "gate",
             SpanKind::Shootdown => "shootdown",
+            SpanKind::Fault => "fault",
         }
     }
 }
@@ -314,6 +318,8 @@ pub struct StepClass {
     pub grid_misses: u16,
     /// Cross-hart shootdown flushes absorbed before this step.
     pub shootdown_flushed: u16,
+    /// Fault-injection events applied or detected on this step.
+    pub fault_events: u16,
     /// The step trapped (any cause).
     pub trapped: bool,
 }
@@ -368,6 +374,8 @@ pub struct Profile {
     pub grid_miss: Histogram,
     /// Cycles of steps stalled flushing a cross-hart shootdown.
     pub shootdown: Histogram,
+    /// Cycles of steps carrying fault-injection or integrity events.
+    pub fault: Histogram,
     spans: Vec<Span>,
     span_cap: usize,
     spans_dropped: u64,
@@ -472,6 +480,15 @@ impl Profile {
                 end: self.cycles,
             });
         }
+        if s.class.fault_events > 0 {
+            self.fault.record(s.cycles);
+            self.push_span(Span {
+                kind: SpanKind::Fault,
+                id: s.class.fault_events as u64,
+                start: t0,
+                end: self.cycles,
+            });
+        }
         if s.class.trapped {
             self.faults += 1;
         }
@@ -506,6 +523,7 @@ impl Profile {
         self.check.merge(&other.check);
         self.grid_miss.merge(&other.grid_miss);
         self.shootdown.merge(&other.shootdown);
+        self.fault.merge(&other.fault);
         self.faults += other.faults;
         self.spans_dropped += other.spans_dropped;
     }
@@ -528,13 +546,14 @@ fn domains_json(domains: &BTreeMap<(u16, u8), DomainCycles>) -> Json {
     )
 }
 
-/// The four latency histograms as one JSON object.
+/// The latency histograms as one JSON object.
 fn histograms_json(p: &Profile) -> Json {
     Json::obj([
         ("gate_switch", p.gate_switch.to_json()),
         ("check", p.check.to_json()),
         ("grid_miss", p.grid_miss.to_json()),
         ("shootdown", p.shootdown.to_json()),
+        ("fault", p.fault.to_json()),
     ])
 }
 
@@ -620,6 +639,12 @@ pub enum AuditKind {
     Gate,
     /// Trusted-memory access check (detail = physical address).
     Tmem,
+    /// Integrity verification of privilege state (detail = trusted-memory
+    /// address of the corrupted word, or 0 for poisoned snapshot state).
+    Integrity,
+    /// Shootdown delivery blew the bounded-backoff deadline (detail =
+    /// the coherence epoch that expired).
+    Shootdown,
 }
 
 impl AuditKind {
@@ -630,6 +655,8 @@ impl AuditKind {
             AuditKind::Csr => "csr",
             AuditKind::Gate => "gate",
             AuditKind::Tmem => "tmem",
+            AuditKind::Integrity => "integrity",
+            AuditKind::Shootdown => "shootdown",
         }
     }
 }
@@ -649,7 +676,7 @@ pub struct AuditRecord {
     pub domain: u16,
     /// Which checker denied.
     pub kind: AuditKind,
-    /// Architectural trap cause raised (24–27 for Grid faults).
+    /// Architectural trap cause raised (24–28 for Grid faults).
     pub cause: u64,
     /// Kind-specific detail: instruction class index, CSR address,
     /// destination domain / gate index, or physical address.

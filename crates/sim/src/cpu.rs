@@ -5,6 +5,7 @@ use crate::decode::{decode, Decoded, Kind};
 use crate::mem::Bus;
 use crate::mmu::{self, Access, WalkCtx};
 use crate::trap::{Exception, Interrupt, Priv};
+use std::fmt;
 
 /// Architectural CPU state (registers, PC, privilege level, CSR file).
 #[derive(Debug, Clone)]
@@ -87,6 +88,9 @@ pub struct ExtEvents {
     /// observational — the timing models never read it; the profiler
     /// uses it to attribute step cycles to the check histogram.
     pub checks: u8,
+    /// Fault-injection events applied or integrity detections made
+    /// before this instruction committed (chaos harness; saturating).
+    pub fault_events: u16,
 }
 
 impl ExtEvents {
@@ -322,6 +326,48 @@ pub enum Exit {
     StepLimit,
 }
 
+/// Structured failure of a watchdog-supervised run
+/// ([`Machine::run_to_halt`] and the SMP equivalent): the host harness
+/// must never panic on guest behavior, so a guest that fails to halt is
+/// reported as data, not a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The step-budget watchdog expired before the guest halted.
+    Watchdog {
+        /// The budget that was exhausted.
+        max_steps: u64,
+        /// Steps actually executed (equals `max_steps` for single-hart
+        /// runs; the stuck hart's count under SMP).
+        steps: u64,
+        /// Program counter at expiry.
+        pc: u64,
+        /// Hart that exhausted its budget.
+        hart: u64,
+        /// ISA domain the hart was in at expiry.
+        domain: u16,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Watchdog {
+                max_steps,
+                steps,
+                pc,
+                hart,
+                domain,
+            } => write!(
+                f,
+                "watchdog: hart {hart} did not halt within {max_steps} steps \
+                 (ran {steps}, pc={pc:#x}, domain={domain})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// A complete simulated machine: CPU core, bus, extension, timing model.
 pub struct Machine<E: Extension> {
     /// Architectural CPU state.
@@ -444,6 +490,22 @@ impl<E: Extension> Machine<E> {
         Exit::StepLimit
     }
 
+    /// Run until halt, treating step-budget exhaustion as a watchdog
+    /// error rather than a normal exit. The fail-closed entry point for
+    /// harnesses that require the guest to terminate.
+    pub fn run_to_halt(&mut self, max_steps: u64) -> Result<u64, RunError> {
+        match self.run(max_steps) {
+            Exit::Halted(code) => Ok(code),
+            Exit::StepLimit => Err(RunError::Watchdog {
+                max_steps,
+                steps: max_steps,
+                pc: self.cpu.pc,
+                hart: self.bus.hart() as u64,
+                domain: self.ext.current_domain_id(),
+            }),
+        }
+    }
+
     /// Execute one instruction (or take one interrupt). Returns the
     /// retired-event record for the step, if an instruction was attempted.
     pub fn step(&mut self) -> Option<Retired> {
@@ -525,6 +587,7 @@ impl<E: Extension> Machine<E> {
                     + ev.ext.hpt_mask_miss as u16
                     + ev.ext.sgt_miss as u16,
                 shootdown_flushed: ev.ext.shootdown_flushed,
+                fault_events: ev.ext.fault_events,
                 trapped: ev.trap_cause.is_some(),
             },
         });
@@ -965,7 +1028,10 @@ impl<E: Extension> Machine<E> {
                             AmomaxD => (old as i64).max(rs2 as i64) as u64,
                             AmominuD => old.min(rs2),
                             AmomaxuD => old.max(rs2),
-                            _ => unreachable!(),
+                            // Only AMO kinds are routed here; never
+                            // panic inside the shared-bus RMW — an
+                            // unexpected kind leaves memory unchanged.
+                            _ => old,
                         }
                     })
                     .ok_or(Exception::StoreAccessFault(vaddr))?;
@@ -1026,7 +1092,9 @@ impl<E: Extension> Machine<E> {
                     }
                 }
             }
-            _ => unreachable!("unhandled kind {:?}", d.kind),
+            // Fail closed on any decoded kind without an execute arm:
+            // malformed guest input must trap, never panic the host.
+            _ => return Err(Exception::IllegalInst(d.raw as u64)),
         }
         Ok(next)
     }

@@ -515,7 +515,9 @@ pub fn decode(raw: u32) -> Result<Decoded, Exception> {
                     0b010000 => Kind::Srai,
                     _ => return ill(),
                 },
-                _ => unreachable!(),
+                // funct3 is 3 bits and every value is matched above;
+                // fail closed on guest input regardless.
+                _ => return ill(),
             };
             let mut d = Decoded::with_imm(raw, kind, imm_i(raw));
             if matches!(kind, Kind::Slli | Kind::Srli | Kind::Srai) {

@@ -36,6 +36,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Guest-reachable code must trap architecturally, never panic the host:
+// `.unwrap()` is banned outside unit tests (host-side setup code uses
+// `.expect()` with a message, or explicit `#[allow]`s where justified).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod bbcache;
 mod cpu;
@@ -48,7 +52,7 @@ mod trap;
 
 pub use cpu::{
     CpuState, Exit, ExtEvents, Extension, Flow, Machine, MemAccess, NullExtension, NullTiming,
-    Retired, TimingSink,
+    Retired, RunError, TimingSink,
 };
 pub use decode::{decode, Decoded, Kind};
 pub use disas::disassemble;

@@ -247,7 +247,7 @@ impl Bus {
                 .fetch_or(1u64 << self.hart, Ordering::Release);
             return Some(());
         }
-        let mut m = self.inner.mmio.lock().expect("mmio lock");
+        let mut m = self.inner.mmio.lock().unwrap_or_else(|e| e.into_inner());
         match paddr {
             mmio::CONSOLE_TX => {
                 m.console.push(val as u8);
@@ -297,7 +297,7 @@ impl Bus {
 
     /// Host-side 64-bit read from RAM.
     pub fn read_u64(&self, paddr: u64) -> u64 {
-        u64::from_le_bytes(self.read_bytes(paddr, 8).try_into().expect("8 bytes"))
+        u64::from_le_bytes(self.read_bytes(paddr, 8).try_into().unwrap_or_default())
     }
 
     /// Host-side 64-bit write to RAM.
@@ -307,13 +307,18 @@ impl Bus {
 
     /// Console output decoded as UTF-8 (lossy).
     pub fn console_string(&self) -> String {
-        let m = self.inner.mmio.lock().expect("mmio lock");
+        let m = self.inner.mmio.lock().unwrap_or_else(|e| e.into_inner());
         String::from_utf8_lossy(&m.console).into_owned()
     }
 
     /// Snapshot of the guest-reported value log.
     pub fn value_log(&self) -> Vec<u64> {
-        self.inner.mmio.lock().expect("mmio lock").value_log.clone()
+        self.inner
+            .mmio
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .value_log
+            .clone()
     }
 
     /// Exit code of *this* hart, once it has written [`mmio::HALT`].
@@ -345,7 +350,11 @@ impl Bus {
     /// cache line for this hart, atomically with respect to remote
     /// stores. `None` = access fault (no reservation is acquired).
     pub fn lr_load(&self, paddr: u64, len: u8) -> Option<u64> {
-        let _g = self.inner.amo_lock.lock().expect("amo lock");
+        let _g = self
+            .inner
+            .amo_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let v = self.load(paddr, len)?;
         self.inner.res[self.hart].store(reservation_line(paddr) | 1, Ordering::SeqCst);
         self.inner
@@ -359,7 +368,11 @@ impl Bus {
     /// `Some(false)` if the reservation was lost (or never matched), and
     /// `None` on access fault. The reservation is consumed either way.
     pub fn sc_store(&self, paddr: u64, len: u8, val: u64) -> Option<bool> {
-        let _g = self.inner.amo_lock.lock().expect("amo lock");
+        let _g = self
+            .inner
+            .amo_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let want = reservation_line(paddr) | 1;
         let held = self.inner.res[self.hart].load(Ordering::SeqCst) == want;
         self.clear_reservation();
@@ -374,7 +387,11 @@ impl Bus {
     /// result back, breaking remote reservations on the line. Returns
     /// the *old* value, or `None` on access fault.
     pub fn amo_rmw(&self, paddr: u64, len: u8, f: impl FnOnce(u64) -> u64) -> Option<u64> {
-        let _g = self.inner.amo_lock.lock().expect("amo lock");
+        let _g = self
+            .inner
+            .amo_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let old = self.load(paddr, len)?;
         self.store(paddr, len, f(old))?;
         Some(old)

@@ -181,7 +181,10 @@ pub fn translate(
                     }
                 }
             }
-            Priv::M => unreachable!("M-mode handled above"),
+            // M-mode is handled above (bare or MPRV-effective walks);
+            // fail closed with a page fault rather than panic if a
+            // future refactor ever routes it here.
+            Priv::M => return Err(access.page_fault(vaddr)),
         }
         // Superpage alignment.
         let ppn = (raw >> 10) & 0xfff_ffff_ffff;

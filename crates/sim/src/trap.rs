@@ -82,6 +82,12 @@ pub enum Exception {
     GridGateFault(u64),
     /// ISA-Grid: trusted memory access violation (cause 27).
     GridTmemFault(u64),
+    /// ISA-Grid: privilege-state integrity violation — a table word,
+    /// cached line, or PCU snapshot failed verification, or a shootdown
+    /// delivery blew its deadline; resolved fail-closed (cause 28).
+    /// Payload is the corrupted trusted-memory address (or epoch/0 when
+    /// no address applies).
+    GridIntegrityFault(u64),
 }
 
 impl Exception {
@@ -93,6 +99,8 @@ impl Exception {
     pub const CAUSE_GRID_GATE: u64 = 26;
     /// ISA-Grid trusted-memory fault cause number.
     pub const CAUSE_GRID_TMEM: u64 = 27;
+    /// ISA-Grid privilege-state integrity fault cause number.
+    pub const CAUSE_GRID_INTEGRITY: u64 = 28;
 
     /// The architectural cause number written to `mcause`/`scause`.
     pub fn cause(&self) -> u64 {
@@ -117,6 +125,7 @@ impl Exception {
             Exception::GridCsrFault(_) => Self::CAUSE_GRID_CSR,
             Exception::GridGateFault(_) => Self::CAUSE_GRID_GATE,
             Exception::GridTmemFault(_) => Self::CAUSE_GRID_TMEM,
+            Exception::GridIntegrityFault(_) => Self::CAUSE_GRID_INTEGRITY,
         }
     }
 
@@ -137,14 +146,15 @@ impl Exception {
             | Exception::GridInstFault(v)
             | Exception::GridCsrFault(v)
             | Exception::GridGateFault(v)
-            | Exception::GridTmemFault(v) => *v,
+            | Exception::GridTmemFault(v)
+            | Exception::GridIntegrityFault(v) => *v,
             Exception::EnvCall(_) => 0,
         }
     }
 
-    /// True for the four ISA-Grid privilege-violation causes.
+    /// True for the five ISA-Grid privilege-violation causes.
     pub fn is_grid_fault(&self) -> bool {
-        self.cause() >= Self::CAUSE_GRID_INST && self.cause() <= Self::CAUSE_GRID_TMEM
+        self.cause() >= Self::CAUSE_GRID_INST && self.cause() <= Self::CAUSE_GRID_INTEGRITY
     }
 }
 
@@ -167,6 +177,7 @@ impl fmt::Display for Exception {
             Exception::GridCsrFault(_) => "ISA-Grid CSR privilege fault",
             Exception::GridGateFault(_) => "ISA-Grid gate fault",
             Exception::GridTmemFault(_) => "ISA-Grid trusted memory fault",
+            Exception::GridIntegrityFault(_) => "ISA-Grid integrity fault",
         };
         write!(f, "{name} (tval={:#x})", self.tval())
     }

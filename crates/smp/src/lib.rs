@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use isa_grid::{Pcu, ShootdownCell};
 use isa_obs::Counters;
-use isa_sim::{Bus, Exit, Machine};
+use isa_sim::{Bus, Exit, Extension, Machine, RunError};
 
 /// How the deterministic interleaver picks the next hart to step.
 ///
@@ -239,8 +239,10 @@ impl Smp {
 
     /// Run the interleaver until every hart halts or exhausts its own
     /// `max_steps_per_hart` budget (counted from this call). Returns
-    /// each hart's exit.
-    pub fn run(&mut self, max_steps_per_hart: u64) -> Vec<Exit> {
+    /// each hart's exit, or [`RunError::Watchdog`] naming the first
+    /// hart that burned its whole budget without halting — a hung hart
+    /// is a structured error, never a silent `StepLimit` row.
+    pub fn run(&mut self, max_steps_per_hart: u64) -> Result<Vec<Exit>, RunError> {
         let n = self.harts.len();
         let start: Vec<u64> = self.harts.iter().map(|m| m.steps).collect();
         let mut exits: Vec<Option<Exit>> = (0..n)
@@ -256,13 +258,20 @@ impl Smp {
             if let Some(code) = self.harts[h].bus.halted() {
                 exits[h] = Some(Exit::Halted(code));
             } else if self.harts[h].steps - start[h] >= max_steps_per_hart {
-                exits[h] = Some(Exit::StepLimit);
+                let m = &self.harts[h];
+                return Err(RunError::Watchdog {
+                    max_steps: max_steps_per_hart,
+                    steps: m.steps - start[h],
+                    pc: m.cpu.pc,
+                    hart: h as u64,
+                    domain: m.ext.current_domain_id(),
+                });
             }
         }
-        exits
+        Ok(exits
             .into_iter()
             .map(|e| e.expect("every hart resolved"))
-            .collect()
+            .collect())
     }
 
     /// Merged whole-machine counters: every hart's PCU snapshot summed,
@@ -376,11 +385,11 @@ mod tests {
     fn round_robin_counter_matches_sequential() {
         let prog = amo_counter_program(100);
         // Sequential reference: one hart doing all the work.
-        let seq = smp_on(&prog, 1).run(100_000);
+        let seq = smp_on(&prog, 1).run(100_000).unwrap();
         assert_eq!(seq, vec![Exit::Halted(0)]);
 
         let mut smp = smp_on(&prog, 4).with_schedule(Schedule::RoundRobin { quantum: 3 });
-        let exits = smp.run(100_000);
+        let exits = smp.run(100_000).unwrap();
         for (h, e) in exits.iter().enumerate() {
             assert_eq!(*e, Exit::Halted(h as u64), "hart {h} exit code");
         }
@@ -393,7 +402,7 @@ mod tests {
         let prog = amo_counter_program(50);
         let run = |seed| {
             let mut smp = smp_on(&prog, 3).with_schedule(Schedule::Random { seed });
-            smp.run(100_000);
+            smp.run(100_000).unwrap();
             let regs: Vec<Vec<u64>> = (0..3)
                 .map(|h| (0..32).map(|r| smp.machine(h).cpu.reg(r)).collect())
                 .collect();
@@ -431,7 +440,7 @@ mod tests {
     fn quantum_zero_is_clamped() {
         let prog = amo_counter_program(5);
         let mut smp = smp_on(&prog, 2).with_schedule(Schedule::RoundRobin { quantum: 0 });
-        let exits = smp.run(10_000);
+        let exits = smp.run(10_000).unwrap();
         assert_eq!(exits.len(), 2);
         assert_eq!(smp.bus().read_u64(prog.symbol("counter")), 10);
     }

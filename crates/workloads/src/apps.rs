@@ -457,7 +457,7 @@ mod tests {
             let prog = app.program(AppParams::small());
             for cfg in [KernelConfig::native(), KernelConfig::decomposed()] {
                 let mut sim = SimBuilder::new(cfg).boot(&prog, None);
-                let code = sim.run_to_halt(80_000_000);
+                let code = sim.run_to_halt(80_000_000).unwrap();
                 assert_eq!(code, 0, "{} on {cfg:?}", app.name());
                 assert!(sim.values()[0] > 0, "{}", app.name());
             }
@@ -472,7 +472,7 @@ mod tests {
             svc_every: 0,
         });
         let mut sim = SimBuilder::new(KernelConfig::nested(true)).boot(&prog, None);
-        assert_eq!(sim.run_to_halt(80_000_000), 0);
+        assert_eq!(sim.run_to_halt(80_000_000).unwrap(), 0);
         let logged = sim.machine.bus.read_u64(simkernel::layout::MONLOG);
         assert_eq!(logged, 4, "8 files / every 2 = 4 mapctl calls");
     }

@@ -280,7 +280,7 @@ mod tests {
             let prog = b.program(10);
             for cfg in [KernelConfig::native(), KernelConfig::decomposed()] {
                 let mut sim = SimBuilder::new(cfg).boot(&prog, b.task2());
-                let code = sim.run_to_halt(20_000_000);
+                let code = sim.run_to_halt(20_000_000).unwrap();
                 assert_eq!(code, 0, "{} on {cfg:?}", b.name());
                 assert_eq!(sim.values().len(), 1, "{}", b.name());
                 assert!(sim.values()[0] > 0, "{}", b.name());
@@ -297,7 +297,7 @@ mod tests {
             let mut sim = SimBuilder::new(KernelConfig::native())
                 .platform(simkernel::Platform::Rocket)
                 .boot(&prog, None);
-            sim.run_to_halt(20_000_000);
+            sim.run_to_halt(20_000_000).unwrap();
             cycles.push(sim.values()[0]);
         }
         let ratio = cycles[1] as f64 / cycles[0] as f64;

@@ -144,7 +144,7 @@ pub fn run_with(
         .profile(profiling)
         .boot(prog, task2);
     let t0 = std::time::Instant::now();
-    let exit_code = sim.run_to_halt(max_steps);
+    let exit_code = sim.run_to_halt(max_steps).unwrap();
     let host_secs = t0.elapsed().as_secs_f64();
     assert_eq!(exit_code, 0, "workload failed under {kernel:?}");
     let counters = sim.counters();

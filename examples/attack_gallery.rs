@@ -58,7 +58,7 @@ fn mount(op: u64, cfg: KernelConfig) -> u64 {
     usr::exit_code(&mut a, 0x600D); // "good" for the attacker
     let prog = a.assemble().expect("assembles");
     let mut sim = SimBuilder::new(cfg).boot(&prog, None);
-    sim.run_to_halt(5_000_000)
+    sim.run_to_halt(5_000_000).unwrap()
 }
 
 fn main() {

@@ -37,7 +37,7 @@ fn main() {
         let mut sim = SimBuilder::new(cfg)
             .platform(Platform::Rocket)
             .boot(&user, None);
-        let code = sim.run_to_halt(100_000_000);
+        let code = sim.run_to_halt(100_000_000).unwrap();
         let cycles = sim.cycles();
         println!(
             "{name}: exit {code}, {cycles} cycles, {} instructions",

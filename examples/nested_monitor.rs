@@ -34,7 +34,7 @@ fn main() {
     let user = a.assemble().expect("assembles");
 
     let mut sim = SimBuilder::new(KernelConfig::nested(true)).boot(&user, None);
-    let code = sim.run_to_halt(50_000_000);
+    let code = sim.run_to_halt(50_000_000).unwrap();
     println!("exit code: {code}");
     println!(
         "monitor entries (hccalls): {}, returns (hcrets): {}",

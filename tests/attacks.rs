@@ -65,7 +65,7 @@ fn native_kernel_is_vulnerable_to_every_attack() {
         let prog = attack_program(op);
         let mut sim = SimBuilder::new(KernelConfig::native()).boot(&prog, None);
         assert_eq!(
-            sim.run_to_halt(STEPS),
+            sim.run_to_halt(STEPS).unwrap(),
             0x77,
             "{attack}: gadget must succeed natively"
         );
@@ -80,7 +80,7 @@ fn decomposed_kernel_mitigates_every_attack() {
         let mut cfg = KernelConfig::decomposed();
         cfg.deny_cycle = true; // the rdtsc restriction scenario
         let mut sim = SimBuilder::new(cfg).boot(&prog, None);
-        let code = sim.run_to_halt(STEPS);
+        let code = sim.run_to_halt(STEPS).unwrap();
         assert_eq!(
             code & exit::GRID_FAULT,
             exit::GRID_FAULT,
@@ -110,7 +110,7 @@ fn user_code_cannot_reach_privileged_resources_directly() {
     usr::exit_code(&mut a, 1);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
-    let code = sim.run_to_halt(STEPS);
+    let code = sim.run_to_halt(STEPS).unwrap();
     assert_eq!(code, exit::PANIC | 2, "illegal instruction, not exit(1)");
 }
 
@@ -125,7 +125,7 @@ fn injected_gate_cannot_reach_a_privileged_domain() {
     usr::exit_code(&mut a, 1);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
-    let code = sim.run_to_halt(STEPS);
+    let code = sim.run_to_halt(STEPS).unwrap();
     assert_eq!(
         code,
         exit::GRID_FAULT | Exception::CAUSE_GRID_GATE,
@@ -148,7 +148,7 @@ fn mask_confines_sstatus_to_harmless_bits() {
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0);
     // The syscall path exercised masked sstatus writes without faulting.
     assert!(sim.machine.ext.stats.csr_checks > 16);
     assert_eq!(sim.machine.ext.stats.faults, 0);

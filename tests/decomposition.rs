@@ -18,7 +18,7 @@ fn workload_results_identical_native_vs_decomposed() {
         let mut outs = Vec::new();
         for cfg in [KernelConfig::native(), KernelConfig::decomposed()] {
             let mut sim = SimBuilder::new(cfg).boot(&prog, None);
-            assert_eq!(sim.run_to_halt(STEPS), 0, "{}", app.name());
+            assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0, "{}", app.name());
             outs.push(sim.console());
         }
         assert_eq!(
@@ -35,7 +35,7 @@ fn every_micro_benchmark_survives_decomposition() {
     for b in LmBench::ALL {
         let prog = b.program(8);
         let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, b.task2());
-        assert_eq!(sim.run_to_halt(STEPS), 0, "{}", b.name());
+        assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0, "{}", b.name());
         assert_eq!(
             sim.machine.ext.stats.faults,
             0,
@@ -52,7 +52,7 @@ fn kernel_leaves_domain_zero_exactly_once_at_boot() {
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
-    sim.run_to_halt(STEPS);
+    sim.run_to_halt(STEPS).unwrap();
     // The kernel runs in the basic domain (id 1), never back in 0.
     assert_eq!(sim.machine.ext.current_domain().0, 1);
     assert_eq!(
@@ -73,7 +73,7 @@ fn context_switch_visits_the_mm_domain() {
     a.j("t1");
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, Some("task1"));
-    sim.run_to_halt(STEPS);
+    sim.run_to_halt(STEPS).unwrap();
     // boot gate + (in/out) per satp switch; at least 3 switches happen.
     assert!(
         sim.machine.ext.stats.gate_calls > 2 * 3,
@@ -92,7 +92,7 @@ fn ioctl_visits_the_service_domain_and_returns() {
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
-    sim.run_to_halt(STEPS);
+    sim.run_to_halt(STEPS).unwrap();
     // boot + service in + service out.
     assert_eq!(sim.machine.ext.stats.gate_calls, 3);
     assert_eq!(
@@ -111,7 +111,7 @@ fn pcu_checks_every_kernel_and_user_instruction() {
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
-    sim.run_to_halt(STEPS);
+    sim.run_to_halt(STEPS).unwrap();
     let stats = sim.machine.ext.stats;
     // Everything after the boot gate is checked.
     assert!(
@@ -138,7 +138,7 @@ fn cache_configs_all_run_the_kernel() {
         let mut sim = SimBuilder::new(KernelConfig::decomposed())
             .pcu(pcu)
             .boot(&prog, None);
-        assert_eq!(sim.run_to_halt(STEPS), 0, "{pcu:?}");
+        assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0, "{pcu:?}");
     }
 }
 
@@ -149,11 +149,11 @@ fn decomposition_overhead_negligible_even_on_timing_platforms() {
         let mut native = SimBuilder::new(KernelConfig::native())
             .platform(platform)
             .boot(&prog, None);
-        native.run_to_halt(STEPS);
+        native.run_to_halt(STEPS).unwrap();
         let mut grid = SimBuilder::new(KernelConfig::decomposed())
             .platform(platform)
             .boot(&prog, None);
-        grid.run_to_halt(STEPS);
+        grid.run_to_halt(STEPS).unwrap();
         let n = native.values()[0] as f64;
         let g = grid.values()[0] as f64;
         assert!(

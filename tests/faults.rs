@@ -1,0 +1,363 @@
+//! Fail-closed contract under injected faults.
+//!
+//! Four claims, each falsifiable here:
+//!
+//! 1. **Determinism** — a [`FaultPlan`] seed fully determines a run:
+//!    same (seed, rate, harts) → bit-identical exits, final CSR state,
+//!    counters and audit logs (proptest, single- and multi-hart).
+//! 2. **Containment** — with the integrity layer on, no tested seed or
+//!    rate produces a silent privilege escalation: a denied CSR can
+//!    never end up written.
+//! 3. **Detection** — a targeted flip of the permit bit in a *cached*
+//!    register-bitmap line is caught by the line seal and the stale
+//!    allow never executes; with integrity off the same flip is
+//!    demonstrably fatal (the attack works). Likewise a flipped
+//!    privilege-table word in trusted memory denies with the
+//!    architectural `GridIntegrityFault`, and a corrupted PCU snapshot
+//!    refuses to authorize anything.
+//! 4. **Bounded recovery** — shootdown delivery blown past its
+//!    bounded-backoff deadline restores coherence and faults the hart
+//!    instead of hanging or silently retrying forever; a guest that
+//!    never halts surfaces as a structured watchdog error, not a panic.
+
+use isa_asm::{Asm, Program, Reg::*};
+use isa_fault::{FaultEvent, FaultKind, FaultPlan};
+use isa_grid::{DomainSpec, GridLayout, Pcu, PcuConfig, SHOOTDOWN_DEADLINE_POLLS};
+use isa_grid_bench::faultbench::{run_case, FaultCase, ATTACK_VAL};
+use isa_sim::csr::addr;
+use isa_sim::{mmio, Bus, Exception, Exit, Kind, Machine, RunError, DEFAULT_RAM_BASE as RAM};
+use isa_smp::Smp;
+use proptest::prelude::*;
+
+const TMEM: u64 = 0x8380_0000;
+
+/// Compute + CSR classes + `sscratch`; no `stvec`.
+fn csr_domain() -> DomainSpec {
+    let mut d = DomainSpec::compute_only();
+    d.allow_insts([
+        Kind::Csrrw,
+        Kind::Csrrs,
+        Kind::Csrrc,
+        Kind::Csrrwi,
+        Kind::Csrrsi,
+        Kind::Csrrci,
+    ]);
+    d.allow_csr_rw(addr::SSCRATCH);
+    d
+}
+
+/// Prime-then-probe guest: an allowed `sscratch` write pulls the
+/// group-2 register-bitmap line (which also carries `stvec`'s bits)
+/// into the Grid Cache, then one `stvec` write probes it. Surviving
+/// the probe halts 0xAA; any trap halts with its cause.
+fn prime_probe_program() -> Program {
+    let mut a = Asm::new(RAM);
+    a.label("boot");
+    a.la(T0, "mtrap");
+    a.csrw(addr::MTVEC as u32, T0);
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, addr::MSTATUS as u32, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, addr::MSTATUS as u32, T1);
+    a.la(T0, "kernel");
+    a.csrw(addr::MEPC as u32, T0);
+    a.mret();
+
+    a.label("kernel");
+    a.li(T2, 7);
+    a.csrw(addr::SSCRATCH as u32, T2); // prime: allowed, caches the line
+    a.li(T3, ATTACK_VAL);
+    a.label("probe");
+    a.csrw(addr::STVEC as u32, T3); // probe: must be denied
+    a.li(A0, 0xAA);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+
+    a.label("mtrap");
+    a.csrr(A0, addr::MCAUSE as u32);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+    a.assemble().expect("prime/probe program assembles")
+}
+
+/// Single-hart arena: installed tables, one `csr_domain`, machine at
+/// `boot` forced into the domain.
+fn machine(integrity: bool) -> (Machine<Pcu>, Program) {
+    let prog = prime_probe_program();
+    let bus = Bus::with_harts(RAM, isa_sim::DEFAULT_RAM_SIZE, 1);
+    bus.write_bytes(prog.base, &prog.bytes);
+    let mut pcu = Pcu::new(PcuConfig::eight_e());
+    let mut b0 = bus.for_hart(0);
+    pcu.install(&mut b0, GridLayout::new(TMEM, 1 << 20));
+    let d = pcu.add_domain(&mut b0, &csr_domain());
+    pcu.set_integrity(integrity);
+    let mut m = Machine::on_bus(pcu, bus.for_hart(0));
+    m.cpu.pc = prog.symbol("boot");
+    m.ext.force_domain(d);
+    (m, prog)
+}
+
+/// Step `m` until its PC reaches `target` (bounded).
+fn step_to(m: &mut Machine<Pcu>, target: u64) {
+    for _ in 0..1_000 {
+        if m.cpu.pc == target {
+            return;
+        }
+        m.step();
+    }
+    panic!("never reached {target:#x}");
+}
+
+// ---- claim 3: detection ----
+
+#[test]
+fn cached_permit_bit_flip_is_detected_and_denied() {
+    let (mut m, prog) = machine(true);
+    step_to(&mut m, prog.symbol("probe"));
+    // Soft error in the cache array: the stale line now says `stvec`
+    // is writable.
+    assert!(
+        m.ext.corrupt_cached_reg_bit(addr::STVEC, true),
+        "prime write must have cached the register-bitmap line"
+    );
+    // The seal catches the flip, the line is scrubbed, the re-walk
+    // denies: the architectural outcome is the *correct* CSR fault.
+    assert_eq!(m.run(1_000), Exit::Halted(Exception::CAUSE_GRID_CSR));
+    assert_eq!(m.cpu.csrs.read_raw(addr::STVEC), 0, "no stale write landed");
+    let c = m.ext.counters();
+    assert!(c.run.fault_detected >= 1, "scrub not counted: {c:?}");
+    assert!(c.run.fault_recovered >= 1);
+}
+
+#[test]
+fn cached_permit_bit_flip_escapes_without_integrity() {
+    // The same attack with seals off: the stale allow executes — this
+    // is the vulnerability the integrity layer exists to close.
+    let (mut m, prog) = machine(false);
+    step_to(&mut m, prog.symbol("probe"));
+    assert!(m.ext.corrupt_cached_reg_bit(addr::STVEC, true));
+    assert_eq!(m.run(1_000), Exit::Halted(0xAA), "probe was denied anyway");
+    assert_eq!(
+        m.cpu.csrs.read_raw(addr::STVEC),
+        ATTACK_VAL,
+        "the corrupted verdict must have let the write through"
+    );
+}
+
+#[test]
+fn corrupted_table_word_denies_with_integrity_fault() {
+    let (mut m, _prog) = machine(true);
+    // Host-side bit flips across the table region, bypassing the PCU's
+    // sealed-write path — the model of rowhammer/DMA corruption.
+    for a in (TMEM..TMEM + 0x20000).step_by(8) {
+        let v = m.bus.load(a, 8).unwrap_or(0);
+        m.bus.write_u64(a, v ^ 0b10);
+    }
+    assert_eq!(
+        m.run(10_000),
+        Exit::Halted(Exception::CAUSE_GRID_INTEGRITY),
+        "undecodable privilege state must resolve as deny + trap"
+    );
+    let c = m.ext.counters();
+    assert!(c.run.fault_detected >= 1);
+    assert!(c.run.fault_denied >= 1);
+}
+
+#[test]
+fn poisoned_snapshot_refuses_to_authorize() {
+    let prog = prime_probe_program();
+    let bus = Bus::with_harts(RAM, isa_sim::DEFAULT_RAM_SIZE, 1);
+    bus.write_bytes(prog.base, &prog.bytes);
+    let mut pcu0 = Pcu::new(PcuConfig::eight_e());
+    let mut b0 = bus.for_hart(0);
+    pcu0.install(&mut b0, GridLayout::new(TMEM, 1 << 20));
+    let d = pcu0.add_domain(&mut b0, &csr_domain());
+    let mut snap = pcu0.snapshot();
+    snap.corrupt(5, 17); // bit flip in the cached register state
+    let pcu = snap.build();
+    assert!(pcu.is_poisoned(), "checksum mismatch must poison the build");
+    let mut m = Machine::on_bus(pcu, bus.for_hart(0));
+    m.cpu.pc = prog.symbol("boot");
+    m.ext.force_domain(d);
+    // The first instruction outside M-mode is denied: a PCU that
+    // cannot vouch for its own state authorizes nothing.
+    assert_eq!(m.run(10_000), Exit::Halted(Exception::CAUSE_GRID_INTEGRITY));
+}
+
+// ---- claim 4: bounded recovery ----
+
+#[test]
+fn shootdown_deadline_expiry_faults_the_hart() {
+    // Two harts: hart 0 halts at once, hart 1 hammers an (initially
+    // allowed) stvec write in a loop. Hart 1's shootdown link is
+    // sabotaged with one delivery-delay credit per commit -- enough to
+    // outlast the deadline once an epoch goes pending.
+    let mut a = Asm::new(RAM);
+    a.label("h0");
+    a.li(T6, mmio::HALT);
+    a.sd(Zero, T6, 0);
+    a.nop();
+    a.label("h1");
+    a.la(T0, "mtrap");
+    a.csrw(addr::MTVEC as u32, T0);
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, addr::MSTATUS as u32, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, addr::MSTATUS as u32, T1);
+    a.la(T0, "kernel");
+    a.csrw(addr::MEPC as u32, T0);
+    a.mret();
+    a.label("kernel");
+    a.li(T2, 4_000);
+    a.label("loop");
+    a.csrw(addr::STVEC as u32, T2);
+    a.addi(T2, T2, -1);
+    a.bnez(T2, "loop");
+    a.li(A0, 0xAA);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+    a.label("mtrap");
+    a.csrr(A0, addr::MCAUSE as u32);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+    let prog = a.assemble().unwrap();
+
+    let bus = Bus::with_harts(RAM, isa_sim::DEFAULT_RAM_SIZE, 2);
+    bus.write_bytes(prog.base, &prog.bytes);
+    let mut pcu0 = Pcu::new(PcuConfig::eight_e());
+    let mut b0 = bus.for_hart(0);
+    pcu0.install(&mut b0, GridLayout::new(TMEM, 1 << 20));
+    let mut spec = csr_domain();
+    spec.allow_csr_rw(addr::STVEC); // allowed until revoked
+    let d = pcu0.add_domain(&mut b0, &spec);
+    let snap = pcu0.snapshot();
+
+    let mut smp = Smp::new(&bus, |h, hb| {
+        let mut m = Machine::on_bus(snap.build(), hb);
+        m.cpu.pc = prog.symbol(if h == 0 { "h0" } else { "h1" });
+        m.ext.force_domain(d);
+        if h == 1 {
+            m.ext.attach_faults(FaultPlan::from_events(
+                (1..=1_000)
+                    .map(|i| FaultEvent {
+                        at_commit: i,
+                        kind: FaultKind::ShootdownDelay { polls: 1 },
+                    })
+                    .collect(),
+            ));
+        }
+        m
+    });
+
+    // Prime: hart 0 halts within its first steps; hart 1 reaches the
+    // loop and commits allowed stvec writes (caching the allow).
+    for _ in 0..64 {
+        smp.step();
+    }
+    assert_eq!(smp.machine(1).ext.stats.faults, 0, "priming must be clean");
+    // Hart 0 revokes stvec: table write + shootdown publish.
+    {
+        let m0 = smp.machine_mut(0);
+        m0.ext.update_domain(&mut m0.bus, d, &csr_domain());
+    }
+    let exits = smp.run(100_000).unwrap();
+    // Hart 1 deferred delivery for SHOOTDOWN_DEADLINE_POLLS commits
+    // (running on its stale cached allow), then the PCU blew the
+    // deadline: flushed anyway and faulted the hart instead of hanging
+    // or silently absorbing the loss.
+    assert_eq!(exits[1], Exit::Halted(Exception::CAUSE_GRID_INTEGRITY));
+    let stats = smp.machine(1).ext.fault_stats();
+    assert_eq!(stats.shootdown_expired, 1, "stats: {stats:?}");
+    assert!(
+        stats.injected > u64::from(SHOOTDOWN_DEADLINE_POLLS),
+        "delay credit must cover the whole deadline window: {stats:?}"
+    );
+    let c = smp.machine(1).ext.counters();
+    assert_eq!(c.run.fault_shootdown_expired, 1);
+}
+
+#[test]
+fn runaway_guest_surfaces_as_watchdog_error() {
+    let mut a = Asm::new(RAM);
+    a.label("spin");
+    a.j("spin");
+    let prog = a.assemble().unwrap();
+    let bus = Bus::with_harts(RAM, isa_sim::DEFAULT_RAM_SIZE, 1);
+    bus.write_bytes(prog.base, &prog.bytes);
+    let mut m = Machine::on_bus(Pcu::new(PcuConfig::eight_e()), bus.for_hart(0));
+    m.cpu.pc = prog.base;
+    match m.run_to_halt(500) {
+        Err(RunError::Watchdog {
+            max_steps, steps, ..
+        }) => {
+            assert_eq!(max_steps, 500);
+            assert_eq!(steps, 500);
+        }
+        other => panic!("expected watchdog, got {other:?}"),
+    }
+}
+
+// ---- claim 2: containment (differential) ----
+
+#[test]
+fn no_tested_seed_escalates_with_integrity_on() {
+    for harts in [1usize, 2] {
+        for seed in [1u64, 2, 3] {
+            for rate in [1_000u64, 10_000] {
+                let out = run_case(&FaultCase {
+                    seed,
+                    rate_ppm: rate,
+                    integrity: true,
+                    harts,
+                    iters: 400,
+                });
+                assert_eq!(
+                    out.escalations, 0,
+                    "seed {seed:#x} rate {rate} harts {harts}: silent escalation"
+                );
+                for e in &out.exits {
+                    assert_eq!(e, "halted:0xaa", "seed {seed:#x} rate {rate}: {e}");
+                }
+            }
+        }
+    }
+}
+
+// ---- claim 1: determinism ----
+
+#[test]
+fn four_hart_runs_are_bit_identical() {
+    for seed in [0xC0FFEE_u64, 0x5EED_5EED] {
+        let case = FaultCase {
+            seed,
+            rate_ppm: 5_000,
+            integrity: true,
+            harts: 4,
+            iters: 400,
+        };
+        assert_eq!(
+            run_case(&case).digest(),
+            run_case(&case).digest(),
+            "seed {seed:#x}: 4-hart replay diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn same_plan_same_outcome(seed in any::<u64>(), rate in 0u64..20_000, integrity in any::<bool>()) {
+        let case = FaultCase { seed, rate_ppm: rate, integrity, harts: 1, iters: 300 };
+        let a = run_case(&case);
+        let b = run_case(&case);
+        prop_assert_eq!(a.digest(), b.digest(), "replay diverged");
+        if integrity {
+            prop_assert_eq!(a.escalations, 0, "silent escalation under integrity");
+        }
+    }
+}

@@ -158,7 +158,7 @@ fn build_program(ops: &[Op]) -> isa_asm::Program {
 
 fn run_on(cfg: KernelConfig, prog: &isa_asm::Program) -> (u64, Vec<u64>, String) {
     let mut sim = SimBuilder::new(cfg).boot(prog, None);
-    let code = sim.run_to_halt(80_000_000);
+    let code = sim.run_to_halt(80_000_000).unwrap();
     (code, sim.values().to_vec(), sim.console())
 }
 

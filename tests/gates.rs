@@ -58,7 +58,7 @@ fn user_cannot_call_kernel_internal_gates() {
         usr::exit_code(&mut a, 1);
         let prog = a.assemble().unwrap();
         let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
-        let code = sim.run_to_halt(STEPS);
+        let code = sim.run_to_halt(STEPS).unwrap();
         assert_eq!(
             code,
             exit::GRID_FAULT | Exception::CAUSE_GRID_GATE,
@@ -76,7 +76,7 @@ fn out_of_range_gate_ids_fault() {
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
     assert_eq!(
-        sim.run_to_halt(STEPS),
+        sim.run_to_halt(STEPS).unwrap(),
         exit::GRID_FAULT | Exception::CAUSE_GRID_GATE
     );
 }
@@ -89,7 +89,7 @@ fn hcrets_from_user_space_cannot_underflow_the_trusted_stack() {
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
     assert_eq!(
-        sim.run_to_halt(STEPS),
+        sim.run_to_halt(STEPS).unwrap(),
         exit::GRID_FAULT | Exception::CAUSE_GRID_GATE
     );
 }
@@ -110,7 +110,7 @@ fn trusted_stack_balances_across_nested_kernel_activity() {
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0);
     let (sp, sb, _) = sim.machine.ext.save_trusted_stack();
     assert_eq!(sp, sb, "trusted stack must be empty when idle");
     assert_eq!(
@@ -128,7 +128,7 @@ fn pti_gates_fire_on_every_syscall() {
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::decomposed().with_pti()).boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0);
     // Each syscall: PTI-in pair + PTI-out pair = 4 hccalls; plus boot,
     // plus the exit syscall's entry gates.
     let calls = sim.machine.ext.stats.gate_calls;

@@ -30,7 +30,7 @@ fn monitor_mediates_mapping_changes() {
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::nested(false)).boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0);
     // boot + 4 × (monitor in via hccalls); returns are hcrets.
     assert_eq!(sim.machine.ext.stats.gate_calls, 5);
     assert_eq!(sim.machine.ext.stats.gate_returns, 4);
@@ -46,7 +46,7 @@ fn monitor_restores_write_protection_after_each_update() {
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::nested(true)).boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0);
     assert_eq!(
         sim.machine.cpu.csrs.read_raw(isa_sim::csr::addr::WPCTL) & 1,
         1,
@@ -64,7 +64,7 @@ fn compromised_outer_kernel_cannot_disable_wp() {
     usr::exit_code(&mut a, 1);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::nested(false)).boot(&prog, None);
-    let code = sim.run_to_halt(STEPS);
+    let code = sim.run_to_halt(STEPS).unwrap();
     assert_eq!(code, exit::GRID_FAULT | Exception::CAUSE_GRID_CSR);
 }
 
@@ -79,7 +79,7 @@ fn log_variant_records_every_update_in_order() {
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::nested(true)).boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0);
     let cursor = sim.machine.bus.read_u64(layout::MONLOG);
     assert_eq!(cursor, 5);
     for i in 0..5u64 {
@@ -104,7 +104,7 @@ fn log_wraps_circularly() {
     usr::exit_code(&mut a, 0);
     let prog = a.assemble().unwrap();
     let mut sim = SimBuilder::new(KernelConfig::nested(true)).boot(&prog, None);
-    assert_eq!(sim.run_to_halt(400_000_000), 0);
+    assert_eq!(sim.run_to_halt(400_000_000).unwrap(), 0);
     assert_eq!(
         sim.machine.bus.read_u64(layout::MONLOG),
         cap + 3,
@@ -137,7 +137,7 @@ fn nested_and_native_mapctl_have_identical_semantics() {
         usr::syscall(&mut a, sys::EXIT);
         let prog = a.assemble().unwrap();
         let mut sim = SimBuilder::new(cfg).boot(&prog, None);
-        results.push(sim.run_to_halt(STEPS));
+        results.push(sim.run_to_halt(STEPS).unwrap());
     }
     assert_eq!(results[0], results[1]);
     assert_eq!(results[0], 0x5A << 8);

@@ -31,7 +31,7 @@ fn gate_switch_events_match_committed_instruction_order() {
     let mut sim = SimBuilder::new(KernelConfig::decomposed())
         .trace_events(RING)
         .boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0);
     let events = sim.trace_events();
     assert!(!events.is_empty());
     assert_eq!(sim.machine.trace.dropped(), 0, "grow RING: ring overflowed");
@@ -102,7 +102,7 @@ fn counters_agree_with_the_event_stream() {
     let mut sim = SimBuilder::new(KernelConfig::decomposed())
         .trace_events(RING)
         .boot(&prog, None);
-    assert_eq!(sim.run_to_halt(STEPS), 0);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0);
     let events = sim.trace_events();
     assert_eq!(sim.machine.trace.dropped(), 0, "grow RING: ring overflowed");
     let c = sim.counters();
@@ -139,7 +139,7 @@ fn counters_agree_with_the_event_stream() {
     // The same run without tracing produces identical counters: the
     // sink must observe, never perturb.
     let mut quiet = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
-    assert_eq!(quiet.run_to_halt(STEPS), 0);
+    assert_eq!(quiet.run_to_halt(STEPS).unwrap(), 0);
     let qc = quiet.counters();
     assert_eq!(qc.caches, c.caches);
     assert_eq!(qc.checks, c.checks);

@@ -103,7 +103,7 @@ fn denied_csr_access_is_audited_with_pc_domain_and_cause() {
     let prog = a.assemble().unwrap();
 
     let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
-    let code = sim.run_to_halt(STEPS);
+    let code = sim.run_to_halt(STEPS).unwrap();
     assert_eq!(code & exit::GRID_FAULT, exit::GRID_FAULT);
 
     let n_recs = {

@@ -69,7 +69,7 @@ fn smp_on(prog: &Program, harts: usize) -> Smp {
 /// Run `harts` harts under `sched`; return (shared, amo) after all halt.
 fn contend(prog: &Program, harts: usize, sched: Schedule, budget: u64) -> (u64, u64) {
     let mut smp = smp_on(prog, harts).with_schedule(sched);
-    let exits = smp.run(budget);
+    let exits = smp.run(budget).unwrap();
     for (h, e) in exits.iter().enumerate() {
         assert_eq!(*e, Exit::Halted(h as u64), "hart {h} under {sched:?}");
     }
@@ -105,7 +105,7 @@ fn quantum_one_breaks_reservations() {
     // break is guaranteed by the first contended acquire.)
     let prog = spinlock_program(50);
     let mut smp = smp_on(&prog, 2).with_schedule(Schedule::RoundRobin { quantum: 1 });
-    let exits = smp.run(1_000_000);
+    let exits = smp.run(1_000_000).unwrap();
     assert!(exits.iter().all(|e| matches!(e, Exit::Halted(_))));
     let c = smp.counters();
     assert_eq!(smp.bus().read_u64(prog.symbol("shared")), 100);
@@ -121,7 +121,7 @@ fn same_seed_replays_bit_identically_under_contention() {
     let prog = spinlock_program(60);
     let run = |seed: u64| {
         let mut smp = smp_on(&prog, 3).with_schedule(Schedule::Random { seed });
-        smp.run(1_000_000);
+        smp.run(1_000_000).unwrap();
         let regs: Vec<Vec<u64>> = (0..3)
             .map(|h| (0..32).map(|r| smp.machine(h).cpu.reg(r)).collect())
             .collect();

@@ -175,7 +175,7 @@ fn shootdown_faults_the_very_next_privileged_write() {
         "epoch published but hart 1 has not flushed yet"
     );
 
-    let exits = smp.run(LOOP_ITERS * 8);
+    let exits = smp.run(LOOP_ITERS * 8).unwrap();
     // Hart 1's first post-revocation stvec write must die on the grid
     // CSR check — the flush happened before anything could commit.
     assert_eq!(
