@@ -4,7 +4,7 @@
 //! legal-instruction cache (§8).
 
 use isa_grid::PcuConfig;
-use simkernel::{KernelConfig, Platform, SimBuilder};
+use simkernel::{KernelConfig, Platform, Session, SimBuilder};
 use workloads::App;
 
 use crate::report;
@@ -62,21 +62,22 @@ pub fn run(scale_div: u64) -> Vec<Point> {
     configs()
         .into_iter()
         .map(|(name, pcu)| {
-            let mut sim = SimBuilder::new(KernelConfig::decomposed())
+            let sim = SimBuilder::new(KernelConfig::decomposed())
                 .platform(Platform::Rocket)
                 .pcu(pcu)
                 .boot(&prog, None);
-            let code = sim.run_to_halt(2_000_000_000).unwrap();
-            assert_eq!(code, 0, "{name}");
-            let c = sim.machine.ext.cache_stats();
+            let mut s = Session::new(sim);
+            let done = s.drain(2_000_000_000).unwrap();
+            assert_eq!(done.exit_code, 0, "{name}");
+            let c = s.sim().machine.ext.cache_stats();
             let misses = c.inst.misses + c.reg.misses + c.mask.misses + c.sgt.misses;
             let lookups = misses + c.inst.hits + c.reg.hits + c.mask.hits + c.sgt.hits;
             Point {
                 name,
-                cycles: sim.values()[0],
+                cycles: done.reported[0],
                 pcu_misses: misses,
                 pcu_lookups: lookups,
-                legal_hits: sim.machine.ext.stats.legal_hits,
+                legal_hits: s.sim().machine.ext.stats.legal_hits,
             }
         })
         .collect()

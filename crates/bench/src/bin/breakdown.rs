@@ -1,8 +1,12 @@
 //! Print the stall-cycle breakdown and the monitor mediation micro-cost.
 //! Accepts `--json` / `--csv` / `--profile <path>`.
-use isa_grid_bench::{breakdown, profile, report::Args};
+use isa_grid_bench::{breakdown, profile, report::Cli};
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new(
+        "breakdown",
+        "stall-cycle breakdown and monitor mediation micro-cost",
+    )
+    .from_env();
     profile::begin(&args, "breakdown");
     let rows = breakdown::run(1);
     print!("{}", args.emit(&breakdown::render(&rows)));

@@ -8,11 +8,23 @@
 //! the `escalations_with_integrity` extra stays 0.
 
 use isa_grid_bench::faultbench::{self, FaultCase};
-use isa_grid_bench::report::Args;
+use isa_grid_bench::report::Cli;
 use isa_obs::{Json, ToJson};
 
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new("fault", "fault-injection sweep of the fail-closed probe")
+        .flag_u64_opt(
+            "--fault-seed",
+            "single fault-plan seed (default: built-in pair)",
+        )
+        .flag_u64_opt(
+            "--fault-rate",
+            "single rate in events/M commits (default: 500, 5000)",
+        )
+        .flag_u64("--harts", 1, "harts to simulate")
+        .flag_u64("--iters", 2_000, "probe iterations per case")
+        .flag_str("--audit", "write the full audit log as JSON to <value>")
+        .from_env();
     let seeds = match args.fault_seed() {
         Some(s) => vec![s],
         None => vec![0xC0FFEE, 0x5EED_5EED],
@@ -21,8 +33,8 @@ fn main() {
         Some(r) => vec![r],
         None => vec![500, 5_000],
     };
-    let harts = (args.u64("--harts", 1) as usize).max(1);
-    let iters = args.u64("--iters", 2_000);
+    let harts = (args.u64("--harts") as usize).max(1);
+    let iters = args.u64("--iters");
 
     // A zero-fault control first, then every seed x rate with the
     // integrity layer on and off.
@@ -48,7 +60,7 @@ fn main() {
     let (table, protected_escalations) = faultbench::sweep(&cases, 64);
     print!("{}", args.emit(&table));
 
-    if let Some(path) = args.value("--audit") {
+    if let Some(path) = args.str_opt("--audit") {
         // Re-run the integrity-on cases to capture the complete audit
         // stream (the table embeds only a bounded sample). Runs are
         // deterministic, so this reproduces the sweep exactly.

@@ -1,9 +1,13 @@
 //! Regenerate Figure 5 (LMbench, Linux decomposition, RISC-V).
 //! Accepts `--json` / `--csv` / `--no-bbcache` / `--profile <path>`.
-use isa_grid_bench::{figs, profile, report::Args};
+use isa_grid_bench::{figs, profile, report::Cli};
 use isa_obs::Json;
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new(
+        "fig5",
+        "regenerate Figure 5 (LMbench, Linux decomposition, RISC-V)",
+    )
+    .from_env();
     profile::begin(&args, "fig5");
     let bars = figs::fig5(2000, args.bbcache);
     let mut t = figs::render(

@@ -1,10 +1,14 @@
 //! Regenerate Figure 6 (applications, Linux decomposition, RISC-V).
 //! Accepts `--json` / `--csv` / `--no-bbcache` / `--profile <path>`.
-use isa_grid_bench::{figs, profile, report::Args};
+use isa_grid_bench::{figs, profile, report::Cli};
 use isa_obs::Json;
 use simkernel::Platform;
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new(
+        "fig6",
+        "regenerate Figure 6 (applications, Linux decomposition, RISC-V)",
+    )
+    .from_env();
     profile::begin(&args, "fig6");
     let bars = figs::fig67(Platform::Rocket, 1, args.bbcache);
     let mut t = figs::render(

@@ -1,10 +1,14 @@
 //! Regenerate Figure 7 (applications, Linux decomposition, x86-like O3).
 //! Accepts `--json` / `--csv` / `--no-bbcache` / `--profile <path>`.
-use isa_grid_bench::{figs, profile, report::Args};
+use isa_grid_bench::{figs, profile, report::Cli};
 use isa_obs::Json;
 use simkernel::Platform;
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new(
+        "fig7",
+        "regenerate Figure 7 (applications, Linux decomposition, x86-like O3)",
+    )
+    .from_env();
     profile::begin(&args, "fig7");
     let bars = figs::fig67(Platform::O3, 1, args.bbcache);
     let mut t = figs::render(

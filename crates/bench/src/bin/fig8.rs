@@ -1,9 +1,13 @@
 //! Regenerate Figure 8 (applications on the nested-monitor kernel).
 //! Accepts `--json` / `--csv` / `--no-bbcache` / `--profile <path>`.
-use isa_grid_bench::{figs, profile, report::Args};
+use isa_grid_bench::{figs, profile, report::Cli};
 use isa_obs::Json;
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new(
+        "fig8",
+        "regenerate Figure 8 (applications on the nested-monitor kernel)",
+    )
+    .from_env();
     profile::begin(&args, "fig8");
     let bars = figs::fig8(1, args.bbcache);
     let mut t = figs::render(

@@ -5,7 +5,7 @@
 //! ```text
 //! grid-prof out.trace.json [--json|--csv] [--audit-limit N]
 //! ```
-use isa_grid_bench::report::{Args, Format, Table};
+use isa_grid_bench::report::{Cli, Format, Table};
 use isa_obs::Json;
 
 /// Privilege-level letter for a numeric level (RISC-V encoding).
@@ -134,7 +134,13 @@ fn audit_table(grid: &Json, limit: usize) -> Table {
 }
 
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new("grid-prof", "summarize a --profile Perfetto trace")
+        .positional(
+            "PROFILE",
+            "profile JSON written by a bench binary's --profile",
+        )
+        .flag_u64("--audit-limit", 32, "audit records to show")
+        .from_env();
     let Some(path) = args.positional() else {
         fail("usage: grid-prof <profile.json> [--json|--csv] [--audit-limit N]");
     };
@@ -150,7 +156,7 @@ fn main() {
     let Some(totals) = grid.get("totals") else {
         fail(&format!("{path} has no isaGrid.totals section"));
     };
-    let audit_limit = args.u64("--audit-limit", 32) as usize;
+    let audit_limit = args.u64("--audit-limit") as usize;
     let mut dom = domains_table(totals);
     if let Some(runs) = grid.get("runs").and_then(Json::as_arr) {
         dom.extra("runs", Json::U64(runs.len() as u64));

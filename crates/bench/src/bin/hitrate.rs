@@ -1,9 +1,13 @@
 //! Regenerate the §7.1 privilege-cache hit-rate measurement.
 //! Accepts `--json` / `--csv` / `--profile <path>`; the JSON report
 //! carries the raw hit/miss counters behind the percentage cells.
-use isa_grid_bench::{hitrate, profile, report::Args};
+use isa_grid_bench::{hitrate, profile, report::Cli};
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new(
+        "hitrate",
+        "regenerate the privilege-cache hit-rate measurement",
+    )
+    .from_env();
     profile::begin(&args, "hitrate");
     let rows = hitrate::run(1);
     print!("{}", args.emit(&hitrate::render(&rows)));

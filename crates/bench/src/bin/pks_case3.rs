@@ -1,8 +1,8 @@
 //! Regenerate the §7.2 case-3 PKS estimate. Accepts `--json` / `--csv`
 //! / `--profile <path>`.
-use isa_grid_bench::{pks, profile, report::Args};
+use isa_grid_bench::{pks, profile, report::Cli};
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new("pks_case3", "regenerate the case-3 PKS estimate").from_env();
     profile::begin(&args, "pks-case3");
     let c = pks::run(512);
     print!("{}", args.emit(&pks::render(&c)));

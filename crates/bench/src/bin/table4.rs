@@ -1,8 +1,8 @@
 //! Regenerate Table 4 (domain switching latency). Accepts `--json` /
 //! `--csv` / `--profile <path>`.
-use isa_grid_bench::{profile, report::Args};
+use isa_grid_bench::{profile, report::Cli};
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new("table4", "regenerate Table 4 (domain switching latency)").from_env();
     profile::begin(&args, "table4");
     let t = isa_grid_bench::table4::run(512);
     print!("{}", args.emit(&isa_grid_bench::table4::render(&t)));

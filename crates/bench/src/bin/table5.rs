@@ -1,8 +1,12 @@
 //! Regenerate Table 5 (multi-service protection latency). Accepts
 //! `--json` / `--csv` / `--profile <path>`.
-use isa_grid_bench::{profile, report::Args, table5};
+use isa_grid_bench::{profile, report::Cli, table5};
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new(
+        "table5",
+        "regenerate Table 5 (multi-service protection latency)",
+    )
+    .from_env();
     profile::begin(&args, "table5");
     let rows = table5::run(512);
     print!("{}", args.emit(&table5::render(&rows)));

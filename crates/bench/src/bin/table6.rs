@@ -1,6 +1,6 @@
 //! Regenerate Table 6 (hardware resource cost). Accepts `--json` / `--csv`.
-use isa_grid_bench::report::Args;
+use isa_grid_bench::report::Cli;
 fn main() {
-    let args = Args::from_env();
+    let args = Cli::new("table6", "regenerate Table 6 (hardware resource cost)").from_env();
     print!("{}", args.emit(&isa_grid_bench::render_table6()));
 }

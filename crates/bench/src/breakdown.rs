@@ -7,24 +7,25 @@ use isa_asm::Program;
 use isa_grid::PcuConfig;
 use isa_timing::{PipelineModel, TimingStats};
 use simkernel::layout::sys;
-use simkernel::{usr, KernelConfig, Platform, SimBuilder};
+use simkernel::{usr, KernelConfig, Platform, Session, SimBuilder};
 use workloads::App;
 
 use crate::report;
 
 /// Run a program and fetch the timing model's internal statistics.
 fn run_with_stats(cfg: KernelConfig, platform: Platform, prog: &Program) -> (u64, TimingStats) {
-    let mut sim = SimBuilder::new(cfg).platform(platform).boot(prog, None);
-    let code = sim.run_to_halt(2_000_000_000).unwrap();
-    assert_eq!(code, 0, "{cfg:?}");
-    let stats = sim
+    let mut s = Session::new(SimBuilder::new(cfg).platform(platform).boot(prog, None));
+    let c = s.drain(2_000_000_000).unwrap();
+    assert_eq!(c.exit_code, 0, "{cfg:?}");
+    let stats = s
+        .sim()
         .machine
         .timing
         .as_any()
         .and_then(|a| a.downcast_ref::<PipelineModel>())
         .map(|m| m.stats)
         .expect("timing platform selected");
-    (sim.values()[0], stats)
+    (c.reported[0], stats)
 }
 
 /// One (kernel, stats) pair per configuration.
@@ -119,13 +120,13 @@ pub fn monitor_micro(iters: u64) -> Vec<(&'static str, f64)> {
     ]
     .into_iter()
     .map(|(name, cfg)| {
-        let mut sim = SimBuilder::new(cfg)
+        let sim = SimBuilder::new(cfg)
             .platform(Platform::O3)
             .pcu(PcuConfig::eight_e())
             .boot(&prog, None);
-        let code = sim.run_to_halt(400_000_000).unwrap();
-        assert_eq!(code, 0, "{name}");
-        (name, sim.values()[0] as f64 / iters as f64)
+        let c = Session::new(sim).drain(400_000_000).unwrap();
+        assert_eq!(c.exit_code, 0, "{name}");
+        (name, c.reported[0] as f64 / iters as f64)
     })
     .collect()
 }

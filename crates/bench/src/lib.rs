@@ -20,6 +20,7 @@
 //! | cycle breakdown & monitor micro-cost | [`breakdown`] | `breakdown` |
 //! | SMP scaling & shootdown traffic | [`smpbench`] | `smp` |
 //! | fail-closed fault-injection sweep | [`faultbench`] | `fault` |
+//! | multi-tenant serving harness | [`serve`] | `serve` |
 
 #![warn(missing_docs)]
 
@@ -32,6 +33,7 @@ pub mod hitrate;
 pub mod pks;
 pub mod profile;
 pub mod report;
+pub mod serve;
 pub mod smpbench;
 pub mod table4;
 pub mod table5;

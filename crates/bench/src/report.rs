@@ -11,6 +11,11 @@
 use isa_obs::Json as Value;
 use isa_obs::ToJson;
 
+/// Version of the JSON object [`Table::to_json`] emits. Bumped on any
+/// breaking change to the key layout (see DESIGN.md "Report JSON
+/// schema"); consumers of `BENCH_*.json` should check it.
+pub const SCHEMA_VERSION: u64 = 1;
+
 /// A titled table of string cells plus structured extras.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -20,10 +25,17 @@ pub struct Table {
     pub headers: Vec<String>,
     /// Body rows; each row has one cell per header.
     pub rows: Vec<Vec<String>>,
-    /// Structured footer values (geomeans, raw counters, …) keyed by
-    /// name. Text mode prints `key: value` lines; JSON mode embeds the
-    /// values verbatim.
+    /// Structured footer values (geomeans, raw counter snapshots, …)
+    /// keyed by name. Text mode prints `key: value` lines; JSON mode
+    /// embeds the values verbatim.
     pub extras: Vec<(String, Value)>,
+    /// The seed the run was generated from, for seed-deterministic
+    /// harnesses. Emitted top-level in JSON so two artifacts can be
+    /// compared for reproducibility.
+    pub seed: Option<u64>,
+    /// The run configuration (harts, request counts, quantum, …):
+    /// everything a consumer needs to re-run the exact experiment.
+    pub config: Vec<(String, Value)>,
 }
 
 impl Table {
@@ -34,6 +46,8 @@ impl Table {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             extras: Vec::new(),
+            seed: None,
+            config: Vec::new(),
         }
     }
 
@@ -56,7 +70,25 @@ impl Table {
         self
     }
 
+    /// Record the run seed (emitted top-level in JSON).
+    pub fn seed(&mut self, seed: u64) -> &mut Table {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Record one run-configuration entry (emitted in the top-level
+    /// `config` block in JSON).
+    pub fn config(&mut self, key: &str, value: Value) -> &mut Table {
+        self.config.push((key.to_string(), value));
+        self
+    }
+
     /// The table as one JSON object (what the [`Json`] backend prints).
+    ///
+    /// Key layout (the stable contract — see DESIGN.md "Report JSON
+    /// schema"): `schema_version` always comes first; `seed` and
+    /// `config` appear when the harness recorded them; `extras` appears
+    /// when non-empty.
     pub fn to_json(&self) -> Value {
         let rows = Value::arr(
             self.rows
@@ -64,10 +96,17 @@ impl Table {
                 .map(|r| Value::arr(r.iter().map(|c| Value::Str(c.clone())))),
         );
         let mut pairs = vec![
+            ("schema_version".to_string(), Value::U64(SCHEMA_VERSION)),
             ("title".to_string(), Value::Str(self.title.clone())),
-            ("headers".to_string(), self.headers.to_json()),
-            ("rows".to_string(), rows),
         ];
+        if let Some(seed) = self.seed {
+            pairs.push(("seed".to_string(), Value::U64(seed)));
+        }
+        if !self.config.is_empty() {
+            pairs.push(("config".to_string(), Value::Obj(self.config.clone())));
+        }
+        pairs.push(("headers".to_string(), self.headers.to_json()));
+        pairs.push(("rows".to_string(), rows));
         if !self.extras.is_empty() {
             pairs.push(("extras".to_string(), Value::Obj(self.extras.clone())));
         }
@@ -110,6 +149,12 @@ impl Emit for Text {
         for row in &t.rows {
             out.push_str(&fmt_row(row, &widths));
             out.push('\n');
+        }
+        if let Some(seed) = t.seed {
+            out.push_str(&format!("seed: {seed}\n"));
+        }
+        for (k, v) in &t.config {
+            out.push_str(&format!("config.{k}: {v}\n"));
         }
         for (k, v) in &t.extras {
             match v {
@@ -156,6 +201,12 @@ impl Emit for Csv {
         for row in &t.rows {
             out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
+        }
+        if let Some(seed) = t.seed {
+            out.push_str(&format!("# seed={seed}\n"));
+        }
+        for (k, v) in &t.config {
+            out.push_str(&format!("# config.{k}={v}\n"));
         }
         for (k, v) in &t.extras {
             out.push_str(&format!("# {k}={v}\n"));
@@ -212,13 +263,276 @@ impl Format {
     }
 }
 
-/// Parsed command line shared by every bench binary: the output format
-/// (`--json` / `--csv`), the `--no-bbcache` escape hatch, and the
-/// `--profile <path>` profiler destination — plus generic flag / value
-/// lookups for binary-specific options (`--harts N`, `--iters N`, …).
+/// What kind of value a declared flag carries.
+#[derive(Debug, Clone)]
+enum FlagKind {
+    /// A bare switch (`--no-bbcache`).
+    Bool,
+    /// An integer value, decimal or `0x` hex; `default` of `None`
+    /// means the flag is optional with no fallback.
+    U64 { default: Option<u64> },
+    /// A free-form string value (paths, names).
+    Str,
+}
+
+/// One declared flag: name, value kind, and the help line.
+#[derive(Debug, Clone)]
+struct FlagSpec {
+    name: &'static str,
+    kind: FlagKind,
+    help: &'static str,
+}
+
+/// A parse failure: the offending token and what was expected.
+/// [`Cli::parse_env`] prints it with the generated usage and exits
+/// non-zero; [`Cli::try_parse`] returns it for tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The declarative flag registry every bench binary builds its command
+/// line from — the redesign of the old stringly `flag()`/`value()`
+/// lookups, which silently defaulted malformed values (`--harts foo`
+/// used to mean `--harts <default>`).
 ///
-/// Previously each binary re-parsed these by hand; this is the one
-/// shared parser.
+/// Each binary declares its flags once; parsing then rejects unknown
+/// flags, missing values, and malformed integers with a non-zero exit
+/// and a generated `--help` listing. The common flags `--json`,
+/// `--csv`, `--no-bbcache`, `--profile <path>` and `--help` are
+/// declared for every binary.
+///
+/// ```
+/// use isa_grid_bench::report::Cli;
+/// let args = Cli::new("demo", "an example binary")
+///     .flag_u64("--harts", 4, "harts to simulate")
+///     .try_parse(vec!["--harts".into(), "8".into()])
+///     .unwrap();
+/// assert_eq!(args.u64("--harts"), 8);
+/// assert!(Cli::new("demo", "x").try_parse(vec!["--bogus".into()]).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cli {
+    bin: &'static str,
+    about: &'static str,
+    flags: Vec<FlagSpec>,
+    positional: Option<(&'static str, &'static str)>,
+}
+
+impl Cli {
+    /// Start a registry for binary `bin`, pre-declaring the common
+    /// flags (`--json`, `--csv`, `--no-bbcache`, `--profile <path>`,
+    /// `--help`).
+    pub fn new(bin: &'static str, about: &'static str) -> Cli {
+        Cli {
+            bin,
+            about,
+            flags: vec![
+                FlagSpec {
+                    name: "--json",
+                    kind: FlagKind::Bool,
+                    help: "emit one JSON object instead of text",
+                },
+                FlagSpec {
+                    name: "--csv",
+                    kind: FlagKind::Bool,
+                    help: "emit CSV instead of text",
+                },
+                FlagSpec {
+                    name: "--no-bbcache",
+                    kind: FlagKind::Bool,
+                    help: "disable the simulator's basic-block cache",
+                },
+                FlagSpec {
+                    name: "--profile",
+                    kind: FlagKind::Str,
+                    help: "write a Perfetto profile to <value>",
+                },
+            ],
+            positional: None,
+        }
+    }
+
+    fn declare(mut self, name: &'static str, kind: FlagKind, help: &'static str) -> Cli {
+        assert!(
+            self.flags.iter().all(|f| f.name != name),
+            "flag {name} declared twice"
+        );
+        self.flags.push(FlagSpec { name, kind, help });
+        self
+    }
+
+    /// Declare a bare switch.
+    pub fn flag_bool(self, name: &'static str, help: &'static str) -> Cli {
+        self.declare(name, FlagKind::Bool, help)
+    }
+
+    /// Declare an integer-valued flag with a default.
+    pub fn flag_u64(self, name: &'static str, default: u64, help: &'static str) -> Cli {
+        self.declare(
+            name,
+            FlagKind::U64 {
+                default: Some(default),
+            },
+            help,
+        )
+    }
+
+    /// Declare an optional integer-valued flag (absent means `None`).
+    pub fn flag_u64_opt(self, name: &'static str, help: &'static str) -> Cli {
+        self.declare(name, FlagKind::U64 { default: None }, help)
+    }
+
+    /// Declare an optional string-valued flag (paths, names).
+    pub fn flag_str(self, name: &'static str, help: &'static str) -> Cli {
+        self.declare(name, FlagKind::Str, help)
+    }
+
+    /// Declare the single positional argument the binary accepts.
+    pub fn positional(mut self, name: &'static str, help: &'static str) -> Cli {
+        self.positional = Some((name, help));
+        self
+    }
+
+    /// The generated `--help` listing.
+    pub fn help(&self) -> String {
+        let mut out = format!("{} — {}\n\nusage: {}", self.bin, self.about, self.bin);
+        if let Some((p, _)) = self.positional {
+            out.push_str(&format!(" <{p}>"));
+        }
+        out.push_str(" [flags]\n\nflags:\n");
+        let mut lines: Vec<(String, &str)> = Vec::new();
+        for f in &self.flags {
+            let lhs = match f.kind {
+                FlagKind::Bool => f.name.to_string(),
+                FlagKind::U64 { default: Some(d) } => format!("{} <n={d}>", f.name),
+                FlagKind::U64 { default: None } => format!("{} <n>", f.name),
+                FlagKind::Str => format!("{} <value>", f.name),
+            };
+            lines.push((lhs, f.help));
+        }
+        lines.push(("--help".to_string(), "print this listing and exit"));
+        if let Some((p, help)) = self.positional {
+            lines.push((format!("<{p}>"), help));
+        }
+        let w = lines.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (lhs, help) in lines {
+            out.push_str(&format!("  {lhs:<w$}  {help}\n"));
+        }
+        out
+    }
+
+    /// Parse the process arguments. `--help` prints the listing and
+    /// exits 0; unknown flags and malformed values print the error plus
+    /// the listing to stderr and exit 2.
+    pub fn from_env(self) -> Args {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.iter().any(|a| a == "--help" || a == "-h") {
+            print!("{}", self.help());
+            std::process::exit(0);
+        }
+        let help = self.help();
+        match self.try_parse(argv) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{help}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Alias for [`Cli::from_env`] (reads the process arguments).
+    pub fn parse_env(self) -> Args {
+        self.from_env()
+    }
+
+    /// Parse an explicit argument list (testable core of
+    /// [`Cli::from_env`]): every declared flag gets a validated slot,
+    /// anything undeclared or malformed is an error.
+    pub fn try_parse(self, argv: Vec<String>) -> Result<Args, CliError> {
+        let mut bools: Vec<(&'static str, bool)> = Vec::new();
+        let mut u64s: Vec<(&'static str, Option<u64>)> = Vec::new();
+        let mut strs: Vec<(&'static str, Option<String>)> = Vec::new();
+        for f in &self.flags {
+            match f.kind {
+                FlagKind::Bool => bools.push((f.name, false)),
+                FlagKind::U64 { default } => u64s.push((f.name, default)),
+                FlagKind::Str => strs.push((f.name, None)),
+            }
+        }
+        let mut positional: Option<String> = None;
+        let mut i = 0;
+        while i < argv.len() {
+            let tok = &argv[i];
+            if let Some(spec) = self.flags.iter().find(|f| f.name == tok) {
+                match spec.kind {
+                    FlagKind::Bool => {
+                        bools.iter_mut().find(|(n, _)| n == &spec.name).unwrap().1 = true;
+                    }
+                    FlagKind::U64 { .. } => {
+                        let v = argv
+                            .get(i + 1)
+                            .ok_or_else(|| CliError(format!("{tok}: expected an integer value")))?;
+                        let n = parse_u64(v).ok_or_else(|| {
+                            CliError(format!("{tok}: expected an integer, got {v:?}"))
+                        })?;
+                        u64s.iter_mut().find(|(n2, _)| n2 == &spec.name).unwrap().1 = Some(n);
+                        i += 1;
+                    }
+                    FlagKind::Str => {
+                        let v = argv
+                            .get(i + 1)
+                            .ok_or_else(|| CliError(format!("{tok}: expected a value")))?;
+                        strs.iter_mut().find(|(n, _)| n == &spec.name).unwrap().1 = Some(v.clone());
+                        i += 1;
+                    }
+                }
+            } else if tok.starts_with('-') {
+                return Err(CliError(format!("unknown flag {tok}")));
+            } else if self.positional.is_some() {
+                if positional.is_some() {
+                    return Err(CliError(format!("unexpected extra argument {tok:?}")));
+                }
+                positional = Some(tok.clone());
+            } else {
+                return Err(CliError(format!("unexpected argument {tok:?}")));
+            }
+            i += 1;
+        }
+        let flag_on = |name: &str| bools.iter().any(|(n, v)| *n == name && *v);
+        let format = if flag_on("--csv") {
+            Format::Csv
+        } else if flag_on("--json") {
+            Format::Json
+        } else {
+            Format::Text
+        };
+        let profile = strs
+            .iter()
+            .find(|(n, _)| *n == "--profile")
+            .and_then(|(_, v)| v.clone());
+        Ok(Args {
+            format,
+            bbcache: !flag_on("--no-bbcache"),
+            profile,
+            bools,
+            u64s,
+            strs,
+            positional,
+        })
+    }
+}
+
+/// The validated command line a [`Cli`] registry parsed: common flags
+/// as fields, declared binary-specific flags behind typed getters.
+/// Asking for an undeclared flag is a programming error and panics —
+/// malformed *input* can never get this far.
 #[derive(Debug, Clone)]
 pub struct Args {
     /// Output format (`--json` / `--csv`, aligned text otherwise).
@@ -227,94 +541,66 @@ pub struct Args {
     pub bbcache: bool,
     /// Where to write the Perfetto profile (`--profile <path>`).
     pub profile: Option<String>,
-    raw: Vec<String>,
+    bools: Vec<(&'static str, bool)>,
+    u64s: Vec<(&'static str, Option<u64>)>,
+    strs: Vec<(&'static str, Option<String>)>,
+    positional: Option<String>,
 }
 
 impl Args {
-    /// Parse the process arguments.
-    pub fn from_env() -> Args {
-        Args::parse(std::env::args().skip(1).collect())
-    }
-
-    /// Parse an explicit argument list (testable core of
-    /// [`Args::from_env`]).
-    pub fn parse(raw: Vec<String>) -> Args {
-        let mut format = Format::Text;
-        let mut bbcache = true;
-        let mut profile = None;
-        let mut i = 0;
-        while i < raw.len() {
-            match raw[i].as_str() {
-                "--json" => format = Format::Json,
-                "--csv" => format = Format::Csv,
-                "--no-bbcache" => bbcache = false,
-                "--profile" => {
-                    profile = raw.get(i + 1).cloned();
-                    i += 1;
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-        Args {
-            format,
-            bbcache,
-            profile,
-            raw,
-        }
-    }
-
-    /// Whether a bare flag is present.
+    /// Whether a declared switch is present.
     pub fn flag(&self, name: &str) -> bool {
-        self.raw.iter().any(|a| a == name)
-    }
-
-    /// The value following `name`, if any.
-    pub fn value(&self, name: &str) -> Option<&str> {
-        self.raw
+        self.bools
             .iter()
-            .position(|a| a == name)
-            .and_then(|i| self.raw.get(i + 1))
-            .map(String::as_str)
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("switch {name} was not declared"))
+            .1
     }
 
-    /// The integer following `name`, or `default`.
-    pub fn u64(&self, name: &str, default: u64) -> u64 {
-        self.value(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    /// A declared integer flag's value (its default when absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag was declared without a default and is absent
+    /// (use [`Args::u64_opt`] for those), or was never declared.
+    pub fn u64(&self, name: &str) -> u64 {
+        self.u64_opt(name)
+            .unwrap_or_else(|| panic!("flag {name} has no value and no default"))
     }
 
-    /// The fault-plan seed (`--fault-seed N`), if any.
+    /// A declared optional integer flag's value.
+    pub fn u64_opt(&self, name: &str) -> Option<u64> {
+        self.u64s
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("integer flag {name} was not declared"))
+            .1
+    }
+
+    /// A declared string flag's value.
+    pub fn str_opt(&self, name: &str) -> Option<&str> {
+        self.strs
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("string flag {name} was not declared"))
+            .1
+            .as_deref()
+    }
+
+    /// The fault-plan seed (`--fault-seed N`), when declared and given.
     pub fn fault_seed(&self) -> Option<u64> {
-        self.value("--fault-seed").and_then(parse_u64)
+        self.u64_opt("--fault-seed")
     }
 
     /// The fault rate in events per million commits (`--fault-rate N`),
-    /// if any.
+    /// when declared and given.
     pub fn fault_rate(&self) -> Option<u64> {
-        self.value("--fault-rate").and_then(parse_u64)
+        self.u64_opt("--fault-rate")
     }
 
-    /// The first positional (non-option) argument, if any. The token
-    /// after a value-taking option (anything but the bare flags
-    /// `--json` / `--csv` / `--no-bbcache`) doesn't count.
+    /// The declared positional argument, if given.
     pub fn positional(&self) -> Option<&str> {
-        let mut skip_next = false;
-        for a in &self.raw {
-            if skip_next {
-                skip_next = false;
-                continue;
-            }
-            if a.starts_with("--") {
-                skip_next = !matches!(a.as_str(), "--json" | "--csv" | "--no-bbcache");
-                continue;
-            }
-            if !a.starts_with('-') {
-                return Some(a);
-            }
-        }
-        None
+        self.positional.as_deref()
     }
 
     /// Render `t` with the selected format's backend.
@@ -396,8 +682,32 @@ mod tests {
         assert!(s.contains("\"geomean\""));
         assert_eq!(
             t.to_json().to_string(),
-            r#"{"title":"T","headers":["k","v"],"rows":[["a","1"]],"extras":{"geomean":1.25}}"#
+            r#"{"schema_version":1,"title":"T","headers":["k","v"],"rows":[["a","1"]],"extras":{"geomean":1.25}}"#
         );
+    }
+
+    #[test]
+    fn json_backend_carries_seed_and_config() {
+        let mut t = Table::new("T", &["k"]);
+        t.row(vec!["a".into()]);
+        t.seed(42).config("harts", Value::U64(4));
+        let doc = isa_obs::Json::parse(&Json.emit(&t)).unwrap();
+        assert_eq!(
+            doc.get("schema_version").and_then(isa_obs::Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(doc.get("seed").and_then(isa_obs::Json::as_u64), Some(42));
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("harts"))
+                .and_then(isa_obs::Json::as_u64),
+            Some(4)
+        );
+        let text = Text.emit(&t);
+        assert!(text.contains("seed: 42"));
+        assert!(text.contains("config.harts: 4"));
+        let csv = Csv.emit(&t);
+        assert!(csv.contains("# seed=42"));
     }
 
     #[test]
@@ -447,22 +757,72 @@ mod tests {
     }
 
     #[test]
-    fn args_parse_profile_values_and_positional() {
+    fn registry_parses_declared_flags() {
         let argv = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        let a = Args::parse(argv(&["--json", "--profile", "out.json", "--harts", "8"]));
+        let cli = || {
+            Cli::new("demo", "test binary")
+                .flag_u64("--harts", 4, "harts")
+                .flag_u64("--iters", 7, "iterations")
+                .flag_u64_opt("--fault-seed", "seed")
+        };
+        let a = cli()
+            .try_parse(argv(&["--json", "--profile", "out.json", "--harts", "8"]))
+            .unwrap();
         assert_eq!(a.format, Format::Json);
         assert!(a.bbcache);
         assert_eq!(a.profile.as_deref(), Some("out.json"));
-        assert_eq!(a.u64("--harts", 4), 8);
-        assert_eq!(a.u64("--iters", 7), 7);
+        assert_eq!(a.u64("--harts"), 8);
+        assert_eq!(a.u64("--iters"), 7, "default applies when absent");
+        assert_eq!(a.u64_opt("--fault-seed"), None);
         assert_eq!(a.positional(), None, "option values are not positionals");
 
-        let b = Args::parse(argv(&["--audit-limit", "5", "trace.json", "--no-bbcache"]));
+        let b = cli()
+            .try_parse(argv(&["--no-bbcache", "--fault-seed", "0x10"]))
+            .unwrap();
         assert!(!b.bbcache);
-        assert_eq!(b.positional(), Some("trace.json"));
-        assert_eq!(b.u64("--audit-limit", 32), 5);
         assert!(b.flag("--no-bbcache"));
-        assert_eq!(b.value("--profile"), None);
+        assert_eq!(b.fault_seed(), Some(16), "hex accepted");
+    }
+
+    #[test]
+    fn registry_rejects_unknown_and_malformed() {
+        let argv = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let cli = || Cli::new("demo", "test binary").flag_u64("--harts", 4, "harts");
+        // Malformed value: the old parser silently defaulted this.
+        let e = cli().try_parse(argv(&["--harts", "foo"])).unwrap_err();
+        assert!(e.0.contains("--harts"), "{e}");
+        // Missing value.
+        assert!(cli().try_parse(argv(&["--harts"])).is_err());
+        // Unknown flag.
+        let e = cli().try_parse(argv(&["--bogus"])).unwrap_err();
+        assert!(e.0.contains("--bogus"), "{e}");
+        // Stray positional when none is declared.
+        assert!(cli().try_parse(argv(&["stray"])).is_err());
+        // Declared positional is accepted, a second one is not.
+        let cli2 = || {
+            Cli::new("demo", "test binary")
+                .positional("TRACE", "trace file")
+                .flag_u64("--audit-limit", 32, "limit")
+        };
+        let p = cli2()
+            .try_parse(argv(&["trace.json", "--audit-limit", "5"]))
+            .unwrap();
+        assert_eq!(p.positional(), Some("trace.json"));
+        assert_eq!(p.u64("--audit-limit"), 5);
+        assert!(cli2().try_parse(argv(&["a.json", "b.json"])).is_err());
+    }
+
+    #[test]
+    fn registry_generates_help() {
+        let h = Cli::new("serve", "multi-tenant serving harness")
+            .flag_u64("--tenants", 32, "tenant domains")
+            .positional("X", "some input")
+            .help();
+        assert!(h.contains("serve — multi-tenant serving harness"));
+        assert!(h.contains("--tenants <n=32>"));
+        assert!(h.contains("--json"));
+        assert!(h.contains("--help"));
+        assert!(h.contains("<X>"));
     }
 
     #[test]

@@ -1,0 +1,839 @@
+//! Open-loop multi-tenant serving harness built on the session-driver
+//! API ([`simkernel::SmpSession`]).
+//!
+//! The harness models a request-serving appliance: every *tenant* gets
+//! its own ISA domain, and thousands of client sessions issue requests
+//! drawn from three app models (sqlite-ish, mbedtls-ish, gzip-ish —
+//! register-only compute loops with distinct op mixes). A
+//! seed-deterministic xorshift generator produces Poisson-ish arrivals
+//! on the session's virtual clock; the host injects each request into
+//! an idle hart's mailbox, the guest dispatcher gate-crosses into the
+//! tenant's domain (`hccall`), runs the app body, optionally performs
+//! a syscall microflow into a shared service domain
+//! (`hccalls`/`hcrets` over the per-hart trusted stack), and
+//! gate-returns with a digest and a `rdcycle` delta.
+//!
+//! ## Determinism contract
+//!
+//! With a fixed ([`ServeConfig::seed`], config) the interleaving is a
+//! pure function of the virtual clock: harts are stepped in ascending
+//! order one quantum per round, and the host only touches guest
+//! memory at round boundaries. Two runs with the same seed therefore
+//! produce bit-identical completion digests. The digest folds each
+//! request's `(index, tenant, kind, status, guest digest)` with
+//! FNV-1a and XOR-combines across requests — cycle counts are
+//! deliberately excluded, so the digest is *also* stable across hart
+//! counts (completion order changes; the set of completions does
+//! not).
+//!
+//! ## Isolation
+//!
+//! A request may be flagged as a *probe*: its body touches a
+//! privileged CSR (`satp`) the tenant's domain does not grant. The
+//! PCU denies it, the M-mode trap handler marks the mailbox denied,
+//! and the denial lands in the PCU audit log — the request never
+//! completes. `tests/serve.rs` pins this down.
+
+use std::collections::VecDeque;
+
+use isa_asm::{Asm, Program, Reg::*};
+use isa_grid::{DomainId, DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig};
+use isa_obs::{AuditRecord, Counters, Histogram, Json, ProfSink, RunProfile, TimeSeries, ToJson};
+use isa_sim::csr::addr;
+use isa_sim::{Bus, Kind, Machine, DEFAULT_RAM_BASE as RAM, DEFAULT_RAM_SIZE};
+use isa_smp::Smp;
+use simkernel::SmpSession;
+
+use crate::report::{self, Table};
+
+/// Trusted-memory base (same region every bare-metal bench uses).
+const TMEM: u64 = 0x8380_0000;
+/// Trusted-memory size: tables for 64 domains / 256 gates plus
+/// per-hart trusted stacks.
+const TMEM_SIZE: u64 = 1 << 21;
+/// Per-hart trusted-stack stride inside trusted memory.
+const TSTACK_STRIDE: u64 = 0x8000;
+/// Per-hart request mailboxes (host <-> dispatcher), one page each.
+const MAILBOX_BASE: u64 = RAM + 0x0200_0000;
+/// Mailbox stride (one page per hart).
+const MB_STRIDE: u64 = 0x1000;
+/// The value the host plants in `cpuinfo0` — what the service domain's
+/// syscall microflow reads and folds into the digest. Identical on
+/// every hart so digests stay hart-count independent.
+const CPUINFO_VALUE: u64 = 0x5345_5256_4530_3031; // "SERVE001"
+
+// Mailbox word offsets.
+const MB_DOORBELL: i32 = 0x00; // 0 idle | 1 request | 2 done | 3 denied
+const MB_GATE: i32 = 0x08;
+const MB_ITERS: i32 = 0x10;
+const MB_DIGEST: i32 = 0x18;
+const MB_CYCLES: i32 = 0x20;
+const MB_MCAUSE: i32 = 0x28;
+const MB_READY: i32 = 0x30;
+
+/// Fixed gate ids (the per-tenant entry gates follow them).
+const GATE_BOOT: u64 = 0;
+const GATE_RET: u64 = 1;
+const GATE_SVC_SQLITE: u64 = 2;
+const GATE_SVC_MBEDTLS: u64 = 3;
+/// First per-tenant entry gate; tenant `t`, kind `k` is
+/// `GATE_ENTRY0 + t * KINDS + k`.
+const GATE_ENTRY0: u64 = 4;
+/// App kinds with entry gates per tenant (sqlite, mbedtls, gzip,
+/// probe).
+const KINDS: u64 = 4;
+
+/// The app model a request runs inside its tenant's domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// Hash-mix loop plus a syscall microflow into the service domain.
+    Sqlite,
+    /// Xorshift loop plus a syscall microflow into the service domain.
+    Mbedtls,
+    /// Pure shift/mask compute loop, no service call.
+    Gzip,
+    /// Touches a privileged CSR the tenant is not granted — must be
+    /// denied by the PCU, never complete.
+    Probe,
+}
+
+impl AppKind {
+    /// Kind index used in gate numbering and the digest.
+    fn index(self) -> u64 {
+        match self {
+            AppKind::Sqlite => 0,
+            AppKind::Mbedtls => 1,
+            AppKind::Gzip => 2,
+            AppKind::Probe => 3,
+        }
+    }
+
+    /// The body label in the guest program.
+    fn body(self) -> &'static str {
+        match self {
+            AppKind::Sqlite => "body_sqlite",
+            AppKind::Mbedtls => "body_mbedtls",
+            AppKind::Gzip => "body_gzip",
+            AppKind::Probe => "body_probe",
+        }
+    }
+}
+
+/// Serving-harness configuration. `Default`-like constructor:
+/// [`ServeConfig::new`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Tenant count; each tenant is one ISA domain (1..=56).
+    pub tenants: usize,
+    /// Total requests the generator produces.
+    pub requests: u64,
+    /// Harts serving requests (1..=32).
+    pub harts: usize,
+    /// Workload seed: same seed, same config → bit-identical digest.
+    pub seed: u64,
+    /// Steps per hart per scheduling round (the session quantum).
+    pub quantum: u64,
+    /// Mean inter-arrival gap in virtual cycles (open-loop arrivals:
+    /// uniform in `[1, 2*mean_gap]`, so the mean is `mean_gap + 0.5`).
+    pub mean_gap: u64,
+    /// Guest dispatcher runs `pflh` after every N completions on a
+    /// hart (0 = never) — keeps the privilege caches honest under
+    /// load.
+    pub flush_every: u64,
+    /// Host (domain-0 software) rewrites a tenant's privilege tables
+    /// after every N completions (0 = never), publishing a cross-hart
+    /// shootdown each time — the source of steady-state shootdown
+    /// traffic in the report.
+    pub rotate_every: u64,
+    /// Every Nth request is a [`AppKind::Probe`] (0 = never).
+    pub probe_every: u64,
+    /// Capture per-hart cycle-attribution profiles.
+    pub profile: bool,
+}
+
+impl ServeConfig {
+    /// The defaults the `serve` binary exposes.
+    pub fn new(tenants: usize, requests: u64, harts: usize, seed: u64) -> ServeConfig {
+        ServeConfig {
+            tenants: tenants.clamp(1, 56),
+            requests,
+            harts: harts.clamp(1, 32),
+            seed,
+            quantum: 256,
+            mean_gap: 128,
+            flush_every: 64,
+            rotate_every: 1024,
+            probe_every: 0,
+            profile: false,
+        }
+    }
+}
+
+/// Per-tenant serving statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantStats {
+    /// Requests finished (completed or denied).
+    pub requests: u64,
+    /// Requests denied by the PCU (probes).
+    pub denied: u64,
+    /// Guest cycles attributed to the tenant's completed requests
+    /// (dispatcher `rdcycle` brackets around the gate round-trip).
+    pub guest_cycles: u64,
+}
+
+/// Everything one serving run produces.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The configuration that was run.
+    pub cfg: ServeConfig,
+    /// Requests that completed normally.
+    pub completed: u64,
+    /// Requests denied by the PCU.
+    pub denied: u64,
+    /// XOR/FNV-1a completion digest (seed-deterministic, hart-count
+    /// independent).
+    pub digest: u64,
+    /// Final virtual clock (rounds × quantum).
+    pub vcycles: u64,
+    /// Scheduling rounds driven.
+    pub rounds: u64,
+    /// Request latency (arrival → harvest) in virtual cycles.
+    pub latency: Histogram,
+    /// Completions over virtual time.
+    pub timeline: TimeSeries,
+    /// Per-tenant attribution, indexed by tenant.
+    pub per_tenant: Vec<TenantStats>,
+    /// Merged machine counters (every hart + the `smp.*` block).
+    pub counters: Counters,
+    /// The PCU audit log, drained from every hart.
+    pub audit: Vec<AuditRecord>,
+    /// Total guest instructions executed across harts.
+    pub total_steps: u64,
+    /// Host wall-clock seconds spent stepping harts.
+    pub host_secs: f64,
+    /// Per-hart profiles when [`ServeConfig::profile`] was on.
+    pub profiles: Vec<RunProfile>,
+}
+
+/// xorshift64* — the workload generator's only source of randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        // Never zero; decorrelate small seeds with one splitmix round.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    idx: u64,
+    arrival: u64,
+    tenant: usize,
+    kind: AppKind,
+    iters: u64,
+}
+
+/// The open-loop generator: arrivals advance a virtual-clock cursor
+/// independently of service progress.
+struct Generator {
+    rng: Rng,
+    cfg: ServeConfig,
+    next_idx: u64,
+    clock: u64,
+}
+
+impl Generator {
+    fn new(cfg: &ServeConfig) -> Generator {
+        Generator {
+            rng: Rng::new(cfg.seed),
+            cfg: cfg.clone(),
+            next_idx: 0,
+            clock: 0,
+        }
+    }
+
+    fn next(&mut self) -> Option<Request> {
+        if self.next_idx >= self.cfg.requests {
+            return None;
+        }
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        let gap = 1 + self.rng.next() % (2 * self.cfg.mean_gap.max(1));
+        self.clock += gap;
+        let tenant = (self.rng.next() % self.cfg.tenants as u64) as usize;
+        let mix = self.rng.next() % 3;
+        let kind = if self.cfg.probe_every > 0 && (idx + 1).is_multiple_of(self.cfg.probe_every) {
+            AppKind::Probe
+        } else {
+            match mix {
+                0 => AppKind::Sqlite,
+                1 => AppKind::Mbedtls,
+                _ => AppKind::Gzip,
+            }
+        };
+        let iters = 16 + self.rng.next() % 48;
+        Some(Request {
+            idx,
+            arrival: self.clock,
+            tenant,
+            kind,
+            iters,
+        })
+    }
+}
+
+/// Entry-gate id for (tenant, kind).
+fn entry_gate(tenant: usize, kind: AppKind) -> u64 {
+    GATE_ENTRY0 + tenant as u64 * KINDS + kind.index()
+}
+
+/// The guest image: per-hart M-mode prologue, the S-mode dispatcher in
+/// the runtime domain, the three app bodies plus the probe (tenant
+/// domains), the service-domain syscall handler, and the M-mode trap
+/// handler that converts PCU denials into mailbox rejections.
+///
+/// The program is tenant-independent — the entry-gate id arrives via
+/// the mailbox, and all tenants share the body code; only the SGT
+/// entries (one per tenant × kind, all anchored at `entry_site`)
+/// differ.
+pub fn guest_program() -> Program {
+    let mut a = Asm::new(RAM);
+
+    // --- M-mode prologue (every hart) -------------------------------
+    a.la(T0, "mtrap");
+    a.csrw(addr::MTVEC as u32, T0);
+    // S1 = this hart's mailbox, kept live across the whole run.
+    a.csrr(T0, addr::MHARTID as u32);
+    a.slli(T1, T0, 12);
+    a.li(S1, MAILBOX_BASE);
+    a.add(S1, S1, T1);
+    // Drop to S-mode at `boot`.
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, addr::MSTATUS as u32, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, addr::MSTATUS as u32, T1);
+    a.la(T0, "boot");
+    a.csrw(addr::MEPC as u32, T0);
+    a.mret();
+
+    // --- S-mode, domain 0: leave through the boot gate --------------
+    a.label("boot");
+    a.li(T4, GATE_BOOT);
+    a.label("boot_site");
+    a.hccall(T4);
+
+    // --- Runtime domain: the dispatcher -----------------------------
+    a.label("init");
+    a.li(S4, 0); // completions since last pflh
+    a.li(T0, 1);
+    a.sd(T0, S1, MB_READY);
+    a.label("spin");
+    a.ld(T0, S1, MB_DOORBELL);
+    a.li(T1, 1);
+    a.bne(T0, T1, "spin");
+    a.ld(T4, S1, MB_GATE);
+    a.ld(A0, S1, MB_ITERS);
+    a.li(A3, 0);
+    a.rdcycle(S2);
+    a.label("entry_site"); // every per-tenant entry gate anchors here
+    a.hccall(T4);
+    a.label("ret_site"); // bodies land here with T4 = GATE_RET
+    a.hccall(T4);
+    a.label("after_ret"); // back in the runtime domain
+    a.rdcycle(S3);
+    a.sub(T1, S3, S2);
+    a.sd(T1, S1, MB_CYCLES);
+    a.sd(A3, S1, MB_DIGEST);
+    a.li(T0, 2);
+    a.sd(T0, S1, MB_DOORBELL);
+    // pflh cadence (parameter word patched by the host; 0 = never).
+    a.la(T0, "flush_every");
+    a.ld(T0, T0, 0);
+    a.beqz(T0, "spin");
+    a.addi(S4, S4, 1);
+    a.bne(S4, T0, "spin");
+    a.li(S4, 0);
+    a.pflh(Zero);
+    a.j("spin");
+
+    // --- Tenant-domain app bodies -----------------------------------
+    a.label("body_sqlite");
+    a.label("sq_loop");
+    a.slli(T1, A3, 7);
+    a.xor(A3, A3, T1);
+    a.add(A3, A3, A0);
+    a.srli(T1, A3, 11);
+    a.xor(A3, A3, T1);
+    a.addi(A0, A0, -1);
+    a.bnez(A0, "sq_loop");
+    a.li(T4, GATE_SVC_SQLITE);
+    a.label("svc_sqlite_site");
+    a.hccalls(T4); // syscall microflow: service domain, trusted stack
+    a.li(T4, GATE_RET);
+    a.j("ret_site");
+
+    a.label("body_mbedtls");
+    a.label("mb_loop");
+    a.slli(T1, A3, 13);
+    a.xor(A3, A3, T1);
+    a.srli(T1, A3, 7);
+    a.xor(A3, A3, T1);
+    a.add(A3, A3, A0);
+    a.addi(A0, A0, -1);
+    a.bnez(A0, "mb_loop");
+    a.li(T4, GATE_SVC_MBEDTLS);
+    a.label("svc_mbedtls_site");
+    a.hccalls(T4);
+    a.li(T4, GATE_RET);
+    a.j("ret_site");
+
+    a.label("body_gzip");
+    a.label("gz_loop");
+    a.add(A3, A3, A0);
+    a.slli(T1, A3, 3);
+    a.add(A3, A3, T1);
+    a.andi(T1, A3, 0xFF);
+    a.xor(A3, A3, T1);
+    a.addi(A0, A0, -1);
+    a.bnez(A0, "gz_loop");
+    a.li(T4, GATE_RET);
+    a.j("ret_site");
+
+    // The isolation probe: `satp` is not granted to any tenant, so
+    // the csrr must be denied — control never reaches the return
+    // gate, the M-mode handler rejects the request instead.
+    a.label("body_probe");
+    a.csrr(T2, addr::SATP as u32);
+    a.li(T4, GATE_RET);
+    a.j("ret_site");
+
+    // --- Service domain: the syscall target -------------------------
+    a.label("svc_entry");
+    a.csrr(T2, addr::CPUINFO0 as u32);
+    a.add(A3, A3, T2);
+    a.hcrets();
+
+    // --- M-mode trap handler: PCU denial → mailbox rejection --------
+    a.label("mtrap");
+    a.csrr(T0, addr::MHARTID as u32);
+    a.slli(T1, T0, 12);
+    a.li(S1, MAILBOX_BASE);
+    a.add(S1, S1, T1);
+    a.csrr(T0, addr::MCAUSE as u32);
+    a.sd(T0, S1, MB_MCAUSE);
+    a.li(T0, 3);
+    a.sd(T0, S1, MB_DOORBELL);
+    // Resume the dispatcher spin loop in S-mode. The PCU domain is
+    // still the offending tenant's — harmless, the dispatcher's
+    // instruction mix is granted everywhere and the next request's
+    // entry gate switches domains anyway.
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, addr::MSTATUS as u32, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, addr::MSTATUS as u32, T1);
+    a.la(T0, "spin");
+    a.csrw(addr::MEPC as u32, T0);
+    a.mret();
+
+    a.align(8);
+    a.label("flush_every");
+    a.d64(0);
+
+    a.assemble().expect("serve guest assembles")
+}
+
+/// What every domain needs: the compute groups plus the CSR-class
+/// instructions (`rdcycle` is a csrrs) and the cycle counter itself.
+fn base_spec() -> DomainSpec {
+    let mut d = DomainSpec::compute_only();
+    d.allow_insts([Kind::Csrrw, Kind::Csrrs, Kind::Csrrc]);
+    d.allow_csr_read(addr::CYCLE);
+    d
+}
+
+/// The service domain additionally reads `cpuinfo0`.
+fn service_spec() -> DomainSpec {
+    let mut d = base_spec();
+    d.allow_csr_read(addr::CPUINFO0);
+    d
+}
+
+/// FNV-1a over one completion record; records XOR-combine into the
+/// run digest so completion order (which varies with hart count) does
+/// not matter.
+fn record_digest(idx: u64, tenant: u64, kind: u64, status: u64, guest: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for v in [idx, tenant, kind, status, guest] {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Assemble the multi-tenant machine: shared bus, hart 0's PCU owns
+/// the tables (install + domains + gates), harts 1.. get mirrors;
+/// every hart gets its own trusted-stack window and `cpuinfo0`.
+/// Returns the [`Smp`] and the per-tenant domain ids.
+fn build_smp(cfg: &ServeConfig, prog: &Program) -> (Smp, Vec<DomainId>) {
+    let bus = Bus::with_harts(RAM, DEFAULT_RAM_SIZE, cfg.harts);
+    bus.write_bytes(prog.base, &prog.bytes);
+    bus.write_u64(prog.symbol("flush_every"), cfg.flush_every);
+
+    let mut m0 = Machine::on_bus(Pcu::new(PcuConfig::eight_e()), bus.for_hart(0));
+    m0.cpu.pc = prog.base;
+    let layout = GridLayout::new(TMEM, TMEM_SIZE).with_capacity(64, 256);
+    m0.ext.install(&mut m0.bus, layout);
+    let tsb = m0.ext.layout().tstack_base();
+
+    let runtime = m0.ext.add_domain(&mut m0.bus, &base_spec());
+    let service = m0.ext.add_domain(&mut m0.bus, &service_spec());
+    let tenant_doms: Vec<DomainId> = (0..cfg.tenants)
+        .map(|_| m0.ext.add_domain(&mut m0.bus, &base_spec()))
+        .collect();
+
+    let fixed = [
+        ("boot_site", "init", runtime, GATE_BOOT),
+        ("ret_site", "after_ret", runtime, GATE_RET),
+        ("svc_sqlite_site", "svc_entry", service, GATE_SVC_SQLITE),
+        ("svc_mbedtls_site", "svc_entry", service, GATE_SVC_MBEDTLS),
+    ];
+    for (site, dest, dom, want) in fixed {
+        let id = m0.ext.add_gate(
+            &mut m0.bus,
+            GateSpec {
+                gate_addr: prog.symbol(site),
+                dest_addr: prog.symbol(dest),
+                dest_domain: dom,
+            },
+        );
+        assert_eq!(id.0, want, "fixed gate numbering drifted");
+    }
+    let entry = prog.symbol("entry_site");
+    for (t, dom) in tenant_doms.iter().enumerate() {
+        for kind in [
+            AppKind::Sqlite,
+            AppKind::Mbedtls,
+            AppKind::Gzip,
+            AppKind::Probe,
+        ] {
+            let id = m0.ext.add_gate(
+                &mut m0.bus,
+                GateSpec {
+                    gate_addr: entry,
+                    dest_addr: prog.symbol(kind.body()),
+                    dest_domain: *dom,
+                },
+            );
+            assert_eq!(id.0, entry_gate(t, kind), "entry-gate numbering drifted");
+        }
+    }
+
+    let mut machines = Vec::with_capacity(cfg.harts);
+    m0.ext.set_trusted_stack(tsb, tsb + TSTACK_STRIDE);
+    m0.cpu.csrs.write_raw(addr::CPUINFO0, CPUINFO_VALUE);
+    m0.set_bbcache(true);
+    if cfg.profile {
+        m0.set_profiler(ProfSink::enabled(0));
+    }
+    machines.push(m0);
+    for h in 1..cfg.harts {
+        let pcu = machines[0].ext.mirror();
+        let mut m = Machine::on_bus(pcu, bus.for_hart(h));
+        m.cpu.pc = prog.base;
+        let base = tsb + h as u64 * TSTACK_STRIDE;
+        m.ext.set_trusted_stack(base, base + TSTACK_STRIDE);
+        m.cpu.csrs.write_raw(addr::CPUINFO0, CPUINFO_VALUE);
+        m.set_bbcache(true);
+        if cfg.profile {
+            m.set_profiler(ProfSink::enabled(h));
+        }
+        machines.push(m);
+    }
+    (Smp::from_machines(machines), tenant_doms)
+}
+
+/// Drive the serving run to completion.
+///
+/// The host loop is: admit generator arrivals whose virtual arrival
+/// time has passed, harvest finished mailboxes (doorbell 2/3), inject
+/// queued requests into idle harts, then advance one scheduling round
+/// stepping only harts with a raised doorbell (idle harts' spin loops
+/// are pure, so skipping them preserves architectural state — see the
+/// session-driver contract in DESIGN.md).
+pub fn run(cfg: &ServeConfig) -> ServeOutcome {
+    assert!(
+        (1..=56).contains(&cfg.tenants) && (1..=32).contains(&cfg.harts),
+        "serve: tenants 1..=56, harts 1..=32"
+    );
+    let prog = guest_program();
+    let (smp, tenant_doms) = build_smp(cfg, &prog);
+    let bus = smp.bus().clone();
+    let mut sess = SmpSession::new(smp, cfg.quantum);
+    let mb = |h: usize| MAILBOX_BASE + h as u64 * MB_STRIDE;
+
+    // Boot every hart to its dispatcher (ready flag raised).
+    let mut boot_rounds = 0u64;
+    while (0..cfg.harts).any(|h| bus.read_u64(mb(h) + MB_READY as u64) == 0) {
+        sess.round_all();
+        boot_rounds += 1;
+        assert!(boot_rounds < 100_000, "serve: harts failed to boot");
+    }
+
+    let mut gen = Generator::new(cfg);
+    let mut next_arrival = gen.next();
+    let mut pending: VecDeque<Request> = VecDeque::new();
+    let mut inflight: Vec<Option<Request>> = vec![None; cfg.harts];
+    let mut per_tenant = vec![TenantStats::default(); cfg.tenants];
+    let mut latency = Histogram::new();
+    let mut timeline = TimeSeries::new(cfg.quantum.max(1) * 64, 256);
+    let (mut completed, mut denied, mut digest) = (0u64, 0u64, 0u64);
+    let mut rotate_cursor = 0usize;
+    let mut next_rotate = if cfg.rotate_every > 0 {
+        cfg.rotate_every
+    } else {
+        u64::MAX
+    };
+    let mut last_progress = 0u64;
+
+    while completed + denied < cfg.requests {
+        let now = sess.vclock();
+        // Admit everything that has arrived by virtual-now.
+        while let Some(r) = next_arrival {
+            if r.arrival > now {
+                break;
+            }
+            pending.push_back(r);
+            next_arrival = gen.next();
+        }
+        // Harvest, then refill idle harts.
+        for (h, slot) in inflight.iter_mut().enumerate() {
+            let base = mb(h);
+            let db = bus.read_u64(base + MB_DOORBELL as u64);
+            if db == 2 || db == 3 {
+                let req = slot.take().expect("completion without a request");
+                latency.record(now - req.arrival);
+                timeline.add(now, 1);
+                let guest = if db == 2 {
+                    bus.read_u64(base + MB_DIGEST as u64)
+                } else {
+                    0
+                };
+                digest ^= record_digest(req.idx, req.tenant as u64, req.kind.index(), db, guest);
+                let ts = &mut per_tenant[req.tenant];
+                ts.requests += 1;
+                if db == 2 {
+                    completed += 1;
+                    ts.guest_cycles += bus.read_u64(base + MB_CYCLES as u64);
+                } else {
+                    denied += 1;
+                    ts.denied += 1;
+                }
+                bus.write_u64(base + MB_DOORBELL as u64, 0);
+                last_progress = sess.rounds();
+            }
+            if bus.read_u64(base + MB_DOORBELL as u64) == 0 {
+                if let Some(req) = pending.pop_front() {
+                    bus.write_u64(base + MB_GATE as u64, entry_gate(req.tenant, req.kind));
+                    bus.write_u64(base + MB_ITERS as u64, req.iters);
+                    bus.write_u64(base + MB_DOORBELL as u64, 1);
+                    *slot = Some(req);
+                }
+            }
+        }
+        // Domain-0 software rotates a tenant's tables now and then —
+        // every rewrite publishes a shootdown all harts must honor.
+        if completed + denied >= next_rotate {
+            next_rotate += cfg.rotate_every;
+            let dom = tenant_doms[rotate_cursor % tenant_doms.len()];
+            rotate_cursor += 1;
+            let m0 = sess.smp_mut().machine_mut(0);
+            m0.ext.update_domain(&mut m0.bus, dom, &base_spec());
+        }
+        sess.round(|h| bus.read_u64(mb(h) + MB_DOORBELL as u64) == 1);
+        assert!(
+            sess.rounds() - last_progress < 2_000_000,
+            "serve: no completion in 2M rounds (vclock {}, {} in flight, {} queued)",
+            sess.vclock(),
+            inflight.iter().flatten().count(),
+            pending.len()
+        );
+    }
+
+    let mut audit = Vec::new();
+    let mut profiles = Vec::new();
+    let mut total_steps = 0u64;
+    for h in 0..cfg.harts {
+        let c = sess.harvest(h);
+        total_steps += c.steps;
+        audit.extend(c.audit);
+        if let Some(p) = c.profile {
+            profiles.push(p);
+        }
+    }
+    let profiles = if profiles.is_empty() {
+        Vec::new()
+    } else {
+        vec![RunProfile {
+            name: format!("serve/{}-harts", cfg.harts),
+            profiles,
+            audit: audit.clone(),
+        }]
+    };
+    ServeOutcome {
+        cfg: cfg.clone(),
+        completed,
+        denied,
+        digest,
+        vcycles: sess.vclock(),
+        rounds: sess.rounds(),
+        latency,
+        timeline,
+        per_tenant,
+        counters: sess.counters(),
+        audit,
+        total_steps,
+        host_secs: sess.host_secs(),
+        profiles,
+    }
+}
+
+/// Render the outcome as a schema-versioned report table (the `serve`
+/// binary writes its JSON to `BENCH_serve.json`).
+pub fn render(o: &ServeOutcome) -> Table {
+    let total_guest: u64 = o.per_tenant.iter().map(|t| t.guest_cycles).sum();
+    let mut t = Table::new(
+        "Multi-tenant serving: open-loop load over per-tenant ISA domains",
+        &[
+            "tenant",
+            "domain",
+            "requests",
+            "denied",
+            "guest cycles",
+            "share",
+        ],
+    );
+    for (i, ts) in o.per_tenant.iter().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            (3 + i).to_string(), // runtime=1, service=2, tenants follow
+            ts.requests.to_string(),
+            ts.denied.to_string(),
+            ts.guest_cycles.to_string(),
+            format!(
+                "{:.2}%",
+                ts.guest_cycles as f64 / total_guest.max(1) as f64 * 100.0
+            ),
+        ]);
+    }
+    t.seed(o.cfg.seed);
+    t.config("tenants", Json::U64(o.cfg.tenants as u64));
+    t.config("requests", Json::U64(o.cfg.requests));
+    t.config("harts", Json::U64(o.cfg.harts as u64));
+    t.config("quantum", Json::U64(o.cfg.quantum));
+    t.config("mean_gap", Json::U64(o.cfg.mean_gap));
+    t.config("flush_every", Json::U64(o.cfg.flush_every));
+    t.config("rotate_every", Json::U64(o.cfg.rotate_every));
+    t.config("probe_every", Json::U64(o.cfg.probe_every));
+    t.extra("completed", Json::U64(o.completed));
+    t.extra("denied", Json::U64(o.denied));
+    t.extra("digest", Json::Str(format!("{:#018x}", o.digest)));
+    t.extra("vcycles", Json::U64(o.vcycles));
+    t.extra("rounds", Json::U64(o.rounds));
+    t.extra(
+        "throughput_rpmc",
+        Json::F64(report::round4(
+            (o.completed + o.denied) as f64 / o.vcycles.max(1) as f64 * 1e6,
+        )),
+    );
+    t.extra(
+        "latency",
+        Json::obj([
+            ("count", Json::U64(o.latency.count())),
+            ("mean", Json::F64(report::round4(o.latency.mean()))),
+            ("p50", Json::U64(o.latency.p50())),
+            ("p90", Json::U64(o.latency.p90())),
+            ("p99", Json::U64(o.latency.p99())),
+            ("max", Json::U64(o.latency.max())),
+        ]),
+    );
+    t.extra("smp", o.counters.smp.to_json());
+    t.extra("gate_calls", Json::U64(o.counters.gates.calls));
+    t.extra("audit_denials", Json::U64(o.audit.len() as u64));
+    t.extra("timeline", o.timeline.to_json());
+    t.extra("total_steps", Json::U64(o.total_steps));
+    t.extra("host_secs", Json::F64(report::round4(o.host_secs)));
+    t.extra(
+        "host_mips",
+        Json::F64(report::round4(
+            o.total_steps as f64 / o.host_secs.max(1e-9) / 1e6,
+        )),
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(requests: u64, harts: usize, seed: u64) -> ServeOutcome {
+        let mut cfg = ServeConfig::new(4, requests, harts, seed);
+        cfg.rotate_every = 32;
+        cfg.flush_every = 8;
+        run(&cfg)
+    }
+
+    #[test]
+    fn serves_every_request() {
+        let o = quick(200, 2, 7);
+        assert_eq!(o.completed, 200);
+        assert_eq!(o.denied, 0);
+        assert!(o.audit.is_empty(), "no denials expected: {:?}", o.audit);
+        assert_eq!(o.latency.count(), 200);
+        assert_eq!(
+            o.per_tenant.iter().map(|t| t.requests).sum::<u64>(),
+            200,
+            "every request attributed to a tenant"
+        );
+        assert!(o.counters.smp.shootdowns > 0, "rotations publish");
+    }
+
+    #[test]
+    fn digest_is_hart_count_independent() {
+        let a = quick(150, 1, 42);
+        let b = quick(150, 4, 42);
+        assert_eq!(a.digest, b.digest);
+        assert_ne!(a.digest, quick(150, 1, 43).digest, "seed matters");
+    }
+
+    #[test]
+    fn probes_are_denied_and_audited() {
+        let mut cfg = ServeConfig::new(3, 60, 2, 11);
+        cfg.probe_every = 10;
+        let o = run(&cfg);
+        assert_eq!(o.completed + o.denied, 60);
+        assert_eq!(o.denied, 6);
+        assert!(
+            o.audit
+                .iter()
+                .any(|r| matches!(r.kind, isa_obs::AuditKind::Csr)),
+            "denied CSR probe must be audited: {:?}",
+            o.audit
+        );
+    }
+}

@@ -46,10 +46,12 @@ mod config;
 mod image;
 pub mod layout;
 mod machine;
+pub mod session;
 pub mod smp;
 pub mod usr;
 
 pub use config::{GateTarget, KernelConfig, Mode, Role};
 pub use image::{build_kernel, KernelImage};
 pub use machine::{Platform, Sim, SimBuilder};
+pub use session::{Completion, Session, SessionState, SmpSession};
 pub use smp::{boot_smp, start_worker, SmpSim};

@@ -4,7 +4,7 @@
 use isa_asm::Program;
 use isa_grid::{GridCacheStats, PcuConfig};
 use isa_obs::{AuditRecord, Counters, Json, RunProfile, ToJson};
-use simkernel::{KernelConfig, Platform, SimBuilder};
+use simkernel::{Completion, KernelConfig, Platform, Session, SimBuilder};
 use std::cell::{Cell, RefCell};
 
 thread_local! {
@@ -65,6 +65,23 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    /// Flatten a session [`Completion`] into the flat result shape the
+    /// figure binaries consume (the convenience fields become views
+    /// into [`Completion::counters`]).
+    pub fn from_completion(c: Completion) -> RunResult {
+        RunResult {
+            reported: c.reported,
+            total_cycles: c.cycles,
+            steps: c.steps,
+            cache: c.counters.caches,
+            gate_calls: c.counters.gates.calls,
+            exit_code: c.exit_code,
+            counters: c.counters,
+            host_secs: c.host_secs,
+            audit: c.audit,
+        }
+    }
+
     /// The first (usually only) reported measurement.
     pub fn cycles(&self) -> u64 {
         self.reported[0]
@@ -137,41 +154,29 @@ pub fn run_with(
     bbcache: bool,
 ) -> RunResult {
     let profiling = profiling_enabled();
-    let mut sim = SimBuilder::new(kernel)
+    let sim = SimBuilder::new(kernel)
         .platform(platform)
         .pcu(pcu)
         .bbcache(bbcache)
         .profile(profiling)
         .boot(prog, task2);
-    let t0 = std::time::Instant::now();
-    let exit_code = sim.run_to_halt(max_steps).unwrap();
-    let host_secs = t0.elapsed().as_secs_f64();
-    assert_eq!(exit_code, 0, "workload failed under {kernel:?}");
-    let counters = sim.counters();
-    let audit = sim.take_audit();
+    let c = Session::new(sim)
+        .drain(max_steps)
+        .unwrap_or_else(|e| panic!("workload hung under {kernel:?}: {e}"));
+    assert_eq!(c.exit_code, 0, "workload failed under {kernel:?}");
     if profiling {
-        if let Some(p) = sim.take_profile() {
+        if let Some(p) = &c.profile {
             let name = PROFILE_SCOPE.with(|s| s.borrow().clone());
             PROFILES.with(|ps| {
                 ps.borrow_mut().push(RunProfile {
                     name,
-                    profiles: vec![p],
-                    audit: audit.clone(),
+                    profiles: vec![p.clone()],
+                    audit: c.audit.clone(),
                 })
             });
         }
     }
-    RunResult {
-        reported: sim.values().to_vec(),
-        total_cycles: sim.cycles(),
-        steps: counters.run.steps,
-        cache: counters.caches,
-        gate_calls: counters.gates.calls,
-        exit_code,
-        counters,
-        host_secs,
-        audit,
-    }
+    RunResult::from_completion(c)
 }
 
 /// Percent overhead of `grid` relative to `baseline`.
