@@ -1,0 +1,203 @@
+//! Snapshot/restore driver for the open-loop serving harness.
+//!
+//! Three modes:
+//!
+//! - **snapshot**: run the serving workload, capture a whole-run
+//!   snapshot (machine + host scheduler state) once `--snapshot-at`
+//!   requests have finished, and write it to `--snapshot <path>`.
+//! - **restore**: `--restore <path>` resumes a snapshot image and
+//!   drives the run to completion — bit-identical to never having
+//!   stopped (same completion digest, same figure rows).
+//! - **selftest**: `--selftest` does both in one process and asserts
+//!   the split run's digest equals an unbroken run's, at the same
+//!   config. CI's replay-smoke job runs this for 1 and 4 harts.
+//!
+//! `--record <path>` additionally logs host-owned nondeterminism
+//! (round masks, mailbox writes, rotations) so a diverging run can be
+//! audited decision by decision; `--oracle-every N` cross-checks the
+//! fast machine against the differential interpreter oracle.
+use isa_grid_bench::report::Cli;
+use isa_grid_bench::serve;
+use isa_obs::Json;
+use isa_replay::wire::KIND_SERVE;
+use isa_replay::Dec;
+
+fn cfg_from(args: &isa_grid_bench::report::Args) -> serve::ServeConfig {
+    let mut cfg = serve::ServeConfig::new(
+        args.u64("--tenants") as usize,
+        args.u64("--requests"),
+        args.u64("--harts") as usize,
+        args.u64("--seed"),
+    );
+    cfg.quantum = args.u64("--quantum").max(1);
+    cfg.mean_gap = args.u64("--mean-gap").max(1);
+    cfg.flush_every = args.u64("--flush-every");
+    cfg.rotate_every = args.u64("--rotate-every");
+    cfg.probe_every = args.u64("--probe-every");
+    cfg
+}
+
+fn finish(args: &isa_grid_bench::report::Args, run: serve::ServeRun, label: &str) -> ! {
+    let mut table = serve::render(&run.outcome);
+    table.extra("mode", Json::Str(label.to_string()));
+    table.extra("oracle_checks", Json::U64(run.oracle_checks));
+    if let Some(path) = args.str_opt("--record") {
+        if let Err(e) = std::fs::write(path, run.log.encode()) {
+            eprintln!("replay: cannot write {path}: {e}");
+            std::process::exit(3);
+        }
+        table.extra("recorded_events", Json::U64(run.log.len() as u64));
+    }
+    print!("{}", args.emit(&table));
+    if let Some(d) = run.divergence {
+        eprintln!("replay: ORACLE DIVERGENCE: {d}");
+        std::process::exit(4);
+    }
+    std::process::exit(0);
+}
+
+fn main() {
+    let args = Cli::new("replay", "snapshot/restore driver for the serving harness")
+        .flag_u64("--tenants", 16, "tenant sessions (1..=56)")
+        .flag_u64("--requests", 2000, "requests to generate and serve")
+        .flag_u64("--harts", 1, "harts serving requests (1..=32)")
+        .flag_u64("--seed", 1, "workload seed")
+        .flag_u64("--quantum", 256, "steps per hart per scheduling round")
+        .flag_u64(
+            "--mean-gap",
+            128,
+            "mean inter-arrival gap in virtual cycles",
+        )
+        .flag_u64(
+            "--flush-every",
+            64,
+            "guest pflh every N completions (0 = never)",
+        )
+        .flag_u64(
+            "--rotate-every",
+            256,
+            "tenant-table rewrite (shootdown) every N completions (0 = never)",
+        )
+        .flag_u64("--probe-every", 0, "privileged-CSR probe every Nth request")
+        .flag_u64(
+            "--snapshot-at",
+            1000,
+            "capture the snapshot after N finished requests",
+        )
+        .flag_u64(
+            "--oracle-every",
+            0,
+            "differential-oracle check every N completions (0 = never)",
+        )
+        .flag_str(
+            "--snapshot",
+            "write the snapshot image here, then keep running",
+        )
+        .flag_str(
+            "--restore",
+            "resume from this snapshot image instead of booting",
+        )
+        .flag_str("--record", "write the host-event log here")
+        .flag_bool(
+            "--selftest",
+            "snapshot, restore, and assert digest equality",
+        )
+        .from_env();
+
+    let hooks = serve::ServeHooks {
+        snapshot_at: args.u64("--snapshot-at"),
+        oracle_every: args.u64("--oracle-every"),
+        record: args.str_opt("--record").is_some(),
+    };
+
+    if let Some(path) = args.str_opt("--restore") {
+        let frame = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("replay: cannot read {path}: {e}");
+                std::process::exit(3);
+            }
+        };
+        // Report what we are about to resume before committing to it.
+        if let Ok(mut d) = Dec::open(&frame, KIND_SERVE) {
+            let _ = d.u64(); // tenants
+            if let (Ok(requests), Ok(harts)) = (d.u64(), d.u64()) {
+                eprintln!("replay: resuming {harts}-hart run of {requests} requests");
+            }
+        }
+        let run = match serve::resume_run(
+            &frame,
+            &serve::ServeHooks {
+                snapshot_at: 0,
+                ..hooks
+            },
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("replay: {e}");
+                std::process::exit(2);
+            }
+        };
+        finish(&args, run, "restore");
+    }
+
+    if args.flag("--selftest") {
+        let cfg = cfg_from(&args);
+        assert!(
+            hooks.snapshot_at > 0 && hooks.snapshot_at < cfg.requests,
+            "replay: --selftest needs 0 < --snapshot-at < --requests"
+        );
+        let unbroken = serve::run(&cfg);
+        let first = serve::run_hooked(&cfg, &hooks);
+        let frame = first
+            .snapshot
+            .as_deref()
+            .expect("selftest run produced no snapshot");
+        let resumed = serve::resume_run(frame, &serve::ServeHooks::default())
+            .expect("selftest snapshot failed to resume");
+        assert_eq!(
+            resumed.outcome.digest, unbroken.digest,
+            "resumed digest {:#018x} != unbroken digest {:#018x}",
+            resumed.outcome.digest, unbroken.digest
+        );
+        assert_eq!(resumed.outcome.completed, unbroken.completed);
+        assert_eq!(resumed.outcome.denied, unbroken.denied);
+        assert_eq!(resumed.outcome.vcycles, unbroken.vcycles);
+        assert_eq!(first.outcome.digest, unbroken.digest);
+        let mut table = serve::render(&resumed.outcome);
+        table.extra("mode", Json::Str("selftest".to_string()));
+        table.extra("snapshot_bytes", Json::U64(frame.len() as u64));
+        table.extra(
+            "digest_match",
+            Json::Str(format!("{:#018x}", unbroken.digest)),
+        );
+        print!("{}", args.emit(&table));
+        eprintln!(
+            "replay: selftest ok — {} harts, snapshot at {} of {} requests, digest {:#018x}",
+            cfg.harts, hooks.snapshot_at, cfg.requests, unbroken.digest
+        );
+        return;
+    }
+
+    let cfg = cfg_from(&args);
+    let run = serve::run_hooked(&cfg, &hooks);
+    if let Some(path) = args.str_opt("--snapshot") {
+        match &run.snapshot {
+            Some(frame) => {
+                if let Err(e) = std::fs::write(path, frame) {
+                    eprintln!("replay: cannot write {path}: {e}");
+                    std::process::exit(3);
+                }
+                eprintln!("replay: snapshot ({} bytes) -> {path}", frame.len());
+            }
+            None => {
+                eprintln!(
+                    "replay: run finished before --snapshot-at {} fired",
+                    hooks.snapshot_at
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    finish(&args, run, "run");
+}

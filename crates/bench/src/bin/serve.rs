@@ -40,6 +40,11 @@ fn main() {
             0,
             "every Nth request probes a privileged CSR (0 = never)",
         )
+        .flag_u64(
+            "--oracle-every",
+            0,
+            "differential-oracle check every N completions (0 = never)",
+        )
         .flag_str("--out", "report path (default BENCH_serve.json)")
         .from_env();
 
@@ -56,14 +61,38 @@ fn main() {
     cfg.probe_every = args.u64("--probe-every");
     cfg.profile = args.profile.is_some();
 
-    let outcome = serve::run(&cfg);
+    let oracle_every = args.u64("--oracle-every");
+    let outcome = if oracle_every > 0 {
+        let hooks = serve::ServeHooks {
+            oracle_every,
+            ..Default::default()
+        };
+        let run = serve::run_hooked(&cfg, &hooks);
+        eprintln!("serve: oracle verified {} rounds", run.oracle_checks);
+        if let Some(d) = run.divergence {
+            eprintln!("serve: ORACLE DIVERGENCE: {d}");
+            std::process::exit(4);
+        }
+        run.outcome
+    } else {
+        serve::run(&cfg)
+    };
     let table = serve::render(&outcome);
     print!("{}", args.emit(&table));
 
-    let path = args.str_opt("--out").unwrap_or("BENCH_serve.json");
-    if let Err(e) = std::fs::write(path, format!("{}\n", table.to_json().pretty())) {
-        eprintln!("serve: cannot write {path}: {e}");
-        std::process::exit(3);
+    // Always refresh the canonical report; `--out` adds a second copy.
+    let json = format!("{}\n", table.to_json().pretty());
+    let mut paths = vec!["BENCH_serve.json"];
+    if let Some(out) = args.str_opt("--out") {
+        if out != "BENCH_serve.json" {
+            paths.push(out);
+        }
+    }
+    for path in paths {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("serve: cannot write {path}: {e}");
+            std::process::exit(3);
+        }
     }
     profile::finish(&args, outcome.profiles);
 }

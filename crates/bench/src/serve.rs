@@ -35,10 +35,18 @@
 //! completes. `tests/serve.rs` pins this down.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use isa_asm::{Asm, Program, Reg::*};
 use isa_grid::{DomainId, DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig};
-use isa_obs::{AuditRecord, Counters, Histogram, Json, ProfSink, RunProfile, TimeSeries, ToJson};
+use isa_obs::{
+    AuditRecord, Counters, Histogram, Json, ProfSink, RunProfile, TimeSeries, ToJson, TraceEvent,
+};
+use isa_replay::wire::KIND_SERVE;
+use isa_replay::{
+    capture_session, decode_snapshot_payload, encode_snapshot_payload, restore_session,
+    state_digest, Dec, Divergence, Enc, EventLog, HostEvent, RestoreError, SpecSmp, WireError,
+};
 use isa_sim::csr::addr;
 use isa_sim::{Bus, Kind, Machine, DEFAULT_RAM_BASE as RAM, DEFAULT_RAM_SIZE};
 use isa_smp::Smp;
@@ -105,6 +113,17 @@ impl AppKind {
             AppKind::Mbedtls => 1,
             AppKind::Gzip => 2,
             AppKind::Probe => 3,
+        }
+    }
+
+    /// Inverse of [`AppKind::index`] (wire decode).
+    fn from_index(i: u64) -> Option<AppKind> {
+        match i {
+            0 => Some(AppKind::Sqlite),
+            1 => Some(AppKind::Mbedtls),
+            2 => Some(AppKind::Gzip),
+            3 => Some(AppKind::Probe),
+            _ => None,
         }
     }
 
@@ -568,149 +587,613 @@ fn build_smp(cfg: &ServeConfig, prog: &Program) -> (Smp, Vec<DomainId>) {
     (Smp::from_machines(machines), tenant_doms)
 }
 
-/// Drive the serving run to completion.
-///
-/// The host loop is: admit generator arrivals whose virtual arrival
-/// time has passed, harvest finished mailboxes (doorbell 2/3), inject
-/// queued requests into idle harts, then advance one scheduling round
-/// stepping only harts with a raised doorbell (idle harts' spin loops
-/// are pure, so skipping them preserves architectural state — see the
-/// session-driver contract in DESIGN.md).
-pub fn run(cfg: &ServeConfig) -> ServeOutcome {
-    assert!(
-        (1..=56).contains(&cfg.tenants) && (1..=32).contains(&cfg.harts),
-        "serve: tenants 1..=56, harts 1..=32"
-    );
-    let prog = guest_program();
-    let (smp, tenant_doms) = build_smp(cfg, &prog);
-    let bus = smp.bus().clone();
-    let mut sess = SmpSession::new(smp, cfg.quantum);
-    let mb = |h: usize| MAILBOX_BASE + h as u64 * MB_STRIDE;
+/// Host-side hooks into the serving loop: snapshotting, the
+/// differential oracle, and host-event recording. All default to off —
+/// [`run`] with default hooks is bit-identical to a hookless run.
+#[derive(Debug, Clone, Default)]
+pub struct ServeHooks {
+    /// Capture one whole-run snapshot once this many requests have
+    /// finished (0 = never). Taken at a round boundary, so a resumed
+    /// run continues bit-identically.
+    pub snapshot_at: u64,
+    /// Fork the differential oracle and verify one full scheduling
+    /// round every N finished requests (0 = never). The run stops at
+    /// the first divergence.
+    pub oracle_every: u64,
+    /// Record host-owned nondeterminism (round masks, mailbox writes,
+    /// rotations) into an [`EventLog`].
+    pub record: bool,
+}
 
-    // Boot every hart to its dispatcher (ready flag raised).
-    let mut boot_rounds = 0u64;
-    while (0..cfg.harts).any(|h| bus.read_u64(mb(h) + MB_READY as u64) == 0) {
-        sess.round_all();
-        boot_rounds += 1;
-        assert!(boot_rounds < 100_000, "serve: harts failed to boot");
+/// What a hooked run returns on top of its [`ServeOutcome`].
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// The run's outcome (partial if a divergence stopped it).
+    pub outcome: ServeOutcome,
+    /// Encoded serve snapshot, when [`ServeHooks::snapshot_at`] fired.
+    pub snapshot: Option<Vec<u8>>,
+    /// Recorded host events, when [`ServeHooks::record`] was on.
+    pub log: EventLog,
+    /// Oracle rounds verified.
+    pub oracle_checks: u64,
+    /// First divergence the oracle found, if any (the run stopped
+    /// there).
+    pub divergence: Option<Divergence>,
+}
+
+/// Why a serve snapshot could not be resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The frame failed to parse (magic, version, digest, layout).
+    Wire(WireError),
+    /// The decoded machine image did not fit the rebuilt machine.
+    Restore(RestoreError),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Wire(e) => write!(f, "serve snapshot: {e}"),
+            ResumeError::Restore(e) => write!(f, "serve snapshot: {e}"),
+        }
     }
+}
 
-    let mut gen = Generator::new(cfg);
-    let mut next_arrival = gen.next();
-    let mut pending: VecDeque<Request> = VecDeque::new();
-    let mut inflight: Vec<Option<Request>> = vec![None; cfg.harts];
-    let mut per_tenant = vec![TenantStats::default(); cfg.tenants];
-    let mut latency = Histogram::new();
-    let mut timeline = TimeSeries::new(cfg.quantum.max(1) * 64, 256);
-    let (mut completed, mut denied, mut digest) = (0u64, 0u64, 0u64);
-    let mut rotate_cursor = 0usize;
-    let mut next_rotate = if cfg.rotate_every > 0 {
-        cfg.rotate_every
-    } else {
-        u64::MAX
-    };
-    let mut last_progress = 0u64;
+impl std::error::Error for ResumeError {}
 
-    while completed + denied < cfg.requests {
-        let now = sess.vclock();
-        // Admit everything that has arrived by virtual-now.
-        while let Some(r) = next_arrival {
-            if r.arrival > now {
-                break;
-            }
-            pending.push_back(r);
-            next_arrival = gen.next();
-        }
-        // Harvest, then refill idle harts.
-        for (h, slot) in inflight.iter_mut().enumerate() {
-            let base = mb(h);
-            let db = bus.read_u64(base + MB_DOORBELL as u64);
-            if db == 2 || db == 3 {
-                let req = slot.take().expect("completion without a request");
-                latency.record(now - req.arrival);
-                timeline.add(now, 1);
-                let guest = if db == 2 {
-                    bus.read_u64(base + MB_DIGEST as u64)
-                } else {
-                    0
-                };
-                digest ^= record_digest(req.idx, req.tenant as u64, req.kind.index(), db, guest);
-                let ts = &mut per_tenant[req.tenant];
-                ts.requests += 1;
-                if db == 2 {
-                    completed += 1;
-                    ts.guest_cycles += bus.read_u64(base + MB_CYCLES as u64);
-                } else {
-                    denied += 1;
-                    ts.denied += 1;
-                }
-                bus.write_u64(base + MB_DOORBELL as u64, 0);
-                last_progress = sess.rounds();
-            }
-            if bus.read_u64(base + MB_DOORBELL as u64) == 0 {
-                if let Some(req) = pending.pop_front() {
-                    bus.write_u64(base + MB_GATE as u64, entry_gate(req.tenant, req.kind));
-                    bus.write_u64(base + MB_ITERS as u64, req.iters);
-                    bus.write_u64(base + MB_DOORBELL as u64, 1);
-                    *slot = Some(req);
-                }
-            }
-        }
-        // Domain-0 software rotates a tenant's tables now and then —
-        // every rewrite publishes a shootdown all harts must honor.
-        if completed + denied >= next_rotate {
-            next_rotate += cfg.rotate_every;
-            let dom = tenant_doms[rotate_cursor % tenant_doms.len()];
-            rotate_cursor += 1;
-            let m0 = sess.smp_mut().machine_mut(0);
-            m0.ext.update_domain(&mut m0.bus, dom, &base_spec());
-        }
-        sess.round(|h| bus.read_u64(mb(h) + MB_DOORBELL as u64) == 1);
+impl From<WireError> for ResumeError {
+    fn from(e: WireError) -> ResumeError {
+        ResumeError::Wire(e)
+    }
+}
+
+impl From<RestoreError> for ResumeError {
+    fn from(e: RestoreError) -> ResumeError {
+        ResumeError::Restore(e)
+    }
+}
+
+/// What [`ServeState::drive`] hands back to the `run*` wrappers.
+#[derive(Debug, Default)]
+struct DriveOut {
+    snapshot: Option<Vec<u8>>,
+    log: EventLog,
+    oracle_checks: u64,
+    divergence: Option<Divergence>,
+}
+
+/// The whole serving run as a value: machine session plus every word
+/// of host state the continuation depends on. [`ServeState::snapshot_bytes`]
+/// serializes all of it; resuming from those bytes and driving to
+/// completion is bit-identical to the unbroken run.
+struct ServeState {
+    cfg: ServeConfig,
+    tenant_doms: Vec<DomainId>,
+    sess: SmpSession,
+    bus: Bus,
+    gen: Generator,
+    next_arrival: Option<Request>,
+    pending: VecDeque<Request>,
+    inflight: Vec<Option<Request>>,
+    per_tenant: Vec<TenantStats>,
+    latency: Histogram,
+    timeline: TimeSeries,
+    completed: u64,
+    denied: u64,
+    digest: u64,
+    rotate_cursor: usize,
+    next_rotate: u64,
+    last_progress: u64,
+    /// Host-tooling tallies folded into `counters.run` at finish.
+    snapshots: u64,
+    restores: u64,
+    oracle_checks: u64,
+    divergences: u64,
+}
+
+fn mb(h: usize) -> u64 {
+    MAILBOX_BASE + h as u64 * MB_STRIDE
+}
+
+impl ServeState {
+    /// Build the machine, boot every hart to its dispatcher, and stand
+    /// at the first round boundary of the main loop.
+    fn new(cfg: &ServeConfig) -> ServeState {
         assert!(
-            sess.rounds() - last_progress < 2_000_000,
-            "serve: no completion in 2M rounds (vclock {}, {} in flight, {} queued)",
-            sess.vclock(),
-            inflight.iter().flatten().count(),
-            pending.len()
+            (1..=56).contains(&cfg.tenants) && (1..=32).contains(&cfg.harts),
+            "serve: tenants 1..=56, harts 1..=32"
         );
-    }
+        let prog = guest_program();
+        let (smp, tenant_doms) = build_smp(cfg, &prog);
+        let bus = smp.bus().clone();
+        let mut sess = SmpSession::new(smp, cfg.quantum);
 
-    let mut audit = Vec::new();
-    let mut profiles = Vec::new();
-    let mut total_steps = 0u64;
-    for h in 0..cfg.harts {
-        let c = sess.harvest(h);
-        total_steps += c.steps;
-        audit.extend(c.audit);
-        if let Some(p) = c.profile {
-            profiles.push(p);
+        // Boot every hart to its dispatcher (ready flag raised).
+        let mut boot_rounds = 0u64;
+        while (0..cfg.harts).any(|h| bus.read_u64(mb(h) + MB_READY as u64) == 0) {
+            sess.round_all();
+            boot_rounds += 1;
+            assert!(boot_rounds < 100_000, "serve: harts failed to boot");
+        }
+
+        let mut gen = Generator::new(cfg);
+        let next_arrival = gen.next();
+        ServeState {
+            tenant_doms,
+            sess,
+            bus,
+            gen,
+            next_arrival,
+            pending: VecDeque::new(),
+            inflight: vec![None; cfg.harts],
+            per_tenant: vec![TenantStats::default(); cfg.tenants],
+            latency: Histogram::new(),
+            timeline: TimeSeries::new(cfg.quantum.max(1) * 64, 256),
+            completed: 0,
+            denied: 0,
+            digest: 0,
+            rotate_cursor: 0,
+            next_rotate: if cfg.rotate_every > 0 {
+                cfg.rotate_every
+            } else {
+                u64::MAX
+            },
+            last_progress: 0,
+            snapshots: 0,
+            restores: 0,
+            oracle_checks: 0,
+            divergences: 0,
+            cfg: cfg.clone(),
         }
     }
-    let profiles = if profiles.is_empty() {
-        Vec::new()
-    } else {
-        vec![RunProfile {
-            name: format!("serve/{}-harts", cfg.harts),
-            profiles,
-            audit: audit.clone(),
-        }]
-    };
-    ServeOutcome {
-        cfg: cfg.clone(),
-        completed,
-        denied,
-        digest,
-        vcycles: sess.vclock(),
-        rounds: sess.rounds(),
-        latency,
-        timeline,
-        per_tenant,
-        counters: sess.counters(),
-        audit,
-        total_steps,
-        host_secs: sess.host_secs(),
-        profiles,
+
+    /// Serialize the whole run (config, machine, host state) as a
+    /// framed, digested byte image.
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        let c = &self.cfg;
+        let mut e = Enc::new();
+        for v in [
+            c.tenants as u64,
+            c.requests,
+            c.harts as u64,
+            c.seed,
+            c.quantum,
+            c.mean_gap,
+            c.flush_every,
+            c.rotate_every,
+            c.probe_every,
+        ] {
+            e.u64(v);
+        }
+        e.bool(c.profile);
+        encode_snapshot_payload(&capture_session(&self.sess), &mut e);
+        e.u64(self.gen.rng.0);
+        e.u64(self.gen.next_idx);
+        e.u64(self.gen.clock);
+        enc_req_opt(&mut e, self.next_arrival);
+        e.u64(self.pending.len() as u64);
+        for r in &self.pending {
+            enc_req(&mut e, *r);
+        }
+        for slot in &self.inflight {
+            enc_req_opt(&mut e, *slot);
+        }
+        for t in &self.per_tenant {
+            e.u64(t.requests);
+            e.u64(t.denied);
+            e.u64(t.guest_cycles);
+        }
+        e.words(&self.latency.export_words());
+        let (interval, slices) = self.timeline.export_state();
+        e.u64(interval);
+        e.words(&slices);
+        for v in [
+            self.completed,
+            self.denied,
+            self.digest,
+            self.rotate_cursor as u64,
+            self.next_rotate,
+            self.last_progress,
+        ] {
+            e.u64(v);
+        }
+        e.seal(KIND_SERVE)
     }
+
+    /// Rebuild a run from a snapshot image: re-run the deterministic
+    /// machine recipe, overwrite all mutable state, skip boot (the
+    /// restored RAM already has every dispatcher mid-spin).
+    fn resume(frame: &[u8]) -> Result<ServeState, ResumeError> {
+        let mut d = Dec::open(frame, KIND_SERVE)?;
+        let tenants = d.u64()? as usize;
+        let requests = d.u64()?;
+        let harts = d.u64()? as usize;
+        let seed = d.u64()?;
+        let quantum = d.u64()?;
+        let mean_gap = d.u64()?;
+        let flush_every = d.u64()?;
+        let rotate_every = d.u64()?;
+        let probe_every = d.u64()?;
+        let profile = d.bool()?;
+        if !(1..=56).contains(&tenants) || !(1..=32).contains(&harts) || quantum == 0 {
+            return Err(WireError::Malformed("serve config").into());
+        }
+        let cfg = ServeConfig {
+            tenants,
+            requests,
+            harts,
+            seed,
+            quantum,
+            mean_gap,
+            flush_every,
+            rotate_every,
+            probe_every,
+            profile,
+        };
+        let snap = decode_snapshot_payload(&mut d)?;
+
+        let prog = guest_program();
+        let (smp, tenant_doms) = build_smp(&cfg, &prog);
+        let bus = smp.bus().clone();
+        let mut sess = SmpSession::new(smp, cfg.quantum);
+        restore_session(&mut sess, &snap)?;
+
+        let mut gen = Generator::new(&cfg);
+        gen.rng.0 = d.u64()?;
+        gen.next_idx = d.u64()?;
+        gen.clock = d.u64()?;
+        let next_arrival = dec_req_opt(&mut d)?;
+        let n = d.u64()? as usize;
+        if n > requests as usize {
+            return Err(WireError::Malformed("pending queue length").into());
+        }
+        let mut pending = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            pending.push_back(dec_req(&mut d)?);
+        }
+        let mut inflight = Vec::with_capacity(harts);
+        for _ in 0..harts {
+            inflight.push(dec_req_opt(&mut d)?);
+        }
+        let mut per_tenant = Vec::with_capacity(tenants);
+        for _ in 0..tenants {
+            per_tenant.push(TenantStats {
+                requests: d.u64()?,
+                denied: d.u64()?,
+                guest_cycles: d.u64()?,
+            });
+        }
+        let mut latency = Histogram::new();
+        latency.import_words(&d.words()?);
+        let interval = d.u64()?;
+        let slices = d.words()?;
+        let mut timeline = TimeSeries::new(cfg.quantum.max(1) * 64, 256);
+        timeline.import_state(interval, &slices);
+        let completed = d.u64()?;
+        let denied = d.u64()?;
+        let digest = d.u64()?;
+        let rotate_cursor = d.u64()? as usize;
+        let next_rotate = d.u64()?;
+        let last_progress = d.u64()?;
+        d.finish()?;
+
+        let m0 = sess.smp().machine(0);
+        let at = sess.vclock();
+        m0.trace.emit(|| TraceEvent::Restore {
+            at,
+            digest: state_digest(&snap),
+        });
+        Ok(ServeState {
+            cfg,
+            tenant_doms,
+            sess,
+            bus,
+            gen,
+            next_arrival,
+            pending,
+            inflight,
+            per_tenant,
+            latency,
+            timeline,
+            completed,
+            denied,
+            digest,
+            rotate_cursor,
+            next_rotate,
+            last_progress,
+            snapshots: 0,
+            restores: 1,
+            oracle_checks: 0,
+            divergences: 0,
+        })
+    }
+
+    /// Drive the serving loop until every request finished, the
+    /// snapshot hook fired and the caller only wanted the image, or
+    /// the oracle found a divergence.
+    ///
+    /// The host loop is: admit generator arrivals whose virtual
+    /// arrival time has passed, harvest finished mailboxes (doorbell
+    /// 2/3), inject queued requests into idle harts, then advance one
+    /// scheduling round stepping only harts with a raised doorbell
+    /// (idle harts' spin loops are pure, so skipping them preserves
+    /// architectural state — see the session-driver contract in
+    /// DESIGN.md).
+    fn drive(&mut self, hooks: &ServeHooks) -> DriveOut {
+        let mut out = DriveOut::default();
+        let mut next_oracle = if hooks.oracle_every > 0 {
+            hooks.oracle_every
+        } else {
+            u64::MAX
+        };
+        while self.completed + self.denied < self.cfg.requests {
+            if hooks.snapshot_at > 0
+                && out.snapshot.is_none()
+                && self.completed + self.denied >= hooks.snapshot_at
+            {
+                out.snapshot = Some(self.snapshot_bytes());
+                self.snapshots += 1;
+                let at = self.sess.vclock();
+                let snap = capture_session(&self.sess);
+                self.sess
+                    .smp()
+                    .machine(0)
+                    .trace
+                    .emit(|| TraceEvent::Snapshot {
+                        at,
+                        digest: state_digest(&snap),
+                    });
+            }
+            let now = self.sess.vclock();
+            // Admit everything that has arrived by virtual-now.
+            while let Some(r) = self.next_arrival {
+                if r.arrival > now {
+                    break;
+                }
+                self.pending.push_back(r);
+                self.next_arrival = self.gen.next();
+            }
+            // Harvest, then refill idle harts.
+            for (h, slot) in self.inflight.iter_mut().enumerate() {
+                let base = mb(h);
+                let db = self.bus.read_u64(base + MB_DOORBELL as u64);
+                if db == 2 || db == 3 {
+                    let req = slot.take().expect("completion without a request");
+                    self.latency.record(now - req.arrival);
+                    self.timeline.add(now, 1);
+                    let guest = if db == 2 {
+                        self.bus.read_u64(base + MB_DIGEST as u64)
+                    } else {
+                        0
+                    };
+                    self.digest ^=
+                        record_digest(req.idx, req.tenant as u64, req.kind.index(), db, guest);
+                    let ts = &mut self.per_tenant[req.tenant];
+                    ts.requests += 1;
+                    if db == 2 {
+                        self.completed += 1;
+                        ts.guest_cycles += self.bus.read_u64(base + MB_CYCLES as u64);
+                    } else {
+                        self.denied += 1;
+                        ts.denied += 1;
+                    }
+                    self.bus.write_u64(base + MB_DOORBELL as u64, 0);
+                    if hooks.record {
+                        out.log.push(HostEvent::MailboxWrite {
+                            addr: base + MB_DOORBELL as u64,
+                            value: 0,
+                        });
+                    }
+                    self.last_progress = self.sess.rounds();
+                }
+                if self.bus.read_u64(base + MB_DOORBELL as u64) == 0 {
+                    if let Some(req) = self.pending.pop_front() {
+                        let gate = entry_gate(req.tenant, req.kind);
+                        self.bus.write_u64(base + MB_GATE as u64, gate);
+                        self.bus.write_u64(base + MB_ITERS as u64, req.iters);
+                        self.bus.write_u64(base + MB_DOORBELL as u64, 1);
+                        if hooks.record {
+                            out.log.push(HostEvent::MailboxWrite {
+                                addr: base + MB_GATE as u64,
+                                value: gate,
+                            });
+                            out.log.push(HostEvent::MailboxWrite {
+                                addr: base + MB_ITERS as u64,
+                                value: req.iters,
+                            });
+                            out.log.push(HostEvent::MailboxWrite {
+                                addr: base + MB_DOORBELL as u64,
+                                value: 1,
+                            });
+                        }
+                        *slot = Some(req);
+                    }
+                }
+            }
+            // Domain-0 software rotates a tenant's tables now and then —
+            // every rewrite publishes a shootdown all harts must honor.
+            if self.completed + self.denied >= self.next_rotate {
+                self.next_rotate += self.cfg.rotate_every;
+                let dom = self.tenant_doms[self.rotate_cursor % self.tenant_doms.len()];
+                self.rotate_cursor += 1;
+                let m0 = self.sess.smp_mut().machine_mut(0);
+                m0.ext.update_domain(&mut m0.bus, dom, &base_spec());
+                if hooks.record {
+                    out.log.push(HostEvent::Rotate { domain: dom.0 });
+                }
+            }
+            // The runnable mask is computed once and drives the fast
+            // round, the oracle replay and the record log identically.
+            // (Only hart h's guest and the host — both quiescent here —
+            // write mailbox h, so reading it per-hart mid-round would
+            // see the same values.)
+            let mut mask = 0u64;
+            for h in 0..self.cfg.harts {
+                if self.bus.read_u64(mb(h) + MB_DOORBELL as u64) == 1 {
+                    mask |= 1 << h;
+                }
+            }
+            if hooks.record {
+                out.log.push(HostEvent::Round { mask });
+            }
+            let oracle = if self.completed + self.denied >= next_oracle {
+                next_oracle += hooks.oracle_every;
+                Some(SpecSmp::fork(self.sess.smp()))
+            } else {
+                None
+            };
+            self.sess.round(|h| mask >> h & 1 == 1);
+            if let Some(mut spec) = oracle {
+                spec.replay_round(mask, self.cfg.quantum);
+                out.oracle_checks += 1;
+                self.oracle_checks += 1;
+                if let Some(d) = spec
+                    .compare(self.sess.smp())
+                    .or_else(|| spec.compare_memory(self.sess.smp()))
+                {
+                    self.divergences += 1;
+                    self.sess
+                        .smp()
+                        .machine(0)
+                        .trace
+                        .emit(|| TraceEvent::Divergence {
+                            pc: d.pc,
+                            step: d.step,
+                            what: "oracle",
+                        });
+                    out.divergence = Some(d);
+                    return out;
+                }
+            }
+            assert!(
+                self.sess.rounds() - self.last_progress < 2_000_000,
+                "serve: no completion in 2M rounds (vclock {}, {} in flight, {} queued)",
+                self.sess.vclock(),
+                self.inflight.iter().flatten().count(),
+                self.pending.len()
+            );
+        }
+        out
+    }
+
+    /// Harvest every hart and assemble the outcome.
+    fn finish(mut self) -> ServeOutcome {
+        let mut audit = Vec::new();
+        let mut profiles = Vec::new();
+        let mut total_steps = 0u64;
+        for h in 0..self.cfg.harts {
+            let c = self.sess.harvest(h);
+            total_steps += c.steps;
+            audit.extend(c.audit);
+            if let Some(p) = c.profile {
+                profiles.push(p);
+            }
+        }
+        let profiles = if profiles.is_empty() {
+            Vec::new()
+        } else {
+            vec![RunProfile {
+                name: format!("serve/{}-harts", self.cfg.harts),
+                profiles,
+                audit: audit.clone(),
+            }]
+        };
+        let mut counters = self.sess.counters();
+        counters.run.snapshots += self.snapshots;
+        counters.run.restores += self.restores;
+        counters.run.oracle_checks += self.oracle_checks;
+        counters.run.divergences += self.divergences;
+        ServeOutcome {
+            cfg: self.cfg.clone(),
+            completed: self.completed,
+            denied: self.denied,
+            digest: self.digest,
+            vcycles: self.sess.vclock(),
+            rounds: self.sess.rounds(),
+            latency: self.latency,
+            timeline: self.timeline,
+            per_tenant: self.per_tenant,
+            counters,
+            audit,
+            total_steps,
+            host_secs: self.sess.host_secs(),
+            profiles,
+        }
+    }
+}
+
+fn enc_req(e: &mut Enc, r: Request) {
+    e.u64(r.idx);
+    e.u64(r.arrival);
+    e.u64(r.tenant as u64);
+    e.u8(r.kind.index() as u8);
+    e.u64(r.iters);
+}
+
+fn dec_req(d: &mut Dec<'_>) -> Result<Request, WireError> {
+    let idx = d.u64()?;
+    let arrival = d.u64()?;
+    let tenant = d.u64()? as usize;
+    let kind = AppKind::from_index(d.u8()? as u64).ok_or(WireError::Malformed("app kind"))?;
+    let iters = d.u64()?;
+    Ok(Request {
+        idx,
+        arrival,
+        tenant,
+        kind,
+        iters,
+    })
+}
+
+fn enc_req_opt(e: &mut Enc, r: Option<Request>) {
+    match r {
+        Some(r) => {
+            e.bool(true);
+            enc_req(e, r);
+        }
+        None => e.bool(false),
+    }
+}
+
+fn dec_req_opt(d: &mut Dec<'_>) -> Result<Option<Request>, WireError> {
+    Ok(if d.bool()? { Some(dec_req(d)?) } else { None })
+}
+
+/// Drive the serving run to completion (no hooks — bit-identical to
+/// the pre-hook harness).
+pub fn run(cfg: &ServeConfig) -> ServeOutcome {
+    let mut st = ServeState::new(cfg);
+    st.drive(&ServeHooks::default());
+    st.finish()
+}
+
+/// Drive a serving run with host-side hooks (snapshot, oracle,
+/// record).
+pub fn run_hooked(cfg: &ServeConfig, hooks: &ServeHooks) -> ServeRun {
+    let mut st = ServeState::new(cfg);
+    let d = st.drive(hooks);
+    ServeRun {
+        outcome: st.finish(),
+        snapshot: d.snapshot,
+        log: d.log,
+        oracle_checks: d.oracle_checks,
+        divergence: d.divergence,
+    }
+}
+
+/// Resume a serving run from a snapshot image and drive it to
+/// completion with `hooks`. The continuation is bit-identical to the
+/// unbroken run: same completion digest, same figure rows.
+pub fn resume_run(frame: &[u8], hooks: &ServeHooks) -> Result<ServeRun, ResumeError> {
+    let mut st = ServeState::resume(frame)?;
+    let d = st.drive(hooks);
+    Ok(ServeRun {
+        outcome: st.finish(),
+        snapshot: d.snapshot,
+        log: d.log,
+        oracle_checks: d.oracle_checks,
+        divergence: d.divergence,
+    })
 }
 
 /// Render the outcome as a schema-versioned report table (the `serve`

@@ -186,6 +186,59 @@ impl PrivCache {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    // ---- snapshot/restore ----
+
+    /// Export all mutable state (snapshot seam). Entry seals are
+    /// exported verbatim — NOT recomputed — so a snapshot taken after a
+    /// chaos-harness corruption restores to the same pending-detection
+    /// state instead of silently "healing" the corrupt line.
+    pub fn export_state(&self) -> PrivCacheState {
+        PrivCacheState {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| (e.tag, e.payload, e.stamp, e.seal))
+                .collect(),
+            tick: self.tick,
+            stats: self.stats,
+            corrupt_detected: self.corrupt_detected,
+        }
+    }
+
+    /// Restore state exported by [`PrivCache::export_state`]. Entries
+    /// beyond the configured capacity are dropped (shape mismatch fails
+    /// toward an emptier, always-re-walking cache, never a panic).
+    pub fn import_state(&mut self, s: &PrivCacheState) {
+        self.entries.clear();
+        for &(tag, payload, stamp, seal) in s.entries.iter().take(self.capacity) {
+            self.entries.push(Entry {
+                tag,
+                payload,
+                stamp,
+                seal,
+            });
+        }
+        self.tick = s.tick;
+        self.stats = s.stats;
+        self.corrupt_detected = s.corrupt_detected;
+    }
+}
+
+/// Plain-data image of one [`PrivCache`], produced by
+/// [`PrivCache::export_state`]. The `isa-replay` crate serializes this
+/// into the machine snapshot container.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrivCacheState {
+    /// Resident lines in storage order: `(tag, payload, stamp, seal)`.
+    /// Seals are carried verbatim; see [`PrivCache::export_state`].
+    pub entries: Vec<(u64, [u64; 4], u64, u64)>,
+    /// LRU clock.
+    pub tick: u64,
+    /// Hit/miss/flush counters.
+    pub stats: CacheStats,
+    /// Scrubbed-corruption count.
+    pub corrupt_detected: u64,
 }
 
 #[cfg(test)]
@@ -297,6 +350,37 @@ mod tests {
         let mut c = PrivCache::new(4);
         assert!(!c.corrupt_entry(3, 8));
         assert!(!c.corrupt_tagged(1, 0));
+    }
+
+    #[test]
+    fn export_import_preserves_pending_corruption() {
+        let mut c = PrivCache::new(4);
+        c.insert(7, [1, 2, 3, 4]);
+        c.insert(9, [5, 6, 7, 8]);
+        c.lookup(9);
+        assert!(c.corrupt_tagged(7, 5));
+        let state = c.export_state();
+        // Restore into a fresh cache: the corrupt line must still be
+        // corrupt (seal carried verbatim, not recomputed).
+        let mut r = PrivCache::new(4);
+        r.import_state(&state);
+        assert_eq!(r.export_state(), state, "re-export must be stable");
+        assert_eq!(r.lookup(7), None, "corruption must survive restore");
+        assert_eq!(r.corrupt_detected, 1);
+        assert_eq!(r.lookup(9), Some([5, 6, 7, 8]));
+        // Stats continued from the snapshot, not from zero.
+        assert_eq!(r.stats.hits, c.stats.hits + 1);
+    }
+
+    #[test]
+    fn import_clamps_to_capacity() {
+        let mut big = PrivCache::new(8);
+        for i in 0..8 {
+            big.insert(i, [i; 4]);
+        }
+        let mut small = PrivCache::new(2);
+        small.import_state(&big.export_state());
+        assert_eq!(small.len(), 2);
     }
 
     #[test]

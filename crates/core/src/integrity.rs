@@ -138,6 +138,62 @@ impl SealStore {
     pub fn is_empty(&self) -> bool {
         self.lock().seals.is_empty()
     }
+
+    // ---- snapshot/restore ----
+
+    /// Export all state as sorted plain data (snapshot seam). Sorting
+    /// makes the export independent of `HashMap` iteration order, so
+    /// identical stores always produce identical bytes downstream.
+    pub fn export_state(&self) -> SealStoreState {
+        let m = self.lock();
+        let mut seals: Vec<(u64, u64)> = m.seals.iter().map(|(a, s)| (*a, *s)).collect();
+        seals.sort_unstable();
+        let mut dirty: Vec<u64> = m.dirty.iter().copied().collect();
+        dirty.sort_unstable();
+        SealStoreState {
+            base: m.base,
+            limit: m.limit,
+            seals,
+            dirty,
+        }
+    }
+
+    /// Replace all state with an image exported by
+    /// [`SealStore::export_state`]. Seals restore verbatim — never
+    /// recomputed from memory contents, which would erase any pending
+    /// corruption the snapshot captured.
+    pub fn import_state(&self, s: &SealStoreState) {
+        let mut m = self.lock();
+        m.base = s.base;
+        m.limit = s.limit;
+        m.seals = s.seals.iter().copied().collect();
+        m.dirty = s.dirty.iter().copied().collect();
+    }
+
+    /// A new, independent store holding a copy of this store's state.
+    /// Used to give a forked oracle machine its own integrity baseline:
+    /// mirror PCUs of one machine *share* a store by design, so forking
+    /// a machine must deep-copy it or the fork's table writes would
+    /// reseal the original.
+    pub fn fork(&self) -> Arc<SealStore> {
+        let f = SealStore::new();
+        f.import_state(&self.export_state());
+        f
+    }
+}
+
+/// Plain-data image of a [`SealStore`], produced by
+/// [`SealStore::export_state`]. Word addresses ascend in both lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SealStoreState {
+    /// Engaged region base (0 with `limit` 0 = disengaged).
+    pub base: u64,
+    /// Engaged region limit (exclusive).
+    pub limit: u64,
+    /// `(word address, seal)` pairs, ascending by address.
+    pub seals: Vec<(u64, u64)>,
+    /// Trust-on-first-use word addresses, ascending.
+    pub dirty: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -196,6 +252,31 @@ mod tests {
         s.note_write(0x100c, 8); // straddles both words
         assert_eq!(s.verify(0x1008, 99), SealVerdict::Ok);
         assert_eq!(s.verify(0x1010, 98), SealVerdict::Ok);
+    }
+
+    #[test]
+    fn export_import_roundtrips_and_forks_are_independent() {
+        let s = SealStore::new();
+        s.reset(0x1000, 0x2000);
+        s.seal(0x1008, 7);
+        s.seal(0x1010, 9);
+        s.note_write(0x1010, 8); // 0x1010 becomes dirty
+        let state = s.export_state();
+        let r = SealStore::new();
+        r.import_state(&state);
+        assert_eq!(r.export_state(), state, "re-export must be stable");
+        assert_eq!(r.verify(0x1008, 7), SealVerdict::Ok);
+        assert_eq!(r.verify(0x1008, 8), SealVerdict::Corrupt);
+        // Dirty word survived: first read re-seals.
+        assert_eq!(r.verify(0x1010, 42), SealVerdict::Ok);
+        assert_eq!(r.verify(0x1010, 43), SealVerdict::Corrupt);
+        // A fork is independent: resealing in the fork must not leak
+        // back into the original.
+        let f = s.fork();
+        f.seal(0x1008, 99);
+        assert_eq!(f.verify(0x1008, 99), SealVerdict::Ok);
+        assert_eq!(s.verify(0x1008, 7), SealVerdict::Ok);
+        assert_eq!(s.verify(0x1008, 99), SealVerdict::Corrupt);
     }
 
     #[test]

@@ -91,15 +91,15 @@ mod pcu;
 mod policy;
 pub mod shootdown;
 
-pub use cache::{CacheStats, PrivCache};
+pub use cache::{CacheStats, PrivCache, PrivCacheState};
 pub use domain::{DomainId, DomainSpec, GateId, GateSpec, InstGroup};
-pub use integrity::{SealStore, SealVerdict};
+pub use integrity::{SealStore, SealStoreState, SealVerdict};
 /// The observability layer (re-exported for counter and trace types).
 pub use isa_obs as obs;
 pub use layout::GridLayout;
 pub use pcu::{
-    FaultLayerStats, GridCacheStats, Pcu, PcuConfig, PcuConfigBuilder, PcuSnapshot, PcuStats,
-    SHOOTDOWN_DEADLINE_POLLS,
+    FaultLayerStats, GridCacheStats, Pcu, PcuConfig, PcuConfigBuilder, PcuSnapshot, PcuState,
+    PcuStats, SHOOTDOWN_DEADLINE_POLLS,
 };
 pub use policy::{ExclusivePolicy, PolicyViolation};
 pub use shootdown::ShootdownCell;

@@ -7,7 +7,7 @@ use isa_obs::{
 use isa_sim::csr::addr;
 use isa_sim::{Bus, CpuState, Decoded, Exception, ExtEvents, Extension, Flow, Kind, Priv};
 
-use crate::cache::{CacheStats, PrivCache};
+use crate::cache::{CacheStats, PrivCache, PrivCacheState};
 use crate::domain::{DomainId, DomainSpec, GateId, GateSpec};
 use crate::integrity::{SealStore, SealVerdict};
 use crate::layout::{
@@ -437,6 +437,11 @@ pub struct Pcu {
     fstats: FaultLayerStats,
     /// Cache scrubs already folded into `fstats` (reconciliation mark).
     scrubs_seen: u64,
+    /// Test-only seeded bug: when set, a failed instruction-bitmap check
+    /// is *not* enforced — the forbidden instruction executes anyway.
+    /// Exists so the differential oracle has a known-bad PCU to catch;
+    /// never set outside tests.
+    skip_inst_check: bool,
 }
 
 /// Tallies of the fail-closed integrity layer, mapped into the
@@ -454,6 +459,59 @@ pub struct FaultLayerStats {
     pub denied: u64,
     /// Shootdown deliveries that blew the bounded-backoff deadline.
     pub shootdown_expired: u64,
+}
+
+/// Plain-data image of every piece of mutable [`Pcu`] state, produced
+/// by [`Pcu::export_state`] and consumed by [`Pcu::import_state`].
+///
+/// Excluded on purpose: the [`PcuConfig`] (part of the machine recipe,
+/// which the restoring caller rebuilds), the trace sink and hart id
+/// (host-side attachments), the shared [`SealStore`] and
+/// [`crate::ShootdownCell`] (exported once per machine, not per PCU),
+/// the per-step event accumulator (always empty at step boundaries),
+/// and the test-only seeded-bug switch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PcuState {
+    /// The 13 Grid CSRs in address order: `domain`, `pdomain`,
+    /// `domain_nr`, `csr_cap`, `csr_mask`, `inst_cap`, `gate_addr`,
+    /// `gate_nr`, `hcsp`, `hcsb`, `hcsl`, `tmemb`, `tmeml`.
+    pub regs: [u64; 13],
+    /// Installed trusted-memory layout, if any.
+    pub layout: Option<GridLayout>,
+    /// Instruction-bitmap shadow register: owning domain.
+    pub ipr_domain: u64,
+    /// Instruction-bitmap shadow register: bitmap words.
+    pub ipr_words: [u64; INST_BITMAP_WORDS],
+    /// Instruction-bitmap shadow register: valid bit.
+    pub ipr_valid: bool,
+    /// HPT instruction-bitmap cache image.
+    pub inst_cache: PrivCacheState,
+    /// HPT register-bitmap cache image.
+    pub reg_cache: PrivCacheState,
+    /// HPT mask-slot cache image.
+    pub mask_cache: PrivCacheState,
+    /// SGT gate-entry cache image.
+    pub sgt_cache: PrivCacheState,
+    /// Legal-instruction decision cache image.
+    pub legal_cache: PrivCacheState,
+    /// Check/fault/flush counters.
+    pub stats: PcuStats,
+    /// Fail-closed integrity-layer counters.
+    pub fstats: FaultLayerStats,
+    /// Scrub recoveries already reconciled into `fstats`.
+    pub scrubs_seen: u64,
+    /// Commit counter driving fault-plan firing.
+    pub commits: u64,
+    /// Fail-closed poison latch.
+    pub poisoned: bool,
+    /// Remaining deferred shootdown polls (fault-injection backoff).
+    pub shoot_defer: u32,
+    /// Polls consumed while deferring the pending shootdown.
+    pub shoot_defer_polls: u32,
+    /// Attached fault schedule with its live cursor, if any.
+    pub faults: Option<FaultPlan>,
+    /// Privilege-event audit log.
+    pub audit: AuditLog,
 }
 
 impl Pcu {
@@ -488,6 +546,7 @@ impl Pcu {
             shoot_defer_polls: 0,
             fstats: FaultLayerStats::default(),
             scrubs_seen: 0,
+            skip_inst_check: false,
         };
         if !cfg.integrity {
             p.set_integrity(false);
@@ -799,6 +858,122 @@ impl Pcu {
         c.smp.flushed_entries = self.stats.shootdown_flushed;
         c.smp.flush_cycles = self.stats.shootdown_flush_cycles;
         c
+    }
+
+    // ---- snapshot/restore ----
+
+    /// The attached fault schedule, if any (snapshot seam; the replay
+    /// harness clones it — with its live cursor — into machine forks).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Swap in a different trusted-memory seal store. Machine forks
+    /// need this: [`Pcu::mirror`]/[`PcuSnapshot::build`] *share* the
+    /// store by design (mirror PCUs of one machine verify against one
+    /// baseline), so an independent fork must replace it with a
+    /// [`SealStore::fork`] copy or its writes would reseal the original.
+    pub fn replace_seal_store(&mut self, seals: Arc<SealStore>) {
+        self.seals = seals;
+    }
+
+    /// Test-only seeded-bug switch: skip enforcement of failed
+    /// instruction-bitmap checks. See the field docs; used by the
+    /// differential-oracle tests to prove divergence detection.
+    #[doc(hidden)]
+    pub fn set_skip_inst_check(&mut self, skip: bool) {
+        self.skip_inst_check = skip;
+    }
+
+    /// Export every piece of mutable PCU state (snapshot seam). The
+    /// shared structures — seal store, shootdown cell — are exported
+    /// separately, once per machine, by the replay harness; the trace
+    /// sink is host-side and excluded. Call at a step boundary (the
+    /// per-step event accumulator is excluded because `drain_events`
+    /// empties it at the end of every step).
+    pub fn export_state(&self) -> PcuState {
+        let r = &self.regs;
+        PcuState {
+            regs: [
+                r.domain,
+                r.pdomain,
+                r.domain_nr,
+                r.csr_cap,
+                r.csr_mask,
+                r.inst_cap,
+                r.gate_addr,
+                r.gate_nr,
+                r.hcsp,
+                r.hcsb,
+                r.hcsl,
+                r.tmemb,
+                r.tmeml,
+            ],
+            layout: self.layout,
+            ipr_domain: self.ipr.domain,
+            ipr_words: self.ipr.words,
+            ipr_valid: self.ipr.valid,
+            inst_cache: self.inst_cache.export_state(),
+            reg_cache: self.reg_cache.export_state(),
+            mask_cache: self.mask_cache.export_state(),
+            sgt_cache: self.sgt_cache.export_state(),
+            legal_cache: self.legal_cache.export_state(),
+            stats: self.stats,
+            fstats: self.fstats,
+            scrubs_seen: self.scrubs_seen,
+            commits: self.commits,
+            poisoned: self.poisoned,
+            shoot_defer: self.shoot_defer,
+            shoot_defer_polls: self.shoot_defer_polls,
+            faults: self.faults.clone(),
+            audit: self.audit.clone(),
+        }
+    }
+
+    /// Restore state exported by [`Pcu::export_state`] into a PCU built
+    /// with the same [`PcuConfig`]. Cache-line and table seals restore
+    /// verbatim (pending corruption survives the round trip); the
+    /// shootdown attachment and seal store are left as-is — the caller
+    /// restores those shared structures once per machine.
+    pub fn import_state(&mut self, s: &PcuState) {
+        let [domain, pdomain, domain_nr, csr_cap, csr_mask, inst_cap, gate_addr, gate_nr, hcsp, hcsb, hcsl, tmemb, tmeml] =
+            s.regs;
+        self.regs = GridRegs {
+            domain,
+            pdomain,
+            domain_nr,
+            csr_cap,
+            csr_mask,
+            inst_cap,
+            gate_addr,
+            gate_nr,
+            hcsp,
+            hcsb,
+            hcsl,
+            tmemb,
+            tmeml,
+        };
+        self.layout = s.layout;
+        self.ipr = InstPrivReg {
+            domain: s.ipr_domain,
+            words: s.ipr_words,
+            valid: s.ipr_valid,
+        };
+        self.inst_cache.import_state(&s.inst_cache);
+        self.reg_cache.import_state(&s.reg_cache);
+        self.mask_cache.import_state(&s.mask_cache);
+        self.sgt_cache.import_state(&s.sgt_cache);
+        self.legal_cache.import_state(&s.legal_cache);
+        self.stats = s.stats;
+        self.fstats = s.fstats;
+        self.scrubs_seen = s.scrubs_seen;
+        self.commits = s.commits;
+        self.poisoned = s.poisoned;
+        self.shoot_defer = s.shoot_defer;
+        self.shoot_defer_polls = s.shoot_defer_polls;
+        self.faults = s.faults.clone();
+        self.audit = s.audit.clone();
+        self.ev = ExtEvents::default();
     }
 
     /// Reset cache and check statistics (not the caches themselves).
@@ -1575,6 +1750,12 @@ impl Extension for Pcu {
             detail: idx as u64,
         });
         if !allowed {
+            // Seeded-bug hook (tests only): swallow the denial so the
+            // differential oracle — whose spec PCU never has this flag —
+            // can demonstrate first-divergence detection.
+            if self.skip_inst_check {
+                return Ok(());
+            }
             return Err(self.deny(
                 cpu,
                 AuditKind::Inst,

@@ -91,6 +91,38 @@ impl ShootdownCell {
     pub fn quiesced(&self) -> bool {
         self.complete(self.epoch())
     }
+
+    // ---- snapshot/restore ----
+
+    /// Export `(epoch, per-hart acks)` (snapshot seam). A mid-shootdown
+    /// snapshot — epoch published, some hart not yet acked — exports
+    /// exactly that lag, so the restored machine still owes the flush.
+    pub fn export_state(&self) -> (u64, Vec<u64>) {
+        (
+            self.epoch.load(Ordering::SeqCst),
+            self.acks.iter().map(|a| a.load(Ordering::SeqCst)).collect(),
+        )
+    }
+
+    /// Restore state exported by [`ShootdownCell::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `acks` does not match this cell's hart count: a
+    /// shape mismatch means the snapshot belongs to a differently
+    /// configured machine and restoring it would silently drop flush
+    /// obligations.
+    pub fn import_state(&self, epoch: u64, acks: &[u64]) {
+        assert_eq!(
+            acks.len(),
+            self.acks.len(),
+            "shootdown-cell hart count mismatch"
+        );
+        self.epoch.store(epoch, Ordering::SeqCst);
+        for (cell, &v) in self.acks.iter().zip(acks) {
+            cell.store(v, Ordering::SeqCst);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +141,19 @@ mod tests {
         c.ack(1, 1);
         assert_eq!(c.pending(1), None);
         assert!(c.quiesced());
+    }
+
+    #[test]
+    fn mid_shootdown_state_roundtrips() {
+        let c = ShootdownCell::new(2);
+        c.publish(0); // hart 1 now owes a flush
+        let (epoch, acks) = c.export_state();
+        let r = ShootdownCell::new(2);
+        r.import_state(epoch, &acks);
+        assert_eq!(r.epoch(), 1);
+        assert_eq!(r.pending(0), None);
+        assert_eq!(r.pending(1), Some(1), "restored hart still owes flush");
+        assert!(!r.quiesced());
     }
 
     #[test]

@@ -300,6 +300,30 @@ impl FaultPlan {
         self.cursor = 0;
     }
 
+    /// Index of the next undelivered event (snapshot seam).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Reassemble a plan from exported parts (snapshot restore): the
+    /// event list came from [`FaultPlan::events`] so it is already
+    /// sorted; the cursor is clamped to the schedule length.
+    pub fn from_parts(seed: u64, rate_ppm: u64, events: Vec<FaultEvent>, cursor: usize) -> Self {
+        let cursor = cursor.min(events.len());
+        FaultPlan {
+            seed,
+            rate_ppm,
+            events,
+            cursor,
+        }
+    }
+
+    /// Restore the delivery cursor (snapshot seam). Clamped to the
+    /// schedule length so a stale value cannot index out of bounds.
+    pub fn set_cursor(&mut self, cursor: usize) {
+        self.cursor = cursor.min(self.events.len());
+    }
+
     /// The full schedule, for reports.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events

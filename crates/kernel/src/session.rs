@@ -63,6 +63,15 @@ pub struct Completion {
 pub struct Session {
     sim: Sim,
     host_secs: f64,
+    /// Completion harvested when the guest halted. Harvesting *drains*
+    /// the audit log and profile, so it must happen exactly once; later
+    /// `step`/`drain`/`completion` calls replay this cached value
+    /// instead of re-harvesting (or re-stepping a finished machine).
+    done: Option<Completion>,
+    /// Terminal error from a failed `drain`. A watchdogged guest is
+    /// still hung — re-running it would just burn another full budget
+    /// and fail again, so later drains surface this immediately.
+    failed: Option<RunError>,
 }
 
 /// What a bounded-quantum step observed.
@@ -80,6 +89,8 @@ impl Session {
         Session {
             sim,
             host_secs: 0.0,
+            done: None,
+            failed: None,
         }
     }
 
@@ -98,6 +109,9 @@ impl Session {
     /// early on halt. Host wall-clock spent stepping is accumulated
     /// into the eventual [`Completion::host_secs`].
     pub fn step(&mut self, quantum: u64) -> SessionState {
+        if let Some(c) = &self.done {
+            return SessionState::Halted(c.exit_code);
+        }
         let t0 = std::time::Instant::now();
         let state = (|| {
             for _ in 0..quantum {
@@ -118,18 +132,37 @@ impl Session {
     /// Run the guest to halt and harvest the [`Completion`] — the
     /// whole legacy `run_to_halt` + accessor-scrape pattern in one
     /// call. A hung guest surfaces as [`RunError::Watchdog`], never a
-    /// host panic.
+    /// host panic. Idempotent after the session resolves: a second
+    /// drain replays the cached completion (or the cached error — a
+    /// watchdogged guest stays hung) instead of re-stepping.
     pub fn drain(&mut self, max_steps: u64) -> Result<Completion, RunError> {
+        if let Some(c) = &self.done {
+            return Ok(c.clone());
+        }
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
         let t0 = std::time::Instant::now();
         let exit_code = self.sim.run_to_halt(max_steps);
         self.host_secs += t0.elapsed().as_secs_f64();
-        Ok(self.harvest(exit_code?))
+        match exit_code {
+            Ok(code) => Ok(self.harvest(code)),
+            Err(e) => {
+                self.failed = Some(e);
+                Err(e)
+            }
+        }
     }
 
     /// Harvest the completion for an already-halted guest (used by
     /// [`Session::step`] drivers once they observe
-    /// [`SessionState::Halted`]).
+    /// [`SessionState::Halted`]). Idempotent: harvesting drains the
+    /// audit log and profile, so repeated calls replay the first
+    /// harvest rather than returning an emptied one.
     pub fn completion(&mut self) -> Completion {
+        if let Some(c) = &self.done {
+            return c.clone();
+        }
         let code = self
             .sim
             .machine
@@ -141,7 +174,7 @@ impl Session {
 
     fn harvest(&mut self, exit_code: u64) -> Completion {
         let counters = self.sim.counters();
-        Completion {
+        let c = Completion {
             exit_code,
             reported: self.sim.values(),
             cycles: self.sim.cycles(),
@@ -150,7 +183,9 @@ impl Session {
             profile: self.sim.take_profile(),
             host_secs: self.host_secs,
             counters,
-        }
+        };
+        self.done = Some(c.clone());
+        c
     }
 }
 
@@ -196,6 +231,14 @@ impl SmpSession {
     /// Rounds completed so far.
     pub fn rounds(&self) -> u64 {
         self.rounds
+    }
+
+    /// Overwrite the round counter (snapshot seam). A restored machine
+    /// resumes at the round its snapshot was taken at, so the virtual
+    /// clock — and everything scheduled against it — lines up with the
+    /// unbroken run.
+    pub fn set_rounds(&mut self, rounds: u64) {
+        self.rounds = rounds;
     }
 
     /// The session's virtual clock: an upper bound on any hart's
@@ -340,5 +383,55 @@ mod tests {
         let sim = SimBuilder::new(KernelConfig::native()).boot(&prog, None);
         let err = Session::new(sim).drain(10_000).unwrap_err();
         assert!(matches!(err, RunError::Watchdog { .. }));
+    }
+
+    #[test]
+    fn resolved_session_replays_cached_completion() {
+        let prog = exit7();
+        let sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+        let mut s = Session::new(sim);
+        let first = s.drain(1_000_000).unwrap();
+        // Harvesting drained the audit log and profile; every later
+        // call must replay the cached completion, not an emptied one.
+        let again = s.drain(1_000_000).unwrap();
+        assert_eq!(again.exit_code, first.exit_code);
+        assert_eq!(again.cycles, first.cycles);
+        assert_eq!(again.reported, first.reported);
+        let c = s.completion();
+        assert_eq!(c.cycles, first.cycles);
+        // Stepping a finished session is a no-op reporting the halt.
+        assert_eq!(s.step(100), SessionState::Halted(first.exit_code));
+        assert_eq!(s.completion().steps, first.steps);
+    }
+
+    #[test]
+    fn drain_after_watchdog_replays_the_error() {
+        let mut a = crate::usr::program();
+        a.label("hang");
+        a.j("hang");
+        let prog = a.assemble().unwrap();
+        let sim = SimBuilder::new(KernelConfig::native()).boot(&prog, None);
+        let mut s = Session::new(sim);
+        let err = s.drain(10_000).unwrap_err();
+        assert!(matches!(err, RunError::Watchdog { .. }));
+        // The guest is still hung: a second drain must surface the
+        // same structured error immediately, not spin another budget.
+        let before = s.sim().machine.steps;
+        let again = s.drain(10_000).unwrap_err();
+        assert_eq!(again, err);
+        assert_eq!(s.sim().machine.steps, before, "no re-stepping");
+    }
+
+    #[test]
+    fn smp_session_rounds_are_restorable() {
+        let bus = isa_sim::Bus::with_harts(isa_sim::DEFAULT_RAM_BASE, 1 << 20, 1);
+        let smp = isa_smp::Smp::new(&bus, |_h, hb| {
+            isa_sim::Machine::on_bus(isa_grid::Pcu::new(isa_grid::PcuConfig::eight_e()), hb)
+        });
+        let mut s = SmpSession::new(smp, 8);
+        assert_eq!(s.vclock(), 0);
+        s.set_rounds(42);
+        assert_eq!(s.rounds(), 42);
+        assert_eq!(s.vclock(), 42 * 8);
     }
 }

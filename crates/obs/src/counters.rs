@@ -298,6 +298,16 @@ pub struct RunCounters {
     /// Shootdown deliveries that blew the bounded-backoff deadline and
     /// faulted the offending hart.
     pub fault_shootdown_expired: u64,
+    /// Whole-machine snapshots captured by the replay layer.
+    pub snapshots: u64,
+    /// Whole-machine restores performed by the replay layer.
+    pub restores: u64,
+    /// Differential-oracle comparisons performed (lockstep steps or
+    /// checkpoint digests, depending on mode).
+    pub oracle_checks: u64,
+    /// Oracle comparisons that found the fast machine and the
+    /// interpreter disagreeing. Nonzero means a simulator bug.
+    pub divergences: u64,
 }
 
 impl ToJson for RunCounters {
@@ -315,6 +325,10 @@ impl ToJson for RunCounters {
                 "fault_shootdown_expired",
                 Json::U64(self.fault_shootdown_expired),
             ),
+            ("snapshots", Json::U64(self.snapshots)),
+            ("restores", Json::U64(self.restores)),
+            ("oracle_checks", Json::U64(self.oracle_checks)),
+            ("divergences", Json::U64(self.divergences)),
         ])
     }
 }
@@ -390,6 +404,10 @@ impl Counters {
             "run.fault_shootdown_expired".into(),
             self.run.fault_shootdown_expired,
         ));
+        out.push(("run.snapshots".into(), self.run.snapshots));
+        out.push(("run.restores".into(), self.run.restores));
+        out.push(("run.oracle_checks".into(), self.run.oracle_checks));
+        out.push(("run.divergences".into(), self.run.divergences));
         out.push(("smp.harts".into(), self.smp.harts));
         out.push(("smp.shootdowns".into(), self.smp.shootdowns));
         out.push(("smp.shootdown_acks".into(), self.smp.shootdown_acks));
@@ -434,6 +452,10 @@ impl Counters {
         self.run.fault_recovered += other.run.fault_recovered;
         self.run.fault_denied += other.run.fault_denied;
         self.run.fault_shootdown_expired += other.run.fault_shootdown_expired;
+        self.run.snapshots += other.run.snapshots;
+        self.run.restores += other.run.restores;
+        self.run.oracle_checks += other.run.oracle_checks;
+        self.run.divergences += other.run.divergences;
         self.smp.harts += other.smp.harts;
         self.smp.shootdowns += other.smp.shootdowns;
         self.smp.shootdown_acks += other.smp.shootdown_acks;

@@ -180,6 +180,32 @@ pub enum TraceEvent {
         /// false when the check was denied with a trap.
         recovered: bool,
     },
+    /// The replay layer captured a whole-machine snapshot.
+    Snapshot {
+        /// Committed-instruction count (or serve-request index) the
+        /// snapshot was taken at.
+        at: u64,
+        /// Content digest of the snapshot image.
+        digest: u64,
+    },
+    /// The replay layer restored a whole-machine snapshot.
+    Restore {
+        /// Committed-instruction count (or serve-request index) the
+        /// restored image was taken at.
+        at: u64,
+        /// Content digest of the snapshot image.
+        digest: u64,
+    },
+    /// The differential oracle found the fast machine and the reference
+    /// interpreter disagreeing.
+    Divergence {
+        /// PC of the first diverging step.
+        pc: u64,
+        /// Committed-instruction index of the first diverging step.
+        step: u64,
+        /// What disagreed first (`pc`, `reg`, `csr`, `priv`, `trap`).
+        what: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -199,6 +225,9 @@ impl TraceEvent {
             TraceEvent::ShootdownAck { .. } => "shootdown_ack",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::IntegrityEvent { .. } => "integrity",
+            TraceEvent::Snapshot { .. } => "snapshot",
+            TraceEvent::Restore { .. } => "restore",
+            TraceEvent::Divergence { .. } => "divergence",
         }
     }
 }
@@ -298,6 +327,15 @@ impl ToJson for TraceEvent {
                 pairs.push(("scope".into(), Json::Str(scope.into())));
                 pairs.push(("detail".into(), Json::Str(format!("{detail:#x}"))));
                 pairs.push(("recovered".into(), Json::Bool(recovered)));
+            }
+            TraceEvent::Snapshot { at, digest } | TraceEvent::Restore { at, digest } => {
+                pairs.push(("at".into(), Json::U64(at)));
+                pairs.push(("digest".into(), Json::Str(format!("{digest:#018x}"))));
+            }
+            TraceEvent::Divergence { pc, step, what } => {
+                pairs.push(("pc".into(), Json::Str(format!("{pc:#x}"))));
+                pairs.push(("step".into(), Json::U64(step)));
+                pairs.push(("what".into(), Json::Str(what.into())));
             }
         }
         Json::Obj(pairs)

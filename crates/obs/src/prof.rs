@@ -130,6 +130,30 @@ impl Histogram {
         self.max
     }
 
+    /// Export all state as a flat word vector (snapshot seam): the 65
+    /// bucket counts, then `count`, `sum`, `max`.
+    pub fn export_words(&self) -> Vec<u64> {
+        let mut w = Vec::with_capacity(BUCKETS + 3);
+        w.extend_from_slice(&self.buckets);
+        w.push(self.count);
+        w.push(self.sum);
+        w.push(self.max);
+        w
+    }
+
+    /// Restore state exported by [`Histogram::export_words`]. Missing
+    /// trailing words read as zero (a short vector restores an empty
+    /// histogram, never panics).
+    pub fn import_words(&mut self, words: &[u64]) {
+        let get = |i: usize| words.get(i).copied().unwrap_or(0);
+        for (i, b) in self.buckets.iter_mut().enumerate() {
+            *b = get(i);
+        }
+        self.count = get(BUCKETS);
+        self.sum = get(BUCKETS + 1);
+        self.max = get(BUCKETS + 2);
+    }
+
     /// Median (50th percentile).
     pub fn p50(&self) -> u64 {
         self.percentile(50.0)
@@ -272,6 +296,20 @@ impl TimeSeries {
             self.slices[i] = a + b;
         }
         self.slices.truncate(n);
+    }
+
+    /// Export `(interval, slices)` (snapshot seam). The slice bound is
+    /// a construction parameter, not state.
+    pub fn export_state(&self) -> (u64, Vec<u64>) {
+        (self.interval, self.slices.clone())
+    }
+
+    /// Restore state exported by [`TimeSeries::export_state`] into a
+    /// series built with the same bound. The interval is clamped to
+    /// ≥ 1 and the slices to this series' bound.
+    pub fn import_state(&mut self, interval: u64, slices: &[u64]) {
+        self.interval = interval.max(1);
+        self.slices = slices[..slices.len().min(self.max_slices)].to_vec();
     }
 
     /// Current time units per slice.
@@ -701,7 +739,7 @@ impl ToJson for AuditRecord {
 pub const AUDIT_CAP: usize = 4096;
 
 /// A bounded audit log: appends past the cap are counted, not stored.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AuditLog {
     records: Vec<AuditRecord>,
     dropped: u64,
@@ -746,6 +784,17 @@ impl AuditLog {
     pub fn take(&mut self) -> Vec<AuditRecord> {
         self.dropped = 0;
         std::mem::take(&mut self.records)
+    }
+
+    /// Reassemble a log from its parts (snapshot seam). Records past
+    /// the bound are folded into the dropped count.
+    pub fn from_parts(mut records: Vec<AuditRecord>, dropped: u64) -> AuditLog {
+        let extra = records.len().saturating_sub(AUDIT_CAP) as u64;
+        records.truncate(AUDIT_CAP);
+        AuditLog {
+            records,
+            dropped: dropped + extra,
+        }
     }
 }
 

@@ -1,0 +1,49 @@
+//! # isa-replay — snapshot/restore, record-replay, and a differential oracle
+//!
+//! Three pillars, one purpose: make any run of the ISA-Grid simulator
+//! reproducible and cross-checkable.
+//!
+//! - **Snapshot/restore** ([`snapshot`]): a versioned, digested,
+//!   plain-data image of the whole machine — sparse RAM pages, per-hart
+//!   architectural state and raw CSRs, the full PCU image (Grid
+//!   registers, privilege caches with verbatim seals, fault-plan
+//!   cursor, audit log), the machine-wide seal store and shootdown
+//!   cell, scheduler and timing-model state. Restoring into a machine
+//!   rebuilt with the same recipe is bit-identical to never having
+//!   stopped: same completion digests, same figure rows.
+//! - **Differential oracle** ([`oracle`]): a forked machine running the
+//!   simulator's uncached straight-line path (no basic-block cache, so
+//!   every fetch decodes and every check walks the tables) in lockstep
+//!   or checkpoint mode against the fast machine, reporting the first
+//!   diverging state word. The fork re-derives privilege enforcement
+//!   from exported state only, so fast-path bugs — including the
+//!   test-only seeded check-skip — surface as divergences.
+//! - **Record-replay** ([`record`]): a log of host-owned
+//!   nondeterminism (scheduler round masks, mailbox writes, domain
+//!   rotations) so a diverging million-request serving run can be
+//!   re-executed from its last snapshot and audited decision by
+//!   decision.
+//!
+//! The wire format ([`wire`]) is hand-rolled little-endian with a
+//! magic, a schema version and an FNV-1a frame digest — no external
+//! dependencies, and stable bytes for identical state, which is what
+//! CI's replay-smoke digest assertions rest on. See DESIGN.md,
+//! "Snapshot and replay contract".
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod oracle;
+pub mod record;
+pub mod snapshot;
+pub mod wire;
+
+pub use oracle::{pipeline_config, Divergence, SpecMachine, SpecSmp};
+pub use record::{EventLog, HostEvent};
+pub use snapshot::{
+    capture_hart, capture_machine, capture_session, capture_smp, decode_snapshot,
+    decode_snapshot_payload, encode_snapshot, encode_snapshot_payload, restore_hart,
+    restore_machine, restore_session, restore_smp, state_digest, HartState, MachineSnapshot,
+    RestoreError,
+};
+pub use wire::{fnv1a, Dec, Enc, WireError, SCHEMA_VERSION};

@@ -1,0 +1,323 @@
+//! Differential oracle: an obviously-correct slow fork checked against
+//! the fast machine.
+//!
+//! The oracle is the simulator's own uncached straight-line path: a
+//! forked [`Machine`] with the basic-block cache disabled, so every
+//! fetch decodes from RAM and every privilege check walks the trusted
+//! tables. The bbcache walk-replay invariant (PR 3) guarantees the
+//! cached and uncached paths retire bit-identically, so *any* state
+//! difference between the fast machine and its fork is a real bug in
+//! the fast path (stale bbcache line, skipped check, bad cache fill) —
+//! which is exactly what the seeded-bug acceptance test injects.
+//!
+//! Forks are cheap relative to what they check: a fresh bus seeded from
+//! the fast bus image, a fresh PCU carrying the exported PCU state, a
+//! forked seal store and shootdown cell (so the oracle can never heal
+//! or corrupt the real machine's integrity state), and a replicated
+//! timing model. Crucially the test-only `skip_inst_check` switch is
+//! *not* part of [`isa_grid::PcuState`], so a fork of a sabotaged PCU
+//! enforces the real policy and diverges at the first skipped check.
+
+use std::fmt;
+use std::sync::Arc;
+
+use isa_grid::{Pcu, SealStore, ShootdownCell};
+use isa_sim::{Bus, BusState, Machine};
+use isa_smp::Smp;
+use isa_timing::{PipelineModel, TimingConfig};
+
+use crate::snapshot::{capture_hart, restore_hart};
+use crate::wire::{fnv1a, Enc};
+
+/// A first-divergence report: where the fast machine and the oracle
+/// fork first disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Hart the divergence was observed on.
+    pub hart: usize,
+    /// Instructions the hart had retired when the check ran.
+    pub step: u64,
+    /// Fast machine's PC at the check.
+    pub pc: u64,
+    /// Which state word disagreed ("pc", "priv", "x5", "csr 0x5c0",
+    /// "steps", "memory").
+    pub what: &'static str,
+    /// Fast-vs-oracle values, human readable.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "divergence on hart {} at step {} pc {:#x}: {} ({})",
+            self.hart, self.step, self.pc, self.what, self.detail
+        )
+    }
+}
+
+/// Clone a hart onto `bus` with forked integrity state and the same
+/// timing model, then drop to the uncached straight-line path.
+fn fork_hart(
+    fast: &Machine<Pcu>,
+    bus: Bus,
+    seals: Arc<SealStore>,
+    shoot: Option<(Arc<ShootdownCell>, usize)>,
+) -> Machine<Pcu> {
+    let mut pcu = fast.ext.snapshot().build();
+    pcu.replace_seal_store(seals);
+    if let Some((cell, hart)) = shoot {
+        pcu.attach_shootdown(cell, hart);
+    }
+    let mut m = Machine::on_bus(pcu, bus);
+    if let Some(cfg) = fast
+        .timing
+        .as_any()
+        .and_then(|a| a.downcast_ref::<PipelineModel>())
+        .map(|pm| *pm.config())
+    {
+        m.timing = Box::new(PipelineModel::new(cfg));
+    }
+    // restore_hart replays CSRs, counters, PCU image and timing words,
+    // then we override the bbcache setting: the oracle always runs the
+    // uncached path regardless of what the fast machine does.
+    restore_hart(&mut m, &capture_hart(fast));
+    m.set_bbcache(false);
+    m
+}
+
+fn compare_hart(fast: &Machine<Pcu>, spec: &Machine<Pcu>) -> Option<Divergence> {
+    let div = |what: &'static str, detail: String| {
+        Some(Divergence {
+            hart: fast.hart(),
+            step: fast.steps,
+            pc: fast.cpu.pc,
+            what,
+            detail,
+        })
+    };
+    if spec.steps != fast.steps {
+        return div(
+            "steps",
+            format!("fast {}, oracle {}", fast.steps, spec.steps),
+        );
+    }
+    if spec.cpu.pc != fast.cpu.pc {
+        return div(
+            "pc",
+            format!("fast {:#x}, oracle {:#x}", fast.cpu.pc, spec.cpu.pc),
+        );
+    }
+    if spec.cpu.priv_level != fast.cpu.priv_level {
+        return div(
+            "priv",
+            format!(
+                "fast {:?}, oracle {:?}",
+                fast.cpu.priv_level, spec.cpu.priv_level
+            ),
+        );
+    }
+    for i in 0..32 {
+        if spec.cpu.regs[i] != fast.cpu.regs[i] {
+            let names = [
+                "x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12",
+                "x13", "x14", "x15", "x16", "x17", "x18", "x19", "x20", "x21", "x22", "x23", "x24",
+                "x25", "x26", "x27", "x28", "x29", "x30", "x31",
+            ];
+            return div(
+                names[i],
+                format!(
+                    "fast {:#x}, oracle {:#x}",
+                    fast.cpu.regs[i], spec.cpu.regs[i]
+                ),
+            );
+        }
+    }
+    let f = fast.cpu.csrs.export_raw();
+    let s = spec.cpu.csrs.export_raw();
+    if f != s {
+        let detail = first_csr_delta(&f, &s);
+        return div("csr", detail);
+    }
+    None
+}
+
+fn first_csr_delta(fast: &[(u16, u64)], spec: &[(u16, u64)]) -> String {
+    let mut fi = fast.iter().peekable();
+    let mut si = spec.iter().peekable();
+    loop {
+        match (fi.peek(), si.peek()) {
+            (Some(&&(fa, fv)), Some(&&(sa, sv))) => {
+                if fa == sa {
+                    if fv != sv {
+                        return format!("{fa:#x}: fast {fv:#x}, oracle {sv:#x}");
+                    }
+                    fi.next();
+                    si.next();
+                } else if fa < sa {
+                    return format!("{fa:#x}: fast {fv:#x}, oracle absent");
+                } else {
+                    return format!("{sa:#x}: fast absent, oracle {sv:#x}");
+                }
+            }
+            (Some(&&(fa, fv)), None) => return format!("{fa:#x}: fast {fv:#x}, oracle absent"),
+            (None, Some(&&(sa, sv))) => return format!("{sa:#x}: fast absent, oracle {sv:#x}"),
+            (None, None) => return "csr files equal".to_string(),
+        }
+    }
+}
+
+/// Guest-visible memory digest: everything in [`BusState`] except the
+/// bbcache code-line bitmap and its epoch, which only exist on machines
+/// that run the bbcache (the oracle does not).
+fn guest_bus_digest(b: &BusState) -> u64 {
+    let mut stripped = b.clone();
+    stripped.code_lines.clear();
+    stripped.code_epoch = 0;
+    let mut e = Enc::new();
+    crate::snapshot::enc_bus(&mut e, &stripped);
+    fnv1a(e.as_slice())
+}
+
+/// A lockstep oracle for one hart: fork once, then step in lockstep
+/// with the fast machine and compare after every instruction.
+pub struct SpecMachine {
+    spec: Machine<Pcu>,
+}
+
+impl SpecMachine {
+    /// Fork `fast` onto a private bus with forked integrity state.
+    pub fn fork(fast: &Machine<Pcu>) -> SpecMachine {
+        let bus = Bus::with_harts(fast.bus.ram_base(), fast.bus.ram_size(), fast.bus.harts());
+        bus.import_state(&fast.bus.export_state());
+        let bus = bus.for_hart(fast.hart());
+        let seals = fast.ext.seal_store().fork();
+        let shoot = fast.ext.shootdown_cell().map(|c| {
+            let f = Arc::new(ShootdownCell::new(c.harts()));
+            let (epoch, acks) = c.export_state();
+            f.import_state(epoch, &acks);
+            (f, fast.hart())
+        });
+        SpecMachine {
+            spec: fork_hart(fast, bus, seals, shoot),
+        }
+    }
+
+    /// The oracle machine (inspection only).
+    pub fn machine(&self) -> &Machine<Pcu> {
+        &self.spec
+    }
+
+    /// Step the oracle once and compare against `fast`, which the
+    /// caller has already stepped once. Returns the first divergence.
+    pub fn step_and_check(&mut self, fast: &Machine<Pcu>) -> Option<Divergence> {
+        self.spec.step();
+        compare_hart(fast, &self.spec)
+    }
+
+    /// Compare architectural state without stepping (checkpoint mode).
+    pub fn check(&self, fast: &Machine<Pcu>) -> Option<Divergence> {
+        compare_hart(fast, &self.spec)
+    }
+
+    /// Compare guest-visible memory (pages, console, value log, halt
+    /// latches) — slower than [`SpecMachine::check`], use sparingly.
+    pub fn check_memory(&self, fast: &Machine<Pcu>) -> Option<Divergence> {
+        let f = guest_bus_digest(&fast.bus.export_state());
+        let s = guest_bus_digest(&self.spec.bus.export_state());
+        (f != s).then(|| Divergence {
+            hart: fast.hart(),
+            step: fast.steps,
+            pc: fast.cpu.pc,
+            what: "memory",
+            detail: format!("fast digest {f:#018x}, oracle digest {s:#018x}"),
+        })
+    }
+}
+
+/// A whole-machine oracle for an [`Smp`]: fork every hart onto a
+/// private bus (one forked seal store and shootdown cell shared by all
+/// spec PCUs, mirroring the real machine's sharing), replay a recorded
+/// scheduler round, and compare every hart.
+pub struct SpecSmp {
+    harts: Vec<Machine<Pcu>>,
+}
+
+impl SpecSmp {
+    /// Fork every hart of `src`.
+    pub fn fork(src: &Smp) -> SpecSmp {
+        let sb = src.bus();
+        let bus = Bus::with_harts(sb.ram_base(), sb.ram_size(), sb.harts());
+        bus.import_state(&sb.export_state());
+        let seals = src.machine(0).ext.seal_store().fork();
+        let cell = Arc::new(ShootdownCell::new(src.harts()));
+        let (epoch, acks) = src.shootdown().export_state();
+        cell.import_state(epoch, &acks);
+        let harts = (0..src.harts())
+            .map(|h| {
+                fork_hart(
+                    src.machine(h),
+                    bus.for_hart(h),
+                    Arc::clone(&seals),
+                    Some((Arc::clone(&cell), h)),
+                )
+            })
+            .collect();
+        SpecSmp { harts }
+    }
+
+    /// Replay one scheduler round exactly the way
+    /// [`simkernel::SmpSession::round`] runs it: harts in ascending
+    /// order, `runnable` bit per hart, one quantum each, stopping early
+    /// on halt.
+    pub fn replay_round(&mut self, runnable: u64, quantum: u64) {
+        for h in 0..self.harts.len() {
+            if runnable & (1 << h) == 0 {
+                continue;
+            }
+            let m = &mut self.harts[h];
+            if m.bus.halted().is_some() {
+                continue;
+            }
+            for _ in 0..quantum {
+                m.step();
+                if m.bus.halted().is_some() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Compare every hart's architectural state against `src`,
+    /// reporting the first divergence in hart order.
+    pub fn compare(&self, src: &Smp) -> Option<Divergence> {
+        (0..self.harts.len()).find_map(|h| compare_hart(src.machine(h), &self.harts[h]))
+    }
+
+    /// Compare guest-visible memory between the two buses.
+    pub fn compare_memory(&self, src: &Smp) -> Option<Divergence> {
+        let f = guest_bus_digest(&src.bus().export_state());
+        let s = guest_bus_digest(&self.harts[0].bus.export_state());
+        (f != s).then(|| Divergence {
+            hart: 0,
+            step: src.machine(0).steps,
+            pc: src.machine(0).cpu.pc,
+            what: "memory",
+            detail: format!("fast digest {f:#018x}, oracle digest {s:#018x}"),
+        })
+    }
+
+    /// The oracle's hart `h` (inspection only).
+    pub fn machine(&self, h: usize) -> &Machine<Pcu> {
+        &self.harts[h]
+    }
+}
+
+/// Convenience: replicate the pipeline timing config of `fast` if it
+/// has one (used by callers building their own forks).
+pub fn pipeline_config(fast: &Machine<Pcu>) -> Option<TimingConfig> {
+    fast.timing
+        .as_any()
+        .and_then(|a| a.downcast_ref::<PipelineModel>())
+        .map(|pm| *pm.config())
+}

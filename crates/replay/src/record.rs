@@ -1,0 +1,160 @@
+//! Record-replay log of host-owned nondeterminism.
+//!
+//! Everything the guest machine does is deterministic given its state;
+//! the only free inputs are host decisions — which harts a scheduler
+//! round ran, which mailbox words the serve harness wrote, when a
+//! tenant's domain was rotated. Logging those as [`HostEvent`]s makes a
+//! long run re-executable from its last snapshot: replaying the log
+//! against the restored machine must reproduce the original run bit
+//! for bit, and any disagreement pinpoints the first divergent host
+//! decision (as opposed to a guest-side bug, which the oracle in
+//! [`crate::oracle`] catches).
+
+use crate::wire::{Dec, Enc, WireError, KIND_EVENT_LOG};
+
+/// One host-side decision that influenced the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostEvent {
+    /// The host wrote `value` at physical `addr` (mailbox doorbells,
+    /// request parameters).
+    MailboxWrite {
+        /// Physical address written.
+        addr: u64,
+        /// Value written.
+        value: u64,
+    },
+    /// The host rotated a tenant's privilege tables (`update_domain`).
+    Rotate {
+        /// The rotated domain id.
+        domain: u64,
+    },
+    /// One scheduler round ran with this runnable-hart bitmask.
+    Round {
+        /// Bit per hart that was offered a quantum.
+        mask: u64,
+    },
+}
+
+/// An append-only host-event log with a wire codec.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventLog {
+    events: Vec<HostEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Append one event.
+    pub fn push(&mut self, ev: HostEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events, oldest first.
+    pub fn events(&self) -> &[HostEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialize into a framed, digested byte image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.events.len() as u64);
+        for ev in &self.events {
+            match *ev {
+                HostEvent::MailboxWrite { addr, value } => {
+                    e.u8(0);
+                    e.u64(addr);
+                    e.u64(value);
+                }
+                HostEvent::Rotate { domain } => {
+                    e.u8(1);
+                    e.u64(domain);
+                }
+                HostEvent::Round { mask } => {
+                    e.u8(2);
+                    e.u64(mask);
+                }
+            }
+        }
+        e.seal(KIND_EVENT_LOG)
+    }
+
+    /// Parse a framed log image, verifying magic/version/digest.
+    pub fn decode(frame: &[u8]) -> Result<EventLog, WireError> {
+        let mut d = Dec::open(frame, KIND_EVENT_LOG)?;
+        let n = d.u64()? as usize;
+        let mut events = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let ev = match d.u8()? {
+                0 => HostEvent::MailboxWrite {
+                    addr: d.u64()?,
+                    value: d.u64()?,
+                },
+                1 => HostEvent::Rotate { domain: d.u64()? },
+                2 => HostEvent::Round { mask: d.u64()? },
+                _ => return Err(WireError::Malformed("host event kind")),
+            };
+            events.push(ev);
+        }
+        d.finish()?;
+        Ok(EventLog { events })
+    }
+
+    /// First index where this log and `other` disagree, if any —
+    /// `other` is typically the re-recorded log of a replayed run.
+    pub fn first_divergence(&self, other: &EventLog) -> Option<usize> {
+        let n = self.events.len().min(other.events.len());
+        (0..n)
+            .find(|&i| self.events[i] != other.events[i])
+            .or((self.events.len() != other.events.len()).then_some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::KIND_SNAPSHOT;
+
+    #[test]
+    fn log_roundtrips() {
+        let mut log = EventLog::new();
+        log.push(HostEvent::Round { mask: 0b1011 });
+        log.push(HostEvent::MailboxWrite {
+            addr: 0x8200_0000,
+            value: 1,
+        });
+        log.push(HostEvent::Rotate { domain: 7 });
+        let frame = log.encode();
+        assert_eq!(EventLog::decode(&frame).unwrap(), log);
+        assert!(matches!(
+            Dec::open(&frame, KIND_SNAPSHOT).unwrap_err(),
+            WireError::BadKind { .. }
+        ));
+    }
+
+    #[test]
+    fn first_divergence_finds_the_first_bad_decision() {
+        let mut a = EventLog::new();
+        a.push(HostEvent::Round { mask: 1 });
+        a.push(HostEvent::Rotate { domain: 3 });
+        let mut b = a.clone();
+        assert_eq!(a.first_divergence(&b), None);
+        b.push(HostEvent::Round { mask: 1 });
+        assert_eq!(a.first_divergence(&b), Some(2));
+        b = EventLog::new();
+        b.push(HostEvent::Round { mask: 2 });
+        assert_eq!(a.first_divergence(&b), Some(0));
+    }
+}

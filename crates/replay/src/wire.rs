@@ -1,0 +1,396 @@
+//! Hand-rolled little-endian binary codec for snapshot and event-log
+//! frames.
+//!
+//! The workspace is offline (no serde), so the wire format is explicit:
+//! a frame is `magic "ISAR" · schema version (u32) · frame kind (u8) ·
+//! payload length (u64) · payload · FNV-1a digest (u64)` over
+//! everything before the digest. The digest makes silent truncation or
+//! bit rot a structured error instead of a garbage restore, and the
+//! schema version invalidates snapshots across incompatible layout
+//! changes (see DESIGN.md, "Snapshot and replay contract").
+//!
+//! Everything is little-endian and length-prefixed; there is no
+//! padding, so identical state always encodes to identical bytes —
+//! the property the replay-smoke digest comparisons rest on.
+
+use std::fmt;
+
+/// Frame magic: "ISAR".
+pub const MAGIC: [u8; 4] = *b"ISAR";
+
+/// Schema version. Bump on ANY change to the encoded layout of any
+/// frame kind — old snapshots must fail loudly, never misparse.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Frame kind tag: a whole-machine snapshot.
+pub const KIND_SNAPSHOT: u8 = 1;
+/// Frame kind tag: a host-event record log.
+pub const KIND_EVENT_LOG: u8 = 2;
+/// Frame kind tag: a serve-harness snapshot (machine + host state).
+pub const KIND_SERVE: u8 = 3;
+
+/// FNV-1a offset basis.
+const FNV_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte slice — the frame and content digest function.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_BASIS;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Decode failure: every way a frame can be unusable, as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic,
+    /// The frame's schema version is not [`SCHEMA_VERSION`].
+    BadVersion {
+        /// Version found in the frame.
+        found: u32,
+    },
+    /// The frame kind tag does not match what the caller expected.
+    BadKind {
+        /// Kind found in the frame.
+        found: u8,
+        /// Kind the decoder was asked for.
+        want: u8,
+    },
+    /// The buffer ended before the encoded structure did.
+    Truncated,
+    /// The frame digest does not match its contents.
+    BadDigest,
+    /// A field held a value the decoder cannot represent.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "not an ISAR frame (bad magic)"),
+            WireError::BadVersion { found } => write!(
+                f,
+                "snapshot schema v{found} incompatible with v{SCHEMA_VERSION}"
+            ),
+            WireError::BadKind { found, want } => {
+                write!(f, "frame kind {found} where kind {want} expected")
+            }
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadDigest => write!(f, "frame digest mismatch (corrupt image)"),
+            WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Little-endian encoder accumulating into a byte buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append an optional `u64` (presence byte + value).
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed slice of `u64` words.
+    pub fn words(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &w in v {
+            self.u64(w);
+        }
+    }
+
+    /// Bytes encoded so far (for digests over a partial payload).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Wrap the accumulated payload in a framed, digested envelope.
+    pub fn seal(self, kind: u8) -> Vec<u8> {
+        let payload = self.buf;
+        let mut out = Vec::with_capacity(payload.len() + 25);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+        out.push(kind);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let digest = fnv1a(&out);
+        out.extend_from_slice(&digest.to_le_bytes());
+        out
+    }
+}
+
+/// Little-endian decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decode over a raw (unframed) payload.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Open a framed envelope: verify magic, version, kind, length and
+    /// digest, and return a decoder positioned at the payload.
+    pub fn open(frame: &'a [u8], want_kind: u8) -> Result<Dec<'a>, WireError> {
+        if frame.len() < 25 {
+            return Err(WireError::Truncated);
+        }
+        if frame[0..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        if version != SCHEMA_VERSION {
+            return Err(WireError::BadVersion { found: version });
+        }
+        let kind = frame[8];
+        let len =
+            u64::from_le_bytes(frame[9..17].try_into().map_err(|_| WireError::Truncated)?) as usize;
+        let body_end = 17usize.checked_add(len).ok_or(WireError::Truncated)?;
+        if frame.len() < body_end + 8 {
+            return Err(WireError::Truncated);
+        }
+        let want = fnv1a(&frame[..body_end]);
+        let got = u64::from_le_bytes(
+            frame[body_end..body_end + 8]
+                .try_into()
+                .map_err(|_| WireError::Truncated)?,
+        );
+        if want != got {
+            return Err(WireError::BadDigest);
+        }
+        if kind != want_kind {
+            return Err(WireError::BadKind {
+                found: kind,
+                want: want_kind,
+            });
+        }
+        Ok(Dec {
+            buf: &frame[17..body_end],
+            pos: 0,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    /// Read a bool (rejecting anything but 0/1).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool")),
+        }
+    }
+
+    /// Read an optional `u64`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.u64()? as usize;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed `u64` word vector.
+    pub fn words(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.u64()? as usize;
+        // Cheap sanity bound before allocating: each word is 8 bytes.
+        if n > self.buf.len().saturating_sub(self.pos) / 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Whether every payload byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Require the payload to be fully consumed (trailing garbage is a
+    /// framing bug, not ignorable).
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u16(0xBEEF);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.bool(true);
+        e.opt_u64(None);
+        e.opt_u64(Some(42));
+        e.bytes(b"hi");
+        e.words(&[1, 2, 3]);
+        let frame = e.seal(KIND_SNAPSHOT);
+        let mut d = Dec::open(&frame, KIND_SNAPSHOT).unwrap();
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 0xBEEF);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.opt_u64().unwrap(), None);
+        assert_eq!(d.opt_u64().unwrap(), Some(42));
+        assert_eq!(d.bytes().unwrap(), b"hi");
+        assert_eq!(d.words().unwrap(), vec![1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn frame_rejects_corruption_and_version_skew() {
+        let mut e = Enc::new();
+        e.u64(123);
+        let mut frame = e.seal(KIND_SNAPSHOT);
+        assert!(Dec::open(&frame, KIND_SNAPSHOT).is_ok());
+        assert_eq!(
+            Dec::open(&frame, KIND_EVENT_LOG).unwrap_err(),
+            WireError::BadKind {
+                found: KIND_SNAPSHOT,
+                want: KIND_EVENT_LOG
+            }
+        );
+        // Flip one payload bit: digest must catch it.
+        frame[20] ^= 1;
+        assert_eq!(
+            Dec::open(&frame, KIND_SNAPSHOT).unwrap_err(),
+            WireError::BadDigest
+        );
+        frame[20] ^= 1;
+        // Bump the version: must be rejected before any payload parse.
+        frame[4] = SCHEMA_VERSION as u8 + 1;
+        assert!(matches!(
+            Dec::open(&frame, KIND_SNAPSHOT).unwrap_err(),
+            WireError::BadVersion { .. }
+        ));
+        frame[4] = SCHEMA_VERSION as u8;
+        frame[0] = b'X';
+        assert_eq!(
+            Dec::open(&frame, KIND_SNAPSHOT).unwrap_err(),
+            WireError::BadMagic
+        );
+        assert_eq!(
+            Dec::open(&frame[..10], KIND_SNAPSHOT).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_panic() {
+        let mut e = Enc::new();
+        e.words(&[1, 2, 3]);
+        let frame = e.seal(KIND_SNAPSHOT);
+        let mut d = Dec::open(&frame, KIND_SNAPSHOT).unwrap();
+        // Ask for more words than exist.
+        let _ = d.words();
+        let mut d2 = Dec::new(&[1, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(d2.u64().unwrap_err(), WireError::Truncated);
+    }
+}

@@ -305,6 +305,17 @@ pub trait TimingSink {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Serialize the sink's mutable state as plain words for snapshots.
+    /// Stateless sinks (the default) have nothing to save.
+    fn save_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restore state previously produced by [`TimingSink::save_state`].
+    fn load_state(&mut self, words: &[u64]) {
+        let _ = words;
+    }
 }
 
 /// Functional-only timing: every instruction takes one cycle.
@@ -444,6 +455,16 @@ impl<E: Extension> Machine<E> {
     /// The hart id this machine executes as.
     pub fn hart(&self) -> usize {
         self.bus.hart()
+    }
+
+    /// Steps since the `timer_every` timer last fired (snapshot seam).
+    pub fn timer_phase(&self) -> u64 {
+        self.timer_phase
+    }
+
+    /// Restore the timer divider state (snapshot seam).
+    pub fn set_timer_phase(&mut self, phase: u64) {
+        self.timer_phase = phase;
     }
 
     /// Replace the timing model.

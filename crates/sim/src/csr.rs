@@ -280,6 +280,30 @@ impl CsrFile {
     pub fn perf(&self, csr: u16) -> u64 {
         self.regs[csr as usize & 0xfff]
     }
+
+    /// Export every non-zero backing register as `(address, value)`
+    /// pairs, ascending. This is the *storage* view, not the
+    /// architectural one: computed views (`sstatus`, `sie`, the user
+    /// counter aliases) are not materialized, so an
+    /// [`CsrFile::import_raw`] of the result reproduces the file
+    /// bit-for-bit — the snapshot layer depends on that.
+    pub fn export_raw(&self) -> Vec<(u16, u64)> {
+        self.regs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| (*v != 0).then_some((i as u16, *v)))
+            .collect()
+    }
+
+    /// Overwrite the whole file from [`CsrFile::export_raw`] output.
+    /// Unlike [`CsrFile::write_raw`] this bypasses view/WARL semantics:
+    /// read-only counters and ID registers are restored verbatim.
+    pub fn import_raw(&mut self, words: &[(u16, u64)]) {
+        self.regs.fill(0);
+        for (csr, v) in words {
+            self.regs[*csr as usize & 0xfff] = *v;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -339,6 +363,25 @@ mod tests {
         assert!(CsrFile::is_read_only(addr::MVENDORID));
         assert!(!CsrFile::is_read_only(addr::MSTATUS));
         assert!(!CsrFile::is_read_only(addr::SATP));
+    }
+
+    #[test]
+    fn raw_export_import_roundtrips_counters() {
+        let mut f = CsrFile::new();
+        f.add_cycles(123);
+        f.add_instret(7);
+        f.count_trap();
+        f.set_hartid(3);
+        f.write_raw(addr::MSTATUS, mstatus::MPP_MASK);
+        let dump = f.export_raw();
+        let mut g = CsrFile::new();
+        g.import_raw(&dump);
+        assert_eq!(g.read_raw(addr::CYCLE), 123, "counter restored verbatim");
+        assert_eq!(g.read_raw(addr::INSTRET), 7);
+        assert_eq!(g.perf(addr::HPMCOUNTER3), 1);
+        assert_eq!(g.read_raw(addr::MHARTID), 3);
+        assert_eq!(g.read_raw(addr::MSTATUS), mstatus::MPP_MASK);
+        assert_eq!(g.export_raw(), dump, "re-export is stable");
     }
 
     #[test]

@@ -59,5 +59,8 @@ pub use disas::disassemble;
 /// The observability layer (re-exported so machine users can build
 /// [`isa_obs::TraceSink`]s without naming the crate separately).
 pub use isa_obs as obs;
-pub use mem::{mmio, reservation_line, Bus, DEFAULT_RAM_BASE, DEFAULT_RAM_SIZE, RESERVATION_LINE};
+pub use mem::{
+    mmio, reservation_line, Bus, BusState, DEFAULT_RAM_BASE, DEFAULT_RAM_SIZE, RESERVATION_LINE,
+    SNAPSHOT_PAGE,
+};
 pub use trap::{Exception, Interrupt, Priv};

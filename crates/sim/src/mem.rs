@@ -40,6 +40,47 @@ pub fn reservation_line(paddr: u64) -> u64 {
     paddr & !(RESERVATION_LINE - 1)
 }
 
+/// Page granularity of sparse RAM capture in [`BusState`].
+pub const SNAPSHOT_PAGE: u64 = 4096;
+
+/// Plain-data image of everything behind a [`Bus`] handle: sparse RAM
+/// pages (only pages with a non-zero byte are captured), MMIO device
+/// state, per-hart LR/SC reservations, halt latches, and the
+/// basic-block-cache coherence bitmap. Importing it into a freshly
+/// built bus of the same shape reproduces the memory image
+/// bit-for-bit — the whole-machine snapshot layer (`isa-replay`)
+/// serializes this struct.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BusState {
+    /// RAM base address (shape check on import).
+    pub ram_base: u64,
+    /// RAM size in bytes (shape check on import).
+    pub ram_size: u64,
+    /// Hart count (shape check on import).
+    pub harts: u64,
+    /// Non-zero [`SNAPSHOT_PAGE`]-sized pages as `(offset, bytes)`,
+    /// offsets relative to `ram_base`, ascending.
+    pub pages: Vec<(u64, Vec<u8>)>,
+    /// Console bytes accumulated so far.
+    pub console: Vec<u8>,
+    /// Guest-reported value log.
+    pub value_log: Vec<u64>,
+    /// Per-hart reservation words (`line | 1` when valid).
+    pub res: Vec<u64>,
+    /// Bit per hart with a live reservation.
+    pub res_mask: u64,
+    /// Reservations broken by remote stores so far.
+    pub res_breaks: u64,
+    /// Per-hart exit codes (valid where `halted_mask` has the bit).
+    pub halt_codes: Vec<u64>,
+    /// Bit per halted hart.
+    pub halted_mask: u64,
+    /// Non-zero code-line bitmap words as `(word index, word)`.
+    pub code_lines: Vec<(u64, u64)>,
+    /// Bus-wide code-invalidation epoch.
+    pub code_epoch: u64,
+}
+
 /// MMIO device state (shared across harts, mutex-guarded).
 #[derive(Debug)]
 struct Mmio {
@@ -461,6 +502,113 @@ impl Bus {
         }
     }
 
+    // ---- snapshot/restore -------------------------------------------
+
+    /// Capture the whole shared memory image as plain data. Pages that
+    /// are entirely zero are skipped, so a mostly-empty 64 MiB RAM
+    /// exports as a few hundred KiB. Call only at a step boundary (no
+    /// hart mid-instruction) — the capture reads each byte relaxed.
+    pub fn export_state(&self) -> BusState {
+        let size = self.inner.ram.len();
+        let mut pages = Vec::new();
+        let mut off = 0usize;
+        while off < size {
+            let end = (off + SNAPSHOT_PAGE as usize).min(size);
+            let page = &self.inner.ram[off..end];
+            if page.iter().any(|b| b.load(Ordering::Relaxed) != 0) {
+                pages.push((
+                    off as u64,
+                    page.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                ));
+            }
+            off = end;
+        }
+        let (console, value_log) = {
+            let m = self.inner.mmio.lock().unwrap_or_else(|e| e.into_inner());
+            (m.console.clone(), m.value_log.clone())
+        };
+        BusState {
+            ram_base: self.inner.ram_base,
+            ram_size: size as u64,
+            harts: self.harts() as u64,
+            pages,
+            console,
+            value_log,
+            res: self
+                .inner
+                .res
+                .iter()
+                .map(|r| r.load(Ordering::SeqCst))
+                .collect(),
+            res_mask: self.inner.res_mask.load(Ordering::SeqCst),
+            res_breaks: self.inner.res_breaks.load(Ordering::Relaxed),
+            halt_codes: self
+                .inner
+                .halt_codes
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            halted_mask: self.inner.halted_mask.load(Ordering::Acquire),
+            code_lines: self
+                .inner
+                .code_lines
+                .iter()
+                .enumerate()
+                .filter_map(|(i, w)| {
+                    let v = w.load(Ordering::SeqCst);
+                    (v != 0).then_some((i as u64, v))
+                })
+                .collect(),
+            code_epoch: self.inner.code_epoch.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Overwrite this bus's entire state from a captured [`BusState`].
+    /// The bus must have the same shape (base, size, hart count) —
+    /// snapshots restore onto a machine rebuilt with the same recipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn import_state(&self, s: &BusState) {
+        assert_eq!(s.ram_base, self.inner.ram_base, "snapshot ram_base");
+        assert_eq!(s.ram_size, self.inner.ram.len() as u64, "snapshot ram_size");
+        assert_eq!(s.harts, self.harts() as u64, "snapshot hart count");
+        for b in self.inner.ram.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        for (off, bytes) in &s.pages {
+            for (k, b) in bytes.iter().enumerate() {
+                self.inner.ram[*off as usize + k].store(*b, Ordering::Relaxed);
+            }
+        }
+        {
+            let mut m = self.inner.mmio.lock().unwrap_or_else(|e| e.into_inner());
+            m.console = s.console.clone();
+            m.value_log = s.value_log.clone();
+        }
+        for (r, v) in self.inner.res.iter().zip(&s.res) {
+            r.store(*v, Ordering::SeqCst);
+        }
+        self.inner.res_mask.store(s.res_mask, Ordering::SeqCst);
+        self.inner.res_breaks.store(s.res_breaks, Ordering::Relaxed);
+        for (c, v) in self.inner.halt_codes.iter().zip(&s.halt_codes) {
+            c.store(*v, Ordering::Relaxed);
+        }
+        for w in self.inner.code_lines.iter() {
+            w.store(0, Ordering::SeqCst);
+        }
+        for (i, v) in &s.code_lines {
+            self.inner.code_lines[*i as usize].store(*v, Ordering::SeqCst);
+        }
+        self.inner.code_epoch.store(s.code_epoch, Ordering::SeqCst);
+        // Release-publish last so halted() readers observe a coherent
+        // code/mask pair, mirroring the store() ordering.
+        self.inner
+            .halted_mask
+            .store(s.halted_mask, Ordering::Release);
+    }
+
     /// Invalidate other harts' reservations overlapping the stored
     /// range. One relaxed mask load keeps the common (no reservations)
     /// path free.
@@ -653,6 +801,48 @@ mod tests {
         b.mark_code_lines(0x8000_0080, 64);
         b.write_bytes(0x8000_0080, &[0u8; 16]);
         assert_eq!(b.code_epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn bus_state_roundtrips() {
+        let b = Bus::with_harts(DEFAULT_RAM_BASE, 64 << 10, 2);
+        b.write_u64(DEFAULT_RAM_BASE + 8, 0xfeed);
+        b.write_u64(DEFAULT_RAM_BASE + 0x5000, 0xbeef);
+        b.store(mmio::CONSOLE_TX, 1, b'x' as u64).unwrap();
+        b.store(mmio::VALUE_LOG, 8, 99).unwrap();
+        b.lr_load(DEFAULT_RAM_BASE + 0x40, 8).unwrap();
+        b.mark_code_lines(DEFAULT_RAM_BASE, 64);
+        b.for_hart(1).store(mmio::HALT, 8, 7).unwrap();
+
+        let s = b.export_state();
+        assert!(s.pages.len() >= 2, "two dirty pages captured");
+        let fresh = Bus::with_harts(DEFAULT_RAM_BASE, 64 << 10, 2);
+        fresh.import_state(&s);
+        assert_eq!(fresh.read_u64(DEFAULT_RAM_BASE + 8), 0xfeed);
+        assert_eq!(fresh.read_u64(DEFAULT_RAM_BASE + 0x5000), 0xbeef);
+        assert_eq!(fresh.console_string(), "x");
+        assert_eq!(fresh.value_log(), vec![99]);
+        assert_eq!(fresh.reserved_line(), Some(DEFAULT_RAM_BASE + 0x40));
+        assert_eq!(fresh.halted_of(1), Some(7));
+        assert_eq!(fresh.halted_of(0), None);
+        assert_eq!(fresh.code_epoch(), b.code_epoch());
+        assert_eq!(fresh.export_state(), s, "re-export is stable");
+        // The imported code-line marks still invalidate.
+        let e0 = fresh.code_epoch();
+        fresh.store(DEFAULT_RAM_BASE + 16, 8, 1).unwrap();
+        assert_eq!(fresh.code_epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn import_overwrites_stale_contents() {
+        let b = Bus::new(DEFAULT_RAM_BASE, 8 << 10);
+        b.write_u64(DEFAULT_RAM_BASE, 1);
+        let s = b.export_state();
+        let other = Bus::new(DEFAULT_RAM_BASE, 8 << 10);
+        other.write_u64(DEFAULT_RAM_BASE + 0x1000, 0xdead);
+        other.import_state(&s);
+        assert_eq!(other.read_u64(DEFAULT_RAM_BASE), 1);
+        assert_eq!(other.read_u64(DEFAULT_RAM_BASE + 0x1000), 0, "zeroed");
     }
 
     #[test]

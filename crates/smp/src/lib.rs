@@ -199,6 +199,27 @@ impl Smp {
         self.shoot.quiesced()
     }
 
+    /// The interleaver's mutable state `(cursor, quantum_used, rng)`
+    /// (snapshot seam). Together with the [`Schedule`] — part of the
+    /// machine recipe — this replays the exact same hart-pick sequence.
+    pub fn sched_state(&self) -> (usize, u64, u64) {
+        (self.cursor, self.quantum_used, self.rng)
+    }
+
+    /// Restore interleaver state captured by [`Smp::sched_state`]. The
+    /// schedule itself must already match (it is rebuilt, not restored).
+    pub fn set_sched_state(&mut self, cursor: usize, quantum_used: u64, rng: u64) {
+        self.cursor = cursor;
+        self.quantum_used = quantum_used;
+        self.rng = rng;
+    }
+
+    /// The active schedule (snapshot seam: verified against the recipe
+    /// on restore).
+    pub fn schedule(&self) -> Schedule {
+        self.sched
+    }
+
     /// Pick the next hart from `runnable` (non-empty) per the schedule.
     fn pick(&mut self, runnable: &[usize]) -> usize {
         match self.sched {

@@ -249,6 +249,117 @@ impl BranchPredictor {
     }
 }
 
+// ---- snapshot/restore ----
+//
+// The timing models are host-side but their state is guest-visible
+// through `rdcycle`, so snapshots must carry it. Everything serializes
+// to plain `u64` words: the owning `PipelineModel` concatenates the
+// component streams in a fixed order and the geometry (slot counts,
+// capacities) is implied by the config the restored model was built
+// with.
+
+/// Cursor over a flat word stream produced by the `save_words` methods.
+pub(crate) struct WordReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> WordReader<'a> {
+    pub(crate) fn new(words: &'a [u64]) -> WordReader<'a> {
+        WordReader { words, pos: 0 }
+    }
+
+    /// Next word; a truncated stream is a host harness bug (the stream
+    /// is length-checked by the snapshot container before it gets here),
+    /// so running out reads as zero rather than panicking mid-restore.
+    pub(crate) fn next(&mut self) -> u64 {
+        let v = self.words.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        v
+    }
+}
+
+impl CacheModel {
+    pub(crate) fn save_words(&self, out: &mut Vec<u64>) {
+        out.push(self.tick);
+        out.push(self.last_line);
+        out.push(self.last_slot as u64);
+        out.push(self.stats.hits);
+        out.push(self.stats.misses);
+        for &(tag, stamp, valid) in &self.slots {
+            out.push(tag);
+            out.push(stamp);
+            out.push(valid as u64);
+        }
+    }
+
+    pub(crate) fn load_words(&mut self, r: &mut WordReader<'_>) {
+        self.tick = r.next();
+        self.last_line = r.next();
+        self.last_slot = (r.next() as usize).min(self.slots.len().saturating_sub(1));
+        self.stats.hits = r.next();
+        self.stats.misses = r.next();
+        for slot in &mut self.slots {
+            *slot = (r.next(), r.next(), r.next() != 0);
+        }
+    }
+}
+
+impl TlbModel {
+    pub(crate) fn save_words(&self, out: &mut Vec<u64>) {
+        out.push(self.tick);
+        out.push(self.stats.hits);
+        out.push(self.stats.misses);
+        out.push(self.entries.len() as u64);
+        // Entry order is the scan order (hits swap to the front), so it
+        // is part of the state, not an implementation detail.
+        for &(vpn, stamp) in &self.entries {
+            out.push(vpn);
+            out.push(stamp);
+        }
+    }
+
+    pub(crate) fn load_words(&mut self, r: &mut WordReader<'_>) {
+        self.tick = r.next();
+        self.stats.hits = r.next();
+        self.stats.misses = r.next();
+        let n = (r.next() as usize).min(self.capacity);
+        self.entries.clear();
+        for _ in 0..n {
+            let vpn = r.next();
+            let stamp = r.next();
+            self.entries.push((vpn, stamp));
+        }
+    }
+}
+
+impl BranchPredictor {
+    pub(crate) fn save_words(&self, out: &mut Vec<u64>) {
+        out.push(self.history);
+        out.push(self.stats.hits);
+        out.push(self.stats.misses);
+        for &c in &self.counters {
+            out.push(c as u64);
+        }
+        for &(pc, valid) in &self.btb {
+            out.push(pc);
+            out.push(valid as u64);
+        }
+    }
+
+    pub(crate) fn load_words(&mut self, r: &mut WordReader<'_>) {
+        self.history = r.next();
+        self.stats.hits = r.next();
+        self.stats.misses = r.next();
+        for c in &mut self.counters {
+            *c = r.next() as u8 & 3;
+        }
+        for slot in &mut self.btb {
+            *slot = (r.next(), r.next() != 0);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,7 +16,7 @@
 
 use isa_sim::{Kind, Retired, TimingSink};
 
-use crate::cache::{BranchPredictor, CacheModel, CacheParams, TlbModel};
+use crate::cache::{BranchPredictor, CacheModel, CacheParams, TlbModel, WordReader};
 
 /// All knobs of the cycle model.
 #[derive(Debug, Clone, Copy)]
@@ -446,6 +446,71 @@ impl TimingSink for PipelineModel {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    /// Serialize all mutable model state. Guest code observes modeled
+    /// cycles through `rdcycle`, so a restored machine must resume with
+    /// exactly the warmth (cache tags, TLB order, predictor counters)
+    /// the snapshotted one had, or cycle counts diverge.
+    fn save_state(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        out.push(self.frac);
+        let s = &self.stats;
+        out.extend_from_slice(&[
+            s.events,
+            s.cycles,
+            s.fetch_stall,
+            s.data_stall,
+            s.branch_stall,
+            s.serialize_stall,
+            s.trap_stall,
+            s.walk_stall,
+            s.pcu_stall,
+            s.gate_cycles,
+            s.shootdown_stall,
+        ]);
+        self.l1i.save_words(&mut out);
+        self.l1d.save_words(&mut out);
+        if let Some(l2) = &self.l2 {
+            l2.save_words(&mut out);
+        }
+        if let Some(l3) = &self.l3 {
+            l3.save_words(&mut out);
+        }
+        self.itlb.save_words(&mut out);
+        self.dtlb.save_words(&mut out);
+        self.bp.save_words(&mut out);
+        out
+    }
+
+    /// Restore state saved by [`TimingSink::save_state`] on a model built
+    /// with the *same* [`TimingConfig`] (geometry is implied, not stored).
+    fn load_state(&mut self, words: &[u64]) {
+        let mut r = WordReader::new(words);
+        self.frac = r.next();
+        let s = &mut self.stats;
+        s.events = r.next();
+        s.cycles = r.next();
+        s.fetch_stall = r.next();
+        s.data_stall = r.next();
+        s.branch_stall = r.next();
+        s.serialize_stall = r.next();
+        s.trap_stall = r.next();
+        s.walk_stall = r.next();
+        s.pcu_stall = r.next();
+        s.gate_cycles = r.next();
+        s.shootdown_stall = r.next();
+        self.l1i.load_words(&mut r);
+        self.l1d.load_words(&mut r);
+        if let Some(l2) = &mut self.l2 {
+            l2.load_words(&mut r);
+        }
+        if let Some(l3) = &mut self.l3 {
+            l3.load_words(&mut r);
+        }
+        self.itlb.load_words(&mut r);
+        self.dtlb.load_words(&mut r);
+        self.bp.load_words(&mut r);
+    }
 }
 
 #[cfg(test)]
@@ -644,6 +709,57 @@ mod tests {
         e3.pc = 0x8000_0008;
         m.retire(&e3);
         assert!(m.stats.walk_stall > warm, "post-flush access must re-walk");
+    }
+
+    #[test]
+    fn saved_state_resumes_cycle_identical() {
+        // Warm a model with a mixed stream, save, load into a fresh
+        // model, then feed both the same continuation: every retire must
+        // return the same cycle count (rdcycle-visible determinism).
+        fn step(m: &mut PipelineModel, i: u64, lcg: &mut u64) -> u64 {
+            *lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mut e = ev(0x8000_0000 + (i % 64) * 4);
+            match (*lcg >> 33) % 4 {
+                0 => {
+                    e.kind = Some(Kind::Ld);
+                    e.walk_reads = 2;
+                    e.mem = Some(MemAccess {
+                        vaddr: 0x4000 + (*lcg >> 40) % 0x8000,
+                        paddr: 0x8100_0000 + (*lcg >> 40) % 0x8000,
+                        len: 8,
+                        write: false,
+                    });
+                }
+                1 => {
+                    e.kind = Some(Kind::Beq);
+                    e.branch_taken = (*lcg >> 13) & 1 == 1;
+                }
+                2 => e.kind = Some(Kind::Jal),
+                _ => {}
+            }
+            m.retire(&e)
+        }
+        for cfg in [TimingConfig::rocket(), TimingConfig::o3()] {
+            let mut warm = PipelineModel::new(cfg);
+            let mut lcg: u64 = 99;
+            for i in 0..400 {
+                step(&mut warm, i, &mut lcg);
+            }
+            let words = warm.save_state();
+            let mut restored = PipelineModel::new(cfg);
+            restored.load_state(&words);
+            assert_eq!(restored.stats, warm.stats, "{}", cfg.name);
+            for i in 400..800 {
+                let mut lcg_b = lcg;
+                let a = step(&mut warm, i, &mut lcg);
+                let b = step(&mut restored, i, &mut lcg_b);
+                assert_eq!(a, b, "{}: cycle divergence at step {i}", cfg.name);
+                assert_eq!(lcg, lcg_b);
+            }
+            assert_eq!(restored.stats, warm.stats, "{}", cfg.name);
+        }
     }
 
     #[test]

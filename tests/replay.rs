@@ -1,0 +1,351 @@
+//! isa-replay end to end: whole-machine snapshot/restore is
+//! bit-identical, the differential interpreter oracle stays silent on a
+//! correct machine and reports a first divergence on a sabotaged one,
+//! and the serving harness resumes from a snapshot with the same
+//! completion digest as an unbroken run.
+
+use isa_asm::{Asm, Program, Reg::*};
+use isa_grid::{DomainSpec, GridLayout, Pcu, PcuConfig};
+use isa_grid_bench::serve::{resume_run, run, run_hooked, ServeConfig, ServeHooks};
+use isa_replay::wire::{KIND_SNAPSHOT, SCHEMA_VERSION};
+use isa_replay::{
+    capture_machine, capture_smp, decode_snapshot, encode_snapshot, restore_machine, restore_smp,
+    state_digest, Dec, SpecMachine, WireError,
+};
+use isa_sim::csr::addr;
+use isa_sim::{mmio, Bus, Kind, Machine, DEFAULT_RAM_BASE as RAM, DEFAULT_RAM_SIZE};
+use isa_smp::Smp;
+use proptest::prelude::*;
+
+const TMEM: u64 = 0x8380_0000;
+
+/// A domain allowed the CSR instruction class and `stvec`, but *not*
+/// `SFENCE.VMA` — the denied instruction the seeded-bug test leans on.
+fn guest_domain() -> DomainSpec {
+    let mut d = DomainSpec::compute_only();
+    d.allow_insts([
+        Kind::Csrrw,
+        Kind::Csrrs,
+        Kind::Csrrc,
+        Kind::Csrrwi,
+        Kind::Csrrsi,
+        Kind::Csrrci,
+    ]);
+    d.allow_csr_rw(addr::STVEC);
+    d
+}
+
+/// M-mode prologue to S-mode, then a CSR-writing loop with a single
+/// `SFENCE.VMA` (denied by [`guest_domain`]) dropped in when `sfence`
+/// is set. Grid faults land in `mtrap`, which halts with `mcause`.
+fn guest_program(iters: u64, sfence: bool) -> Program {
+    let mut a = Asm::new(RAM);
+    a.la(T0, "mtrap");
+    a.csrw(addr::MTVEC as u32, T0);
+    a.li(T1, 0b11 << 11);
+    a.csrrc(Zero, addr::MSTATUS as u32, T1);
+    a.li(T1, 0b01 << 11);
+    a.csrrs(Zero, addr::MSTATUS as u32, T1);
+    a.la(T0, "kernel");
+    a.csrw(addr::MEPC as u32, T0);
+    a.mret();
+
+    a.label("kernel");
+    a.li(T2, iters);
+    a.label("loop");
+    a.csrw(addr::STVEC as u32, T2);
+    a.xor(A1, A1, T2);
+    if sfence {
+        // Fires once, mid-loop: denied by the instruction bitmap.
+        a.li(T3, iters / 2);
+        a.bne(T2, T3, "skip");
+        a.sfence_vma(Zero, Zero);
+        a.label("skip");
+    }
+    a.addi(T2, T2, -1);
+    a.bnez(T2, "loop");
+    a.li(A0, 0xAA);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+
+    a.label("mtrap");
+    a.csrr(A0, addr::MCAUSE as u32);
+    a.li(T6, mmio::HALT);
+    a.sd(A0, T6, 0);
+    a.nop();
+    a.assemble().expect("guest program assembles")
+}
+
+/// A fresh single-hart machine over `prog` with installed grid tables
+/// and the guest domain forced. Deterministic: calling it twice yields
+/// bit-identical machines (the restore contract's "same recipe").
+fn build_machine(prog: &Program) -> Machine<Pcu> {
+    let bus = Bus::with_harts(RAM, DEFAULT_RAM_SIZE, 1);
+    bus.write_bytes(prog.base, &prog.bytes);
+    let mut pcu = Pcu::new(PcuConfig::eight_e());
+    let mut b0 = bus.for_hart(0);
+    pcu.install(&mut b0, GridLayout::new(TMEM, 1 << 20));
+    let d = pcu.add_domain(&mut b0, &guest_domain());
+    let mut m = Machine::on_bus(pcu, bus.for_hart(0));
+    m.cpu.pc = prog.base;
+    m.ext.force_domain(d);
+    m.set_bbcache(true);
+    m
+}
+
+/// A fresh `harts`-wide SMP machine, every hart running `prog` in the
+/// guest domain with shared tables and a live shootdown cell.
+fn build_smp(prog: &Program, harts: usize) -> Smp {
+    let bus = Bus::with_harts(RAM, DEFAULT_RAM_SIZE, harts);
+    bus.write_bytes(prog.base, &prog.bytes);
+    let mut pcu0 = Pcu::new(PcuConfig::eight_e());
+    let mut b0 = bus.for_hart(0);
+    pcu0.install(&mut b0, GridLayout::new(TMEM, 1 << 20));
+    let d = pcu0.add_domain(&mut b0, &guest_domain());
+    let snap = pcu0.snapshot();
+    let mut smp = Smp::new(&bus, |_h, hb| {
+        let mut m = Machine::on_bus(snap.build(), hb);
+        m.cpu.pc = prog.base;
+        m.set_bbcache(true);
+        m
+    });
+    for h in 0..harts {
+        smp.machine_mut(h).ext.force_domain(d);
+    }
+    smp
+}
+
+#[test]
+fn snapshot_restore_continuation_is_bit_identical() {
+    let prog = guest_program(400, false);
+    let mut a = build_machine(&prog);
+    for _ in 0..777 {
+        a.step();
+    }
+    let frame = encode_snapshot(&capture_machine(&a));
+    let snap = decode_snapshot(&frame).expect("snapshot decodes");
+
+    let mut b = build_machine(&prog);
+    restore_machine(&mut b, &snap).expect("snapshot restores into the same recipe");
+    assert_eq!(
+        state_digest(&capture_machine(&a)),
+        state_digest(&capture_machine(&b)),
+        "restored machine must be state-identical to the source"
+    );
+
+    // The continuation must stay bit-identical to the never-stopped run.
+    for step in 0..20_000u64 {
+        if a.bus.halted().is_some() {
+            break;
+        }
+        a.step();
+        b.step();
+        assert_eq!(a.cpu.pc, b.cpu.pc, "pc diverged at step {step}");
+    }
+    assert_eq!(a.bus.halted(), Some(0xAA), "clean run halts with 0xAA");
+    assert_eq!(a.bus.halted(), b.bus.halted());
+    assert_eq!(
+        state_digest(&capture_machine(&a)),
+        state_digest(&capture_machine(&b))
+    );
+}
+
+#[test]
+fn snapshot_rejects_foreign_schema_and_corruption() {
+    let prog = guest_program(16, false);
+    let m = build_machine(&prog);
+    let frame = encode_snapshot(&capture_machine(&m));
+
+    // Future schema: version is checked before the digest.
+    let mut future = frame.clone();
+    future[4..8].copy_from_slice(&(SCHEMA_VERSION + 1).to_le_bytes());
+    assert!(matches!(
+        Dec::open(&future, KIND_SNAPSHOT).unwrap_err(),
+        WireError::BadVersion { found } if found == SCHEMA_VERSION + 1
+    ));
+
+    // A flipped payload bit fails the frame digest.
+    let mut bad = frame.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x10;
+    assert!(matches!(
+        decode_snapshot(&bad).unwrap_err(),
+        WireError::BadDigest
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Snapshot an SMP run at a random point, restore into a freshly
+    /// built machine, and race both to completion: per-hart halt codes
+    /// and the final whole-machine digest must match for 1 and 4 harts.
+    #[test]
+    fn smp_snapshot_roundtrips_at_any_point(
+        harts in prop_oneof![Just(1usize), Just(4usize)],
+        split in 50u64..2_000,
+        iters in 100u64..400,
+    ) {
+        let prog = guest_program(iters, false);
+        let mut a = build_smp(&prog, harts);
+        for _ in 0..split {
+            if (0..harts).all(|h| a.machine(h).bus.halted().is_some()) {
+                break;
+            }
+            a.step();
+        }
+        let frame = encode_snapshot(&capture_smp(&a, 0));
+        let snap = decode_snapshot(&frame).expect("snapshot decodes");
+        let mut b = build_smp(&prog, harts);
+        restore_smp(&mut b, &snap).expect("snapshot restores into the same recipe");
+        prop_assert_eq!(
+            state_digest(&capture_smp(&a, 0)),
+            state_digest(&capture_smp(&b, 0))
+        );
+
+        for _ in 0..1_000_000u64 {
+            if (0..harts).all(|h| a.machine(h).bus.halted().is_some()) {
+                break;
+            }
+            a.step();
+            b.step();
+        }
+        for h in 0..harts {
+            prop_assert_eq!(a.machine(h).bus.halted(), b.machine(h).bus.halted());
+            prop_assert_eq!(a.machine(h).bus.halted(), Some(0xAA));
+        }
+        prop_assert_eq!(
+            state_digest(&capture_smp(&a, 0)),
+            state_digest(&capture_smp(&b, 0))
+        );
+    }
+}
+
+#[test]
+fn oracle_stays_silent_on_a_correct_machine() {
+    let prog = guest_program(300, false);
+    let mut fast = build_machine(&prog);
+    // Warm the caches first so the oracle checks the cached fast path.
+    for _ in 0..100 {
+        fast.step();
+    }
+    let mut spec = SpecMachine::fork(&fast);
+    assert!(spec.check(&fast).is_none(), "fork must start state-equal");
+    for step in 0..20_000u64 {
+        if fast.bus.halted().is_some() {
+            break;
+        }
+        fast.step();
+        if let Some(d) = spec.step_and_check(&fast) {
+            panic!("false divergence at step {step}: {d}");
+        }
+    }
+    assert_eq!(fast.bus.halted(), Some(0xAA));
+    assert!(
+        spec.check_memory(&fast).is_none(),
+        "guest-visible memory must match at halt"
+    );
+}
+
+#[test]
+fn oracle_catches_the_seeded_check_skip() {
+    let prog = guest_program(300, true);
+
+    // Sanity: an honest machine traps the denied SFENCE.VMA.
+    let mut honest = build_machine(&prog);
+    for _ in 0..20_000 {
+        if honest.bus.halted().is_some() {
+            break;
+        }
+        honest.step();
+    }
+    assert_eq!(
+        honest.bus.halted(),
+        Some(isa_sim::Exception::CAUSE_GRID_INST),
+        "the mid-loop sfence must die on the instruction bitmap"
+    );
+
+    // Sabotage the fast machine: the test-only flag swallows the
+    // denial. The flag is deliberately not part of the exported PCU
+    // state, so the forked oracle enforces the real policy.
+    let mut fast = build_machine(&prog);
+    fast.ext.set_skip_inst_check(true);
+    let mut spec = SpecMachine::fork(&fast);
+    let mut divergence = None;
+    for _ in 0..20_000u64 {
+        if fast.bus.halted().is_some() {
+            break;
+        }
+        fast.step();
+        if let Some(d) = spec.step_and_check(&fast) {
+            divergence = Some(d);
+            break;
+        }
+    }
+    let d = divergence.expect("the skipped check must surface as a divergence");
+    // First divergence: the fast machine sailed past the sfence while
+    // the oracle vectored to mtrap — the PCs split at that instruction.
+    assert_eq!(d.what, "pc", "unexpected divergence report: {d}");
+    assert_eq!(d.hart, 0);
+    assert!(
+        d.detail.contains("fast") && d.detail.contains("oracle"),
+        "report must carry both values: {d}"
+    );
+}
+
+#[test]
+fn serve_resumes_bit_identically_at_1_and_4_harts() {
+    for harts in [1usize, 4] {
+        let mut cfg = ServeConfig::new(8, 400, harts, 11);
+        cfg.rotate_every = 64;
+        cfg.flush_every = 16;
+        let unbroken = run(&cfg);
+        assert_eq!(unbroken.completed, 400);
+
+        let hooks = ServeHooks {
+            snapshot_at: 200,
+            ..Default::default()
+        };
+        let first = run_hooked(&cfg, &hooks);
+        assert_eq!(
+            first.outcome.digest, unbroken.digest,
+            "taking a snapshot must not perturb the run ({harts} harts)"
+        );
+        let frame = first.snapshot.expect("snapshot_at fired");
+        let resumed = resume_run(&frame, &ServeHooks::default()).expect("serve snapshot resumes");
+        assert_eq!(
+            resumed.outcome.digest, unbroken.digest,
+            "resumed completion digest must match the unbroken run ({harts} harts)"
+        );
+        assert_eq!(resumed.outcome.completed, unbroken.completed);
+        assert_eq!(resumed.outcome.denied, unbroken.denied);
+        assert_eq!(resumed.outcome.vcycles, unbroken.vcycles);
+        assert_eq!(resumed.outcome.rounds, unbroken.rounds);
+        assert_eq!(
+            resumed.outcome.latency.percentile(99.0),
+            unbroken.latency.percentile(99.0),
+            "figure rows (tail latency) must match ({harts} harts)"
+        );
+        assert_eq!(resumed.outcome.counters.run.restores, 1);
+    }
+}
+
+#[test]
+fn serve_oracle_verifies_rounds_without_divergence() {
+    let mut cfg = ServeConfig::new(6, 150, 2, 5);
+    cfg.rotate_every = 32;
+    let hooks = ServeHooks {
+        oracle_every: 25,
+        record: true,
+        ..Default::default()
+    };
+    let run = run_hooked(&cfg, &hooks);
+    assert!(run.divergence.is_none(), "clean run: {:?}", run.divergence);
+    assert!(run.oracle_checks > 0, "the oracle must actually have run");
+    assert_eq!(run.outcome.counters.run.oracle_checks, run.oracle_checks);
+    assert!(!run.log.is_empty(), "record mode must log host events");
+    // The log round-trips through its wire frame.
+    let decoded = isa_replay::EventLog::decode(&run.log.encode()).expect("event log decodes");
+    assert_eq!(decoded.first_divergence(&run.log), None);
+}

@@ -198,3 +198,83 @@ fn shootdown_faults_the_very_next_privileged_write() {
         "hart 1 committed {window} steps after revocation — stale window"
     );
 }
+
+/// Deterministic shootdown arena: the [`Smp`] of
+/// [`shootdown_faults_the_very_next_privileged_write`], rebuildable
+/// bit-identically (the snapshot-restore "same recipe" contract).
+fn shootdown_smp() -> (Smp, Program, isa_grid::DomainId) {
+    let (bus, prog, pcu0, d) = arena();
+    let snap = pcu0.snapshot();
+    let mut smp = Smp::new(&bus, |h, hb| {
+        let mut m = Machine::on_bus(snap.build(), hb);
+        m.cpu.pc = prog.symbol(if h == 0 { "h0" } else { "h1" });
+        m
+    });
+    smp.machine_mut(1).ext.force_domain(d);
+    (smp, prog, d)
+}
+
+mod mid_shootdown_snapshot {
+    use super::*;
+    use isa_replay::{capture_smp, decode_snapshot, encode_snapshot, restore_smp, state_digest};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Extension of the revocation-window oracle: snapshot the
+        /// machine *inside* the window — epoch published by hart 0,
+        /// not yet acknowledged by hart 1 — and restore it. The
+        /// restored machine must replay the pending acknowledgment:
+        /// hart 1's very next privileged write dies on the grid CSR
+        /// check exactly as in the unbroken run, never on a stale
+        /// allow. (The encoder fails closed instead of silently
+        /// dropping shootdown state: a snapshot that cannot represent
+        /// the pending epoch is rejected at decode, not patched up.)
+        #[test]
+        fn restoring_inside_the_revocation_window_replays_the_ack(
+            prime in 40u64..160,
+        ) {
+            let (mut a, _prog, d) = shootdown_smp();
+            for _ in 0..prime {
+                a.step();
+            }
+            prop_assert_eq!(a.machine(0).bus.halted(), Some(0));
+            prop_assert_eq!(a.machine(1).ext.stats.faults, 0);
+
+            // Revoke stvec from hart 0: table write + epoch publish.
+            {
+                let m0 = a.machine_mut(0);
+                m0.ext.update_domain(&mut m0.bus, d, &without_stvec());
+            }
+            prop_assert!(!a.quiesced(), "snapshot point must be inside the window");
+
+            // Snapshot mid-shootdown, restore into a fresh recipe.
+            let frame = encode_snapshot(&capture_smp(&a, 0));
+            let snap = decode_snapshot(&frame).expect("mid-shootdown snapshot decodes");
+            let (mut b, _, _) = shootdown_smp();
+            restore_smp(&mut b, &snap).expect("mid-shootdown snapshot restores");
+            prop_assert!(
+                !b.quiesced(),
+                "the pending epoch must survive the round trip"
+            );
+            prop_assert_eq!(
+                state_digest(&capture_smp(&a, 0)),
+                state_digest(&capture_smp(&b, 0))
+            );
+
+            // Both replicas must fault hart 1's next privileged write.
+            let ea = a.run(LOOP_ITERS * 8).unwrap();
+            let eb = b.run(LOOP_ITERS * 8).unwrap();
+            prop_assert_eq!(&ea, &eb, "restored run must match the unbroken run");
+            prop_assert_eq!(
+                eb[1],
+                Exit::Halted(Exception::CAUSE_GRID_CSR),
+                "the revoked write must fault after restore — no stale allow"
+            );
+            prop_assert!(b.quiesced(), "hart 1 acknowledged the replayed epoch");
+            prop_assert_eq!(b.machine(1).ext.stats.faults, 1);
+            prop_assert!(b.machine(1).ext.stats.shootdowns_taken >= 1);
+        }
+    }
+}
