@@ -60,6 +60,7 @@ fn main() {
     cfg.rotate_every = args.u64("--rotate-every");
     cfg.probe_every = args.u64("--probe-every");
     cfg.profile = args.profile.is_some();
+    cfg.jit = args.jit;
 
     let oracle_every = args.u64("--oracle-every");
     let outcome = if oracle_every > 0 {

@@ -26,6 +26,9 @@ pub struct Bar {
     /// Summed basic-block-cache tallies across every run of this bar
     /// (zero when the cache was disabled).
     pub bbcache: isa_obs::BbCounters,
+    /// Summed superblock-JIT tallies across every run of this bar
+    /// (zero under `--no-jit` / `--no-bbcache`).
+    pub jit: isa_obs::JitCounters,
 }
 
 impl Bar {
@@ -41,6 +44,7 @@ fn tally(bar: &mut Bar, runs: &[&measure::RunResult]) {
         bar.steps += r.steps;
         bar.host_secs += r.host_secs;
         bar.bbcache.merge(&r.counters.bbcache);
+        bar.jit.merge(&r.counters.jit);
     }
 }
 
@@ -80,6 +84,7 @@ pub fn fig5(iters: u64, bbcache: bool) -> Vec<Bar> {
                 steps: 0,
                 host_secs: 0.0,
                 bbcache: isa_obs::BbCounters::default(),
+                jit: isa_obs::JitCounters::default(),
             };
             tally(&mut bar, &[&native, &grid]);
             bar
@@ -123,6 +128,7 @@ pub fn fig67(platform: Platform, scale_div: u64, bbcache: bool) -> Vec<Bar> {
                 steps: 0,
                 host_secs: 0.0,
                 bbcache: isa_obs::BbCounters::default(),
+                jit: isa_obs::JitCounters::default(),
             };
             tally(&mut bar, &[&native, &grid]);
             bar
@@ -182,6 +188,7 @@ pub fn fig8(scale_div: u64, bbcache: bool) -> Vec<Bar> {
                 steps: 0,
                 host_secs: 0.0,
                 bbcache: isa_obs::BbCounters::default(),
+                jit: isa_obs::JitCounters::default(),
             };
             tally(&mut bar, &[&native, &mon, &mon_log]);
             bar
@@ -218,10 +225,12 @@ pub fn render(title: &str, bars: &[Bar]) -> report::Table {
 pub fn throughput_extras(t: &mut report::Table, bars: &[Bar]) {
     use isa_obs::ToJson;
     let mut bb = isa_obs::BbCounters::default();
+    let mut jit = isa_obs::JitCounters::default();
     let mut steps = 0u64;
     let mut secs = 0.0f64;
     for b in bars {
         bb.merge(&b.bbcache);
+        jit.merge(&b.jit);
         steps += b.steps;
         secs += b.host_secs;
     }
@@ -244,6 +253,7 @@ pub fn throughput_extras(t: &mut report::Table, bars: &[Bar]) {
         .collect();
     t.extra("host_mips_per_workload", isa_obs::Json::Obj(per));
     t.extra("bbcache", bb.to_json());
+    t.extra("jit", jit.to_json());
 }
 
 /// Geometric-mean normalized time across a figure's bars (variant `i`).

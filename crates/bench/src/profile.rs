@@ -15,8 +15,12 @@ use workloads::measure;
 
 /// Start profiling if the command line asked for it: turns on the
 /// thread-local workload profiler and names the initial scope after
-/// the binary. Returns whether profiling is on.
+/// the binary. Also applies the common `--no-jit` switch to the
+/// thread-local measurement harness (every binary calls `begin`, so
+/// this is the single place the flag takes effect). Returns whether
+/// profiling is on.
 pub fn begin(args: &Args, scope: &str) -> bool {
+    measure::set_jit(args.jit);
     if args.profile.is_none() {
         return false;
     }

@@ -305,8 +305,8 @@ impl std::error::Error for CliError {}
 /// Each binary declares its flags once; parsing then rejects unknown
 /// flags, missing values, and malformed integers with a non-zero exit
 /// and a generated `--help` listing. The common flags `--json`,
-/// `--csv`, `--no-bbcache`, `--profile <path>` and `--help` are
-/// declared for every binary.
+/// `--csv`, `--no-bbcache`, `--no-jit`, `--profile <path>` and
+/// `--help` are declared for every binary.
 ///
 /// ```
 /// use isa_grid_bench::report::Cli;
@@ -327,8 +327,8 @@ pub struct Cli {
 
 impl Cli {
     /// Start a registry for binary `bin`, pre-declaring the common
-    /// flags (`--json`, `--csv`, `--no-bbcache`, `--profile <path>`,
-    /// `--help`).
+    /// flags (`--json`, `--csv`, `--no-bbcache`, `--no-jit`,
+    /// `--profile <path>`, `--help`).
     pub fn new(bin: &'static str, about: &'static str) -> Cli {
         Cli {
             bin,
@@ -348,6 +348,11 @@ impl Cli {
                     name: "--no-bbcache",
                     kind: FlagKind::Bool,
                     help: "disable the simulator's basic-block cache",
+                },
+                FlagSpec {
+                    name: "--no-jit",
+                    kind: FlagKind::Bool,
+                    help: "disable the superblock JIT (keep the bbcache)",
                 },
                 FlagSpec {
                     name: "--profile",
@@ -520,6 +525,7 @@ impl Cli {
         Ok(Args {
             format,
             bbcache: !flag_on("--no-bbcache"),
+            jit: !flag_on("--no-jit"),
             profile,
             bools,
             u64s,
@@ -539,6 +545,8 @@ pub struct Args {
     pub format: Format,
     /// Basic-block cache enabled (i.e. `--no-bbcache` absent).
     pub bbcache: bool,
+    /// Superblock JIT enabled (i.e. `--no-jit` absent).
+    pub jit: bool,
     /// Where to write the Perfetto profile (`--profile <path>`).
     pub profile: Option<String>,
     bools: Vec<(&'static str, bool)>,

@@ -168,6 +168,10 @@ pub struct ServeConfig {
     pub probe_every: u64,
     /// Capture per-hart cycle-attribution profiles.
     pub profile: bool,
+    /// Run the superblock JIT on every hart (default true; the `serve`
+    /// binary's `--no-jit` clears it). Digests and virtual-time results
+    /// are bit-identical either way.
+    pub jit: bool,
 }
 
 impl ServeConfig {
@@ -184,6 +188,7 @@ impl ServeConfig {
             rotate_every: 1024,
             probe_every: 0,
             profile: false,
+            jit: true,
         }
     }
 }
@@ -567,6 +572,7 @@ fn build_smp(cfg: &ServeConfig, prog: &Program) -> (Smp, Vec<DomainId>) {
     m0.ext.set_trusted_stack(tsb, tsb + TSTACK_STRIDE);
     m0.cpu.csrs.write_raw(addr::CPUINFO0, CPUINFO_VALUE);
     m0.set_bbcache(true);
+    m0.set_jit(cfg.jit);
     if cfg.profile {
         m0.set_profiler(ProfSink::enabled(0));
     }
@@ -579,6 +585,7 @@ fn build_smp(cfg: &ServeConfig, prog: &Program) -> (Smp, Vec<DomainId>) {
         m.ext.set_trusted_stack(base, base + TSTACK_STRIDE);
         m.cpu.csrs.write_raw(addr::CPUINFO0, CPUINFO_VALUE);
         m.set_bbcache(true);
+        m.set_jit(cfg.jit);
         if cfg.profile {
             m.set_profiler(ProfSink::enabled(h));
         }
@@ -829,6 +836,10 @@ impl ServeState {
             rotate_every,
             probe_every,
             profile,
+            // Host-side accelerator, not part of the deterministic
+            // recipe (digests are identical either way), so it is not
+            // serialized: resumed runs come up with the default.
+            jit: true,
         };
         let snap = decode_snapshot_payload(&mut d)?;
 
@@ -1257,6 +1268,8 @@ pub fn render(o: &ServeOutcome) -> Table {
     );
     t.extra("smp", o.counters.smp.to_json());
     t.extra("gate_calls", Json::U64(o.counters.gates.calls));
+    t.extra("oracle_checks", Json::U64(o.counters.run.oracle_checks));
+    t.extra("jit", o.counters.jit.to_json());
     t.extra("audit_denials", Json::U64(o.audit.len() as u64));
     t.extra("timeline", o.timeline.to_json());
     t.extra("total_steps", Json::U64(o.total_steps));

@@ -1960,4 +1960,71 @@ impl Extension for Pcu {
         // next-commit obligation as the privilege caches.
         self.shoot.as_ref().map_or(0, |c| c.epoch())
     }
+
+    fn jit_guard(&self, cpu: &CpuState) -> Option<isa_sim::JitGuard> {
+        // Vend a guard only when skipping the per-instruction
+        // `check_inst` call changes no architectural or exported state:
+        // no armed fault schedule (its clock is the commit counter, but
+        // injections poll the bus), no poisoned register file (denies
+        // outside M-mode), no pending or deferred shootdown (must flush
+        // before the next commit), no trace sink (emits per check).
+        if self.faults.is_some()
+            || self.poisoned
+            || self.trace.is_enabled()
+            || self.shoot_defer > 0
+            || self.shoot_defer_polls > 0
+        {
+            return None;
+        }
+        let epoch = match &self.shoot {
+            Some(cell) => {
+                if cell.pending(self.hart).is_some() {
+                    return None;
+                }
+                cell.epoch()
+            }
+            None => 0,
+        };
+        if !self.active(cpu) {
+            // M-mode / domain-0: `check_inst` early-outs past every
+            // cache and bitmap — the guard only replays the commit.
+            return Some(isa_sim::JitGuard {
+                active: false,
+                domain: self.regs.domain,
+                epoch,
+                words: [0; isa_sim::jit::GUARD_WORDS],
+            });
+        }
+        // The active fast path must be a pure read: the legal-
+        // instruction cache mutates exported recency state on every
+        // lookup, and a cold/foreign bypass register would walk the HPT
+        // caches. Both fall back to per-instruction checking.
+        if self.cfg.legal_cache > 0
+            || !(self.cfg.bypass && self.ipr.valid && self.ipr.domain == self.regs.domain)
+        {
+            return None;
+        }
+        // Guarding on the bitmap *contents* (not a version) makes a
+        // block exactly as fresh as the bypass register itself: any
+        // `pflh`, gate switch, or shootdown that would reload `ipr`
+        // with different bits fails the guard.
+        Some(isa_sim::JitGuard {
+            active: true,
+            domain: self.regs.domain,
+            epoch,
+            words: self.ipr.words,
+        })
+    }
+
+    fn jit_commit(&mut self, checked: bool) {
+        // Replays exactly what `check_inst` moves on the path the
+        // block's guard hoisted: the commit clock always, the check
+        // tallies only under an active regime. (`ev.checks` is not
+        // replayed: it is drained per step, observed only by the
+        // profiler and tracer, and both disqualify JIT dispatch.)
+        self.commits += 1;
+        if checked {
+            self.stats.inst_checks += 1;
+        }
+    }
 }

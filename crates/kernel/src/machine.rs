@@ -62,6 +62,11 @@ pub struct SimBuilder {
     /// off by the bench binaries' `--no-bbcache` escape hatch and by
     /// differential tests that want the uncached reference interpreter.
     pub bbcache: bool,
+    /// Enable the superblock JIT over the bbcache (default true; inert
+    /// when `bbcache` is off). Turned off by the bench binaries'
+    /// `--no-jit` escape hatch and by differential tests that want the
+    /// per-instruction dispatch loop.
+    pub jit: bool,
     /// Attach a cycle-attribution profiler to the machine (default
     /// false). Profiling observes committed steps only and never adds
     /// modeled cycles.
@@ -92,6 +97,7 @@ impl SimBuilder {
             trace_events: None,
             harts: 1,
             bbcache: true,
+            jit: true,
             profile: false,
             fault_seed: None,
             fault_rate_ppm: 0,
@@ -107,6 +113,12 @@ impl SimBuilder {
     /// Enable or disable the predecoded basic-block cache.
     pub fn bbcache(mut self, on: bool) -> SimBuilder {
         self.bbcache = on;
+        self
+    }
+
+    /// Enable or disable the superblock JIT (inert without the bbcache).
+    pub fn jit(mut self, on: bool) -> SimBuilder {
+        self.jit = on;
         self
     }
 
@@ -180,6 +192,7 @@ impl SimBuilder {
         );
         let mut m = Machine::on_bus(Pcu::new(self.pcu), bus);
         m.set_bbcache(self.bbcache);
+        m.set_jit(self.jit);
         m.timer_every = self.timer_every;
         if let Some(cap) = self.trace_events {
             let sink = isa_obs::TraceSink::ring(cap);
@@ -577,6 +590,9 @@ impl Sim {
         c.run.traps = self.machine.trap_counts.values().sum();
         if let Some(bb) = &self.machine.bbcache {
             c.bbcache = bb.stats.counters();
+        }
+        if let Some(jit) = &self.machine.jit {
+            c.jit = jit.stats.counters();
         }
         c
     }

@@ -113,18 +113,18 @@ impl Session {
             return SessionState::Halted(c.exit_code);
         }
         let t0 = std::time::Instant::now();
-        let state = (|| {
-            for _ in 0..quantum {
-                if let Some(code) = self.sim.machine.bus.halted() {
-                    return SessionState::Halted(code);
-                }
-                self.sim.machine.step();
+        let state = {
+            // `run_steps` routes the quantum through the superblock JIT
+            // when one is attached; blocks never cross the budget, so
+            // the virtual clock advances exactly as if stepped.
+            if self.sim.machine.bus.halted().is_none() {
+                self.sim.machine.run_steps(quantum);
             }
             match self.sim.machine.bus.halted() {
                 Some(code) => SessionState::Halted(code),
                 None => SessionState::Running,
             }
-        })();
+        };
         self.host_secs += t0.elapsed().as_secs_f64();
         state
     }
@@ -280,12 +280,9 @@ impl SmpSession {
             if m.bus.halted().is_some() {
                 continue;
             }
-            for _ in 0..self.quantum {
-                m.step();
-                if m.bus.halted().is_some() {
-                    break;
-                }
-            }
+            // JIT-accelerated quantum: identical step counts, halts
+            // observed at the causing store (MMIO stores deoptimize).
+            m.run_steps(self.quantum);
             stepped += 1;
         }
         self.rounds += 1;
@@ -308,6 +305,9 @@ impl SmpSession {
         let mut counters = m.ext.counters();
         if let Some(bb) = &m.bbcache {
             counters.bbcache = bb.stats.counters();
+        }
+        if let Some(jit) = &m.jit {
+            counters.jit = jit.stats.counters();
         }
         counters.run.steps = m.steps;
         let cycles = m.cpu.csrs.read_raw(isa_sim::csr::addr::CYCLE);

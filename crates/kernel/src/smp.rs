@@ -72,9 +72,10 @@ pub fn start_worker(sim: &Sim, hart: usize, entry: u64, domain: DomainId) -> Mac
         ));
     }
     let mut m = Machine::on_bus(pcu, bus);
-    // Workers inherit hart 0's basic-block cache setting so a
-    // `--no-bbcache` run is uncached on every hart.
+    // Workers inherit hart 0's basic-block cache and JIT settings so a
+    // `--no-bbcache` / `--no-jit` run is uniform on every hart.
     m.set_bbcache(sim.machine.bbcache.is_some());
+    m.set_jit(sim.machine.jit_enabled());
     m.cpu.pc = entry;
     // Stacks grow down from the heap top: worker h owns slot h.
     let sp = layout::USER_HEAP + layout::USER_HEAP_SIZE - hart as u64 * WORKER_STACK_STRIDE - 0x100;

@@ -9,10 +9,14 @@ use crate::json::{Json, ToJson};
 pub struct CacheCounters {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that had to refill from trusted memory.
+    /// Cold lookups: nothing (valid) was cached for the probed tag.
     pub misses: u64,
     /// Whole-cache flushes.
     pub flushes: u64,
+    /// Conflict evictions: a lookup found a *different* valid entry
+    /// occupying its direct-mapped slot. Tracked apart from `misses`
+    /// so capacity pressure does not skew [`CacheCounters::hit_rate`].
+    pub conflicts: u64,
 }
 
 impl CacheCounters {
@@ -39,6 +43,7 @@ impl CacheCounters {
         self.hits += other.hits;
         self.misses += other.misses;
         self.flushes += other.flushes;
+        self.conflicts += other.conflicts;
     }
 }
 
@@ -48,6 +53,7 @@ impl ToJson for CacheCounters {
             ("hits", Json::U64(self.hits)),
             ("misses", Json::U64(self.misses)),
             ("flushes", Json::U64(self.flushes)),
+            ("conflicts", Json::U64(self.conflicts)),
             ("hit_rate", Json::F64(self.hit_rate())),
         ])
     }
@@ -144,6 +150,58 @@ impl BbCounters {
 impl ToJson for BbCounters {
     fn to_json(&self) -> Json {
         Json::obj(self.named().map(|(n, c)| (n, c.to_json())))
+    }
+}
+
+/// Superblock-JIT tallies from the simulator's linked-block fast path.
+/// All zero when the JIT is disabled (`--no-jit` / `--no-bbcache`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JitCounters {
+    /// Superblocks compiled from hot bbcache pages.
+    pub compiled: u64,
+    /// Superblock executions entered through the dispatch map or a
+    /// resolved block link.
+    pub entered: u64,
+    /// Instructions retired inside superblocks (the JIT's share of
+    /// `run.steps`).
+    pub ops: u64,
+    /// Block-to-block transitions that used a resolved fallthrough or
+    /// taken link (no dispatch-map re-hash).
+    pub linked: u64,
+    /// Dispatches refused by the per-block privilege guard (domain or
+    /// coherence-epoch mismatch, pending shootdown, fault regime).
+    pub guard_misses: u64,
+    /// Early exits to the interpreter mid-block (trap, MMIO store,
+    /// code/coherence epoch movement at a store).
+    pub deopts: u64,
+    /// Whole-JIT invalidations (code or coherence epoch movement).
+    pub flushes: u64,
+}
+
+impl JitCounters {
+    /// Add another tally into this one.
+    pub fn merge(&mut self, other: &JitCounters) {
+        self.compiled += other.compiled;
+        self.entered += other.entered;
+        self.ops += other.ops;
+        self.linked += other.linked;
+        self.guard_misses += other.guard_misses;
+        self.deopts += other.deopts;
+        self.flushes += other.flushes;
+    }
+}
+
+impl ToJson for JitCounters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("compiled", Json::U64(self.compiled)),
+            ("entered", Json::U64(self.entered)),
+            ("ops", Json::U64(self.ops)),
+            ("linked", Json::U64(self.linked)),
+            ("guard_misses", Json::U64(self.guard_misses)),
+            ("deopts", Json::U64(self.deopts)),
+            ("flushes", Json::U64(self.flushes)),
+        ])
     }
 }
 
@@ -346,6 +404,8 @@ pub struct Counters {
     pub caches: CacheBank,
     /// Simulator basic-block cache tallies.
     pub bbcache: BbCounters,
+    /// Superblock-JIT tallies.
+    pub jit: JitCounters,
     /// Privilege-check verdict tallies.
     pub checks: CheckCounters,
     /// Gate / maintenance instruction tallies.
@@ -367,12 +427,21 @@ impl Counters {
             out.push((format!("caches.{name}.hits"), c.hits));
             out.push((format!("caches.{name}.misses"), c.misses));
             out.push((format!("caches.{name}.flushes"), c.flushes));
+            out.push((format!("caches.{name}.conflicts"), c.conflicts));
         }
         for (name, c) in self.bbcache.named() {
             out.push((format!("bbcache.{name}.hits"), c.hits));
             out.push((format!("bbcache.{name}.misses"), c.misses));
             out.push((format!("bbcache.{name}.flushes"), c.flushes));
+            out.push((format!("bbcache.{name}.conflicts"), c.conflicts));
         }
+        out.push(("jit.compiled".into(), self.jit.compiled));
+        out.push(("jit.entered".into(), self.jit.entered));
+        out.push(("jit.ops".into(), self.jit.ops));
+        out.push(("jit.linked".into(), self.jit.linked));
+        out.push(("jit.guard_misses".into(), self.jit.guard_misses));
+        out.push(("jit.deopts".into(), self.jit.deopts));
+        out.push(("jit.flushes".into(), self.jit.flushes));
         out.push(("checks.inst".into(), self.checks.inst));
         out.push(("checks.csr".into(), self.checks.csr));
         out.push(("checks.faults".into(), self.checks.faults));
@@ -424,6 +493,7 @@ impl Counters {
     pub fn merge(&mut self, other: &Counters) {
         self.caches.merge(&other.caches);
         self.bbcache.merge(&other.bbcache);
+        self.jit.merge(&other.jit);
         self.checks.inst += other.checks.inst;
         self.checks.csr += other.checks.csr;
         self.checks.faults += other.checks.faults;
@@ -478,6 +548,7 @@ impl ToJson for Counters {
         Json::obj([
             ("caches", self.caches.to_json()),
             ("bbcache", self.bbcache.to_json()),
+            ("jit", self.jit.to_json()),
             ("checks", self.checks.to_json()),
             ("gates", self.gates.to_json()),
             ("timing", self.timing.to_json()),
@@ -498,6 +569,7 @@ mod tests {
             hits: 3,
             misses: 1,
             flushes: 0,
+            conflicts: 0,
         };
         assert_eq!(c.hit_rate(), 0.75);
     }
@@ -509,6 +581,7 @@ mod tests {
             hits: 10,
             misses: 2,
             flushes: 1,
+            conflicts: 0,
         };
         c.checks.inst = 99;
         c.gates.calls = 7;
@@ -535,11 +608,13 @@ mod tests {
                 hits: 1,
                 misses: 2,
                 flushes: 0,
+                conflicts: 0,
             },
             legal: CacheCounters {
                 hits: 4,
                 misses: 0,
                 flushes: 3,
+                conflicts: 0,
             },
             ..CacheBank::default()
         };

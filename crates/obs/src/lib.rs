@@ -35,8 +35,8 @@ mod prof;
 mod ring;
 
 pub use counters::{
-    BbCounters, CacheBank, CacheCounters, CheckCounters, Counters, GateCounters, RunCounters,
-    SmpCounters, TimingCounters,
+    BbCounters, CacheBank, CacheCounters, CheckCounters, Counters, GateCounters, JitCounters,
+    RunCounters, SmpCounters, TimingCounters,
 };
 pub use event::{CacheKind, CheckKind, TimedEvent, TraceEvent};
 pub use json::{Json, ToJson};

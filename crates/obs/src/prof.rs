@@ -22,10 +22,11 @@ const BUCKETS: usize = 65;
 
 /// A log₂-bucketed histogram of `u64` samples.
 ///
-/// Recording is O(1) (a `leading_zeros` and two adds); percentiles are
-/// answered from the bucket boundaries, so a reported quantile is exact
-/// when it lands on the histogram's maximum and otherwise overshoots by
-/// at most 2× (the width of a log₂ bucket).
+/// Recording is O(1) (a `leading_zeros` and two adds); percentiles
+/// interpolate linearly inside the winning log₂ bucket (and clamp to
+/// the recorded maximum), so a reported quantile is off by at most the
+/// distance between the interpolated rank and the true sample within
+/// one bucket — not the full 2× bucket width.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; BUCKETS],
@@ -60,6 +61,14 @@ fn bucket_upper(i: usize) -> u64 {
         0 => 0,
         1..=63 => (1u64 << i) - 1,
         _ => u64::MAX,
+    }
+}
+
+/// Smallest value bucket `i` can hold.
+fn bucket_lower(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
     }
 }
 
@@ -111,9 +120,12 @@ impl Histogram {
         }
     }
 
-    /// The `p`-th percentile (`p` in 0..=100), answered from bucket
-    /// upper bounds and clamped to the recorded maximum. Returns 0 for
-    /// an empty histogram.
+    /// The `p`-th percentile (`p` in 0..=100), interpolated linearly
+    /// within the winning log₂ bucket and clamped to the recorded
+    /// maximum. Answering from bucket *upper* bounds alone would
+    /// overstate a quantile by up to 2× near bucket edges; assuming the
+    /// bucket's samples spread evenly across its range keeps the error
+    /// within the bucket. Returns 0 for an empty histogram.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -122,10 +134,20 @@ impl Histogram {
         let rank = rank.clamp(1, self.count);
         let mut acc = 0u64;
         for (i, n) in self.buckets.iter().enumerate() {
-            acc += n;
-            if acc >= rank {
-                return bucket_upper(i).min(self.max);
+            if acc + n >= rank {
+                let lower = bucket_lower(i);
+                let upper = bucket_upper(i).min(self.max);
+                if upper <= lower || *n == 0 {
+                    return upper;
+                }
+                // The rank-th sample is the k-th of n in this bucket;
+                // place it k/n of the way through the bucket's range.
+                let k = rank - acc;
+                let span = (upper - lower) as f64;
+                let off = (span * k as f64 / *n as f64).round() as u64;
+                return lower.saturating_add(off).min(upper);
             }
+            acc += n;
         }
         self.max
     }
@@ -856,6 +878,42 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.p50(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_percentile_interpolates_within_bucket() {
+        // Uniform 1..=1000: the true p50 is 500, which sits mid-bucket
+        // in [256, 511] ∪ [512, 1023] territory. The old upper-bound
+        // answer reported a bucket edge (≈2× off near the low edge);
+        // interpolation must land near the true quantile.
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        assert!(
+            (450..=550).contains(&p50),
+            "p50 of uniform 1..=1000 should be ≈500, got {p50}"
+        );
+        let p90 = h.p90();
+        assert!(
+            (820..=980).contains(&p90),
+            "p90 of uniform 1..=1000 should be ≈900, got {p90}"
+        );
+        // Quantiles stay monotone and inside the recorded range.
+        assert!(p50 <= p90 && p90 <= h.p99() && h.p99() <= h.max());
+        // A hot spike far below the max must not be reported at the
+        // bucket's upper edge.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(600); // bucket [512, 1023]
+        }
+        h.record(4000); // max outside the winning bucket
+        let p50 = h.p50();
+        assert!(
+            (512..800).contains(&p50),
+            "p50 must interpolate inside [512, 1023], got {p50}"
+        );
     }
 
     #[test]

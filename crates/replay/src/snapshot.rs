@@ -558,6 +558,9 @@ fn dec_cache(d: &mut Dec<'_>) -> Result<PrivCacheState, WireError> {
         hits: d.u64()?,
         misses: d.u64()?,
         flushes: d.u64()?,
+        // Not on the wire: PCU caches are fully associative over their
+        // working set and never record conflict evictions.
+        conflicts: 0,
     };
     let corrupt_detected = d.u64()?;
     Ok(PrivCacheState {

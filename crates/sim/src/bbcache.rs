@@ -60,7 +60,7 @@ const INVALID: u64 = u64::MAX;
 /// The fetch context an entry was filled under. Two fetches with equal
 /// keys are translated identically by `mmu::translate`, given the same
 /// page-table memory (which the code-line bitmap guards).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FetchKey {
     /// `satp` at fill time.
     pub satp: u64,
@@ -168,30 +168,43 @@ pub struct BbStats {
     /// Data translations that re-ran the walker (paged accesses only;
     /// bare/M-mode accesses bypass the data TLB entirely).
     pub dtlb_misses: u64,
-    /// Whole-cache flushes (a store into a cached code or PTE line, or
-    /// a cross-hart shootdown).
+    /// Whole-cache flushes (a store into a cached code or PTE line).
     pub flushes: u64,
+    /// Decode-slot-only flushes (cross-hart privilege shootdowns):
+    /// translations and data-TLB fills survive these.
+    pub slot_flushes: u64,
+    /// Fetch lookups that found a *different* valid page in the
+    /// direct-mapped entry. These are capacity/conflict evictions, not
+    /// cold misses, and are kept out of the hit-rate denominator.
+    pub key_conflicts: u64,
+    /// Data lookups that found a different valid translation occupying
+    /// the direct-mapped slot.
+    pub dtlb_conflicts: u64,
 }
 
 impl BbStats {
-    /// Snapshot into the `isa-obs` counter block. Flushes are tallied on
-    /// the decode side only; a flush always drops both structures.
+    /// Snapshot into the `isa-obs` counter block. Full flushes are
+    /// tallied on every structure they drop; slot-only flushes on the
+    /// decode side alone (translations survive them).
     pub fn counters(&self) -> isa_obs::BbCounters {
         isa_obs::BbCounters {
             decode: isa_obs::CacheCounters {
                 hits: self.decode_hits,
                 misses: self.decode_misses,
-                flushes: self.flushes,
+                flushes: self.flushes + self.slot_flushes,
+                conflicts: self.key_conflicts,
             },
             tlb: isa_obs::CacheCounters {
                 hits: self.tlb_hits,
                 misses: self.tlb_misses,
                 flushes: 0,
+                conflicts: self.key_conflicts,
             },
             dtlb: isa_obs::CacheCounters {
                 hits: self.dtlb_hits,
                 misses: self.dtlb_misses,
                 flushes: 0,
+                conflicts: self.dtlb_conflicts,
             },
         }
     }
@@ -257,15 +270,31 @@ impl BbCache {
     }
 
     /// Compare the bus and extension epochs against the last values seen
-    /// and flush everything if either moved. Called before every fetch;
-    /// both loads are cheap, so the common no-change case costs two
-    /// compares.
+    /// and flush what each contract invalidates. Called before every
+    /// fetch; both loads are cheap, so the common no-change case costs
+    /// two compares.
+    ///
+    /// The two epochs guard different state:
+    ///
+    /// * the bus code epoch moves when a store dirties a cached code
+    ///   *or PTE* line, so it invalidates decoded bytes and every
+    ///   translation (fetch and data) — full flush;
+    /// * the extension epoch moves on cross-hart privilege shootdowns,
+    ///   which rewrite privilege tables the MMU never reads. Decoded
+    ///   bytes and translations both stay correct (instruction bytes
+    ///   are code-epoch-guarded; `pkr` and the paging context live in
+    ///   the [`FetchKey`]), so only the decode slots — the substrate
+    ///   the superblock JIT promotes from under a privilege-keyed
+    ///   guard — are dropped. Fetch and data translations survive.
     #[inline]
     pub fn sync_epochs(&mut self, code_epoch: u64, ext_epoch: u64) {
-        if self.code_epoch != code_epoch || self.ext_epoch != ext_epoch {
+        if self.code_epoch != code_epoch {
             self.code_epoch = code_epoch;
             self.ext_epoch = ext_epoch;
             self.flush_all();
+        } else if self.ext_epoch != ext_epoch {
+            self.ext_epoch = ext_epoch;
+            self.flush_slots();
         }
     }
 
@@ -286,8 +315,16 @@ impl BbCache {
         let vpage = vaddr >> 12;
         let e = &self.entries[Self::index(vpage, key)];
         if e.vpage != vpage || e.key != *key {
-            self.stats.tlb_misses += 1;
-            self.stats.decode_misses += 1;
+            if e.vpage == INVALID {
+                // Cold: nothing was ever here (or a flush emptied it).
+                self.stats.tlb_misses += 1;
+                self.stats.decode_misses += 1;
+            } else {
+                // A different valid (page, context) occupies the slot:
+                // a conflict eviction, not a cold miss. Keeping these
+                // out of the miss tallies keeps `hit_rate` honest.
+                self.stats.key_conflicts += 1;
+            }
             return Lookup::Miss;
         }
         self.stats.tlb_hits += 1;
@@ -333,7 +370,11 @@ impl BbCache {
             self.stats.dtlb_hits += 1;
             Some((e.phys_base | (vaddr & 0xfff), e.walk_reads))
         } else {
-            self.stats.dtlb_misses += 1;
+            if e.vpage == INVALID {
+                self.stats.dtlb_misses += 1;
+            } else {
+                self.stats.dtlb_conflicts += 1;
+            }
             None
         }
     }
@@ -392,12 +433,11 @@ impl BbCache {
         }
     }
 
-    /// Drop every entry (counted as one flush). Epoch movement — a
-    /// store into a cached code or PTE line, or a cross-hart shootdown
-    /// — is the only caller; `FENCE.I`/`SFENCE.VMA` need no flush of
-    /// their own because every block they could affect was already
-    /// dropped here when the underlying store happened (see the module
-    /// docs).
+    /// Drop every entry (counted as one flush). Code-epoch movement — a
+    /// store into a cached code or PTE line — is the only caller;
+    /// `FENCE.I`/`SFENCE.VMA` need no flush of their own because every
+    /// block they could affect was already dropped here when the
+    /// underlying store happened (see the module docs).
     pub fn flush_all(&mut self) {
         self.stats.flushes += 1;
         for e in &mut self.entries {
@@ -406,6 +446,48 @@ impl BbCache {
         for e in &mut self.dtlb {
             e.vpage = INVALID;
         }
+    }
+
+    /// Drop decode slots only, keeping fetch and data translations
+    /// live. Cross-hart privilege shootdowns (extension-epoch movement)
+    /// land here: they rewrite privilege tables, which the MMU never
+    /// consults, so cached translations stay exactly what the walker
+    /// would produce.
+    pub fn flush_slots(&mut self) {
+        self.stats.slot_flushes += 1;
+        for e in &mut self.entries {
+            if let Some(s) = e.slots.as_deref_mut() {
+                s.fill(None);
+            }
+        }
+    }
+
+    /// Non-counting peek at a cached fetch page: the superblock JIT's
+    /// block builder reads already-filled decode slots without
+    /// perturbing hit/miss accounting or cache state. Returns the
+    /// page's physical base, fill-time walk depth, and decode slots.
+    pub fn peek_page(
+        &self,
+        vaddr: u64,
+        key: &FetchKey,
+    ) -> Option<(u64, u8, &[Option<Decoded>; PAGE_SLOTS])> {
+        let vpage = vaddr >> 12;
+        let e = &self.entries[Self::index(vpage, key)];
+        if e.vpage != vpage || e.key != *key {
+            return None;
+        }
+        e.slots.as_deref().map(|s| (e.phys_base, e.walk_reads, s))
+    }
+
+    /// Credit `n` fetches served from a compiled superblock: each
+    /// JIT-executed op corresponds to exactly one [`Lookup::Hit`] the
+    /// stepped interpreter would have counted (the block was compiled
+    /// from filled decode slots), so crediting keeps the `bbcache.*`
+    /// counters bit-identical with the JIT on or off.
+    #[inline]
+    pub fn credit_jit(&mut self, n: u64) {
+        self.stats.tlb_hits += n;
+        self.stats.decode_hits += n;
     }
 }
 
@@ -477,9 +559,75 @@ mod tests {
         bb.sync_epochs(1, 0); // code epoch moved: everything goes
         assert!(matches!(bb.lookup(0x8000_0000, &k), Lookup::Miss));
         bb.fill_translation(0x8000_0000, k, 0x8000_0000, 0);
-        bb.sync_epochs(1, 3); // shootdown epoch moved: everything goes
+        bb.fill_slot(0x8000_0000, &k, nop());
+        bb.sync_epochs(1, 3); // shootdown epoch: decode slots only
+        assert!(matches!(
+            bb.lookup(0x8000_0000, &k),
+            Lookup::Translated { .. }
+        ));
+        assert_eq!(bb.stats.flushes, 1);
+        assert_eq!(bb.stats.slot_flushes, 1);
+    }
+
+    #[test]
+    fn shootdown_keeps_unrelated_translations_live() {
+        // A cross-hart privilege shootdown (ext epoch bump) rewrites
+        // privilege tables, not page tables: fetch and data
+        // translations must survive it; only decode slots drop.
+        let mut bb = BbCache::new();
+        let k = FetchKey::new(Priv::S, 8 << 60, 0, 0);
+        bb.fill_translation(0x8000_0000, k, 0x8000_2000, 3);
+        bb.fill_slot(0x8000_0000, &k, nop());
+        bb.fill_data(0x5000, k, false, 0x8000_3000, 3);
+        bb.fill_data(0x6000, k, true, 0x8000_4000, 3);
+        bb.sync_epochs(0, 7);
+        // Fetch translation lives; the decoded slot is gone.
+        match bb.lookup(0x8000_0000, &k) {
+            Lookup::Translated { paddr, walk_reads } => {
+                assert_eq!(paddr, 0x8000_2000);
+                assert_eq!(walk_reads, 3);
+            }
+            _ => panic!("fetch translation must survive a shootdown"),
+        }
+        // Both data translations live.
+        assert_eq!(bb.lookup_data(0x5008, &k, false), Some((0x8000_3008, 3)));
+        assert_eq!(bb.lookup_data(0x6010, &k, true), Some((0x8000_4010, 3)));
+        assert_eq!(bb.stats.flushes, 0, "no full flush on a shootdown");
+        assert_eq!(bb.stats.slot_flushes, 1);
+        // A code-epoch move still drops everything.
+        bb.sync_epochs(1, 7);
         assert!(matches!(bb.lookup(0x8000_0000, &k), Lookup::Miss));
-        assert_eq!(bb.stats.flushes, 2);
+        assert!(bb.lookup_data(0x5000, &k, false).is_none());
+        assert_eq!(bb.stats.flushes, 1);
+    }
+
+    #[test]
+    fn conflict_evictions_counted_separately() {
+        let mut bb = BbCache::new();
+        let k = key();
+        bb.fill_translation(0x8000_0000, k, 0x8000_0000, 0);
+        // Find a colliding page: the lookup sees a *valid* foreign
+        // entry, which is a conflict, not a cold miss.
+        let home = BbCache::index(0x8000_0000u64 >> 12, &k);
+        let colliding = (1u64..)
+            .map(|i| 0x8000_0000 + i * 4096)
+            .find(|&v| BbCache::index(v >> 12, &k) == home)
+            .expect("a colliding page exists");
+        let cold = bb.stats.tlb_misses;
+        assert!(matches!(bb.lookup(colliding, &k), Lookup::Miss));
+        assert_eq!(bb.stats.key_conflicts, 1);
+        assert_eq!(bb.stats.tlb_misses, cold, "conflicts are not misses");
+        assert_eq!(bb.stats.decode_misses, 0);
+        // Same split on the data side.
+        bb.fill_data(0x5000, k, false, 0x8000_3000, 0);
+        let dhome = BbCache::dindex(0x5000u64 >> 12, &k, false);
+        let dcoll = (1u64..)
+            .map(|i| 0x5000 + i * 4096)
+            .find(|&v| BbCache::dindex(v >> 12, &k, false) == dhome)
+            .expect("a colliding data page exists");
+        assert!(bb.lookup_data(dcoll, &k, false).is_none());
+        assert_eq!(bb.stats.dtlb_conflicts, 1);
+        assert_eq!(bb.stats.dtlb_misses, 0);
     }
 
     #[test]

@@ -237,6 +237,25 @@ pub trait Extension {
     fn coherence_epoch(&self) -> u64 {
         0
     }
+
+    /// The privilege regime the superblock JIT may compile and execute
+    /// under, or `None` when every instruction needs the full
+    /// [`Extension::check_inst`] path (pending shootdown, armed fault
+    /// plan, poisoned state, an active check regime whose fast path is
+    /// not a pure read). The default — no extension checks at all —
+    /// always vends the inactive guard.
+    fn jit_guard(&self, cpu: &CpuState) -> Option<crate::jit::JitGuard> {
+        let _ = cpu;
+        Some(crate::jit::JitGuard::INACTIVE)
+    }
+
+    /// Account one instruction committed inside a superblock: replays
+    /// exactly the counter movement [`Extension::check_inst`] performs
+    /// on the path the block's guard stands in for (`checked` is the
+    /// guard's `active` flag). Must not touch drainable events.
+    fn jit_commit(&mut self, checked: bool) {
+        let _ = checked;
+    }
 }
 
 /// The no-op extension: a plain RV64 core.
@@ -295,6 +314,26 @@ pub trait TimingSink {
     /// number of cycles it consumed.
     fn retire(&mut self, ev: &Retired) -> u64;
 
+    /// Account a whole superblock of retired instructions, in program
+    /// order; returns the total cycles. The default loops
+    /// [`TimingSink::retire`], so any implementation is cycle-identical
+    /// to stepped execution by construction; models may override to
+    /// amortize per-call overhead (the loop then monomorphizes inside
+    /// one virtual call).
+    fn retire_block(&mut self, evs: &[Retired]) -> u64 {
+        evs.iter().map(|ev| self.retire(ev)).sum()
+    }
+
+    /// A sink that charges a fixed cost per retired instruction and
+    /// never reads the event record may advertise that cost here; the
+    /// JIT then skips event buffering inside compiled blocks and
+    /// charges `ops × cost` directly — arithmetically identical to
+    /// retiring each event. Stateful models must return `None` (the
+    /// default) so they see every event in program order.
+    fn flat_cost(&self) -> Option<u64> {
+        None
+    }
+
     /// Account an asynchronous interrupt redirect.
     fn interrupt(&mut self) -> u64 {
         10
@@ -325,6 +364,10 @@ pub struct NullTiming;
 impl TimingSink for NullTiming {
     fn retire(&mut self, _ev: &Retired) -> u64 {
         1
+    }
+
+    fn flat_cost(&self) -> Option<u64> {
+        Some(1)
     }
 }
 
@@ -413,6 +456,14 @@ pub struct Machine<E: Extension> {
     /// translate-and-decode path every step (the `--no-bbcache`
     /// escape hatch).
     pub bbcache: Option<Box<crate::bbcache::BbCache>>,
+    /// Superblock JIT compiled over the bbcache; `None` leaves
+    /// [`Machine::run_steps`] on the per-instruction dispatch loop (the
+    /// `--no-jit` escape hatch, and always when the bbcache is off).
+    pub jit: Option<Box<crate::jit::Jit>>,
+    /// Whether the JIT is wanted when the bbcache is on — remembered
+    /// across [`Machine::set_bbcache`] cycles (snapshot restore brings
+    /// the cache up cold through that path).
+    jit_enabled: bool,
 }
 
 impl<E: Extension> Machine<E> {
@@ -443,13 +494,33 @@ impl<E: Extension> Machine<E> {
             trace: isa_obs::TraceSink::off(),
             prof: isa_obs::ProfSink::off(),
             bbcache: Some(Box::new(crate::bbcache::BbCache::new())),
+            jit: Some(Box::new(crate::jit::Jit::new())),
+            jit_enabled: true,
         }
     }
 
     /// Enable or disable the basic-block cache (enabled by default).
-    /// Disabling drops all cached state.
+    /// Disabling drops all cached state — including the superblock JIT,
+    /// which compiles from the cache's decode slots. Re-enabling brings
+    /// both up *cold* (the snapshot-restore path relies on this: JIT
+    /// state is never serialized, so restored machines re-warm under
+    /// the walk-replay invariant and digests stay bit-identical).
     pub fn set_bbcache(&mut self, enabled: bool) {
         self.bbcache = enabled.then(|| Box::new(crate::bbcache::BbCache::new()));
+        self.jit = (enabled && self.jit_enabled).then(|| Box::new(crate::jit::Jit::new()));
+    }
+
+    /// Enable or disable the superblock JIT (enabled by default, inert
+    /// without the bbcache). Disabling drops all compiled blocks.
+    pub fn set_jit(&mut self, enabled: bool) {
+        self.jit_enabled = enabled;
+        self.jit = (enabled && self.bbcache.is_some()).then(|| Box::new(crate::jit::Jit::new()));
+    }
+
+    /// Whether the superblock JIT is wanted when the bbcache is on
+    /// (the `--no-jit` latch; SMP workers inherit hart 0's setting).
+    pub fn jit_enabled(&self) -> bool {
+        self.jit_enabled
     }
 
     /// The hart id this machine executes as.
@@ -500,15 +571,17 @@ impl<E: Extension> Machine<E> {
         self.cpu.csrs.write_raw(addr::MIP, new);
     }
 
-    /// Run until halt or `max_steps`.
+    /// Run until halt or `max_steps`, through the superblock JIT when
+    /// one is attached.
     pub fn run(&mut self, max_steps: u64) -> Exit {
-        for _ in 0..max_steps {
-            self.step();
-            if let Some(code) = self.bus.halted() {
-                return Exit::Halted(code);
-            }
+        if max_steps == 0 {
+            return Exit::StepLimit;
         }
-        Exit::StepLimit
+        self.run_steps(max_steps);
+        match self.bus.halted() {
+            Some(code) => Exit::Halted(code),
+            None => Exit::StepLimit,
+        }
     }
 
     /// Run until halt, treating step-budget exhaustion as a watchdog
@@ -769,7 +842,9 @@ impl<E: Extension> Machine<E> {
     }
 
     /// Execute a decoded instruction at the current PC; returns next PC.
-    fn execute(&mut self, d: &Decoded, ev: &mut Retired) -> Result<u64, Exception> {
+    /// `pub(crate)` for the superblock JIT, whose per-op body replays
+    /// this exact function.
+    pub(crate) fn execute(&mut self, d: &Decoded, ev: &mut Retired) -> Result<u64, Exception> {
         use Kind::*;
         let cpu = &mut self.cpu;
         let pc = cpu.pc;
@@ -1324,7 +1399,7 @@ impl<E: Extension> Machine<E> {
         }
     }
 
-    fn pending_interrupt(&self) -> Option<Interrupt> {
+    pub(crate) fn pending_interrupt(&self) -> Option<Interrupt> {
         let mip = self.cpu.csrs.read_raw(addr::MIP);
         let mie = self.cpu.csrs.read_raw(addr::MIE);
         let pending = mip & mie;

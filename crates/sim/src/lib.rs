@@ -46,6 +46,7 @@ mod cpu;
 pub mod csr;
 pub mod decode;
 pub mod disas;
+pub mod jit;
 mod mem;
 pub mod mmu;
 mod trap;
@@ -59,6 +60,7 @@ pub use disas::disassemble;
 /// The observability layer (re-exported so machine users can build
 /// [`isa_obs::TraceSink`]s without naming the crate separately).
 pub use isa_obs as obs;
+pub use jit::{Jit, JitGuard, JitStats};
 pub use mem::{
     mmio, reservation_line, Bus, BusState, DEFAULT_RAM_BASE, DEFAULT_RAM_SIZE, RESERVATION_LINE,
     SNAPSHOT_PAGE,

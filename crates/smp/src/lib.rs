@@ -304,6 +304,9 @@ impl Smp {
             if let Some(bb) = &m.bbcache {
                 c.bbcache.merge(&bb.stats.counters());
             }
+            if let Some(jit) = &m.jit {
+                c.jit.merge(&jit.stats.counters());
+            }
         }
         c.smp.harts = self.harts.len() as u64;
         c.smp.reservation_breaks = self.bus().reservation_breaks();
@@ -340,6 +343,9 @@ impl Smp {
                         let mut counters = m.ext.counters();
                         if let Some(bb) = &m.bbcache {
                             counters.bbcache = bb.stats.counters();
+                        }
+                        if let Some(jit) = &m.jit {
+                            counters.jit = jit.stats.counters();
                         }
                         // A profile is plain data, so it ships back
                         // across the thread boundary even though the

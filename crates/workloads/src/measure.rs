@@ -11,6 +11,7 @@ thread_local! {
     static PROFILING: Cell<bool> = const { Cell::new(false) };
     static PROFILE_SCOPE: RefCell<String> = const { RefCell::new(String::new()) };
     static PROFILES: RefCell<Vec<RunProfile>> = const { RefCell::new(Vec::new()) };
+    static JIT: Cell<bool> = const { Cell::new(true) };
 }
 
 /// Turn per-run profiling on or off for this thread. While on, every
@@ -36,6 +37,20 @@ pub fn set_profile_scope(name: &str) {
 /// Drain the profiles this thread collected since the last call.
 pub fn take_profiles() -> Vec<RunProfile> {
     PROFILES.with(|p| std::mem::take(&mut *p.borrow_mut()))
+}
+
+/// Turn the superblock JIT on or off for this thread's subsequent
+/// [`run`]/[`run_with`] calls (default on; the bench binaries'
+/// `--no-jit` escape hatch). Architectural results, modeled cycles,
+/// and figure rows are identical either way — only
+/// [`RunResult::host_mips`] and the `jit.*` diagnostics move.
+pub fn set_jit(on: bool) {
+    JIT.with(|j| j.set(on));
+}
+
+/// Whether [`set_jit`] is on for this thread.
+pub fn jit_enabled() -> bool {
+    JIT.with(|j| j.get())
 }
 
 /// Everything one run produces.
@@ -158,6 +173,7 @@ pub fn run_with(
         .platform(platform)
         .pcu(pcu)
         .bbcache(bbcache)
+        .jit(jit_enabled())
         .profile(profiling)
         .boot(prog, task2);
     let c = Session::new(sim)

@@ -2,7 +2,7 @@
 //! stream recorded by a full kernel run must agree, event by event and
 //! counter by counter, with what the machine actually committed.
 
-use isa_obs::TraceEvent;
+use isa_obs::{ToJson, TraceEvent};
 use simkernel::layout::sys;
 use simkernel::{usr, KernelConfig, SimBuilder};
 
@@ -151,6 +151,35 @@ fn counters_agree_with_the_event_stream() {
         assert_eq!(c.get(&name), Some(v), "{name}");
     }
     assert_eq!(c.get("gates.calls"), Some(c.gates.calls));
+}
+
+#[test]
+fn conflict_evictions_and_jit_tallies_surface_in_the_registry() {
+    let prog = gate_scenario();
+    let mut sim = SimBuilder::new(KernelConfig::decomposed()).boot(&prog, None);
+    assert_eq!(sim.run_to_halt(STEPS).unwrap(), 0);
+    let c = sim.counters();
+    // Conflict evictions (two live fetch contexts fighting over one
+    // direct-mapped entry) are first-class observable counters for each
+    // of the three structures — distinct from cold misses, so hit-rate
+    // regressions caused by key churn are attributable.
+    for name in [
+        "bbcache.decode.conflicts",
+        "bbcache.tlb.conflicts",
+        "bbcache.dtlb.conflicts",
+    ] {
+        assert!(c.get(name).is_some(), "{name} missing from the registry");
+    }
+    // The superblock JIT's diagnostics ride the same registry, and an
+    // untraced kernel run actually exercises the fast path.
+    let entered = c.get("jit.entered").expect("jit.entered is registered");
+    assert!(entered > 0, "kernel run should enter compiled blocks");
+    assert!(c.get("jit.compiled").unwrap_or(0) > 0);
+    assert!(c.get("jit.ops").unwrap_or(0) >= entered);
+    // The JSON report carries both blocks for the CI smoke checks.
+    let json = c.to_json().to_string();
+    assert!(json.contains("\"conflicts\""));
+    assert!(json.contains("\"jit\""));
 }
 
 #[test]

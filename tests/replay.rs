@@ -222,6 +222,69 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Snapshot mid-run while the superblock JIT is hot, restore into
+    /// both a JIT'd and a stepped machine, and race all three to
+    /// completion. JIT state is never serialized — restore brings it up
+    /// cold under the walk-replay invariant — so the snapshot digest
+    /// and every continuation digest must be bit-identical with the
+    /// JIT on or off.
+    #[test]
+    fn hot_jit_snapshot_restores_identically_with_and_without_jit(
+        split in 600u64..1_100,
+        iters in 300u64..700,
+    ) {
+        let prog = guest_program(iters, false);
+        let mut a = build_machine(&prog);
+        a.run_steps(split);
+        prop_assert!(a.bus.halted().is_none(), "split lands mid-run");
+        let stats = &a.jit.as_ref().expect("jit attached").stats;
+        prop_assert!(
+            stats.entered > 0,
+            "snapshot must land inside a hot JIT phase, got {:?}",
+            stats
+        );
+        let frame = encode_snapshot(&capture_machine(&a));
+        let snap = decode_snapshot(&frame).expect("snapshot decodes");
+
+        // Restore with the JIT on: compiled state comes up cold.
+        let mut b = build_machine(&prog);
+        restore_machine(&mut b, &snap).expect("snapshot restores");
+        prop_assert_eq!(
+            b.jit.as_ref().expect("jit rebuilt cold").stats.entered,
+            0,
+            "restore must never resurrect compiled blocks"
+        );
+        // Restore with the JIT off: pure stepped continuation.
+        let mut c = build_machine(&prog);
+        c.set_jit(false);
+        restore_machine(&mut c, &snap).expect("snapshot restores");
+        prop_assert!(c.jit.is_none());
+
+        let mid = state_digest(&capture_machine(&a));
+        prop_assert_eq!(mid, state_digest(&capture_machine(&b)));
+        prop_assert_eq!(mid, state_digest(&capture_machine(&c)));
+
+        for m in [&mut a, &mut b, &mut c] {
+            m.run_steps(1_000_000);
+            prop_assert_eq!(m.bus.halted(), Some(0xAA), "clean halt");
+        }
+        let end = state_digest(&capture_machine(&a));
+        prop_assert_eq!(
+            end,
+            state_digest(&capture_machine(&b)),
+            "jit-on restore continuation diverged"
+        );
+        prop_assert_eq!(
+            end,
+            state_digest(&capture_machine(&c)),
+            "stepped restore continuation diverged"
+        );
+    }
+}
+
 #[test]
 fn oracle_stays_silent_on_a_correct_machine() {
     let prog = guest_program(300, false);
