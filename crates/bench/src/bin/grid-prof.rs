@@ -67,6 +67,44 @@ fn domains_table(totals: &Json) -> Table {
     t
 }
 
+/// Per-opcode-class cycle attribution (`--top`), heaviest class first.
+fn op_classes_table(totals: &Json) -> Table {
+    let total_cycles = get_u64(totals, "cycles").max(1);
+    let mut rows: Vec<(u64, Vec<String>)> = totals
+        .get("op_classes")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .map(|c| {
+                    let cycles = get_u64(c, "cycles");
+                    let steps = get_u64(c, "steps").max(1);
+                    let row = vec![
+                        c.get("class")
+                            .and_then(Json::as_str)
+                            .unwrap_or("?")
+                            .to_string(),
+                        cycles.to_string(),
+                        get_u64(c, "steps").to_string(),
+                        format!("{:.2}", cycles as f64 / steps as f64),
+                        format!("{:.2}%", cycles as f64 / total_cycles as f64 * 100.0),
+                    ];
+                    (cycles, row)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.0));
+    let mut t = Table::new(
+        "grid-prof: top opcode classes by attributed cycles",
+        &["class", "cycles", "steps", "cpi", "share"],
+    );
+    for (_, row) in rows {
+        t.row(row);
+    }
+    t.extra("total_cycles", Json::U64(get_u64(totals, "cycles")));
+    t
+}
+
 /// Latency-histogram percentiles (cycles of the step carrying the event).
 fn histograms_table(totals: &Json) -> Table {
     let mut t = Table::new(
@@ -140,6 +178,7 @@ fn main() {
             "profile JSON written by a bench binary's --profile",
         )
         .flag_u64("--audit-limit", 32, "audit records to show")
+        .flag_bool("--top", "show per-opcode-class cycle attribution")
         .from_env();
     let Some(path) = args.positional() else {
         fail("usage: grid-prof <profile.json> [--json|--csv] [--audit-limit N]");
@@ -168,17 +207,24 @@ fn main() {
     dom.extra("trace_events", Json::U64(spans as u64));
     let hist = histograms_table(totals);
     let aud = audit_table(grid, audit_limit);
+    let top = args.flag("--top").then(|| op_classes_table(totals));
     if args.format == Format::Json {
         // One machine-readable document rather than three concatenated
         // table objects.
-        let doc = Json::Obj(vec![
+        let mut doc = vec![
             ("domains".into(), dom.to_json()),
             ("histograms".into(), hist.to_json()),
             ("audit".into(), aud.to_json()),
-        ]);
-        println!("{}", doc.pretty());
+        ];
+        if let Some(t) = &top {
+            doc.push(("op_classes".into(), t.to_json()));
+        }
+        println!("{}", Json::Obj(doc).pretty());
     } else {
         print!("{}", args.emit(&dom));
+        if let Some(t) = &top {
+            print!("{}", args.emit(t));
+        }
         print!("{}", args.emit(&hist));
         print!("{}", args.emit(&aud));
     }

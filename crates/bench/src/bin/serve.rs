@@ -46,6 +46,24 @@ fn main() {
             "differential-oracle check every N completions (0 = never)",
         )
         .flag_str("--out", "report path (default BENCH_serve.json)")
+        .flag_str(
+            "--trace",
+            "write a Perfetto request trace here (enables tracing)",
+        )
+        .flag_str(
+            "--trace-mode",
+            "tracing mode: off | sampled | full (default sampled when --trace is set)",
+        )
+        .flag_u64(
+            "--trace-sample",
+            0,
+            "tail-sample a seeded 1-in-N survey of request trees (0 = none)",
+        )
+        .flag_u64(
+            "--trace-slow-us",
+            0,
+            "keep every request tree at least this many virtual microseconds slow (0 = off)",
+        )
         .from_env();
 
     let mut cfg = serve::ServeConfig::new(
@@ -61,6 +79,26 @@ fn main() {
     cfg.probe_every = args.u64("--probe-every");
     cfg.profile = args.profile.is_some();
     cfg.jit = args.jit;
+
+    // Tracing: `--trace <path>` turns it on (sampled unless
+    // `--trace-mode full`); `--trace-mode` alone collects without
+    // exporting. One virtual cycle renders as one Perfetto
+    // microsecond, so `--trace-slow-us` is a virtual-cycle threshold.
+    let trace_path = args.str_opt("--trace").map(str::to_string);
+    let mode = match args.str_opt("--trace-mode") {
+        Some(m) => match serve::TraceMode::parse(m) {
+            Some(m) => m,
+            None => {
+                eprintln!("serve: --trace-mode must be off | sampled | full, got {m:?}");
+                std::process::exit(2);
+            }
+        },
+        None if trace_path.is_some() => serve::TraceMode::Sampled,
+        None => serve::TraceMode::Off,
+    };
+    cfg.trace = mode;
+    cfg.trace_survey = args.u64("--trace-sample");
+    cfg.trace_slow = args.u64("--trace-slow-us");
 
     let oracle_every = args.u64("--oracle-every");
     let outcome = if oracle_every > 0 {
@@ -94,6 +132,22 @@ fn main() {
             eprintln!("serve: cannot write {path}: {e}");
             std::process::exit(3);
         }
+    }
+    if let Some(path) = trace_path {
+        let report = serve::TraceReport {
+            name: "serve",
+            harts: outcome.cfg.harts,
+            collector: &outcome.trace,
+        };
+        let doc = format!("{}\n", report.to_json().pretty());
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("serve: cannot write {path}: {e}");
+            std::process::exit(3);
+        }
+        eprintln!(
+            "serve: wrote {} kept request trees to {path}",
+            outcome.trace.kept().len()
+        );
     }
     profile::finish(&args, outcome.profiles);
 }

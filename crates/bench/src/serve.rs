@@ -40,15 +40,17 @@ use std::fmt;
 use isa_asm::{Asm, Program, Reg::*};
 use isa_grid::{DomainId, DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig};
 use isa_obs::{
-    AuditRecord, Counters, Histogram, Json, ProfSink, RunProfile, TimeSeries, ToJson, TraceEvent,
+    AuditRecord, Counters, Histogram, Json, ProfSink, ReqTracer, RunProfile, TimeSeries, ToJson,
+    TraceEvent,
 };
+pub use isa_obs::{TraceCollector, TraceMode, TracePolicy, TraceReport};
 use isa_replay::wire::KIND_SERVE;
 use isa_replay::{
     capture_session, decode_snapshot_payload, encode_snapshot_payload, restore_session,
     state_digest, Dec, Divergence, Enc, EventLog, HostEvent, RestoreError, SpecSmp, WireError,
 };
 use isa_sim::csr::addr;
-use isa_sim::{Bus, Kind, Machine, DEFAULT_RAM_BASE as RAM, DEFAULT_RAM_SIZE};
+use isa_sim::{Bus, Extension, Kind, Machine, DEFAULT_RAM_BASE as RAM, DEFAULT_RAM_SIZE};
 use isa_smp::Smp;
 use simkernel::SmpSession;
 
@@ -172,6 +174,17 @@ pub struct ServeConfig {
     /// binary's `--no-jit` clears it). Digests and virtual-time results
     /// are bit-identical either way.
     pub jit: bool,
+    /// Request-scoped tracing mode. Tracing is observe-only: digests,
+    /// figure rows, and machine counters are bit-identical off,
+    /// sampled, or full.
+    pub trace: TraceMode,
+    /// Tail-sampling: keep a seeded 1-in-N survey of all request trees
+    /// (0 = none). The survey set depends only on `(seed, id)`, so it
+    /// is identical across hart counts.
+    pub trace_survey: u64,
+    /// Tail-sampling: keep every tree whose end-to-end latency is at
+    /// least this many virtual cycles (0 = no slow gate).
+    pub trace_slow: u64,
 }
 
 impl ServeConfig {
@@ -189,6 +202,23 @@ impl ServeConfig {
             probe_every: 0,
             profile: false,
             jit: true,
+            trace: TraceMode::Off,
+            trace_survey: 0,
+            trace_slow: 0,
+        }
+    }
+
+    /// The tail-sampling policy this config implies. The survey seed
+    /// reuses the workload seed (decorrelated inside the policy by a
+    /// splitmix round), so one `--seed` pins both the workload and the
+    /// sampled set.
+    pub fn trace_policy(&self) -> TracePolicy {
+        TracePolicy {
+            mode: self.trace,
+            slow: self.trace_slow,
+            survey: self.trace_survey,
+            seed: self.seed,
+            ..TracePolicy::default()
         }
     }
 }
@@ -223,6 +253,13 @@ pub struct ServeOutcome {
     pub rounds: u64,
     /// Request latency (arrival → harvest) in virtual cycles.
     pub latency: Histogram,
+    /// Guest-measured service cycles (`rdcycle` bracket around the
+    /// gate round-trip) of completed requests. Excludes queueing, so —
+    /// unlike `latency` — it is hart-count independent.
+    pub service: Histogram,
+    /// Kept request span trees, exemplars, and telemetry
+    /// self-accounting ([`ServeConfig::trace`]; empty when off).
+    pub trace: TraceCollector,
     /// Completions over virtual time.
     pub timeline: TimeSeries,
     /// Per-tenant attribution, indexed by tenant.
@@ -684,6 +721,7 @@ struct ServeState {
     inflight: Vec<Option<Request>>,
     per_tenant: Vec<TenantStats>,
     latency: Histogram,
+    service: Histogram,
     timeline: TimeSeries,
     completed: u64,
     denied: u64,
@@ -696,6 +734,17 @@ struct ServeState {
     restores: u64,
     oracle_checks: u64,
     divergences: u64,
+    /// Per-hart request tracers (empty when tracing is off). Each is a
+    /// handle into the hart's private span buffer; the driver tags it
+    /// with the in-flight request and drains it after every round.
+    tracers: Vec<ReqTracer>,
+    /// Assembles drained events into span trees and tail-samples them.
+    collector: TraceCollector,
+}
+
+/// Trace ID for a generated request: index + 1 (0 means "no request").
+fn trace_id(r: &Request) -> u64 {
+    r.idx + 1
 }
 
 fn mb(h: usize) -> u64 {
@@ -723,6 +772,14 @@ impl ServeState {
             assert!(boot_rounds < 100_000, "serve: harts failed to boot");
         }
 
+        // Tracers go in after boot: boot has no requests to attribute
+        // (and no rotations, so no acks are lost either).
+        let tracers = if cfg.trace != TraceMode::Off {
+            sess.install_req_tracers()
+        } else {
+            Vec::new()
+        };
+
         let mut gen = Generator::new(cfg);
         let next_arrival = gen.next();
         ServeState {
@@ -735,6 +792,7 @@ impl ServeState {
             inflight: vec![None; cfg.harts],
             per_tenant: vec![TenantStats::default(); cfg.tenants],
             latency: Histogram::new(),
+            service: Histogram::new(),
             timeline: TimeSeries::new(cfg.quantum.max(1) * 64, 256),
             completed: 0,
             denied: 0,
@@ -750,6 +808,8 @@ impl ServeState {
             restores: 0,
             oracle_checks: 0,
             divergences: 0,
+            tracers,
+            collector: TraceCollector::new(cfg.trace_policy()),
             cfg: cfg.clone(),
         }
     }
@@ -773,6 +833,9 @@ impl ServeState {
             e.u64(v);
         }
         e.bool(c.profile);
+        e.u64(c.trace.index());
+        e.u64(c.trace_survey);
+        e.u64(c.trace_slow);
         encode_snapshot_payload(&capture_session(&self.sess), &mut e);
         e.u64(self.gen.rng.0);
         e.u64(self.gen.next_idx);
@@ -804,6 +867,12 @@ impl ServeState {
         ] {
             e.u64(v);
         }
+        // Trace state rides at the tail. Snapshots fire at round
+        // boundaries, right after the per-round drain, so the hart
+        // tracers' buffers are empty — only the collector (open trees,
+        // kept trees, exemplars, flow endpoints) needs to travel.
+        e.words(&self.service.export_words());
+        e.words(&self.collector.export_words());
         e.seal(KIND_SERVE)
     }
 
@@ -822,6 +891,9 @@ impl ServeState {
         let rotate_every = d.u64()?;
         let probe_every = d.u64()?;
         let profile = d.bool()?;
+        let trace = TraceMode::from_index(d.u64()?).ok_or(WireError::Malformed("trace mode"))?;
+        let trace_survey = d.u64()?;
+        let trace_slow = d.u64()?;
         if !(1..=56).contains(&tenants) || !(1..=32).contains(&harts) || quantum == 0 {
             return Err(WireError::Malformed("serve config").into());
         }
@@ -840,6 +912,9 @@ impl ServeState {
             // recipe (digests are identical either way), so it is not
             // serialized: resumed runs come up with the default.
             jit: true,
+            trace,
+            trace_survey,
+            trace_slow,
         };
         let snap = decode_snapshot_payload(&mut d)?;
 
@@ -886,7 +961,26 @@ impl ServeState {
         let rotate_cursor = d.u64()? as usize;
         let next_rotate = d.u64()?;
         let last_progress = d.u64()?;
+        let mut service = Histogram::new();
+        service.import_words(&d.words()?);
+        let mut collector = TraceCollector::new(cfg.trace_policy());
+        collector.import_words(&d.words()?);
         d.finish()?;
+
+        // Rebuild the per-hart tracers and re-tag each with the request
+        // its hart was serving at the snapshot (tag state is host-side,
+        // not in the machine image).
+        let tracers = if cfg.trace != TraceMode::Off {
+            let tracers = sess.install_req_tracers();
+            for (h, slot) in inflight.iter().enumerate() {
+                if let Some(req) = slot {
+                    tracers[h].set_current(trace_id(req));
+                }
+            }
+            tracers
+        } else {
+            Vec::new()
+        };
 
         let m0 = sess.smp().machine(0);
         let at = sess.vclock();
@@ -905,6 +999,7 @@ impl ServeState {
             inflight,
             per_tenant,
             latency,
+            service,
             timeline,
             completed,
             denied,
@@ -916,6 +1011,8 @@ impl ServeState {
             restores: 1,
             oracle_checks: 0,
             divergences: 0,
+            tracers,
+            collector,
         })
     }
 
@@ -970,7 +1067,8 @@ impl ServeState {
                 let db = self.bus.read_u64(base + MB_DOORBELL as u64);
                 if db == 2 || db == 3 {
                     let req = slot.take().expect("completion without a request");
-                    self.latency.record(now - req.arrival);
+                    let latency = now - req.arrival;
+                    self.latency.record(latency);
                     self.timeline.add(now, 1);
                     let guest = if db == 2 {
                         self.bus.read_u64(base + MB_DIGEST as u64)
@@ -981,13 +1079,21 @@ impl ServeState {
                         record_digest(req.idx, req.tenant as u64, req.kind.index(), db, guest);
                     let ts = &mut self.per_tenant[req.tenant];
                     ts.requests += 1;
+                    let mut service = 0;
                     if db == 2 {
                         self.completed += 1;
-                        ts.guest_cycles += self.bus.read_u64(base + MB_CYCLES as u64);
+                        service = self.bus.read_u64(base + MB_CYCLES as u64);
+                        ts.guest_cycles += service;
+                        self.service.record(service);
                     } else {
                         self.denied += 1;
                         ts.denied += 1;
                     }
+                    if let Some(tr) = self.tracers.get(h) {
+                        tr.set_current(0);
+                    }
+                    self.collector
+                        .finish(trace_id(&req), now, latency, service, db == 3);
                     self.bus.write_u64(base + MB_DOORBELL as u64, 0);
                     if hooks.record {
                         out.log.push(HostEvent::MailboxWrite {
@@ -1017,6 +1123,17 @@ impl ServeState {
                                 value: 1,
                             });
                         }
+                        if let Some(tr) = self.tracers.get(h) {
+                            tr.set_current(trace_id(&req));
+                        }
+                        self.collector.begin(
+                            trace_id(&req),
+                            req.tenant as u16,
+                            req.kind.index() as u16,
+                            h,
+                            req.arrival,
+                            now,
+                        );
                         *slot = Some(req);
                     }
                 }
@@ -1029,6 +1146,8 @@ impl ServeState {
                 self.rotate_cursor += 1;
                 let m0 = self.sess.smp_mut().machine_mut(0);
                 m0.ext.update_domain(&mut m0.bus, dom, &base_spec());
+                let epoch = m0.ext.coherence_epoch();
+                self.collector.note_publish(epoch, now);
                 if hooks.record {
                     out.log.push(HostEvent::Rotate { domain: dom.0 });
                 }
@@ -1053,7 +1172,19 @@ impl ServeState {
             } else {
                 None
             };
+            // Hart-cycle bases at the round boundary: a hart-local
+            // event timestamp translates to global virtual time as
+            // `round-start vclock + (event cycle - base)` — the offset
+            // is the modeled time the hart spent inside the round.
+            let cycle_base: Vec<u64> = if self.tracers.is_empty() {
+                Vec::new()
+            } else {
+                (0..self.cfg.harts)
+                    .map(|h| self.sess.hart_cycles(h))
+                    .collect()
+            };
             self.sess.round(|h| mask >> h & 1 == 1);
+            self.drain_tracers(now, &cycle_base);
             if let Some(mut spec) = oracle {
                 spec.replay_round(mask, self.cfg.quantum);
                 out.oracle_checks += 1;
@@ -1087,6 +1218,19 @@ impl ServeState {
         out
     }
 
+    /// Drain every hart tracer's round-local events into the
+    /// collector, translating hart-local cycle timestamps into the
+    /// global virtual clock (the round started at `vclock` with hart
+    /// `h`'s cycle counter at `base[h]`).
+    fn drain_tracers(&mut self, vclock: u64, base: &[u64]) {
+        for h in 0..self.tracers.len() {
+            for ev in self.tracers[h].drain() {
+                let t = vclock + ev.t.saturating_sub(base[h]);
+                self.collector.ingest(h, ev.id, t, ev.ev);
+            }
+        }
+    }
+
     /// Harvest every hart and assemble the outcome.
     fn finish(mut self) -> ServeOutcome {
         let mut audit = Vec::new();
@@ -1114,6 +1258,10 @@ impl ServeState {
         counters.run.restores += self.restores;
         counters.run.oracle_checks += self.oracle_checks;
         counters.run.divergences += self.divergences;
+        for tr in &self.tracers {
+            let (emitted, dropped) = tr.counts();
+            self.collector.absorb_tracer_counts(emitted, dropped);
+        }
         ServeOutcome {
             cfg: self.cfg.clone(),
             completed: self.completed,
@@ -1122,6 +1270,8 @@ impl ServeState {
             vcycles: self.sess.vclock(),
             rounds: self.sess.rounds(),
             latency: self.latency,
+            service: self.service,
+            trace: self.collector,
             timeline: self.timeline,
             per_tenant: self.per_tenant,
             counters,
@@ -1244,6 +1394,9 @@ pub fn render(o: &ServeOutcome) -> Table {
     t.config("flush_every", Json::U64(o.cfg.flush_every));
     t.config("rotate_every", Json::U64(o.cfg.rotate_every));
     t.config("probe_every", Json::U64(o.cfg.probe_every));
+    t.config("trace", Json::Str(o.cfg.trace.name().into()));
+    t.config("trace_survey", Json::U64(o.cfg.trace_survey));
+    t.config("trace_slow", Json::U64(o.cfg.trace_slow));
     t.extra("completed", Json::U64(o.completed));
     t.extra("denied", Json::U64(o.denied));
     t.extra("digest", Json::Str(format!("{:#018x}", o.digest)));
@@ -1255,6 +1408,7 @@ pub fn render(o: &ServeOutcome) -> Table {
             (o.completed + o.denied) as f64 / o.vcycles.max(1) as f64 * 1e6,
         )),
     );
+    let exemplar_ids = |ids: &[u64]| Json::Arr(ids.iter().map(|id| Json::U64(*id)).collect());
     t.extra(
         "latency",
         Json::obj([
@@ -1264,6 +1418,40 @@ pub fn render(o: &ServeOutcome) -> Table {
             ("p90", Json::U64(o.latency.p90())),
             ("p99", Json::U64(o.latency.p99())),
             ("max", Json::U64(o.latency.max())),
+            // The trace IDs answering "which requests does the
+            // reported p99 describe" — each resolves to a kept span
+            // tree in the exported trace.
+            (
+                "p99_exemplars",
+                exemplar_ids(o.trace.latency_exemplars.for_value(o.latency.p99())),
+            ),
+            ("exemplars", o.trace.latency_exemplars.to_json()),
+        ]),
+    );
+    t.extra(
+        "service",
+        Json::obj([
+            ("count", Json::U64(o.service.count())),
+            ("mean", Json::F64(report::round4(o.service.mean()))),
+            ("p50", Json::U64(o.service.p50())),
+            ("p90", Json::U64(o.service.p90())),
+            ("p99", Json::U64(o.service.p99())),
+            ("max", Json::U64(o.service.max())),
+            (
+                "p99_exemplars",
+                exemplar_ids(o.trace.service_exemplars.for_value(o.service.p99())),
+            ),
+            ("exemplars", o.trace.service_exemplars.to_json()),
+        ]),
+    );
+    t.extra(
+        "telemetry",
+        Json::obj([
+            ("mode", Json::Str(o.cfg.trace.name().into())),
+            ("stats", o.trace.stats.to_json()),
+            ("kept_trees", Json::U64(o.trace.kept().len() as u64)),
+            ("publishes", Json::U64(o.trace.publishes().len() as u64)),
+            ("acks", Json::U64(o.trace.acks().len() as u64)),
         ]),
     );
     t.extra("smp", o.counters.smp.to_json());

@@ -1210,6 +1210,11 @@ impl Pcu {
             cause: e.cause(),
             detail: e.tval(),
         });
+        // Flag the denial on the step's drained events so the request
+        // tracer can attribute it to the request in flight.
+        self.ev.denied = true;
+        self.ev.deny_cause = e.cause();
+        self.ev.deny_detail = e.tval();
         self.fault(e)
     }
 
@@ -1656,6 +1661,7 @@ impl Pcu {
             .ev
             .shootdown_flushed
             .saturating_add(discarded.min(u64::from(u16::MAX)) as u16);
+        self.ev.shootdown_epoch = epoch;
         let hart = self.hart as u64;
         self.trace.emit(|| TraceEvent::ShootdownAck {
             hart,

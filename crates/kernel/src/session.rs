@@ -258,6 +258,26 @@ impl SmpSession {
         self.smp.machine(h).bus.halted()
     }
 
+    /// Hart `h`'s architectural cycle counter (CSR `cycle`). The serve
+    /// driver samples this at round boundaries to translate hart-local
+    /// event timestamps into the session's virtual clock.
+    pub fn hart_cycles(&self, h: usize) -> u64 {
+        self.smp
+            .machine(h)
+            .cpu
+            .csrs
+            .read_raw(isa_sim::csr::addr::CYCLE)
+    }
+
+    /// Install one enabled request tracer per hart and return the
+    /// handles, in hart order. The driver tags each handle with the
+    /// request in flight and drains it at round boundaries; tracers
+    /// are observe-only (they never change modeled cycles, the
+    /// interleaver, or digests).
+    pub fn install_req_tracers(&mut self) -> Vec<isa_obs::ReqTracer> {
+        self.smp.install_req_tracers()
+    }
+
     /// Advance every hart selected by `runnable` one quantum, in
     /// ascending hart order, then bump the virtual clock. Harts that
     /// have halted are skipped regardless of `runnable`; a hart that

@@ -3,6 +3,7 @@
 //! disjoint ad-hoc structs across the workspace.
 
 use crate::json::{Json, ToJson};
+use crate::trace::DeoptReason;
 
 /// Hit/miss/flush tallies for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -176,6 +177,11 @@ pub struct JitCounters {
     pub deopts: u64,
     /// Whole-JIT invalidations (code or coherence epoch movement).
     pub flushes: u64,
+    /// Every bail back to the interpreter, broken down by
+    /// [`DeoptReason`] index. Wider than `deopts`: it also counts the
+    /// pre-dispatch refusals (guard miss, pending interrupt, timer
+    /// window, step budget) that never entered the block.
+    pub deopt_by: [u64; DeoptReason::COUNT],
 }
 
 impl JitCounters {
@@ -188,6 +194,9 @@ impl JitCounters {
         self.guard_misses += other.guard_misses;
         self.deopts += other.deopts;
         self.flushes += other.flushes;
+        for (a, b) in self.deopt_by.iter_mut().zip(other.deopt_by.iter()) {
+            *a += *b;
+        }
     }
 }
 
@@ -201,6 +210,14 @@ impl ToJson for JitCounters {
             ("guard_misses", Json::U64(self.guard_misses)),
             ("deopts", Json::U64(self.deopts)),
             ("flushes", Json::U64(self.flushes)),
+            (
+                "deopt",
+                Json::obj(
+                    DeoptReason::ALL
+                        .iter()
+                        .map(|r| (r.name(), Json::U64(self.deopt_by[r.index()]))),
+                ),
+            ),
         ])
     }
 }
@@ -442,6 +459,9 @@ impl Counters {
         out.push(("jit.guard_misses".into(), self.jit.guard_misses));
         out.push(("jit.deopts".into(), self.jit.deopts));
         out.push(("jit.flushes".into(), self.jit.flushes));
+        for r in DeoptReason::ALL {
+            out.push((format!("jit.deopt.{}", r.name()), self.jit.deopt_by[r.index()]));
+        }
         out.push(("checks.inst".into(), self.checks.inst));
         out.push(("checks.csr".into(), self.checks.csr));
         out.push(("checks.faults".into(), self.checks.faults));

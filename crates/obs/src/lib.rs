@@ -33,6 +33,7 @@ mod json;
 mod perfetto;
 mod prof;
 mod ring;
+mod trace;
 
 pub use counters::{
     BbCounters, CacheBank, CacheCounters, CheckCounters, Counters, GateCounters, JitCounters,
@@ -40,9 +41,13 @@ pub use counters::{
 };
 pub use event::{CacheKind, CheckKind, TimedEvent, TraceEvent};
 pub use json::{Json, ToJson};
-pub use perfetto::{ProfileReport, RunProfile};
+pub use perfetto::{ProfileReport, RunProfile, TraceReport};
 pub use prof::{
-    AuditKind, AuditLog, AuditRecord, DomainCycles, Histogram, ProfSink, Profile, Span, SpanKind,
-    StepClass, StepSample, TimeSeries, AUDIT_CAP,
+    AuditKind, AuditLog, AuditRecord, DomainCycles, Histogram, OpClass, ProfSink, Profile, Span,
+    SpanKind, StepClass, StepSample, TimeSeries, AUDIT_CAP,
 };
 pub use ring::{EventRing, NullTracer, RingTracer, TraceSink, Tracer};
+pub use trace::{
+    DeoptReason, Exemplars, HartEvent, ReqEvent, ReqTrace, ReqTracer, Segment, TelemetryStats,
+    TraceCollector, TraceId, TraceMode, TracePolicy,
+};

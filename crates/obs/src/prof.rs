@@ -47,7 +47,7 @@ impl Default for Histogram {
 }
 
 /// Index of the bucket holding `v`.
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v == 0 {
         0
     } else {
@@ -56,7 +56,7 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// Largest value bucket `i` can hold.
-fn bucket_upper(i: usize) -> u64 {
+pub(crate) fn bucket_upper(i: usize) -> u64 {
     match i {
         0 => 0,
         1..=63 => (1u64 << i) - 1,
@@ -76,6 +76,18 @@ impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Histogram::default()
+    }
+
+    /// Index of the log₂ bucket holding `v`. Exposed so latency
+    /// exemplars (trace IDs retained per bucket) share the exact
+    /// bucketing of the histogram they annotate.
+    pub fn bucket_of(v: u64) -> usize {
+        bucket_index(v)
+    }
+
+    /// `(lower, upper)` value bounds of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        (bucket_lower(i), bucket_upper(i))
     }
 
     /// Record one sample.
@@ -365,11 +377,78 @@ impl ToJson for TimeSeries {
     }
 }
 
+/// Coarse opcode class of one retired instruction, used for cycle
+/// attribution independent of the (domain, privilege) key. The classes
+/// mirror where the interpreter's `execute()` dispatch spends its time,
+/// giving the ROADMAP's JIT-specialization rung a measured baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Integer ALU / shift / compare / mul-div work (the default).
+    #[default]
+    Alu,
+    /// Memory loads (including LR).
+    Load,
+    /// Memory stores (including SC and AMOs).
+    Store,
+    /// Branches, jumps, and calls.
+    Branch,
+    /// Explicit CSR accesses.
+    Csr,
+    /// ISA-Grid gate and grid-cache instructions.
+    Gate,
+    /// Everything else: fences, ecall/ebreak, xRET, WFI.
+    System,
+}
+
+impl OpClass {
+    /// Number of opcode classes.
+    pub const COUNT: usize = 7;
+
+    /// All classes, in index order.
+    pub const ALL: [OpClass; OpClass::COUNT] = [
+        OpClass::Alu,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Csr,
+        OpClass::Gate,
+        OpClass::System,
+    ];
+
+    /// Stable index of this class in attribution arrays.
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Alu => 0,
+            OpClass::Load => 1,
+            OpClass::Store => 2,
+            OpClass::Branch => 3,
+            OpClass::Csr => 4,
+            OpClass::Gate => 5,
+            OpClass::System => 6,
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Alu => "alu",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Csr => "csr",
+            OpClass::Gate => "gate",
+            OpClass::System => "system",
+        }
+    }
+}
+
 /// Classification of one retired instruction, used to attribute its
 /// cycles to the latency histograms. Built by the simulator from the
 /// PCU's drained per-step events; the timing model never reads it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StepClass {
+    /// Coarse opcode class of the instruction.
+    pub op: OpClass,
     /// The step performed a gate switch (`hccall`/`hccalls`/`hcrets`).
     pub gate_switch: bool,
     /// Privilege checks the PCU performed for this step.
@@ -426,6 +505,8 @@ pub struct Profile {
     cur_since: u64,
     /// Cycle/step attribution keyed by (domain id, privilege level).
     pub domains: BTreeMap<(u16, u8), DomainCycles>,
+    /// Cycle/step attribution keyed by opcode class (see [`OpClass`]).
+    pub op_classes: [DomainCycles; OpClass::COUNT],
     /// Cycles of steps that performed a gate switch.
     pub gate_switch: Histogram,
     /// Cycles of steps that performed ≥ 1 privilege check.
@@ -515,6 +596,9 @@ impl Profile {
         let e = self.domains.entry((s.domain, s.priv_level)).or_default();
         e.cycles += s.cycles;
         e.steps += 1;
+        let oc = &mut self.op_classes[s.class.op.index()];
+        oc.cycles += s.cycles;
+        oc.steps += 1;
         self.series.add(t0, s.cycles);
         if s.class.gate_switch {
             self.gate_switch.record(s.cycles);
@@ -579,6 +663,10 @@ impl Profile {
             e.cycles += v.cycles;
             e.steps += v.steps;
         }
+        for (a, b) in self.op_classes.iter_mut().zip(other.op_classes.iter()) {
+            a.cycles += b.cycles;
+            a.steps += b.steps;
+        }
         self.gate_switch.merge(&other.gate_switch);
         self.check.merge(&other.check);
         self.grid_miss.merge(&other.grid_miss);
@@ -587,6 +675,25 @@ impl Profile {
         self.faults += other.faults;
         self.spans_dropped += other.spans_dropped;
     }
+}
+
+/// Serialize the opcode-class attribution as an array of objects
+/// (zero classes omitted).
+pub(crate) fn op_classes_json(op_classes: &[DomainCycles; OpClass::COUNT]) -> Json {
+    Json::Arr(
+        OpClass::ALL
+            .iter()
+            .filter(|c| op_classes[c.index()].steps > 0)
+            .map(|c| {
+                let v = op_classes[c.index()];
+                Json::obj([
+                    ("class", Json::Str(c.name().to_string())),
+                    ("cycles", Json::U64(v.cycles)),
+                    ("steps", Json::U64(v.steps)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Serialize the attribution keys as an array of objects.
@@ -625,6 +732,7 @@ impl ToJson for Profile {
             ("steps", Json::U64(self.steps)),
             ("faults", Json::U64(self.faults)),
             ("domains", domains_json(&self.domains)),
+            ("op_classes", op_classes_json(&self.op_classes)),
             ("histograms", histograms_json(self)),
             ("series", self.series.to_json()),
             ("spans_dropped", Json::U64(self.spans_dropped)),

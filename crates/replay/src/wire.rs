@@ -20,7 +20,7 @@ pub const MAGIC: [u8; 4] = *b"ISAR";
 
 /// Schema version. Bump on ANY change to the encoded layout of any
 /// frame kind — old snapshots must fail loudly, never misparse.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Frame kind tag: a whole-machine snapshot.
 pub const KIND_SNAPSHOT: u8 = 1;

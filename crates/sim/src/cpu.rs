@@ -91,6 +91,17 @@ pub struct ExtEvents {
     /// Fault-injection events applied or integrity detections made
     /// before this instruction committed (chaos harness; saturating).
     pub fault_events: u16,
+    /// A privilege check denied this step (a Grid fault was raised and
+    /// audited). Lets the request tracer attribute the denial without
+    /// re-deriving it from trap causes.
+    pub denied: bool,
+    /// Architectural cause of the denial (valid when `denied`).
+    pub deny_cause: u64,
+    /// Audit detail of the denial (valid when `denied`).
+    pub deny_detail: u64,
+    /// Coherence epoch acknowledged by the shootdown flush (valid when
+    /// `shootdown_flushed > 0`).
+    pub shootdown_epoch: u64,
 }
 
 impl ExtEvents {
@@ -456,6 +467,12 @@ pub struct Machine<E: Extension> {
     /// translate-and-decode path every step (the `--no-bbcache`
     /// escape hatch).
     pub bbcache: Option<Box<crate::bbcache::BbCache>>,
+    /// Request-scoped event tracer (gate entry/exit, denials,
+    /// shootdown acks, JIT deopts), tagged with the trace ID the serve
+    /// driver set; disabled by default. Observe-only like the other
+    /// sinks — and unlike them it does *not* force the per-step path,
+    /// so the JIT stays on under request tracing.
+    pub rtrace: isa_obs::ReqTracer,
     /// Superblock JIT compiled over the bbcache; `None` leaves
     /// [`Machine::run_steps`] on the per-instruction dispatch loop (the
     /// `--no-jit` escape hatch, and always when the bbcache is off).
@@ -493,6 +510,7 @@ impl<E: Extension> Machine<E> {
             trap_counts: std::collections::BTreeMap::new(),
             trace: isa_obs::TraceSink::off(),
             prof: isa_obs::ProfSink::off(),
+            rtrace: isa_obs::ReqTracer::off(),
             bbcache: Some(Box::new(crate::bbcache::BbCache::new())),
             jit: Some(Box::new(crate::jit::Jit::new())),
             jit_enabled: true,
@@ -552,6 +570,12 @@ impl<E: Extension> Machine<E> {
     /// Route per-step profiling samples into `sink`.
     pub fn set_profiler(&mut self, sink: isa_obs::ProfSink) {
         self.prof = sink;
+    }
+
+    /// Route request-scoped events (gate crossings, denials, shootdown
+    /// acks, JIT deopts) into `tracer`.
+    pub fn set_req_tracer(&mut self, tracer: isa_obs::ReqTracer) {
+        self.rtrace = tracer;
     }
 
     /// Load a program image into RAM and point the PC at its base.
@@ -674,6 +698,7 @@ impl<E: Extension> Machine<E> {
             priv_level: priv_level as u8,
             cycles,
             class: isa_obs::StepClass {
+                op: ev.kind.map_or(isa_obs::OpClass::System, Kind::op_class),
                 gate_switch: ev.ext.gate_switch,
                 checks: ev.ext.checks as u16,
                 grid_misses: ev.ext.hpt_inst_miss as u16
@@ -685,7 +710,45 @@ impl<E: Extension> Machine<E> {
                 trapped: ev.trap_cause.is_some(),
             },
         });
+        if self.rtrace.is_enabled()
+            && (ev.ext.gate_switch || ev.ext.denied || ev.ext.shootdown_flushed > 0)
+        {
+            self.rtrace_step(&ev);
+        }
         Some(ev)
+    }
+
+    /// Request-tracer hook, run once per interpreted step when a tracer
+    /// is installed. Gate instructions are serializing and never
+    /// compile into superblocks, so every gate crossing passes through
+    /// here even with the JIT on; denials and shootdowns taken inside a
+    /// block surface on the first interpreted step after the deopt
+    /// (their `ExtEvents` flags stay pending until drained).
+    fn rtrace_step(&mut self, ev: &Retired) {
+        let t = self.cpu.csrs.read_raw(addr::CYCLE);
+        if ev.ext.gate_switch {
+            let domain = self.ext.current_domain_id();
+            let exit = ev.kind == Some(Kind::Hcrets);
+            self.rtrace.emit(t, || {
+                if exit {
+                    isa_obs::ReqEvent::GateExit { domain }
+                } else {
+                    isa_obs::ReqEvent::GateEnter { domain }
+                }
+            });
+        }
+        if ev.ext.denied {
+            self.rtrace.emit(t, || isa_obs::ReqEvent::Deny {
+                cause: ev.ext.deny_cause,
+                detail: ev.ext.deny_detail,
+            });
+        }
+        if ev.ext.shootdown_flushed > 0 {
+            self.rtrace.emit(t, || isa_obs::ReqEvent::ShootdownAck {
+                flushes: ev.ext.shootdown_flushed,
+                epoch: ev.ext.shootdown_epoch,
+            });
+        }
     }
 
     fn fetch_and_execute(&mut self, ev: &mut Retired) -> Result<u64, Exception> {

@@ -233,6 +233,38 @@ impl Kind {
         )
     }
 
+    /// Coarse opcode class for the profiler's per-class cycle
+    /// attribution. Stores win over loads for AMOs (they do both);
+    /// gate/grid-custom wins over everything.
+    pub fn op_class(self) -> isa_obs::OpClass {
+        use isa_obs::OpClass;
+        if self.is_grid_custom() {
+            OpClass::Gate
+        } else if self.is_csr_access() {
+            OpClass::Csr
+        } else if self.is_store() {
+            OpClass::Store
+        } else if self.is_load() {
+            OpClass::Load
+        } else if self.is_branch() || matches!(self, Kind::Jal | Kind::Jalr) {
+            OpClass::Branch
+        } else if matches!(
+            self,
+            Kind::Fence
+                | Kind::FenceI
+                | Kind::Ecall
+                | Kind::Ebreak
+                | Kind::Mret
+                | Kind::Sret
+                | Kind::Wfi
+                | Kind::SfenceVma
+        ) {
+            OpClass::System
+        } else {
+            OpClass::Alu
+        }
+    }
+
     /// Whether this class uses the M (multiply/divide) functional unit.
     pub fn is_muldiv(self) -> bool {
         matches!(

@@ -55,6 +55,7 @@ use crate::bbcache::{BbCache, FetchKey, PAGE_SLOTS};
 use crate::cpu::{ExtEvents, Extension, Machine, Retired};
 use crate::decode::{Decoded, Kind};
 use crate::trap::Priv;
+use isa_obs::DeoptReason;
 
 /// Words in the guard's instruction-bitmap image (one bit per [`Kind`]).
 pub const GUARD_WORDS: usize = Kind::COUNT.div_ceil(64);
@@ -226,6 +227,14 @@ pub struct JitStats {
     pub deopts: u64,
     /// Whole-cache flushes (code or coherence epoch movement).
     pub flushes: u64,
+    /// Per-reason bail events, indexed by [`DeoptReason`]. Wider than
+    /// `deopts`: it also counts pre-dispatch refusals (guard miss,
+    /// pending interrupt, timer window, step budget), so
+    /// `deopt_by[Guard] == guard_misses` and
+    /// `deopt_by[Trap] + deopt_by[Mmio] + deopt_by[Epoch] >= deopts`
+    /// (pre-entry epoch re-reads land on `Epoch` without a `deopts`
+    /// tick).
+    pub deopt_by: [u64; DeoptReason::COUNT],
 }
 
 impl JitStats {
@@ -239,7 +248,12 @@ impl JitStats {
             guard_misses: self.guard_misses,
             deopts: self.deopts,
             flushes: self.flushes,
+            deopt_by: self.deopt_by,
         }
+    }
+
+    fn note(&mut self, reason: DeoptReason) {
+        self.deopt_by[reason.index()] += 1;
     }
 }
 
@@ -463,6 +477,8 @@ struct BlockExit {
     /// `false` when the block exited early (trap, MMIO store, epoch
     /// movement) and the chain must deoptimize to the interpreter.
     completed: bool,
+    /// Why the block exited early (set iff `!completed`).
+    reason: Option<DeoptReason>,
 }
 
 impl<E: Extension> Machine<E> {
@@ -537,6 +553,9 @@ impl<E: Extension> Machine<E> {
         // Never enter a block while an interrupt is deliverable (the
         // stepped path would redirect this very step) …
         if self.pending_interrupt().is_some() {
+            if let Some(j) = self.jit.as_mut() {
+                j.stats.note(DeoptReason::Interrupt);
+            }
             return 0;
         }
         // … and never let the virtual timer fire inside a block: with
@@ -546,6 +565,9 @@ impl<E: Extension> Machine<E> {
             Some(n) => {
                 let left = n.saturating_sub(self.timer_phase());
                 if left <= 1 {
+                    if let Some(j) = self.jit.as_mut() {
+                        j.stats.note(DeoptReason::Timer);
+                    }
                     return 0;
                 }
                 fuel.min(left - 1)
@@ -601,6 +623,7 @@ impl<E: Extension> Machine<E> {
             let block = &jit.blocks[id as usize];
             if block.guard != guard || block.key != key {
                 jit.stats.guard_misses += 1;
+                jit.stats.note(DeoptReason::Guard);
                 if linked {
                     // A resolved link outlived its guard: retry this pc
                     // through the dispatch map.
@@ -623,11 +646,13 @@ impl<E: Extension> Machine<E> {
                 jit.stats.linked += 1;
             }
             if executed + block.ops.len() as u64 > fuel {
+                jit.stats.note(DeoptReason::Budget);
                 break; // would cross the step budget: let the caller decide
             }
             // Concurrent invalidations (run_concurrent only) surface at
             // block granularity: re-read both epochs before entering.
             if self.bus.code_epoch() != code_epoch || self.ext.coherence_epoch() != guard.epoch {
+                jit.stats.note(DeoptReason::Epoch);
                 break;
             }
             jit.stats.entered += 1;
@@ -635,7 +660,13 @@ impl<E: Extension> Machine<E> {
             executed += exit.executed;
             jit.stats.ops += exit.executed;
             if !exit.completed {
+                let reason = exit.reason.unwrap_or(DeoptReason::Trap);
                 jit.stats.deopts += 1;
+                jit.stats.note(reason);
+                if self.rtrace.is_enabled() {
+                    let t = self.cpu.csrs.read_raw(crate::csr::addr::CYCLE);
+                    self.rtrace.emit(t, || isa_obs::ReqEvent::Deopt { reason });
+                }
                 break;
             }
             if self.bus.halted().is_some() {
@@ -715,6 +746,7 @@ impl<E: Extension> Machine<E> {
         let mut executed = 0u64;
         let mut committed = 0u64;
         let mut completed = true;
+        let mut reason = None;
         let mut local;
         for op in b.ops.iter() {
             executed += 1;
@@ -749,6 +781,7 @@ impl<E: Extension> Machine<E> {
                     ev.next_pc = self.cpu.pc;
                     ev.ext = self.ext.drain_events();
                     completed = false;
+                    reason = Some(DeoptReason::Trap);
                     break;
                 }
             }
@@ -770,6 +803,11 @@ impl<E: Extension> Machine<E> {
                         || self.ext.coherence_epoch() != b.guard.epoch
                     {
                         completed = false;
+                        reason = Some(if in_ram {
+                            DeoptReason::Epoch
+                        } else {
+                            DeoptReason::Mmio
+                        });
                         break;
                     }
                 }
@@ -791,6 +829,7 @@ impl<E: Extension> Machine<E> {
         BlockExit {
             executed,
             completed,
+            reason,
         }
     }
 }

@@ -295,6 +295,24 @@ impl Smp {
             .collect())
     }
 
+    /// Install one enabled request tracer per hart and return the
+    /// handles, in hart order. Tracers are per-hart buffers with no
+    /// cross-hart sharing (the deterministic interleaver drains them at
+    /// round boundaries), so they add no synchronization to the bus.
+    /// Note they are `Rc`-backed and must stay on the interleaver
+    /// thread — [`Smp::run_concurrent`] builds its machines inside the
+    /// worker threads and is unaffected.
+    pub fn install_req_tracers(&mut self) -> Vec<isa_obs::ReqTracer> {
+        self.harts
+            .iter_mut()
+            .map(|m| {
+                let tracer = isa_obs::ReqTracer::enabled();
+                m.set_req_tracer(tracer.clone());
+                tracer
+            })
+            .collect()
+    }
+
     /// Merged whole-machine counters: every hart's PCU snapshot summed,
     /// plus the `smp.*` block (hart count, bus-wide reservation breaks).
     pub fn counters(&self) -> Counters {

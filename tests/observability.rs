@@ -176,6 +176,28 @@ fn conflict_evictions_and_jit_tallies_surface_in_the_registry() {
     assert!(entered > 0, "kernel run should enter compiled blocks");
     assert!(c.get("jit.compiled").unwrap_or(0) > 0);
     assert!(c.get("jit.ops").unwrap_or(0) >= entered);
+    // Deopts are split by reason in the registry. Guard misses retire
+    // before block dispatch, so the per-reason total covers at least
+    // the in-block `jit.deopts` tally, and the guard slot mirrors
+    // `jit.guard_misses` exactly.
+    let reasons = [
+        "guard",
+        "trap",
+        "mmio",
+        "epoch",
+        "interrupt",
+        "timer",
+        "budget",
+    ];
+    let mut by_reason = 0;
+    for r in reasons {
+        let name = format!("jit.deopt.{r}");
+        by_reason += c
+            .get(&name)
+            .unwrap_or_else(|| panic!("{name} missing from the registry"));
+    }
+    assert!(by_reason >= c.get("jit.deopts").unwrap_or(0));
+    assert_eq!(c.get("jit.deopt.guard"), c.get("jit.guard_misses"));
     // The JSON report carries both blocks for the CI smoke checks.
     let json = c.to_json().to_string();
     assert!(json.contains("\"conflicts\""));

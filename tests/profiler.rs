@@ -199,4 +199,31 @@ fn perfetto_export_parses_with_per_hart_tracks_and_domain_spans() {
             > 0,
         "merged gate-switch histogram must be populated"
     );
+
+    // Per-opcode-class attribution (the `grid-prof --top` view): the
+    // classes partition the run, so their cycles sum to the total, and
+    // a gate-heavy kernel run attributes cycles to the gate class.
+    let classes = totals
+        .get("op_classes")
+        .and_then(Json::as_arr)
+        .expect("totals.op_classes array");
+    let total: u64 = classes
+        .iter()
+        .filter_map(|c| c.get("cycles").and_then(Json::as_u64))
+        .sum();
+    assert_eq!(
+        Some(total),
+        totals.get("cycles").and_then(Json::as_u64),
+        "op classes partition the attributed cycles"
+    );
+    let class_cycles = |name: &str| {
+        classes
+            .iter()
+            .find(|c| c.get("class").and_then(Json::as_str) == Some(name))
+            .and_then(|c| c.get("cycles"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    assert!(class_cycles("alu") > 0, "compute loops attribute as alu");
+    assert!(class_cycles("gate") > 0, "gate crossings attribute as gate");
 }
