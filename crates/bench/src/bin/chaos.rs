@@ -1,0 +1,116 @@
+//! Chaos soak bench: sweep seed × fault-rate × hart-count over the
+//! self-healing serve layer and assert the recovery contract (zero
+//! silent escalations, confined blast radius, bounded rollback,
+//! deterministic decisions). Writes `BENCH_chaos.json`; exits nonzero
+//! on any oracle violation.
+//!
+//! ```text
+//! chaos --seeds 1,2 --rates 20000,60000 --harts 1,4 --json
+//! ```
+use isa_grid_bench::chaos;
+use isa_grid_bench::report::Cli;
+
+fn list_u64(raw: Option<&str>, default: &[u64], flag: &str) -> Vec<u64> {
+    let Some(raw) = raw else {
+        return default.to_vec();
+    };
+    let mut out = Vec::new();
+    for part in raw.split(',').filter(|p| !p.is_empty()) {
+        match part.trim().parse() {
+            Ok(v) => out.push(v),
+            Err(_) => {
+                eprintln!("chaos: {flag} expects a comma-separated u64 list, got {raw:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if out.is_empty() {
+        eprintln!("chaos: {flag} must name at least one value");
+        std::process::exit(2);
+    }
+    out
+}
+
+fn main() {
+    let args = Cli::new("chaos", "self-healing serve chaos soak")
+        .flag_str(
+            "--seeds",
+            "comma-separated workload/fault seeds (default 1,2)",
+        )
+        .flag_str(
+            "--rates",
+            "comma-separated fault rates in ppm (default 20000,60000)",
+        )
+        .flag_str("--harts", "comma-separated hart counts (default 1,4)")
+        .flag_u64("--tenants", 6, "tenant sessions per run (1..=56)")
+        .flag_u64("--requests", 240, "requests per run")
+        .flag_u64(
+            "--checkpoint-every",
+            24,
+            "checkpoint cadence in resolved requests",
+        )
+        .flag_u64("--watchdog-rounds", 384, "watchdog budget in rounds")
+        .flag_u64(
+            "--shed-deadline",
+            0,
+            "admission shed deadline in virtual cycles (0 = no shedding)",
+        )
+        .flag_str("--out", "report path (default BENCH_chaos.json)")
+        .from_env();
+
+    let mut cfg = chaos::ChaosConfig::new();
+    cfg.seeds = list_u64(args.str_opt("--seeds"), &cfg.seeds.clone(), "--seeds");
+    cfg.rates = list_u64(args.str_opt("--rates"), &cfg.rates.clone(), "--rates");
+    cfg.harts = list_u64(
+        args.str_opt("--harts"),
+        &cfg.harts.iter().map(|h| *h as u64).collect::<Vec<_>>(),
+        "--harts",
+    )
+    .into_iter()
+    .map(|h| h as usize)
+    .collect();
+    cfg.tenants = args.u64("--tenants") as usize;
+    cfg.requests = args.u64("--requests");
+    cfg.checkpoint_every = args.u64("--checkpoint-every").max(1);
+    cfg.watchdog_rounds = args.u64("--watchdog-rounds").max(1);
+    cfg.shed_deadline = args.u64("--shed-deadline");
+
+    let outcome = chaos::run(&cfg);
+    let table = chaos::render(&cfg, &outcome);
+    print!("{}", args.emit(&table));
+
+    let json = format!("{}\n", table.to_json().pretty());
+    let mut paths = vec!["BENCH_chaos.json"];
+    if let Some(out) = args.str_opt("--out") {
+        if out != "BENCH_chaos.json" {
+            paths.push(out);
+        }
+    }
+    for path in paths {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("chaos: cannot write {path}: {e}");
+            std::process::exit(3);
+        }
+    }
+
+    if !outcome.ok() {
+        for v in &outcome.violations {
+            eprintln!(
+                "chaos: VIOLATION seed {} rate {} harts {}: {}",
+                v.seed, v.rate_ppm, v.harts, v.what
+            );
+        }
+        std::process::exit(4);
+    }
+    eprintln!(
+        "chaos: {} points green ({} faults injected, {} quarantines, {} recoveries)",
+        outcome.points.len(),
+        outcome.points.iter().map(|p| p.injected).sum::<u64>(),
+        outcome
+            .points
+            .iter()
+            .map(|p| p.quarantined.len() as u64)
+            .sum::<u64>(),
+        outcome.points.iter().map(|p| p.recoveries).sum::<u64>(),
+    );
+}

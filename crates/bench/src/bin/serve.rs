@@ -45,6 +45,40 @@ fn main() {
             0,
             "differential-oracle check every N completions (0 = never)",
         )
+        .flag_bool(
+            "--self-heal",
+            "classify failures, quarantine faulted tenants, retry from checkpoints",
+        )
+        .flag_u64(
+            "--checkpoint-every",
+            0,
+            "checkpoint into the recovery ring every N resolved requests (0 = never)",
+        )
+        .flag_u64(
+            "--request-fault-ppm",
+            0,
+            "seeded request-targeted chaos rate in faults/million (needs --self-heal)",
+        )
+        .flag_u64(
+            "--machine-fault-ppm",
+            0,
+            "seeded machine-level fault rate on PCU commit indices (0 = none)",
+        )
+        .flag_u64(
+            "--shed-deadline",
+            0,
+            "shed arrivals whose projected sojourn exceeds N virtual cycles (0 = off)",
+        )
+        .flag_u64(
+            "--watchdog-rounds",
+            0,
+            "per-request watchdog budget in rounds (0 = default 2048)",
+        )
+        .flag_u64(
+            "--shootdown-deadline",
+            0,
+            "override PCU shootdown deadline in polls (0 = profile default)",
+        )
         .flag_str("--out", "report path (default BENCH_serve.json)")
         .flag_str(
             "--trace",
@@ -79,6 +113,17 @@ fn main() {
     cfg.probe_every = args.u64("--probe-every");
     cfg.profile = args.profile.is_some();
     cfg.jit = args.jit;
+    cfg.self_heal = args.flag("--self-heal");
+    cfg.checkpoint_every = args.u64("--checkpoint-every");
+    cfg.request_fault_ppm = args.u64("--request-fault-ppm");
+    cfg.machine_fault_ppm = args.u64("--machine-fault-ppm");
+    cfg.shed_deadline = args.u64("--shed-deadline");
+    cfg.watchdog_rounds = args.u64("--watchdog-rounds");
+    cfg.shootdown_deadline = args.u64("--shootdown-deadline");
+    if cfg.request_fault_ppm > 0 && !cfg.self_heal {
+        eprintln!("serve: --request-fault-ppm needs --self-heal (a raw injection just wedges)");
+        std::process::exit(2);
+    }
 
     // Tracing: `--trace <path>` turns it on (sampled unless
     // `--trace-mode full`); `--trace-mode` alone collects without

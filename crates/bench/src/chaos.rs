@@ -1,0 +1,511 @@
+//! Chaos soak for the self-healing serve layer: a seed × fault-rate ×
+//! hart-count sweep with an oracle asserting the recovery contract.
+//!
+//! Every point runs [`serve`] with `self_heal` on, a seeded
+//! request-fault plan ([`isa_fault::ServeFaultPlan`]: wedges, table
+//! flips, shootdown jams) and periodic checkpoints, then checks the
+//! outcome against a fault-free baseline of the same `(seed, harts)`
+//! and against pure host-side predictions of the plan:
+//!
+//! - **Zero silent escalations**: every planned fault that reached
+//!   dispatch (i.e. was not shed at admission) shows up in the ledger —
+//!   as a classified failure or a quarantine rejection. No faulted
+//!   request completes as if healthy.
+//! - **Blast radius**: tenants outside the quarantine set finish with
+//!   per-tenant completion digests bit-identical to the fault-free run.
+//! - **Bounded recovery**: every restore span rolls back at most one
+//!   checkpoint interval plus the in-flight window and one admission
+//!   round of host-side resolutions.
+//! - **Determinism**: the same point run twice is bit-identical, and
+//!   the recovery *decisions* (quarantined-tenant set, shed set) are
+//!   identical across hart counts for the same `(seed, rate)` — the
+//!   quarantine set is exactly the predicted set derived from the
+//!   fault plan and the shed plan, with no simulation in the loop.
+//! - **Crash-only, not crash-prone**: the stall fallback never fires
+//!   (`aborted == 0`, `stalls == 0`).
+//!
+//! The `chaos` binary renders the sweep as `BENCH_chaos.json` and exits
+//! nonzero on any violation; CI's `chaos-smoke` job asserts on the
+//! JSON. See DESIGN.md, "Degradation and recovery contract".
+
+use std::collections::BTreeMap;
+
+use isa_fault::ServeFaultPlan;
+use isa_obs::Json;
+
+use crate::report::Table;
+use crate::serve::{self, ServeConfig, ServeOutcome};
+
+/// Sweep configuration for one chaos soak.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Workload/fault seeds to sweep.
+    pub seeds: Vec<u64>,
+    /// Per-request fault rates in parts-per-million.
+    pub rates: Vec<u64>,
+    /// Hart counts to sweep (decision digests must agree across them).
+    pub harts: Vec<usize>,
+    /// Tenant sessions per run.
+    pub tenants: usize,
+    /// Requests per run.
+    pub requests: u64,
+    /// Checkpoint cadence in resolved requests.
+    pub checkpoint_every: u64,
+    /// Watchdog budget in rounds (kept small so wedges resolve fast).
+    pub watchdog_rounds: u64,
+    /// Admission shed deadline in virtual cycles (0 = no shedding).
+    pub shed_deadline: u64,
+}
+
+impl ChaosConfig {
+    /// The CI smoke shape: 2 seeds × 2 rates × {1, 4} harts.
+    pub fn new() -> ChaosConfig {
+        ChaosConfig {
+            seeds: vec![1, 2],
+            rates: vec![20_000, 60_000],
+            harts: vec![1, 4],
+            tenants: 6,
+            requests: 240,
+            checkpoint_every: 24,
+            watchdog_rounds: 384,
+            shed_deadline: 0,
+        }
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig::new()
+    }
+}
+
+/// One oracle violation, with enough context to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Seed of the offending point.
+    pub seed: u64,
+    /// Fault rate of the offending point.
+    pub rate_ppm: u64,
+    /// Hart count of the offending point.
+    pub harts: usize,
+    /// What the oracle saw.
+    pub what: String,
+}
+
+/// One swept point: the chaos run's observable recovery behavior.
+#[derive(Debug, Clone)]
+pub struct ChaosPoint {
+    /// Workload/fault seed.
+    pub seed: u64,
+    /// Fault rate in parts-per-million.
+    pub rate_ppm: u64,
+    /// Harts serving the run.
+    pub harts: usize,
+    /// Planned faults that reached dispatch (not shed).
+    pub injected: u64,
+    /// Completion digest of the chaos run.
+    pub digest: u64,
+    /// Schedule-independent digest of the recovery decisions.
+    pub decision_digest: u64,
+    /// Quarantined tenants, ascending.
+    pub quarantined: Vec<u64>,
+    /// Classified failures recorded in the ledger.
+    pub failures: u64,
+    /// Host rejections of quarantined tenants' requests.
+    pub rejections: u64,
+    /// Arrivals dropped by the shedder.
+    pub sheds: u64,
+    /// Restore episodes.
+    pub recoveries: u64,
+    /// Checkpoints captured.
+    pub checkpoints: u64,
+    /// Largest rollback across restore spans (resolved requests).
+    pub max_rollback: u64,
+    /// Tenants untouched by any quarantine.
+    pub healthy: u64,
+    /// Requests drained by the stall fallback (must be 0).
+    pub aborted: u64,
+    /// Stall-fallback activations (must be 0).
+    pub stalls: u64,
+}
+
+/// The whole sweep: every point plus every oracle violation.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosOutcome {
+    /// One entry per swept `(seed, rate, harts)` point.
+    pub points: Vec<ChaosPoint>,
+    /// Oracle violations (empty means the contract held).
+    pub violations: Vec<Violation>,
+}
+
+impl ChaosOutcome {
+    /// Whether the recovery contract held everywhere.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn serve_cfg(base: &ChaosConfig, seed: u64, rate_ppm: u64, harts: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::new(base.tenants, base.requests, harts, seed);
+    // Rotation rewrites (and reseals) tenant tables, which would mask
+    // an injected table flip before the guest walks it — off under
+    // chaos so every planned fault stays observable.
+    cfg.rotate_every = 0;
+    cfg.flush_every = 16;
+    cfg.self_heal = true;
+    cfg.request_fault_ppm = rate_ppm;
+    cfg.checkpoint_every = base.checkpoint_every;
+    cfg.watchdog_rounds = base.watchdog_rounds;
+    cfg.shed_deadline = base.shed_deadline;
+    cfg
+}
+
+/// Run the sweep and judge every point against the recovery contract.
+pub fn run(base: &ChaosConfig) -> ChaosOutcome {
+    let mut out = ChaosOutcome::default();
+    // Fault-free baselines, one per (seed, harts): the healthy-tenant
+    // digests every chaos run must reproduce bit-identically.
+    let mut baselines: BTreeMap<(u64, usize), ServeOutcome> = BTreeMap::new();
+    // Recovery decisions per (seed, rate): must agree across harts.
+    let mut decisions: BTreeMap<(u64, u64), (usize, u64, Vec<u64>)> = BTreeMap::new();
+
+    for &seed in &base.seeds {
+        for &harts in &base.harts {
+            let cfg = serve_cfg(base, seed, 0, harts);
+            baselines.insert((seed, harts), serve::run(&cfg));
+        }
+    }
+
+    for &seed in &base.seeds {
+        for &rate in &base.rates {
+            for &harts in &base.harts {
+                let cfg = serve_cfg(base, seed, rate, harts);
+                let o = serve::run(&cfg);
+                let mut fail = |what: String| {
+                    out.violations.push(Violation {
+                        seed,
+                        rate_ppm: rate,
+                        harts,
+                        what,
+                    })
+                };
+
+                // Ground truth, with no simulation in the loop: the
+                // fault plan says which request indices are faulted,
+                // the shed plan says which never reach dispatch, and
+                // the tenant plan maps indices to tenants.
+                let plan = ServeFaultPlan::new(seed, rate);
+                let shed_set: std::collections::BTreeSet<u64> =
+                    serve::shed_plan(&cfg).into_iter().collect();
+                let tenants_of = serve::tenant_plan(&cfg);
+                let injected: Vec<u64> = plan
+                    .faulted_below(cfg.requests)
+                    .into_iter()
+                    .map(|(idx, _)| idx)
+                    .filter(|idx| !shed_set.contains(idx))
+                    .collect();
+                let predicted: Vec<u64> = {
+                    let set: std::collections::BTreeSet<u64> = injected
+                        .iter()
+                        .map(|&idx| tenants_of[idx as usize])
+                        .collect();
+                    set.into_iter().collect()
+                };
+
+                // 1. Zero silent escalations: every injected fault is
+                // in the ledger (classified, or rejected after its
+                // tenant's earlier fault).
+                let r = &o.recovery;
+                for &idx in &injected {
+                    let classified = r.failures.iter().any(|f| f.request == idx);
+                    let rejected = r.rejections.contains(&idx);
+                    if !classified && !rejected {
+                        fail(format!("silent escalation: faulted request {idx} absent from the failure and rejection ledgers"));
+                    }
+                }
+
+                // 2. The quarantine set is exactly the predicted set.
+                if r.quarantined != predicted {
+                    fail(format!(
+                        "quarantine set {:?} != predicted {:?}",
+                        r.quarantined, predicted
+                    ));
+                }
+
+                // 3. Blast radius: healthy tenants' digests are
+                // bit-identical to the fault-free run.
+                let bl = &baselines[&(seed, harts)];
+                for t in 0..cfg.tenants {
+                    if r.quarantined.contains(&(t as u64)) {
+                        continue;
+                    }
+                    if o.per_tenant[t].digest != bl.per_tenant[t].digest {
+                        fail(format!(
+                            "blast radius: healthy tenant {t} digest {:#x} != fault-free {:#x}",
+                            o.per_tenant[t].digest, bl.per_tenant[t].digest
+                        ));
+                    }
+                }
+
+                // 4. Bounded recovery: a restore rolls back at most one
+                // checkpoint interval, plus the in-flight window and
+                // one admission round of host-side resolutions (sheds
+                // and quarantine-sweep rejections land in bursts).
+                let slop = harts as u64 + cfg.requests / cfg.tenants.max(1) as u64 + 16;
+                let bound = cfg.checkpoint_every + slop;
+                let max_rollback = r
+                    .spans
+                    .iter()
+                    .map(|s| s.failed_progress.saturating_sub(s.restored_progress))
+                    .max()
+                    .unwrap_or(0);
+                if max_rollback > bound {
+                    fail(format!(
+                        "unbounded recovery: rollback of {max_rollback} requests exceeds {bound}"
+                    ));
+                }
+
+                // 5. Crash-only, not crash-prone.
+                if r.stalls != 0 || r.aborted != 0 {
+                    fail(format!(
+                        "stall fallback fired: {} stalls, {} aborted",
+                        r.stalls, r.aborted
+                    ));
+                }
+                if o.completed + o.denied + o.shed != cfg.requests {
+                    fail(format!(
+                        "lost requests: {} completed + {} denied + {} shed != {}",
+                        o.completed, o.denied, o.shed, cfg.requests
+                    ));
+                }
+
+                // 6. Determinism: the same point replayed is
+                // bit-identical...
+                let o2 = serve::run(&cfg);
+                if o2.digest != o.digest
+                    || o2.recovery.decision_digest != r.decision_digest
+                    || o2.recovery.quarantined != r.quarantined
+                {
+                    fail(format!(
+                        "nondeterministic replay: digest {:#x} vs {:#x}",
+                        o.digest, o2.digest
+                    ));
+                }
+                // ...and the recovery decisions agree across hart
+                // counts for the same (seed, rate).
+                match decisions.get(&(seed, rate)) {
+                    None => {
+                        decisions.insert(
+                            (seed, rate),
+                            (harts, r.decision_digest, r.quarantined.clone()),
+                        );
+                    }
+                    Some((h0, dd, q)) => {
+                        if *dd != r.decision_digest || *q != r.quarantined {
+                            fail(format!(
+                                "decisions diverge across hart counts: {harts} harts chose {:?} ({:#x}), {h0} harts chose {q:?} ({dd:#x})",
+                                r.quarantined, r.decision_digest
+                            ));
+                        }
+                    }
+                }
+
+                out.points.push(ChaosPoint {
+                    seed,
+                    rate_ppm: rate,
+                    harts,
+                    injected: injected.len() as u64,
+                    digest: o.digest,
+                    decision_digest: r.decision_digest,
+                    quarantined: r.quarantined.clone(),
+                    failures: r.failures.len() as u64,
+                    rejections: r.rejections.len() as u64,
+                    sheds: r.sheds,
+                    recoveries: r.recoveries,
+                    checkpoints: r.checkpoints,
+                    max_rollback,
+                    healthy: cfg.tenants as u64 - r.quarantined.len() as u64,
+                    aborted: r.aborted,
+                    stalls: r.stalls,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the sweep as a schema-versioned report table (the `chaos`
+/// binary writes its JSON to `BENCH_chaos.json`).
+pub fn render(base: &ChaosConfig, o: &ChaosOutcome) -> Table {
+    let mut t = Table::new(
+        "Chaos soak: self-healing serve under seeded fault plans",
+        &[
+            "seed",
+            "rate_ppm",
+            "harts",
+            "injected",
+            "failures",
+            "quarantined",
+            "sheds",
+            "recoveries",
+            "max rollback",
+            "healthy",
+        ],
+    );
+    for p in &o.points {
+        t.row(vec![
+            p.seed.to_string(),
+            p.rate_ppm.to_string(),
+            p.harts.to_string(),
+            p.injected.to_string(),
+            p.failures.to_string(),
+            p.quarantined.len().to_string(),
+            p.sheds.to_string(),
+            p.recoveries.to_string(),
+            p.max_rollback.to_string(),
+            p.healthy.to_string(),
+        ]);
+    }
+    t.config(
+        "seeds",
+        Json::Arr(base.seeds.iter().map(|s| Json::U64(*s)).collect()),
+    );
+    t.config(
+        "rates",
+        Json::Arr(base.rates.iter().map(|r| Json::U64(*r)).collect()),
+    );
+    t.config(
+        "harts",
+        Json::Arr(base.harts.iter().map(|h| Json::U64(*h as u64)).collect()),
+    );
+    t.config("tenants", Json::U64(base.tenants as u64));
+    t.config("requests", Json::U64(base.requests));
+    t.config("checkpoint_every", Json::U64(base.checkpoint_every));
+    t.config("watchdog_rounds", Json::U64(base.watchdog_rounds));
+    t.config("shed_deadline", Json::U64(base.shed_deadline));
+    t.extra("ok", Json::Bool(o.ok()));
+    t.extra("points", Json::U64(o.points.len() as u64));
+    t.extra(
+        "injected_total",
+        Json::U64(o.points.iter().map(|p| p.injected).sum()),
+    );
+    t.extra(
+        "quarantines_total",
+        Json::U64(o.points.iter().map(|p| p.quarantined.len() as u64).sum()),
+    );
+    t.extra(
+        "recoveries_total",
+        Json::U64(o.points.iter().map(|p| p.recoveries).sum()),
+    );
+    t.extra(
+        "sheds_total",
+        Json::U64(o.points.iter().map(|p| p.sheds).sum()),
+    );
+    t.extra(
+        "max_rollback",
+        Json::U64(o.points.iter().map(|p| p.max_rollback).max().unwrap_or(0)),
+    );
+    t.extra(
+        "point_detail",
+        Json::Arr(
+            o.points
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("seed", Json::U64(p.seed)),
+                        ("rate_ppm", Json::U64(p.rate_ppm)),
+                        ("harts", Json::U64(p.harts as u64)),
+                        ("injected", Json::U64(p.injected)),
+                        ("digest", Json::Str(format!("{:#018x}", p.digest))),
+                        (
+                            "decision_digest",
+                            Json::Str(format!("{:#018x}", p.decision_digest)),
+                        ),
+                        (
+                            "quarantined",
+                            Json::Arr(p.quarantined.iter().map(|t| Json::U64(*t)).collect()),
+                        ),
+                        ("failures", Json::U64(p.failures)),
+                        ("rejections", Json::U64(p.rejections)),
+                        ("sheds", Json::U64(p.sheds)),
+                        ("recoveries", Json::U64(p.recoveries)),
+                        ("checkpoints", Json::U64(p.checkpoints)),
+                        ("max_rollback", Json::U64(p.max_rollback)),
+                        ("healthy", Json::U64(p.healthy)),
+                        ("aborted", Json::U64(p.aborted)),
+                        ("stalls", Json::U64(p.stalls)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    t.extra(
+        "violations",
+        Json::Arr(
+            o.violations
+                .iter()
+                .map(|v| {
+                    Json::obj([
+                        ("seed", Json::U64(v.seed)),
+                        ("rate_ppm", Json::U64(v.rate_ppm)),
+                        ("harts", Json::U64(v.harts as u64)),
+                        ("what", Json::Str(v.what.clone())),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_upholds_the_contract() {
+        let cfg = ChaosConfig {
+            seeds: vec![3],
+            rates: vec![40_000],
+            harts: vec![1, 2],
+            tenants: 4,
+            requests: 96,
+            checkpoint_every: 16,
+            watchdog_rounds: 256,
+            shed_deadline: 0,
+        };
+        let o = run(&cfg);
+        assert!(o.ok(), "recovery contract violated: {:?}", o.violations);
+        assert_eq!(o.points.len(), 2);
+        assert!(
+            o.points.iter().any(|p| !p.quarantined.is_empty()),
+            "sweep must actually inject and quarantine: {:?}",
+            o.points
+        );
+    }
+
+    #[test]
+    fn shedding_composes_with_chaos() {
+        let cfg = ChaosConfig {
+            seeds: vec![5],
+            rates: vec![40_000],
+            harts: vec![2],
+            tenants: 4,
+            requests: 96,
+            checkpoint_every: 16,
+            watchdog_rounds: 256,
+            shed_deadline: 4_000,
+        };
+        let o = run(&cfg);
+        assert!(
+            o.ok(),
+            "recovery contract violated under shedding: {:?}",
+            o.violations
+        );
+        assert!(
+            o.points.iter().any(|p| p.sheds > 0),
+            "deadline of 4000 cycles must shed under backlog: {:?}",
+            o.points
+        );
+    }
+}

@@ -210,6 +210,12 @@ pub fn run_case(case: &FaultCase) -> CaseOutcome {
             None,
         ),
         Err(RunError::Watchdog { hart, .. }) => (vec!["watchdog".to_string()], Some(hart)),
+        // The structured error already names the failure class — no
+        // more re-deriving "was this an integrity stall?" from the
+        // audit log after the fact.
+        Err(RunError::IntegrityFault { hart, .. }) => {
+            (vec!["integrity_fault".to_string()], Some(hart))
+        }
     };
     let _ = watchdog;
 

@@ -21,11 +21,13 @@
 //! | SMP scaling & shootdown traffic | [`smpbench`] | `smp` |
 //! | fail-closed fault-injection sweep | [`faultbench`] | `fault` |
 //! | multi-tenant serving harness | [`serve`] | `serve` |
+//! | self-healing chaos soak | [`chaos`] | `chaos` |
 
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod breakdown;
+pub mod chaos;
 pub mod faultbench;
 pub mod figs;
 pub mod gatebench;

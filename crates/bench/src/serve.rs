@@ -33,12 +33,31 @@
 //! PCU denies it, the M-mode trap handler marks the mailbox denied,
 //! and the denial lands in the PCU audit log — the request never
 //! completes. `tests/serve.rs` pins this down.
+//!
+//! ## Self-healing ([`ServeConfig::self_heal`])
+//!
+//! The harness can run crash-only: periodic checkpoints go into a
+//! bounded [`CheckpointRing`], per-request failures are classified
+//! into a [`ServeError`] (per-request watchdog, cause-28 integrity
+//! fault, shootdown-deadline expiry, oracle divergence), and the
+//! policy reacts deterministically — quarantine the offending
+//! tenant's ISA domain to deny-all, restore the machine from the last
+//! good checkpoint and retry the rewound in-flight requests with
+//! bounded backoff, and (independently) shed admission with a
+//! deterministic deadline-budget rule so the tail latency of admitted
+//! requests stays bounded while sheds are counted, not hidden. The
+//! chaos bench (`crates/bench/src/chaos.rs`) drives this layer under
+//! seeded fault plans and asserts the recovery contract; see
+//! DESIGN.md, "Degradation and recovery contract".
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use isa_asm::{Asm, Program, Reg::*};
-use isa_grid::{DomainId, DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig};
+use isa_fault::{FaultEvent, FaultPlan, ServeFaultKind, ServeFaultPlan};
+use isa_grid::{
+    DomainId, DomainSpec, GateSpec, GridLayout, Pcu, PcuConfig, SHOOTDOWN_DEADLINE_POLLS,
+};
 use isa_obs::{
     AuditRecord, Counters, Histogram, Json, ProfSink, ReqTracer, RunProfile, TimeSeries, ToJson,
     TraceEvent,
@@ -47,10 +66,13 @@ pub use isa_obs::{TraceCollector, TraceMode, TracePolicy, TraceReport};
 use isa_replay::wire::KIND_SERVE;
 use isa_replay::{
     capture_session, decode_snapshot_payload, encode_snapshot_payload, restore_session,
-    state_digest, Dec, Divergence, Enc, EventLog, HostEvent, RestoreError, SpecSmp, WireError,
+    state_digest, CheckpointRing, Dec, Divergence, Enc, EventLog, HostEvent, RestoreError, SpecSmp,
+    WireError,
 };
 use isa_sim::csr::addr;
-use isa_sim::{Bus, Extension, Kind, Machine, DEFAULT_RAM_BASE as RAM, DEFAULT_RAM_SIZE};
+use isa_sim::{
+    Bus, Exception, Extension, Kind, Machine, DEFAULT_RAM_BASE as RAM, DEFAULT_RAM_SIZE,
+};
 use isa_smp::Smp;
 use simkernel::SmpSession;
 
@@ -71,6 +93,26 @@ const MB_STRIDE: u64 = 0x1000;
 /// syscall microflow reads and folds into the digest. Identical on
 /// every hart so digests stay hart-count independent.
 const CPUINFO_VALUE: u64 = 0x5345_5256_4530_3031; // "SERVE001"
+
+// Request resolution status codes folded into the digest. 2 and 3 are
+// the guest-written doorbell values; 4..=6 are host-side resolutions.
+const STATUS_REJECTED: u64 = 4; // host-rejected: tenant quarantined
+const STATUS_SHED: u64 = 5; // admission shed by the deadline budget
+const STATUS_ABORTED: u64 = 6; // stall fallback drained the request
+
+/// Iteration count planted by a `Wedge` fault — never finishes inside
+/// any watchdog budget.
+const WEDGE_ITERS: u64 = 1 << 40;
+/// Per-request watchdog budget in rounds when
+/// [`ServeConfig::watchdog_rounds`] is 0.
+const DEFAULT_WATCHDOG_ROUNDS: u64 = 2048;
+/// A request's watchdog may fire at most this many times before the
+/// policy stops restoring and relies on quarantine alone.
+const MAX_REQUEST_RETRIES: u32 = 3;
+/// Exponential-backoff cap: budget is `watchdog_rounds << min(n, 3)`.
+const MAX_BACKOFF_SHIFT: u32 = 3;
+/// Checkpoints retained by the recovery ring.
+const CHECKPOINT_RING_CAP: usize = 4;
 
 // Mailbox word offsets.
 const MB_DOORBELL: i32 = 0x00; // 0 idle | 1 request | 2 done | 3 denied
@@ -185,6 +227,36 @@ pub struct ServeConfig {
     /// Tail-sampling: keep every tree whose end-to-end latency is at
     /// least this many virtual cycles (0 = no slow gate).
     pub trace_slow: u64,
+    /// Self-healing: classify per-request failures into a
+    /// [`ServeError`], quarantine the offending tenant's domain to
+    /// deny-all, and restore/retry from the checkpoint ring. Off by
+    /// default; a fault-free run is bit-identical either way.
+    pub self_heal: bool,
+    /// Request-targeted chaos rate in faults per million requests
+    /// (0 = none), assigned purely by `(seed, request index)` via
+    /// [`ServeFaultPlan`]. Only honored when [`ServeConfig::self_heal`]
+    /// is on — injecting without the healing layer would just wedge
+    /// the run.
+    pub request_fault_ppm: u64,
+    /// Machine-level fault rate: per-hart [`FaultPlan`]s attached
+    /// after boot, firing on PCU commit indices (0 = none). Plans ride
+    /// in snapshots, so restores replay them faithfully.
+    pub machine_fault_ppm: u64,
+    /// Capture a checkpoint into the bounded recovery ring every N
+    /// resolved requests (0 = never).
+    pub checkpoint_every: u64,
+    /// Deterministic admission shedding: drop an arrival whose
+    /// estimated queue-plus-service time exceeds this many virtual
+    /// cycles (0 = off). The decision is a pure function of the
+    /// request stream — independent of faults and hart count.
+    pub shed_deadline: u64,
+    /// Per-request watchdog budget in scheduling rounds before an
+    /// unfinished request is classified as wedged (0 = default 2048).
+    /// Only read when [`ServeConfig::self_heal`] is on.
+    pub watchdog_rounds: u64,
+    /// Override for [`PcuConfig::shootdown_deadline_polls`] on every
+    /// hart (0 = keep the profile default).
+    pub shootdown_deadline: u64,
 }
 
 impl ServeConfig {
@@ -205,6 +277,13 @@ impl ServeConfig {
             trace: TraceMode::Off,
             trace_survey: 0,
             trace_slow: 0,
+            self_heal: false,
+            request_fault_ppm: 0,
+            machine_fault_ppm: 0,
+            checkpoint_every: 0,
+            shed_deadline: 0,
+            watchdog_rounds: 0,
+            shootdown_deadline: 0,
         }
     }
 
@@ -233,6 +312,11 @@ pub struct TenantStats {
     /// Guest cycles attributed to the tenant's completed requests
     /// (dispatcher `rdcycle` brackets around the gate round-trip).
     pub guest_cycles: u64,
+    /// Per-tenant completion digest: the same XOR/FNV-1a records the
+    /// run digest folds, restricted to this tenant. The chaos oracle's
+    /// blast-radius check — a tenant untouched by faults must produce
+    /// a digest bit-identical to the fault-free run's.
+    pub digest: u64,
 }
 
 /// Everything one serving run produces.
@@ -242,8 +326,12 @@ pub struct ServeOutcome {
     pub cfg: ServeConfig,
     /// Requests that completed normally.
     pub completed: u64,
-    /// Requests denied by the PCU.
+    /// Requests denied — by the PCU (probes, quarantined domains) or
+    /// host-rejected at admission because their tenant was
+    /// quarantined.
     pub denied: u64,
+    /// Arrivals dropped by the deterministic admission shedder.
+    pub shed: u64,
     /// XOR/FNV-1a completion digest (seed-deterministic, hart-count
     /// independent).
     pub digest: u64,
@@ -274,6 +362,177 @@ pub struct ServeOutcome {
     pub host_secs: f64,
     /// Per-hart profiles when [`ServeConfig::profile`] was on.
     pub profiles: Vec<RunProfile>,
+    /// The self-healing layer's ledger (empty unless
+    /// [`ServeConfig::self_heal`] or the shedder ran).
+    pub recovery: RecoveryReport,
+}
+
+/// What kind of failure the self-healing layer classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The per-request watchdog expired: the request never finished
+    /// within its (backed-off) round budget.
+    Watchdog,
+    /// The guest trapped with cause 28 (`GridIntegrityFault`) — the
+    /// fail-closed integrity layer denied a corrupted table walk.
+    Integrity,
+    /// Cause 28 raised by the cross-hart shootdown deadline expiring
+    /// (a hart sat on an unacknowledged publish too long).
+    ShootdownExpiry,
+    /// The differential oracle found the fast path diverging.
+    Divergence,
+}
+
+impl FailureClass {
+    /// Stable lower-case name (report JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureClass::Watchdog => "watchdog",
+            FailureClass::Integrity => "integrity",
+            FailureClass::ShootdownExpiry => "shootdown_expiry",
+            FailureClass::Divergence => "divergence",
+        }
+    }
+}
+
+/// One classified serving failure — the structured value the
+/// self-healing policy dispatches on (and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeError {
+    /// Failure taxonomy bucket.
+    pub class: FailureClass,
+    /// Request index the failure is attributed to (`u64::MAX` when the
+    /// failure is not request-scoped, e.g. a divergence).
+    pub request: u64,
+    /// Tenant whose domain was quarantined in response (`u64::MAX`
+    /// when not tenant-scoped).
+    pub tenant: u64,
+    /// Hart the failure surfaced on.
+    pub hart: u64,
+    /// Virtual clock at classification.
+    pub vclock: u64,
+    /// Class-specific detail word (watchdog: rounds waited; integrity
+    /// and shootdown expiry: trap cause).
+    pub detail: u64,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "serve failure: {} (request {}, tenant {}, hart {}, vclock {}, detail {:#x})",
+            self.class.name(),
+            self.request,
+            self.tenant,
+            self.hart,
+            self.vclock,
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One restore episode: how far the run was rolled back.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverySpan {
+    /// Resolved-request progress when the failure was classified.
+    pub failed_progress: u64,
+    /// Progress recorded in the checkpoint the run restored to. The
+    /// rollback `failed_progress - restored_progress` is bounded by
+    /// the checkpoint interval plus the in-flight window.
+    pub restored_progress: u64,
+    /// Virtual clock at classification.
+    pub failed_vclock: u64,
+    /// Virtual clock of the restored checkpoint.
+    pub restored_vclock: u64,
+}
+
+/// The self-healing layer's ledger for one run.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Quarantined tenants, ascending. Monotone: a restore never
+    /// reopens a revoked window.
+    pub quarantined: Vec<u64>,
+    /// Every classified failure, in occurrence order.
+    pub failures: Vec<ServeError>,
+    /// Request indices host-rejected at admission/dispatch because
+    /// their tenant was already quarantined.
+    pub rejections: Vec<u64>,
+    /// Order-independent digest of the recovery decisions: XOR of a
+    /// tagged FNV-1a record per quarantined tenant, XORed with
+    /// [`RecoveryReport::shed_digest`]. Identical across hart counts
+    /// for the same `(seed, config)`.
+    pub decision_digest: u64,
+    /// Arrivals dropped by the shedder (mirrors [`ServeOutcome::shed`]).
+    pub sheds: u64,
+    /// XOR of the shed requests' digest records.
+    pub shed_digest: u64,
+    /// In-flight requests rewound by restores and re-served.
+    pub retries: u64,
+    /// Restore episodes performed by the policy.
+    pub recoveries: u64,
+    /// Quarantine actions taken (= `quarantined.len()`).
+    pub quarantines: u64,
+    /// One span per restore episode.
+    pub spans: Vec<RecoverySpan>,
+    /// Checkpoints captured into the ring.
+    pub checkpoints: u64,
+    /// Largest progress gap between consecutive checkpoints.
+    pub max_ckpt_gap: u64,
+    /// Requests drained by the stall fallback (status 6) — expected 0.
+    pub aborted: u64,
+    /// Stall-fallback activations — expected 0.
+    pub stalls: u64,
+}
+
+/// Host-side recovery state. Deliberately *not* serialized into
+/// snapshots: it survives restores verbatim (the quarantine registry
+/// is monotone across rollbacks), and an externally resumed run starts
+/// a fresh ledger.
+#[derive(Debug)]
+struct RecoveryState {
+    ring: CheckpointRing,
+    quarantined: BTreeSet<usize>,
+    failures: Vec<ServeError>,
+    rejections: Vec<u64>,
+    retries: BTreeMap<u64, u32>,
+    retry_count: u64,
+    recoveries: u64,
+    quarantines: u64,
+    spans: Vec<RecoverySpan>,
+    last_ckpt_progress: u64,
+    max_ckpt_gap: u64,
+    next_checkpoint: u64,
+    divergence_retries: u64,
+    stalls: u64,
+    aborted: u64,
+}
+
+impl RecoveryState {
+    fn new(checkpoint_every: u64) -> RecoveryState {
+        RecoveryState {
+            ring: CheckpointRing::new(CHECKPOINT_RING_CAP),
+            quarantined: BTreeSet::new(),
+            failures: Vec::new(),
+            rejections: Vec::new(),
+            retries: BTreeMap::new(),
+            retry_count: 0,
+            recoveries: 0,
+            quarantines: 0,
+            spans: Vec::new(),
+            last_ckpt_progress: 0,
+            max_ckpt_gap: 0,
+            next_checkpoint: if checkpoint_every > 0 {
+                checkpoint_every
+            } else {
+                u64::MAX
+            },
+            divergence_retries: 0,
+            stalls: 0,
+            aborted: 0,
+        }
+    }
 }
 
 /// xorshift64* — the workload generator's only source of randomness.
@@ -498,15 +757,18 @@ pub fn guest_program() -> Program {
     a.sd(T0, S1, MB_MCAUSE);
     a.li(T0, 3);
     a.sd(T0, S1, MB_DOORBELL);
-    // Resume the dispatcher spin loop in S-mode. The PCU domain is
-    // still the offending tenant's — harmless, the dispatcher's
-    // instruction mix is granted everywhere and the next request's
-    // entry gate switches domains anyway.
+    // Resume in S-mode at the *boot gate*, not the spin loop: the PCU
+    // domain is still the offending tenant's, and under quarantine
+    // that domain is deny-all — the dispatcher's loads would fault
+    // forever. Gate instructions are executable from every domain
+    // (validated against the SGT, not the domain bitmap), so the boot
+    // gate is the one guaranteed exit back into the runtime domain.
+    a.li(T4, GATE_BOOT);
     a.li(T1, 0b11 << 11);
     a.csrrc(Zero, addr::MSTATUS as u32, T1);
     a.li(T1, 0b01 << 11);
     a.csrrs(Zero, addr::MSTATUS as u32, T1);
-    a.la(T0, "spin");
+    a.la(T0, "boot_site");
     a.csrw(addr::MEPC as u32, T0);
     a.mret();
 
@@ -547,6 +809,48 @@ fn record_digest(idx: u64, tenant: u64, kind: u64, status: u64, guest: u64) -> u
     h
 }
 
+/// The shedder's deterministic service-time estimate for one request
+/// (virtual cycles): an affine model of the app-body loop. Only the
+/// *relative* budget arithmetic matters — the rule is a pure function
+/// of the request stream either way.
+fn est_service(r: &Request) -> u64 {
+    220 + r.iters * 9
+}
+
+/// Replay the admission shedder host-side: the request indices a
+/// config's deadline budget drops. Pure in the config — independent
+/// of faults, hart count, and machine state — so the chaos oracle can
+/// use it as ground truth.
+pub fn shed_plan(cfg: &ServeConfig) -> Vec<u64> {
+    let mut shed = Vec::new();
+    if cfg.shed_deadline == 0 {
+        return shed;
+    }
+    let mut gen = Generator::new(cfg);
+    let mut free = 0u64;
+    while let Some(r) = gen.next() {
+        let start = free.max(r.arrival);
+        if start + est_service(&r) - r.arrival > cfg.shed_deadline {
+            shed.push(r.idx);
+        } else {
+            free = start + est_service(&r);
+        }
+    }
+    shed
+}
+
+/// Replay the workload generator host-side: the tenant each request
+/// index lands on. Ground truth for the chaos oracle's quarantine-set
+/// prediction.
+pub fn tenant_plan(cfg: &ServeConfig) -> Vec<u64> {
+    let mut gen = Generator::new(cfg);
+    let mut tenants = Vec::with_capacity(cfg.requests as usize);
+    while let Some(r) = gen.next() {
+        tenants.push(r.tenant as u64);
+    }
+    tenants
+}
+
 /// Assemble the multi-tenant machine: shared bus, hart 0's PCU owns
 /// the tables (install + domains + gates), harts 1.. get mirrors;
 /// every hart gets its own trusted-stack window and `cpuinfo0`.
@@ -556,7 +860,15 @@ fn build_smp(cfg: &ServeConfig, prog: &Program) -> (Smp, Vec<DomainId>) {
     bus.write_bytes(prog.base, &prog.bytes);
     bus.write_u64(prog.symbol("flush_every"), cfg.flush_every);
 
-    let mut m0 = Machine::on_bus(Pcu::new(PcuConfig::eight_e()), bus.for_hart(0));
+    let pcfg = if cfg.shootdown_deadline > 0 {
+        PcuConfig::builder()
+            .eight_e()
+            .shootdown_deadline_polls(cfg.shootdown_deadline as u32)
+            .build()
+    } else {
+        PcuConfig::eight_e()
+    };
+    let mut m0 = Machine::on_bus(Pcu::new(pcfg), bus.for_hart(0));
     m0.cpu.pc = prog.base;
     let layout = GridLayout::new(TMEM, TMEM_SIZE).with_capacity(64, 256);
     m0.ext.install(&mut m0.bus, layout);
@@ -729,6 +1041,20 @@ struct ServeState {
     rotate_cursor: usize,
     next_rotate: u64,
     last_progress: u64,
+    /// Shedder state (serialized: the continuation replays the same
+    /// admission decisions).
+    shed_free: u64,
+    shed: u64,
+    shed_digest: u64,
+    /// The pure request-fault assignment (derived from the config,
+    /// not serialized).
+    faults: ServeFaultPlan,
+    /// Round each hart's in-flight request was dispatched at — the
+    /// watchdog's reference point. Host-side only: a resumed run
+    /// restarts every in-flight watchdog window.
+    dispatched_round: Vec<Option<u64>>,
+    /// The self-healing ledger; survives internal restores verbatim.
+    recovery: RecoveryState,
     /// Host-tooling tallies folded into `counters.run` at finish.
     snapshots: u64,
     restores: u64,
@@ -772,6 +1098,26 @@ impl ServeState {
             assert!(boot_rounds < 100_000, "serve: harts failed to boot");
         }
 
+        // Machine-level fault plans go in after boot, rebased onto each
+        // hart's post-boot commit count so the boot path stays clean.
+        if cfg.machine_fault_ppm > 0 {
+            let horizon = 1_000_000 + cfg.requests.saturating_mul(20_000).min(40_000_000);
+            for h in 0..cfg.harts {
+                let m = sess.smp_mut().machine_mut(h);
+                let boot = m.ext.commits();
+                let events: Vec<FaultEvent> =
+                    FaultPlan::for_hart(cfg.seed, cfg.machine_fault_ppm, horizon, h)
+                        .events()
+                        .iter()
+                        .map(|ev| FaultEvent {
+                            at_commit: ev.at_commit + boot,
+                            kind: ev.kind,
+                        })
+                        .collect();
+                m.ext.attach_faults(FaultPlan::from_events(events));
+            }
+        }
+
         // Tracers go in after boot: boot has no requests to attribute
         // (and no rotations, so no acks are lost either).
         let tracers = if cfg.trace != TraceMode::Off {
@@ -804,6 +1150,12 @@ impl ServeState {
                 u64::MAX
             },
             last_progress: 0,
+            shed_free: 0,
+            shed: 0,
+            shed_digest: 0,
+            faults: ServeFaultPlan::new(cfg.seed, cfg.request_fault_ppm),
+            dispatched_round: vec![None; cfg.harts],
+            recovery: RecoveryState::new(cfg.checkpoint_every),
             snapshots: 0,
             restores: 0,
             oracle_checks: 0,
@@ -836,6 +1188,17 @@ impl ServeState {
         e.u64(c.trace.index());
         e.u64(c.trace_survey);
         e.u64(c.trace_slow);
+        e.bool(c.self_heal);
+        for v in [
+            c.request_fault_ppm,
+            c.machine_fault_ppm,
+            c.checkpoint_every,
+            c.shed_deadline,
+            c.watchdog_rounds,
+            c.shootdown_deadline,
+        ] {
+            e.u64(v);
+        }
         encode_snapshot_payload(&capture_session(&self.sess), &mut e);
         e.u64(self.gen.rng.0);
         e.u64(self.gen.next_idx);
@@ -852,6 +1215,7 @@ impl ServeState {
             e.u64(t.requests);
             e.u64(t.denied);
             e.u64(t.guest_cycles);
+            e.u64(t.digest);
         }
         e.words(&self.latency.export_words());
         let (interval, slices) = self.timeline.export_state();
@@ -864,6 +1228,9 @@ impl ServeState {
             self.rotate_cursor as u64,
             self.next_rotate,
             self.last_progress,
+            self.shed_free,
+            self.shed,
+            self.shed_digest,
         ] {
             e.u64(v);
         }
@@ -894,6 +1261,13 @@ impl ServeState {
         let trace = TraceMode::from_index(d.u64()?).ok_or(WireError::Malformed("trace mode"))?;
         let trace_survey = d.u64()?;
         let trace_slow = d.u64()?;
+        let self_heal = d.bool()?;
+        let request_fault_ppm = d.u64()?;
+        let machine_fault_ppm = d.u64()?;
+        let checkpoint_every = d.u64()?;
+        let shed_deadline = d.u64()?;
+        let watchdog_rounds = d.u64()?;
+        let shootdown_deadline = d.u64()?;
         if !(1..=56).contains(&tenants) || !(1..=32).contains(&harts) || quantum == 0 {
             return Err(WireError::Malformed("serve config").into());
         }
@@ -915,6 +1289,13 @@ impl ServeState {
             trace,
             trace_survey,
             trace_slow,
+            self_heal,
+            request_fault_ppm,
+            machine_fault_ppm,
+            checkpoint_every,
+            shed_deadline,
+            watchdog_rounds,
+            shootdown_deadline,
         };
         let snap = decode_snapshot_payload(&mut d)?;
 
@@ -947,6 +1328,7 @@ impl ServeState {
                 requests: d.u64()?,
                 denied: d.u64()?,
                 guest_cycles: d.u64()?,
+                digest: d.u64()?,
             });
         }
         let mut latency = Histogram::new();
@@ -961,6 +1343,9 @@ impl ServeState {
         let rotate_cursor = d.u64()? as usize;
         let next_rotate = d.u64()?;
         let last_progress = d.u64()?;
+        let shed_free = d.u64()?;
+        let shed = d.u64()?;
+        let shed_digest = d.u64()?;
         let mut service = Histogram::new();
         service.import_words(&d.words()?);
         let mut collector = TraceCollector::new(cfg.trace_policy());
@@ -988,6 +1373,19 @@ impl ServeState {
             at,
             digest: state_digest(&snap),
         });
+        // Watchdog windows restart at the restored round boundary; the
+        // recovery ledger is host-side and starts fresh (internal
+        // restores graft the live ledger back in afterwards).
+        let rounds_now = sess.rounds();
+        let dispatched_round = inflight
+            .iter()
+            .map(|slot| slot.map(|_| rounds_now))
+            .collect();
+        let mut recovery = RecoveryState::new(checkpoint_every);
+        if checkpoint_every > 0 {
+            recovery.next_checkpoint = completed + denied + shed + checkpoint_every;
+            recovery.last_ckpt_progress = completed + denied + shed;
+        }
         Ok(ServeState {
             cfg,
             tenant_doms,
@@ -1007,6 +1405,12 @@ impl ServeState {
             rotate_cursor,
             next_rotate,
             last_progress,
+            shed_free,
+            shed,
+            shed_digest,
+            faults: ServeFaultPlan::new(seed, request_fault_ppm),
+            dispatched_round,
+            recovery,
             snapshots: 0,
             restores: 1,
             oracle_checks: 0,
@@ -1034,7 +1438,7 @@ impl ServeState {
         } else {
             u64::MAX
         };
-        while self.completed + self.denied < self.cfg.requests {
+        while self.progress() < self.cfg.requests {
             if hooks.snapshot_at > 0
                 && out.snapshot.is_none()
                 && self.completed + self.denied >= hooks.snapshot_at
@@ -1052,21 +1456,59 @@ impl ServeState {
                         digest: state_digest(&snap),
                     });
             }
+            // Periodic checkpoint into the bounded recovery ring (round
+            // boundary, tracers drained — same point the one-shot
+            // snapshot hook uses).
+            if self.cfg.checkpoint_every > 0 && self.progress() >= self.recovery.next_checkpoint {
+                self.take_checkpoint();
+            }
             let now = self.sess.vclock();
-            // Admit everything that has arrived by virtual-now.
+            // Admit everything that has arrived by virtual-now. The
+            // shedder sees every arrival first: its decision is a pure
+            // function of the request stream, so the shed set is
+            // identical across hart counts and fault plans. Arrivals
+            // from quarantined tenants are host-rejected here.
             while let Some(r) = self.next_arrival {
                 if r.arrival > now {
                     break;
                 }
-                self.pending.push_back(r);
                 self.next_arrival = self.gen.next();
+                if self.cfg.shed_deadline > 0 {
+                    let start = self.shed_free.max(r.arrival);
+                    if start + est_service(&r) - r.arrival > self.cfg.shed_deadline {
+                        self.resolve_host(&r, STATUS_SHED);
+                        continue;
+                    }
+                    self.shed_free = start + est_service(&r);
+                }
+                if self.cfg.self_heal && self.recovery.quarantined.contains(&r.tenant) {
+                    self.resolve_host(&r, STATUS_REJECTED);
+                    continue;
+                }
+                self.pending.push_back(r);
             }
-            // Harvest, then refill idle harts.
-            for (h, slot) in self.inflight.iter_mut().enumerate() {
+            // Harvest, then refill idle harts. Integrity-class denials
+            // are collected here and quarantined after the sweep (the
+            // quarantine rewrites domain tables, which must not race
+            // the per-hart mailbox pass).
+            let mut integrity: Vec<(usize, Request, u64)> = Vec::new();
+            for h in 0..self.cfg.harts {
                 let base = mb(h);
                 let db = self.bus.read_u64(base + MB_DOORBELL as u64);
                 if db == 2 || db == 3 {
-                    let req = slot.take().expect("completion without a request");
+                    let req = match self.inflight[h].take() {
+                        Some(r) => r,
+                        None => {
+                            // Only the stall fallback orphans a
+                            // completion (it resolves in-flight slots
+                            // without parking the guest); recycle the
+                            // hart.
+                            assert!(self.cfg.self_heal, "completion without a request");
+                            self.bus.write_u64(base + MB_DOORBELL as u64, 0);
+                            continue;
+                        }
+                    };
+                    self.dispatched_round[h] = None;
                     let latency = now - req.arrival;
                     self.latency.record(latency);
                     self.timeline.add(now, 1);
@@ -1075,10 +1517,12 @@ impl ServeState {
                     } else {
                         0
                     };
-                    self.digest ^=
+                    let rec =
                         record_digest(req.idx, req.tenant as u64, req.kind.index(), db, guest);
+                    self.digest ^= rec;
                     let ts = &mut self.per_tenant[req.tenant];
                     ts.requests += 1;
+                    ts.digest ^= rec;
                     let mut service = 0;
                     if db == 2 {
                         self.completed += 1;
@@ -1088,6 +1532,20 @@ impl ServeState {
                     } else {
                         self.denied += 1;
                         ts.denied += 1;
+                        if self.cfg.self_heal {
+                            let mcause = self.bus.read_u64(base + MB_MCAUSE as u64);
+                            if self.recovery.quarantined.contains(&req.tenant) {
+                                // A denial on an already-quarantined
+                                // tenant is the quarantine working — a
+                                // rewound or un-wedged in-flight request
+                                // hitting the deny-all wall. Ledger it
+                                // as a rejection so no planned fault
+                                // can resolve silently.
+                                self.recovery.rejections.push(req.idx);
+                            } else if mcause == Exception::CAUSE_GRID_INTEGRITY {
+                                integrity.push((h, req, mcause));
+                            }
+                        }
                     }
                     if let Some(tr) = self.tracers.get(h) {
                         tr.set_current(0);
@@ -1104,10 +1562,43 @@ impl ServeState {
                     self.last_progress = self.sess.rounds();
                 }
                 if self.bus.read_u64(base + MB_DOORBELL as u64) == 0 {
-                    if let Some(req) = self.pending.pop_front() {
+                    while let Some(req) = self.pending.pop_front() {
+                        if self.cfg.self_heal && self.recovery.quarantined.contains(&req.tenant) {
+                            self.resolve_host(&req, STATUS_REJECTED);
+                            continue;
+                        }
                         let gate = entry_gate(req.tenant, req.kind);
+                        // The request-fault plan fires at dispatch:
+                        // wedge the iteration count, corrupt the
+                        // tenant's tables, or jam this hart's
+                        // shootdown acks (single-hart runs remap the
+                        // jam to a table flip — there is no cross-hart
+                        // deadline to miss).
+                        let mut iters = req.iters;
+                        if self.cfg.self_heal {
+                            match self.faults.fault_for(req.idx) {
+                                Some(ServeFaultKind::Wedge) => iters = WEDGE_ITERS,
+                                Some(ServeFaultKind::TableFlip { bit }) => {
+                                    self.inject_flip(h, req.tenant, bit)
+                                }
+                                Some(ServeFaultKind::ShootdownJam) => {
+                                    if self.cfg.harts > 1 {
+                                        // Pin the request in its body so
+                                        // the missed deadline lands on the
+                                        // faulted request, never on a later
+                                        // innocent one — blast radius stays
+                                        // confined to the faulted tenant.
+                                        iters = WEDGE_ITERS;
+                                        self.inject_jam(h, req.tenant);
+                                    } else {
+                                        self.inject_flip(h, req.tenant, 0);
+                                    }
+                                }
+                                None => {}
+                            }
+                        }
                         self.bus.write_u64(base + MB_GATE as u64, gate);
-                        self.bus.write_u64(base + MB_ITERS as u64, req.iters);
+                        self.bus.write_u64(base + MB_ITERS as u64, iters);
                         self.bus.write_u64(base + MB_DOORBELL as u64, 1);
                         if hooks.record {
                             out.log.push(HostEvent::MailboxWrite {
@@ -1116,7 +1607,7 @@ impl ServeState {
                             });
                             out.log.push(HostEvent::MailboxWrite {
                                 addr: base + MB_ITERS as u64,
-                                value: req.iters,
+                                value: iters,
                             });
                             out.log.push(HostEvent::MailboxWrite {
                                 addr: base + MB_DOORBELL as u64,
@@ -1134,9 +1625,24 @@ impl ServeState {
                             req.arrival,
                             now,
                         );
-                        *slot = Some(req);
+                        self.dispatched_round[h] = Some(self.sess.rounds());
+                        self.inflight[h] = Some(req);
+                        break;
                     }
                 }
+            }
+            // Classified integrity failures: quarantine the offending
+            // tenant. No restore — fail-closed denial already contained
+            // the fault, and the quarantine's table rewrite reseals the
+            // corrupted words.
+            for (h, req, mcause) in integrity {
+                let class = match self.faults.fault_for(req.idx) {
+                    Some(ServeFaultKind::ShootdownJam) if self.cfg.harts > 1 => {
+                        FailureClass::ShootdownExpiry
+                    }
+                    _ => FailureClass::Integrity,
+                };
+                self.classify_and_quarantine(class, &req, h as u64, mcause);
             }
             // Domain-0 software rotates a tenant's tables now and then —
             // every rewrite publishes a shootdown all harts must honor.
@@ -1203,19 +1709,337 @@ impl ServeState {
                             step: d.step,
                             what: "oracle",
                         });
+                    // Crash-only divergence policy: roll back to the
+                    // last good checkpoint once; a second divergence
+                    // surfaces structurally.
+                    if self.cfg.self_heal
+                        && self.recovery.divergence_retries == 0
+                        && !self.recovery.ring.is_empty()
+                    {
+                        self.recovery.divergence_retries += 1;
+                        self.recovery.failures.push(ServeError {
+                            class: FailureClass::Divergence,
+                            request: u64::MAX,
+                            tenant: u64::MAX,
+                            hart: 0,
+                            vclock: self.sess.vclock(),
+                            detail: d.step,
+                        });
+                        self.restore_latest();
+                        continue;
+                    }
                     out.divergence = Some(d);
                     return out;
                 }
             }
-            assert!(
-                self.sess.rounds() - self.last_progress < 2_000_000,
-                "serve: no completion in 2M rounds (vclock {}, {} in flight, {} queued)",
-                self.sess.vclock(),
-                self.inflight.iter().flatten().count(),
-                self.pending.len()
-            );
+            // Per-request watchdog: a dispatched request that has not
+            // finished within its (backed-off) round budget is wedged.
+            // Quarantine its tenant, then restore from the last good
+            // checkpoint and retry the rewound in-flight work; with no
+            // checkpoint (or the retry budget spent) the quarantine's
+            // deny-all publish alone un-wedges the hart.
+            if self.cfg.self_heal {
+                if let Some((h, req)) = self.watchdog_expired() {
+                    let waited = self
+                        .sess
+                        .rounds()
+                        .saturating_sub(self.dispatched_round[h].unwrap_or(0));
+                    self.classify_and_quarantine(FailureClass::Watchdog, &req, h as u64, waited);
+                    let n = self.recovery.retries.get(&req.idx).copied().unwrap_or(0);
+                    self.recovery.retries.insert(req.idx, n + 1);
+                    if !self.recovery.ring.is_empty() && n < MAX_REQUEST_RETRIES {
+                        self.restore_latest();
+                    }
+                    continue;
+                }
+            }
+            if self.cfg.self_heal {
+                // Stall fallback: with the watchdog resolving wedges,
+                // this only fires on pathology — drain everything
+                // outstanding as aborted (status 6) so the run always
+                // terminates, and say so in the ledger.
+                let stall = 64 * self.watchdog_budget_base() + 500_000;
+                if self.sess.rounds() - self.last_progress >= stall {
+                    self.abort_stalled();
+                }
+            } else {
+                assert!(
+                    self.sess.rounds() - self.last_progress < 2_000_000,
+                    "serve: no completion in 2M rounds (vclock {}, {} in flight, {} queued)",
+                    self.sess.vclock(),
+                    self.inflight.iter().flatten().count(),
+                    self.pending.len()
+                );
+            }
         }
         out
+    }
+
+    /// Requests resolved so far, by any road: completed, denied
+    /// (PCU or host-rejection), shed, or stall-aborted.
+    fn progress(&self) -> u64 {
+        self.completed + self.denied + self.shed + self.recovery.aborted
+    }
+
+    /// Capture a checkpoint into the recovery ring (round boundary,
+    /// tracers drained) and advance the cadence bookkeeping.
+    fn take_checkpoint(&mut self) {
+        let progress = self.progress();
+        let frame = self.snapshot_bytes();
+        let at = self.sess.vclock();
+        let digest = self.recovery.ring.push(at, progress, frame);
+        self.snapshots += 1;
+        let gap = progress.saturating_sub(self.recovery.last_ckpt_progress);
+        self.recovery.max_ckpt_gap = self.recovery.max_ckpt_gap.max(gap);
+        self.recovery.last_ckpt_progress = progress;
+        self.recovery.next_checkpoint = progress + self.cfg.checkpoint_every;
+        self.sess
+            .smp()
+            .machine(0)
+            .trace
+            .emit(|| TraceEvent::Snapshot { at, digest });
+    }
+
+    /// Resolve a request host-side — quarantine rejection (status 4),
+    /// shed (5), or stall abort (6) — folding it into the run and
+    /// per-tenant digests. Host-resolved requests never ran, so they
+    /// stay out of the latency/service histograms; the digests and
+    /// counters account for them instead of hiding them.
+    fn resolve_host(&mut self, r: &Request, status: u64) {
+        let rec = record_digest(r.idx, r.tenant as u64, r.kind.index(), status, 0);
+        self.digest ^= rec;
+        let ts = &mut self.per_tenant[r.tenant];
+        ts.digest ^= rec;
+        match status {
+            STATUS_SHED => {
+                self.shed += 1;
+                self.shed_digest ^= rec;
+            }
+            STATUS_REJECTED => {
+                self.denied += 1;
+                ts.requests += 1;
+                ts.denied += 1;
+                self.recovery.rejections.push(r.idx);
+            }
+            _ => {
+                debug_assert_eq!(status, STATUS_ABORTED);
+                self.recovery.aborted += 1;
+                ts.requests += 1;
+            }
+        }
+        self.last_progress = self.sess.rounds();
+    }
+
+    /// Record a classified failure and quarantine its tenant.
+    fn classify_and_quarantine(
+        &mut self,
+        class: FailureClass,
+        req: &Request,
+        hart: u64,
+        detail: u64,
+    ) {
+        self.recovery.failures.push(ServeError {
+            class,
+            request: req.idx,
+            tenant: req.tenant as u64,
+            hart,
+            vclock: self.sess.vclock(),
+            detail,
+        });
+        self.quarantine(req.tenant);
+    }
+
+    /// Tear the tenant's ISA domain down to deny-all (publishing the
+    /// shootdown every hart must honor), emit the audit trace event,
+    /// and host-reject everything the tenant still has queued.
+    /// Idempotent, and monotone across restores.
+    fn quarantine(&mut self, tenant: usize) {
+        if !self.recovery.quarantined.insert(tenant) {
+            return;
+        }
+        self.recovery.quarantines += 1;
+        let now = self.sess.vclock();
+        let dom = self.tenant_doms[tenant];
+        let m0 = self.sess.smp_mut().machine_mut(0);
+        m0.ext
+            .update_domain(&mut m0.bus, dom, &DomainSpec::deny_all());
+        let t = tenant as u64;
+        m0.trace.emit(|| TraceEvent::Quarantine {
+            tenant: t,
+            domain: dom.0,
+        });
+        let epoch = m0.ext.coherence_epoch();
+        self.collector.note_publish(epoch, now);
+        let mut kept = VecDeque::with_capacity(self.pending.len());
+        while let Some(r) = self.pending.pop_front() {
+            if r.tenant == tenant {
+                self.resolve_host(&r, STATUS_REJECTED);
+            } else {
+                kept.push_back(r);
+            }
+        }
+        self.pending = kept;
+    }
+
+    /// The un-backed-off watchdog budget in rounds.
+    fn watchdog_budget_base(&self) -> u64 {
+        if self.cfg.watchdog_rounds > 0 {
+            self.cfg.watchdog_rounds
+        } else {
+            DEFAULT_WATCHDOG_ROUNDS
+        }
+    }
+
+    /// Watchdog budget for one request: base shifted left once per
+    /// prior expiry (bounded deterministic backoff).
+    fn watchdog_budget(&self, idx: u64) -> u64 {
+        let n = self
+            .recovery
+            .retries
+            .get(&idx)
+            .copied()
+            .unwrap_or(0)
+            .min(MAX_BACKOFF_SHIFT);
+        self.watchdog_budget_base() << n
+    }
+
+    /// The lowest-numbered hart whose in-flight request has exceeded
+    /// its watchdog budget, if any.
+    fn watchdog_expired(&self) -> Option<(usize, Request)> {
+        let rounds = self.sess.rounds();
+        for h in 0..self.cfg.harts {
+            if let (Some(req), Some(at)) = (self.inflight[h], self.dispatched_round[h]) {
+                // A quarantined tenant's wedge is already dying: the
+                // deny-all publish denies it within a few polls, so
+                // re-classifying here would only duplicate the ledger.
+                if self.recovery.quarantined.contains(&req.tenant) {
+                    continue;
+                }
+                if self.bus.read_u64(mb(h) + MB_DOORBELL as u64) == 1
+                    && rounds.saturating_sub(at) > self.watchdog_budget(req.idx)
+                {
+                    return Some((h, req));
+                }
+            }
+        }
+        None
+    }
+
+    /// Chaos: flip a bit of the tenant's instruction-bitmap word the
+    /// app bodies' compute class lives in — the broken seal is
+    /// observed (and denied fail-closed, cause 28) on the request's
+    /// next table walk.
+    fn inject_flip(&mut self, h: usize, tenant: usize, bit: u32) {
+        let word = (Kind::Add.class_index() / 64) as u32;
+        let bit = word * 64 + bit % 64;
+        let dom = self.tenant_doms[tenant];
+        let m = self.sess.smp_mut().machine_mut(h);
+        let _ = m.ext.chaos_flip_domain_inst_bit(&mut m.bus, dom, bit);
+    }
+
+    /// Chaos: give hart `h` enough shootdown-defer credits to blow the
+    /// deadline, then publish a benign table rewrite from another hart
+    /// so a pending epoch exists for `h` to sit on. The expiry raises
+    /// cause 28 inside the faulted request's body.
+    fn inject_jam(&mut self, h: usize, tenant: usize) {
+        let deadline = if self.cfg.shootdown_deadline > 0 {
+            self.cfg.shootdown_deadline as u32
+        } else {
+            SHOOTDOWN_DEADLINE_POLLS
+        };
+        let m = self.sess.smp_mut().machine_mut(h);
+        m.ext.chaos_defer_shootdowns(deadline + 4);
+        let p = (h + 1) % self.cfg.harts;
+        let dom = self.tenant_doms[tenant];
+        let mp = self.sess.smp_mut().machine_mut(p);
+        mp.ext.update_domain(&mut mp.bus, dom, &base_spec());
+    }
+
+    /// Crash-only restore: rebuild the run from the newest retained
+    /// checkpoint, graft the live recovery ledger and cumulative host
+    /// tallies onto it, and re-impose every quarantine — a restore
+    /// must never reopen a revoked window. Rewound in-flight requests
+    /// count as retries. A frame that will not restore (cannot happen
+    /// for frames this run captured) is dropped and an older one
+    /// tried; with no usable frame the quarantine already applied is
+    /// the whole response.
+    fn restore_latest(&mut self) {
+        let failed_vclock = self.sess.vclock();
+        let failed_progress = self.progress();
+        loop {
+            let Some(ckpt) = self.recovery.ring.latest() else {
+                return;
+            };
+            let (at, progress, frame) = (ckpt.at, ckpt.progress, ckpt.frame.clone());
+            match ServeState::resume(&frame) {
+                Ok(mut fresh) => {
+                    if !self.cfg.jit {
+                        for h in 0..fresh.cfg.harts {
+                            fresh.sess.smp_mut().machine_mut(h).set_jit(false);
+                        }
+                        fresh.cfg.jit = false;
+                    }
+                    fresh.recovery = std::mem::replace(&mut self.recovery, RecoveryState::new(0));
+                    fresh.snapshots += self.snapshots;
+                    fresh.restores += self.restores;
+                    fresh.oracle_checks += self.oracle_checks;
+                    fresh.divergences += self.divergences;
+                    fresh.recovery.recoveries += 1;
+                    fresh.recovery.retry_count += fresh.inflight.iter().flatten().count() as u64;
+                    fresh.recovery.spans.push(RecoverySpan {
+                        failed_progress,
+                        restored_progress: progress,
+                        failed_vclock,
+                        restored_vclock: at,
+                    });
+                    if self.cfg.checkpoint_every > 0 {
+                        fresh.recovery.next_checkpoint = progress + self.cfg.checkpoint_every;
+                        fresh.recovery.last_ckpt_progress = progress;
+                    }
+                    let quarantined: Vec<usize> =
+                        fresh.recovery.quarantined.iter().copied().collect();
+                    for t in quarantined {
+                        let dom = fresh.tenant_doms[t];
+                        let m0 = fresh.sess.smp_mut().machine_mut(0);
+                        m0.ext
+                            .update_domain(&mut m0.bus, dom, &DomainSpec::deny_all());
+                    }
+                    *self = fresh;
+                    return;
+                }
+                Err(_) => {
+                    self.recovery.ring.pop_latest();
+                }
+            }
+        }
+    }
+
+    /// Last-resort termination: quarantine every in-flight tenant
+    /// (the deny-all publish un-parks wedged guests) and drain every
+    /// outstanding request as aborted (status 6). The run then falls
+    /// out of the drive loop with the stall recorded in the ledger.
+    fn abort_stalled(&mut self) {
+        self.recovery.stalls += 1;
+        for h in 0..self.cfg.harts {
+            if let Some(req) = self.inflight[h].take() {
+                self.dispatched_round[h] = None;
+                self.quarantine(req.tenant);
+                if let Some(tr) = self.tracers.get(h) {
+                    tr.set_current(0);
+                }
+                self.resolve_host(&req, STATUS_ABORTED);
+            }
+        }
+        let queued: Vec<Request> = self.pending.drain(..).collect();
+        for r in queued {
+            self.resolve_host(&r, STATUS_ABORTED);
+        }
+        if let Some(r) = self.next_arrival.take() {
+            self.resolve_host(&r, STATUS_ABORTED);
+        }
+        while let Some(r) = self.gen.next() {
+            self.resolve_host(&r, STATUS_ABORTED);
+        }
     }
 
     /// Drain every hart tracer's round-local events into the
@@ -1223,9 +2047,9 @@ impl ServeState {
     /// global virtual clock (the round started at `vclock` with hart
     /// `h`'s cycle counter at `base[h]`).
     fn drain_tracers(&mut self, vclock: u64, base: &[u64]) {
-        for h in 0..self.tracers.len() {
-            for ev in self.tracers[h].drain() {
-                let t = vclock + ev.t.saturating_sub(base[h]);
+        for (h, (tr, b)) in self.tracers.iter().zip(base).enumerate() {
+            for ev in tr.drain() {
+                let t = vclock + ev.t.saturating_sub(*b);
                 self.collector.ingest(h, ev.id, t, ev.ev);
             }
         }
@@ -1258,10 +2082,43 @@ impl ServeState {
         counters.run.restores += self.restores;
         counters.run.oracle_checks += self.oracle_checks;
         counters.run.divergences += self.divergences;
+        counters.run.quarantines += self.recovery.quarantines;
+        counters.run.retries += self.recovery.retry_count;
+        counters.run.sheds += self.shed;
+        counters.run.recoveries += self.recovery.recoveries;
         for tr in &self.tracers {
             let (emitted, dropped) = tr.counts();
             self.collector.absorb_tracer_counts(emitted, dropped);
         }
+        let quarantined: Vec<u64> = self
+            .recovery
+            .quarantined
+            .iter()
+            .map(|t| *t as u64)
+            .collect();
+        // Tenant-granular on purpose: which request first trips a fault
+        // races across hart counts, but the quarantined tenant *set*
+        // and the shed set are schedule-independent.
+        let mut decision_digest = self.shed_digest;
+        for &t in &quarantined {
+            decision_digest ^= record_digest(u64::MAX, t, 0, STATUS_REJECTED, 0);
+        }
+        let recovery = RecoveryReport {
+            quarantined,
+            failures: self.recovery.failures.clone(),
+            rejections: self.recovery.rejections.clone(),
+            decision_digest,
+            sheds: self.shed,
+            shed_digest: self.shed_digest,
+            retries: self.recovery.retry_count,
+            recoveries: self.recovery.recoveries,
+            quarantines: self.recovery.quarantines,
+            spans: self.recovery.spans.clone(),
+            checkpoints: self.recovery.ring.pushed(),
+            max_ckpt_gap: self.recovery.max_ckpt_gap,
+            aborted: self.recovery.aborted,
+            stalls: self.recovery.stalls,
+        };
         ServeOutcome {
             cfg: self.cfg.clone(),
             completed: self.completed,
@@ -1279,6 +2136,8 @@ impl ServeState {
             total_steps,
             host_secs: self.sess.host_secs(),
             profiles,
+            shed: self.shed,
+            recovery,
         }
     }
 }
@@ -1397,8 +2256,16 @@ pub fn render(o: &ServeOutcome) -> Table {
     t.config("trace", Json::Str(o.cfg.trace.name().into()));
     t.config("trace_survey", Json::U64(o.cfg.trace_survey));
     t.config("trace_slow", Json::U64(o.cfg.trace_slow));
+    t.config("self_heal", Json::Bool(o.cfg.self_heal));
+    t.config("request_fault_ppm", Json::U64(o.cfg.request_fault_ppm));
+    t.config("machine_fault_ppm", Json::U64(o.cfg.machine_fault_ppm));
+    t.config("checkpoint_every", Json::U64(o.cfg.checkpoint_every));
+    t.config("shed_deadline", Json::U64(o.cfg.shed_deadline));
+    t.config("watchdog_rounds", Json::U64(o.cfg.watchdog_rounds));
+    t.config("shootdown_deadline", Json::U64(o.cfg.shootdown_deadline));
     t.extra("completed", Json::U64(o.completed));
     t.extra("denied", Json::U64(o.denied));
+    t.extra("shed", Json::U64(o.shed));
     t.extra("digest", Json::Str(format!("{:#018x}", o.digest)));
     t.extra("vcycles", Json::U64(o.vcycles));
     t.extra("rounds", Json::U64(o.rounds));
@@ -1459,6 +2326,65 @@ pub fn render(o: &ServeOutcome) -> Table {
     t.extra("oracle_checks", Json::U64(o.counters.run.oracle_checks));
     t.extra("jit", o.counters.jit.to_json());
     t.extra("audit_denials", Json::U64(o.audit.len() as u64));
+    let r = &o.recovery;
+    t.extra(
+        "recovery",
+        Json::obj([
+            (
+                "quarantined",
+                Json::Arr(r.quarantined.iter().map(|t| Json::U64(*t)).collect()),
+            ),
+            ("quarantines", Json::U64(r.quarantines)),
+            ("retries", Json::U64(r.retries)),
+            ("recoveries", Json::U64(r.recoveries)),
+            ("sheds", Json::U64(r.sheds)),
+            ("shed_digest", Json::Str(format!("{:#018x}", r.shed_digest))),
+            (
+                "decision_digest",
+                Json::Str(format!("{:#018x}", r.decision_digest)),
+            ),
+            ("failures", Json::U64(r.failures.len() as u64)),
+            (
+                "failure_classes",
+                Json::Arr(
+                    r.failures
+                        .iter()
+                        .map(|f| {
+                            Json::obj([
+                                ("class", Json::Str(f.class.name().into())),
+                                ("request", Json::U64(f.request)),
+                                ("tenant", Json::U64(f.tenant)),
+                                ("hart", Json::U64(f.hart)),
+                                ("vclock", Json::U64(f.vclock)),
+                                ("detail", Json::U64(f.detail)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("rejections", Json::U64(r.rejections.len() as u64)),
+            ("checkpoints", Json::U64(r.checkpoints)),
+            ("max_ckpt_gap", Json::U64(r.max_ckpt_gap)),
+            (
+                "spans",
+                Json::Arr(
+                    r.spans
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("failed_progress", Json::U64(s.failed_progress)),
+                                ("restored_progress", Json::U64(s.restored_progress)),
+                                ("failed_vclock", Json::U64(s.failed_vclock)),
+                                ("restored_vclock", Json::U64(s.restored_vclock)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("aborted", Json::U64(r.aborted)),
+            ("stalls", Json::U64(r.stalls)),
+        ]),
+    );
     t.extra("timeline", o.timeline.to_json());
     t.extra("total_steps", Json::U64(o.total_steps));
     t.extra("host_secs", Json::F64(report::round4(o.host_secs)));

@@ -18,9 +18,10 @@ use crate::shootdown::{ShootdownCell, FLUSH_CYCLES_PER_ENTRY};
 use isa_fault::{CacheSel, FaultKind, FaultPlan};
 use std::sync::Arc;
 
-/// How many commit polls a pending shootdown may go undelivered (due to
-/// injected drops/delays) before the PCU gives up retrying, flushes, and
-/// faults the offending hart (`GridIntegrityFault` on the epoch).
+/// Default for [`PcuConfig::shootdown_deadline_polls`]: how many commit
+/// polls a pending shootdown may go undelivered (due to injected
+/// drops/delays) before the PCU gives up retrying, flushes, and faults
+/// the offending hart (`GridIntegrityFault` on the epoch).
 pub const SHOOTDOWN_DEADLINE_POLLS: u32 = 16;
 
 /// Sizing of the domain privilege cache (§4.3, §7 "Configuration").
@@ -53,6 +54,11 @@ pub struct PcuConfig {
     /// On by default; turn off only to demonstrate the unprotected
     /// stale-allow window.
     pub integrity: bool,
+    /// Commit polls a pending shootdown may stay undelivered before the
+    /// PCU restores coherence by flushing anyway and faults the hart.
+    /// Default [`SHOOTDOWN_DEADLINE_POLLS`]; the chaos sweep compresses
+    /// or relaxes the window through this knob.
+    pub shootdown_deadline_polls: u32,
 }
 
 impl PcuConfig {
@@ -67,6 +73,7 @@ impl PcuConfig {
             unified_hpt: false,
             legal_cache: 0,
             integrity: true,
+            shootdown_deadline_polls: SHOOTDOWN_DEADLINE_POLLS,
         }
     }
 
@@ -204,6 +211,14 @@ impl PcuConfigBuilder {
     /// default).
     pub fn integrity(mut self, on: bool) -> Self {
         self.cfg.integrity = on;
+        self
+    }
+
+    /// Commit polls a pending shootdown may stay undelivered before the
+    /// PCU flushes anyway and faults the hart (default
+    /// [`SHOOTDOWN_DEADLINE_POLLS`]).
+    pub fn shootdown_deadline_polls(mut self, polls: u32) -> Self {
+        self.cfg.shootdown_deadline_polls = polls;
         self
     }
 
@@ -814,6 +829,65 @@ impl Pcu {
         cache.corrupt_tagged(tag, bit)
     }
 
+    /// Committed-instruction count on this hart — the clock the attached
+    /// fault schedule is pinned to. Harnesses read it to offset injected
+    /// plans past boot.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Chaos-harness hook: flip one bit of domain `id`'s instruction
+    /// bitmap in trusted memory *without* resealing — a soft error aimed
+    /// at a specific tenant. Local caches are flushed and a shootdown
+    /// published so every hart re-walks the corrupt word and resolves it
+    /// fail-closed (scrub-or-deny). Returns the flipped word's address;
+    /// `None` when the PCU is uninstalled or the domain unregistered.
+    #[doc(hidden)]
+    pub fn chaos_flip_domain_inst_bit(
+        &mut self,
+        bus: &mut Bus,
+        id: DomainId,
+        bit: u32,
+    ) -> Option<u64> {
+        self.layout?;
+        if id.0 == 0 || id.0 >= self.regs.domain_nr {
+            return None;
+        }
+        let word = (bit as usize / 64) % INST_BITMAP_WORDS;
+        let addr = self.layout_inst_addr(id.0, word);
+        let old = bus.load(addr, 8).unwrap_or(0);
+        bus.write_u64(addr, old ^ (1u64 << (bit % 64)));
+        self.inst_cache.flush();
+        self.reg_cache.flush();
+        self.mask_cache.flush();
+        self.legal_cache.flush();
+        self.ipr.valid = false;
+        self.publish_shootdown();
+        self.fstats.injected += 1;
+        self.note_fault_event();
+        self.trace.emit(|| TraceEvent::FaultInjected {
+            kind: "chaos_table_flip",
+            detail: addr,
+        });
+        Some(addr)
+    }
+
+    /// Chaos-harness hook: defer this hart's next `polls` shootdown
+    /// deliveries (as an injected `ShootdownDelay` would), jamming the
+    /// coherence window so a subsequent publish can blow the delivery
+    /// deadline.
+    #[doc(hidden)]
+    pub fn chaos_defer_shootdowns(&mut self, polls: u32) {
+        self.shoot_defer = self.shoot_defer.saturating_add(polls);
+        self.fstats.injected += 1;
+        self.note_fault_event();
+        let detail = u64::from(polls);
+        self.trace.emit(|| TraceEvent::FaultInjected {
+            kind: "chaos_shootdown_jam",
+            detail,
+        });
+    }
+
     /// Legal-instruction-cache statistics (Draco ablation).
     pub fn legal_cache_stats(&self) -> CacheStats {
         self.legal_cache.stats
@@ -1201,6 +1275,21 @@ impl Pcu {
     /// Every privilege violation the PCU raises goes through here so
     /// the log captures the full (PC, instruction, cause) context.
     fn deny(&mut self, cpu: &CpuState, kind: AuditKind, raw: u32, e: Exception) -> Exception {
+        let detail = e.tval();
+        self.deny_with_detail(cpu, kind, raw, e, detail)
+    }
+
+    /// [`Self::deny`] with an explicit audit `detail` word, for sites
+    /// (like shootdown-deadline expiry) that pack extra context into the
+    /// audit record beyond the exception's trap value.
+    fn deny_with_detail(
+        &mut self,
+        cpu: &CpuState,
+        kind: AuditKind,
+        raw: u32,
+        e: Exception,
+        detail: u64,
+    ) -> Exception {
         self.audit.push(AuditRecord {
             pc: cpu.pc,
             raw,
@@ -1208,7 +1297,7 @@ impl Pcu {
             domain: self.regs.domain as u16,
             kind,
             cause: e.cause(),
-            detail: e.tval(),
+            detail,
         });
         // Flag the denial on the step's drained events so the request
         // tracer can attribute it to the request in flight.
@@ -1602,8 +1691,8 @@ impl Pcu {
     /// the next commit.
     /// Injected delivery failures (`ShootdownDrop`/`ShootdownDelay`)
     /// defer the flush-and-ack; the retry window is bounded by
-    /// [`SHOOTDOWN_DEADLINE_POLLS`], after which the PCU restores
-    /// coherence by flushing anyway and faults the hart
+    /// [`PcuConfig::shootdown_deadline_polls`], after which the PCU
+    /// restores coherence by flushing anyway and faults the hart
     /// (`GridIntegrityFault` on the epoch) — stale privileges are never
     /// consulted past the deadline, and the expiry is architecturally
     /// visible instead of silently absorbed.
@@ -1617,7 +1706,7 @@ impl Pcu {
         };
         if self.shoot_defer > 0 {
             self.shoot_defer_polls += 1;
-            if self.shoot_defer_polls <= SHOOTDOWN_DEADLINE_POLLS {
+            if self.shoot_defer_polls <= self.cfg.shootdown_deadline_polls {
                 // Bounded backoff: delivery failed this poll; retry at
                 // the next commit.
                 self.shoot_defer -= 1;
@@ -1690,7 +1779,12 @@ impl Extension for Pcu {
         // SMP coherence: a pending shootdown is honored here, before
         // this instruction can commit against stale cached privileges.
         if let Err(e) = self.poll_shootdown() {
-            return Err(self.deny(cpu, AuditKind::Shootdown, d.raw, e));
+            // The expiry audit record packs the configured deadline into
+            // the detail's top 16 bits alongside the blown epoch, so the
+            // log alone shows which window the hart failed to honor.
+            let detail = (u64::from(self.cfg.shootdown_deadline_polls) << 48)
+                | (e.tval() & 0x0000_FFFF_FFFF_FFFF);
+            return Err(self.deny_with_detail(cpu, AuditKind::Shootdown, d.raw, e, detail));
         }
         // Snapshot verification failed: this PCU's register file is not
         // trustworthy, so everything outside M-mode is denied — fail

@@ -330,6 +330,107 @@ impl FaultPlan {
     }
 }
 
+/// Domain-separation tag for [`ServeFaultPlan`] draws, so request
+/// faults never correlate with the commit-pinned machine plans built
+/// from the same seed.
+const SERVE_FAULT_TAG: u64 = 0x7365_7276_6521_0001; // "serve!"
+
+/// Request-targeted chaos for the serving harness: what goes wrong
+/// with one admitted request.
+///
+/// Unlike [`FaultKind`] — which is pinned to *commit indices* of one
+/// hart's instruction stream — a serve fault is keyed to the global
+/// admission index, so the same request fails the same way regardless
+/// of how many harts the workload is spread over. That hart-count
+/// independence is what lets the chaos oracle demand identical
+/// recovery decisions per seed at 1 and 4 harts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFaultKind {
+    /// The request wedges: it never completes, and the per-request
+    /// watchdog must catch it.
+    Wedge,
+    /// Flip `bit` of the serving tenant's instruction bitmap in trusted
+    /// memory (no reseal) — the integrity layer denies fail-closed.
+    TableFlip {
+        /// Bit index into the tenant's instruction bitmap.
+        bit: u32,
+    },
+    /// Jam shootdown delivery on the serving hart so a concurrent
+    /// publish blows the delivery deadline (single-hart runs remap this
+    /// to [`ServeFaultKind::TableFlip`]; shootdowns don't exist there).
+    ShootdownJam,
+}
+
+impl ServeFaultKind {
+    /// Stable lowercase name for traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeFaultKind::Wedge => "wedge",
+            ServeFaultKind::TableFlip { .. } => "table_flip",
+            ServeFaultKind::ShootdownJam => "shootdown_jam",
+        }
+    }
+}
+
+/// A pure function `(seed, rate) → per-request fault assignment`.
+///
+/// There is no cursor and no schedule to keep in sync with execution:
+/// [`ServeFaultPlan::fault_for`] is evaluated independently per
+/// admission index, so checkpoint restore and replay re-derive exactly
+/// the same assignment without serializing anything but the seed and
+/// rate (both already in the serve config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    seed: u64,
+    rate_ppm: u64,
+}
+
+impl ServeFaultPlan {
+    /// Plan faulting roughly `rate_ppm` per million admitted requests.
+    pub fn new(seed: u64, rate_ppm: u64) -> ServeFaultPlan {
+        ServeFaultPlan { seed, rate_ppm }
+    }
+
+    /// The seed the assignment is keyed by.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Faults per million admitted requests.
+    pub fn rate_ppm(&self) -> u64 {
+        self.rate_ppm
+    }
+
+    /// The fault assigned to admission `idx`, if any. Pure: same
+    /// `(seed, rate, idx)` → same answer, on every host and at every
+    /// hart count.
+    pub fn fault_for(&self, idx: u64) -> Option<ServeFaultKind> {
+        if self.rate_ppm == 0 {
+            return None;
+        }
+        let r = mix64(self.seed ^ mix64(idx ^ SERVE_FAULT_TAG));
+        if r % 1_000_000 >= self.rate_ppm {
+            return None;
+        }
+        Some(match (r >> 32) % 3 {
+            0 => ServeFaultKind::Wedge,
+            1 => ServeFaultKind::TableFlip {
+                bit: ((r >> 40) & 0x3FF) as u32,
+            },
+            _ => ServeFaultKind::ShootdownJam,
+        })
+    }
+
+    /// All faulted indices below `total`, in admission order — the
+    /// chaos oracle's ground truth for "every injected failure was
+    /// resolved".
+    pub fn faulted_below(&self, total: u64) -> Vec<(u64, ServeFaultKind)> {
+        (0..total)
+            .filter_map(|i| self.fault_for(i).map(|k| (i, k)))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,5 +527,39 @@ mod tests {
     fn mix64_spreads() {
         assert_ne!(mix64(0), 0);
         assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn serve_plan_is_pure_and_seeded() {
+        let a = ServeFaultPlan::new(42, 50_000);
+        let b = ServeFaultPlan::new(42, 50_000);
+        let c = ServeFaultPlan::new(43, 50_000);
+        let hits_a: Vec<_> = a.faulted_below(2_000);
+        assert_eq!(hits_a, b.faulted_below(2_000));
+        assert_ne!(hits_a, c.faulted_below(2_000));
+        // ~50k ppm over 2000 draws => ~100 faults; allow a wide band.
+        assert!(
+            (30..=300).contains(&hits_a.len()),
+            "got {} faults",
+            hits_a.len()
+        );
+    }
+
+    #[test]
+    fn serve_plan_zero_rate_is_empty() {
+        assert!(ServeFaultPlan::new(9, 0).faulted_below(10_000).is_empty());
+    }
+
+    #[test]
+    fn serve_plan_draws_every_kind() {
+        let plan = ServeFaultPlan::new(7, 200_000);
+        let kinds: Vec<_> = plan
+            .faulted_below(5_000)
+            .into_iter()
+            .map(|(_, k)| k.name())
+            .collect();
+        for want in ["wedge", "table_flip", "shootdown_jam"] {
+            assert!(kinds.contains(&want), "missing {want}");
+        }
     }
 }

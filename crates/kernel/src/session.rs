@@ -131,10 +131,14 @@ impl Session {
 
     /// Run the guest to halt and harvest the [`Completion`] — the
     /// whole legacy `run_to_halt` + accessor-scrape pattern in one
-    /// call. A hung guest surfaces as [`RunError::Watchdog`], never a
-    /// host panic. Idempotent after the session resolves: a second
-    /// drain replays the cached completion (or the cached error — a
-    /// watchdogged guest stays hung) instead of re-stepping.
+    /// call. A hung guest surfaces as a structured [`RunError`], never
+    /// a host panic, and the error carries the failure class: a hart
+    /// stalled after a cause-28 `GridIntegrityFault` reports
+    /// [`RunError::IntegrityFault`], everything else
+    /// [`RunError::Watchdog`] — callers no longer re-derive the cause
+    /// from the audit log. Idempotent after the session resolves: a
+    /// second drain replays the cached completion (or the cached error
+    /// — a hung guest stays hung) instead of re-stepping.
     pub fn drain(&mut self, max_steps: u64) -> Result<Completion, RunError> {
         if let Some(c) = &self.done {
             return Ok(c.clone());

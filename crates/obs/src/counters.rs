@@ -383,6 +383,18 @@ pub struct RunCounters {
     /// Oracle comparisons that found the fast machine and the
     /// interpreter disagreeing. Nonzero means a simulator bug.
     pub divergences: u64,
+    /// Tenant domains torn down to deny-all by the self-healing serve
+    /// layer after a classified failure.
+    pub quarantines: u64,
+    /// Inflight requests retried against a machine restored from the
+    /// last good checkpoint (bounded deterministic backoff).
+    pub retries: u64,
+    /// Admissions shed by the deterministic deadline-budget rule under
+    /// overload. Sheds are counted, never hidden.
+    pub sheds: u64,
+    /// Completed recovery episodes: a classified failure resolved by
+    /// quarantine/restore and the serve loop resumed.
+    pub recoveries: u64,
 }
 
 impl ToJson for RunCounters {
@@ -404,6 +416,10 @@ impl ToJson for RunCounters {
             ("restores", Json::U64(self.restores)),
             ("oracle_checks", Json::U64(self.oracle_checks)),
             ("divergences", Json::U64(self.divergences)),
+            ("quarantines", Json::U64(self.quarantines)),
+            ("retries", Json::U64(self.retries)),
+            ("sheds", Json::U64(self.sheds)),
+            ("recoveries", Json::U64(self.recoveries)),
         ])
     }
 }
@@ -460,7 +476,10 @@ impl Counters {
         out.push(("jit.deopts".into(), self.jit.deopts));
         out.push(("jit.flushes".into(), self.jit.flushes));
         for r in DeoptReason::ALL {
-            out.push((format!("jit.deopt.{}", r.name()), self.jit.deopt_by[r.index()]));
+            out.push((
+                format!("jit.deopt.{}", r.name()),
+                self.jit.deopt_by[r.index()],
+            ));
         }
         out.push(("checks.inst".into(), self.checks.inst));
         out.push(("checks.csr".into(), self.checks.csr));
@@ -497,6 +516,10 @@ impl Counters {
         out.push(("run.restores".into(), self.run.restores));
         out.push(("run.oracle_checks".into(), self.run.oracle_checks));
         out.push(("run.divergences".into(), self.run.divergences));
+        out.push(("run.quarantines".into(), self.run.quarantines));
+        out.push(("run.retries".into(), self.run.retries));
+        out.push(("run.sheds".into(), self.run.sheds));
+        out.push(("run.recoveries".into(), self.run.recoveries));
         out.push(("smp.harts".into(), self.smp.harts));
         out.push(("smp.shootdowns".into(), self.smp.shootdowns));
         out.push(("smp.shootdown_acks".into(), self.smp.shootdown_acks));
@@ -546,6 +569,10 @@ impl Counters {
         self.run.restores += other.run.restores;
         self.run.oracle_checks += other.run.oracle_checks;
         self.run.divergences += other.run.divergences;
+        self.run.quarantines += other.run.quarantines;
+        self.run.retries += other.run.retries;
+        self.run.sheds += other.run.sheds;
+        self.run.recoveries += other.run.recoveries;
         self.smp.harts += other.smp.harts;
         self.smp.shootdowns += other.smp.shootdowns;
         self.smp.shootdown_acks += other.smp.shootdown_acks;

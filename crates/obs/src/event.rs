@@ -206,6 +206,14 @@ pub enum TraceEvent {
         /// What disagreed first (`pc`, `reg`, `csr`, `priv`, `trap`).
         what: &'static str,
     },
+    /// The self-healing serve layer tore a tenant's ISA domain down to
+    /// deny-all after a classified failure.
+    Quarantine {
+        /// Tenant index in the serve workload.
+        tenant: u64,
+        /// The quarantined ISA domain.
+        domain: u64,
+    },
 }
 
 impl TraceEvent {
@@ -228,6 +236,7 @@ impl TraceEvent {
             TraceEvent::Snapshot { .. } => "snapshot",
             TraceEvent::Restore { .. } => "restore",
             TraceEvent::Divergence { .. } => "divergence",
+            TraceEvent::Quarantine { .. } => "quarantine",
         }
     }
 }
@@ -331,6 +340,10 @@ impl ToJson for TraceEvent {
             TraceEvent::Snapshot { at, digest } | TraceEvent::Restore { at, digest } => {
                 pairs.push(("at".into(), Json::U64(at)));
                 pairs.push(("digest".into(), Json::Str(format!("{digest:#018x}"))));
+            }
+            TraceEvent::Quarantine { tenant, domain } => {
+                pairs.push(("tenant".into(), Json::U64(tenant)));
+                pairs.push(("domain".into(), Json::U64(domain)));
             }
             TraceEvent::Divergence { pc, step, what } => {
                 pairs.push(("pc".into(), Json::Str(format!("{pc:#x}"))));

@@ -301,7 +301,13 @@ impl TraceReport<'_> {
             // An ack needs a published start to bind to; rotations
             // always publish before harts ack, so unmatched acks only
             // appear when the publish list overflowed its bound.
-            events.push(flow_finish(*hart as u64 + 1, *t, "publish", "shootdown", *epoch));
+            events.push(flow_finish(
+                *hart as u64 + 1,
+                *t,
+                "publish",
+                "shootdown",
+                *epoch,
+            ));
             events.push(complete_at(
                 *hart as u64 + 1,
                 *t,
@@ -412,10 +418,15 @@ mod tests {
         c.ingest(3, 9, 130, ReqEvent::GateEnter { domain: 4 });
         c.ingest(3, 9, 150, ReqEvent::GateExit { domain: 0 });
         c.note_publish(5, 140);
-        c.ingest(3, 0, 145, ReqEvent::ShootdownAck {
-            flushes: 2,
-            epoch: 5,
-        });
+        c.ingest(
+            3,
+            0,
+            145,
+            ReqEvent::ShootdownAck {
+                flushes: 2,
+                epoch: 5,
+            },
+        );
         c.finish(9, 200, 100, 60, false);
         let doc = TraceReport {
             name: "unit/trace",

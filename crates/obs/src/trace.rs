@@ -376,7 +376,7 @@ impl TracePolicy {
     /// `(seed, survey, id)`, never on scheduling — so the survey set is
     /// identical across hart counts.
     pub fn survey_hit(&self, id: TraceId) -> bool {
-        self.survey != 0 && splitmix64(self.seed ^ id) % self.survey == 0
+        self.survey != 0 && splitmix64(self.seed ^ id).is_multiple_of(self.survey)
     }
 }
 
@@ -783,7 +783,15 @@ impl TraceCollector {
     /// Open a tree: request `id` from `tenant` (workload `kind`,
     /// generator arrival time `arrival`) was dispatched to `hart` at
     /// global virtual time `start`.
-    pub fn begin(&mut self, id: TraceId, tenant: u16, kind: u16, hart: usize, arrival: u64, start: u64) {
+    pub fn begin(
+        &mut self,
+        id: TraceId,
+        tenant: u16,
+        kind: u16,
+        hart: usize,
+        arrival: u64,
+        start: u64,
+    ) {
         if !self.is_enabled() || id == 0 {
             return;
         }
@@ -847,7 +855,14 @@ impl TraceCollector {
     /// virtual time `end` with the given end-to-end `latency` and
     /// guest-measured `service` cycles. Applies the tail-sampling
     /// policy; returns whether the tree was kept.
-    pub fn finish(&mut self, id: TraceId, end: u64, latency: u64, service: u64, denied: bool) -> bool {
+    pub fn finish(
+        &mut self,
+        id: TraceId,
+        end: u64,
+        latency: u64,
+        service: u64,
+        denied: bool,
+    ) -> bool {
         if !self.is_enabled() {
             return false;
         }
@@ -909,7 +924,7 @@ impl TraceCollector {
         let svc = self.service_exemplars.ids();
         self.kept.iter().position(|t| {
             !t.denied
-                && !(self.policy.slow != 0 && t.latency >= self.policy.slow)
+                && (self.policy.slow == 0 || t.latency < self.policy.slow)
                 && !self.policy.survey_hit(t.id)
                 && !lat.contains(&t.id)
                 && !svc.contains(&t.id)
@@ -1228,10 +1243,13 @@ mod tests {
             events: vec![
                 (110, ReqEvent::GateEnter { domain: 4 }),
                 (130, ReqEvent::GateEnter { domain: 2 }),
-                (150, ReqEvent::Deny {
-                    cause: 25,
-                    detail: 0x180,
-                }),
+                (
+                    150,
+                    ReqEvent::Deny {
+                        cause: 25,
+                        detail: 0x180,
+                    },
+                ),
                 (160, ReqEvent::GateExit { domain: 4 }),
             ],
             events_dropped: 0,
@@ -1261,15 +1279,25 @@ mod tests {
         });
         c.begin(1, 0, 1, 0, 5, 8);
         c.ingest(0, 1, 12, ReqEvent::GateEnter { domain: 4 });
-        c.ingest(0, 0, 13, ReqEvent::ShootdownAck {
-            flushes: 2,
-            epoch: 7,
-        });
+        c.ingest(
+            0,
+            0,
+            13,
+            ReqEvent::ShootdownAck {
+                flushes: 2,
+                epoch: 7,
+            },
+        );
         c.note_publish(7, 11);
         c.begin(2, 1, 0, 1, 6, 8);
-        c.ingest(1, 2, 14, ReqEvent::Deopt {
-            reason: DeoptReason::Epoch,
-        });
+        c.ingest(
+            1,
+            2,
+            14,
+            ReqEvent::Deopt {
+                reason: DeoptReason::Epoch,
+            },
+        );
         c.finish(2, 90, 84, 30, true);
         let words = c.export_words();
         let mut c2 = TraceCollector::new(*c.policy());

@@ -35,11 +35,13 @@
 
 pub mod oracle;
 pub mod record;
+pub mod ring;
 pub mod snapshot;
 pub mod wire;
 
 pub use oracle::{pipeline_config, Divergence, SpecMachine, SpecSmp};
 pub use record::{EventLog, HostEvent};
+pub use ring::{Checkpoint, CheckpointRing};
 pub use snapshot::{
     capture_hart, capture_machine, capture_session, capture_smp, decode_snapshot,
     decode_snapshot_payload, encode_snapshot, encode_snapshot_payload, restore_hart,

@@ -1,0 +1,180 @@
+//! Bounded ring of serialized machine checkpoints.
+//!
+//! The self-healing serve layer captures a whole-machine snapshot
+//! frame every `checkpoint_every` completions and keeps the most
+//! recent few in this ring. On a classified failure the harness
+//! restores from [`CheckpointRing::latest`] — the last good frame —
+//! and replays admissions deterministically from there.
+//!
+//! Invariants the recovery contract rests on:
+//!
+//! - **Bounded**: at most `capacity` frames are retained; pushing a
+//!   full ring evicts the oldest. Memory is `O(capacity × frame)`,
+//!   never `O(run length)`.
+//! - **Monotone**: frames arrive in capture order, so `latest()` is
+//!   always the newest good checkpoint and `at` values increase
+//!   strictly along the ring.
+//! - **Verbatim**: a frame is the exact byte image produced by the
+//!   snapshot encoder (PCU seals included); the ring never rewrites
+//!   it. Each entry carries the frame's FNV-1a digest so a restore can
+//!   be audited against the bytes that were captured.
+
+use std::collections::VecDeque;
+
+use crate::wire::fnv1a;
+
+/// One retained checkpoint: a serialized whole-machine frame plus the
+/// coordinates needed to reason about recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Virtual clock (scheduler rounds × quantum) at capture.
+    pub at: u64,
+    /// Workload progress (resolved requests) at capture.
+    pub progress: u64,
+    /// FNV-1a digest of `frame`, for audit and identity checks.
+    pub digest: u64,
+    /// The serialized snapshot frame, verbatim.
+    pub frame: Vec<u8>,
+}
+
+/// Fixed-capacity ring of [`Checkpoint`]s; push evicts the oldest.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointRing {
+    cap: usize,
+    slots: VecDeque<Checkpoint>,
+    pushed: u64,
+    evicted: u64,
+}
+
+impl CheckpointRing {
+    /// A ring retaining at most `capacity` checkpoints (minimum 1).
+    pub fn new(capacity: usize) -> CheckpointRing {
+        let cap = capacity.max(1);
+        CheckpointRing {
+            cap,
+            slots: VecDeque::with_capacity(cap),
+            pushed: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Retain a new checkpoint, evicting the oldest when full. Returns
+    /// the frame's digest.
+    pub fn push(&mut self, at: u64, progress: u64, frame: Vec<u8>) -> u64 {
+        let digest = fnv1a(&frame);
+        if self.slots.len() == self.cap {
+            self.slots.pop_front();
+            self.evicted += 1;
+        }
+        self.slots.push_back(Checkpoint {
+            at,
+            progress,
+            digest,
+            frame,
+        });
+        self.pushed += 1;
+        digest
+    }
+
+    /// The newest retained checkpoint — the restore target.
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.slots.back()
+    }
+
+    /// Drop the newest checkpoint (e.g. after it proved corrupt) and
+    /// return it, exposing the previous one as the new `latest`.
+    pub fn pop_latest(&mut self) -> Option<Checkpoint> {
+        self.slots.pop_back()
+    }
+
+    /// Retained checkpoints, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Checkpoint> {
+        self.slots.iter()
+    }
+
+    /// Number of checkpoints currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the ring holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Maximum checkpoints retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total checkpoints ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Checkpoints evicted to make room.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_retains_and_latest_is_newest() {
+        let mut r = CheckpointRing::new(3);
+        assert!(r.is_empty());
+        assert!(r.latest().is_none());
+        let d1 = r.push(10, 1, vec![1, 2, 3]);
+        let d2 = r.push(20, 2, vec![4, 5, 6]);
+        assert_ne!(d1, d2);
+        assert_eq!(r.len(), 2);
+        let top = r.latest().expect("two pushed");
+        assert_eq!(top.at, 20);
+        assert_eq!(top.progress, 2);
+        assert_eq!(top.digest, fnv1a(&[4, 5, 6]));
+    }
+
+    #[test]
+    fn full_ring_evicts_oldest() {
+        let mut r = CheckpointRing::new(2);
+        r.push(1, 1, vec![1]);
+        r.push(2, 2, vec![2]);
+        r.push(3, 3, vec![3]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pushed(), 3);
+        assert_eq!(r.evicted(), 1);
+        let ats: Vec<u64> = r.iter().map(|c| c.at).collect();
+        assert_eq!(ats, vec![2, 3]);
+    }
+
+    #[test]
+    fn pop_latest_exposes_previous() {
+        let mut r = CheckpointRing::new(4);
+        r.push(1, 1, vec![1]);
+        r.push(2, 2, vec![2]);
+        let popped = r.pop_latest().expect("two pushed");
+        assert_eq!(popped.at, 2);
+        assert_eq!(r.latest().expect("one left").at, 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = CheckpointRing::new(0);
+        r.push(1, 1, vec![1]);
+        r.push(2, 2, vec![2]);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.latest().expect("one").at, 2);
+    }
+
+    #[test]
+    fn frames_are_kept_verbatim() {
+        let mut r = CheckpointRing::new(2);
+        let frame = vec![0xde, 0xad, 0xbe, 0xef];
+        r.push(7, 3, frame.clone());
+        assert_eq!(r.latest().expect("one").frame, frame);
+    }
+}

@@ -411,6 +411,26 @@ pub enum RunError {
         /// ISA domain the hart was in at expiry.
         domain: u16,
     },
+    /// The step-budget watchdog expired *after* the hart took a
+    /// `GridIntegrityFault` (cause 28): the fail-closed integrity layer
+    /// denied and the guest never recovered to a clean halt.
+    /// Distinguished from a plain [`RunError::Watchdog`] so session
+    /// callers can react per failure class (quarantine vs. retry)
+    /// instead of re-deriving the cause from the audit log.
+    IntegrityFault {
+        /// The budget that was exhausted.
+        max_steps: u64,
+        /// Steps actually executed by the faulted hart.
+        steps: u64,
+        /// Program counter at expiry.
+        pc: u64,
+        /// Hart that exhausted its budget.
+        hart: u64,
+        /// ISA domain the hart was in at expiry.
+        domain: u16,
+        /// The trap cause that ended forward progress (28).
+        cause: u64,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -426,6 +446,18 @@ impl fmt::Display for RunError {
                 f,
                 "watchdog: hart {hart} did not halt within {max_steps} steps \
                  (ran {steps}, pc={pc:#x}, domain={domain})"
+            ),
+            RunError::IntegrityFault {
+                max_steps,
+                steps,
+                pc,
+                hart,
+                domain,
+                cause,
+            } => write!(
+                f,
+                "integrity fault: hart {hart} stalled on cause {cause} and did not \
+                 halt within {max_steps} steps (ran {steps}, pc={pc:#x}, domain={domain})"
             ),
         }
     }
@@ -453,6 +485,12 @@ pub struct Machine<E: Extension> {
     timer_phase: u64,
     /// Count of traps taken, by cause (index = cause for exceptions).
     pub trap_counts: std::collections::BTreeMap<u64, u64>,
+    /// Cause of the most recent exception trap (interrupts excluded) —
+    /// the classification seam [`Machine::run_to_halt`] uses to tell an
+    /// integrity-fault stall from a plain watchdog expiry. Host-side
+    /// diagnosis state, deliberately *not* serialized into snapshots:
+    /// a restored machine starts unclassified.
+    last_trap_cause: Option<u64>,
     /// Trace-event sink for the observability layer; disabled by
     /// default. Share a clone with the extension so its events
     /// interleave with retire events in commit order.
@@ -508,6 +546,7 @@ impl<E: Extension> Machine<E> {
             timer_every: None,
             timer_phase: 0,
             trap_counts: std::collections::BTreeMap::new(),
+            last_trap_cause: None,
             trace: isa_obs::TraceSink::off(),
             prof: isa_obs::ProfSink::off(),
             rtrace: isa_obs::ReqTracer::off(),
@@ -608,19 +647,49 @@ impl<E: Extension> Machine<E> {
         }
     }
 
-    /// Run until halt, treating step-budget exhaustion as a watchdog
+    /// Cause of the most recent exception trap this machine took
+    /// (interrupts excluded), if any. Cleared on construction and never
+    /// restored from snapshots.
+    pub fn last_trap_cause(&self) -> Option<u64> {
+        self.last_trap_cause
+    }
+
+    /// Run until halt, treating step-budget exhaustion as a structured
     /// error rather than a normal exit. The fail-closed entry point for
-    /// harnesses that require the guest to terminate.
+    /// harnesses that require the guest to terminate. Expiry is
+    /// classified: a hart whose most recent trap was a
+    /// `GridIntegrityFault` (cause 28) reports
+    /// [`RunError::IntegrityFault`]; everything else is a plain
+    /// [`RunError::Watchdog`].
     pub fn run_to_halt(&mut self, max_steps: u64) -> Result<u64, RunError> {
         match self.run(max_steps) {
             Exit::Halted(code) => Ok(code),
-            Exit::StepLimit => Err(RunError::Watchdog {
+            Exit::StepLimit => Err(self.classify_expiry(max_steps, max_steps)),
+        }
+    }
+
+    /// Build the structured error for a blown step budget on this hart
+    /// (shared by [`Machine::run_to_halt`] and the SMP scheduler).
+    pub fn classify_expiry(&self, max_steps: u64, steps: u64) -> RunError {
+        let pc = self.cpu.pc;
+        let hart = self.bus.hart() as u64;
+        let domain = self.ext.current_domain_id();
+        match self.last_trap_cause {
+            Some(cause) if cause == Exception::CAUSE_GRID_INTEGRITY => RunError::IntegrityFault {
                 max_steps,
-                steps: max_steps,
-                pc: self.cpu.pc,
-                hart: self.bus.hart() as u64,
-                domain: self.ext.current_domain_id(),
-            }),
+                steps,
+                pc,
+                hart,
+                domain,
+                cause,
+            },
+            _ => RunError::Watchdog {
+                max_steps,
+                steps,
+                pc,
+                hart,
+                domain,
+            },
         }
     }
 
@@ -1415,6 +1484,7 @@ impl<E: Extension> Machine<E> {
     /// to the handler, honoring `medeleg`.
     pub fn take_trap(&mut self, e: Exception) {
         *self.trap_counts.entry(e.cause()).or_insert(0) += 1;
+        self.last_trap_cause = Some(e.cause());
         self.cpu.csrs.count_trap();
         // Traps drop any live LR/SC reservation (both the architectural
         // copy and the bus-side one).

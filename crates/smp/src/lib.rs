@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use isa_grid::{Pcu, ShootdownCell};
 use isa_obs::Counters;
-use isa_sim::{Bus, Exit, Extension, Machine, RunError};
+use isa_sim::{Bus, Exit, Machine, RunError};
 
 /// How the deterministic interleaver picks the next hart to step.
 ///
@@ -260,9 +260,12 @@ impl Smp {
 
     /// Run the interleaver until every hart halts or exhausts its own
     /// `max_steps_per_hart` budget (counted from this call). Returns
-    /// each hart's exit, or [`RunError::Watchdog`] naming the first
+    /// each hart's exit, or a structured [`RunError`] naming the first
     /// hart that burned its whole budget without halting — a hung hart
-    /// is a structured error, never a silent `StepLimit` row.
+    /// is a structured error, never a silent `StepLimit` row. Like
+    /// `Machine::run_to_halt`, expiry is classified: a hart stalled
+    /// after a `GridIntegrityFault` (cause 28) reports
+    /// [`RunError::IntegrityFault`] instead of a plain watchdog.
     pub fn run(&mut self, max_steps_per_hart: u64) -> Result<Vec<Exit>, RunError> {
         let n = self.harts.len();
         let start: Vec<u64> = self.harts.iter().map(|m| m.steps).collect();
@@ -280,13 +283,7 @@ impl Smp {
                 exits[h] = Some(Exit::Halted(code));
             } else if self.harts[h].steps - start[h] >= max_steps_per_hart {
                 let m = &self.harts[h];
-                return Err(RunError::Watchdog {
-                    max_steps: max_steps_per_hart,
-                    steps: m.steps - start[h],
-                    pc: m.cpu.pc,
-                    hart: h as u64,
-                    domain: m.ext.current_domain_id(),
-                });
+                return Err(m.classify_expiry(max_steps_per_hart, m.steps - start[h]));
             }
         }
         Ok(exits

@@ -24,6 +24,7 @@ use isa_asm::{Asm, Program, Reg::*};
 use isa_fault::{FaultEvent, FaultKind, FaultPlan};
 use isa_grid::{DomainSpec, GridLayout, Pcu, PcuConfig, SHOOTDOWN_DEADLINE_POLLS};
 use isa_grid_bench::faultbench::{run_case, FaultCase, ATTACK_VAL};
+use isa_grid_bench::serve;
 use isa_sim::csr::addr;
 use isa_sim::{mmio, Bus, Exception, Exit, Kind, Machine, RunError, DEFAULT_RAM_BASE as RAM};
 use isa_smp::Smp;
@@ -360,4 +361,96 @@ proptest! {
             prop_assert_eq!(a.escalations, 0, "silent escalation under integrity");
         }
     }
+}
+
+/// Self-healing serve config for the termination proptest: small
+/// enough to run under proptest, faulty enough to exercise the
+/// quarantine, restore and shed paths.
+fn healing_cfg(seed: u64, rate_ppm: u64, harts: usize, shed_deadline: u64) -> serve::ServeConfig {
+    let mut cfg = serve::ServeConfig::new(3, 48, harts, seed);
+    cfg.rotate_every = 0;
+    cfg.flush_every = 8;
+    cfg.self_heal = true;
+    cfg.request_fault_ppm = rate_ppm;
+    cfg.checkpoint_every = 8;
+    cfg.watchdog_rounds = 128;
+    cfg.shed_deadline = shed_deadline;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Claim 4, serving form: under *any* seeded request-fault plan —
+    /// wedges, table flips, shootdown jams at arbitrary rates, with
+    /// and without overload shedding — the self-healing serve loop
+    /// terminates with every request accounted for (completed, denied,
+    /// shed, or aborted by the stall fallback) and never panics, on
+    /// one hart and on four.
+    #[test]
+    fn serve_terminates_under_any_fault_plan(
+        seed in any::<u64>(),
+        rate in 0u64..120_000,
+        shed in prop_oneof![Just(0u64), Just(6_000u64)],
+    ) {
+        for harts in [1usize, 4] {
+            let cfg = healing_cfg(seed, rate, harts, shed);
+            let o = serve::run(&cfg);
+            prop_assert_eq!(
+                o.completed + o.denied + o.shed + o.recovery.aborted,
+                cfg.requests,
+                "lost requests (harts {}): {} completed, {} denied, {} shed, {} aborted",
+                harts, o.completed, o.denied, o.shed, o.recovery.aborted
+            );
+            // Quarantines only ever happen in response to a classified
+            // failure, and every classified request-scoped failure
+            // names a quarantined tenant.
+            for f in &o.recovery.failures {
+                if f.tenant != u64::MAX {
+                    prop_assert!(
+                        o.recovery.quarantined.contains(&f.tenant),
+                        "failure {} left tenant {} unquarantined", f, f.tenant
+                    );
+                }
+            }
+            prop_assert_eq!(
+                o.recovery.quarantined.len() as u64,
+                o.recovery.quarantines,
+                "quarantine tally out of sync"
+            );
+        }
+    }
+}
+
+#[test]
+fn serve_watchdog_restores_from_checkpoints_and_stays_deterministic() {
+    // A rate high enough to guarantee wedges (the watchdog + restore
+    // path), low enough to leave healthy tenants.
+    let mut found_restore = false;
+    for seed in 0..24u64 {
+        let cfg = healing_cfg(seed, 90_000, 2, 0);
+        let o = serve::run(&cfg);
+        let o2 = serve::run(&cfg);
+        assert_eq!(o.digest, o2.digest, "seed {seed}: replay diverged");
+        assert_eq!(
+            o.recovery.decision_digest, o2.recovery.decision_digest,
+            "seed {seed}: recovery decisions diverged"
+        );
+        assert_eq!(o.recovery.stalls, 0, "seed {seed}: stall fallback fired");
+        if o.recovery.recoveries > 0 {
+            found_restore = true;
+            assert!(
+                o.recovery.checkpoints > 0,
+                "seed {seed}: restore without checkpoints"
+            );
+            assert!(
+                !o.recovery.spans.is_empty(),
+                "seed {seed}: restore left no span"
+            );
+        }
+    }
+    assert!(
+        found_restore,
+        "no seed in 0..24 exercised the watchdog restore path"
+    );
 }

@@ -65,8 +65,7 @@ fn results_are_bit_identical_off_sampled_and_full() {
         "mode full keeps every tree"
     );
     assert!(
-        !sampled.trace.kept().is_empty()
-            && sampled.trace.kept().len() < full.trace.kept().len(),
+        !sampled.trace.kept().is_empty() && sampled.trace.kept().len() < full.trace.kept().len(),
         "tail sampling keeps a strict subset"
     );
 }
@@ -108,7 +107,10 @@ fn schedule_independent_sample_sets_match_across_hart_counts() {
         one.trace.service_exemplars.ids(),
         four.trace.service_exemplars.ids()
     );
-    assert_eq!(one.service, four.service, "service histogram is schedule-free");
+    assert_eq!(
+        one.service, four.service,
+        "service histogram is schedule-free"
+    );
 }
 
 proptest! {
